@@ -1,0 +1,65 @@
+"""Ablation: sensitivity of the scaling story to the link-cost constants.
+
+DESIGN.md calls out the per-phase synchronisation coefficient as the
+calibrated constant behind the paper's crossover points. This ablation
+sweeps it (and the per-message overhead) to show the *qualitative* story —
+DDA outlives DCS, small workloads are communication-bound — is robust to
+the calibration, not an artefact of one constant.
+"""
+
+import dataclasses
+
+from repro.analysis.cache import shared_cache
+from repro.cluster.analytic import ClusterSpec, mean_generation_time
+from repro.cluster.netmodel import WiFiModel
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+
+ENV = "Airraid-ram-v0"
+N = 8
+
+
+def test_ablation_comm_sensitivity(benchmark, scale, report_sink):
+    def build():
+        cache = shared_cache(ENV, scale.pop_size, seed=0, max_steps=1)
+        step_s = pi_env_step_seconds(ENV)
+        dcs = cache.records("CLAN_DCS", N, scale.generations)
+        dda = cache.records("CLAN_DDA", N, scale.generations)
+        rows = {}
+        for sync_factor in (0.25, 1.0, 4.0):
+            for msg_factor in (0.5, 1.0, 2.0):
+                link = WiFiModel().scaled(msg_factor)
+                spec = dataclasses.replace(
+                    ClusterSpec(n_agents=N, agent_device=ClusterSpec.of_pis(
+                        N).agent_device, link=link),
+                    phase_sync_s=ClusterSpec.of_pis(N).phase_sync_s
+                    * sync_factor,
+                )
+                dcs_t = mean_generation_time(dcs, spec, step_s).total_s
+                dda_t = mean_generation_time(dda, spec, step_s).total_s
+                rows[(sync_factor, msg_factor)] = (dcs_t, dda_t)
+        return rows
+
+    rows = run_once(benchmark, build)
+    table = [
+        [sync, msg, f"{dcs_t:.2f}s", f"{dda_t:.2f}s",
+         f"{dcs_t / dda_t:.2f}x"]
+        for (sync, msg), (dcs_t, dda_t) in rows.items()
+    ]
+    report_sink(
+        "ablation_comm_sensitivity",
+        format_table(
+            ["sync cost x", "message cost x", "DCS total", "DDA total",
+             "DDA advantage"],
+            table,
+            title=(
+                f"[Ablation] link-constant sweep, single-step {ENV}, "
+                f"{N} nodes (preset={scale.name})"
+            ),
+        ),
+    )
+    # DDA wins across the entire swept constant space
+    for dcs_t, dda_t in rows.values():
+        assert dda_t < dcs_t

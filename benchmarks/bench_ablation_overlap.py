@@ -1,0 +1,59 @@
+"""Ablation: pipelining genome distribution with inference (CLAN_DCS).
+
+The paper's Fig 2 time-lines serialise communication and compute phases; a
+co-designed runtime could start each agent's inference as soon as *its*
+genome shard lands. The discrete-event simulator's ``pipelined`` mode
+quantifies the head-room of that overlap — the "algorithm-hardware
+co-design" direction the conclusion calls for.
+"""
+
+from repro.analysis.cache import shared_cache
+from repro.cluster.analytic import ClusterSpec
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.cluster.simulator import GenerationSimulator
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+
+ENV = "CartPole-v0"
+GRID = (2, 4, 8, 15)
+
+
+def test_ablation_phase_overlap(benchmark, scale, report_sink):
+    def build():
+        cache = shared_cache(ENV, scale.pop_size, seed=0)
+        step_s = pi_env_step_seconds(ENV)
+        rows = {}
+        for n in GRID:
+            records = cache.records("CLAN_DCS", n, scale.generations)
+            spec = ClusterSpec.of_pis(n)
+            barrier = GenerationSimulator(spec, step_s, mode="barrier")
+            pipelined = GenerationSimulator(spec, step_s, mode="pipelined")
+            rows[n] = (
+                barrier.total_time(records) / len(records),
+                pipelined.total_time(records) / len(records),
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    table = []
+    for n, (barrier_s, pipelined_s) in rows.items():
+        saving = (1 - pipelined_s / barrier_s) * 100
+        table.append(
+            [n, f"{barrier_s:.2f}s", f"{pipelined_s:.2f}s", f"{saving:.1f}%"]
+        )
+    report_sink(
+        "ablation_overlap",
+        format_table(
+            ["nodes", "barrier", "pipelined", "saving"],
+            table,
+            title=(
+                "[Ablation] overlap of genome distribution with inference, "
+                f"CLAN_DCS on {ENV} (preset={scale.name})"
+            ),
+        ),
+    )
+    for barrier_s, pipelined_s in rows.values():
+        assert pipelined_s <= barrier_s + 1e-9
+    # overlap must buy something at some size
+    assert any(p < b * 0.999 for b, p in rows.values())

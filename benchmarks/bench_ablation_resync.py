@@ -1,0 +1,79 @@
+"""Ablation: periodic global speciation for CLAN_DDA.
+
+The paper flags "allowing periodic global speciation" as the natural
+mitigation for the convergence cost of asynchronous speciation (section
+IV-C, "an idea ripe for future work"). This ablation implements it
+(``resync_period`` on CLAN_DDA) and quantifies both sides of the trade:
+the extra genome traffic per resync and the convergence benefit.
+"""
+
+from repro.core.protocols import CLAN_DDA
+from repro.neat.config import NEATConfig
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+
+ENV = "CartPole-v0"
+N_CLANS = 8
+RUNS = 3
+MAX_GENERATIONS = 25
+
+
+def converge_stats(resync_period, pop_size, seed_base=11):
+    config = NEATConfig.for_env(ENV, pop_size=pop_size)
+    generations = []
+    for run in range(RUNS):
+        engine = CLAN_DDA(
+            ENV,
+            n_agents=N_CLANS,
+            config=config,
+            seed=seed_base + 101 * run,
+            resync_period=resync_period,
+        )
+        result = engine.run(max_generations=MAX_GENERATIONS)
+        generations.append(
+            result.generations_to_converge
+            if result.converged
+            else MAX_GENERATIONS
+        )
+    # communication is measured over a fixed-length run so early
+    # convergence cannot hide the resync traffic
+    engine = CLAN_DDA(
+        ENV,
+        n_agents=N_CLANS,
+        config=config,
+        seed=seed_base,
+        resync_period=resync_period,
+    )
+    fixed = engine.run(max_generations=8, fitness_threshold=float("inf"))
+    comm = fixed.total_comm_floats() / fixed.generations
+    return (sum(generations) / len(generations), comm)
+
+
+def test_ablation_periodic_resync(benchmark, scale, report_sink):
+    def build():
+        return {
+            period: converge_stats(period, scale.fig7b_pop)
+            for period in (None, 10, 5, 2)
+        }
+
+    results = run_once(benchmark, build)
+    rows = []
+    for period, (gens, comm) in results.items():
+        label = "never (pure DDA)" if period is None else f"every {period}"
+        rows.append([label, f"{gens:.1f}", f"{comm:,.0f}"])
+    report_sink(
+        "ablation_resync",
+        format_table(
+            ["global resync", "mean generations to converge",
+             "floats/generation"],
+            rows,
+            title=(
+                "[Ablation] periodic global speciation, "
+                f"{N_CLANS} clans on {ENV} (preset={scale.name})"
+            ),
+        ),
+    )
+
+    # resync must cost communication (genomes travel again)
+    assert results[2][1] > results[None][1]

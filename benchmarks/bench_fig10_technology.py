@@ -1,0 +1,113 @@
+"""Fig 10: impact of technology and hardware on scalability (AirRaid).
+
+Paper claims: (a) halving the communication cost moves the single-step
+scalability limit from ~10 to ~12 nodes; (b) in multi-step mode scaling
+continues through the scale without stagnation; (c) with a 32x32
+systolic-array inference accelerator, compute shrinks so much that
+CLAN_DCS cannot scale while CLAN_DDA still scales to ~7 nodes.
+"""
+
+from repro.analysis.figures import fig9_extrapolation
+from repro.analysis.report import render_extrapolation
+from repro.cluster.netmodel import WiFiModel
+
+from benchmarks.conftest import run_once
+
+ENV = "Airraid-ram-v0"
+GRID = (1, 8, 18, 40, 70)
+
+
+def test_fig10a_better_comm_single_step(benchmark, scale, report_sink):
+    def build():
+        base = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=True, seed=0, plot_grid=GRID,
+        )
+        halved = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=True, seed=0, link=WiFiModel().scaled(0.5),
+            plot_grid=GRID,
+        )
+        return base, halved
+
+    base, halved = run_once(benchmark, build)
+    report_sink(
+        "fig10a_better_comm_single_step",
+        render_extrapolation("Fig 10a baseline link", base)
+        + "\n\n"
+        + render_extrapolation("Fig 10a halved-cost link", halved)
+        + "\npaper: scalability improves from ~10 to ~12 nodes",
+    )
+    for protocol in ("CLAN_DCS", "CLAN_DDA"):
+        assert (
+            halved.stagnation_points()[protocol]
+            >= base.stagnation_points()[protocol]
+        )
+
+
+def test_fig10b_better_comm_multi_step(benchmark, scale, report_sink):
+    def build():
+        base = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=False, seed=0, plot_grid=GRID,
+        )
+        halved = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=False, seed=0, link=WiFiModel().scaled(0.5),
+            plot_grid=GRID,
+        )
+        return base, halved
+
+    base, halved = run_once(benchmark, build)
+    report_sink(
+        "fig10b_better_comm_multi_step",
+        render_extrapolation("Fig 10b baseline link", base)
+        + "\n\n"
+        + render_extrapolation("Fig 10b halved-cost link", halved)
+        + "\npaper: reduction allows scaling to continue without stagnation",
+    )
+    # a cheaper link can only help at scale
+    n = GRID[-1]
+    for protocol in ("CLAN_DCS", "CLAN_DDA"):
+        assert (
+            halved.fits[protocol].predict(n)
+            <= base.fits[protocol].predict(n) + 1e-9
+        )
+
+
+def test_fig10c_custom_hw_multi_step(benchmark, scale, report_sink):
+    def build():
+        pi = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=False, seed=0, plot_grid=GRID,
+        )
+        systolic = fig9_extrapolation(
+            ENV, scale.fig9_measure_grid, scale.pop_size, scale.generations,
+            single_step=False, seed=0, device_name="systolic_32x32",
+            plot_grid=GRID,
+        )
+        return pi, systolic
+
+    pi, systolic = run_once(benchmark, build)
+    report_sink(
+        "fig10c_custom_hw_multi_step",
+        render_extrapolation("Fig 10c Raspberry Pi nodes", pi)
+        + "\n\n"
+        + render_extrapolation("Fig 10c systolic-array nodes", systolic)
+        + "\npaper: faster compute makes communication the serious issue; "
+        "CLAN_DCS cannot scale, CLAN_DDA scales to ~7 nodes",
+    )
+    # accelerated inference pulls the useful-scaling region down hard
+    assert (
+        systolic.stagnation_points()["CLAN_DCS"]
+        < pi.stagnation_points()["CLAN_DCS"]
+    )
+    assert (
+        systolic.stagnation_points()["CLAN_DDA"]
+        < pi.stagnation_points()["CLAN_DDA"]
+    )
+    # DDA still scales further than DCS on custom hardware
+    assert (
+        systolic.stagnation_points()["CLAN_DDA"]
+        >= systolic.stagnation_points()["CLAN_DCS"]
+    )

@@ -1,0 +1,71 @@
+"""Fig 11: performance per dollar across platforms.
+
+Paper claims: for larger workloads a handful of $40 Pis rivals much more
+expensive platforms — ~6 Pis match the Jetson TX2 CPU (Price-Performance-
+Product advantage ~2.5x) and 15 Pis land near the HPC CPU (PPP ~1.2x);
+the GPUs of both platforms remain out of reach.
+"""
+
+from repro.analysis.figures import fig11_ppp, ppp_ratio
+from repro.analysis.report import render_platforms
+
+from benchmarks.conftest import run_once
+
+WORKLOADS = (
+    "CartPole-v0",
+    "MountainCar-v0",
+    "LunarLander-v2",
+    "Airraid-ram-v0",
+)
+
+
+def test_fig11_ppp(benchmark, scale, report_sink):
+    points = run_once(
+        benchmark,
+        lambda: fig11_ppp(
+            WORKLOADS,
+            scale.fig11_pi_counts,
+            scale.pop_size,
+            scale.generations,
+            seed=0,
+        ),
+    )
+    sections = []
+    for env_id, platform_points in points.items():
+        section = render_platforms(env_id, platform_points)
+        if env_id == "Airraid-ram-v0":
+            by_label = {p.label: p for p in platform_points}
+            if "6 pi" in by_label:
+                section += (
+                    f"\nPPP 6 Pis vs Jetson CPU: "
+                    f"{ppp_ratio(platform_points, '6 pi', 'Jetson CPU'):.2f}x"
+                )
+            section += (
+                f"\nPPP 15 Pis vs HPC CPU: "
+                f"{ppp_ratio(platform_points, f'{max(scale.fig11_pi_counts)} pi', 'HPC CPU'):.2f}x"
+            )
+        sections.append(section)
+    report_sink("fig11_ppp", "\n\n".join(sections))
+
+    airraid = {p.label: p for p in points["Airraid-ram-v0"]}
+    max_pis = f"{max(scale.fig11_pi_counts)} pi"
+
+    # Pi clusters get faster with size for the large workload
+    assert (
+        airraid[max_pis].time_per_generation_s
+        < airraid["1 pi"].time_per_generation_s
+    )
+    # PPP of the Pi cluster beats the HPC CPU (the paper's punchline)
+    assert ppp_ratio(points["Airraid-ram-v0"], max_pis, "HPC CPU") > 1.0
+    # the GPUs could not be rivalled in absolute time
+    assert (
+        airraid["HPC GPU"].time_per_generation_s
+        < airraid[max_pis].time_per_generation_s
+    )
+    # tiny workloads don't amortise communication (paper: "performance is
+    # not comparable for extremely small workloads")
+    cartpole = {p.label: p for p in points["CartPole-v0"]}
+    assert (
+        cartpole[max_pis].time_per_generation_s
+        > cartpole["HPC CPU"].time_per_generation_s
+    )

@@ -1,0 +1,32 @@
+"""Fig 3: gene-cost of the NEAT compute blocks across generations.
+
+Paper claim: "inference is the costliest operation by orders of magnitude
+followed by Speciation and lastly by Reproduction".
+"""
+
+from repro.analysis.figures import fig3_block_costs
+from repro.analysis.report import render_block_costs
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_block_costs(benchmark, scale, report_sink):
+    costs = run_once(
+        benchmark,
+        lambda: fig3_block_costs(
+            scale.workloads, scale.pop_size, scale.generations, seed=0
+        ),
+    )
+    sections = [
+        render_block_costs(env_id, series)
+        for env_id, series in costs.items()
+    ]
+    report_sink("fig3_block_costs", "\n\n".join(sections))
+
+    for env_id, series in costs.items():
+        total_inference = sum(p.inference_genes for p in series)
+        total_speciation = sum(p.speciation_genes for p in series)
+        total_reproduction = sum(p.reproduction_genes for p in series)
+        # inference dominates by an order of magnitude (multi-step)
+        assert total_inference > 5 * total_speciation, env_id
+        assert total_inference > 5 * total_reproduction, env_id

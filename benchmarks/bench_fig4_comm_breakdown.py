@@ -1,0 +1,43 @@
+"""Fig 4: communication cost breakdown per configuration.
+
+Paper claims: CLAN_DDS transfers the most floats per generation despite
+forming children on the agents (parent + child genome back-and-forth);
+CLAN_DDA pays genome traffic only in the first generation and then "orders
+of magnitude lower cost".
+"""
+
+from repro.analysis.figures import fig4_comm_breakdown
+from repro.analysis.report import render_comm_breakdown
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4_comm_breakdown(benchmark, scale, report_sink):
+    breakdown = run_once(
+        benchmark,
+        lambda: fig4_comm_breakdown(
+            scale.fig4_workload_groups,
+            scale.pop_size,
+            scale.generations,
+            n_agents=4,
+            seed=0,
+        ),
+    )
+    sections = [
+        render_comm_breakdown(group, per_config)
+        for group, per_config in breakdown.items()
+    ]
+    report_sink("fig4_comm_breakdown", "\n\n".join(sections))
+
+    for group, per_config in breakdown.items():
+        totals = {
+            name: sum(categories.values())
+            for name, categories in per_config.items()
+        }
+        assert totals["CLAN_DDS"] > totals["CLAN_DCS"], group
+        assert totals["CLAN_DDA"] < totals["CLAN_DCS"], group
+
+    # workload ordering: Atari transfers vastly more than CartPole
+    atari_total = sum(breakdown["Atari Games"]["CLAN_DDS"].values())
+    cartpole_total = sum(breakdown["Cartpole-v0"]["CLAN_DDS"].values())
+    assert atari_total > 10 * cartpole_total

@@ -1,0 +1,52 @@
+"""Fig 5: CLAN_DCS (distributed inference) runtime at scale.
+
+Paper claims: small workloads stop scaling after 5-10 units because
+communication starts to dominate (panel b); larger workloads speed up
+linearly through the 15-Pi testbed.
+"""
+
+from repro.analysis.figures import fig5_dcs_scaling
+from repro.analysis.report import render_scaling_series
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5_dcs_scaling(benchmark, scale, report_sink):
+    series = run_once(
+        benchmark,
+        lambda: fig5_dcs_scaling(
+            scale.workloads,
+            scale.fig5_grid,
+            scale.pop_size,
+            scale.generations,
+            seed=0,
+        ),
+    )
+    sections = [
+        render_scaling_series("Fig 5a", env_id, per_n)
+        for env_id, per_n in series.items()
+    ]
+    # panel (b): inference vs communication share for the small workload
+    cartpole = series["CartPole-v0"]
+    sections.append(
+        render_scaling_series(
+            "Fig 5b",
+            "CartPole-v0 (inference vs communication)",
+            cartpole,
+            components=("inference", "communication"),
+        )
+    )
+    report_sink("fig5_dcs_scaling", "\n\n".join(sections))
+
+    grid = sorted(cartpole)
+    # inference itself keeps scaling ...
+    assert cartpole[grid[-1]].inference_s < cartpole[grid[0]].inference_s
+    # ... but communication grows with agents (panel b's message)
+    assert (
+        cartpole[grid[-1]].communication_s
+        > cartpole[grid[0]].communication_s
+    )
+    # large workloads: near-linear total speedup through the testbed
+    airraid = series["Airraid-ram-v0"]
+    speedup = airraid[grid[0]].total_s / airraid[grid[-1]].total_s
+    assert speedup > 0.5 * (grid[-1] / grid[0])

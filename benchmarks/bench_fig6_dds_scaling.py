@@ -1,0 +1,47 @@
+"""Fig 6: CLAN_DDS evolution + communication runtime at scale.
+
+Paper claim: "evolution does not scale beyond 2 agents ... communication
+starts to dominate from the outset since the entire population is needed to
+be accessed multiple times during evolution".
+"""
+
+from repro.analysis.figures import fig6_dds_scaling
+from repro.analysis.report import render_scaling_series
+
+from benchmarks.conftest import run_once
+
+
+def evo_comm(timing):
+    return timing.evolution_s + timing.communication_s
+
+
+def test_fig6_dds_scaling(benchmark, scale, report_sink):
+    series = run_once(
+        benchmark,
+        lambda: fig6_dds_scaling(
+            scale.workloads,
+            scale.fig6_grid,
+            scale.pop_size,
+            scale.generations,
+            seed=0,
+        ),
+    )
+    sections = [
+        render_scaling_series(
+            "Fig 6",
+            env_id,
+            per_n,
+            components=("evolution", "communication"),
+        )
+        for env_id, per_n in series.items()
+    ]
+    report_sink("fig6_dds_scaling", "\n\n".join(sections))
+
+    for env_id, per_n in series.items():
+        grid = sorted(per_n)
+        two_agents = per_n[grid[1]] if len(grid) > 1 else per_n[grid[0]]
+        largest = per_n[grid[-1]]
+        # evolution + communication never improves meaningfully past 2
+        assert evo_comm(largest) > 0.85 * evo_comm(two_agents), env_id
+        # and communication dominates the evolution phase at scale
+        assert largest.communication_s > largest.evolution_s, env_id

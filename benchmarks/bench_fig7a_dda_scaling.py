@@ -1,0 +1,55 @@
+"""Fig 7(a): CLAN_DDA evolution + communication runtime at scale.
+
+Paper claim: with asynchronous speciation "the communication cost is not
+prohibitive, thus allowing evolution to scale alongside inference".
+"""
+
+from repro.analysis.figures import fig6_dds_scaling, fig7a_dda_scaling
+from repro.analysis.report import render_scaling_series
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7a_dda_scaling(benchmark, scale, report_sink):
+    series = run_once(
+        benchmark,
+        lambda: fig7a_dda_scaling(
+            scale.workloads,
+            scale.fig7a_grid,
+            scale.pop_size,
+            scale.generations,
+            seed=0,
+        ),
+    )
+    sections = [
+        render_scaling_series(
+            "Fig 7a",
+            env_id,
+            per_n,
+            components=("evolution", "communication"),
+        )
+        for env_id, per_n in series.items()
+    ]
+    report_sink("fig7a_dda_scaling", "\n\n".join(sections))
+
+    # evolution scales: the distributed share shrinks with agents
+    for env_id, per_n in series.items():
+        grid = sorted(per_n)
+        assert (
+            per_n[grid[-1]].evolution_s < per_n[grid[0]].evolution_s
+        ), env_id
+
+    # and DDA's evolution+comm beats DDS's at matched sizes (large workload)
+    dds = fig6_dds_scaling(
+        ("Airraid-ram-v0",),
+        tuple(n for n in scale.fig6_grid if n > 1),
+        scale.pop_size,
+        scale.generations,
+        seed=0,
+    )["Airraid-ram-v0"]
+    dda = series["Airraid-ram-v0"]
+    for n in set(dds) & set(dda):
+        assert (
+            dda[n].evolution_s + dda[n].communication_s
+            < dds[n].evolution_s + dds[n].communication_s
+        )

@@ -1,0 +1,44 @@
+"""Fig 7(b): convergence cost of asynchronous speciation.
+
+Paper claim: "the number of generations needed to converge gradually
+increases" with the number of clans — the accuracy/performance trade-off
+of CLAN_DDA. The paper averages 10 LunarLander runs at population 150; the
+quick preset uses CartPole with 3 seeds (set REPRO_SCALE=paper for the
+faithful configuration).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig7b_clan_accuracy
+from repro.analysis.report import render_clan_accuracy
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7b_clan_accuracy(benchmark, scale, report_sink):
+    points = run_once(
+        benchmark,
+        lambda: fig7b_clan_accuracy(
+            scale.fig7b_env,
+            scale.fig7b_clans,
+            scale.fig7b_pop,
+            scale.fig7b_runs,
+            scale.fig7b_max_generations,
+            seed=1,
+        ),
+    )
+    report_sink(
+        "fig7b_clan_accuracy",
+        render_clan_accuracy(points, scale.fig7b_env)
+        + f"\n(preset={scale.name}: {scale.fig7b_runs} runs, population "
+        f"{scale.fig7b_pop}, cap {scale.fig7b_max_generations} generations)",
+    )
+
+    # the trend: more clans -> more generations (tested as a positive
+    # slope of the least-squares line, robust to per-point noise)
+    xs = np.array([p.n_clans for p in points], dtype=float)
+    ys = np.array([p.mean_generations for p in points], dtype=float)
+    slope = np.polyfit(xs, ys, 1)[0]
+    assert slope >= 0.0, f"convergence cost should grow with clans: {ys}"
+    # synchronous speciation (1 clan) is never the worst configuration
+    assert points[0].mean_generations <= max(p.mean_generations for p in points)

@@ -1,0 +1,44 @@
+"""Fig 8: compute/communication share, single-step inference, 2 nodes.
+
+Paper claims (share of communication): CartPole ~93-94% in every
+configuration; AirRaid 36% (DCS), 50% (DDS), 22% (DDA) — DDA cuts the
+communication share ~3.6x versus DDS.
+"""
+
+from repro.analysis.figures import fig8_share
+from repro.analysis.report import render_share
+
+from benchmarks.conftest import run_once
+
+WORKLOADS = ("CartPole-v0", "Airraid-ram-v0")
+
+
+def test_fig8_share(benchmark, scale, report_sink):
+    shares = run_once(
+        benchmark,
+        lambda: fig8_share(
+            WORKLOADS, scale.pop_size, scale.generations, n_agents=2, seed=0
+        ),
+    )
+    sections = [
+        render_share(env_id, per_config)
+        for env_id, per_config in shares.items()
+    ]
+    report_sink("fig8_share", "\n\n".join(sections))
+
+    cartpole = shares["CartPole-v0"]
+    for config_name, share in cartpole.items():
+        assert share["communication"] > 0.8, config_name
+
+    airraid = shares["Airraid-ram-v0"]
+    assert (
+        airraid["CLAN_DDA"]["communication"]
+        < airraid["CLAN_DCS"]["communication"]
+        < airraid["CLAN_DDS"]["communication"]
+    )
+    # the headline: DDS -> DDA communication share reduction
+    reduction = (
+        airraid["CLAN_DDS"]["communication"]
+        / airraid["CLAN_DDA"]["communication"]
+    )
+    assert reduction > 1.5

@@ -1,0 +1,70 @@
+"""Fig 9: extrapolated scaling to 100 units (AirRaid).
+
+Paper claims: (a) single-step — CLAN_DCS becomes worse than serial at
+~40 units while CLAN_DDA pushes the limit to ~65 units, performing ~2x
+better on average; (b) multi-step — both configurations stagnate around
+~50 units with CLAN_DDA ahead by ~1.1x throughout.
+"""
+
+from repro.analysis.figures import fig9_extrapolation
+from repro.analysis.report import render_extrapolation
+
+from benchmarks.conftest import run_once
+
+ENV = "Airraid-ram-v0"
+
+
+def test_fig9a_single_step(benchmark, scale, report_sink):
+    study = run_once(
+        benchmark,
+        lambda: fig9_extrapolation(
+            ENV,
+            scale.fig9_measure_grid,
+            scale.pop_size,
+            scale.generations,
+            single_step=True,
+            seed=0,
+            plot_grid=scale.fig9_plot_grid_single,
+        ),
+    )
+    crossovers = study.crossovers()
+    advantage = study.mean_advantage(
+        "CLAN_DDA", "CLAN_DCS", up_to=crossovers["CLAN_DDA"] or 100
+    )
+    report_sink(
+        "fig9a_single_step",
+        render_extrapolation("Fig 9a single-step", study)
+        + f"\nmean DDA advantage over DCS: {advantage:.2f}x"
+        + "\npaper: DCS crosses serial at ~40, DDA at ~65, DDA ~2x better",
+    )
+    assert crossovers["CLAN_DCS"] is not None
+    assert crossovers["CLAN_DDA"] is not None
+    assert crossovers["CLAN_DDA"] > crossovers["CLAN_DCS"]
+    assert advantage > 1.2
+
+
+def test_fig9b_multi_step(benchmark, scale, report_sink):
+    study = run_once(
+        benchmark,
+        lambda: fig9_extrapolation(
+            ENV,
+            scale.fig9_measure_grid,
+            scale.pop_size,
+            scale.generations,
+            single_step=False,
+            seed=0,
+            plot_grid=scale.fig9_plot_grid_multi,
+        ),
+    )
+    stagnation = study.stagnation_points()
+    advantage = study.mean_advantage("CLAN_DDA", "CLAN_DCS", up_to=80)
+    report_sink(
+        "fig9b_multi_step",
+        render_extrapolation("Fig 9b multi-step", study)
+        + f"\nmean DDA advantage over DCS: {advantage:.2f}x"
+        + "\npaper: both stagnate ~50 units, DDA ~1.1x better throughout",
+    )
+    # multi-step: huge inference keeps both scaling far beyond the testbed
+    assert stagnation["CLAN_DCS"] > 15
+    assert stagnation["CLAN_DDA"] >= stagnation["CLAN_DCS"]
+    assert advantage > 1.0

@@ -1,0 +1,27 @@
+"""Table IV: evaluation-platform specifications and prices."""
+
+from repro.analysis.tables import table4_platforms
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table4_platforms(benchmark, report_sink):
+    rows = run_once(benchmark, table4_platforms)
+    rendered = format_table(
+        ["platform", "price", "inference x Pi", "evolution x Pi"],
+        [
+            [
+                row["platform"],
+                f"${row['price_usd']:.0f}",
+                f"{row['inference_speedup_vs_pi']:.1f}",
+                f"{row['evolution_speedup_vs_pi']:.1f}",
+            ]
+            for row in rows
+        ],
+        title="[Table IV] platform models",
+    )
+    report_sink("table4_platforms", rendered)
+    prices = {row["platform"]: row["price_usd"] for row in rows}
+    assert prices["raspberry_pi"] == 40.0
+    assert prices["hpc_cpu"] == 1500.0

@@ -1,0 +1,41 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one table or figure of the paper and renders
+the rows/series the paper reports. Rendered reports go to
+``benchmarks/reports/*.txt`` (and to stdout — run with ``-s`` to see them
+inline). ``REPRO_SCALE=paper`` switches from the quick preset to the
+paper's full parameter grids.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.scale import bench_scale
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a rendered figure report to disk and echo it to stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run a heavy figure builder exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The paper's Fig 1 closed loop: deploy, monitor, relearn on drift.
+
+An autonomous agent balances a pole with a deployed NEAT expert. Midway,
+the physics change under it (a longer, heavier pole under stronger
+gravity — the "trained to walk on the road, encountering sand" story).
+The rolling fitness collapses below threshold; the agent invokes
+collaborative learning on its edge cluster, evolves a new expert with zero
+cloud interaction, and resumes.
+
+Run:  python examples/continuous_adaptation.py
+"""
+
+from repro.cluster.analytic import ClusterSpec
+from repro.core import AdaptiveAgent
+from repro.envs.cartpole import CartPoleEnv
+from repro.neat import NEATConfig
+
+
+def main() -> None:
+    env = CartPoleEnv(seed=0)
+    agent = AdaptiveAgent(
+        env=env,
+        cluster=ClusterSpec.of_pis(6),
+        fitness_threshold=60.0,
+        window=4,
+        protocol="CLAN_DDA",
+        config=NEATConfig.for_env("CartPole-v0", pop_size=64),
+        seed=11,
+        relearn_generations=30,
+        relearn_target=120.0,
+    )
+
+    print("phase 1: learn an initial expert on the default environment")
+    first = agent.learn()
+    print(
+        f"  learned in {first.generations} generations "
+        f"(modelled cluster time {first.timing_total.total_s:.1f}s); "
+        f"fitness {first.best_genome.fitness:.0f}\n"
+    )
+
+    print("phase 2: operate normally")
+    for episode in range(4):
+        fitness = agent.run_episode(seed=episode)
+        print(f"  episode {episode}: fitness {fitness:6.1f} "
+              f"(rolling {agent.rolling_fitness:6.1f})")
+
+    print("\nphase 3: the environment drifts (actuator polarity inverts — "
+          "every learned reflex now pushes the wrong way)")
+    env.FORCE_MAG = -env.FORCE_MAG
+
+    episode = 4
+    relearned = False
+    while episode < 20:
+        fitness = agent.run_episode(seed=episode)
+        flag = ""
+        if agent.needs_relearning():
+            flag = "  <- fitness below threshold: relearning"
+        print(f"  episode {episode}: fitness {fitness:6.1f} "
+              f"(rolling {agent.rolling_fitness:6.1f}){flag}")
+        if agent.needs_relearning():
+            run = agent.learn()
+            relearned = True
+            print(
+                f"  ... relearned in {run.generations} generations, new "
+                f"expert fitness {run.best_genome.fitness:.0f}\n"
+            )
+        episode += 1
+        if relearned and episode >= 10:
+            break
+
+    print("phase 4: operate with the adapted expert")
+    for episode in range(100, 104):
+        fitness = agent.run_episode(seed=episode)
+        print(f"  episode {episode}: fitness {fitness:6.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Mini Fig 11: what does a dollar of hardware buy per generation?
+
+Compares serial NEAT on the Table IV platforms (HPC CPU/GPU, Jetson TX2
+CPU/GPU) against CLAN_DDA on growing Raspberry-Pi swarms, for one small
+and one large workload.
+
+Run:  python examples/price_performance.py
+"""
+
+from repro.analysis.figures import fig11_ppp, ppp_ratio
+from repro.analysis.report import render_platforms
+
+WORKLOADS = ("CartPole-v0", "Airraid-ram-v0")
+PI_COUNTS = (1, 2, 4, 6, 10, 15)
+
+
+def main() -> None:
+    results = fig11_ppp(
+        WORKLOADS, PI_COUNTS, pop_size=60, generations=5, seed=0
+    )
+    for env_id, points in results.items():
+        print(render_platforms(env_id, points))
+        print()
+
+    airraid = results["Airraid-ram-v0"]
+    print("headline ratios (Airraid):")
+    for ours, reference in (("6 pi", "Jetson CPU"), ("15 pi", "HPC CPU")):
+        ratio = ppp_ratio(airraid, ours, reference)
+        print(
+            f"  {ours} (${dict((p.label, p.price_usd) for p in airraid)[ours]:.0f}) "
+            f"vs {reference}: {ratio:.2f}x performance per dollar"
+        )
+
+
+if __name__ == "__main__":
+    main()

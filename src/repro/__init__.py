@@ -1,0 +1,56 @@
+"""CLAN: Continuous Learning using Asynchronous Neuroevolution on Commodity
+Edge Devices — a full reproduction of Mannan, Samajdar & Krishna (ISPASS
+2020).
+
+Layers, bottom-up:
+
+* :mod:`repro.envs` — gym-substitute workloads (CartPole, MountainCar,
+  LunarLander, Atari-RAM surrogates).
+* :mod:`repro.neat` — NEAT from scratch (the paper's target algorithm).
+* :mod:`repro.cluster` — the edge-cluster substrate: WiFi link model,
+  device models, genome wire format, analytic + discrete-event timing, and
+  a real multiprocess runtime.
+* :mod:`repro.core` — CLAN itself: the DCS/DDS/DDA protocols, cost
+  accounting, the closed adaptive loop and the scaling extrapolation.
+* :mod:`repro.hw` — the systolic-array inference model of the custom-HW
+  study.
+* :mod:`repro.analysis` — builders for every figure/table in the paper.
+
+Quickstart::
+
+    from repro.core import ClanDriver
+    from repro.cluster.analytic import ClusterSpec
+
+    driver = ClanDriver("CartPole-v0", ClusterSpec.of_pis(8),
+                        protocol="CLAN_DDA", seed=1)
+    run = driver.learn(max_generations=50)
+    print(run.converged, run.timing_per_generation.total_s)
+"""
+
+from repro.core import (
+    CLAN_DCS,
+    CLAN_DDA,
+    CLAN_DDS,
+    AdaptiveAgent,
+    ClanDriver,
+    SerialNEAT,
+    make_protocol,
+)
+from repro.cluster.analytic import ClusterSpec
+from repro.neat import NEATConfig, Population
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLAN_DCS",
+    "CLAN_DDS",
+    "CLAN_DDA",
+    "SerialNEAT",
+    "make_protocol",
+    "ClanDriver",
+    "AdaptiveAgent",
+    "ClusterSpec",
+    "NEATConfig",
+    "Population",
+    "__version__",
+]

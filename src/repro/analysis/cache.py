@@ -1,0 +1,134 @@
+"""Evaluation and run caching for figure sweeps.
+
+Scaling figures sweep the same workload across many cluster sizes. For
+CLAN_DCS / CLAN_DDS the evolution trajectory is identical at every ``n``
+(placement-independent evolution, see :mod:`repro.core.protocols`), so the
+expensive genome rollouts repeat verbatim; :class:`CachedGenomeEvaluator`
+memoises them keyed by *genome content* + generation, which is safe even
+across protocols whose trajectories differ (CLAN_DDA re-uses hits only for
+genuinely identical genomes). :class:`RunCache` additionally memoises whole
+engine runs per (protocol, workload, n).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.cluster.serialization import encode_genome
+from repro.core.metrics import RunResult
+from repro.core.protocols import ProtocolBase, make_protocol
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult, GenomeEvaluator
+
+if TYPE_CHECKING:
+    from repro.neat.genome import Genome
+
+#: bytes of the wire header that carry key + fitness (excluded from the
+#: content hash: the same genome re-evaluated as an elite has a fitness set)
+_KEY_AND_FITNESS_BYTES = 12
+
+
+class CachedGenomeEvaluator(GenomeEvaluator):
+    """A :class:`GenomeEvaluator` with content-addressed memoisation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cache: dict[tuple[bytes, int], FitnessResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _content_key(genome: "Genome") -> bytes:
+        payload = encode_genome(genome)[_KEY_AND_FITNESS_BYTES:]
+        return hashlib.blake2b(payload, digest_size=16).digest()
+
+    def evaluate(self, genome, config, generation: int = 0) -> FitnessResult:
+        key = (self._content_key(genome), generation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            # results carry the genome key; re-key for the querying genome
+            if cached.genome_key != genome.key:
+                cached = FitnessResult(
+                    genome_key=genome.key,
+                    fitness=cached.fitness,
+                    steps=cached.steps,
+                    total_reward=cached.total_reward,
+                    solved=cached.solved,
+                )
+            return cached
+        self.misses += 1
+        result = super().evaluate(genome, config, generation)
+        self._cache[key] = result
+        return result
+
+
+class RunCache:
+    """Memoises protocol runs for one (workload, seed, step-mode) context."""
+
+    def __init__(
+        self,
+        env_id: str,
+        config: NEATConfig,
+        seed: int = 0,
+        max_steps: int | None = None,
+    ):
+        self.env_id = env_id
+        self.config = config
+        self.seed = seed
+        self.max_steps = max_steps
+        self.evaluator = CachedGenomeEvaluator(
+            env_id,
+            max_steps=max_steps,
+            seed=ProtocolBase.default_evaluator(env_id, seed).seed,
+        )
+        self._runs: dict[tuple[str, int, int], RunResult] = {}
+
+    def records(self, protocol: str, n_agents: int, generations: int):
+        """Run (or recall) ``generations`` of ``protocol`` at ``n_agents``."""
+        key = (protocol, n_agents, generations)
+        if key not in self._runs:
+            engine = make_protocol(
+                protocol,
+                self.env_id,
+                n_agents=n_agents,
+                config=self.config,
+                seed=self.seed,
+                max_steps=self.max_steps,
+                evaluator=self.evaluator,
+            )
+            self._runs[key] = engine.run(
+                max_generations=generations, fitness_threshold=float("inf")
+            )
+        return self._runs[key].records
+
+
+_SHARED_CACHES: dict[tuple[str, int, int, int | None], RunCache] = {}
+
+
+def shared_cache(
+    env_id: str,
+    pop_size: int,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> RunCache:
+    """Process-wide memoised :class:`RunCache`.
+
+    Figure builders route through this so the benchmark harness never runs
+    the same (workload, population, seed, step-mode) trajectory twice —
+    Fig 5, Fig 9 and Fig 11 all share one multi-step Airraid run, for
+    example.
+    """
+    key = (env_id, pop_size, seed, max_steps)
+    if key not in _SHARED_CACHES:
+        config = NEATConfig.for_env(env_id, pop_size=pop_size)
+        _SHARED_CACHES[key] = RunCache(
+            env_id, config, seed=seed, max_steps=max_steps
+        )
+    return _SHARED_CACHES[key]
+
+
+def clear_shared_caches() -> None:
+    """Drop all memoised runs (used between test sessions)."""
+    _SHARED_CACHES.clear()

@@ -1,0 +1,91 @@
+"""Energy extension of the Fig 11 platform study.
+
+The paper's abstract and conclusion claim the Pi swarm matches higher-end
+platforms "at much lower energy and dollar cost" but only quantifies the
+dollar side. This module closes the gap: energy per generation =
+``fleet power x wall-clock per generation`` with the public sustained
+power ratings of the Table IV platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cache import shared_cache
+from repro.cluster.analytic import ClusterSpec, mean_generation_time
+from repro.cluster.device import get_device
+from repro.cluster.profiles import pi_env_step_seconds
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One platform's energy economics for a workload."""
+
+    label: str
+    n_devices: int
+    fleet_power_w: float
+    time_per_generation_s: float
+
+    @property
+    def energy_per_generation_j(self) -> float:
+        return self.fleet_power_w * self.time_per_generation_s
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP: energy x time — lower is better on both axes."""
+        return self.energy_per_generation_j * self.time_per_generation_s
+
+
+def energy_study(
+    env_id: str,
+    pi_counts: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> list[EnergyPoint]:
+    """Energy per generation: serial platforms versus Pi swarms."""
+    cache = shared_cache(env_id, pop_size, seed=seed)
+    step_s = pi_env_step_seconds(env_id)
+    serial_records = cache.records("Serial", 1, generations)
+
+    points = []
+    for label, device_name in (
+        ("HPC GPU", "hpc_gpu"),
+        ("HPC CPU", "hpc_cpu"),
+        ("Jetson GPU", "jetson_gpu"),
+        ("Jetson CPU", "jetson_cpu"),
+    ):
+        device = get_device(device_name)
+        spec = ClusterSpec(n_agents=1, agent_device=device)
+        timing = mean_generation_time(serial_records, spec, step_s)
+        points.append(
+            EnergyPoint(label, 1, device.power_w, timing.total_s)
+        )
+
+    pi = get_device("raspberry_pi")
+    for count in pi_counts:
+        if count == 1:
+            records = serial_records
+        else:
+            if pop_size < 2 * count:
+                continue
+            records = cache.records("CLAN_DDA", count, generations)
+        spec = ClusterSpec(n_agents=count, agent_device=pi)
+        timing = mean_generation_time(records, spec, step_s)
+        points.append(
+            EnergyPoint(
+                f"{count} pi", count, pi.power_w * count, timing.total_s
+            )
+        )
+    return points
+
+
+def energy_ratio(
+    points: list[EnergyPoint], ours: str, reference: str
+) -> float:
+    """How many times less energy ``ours`` spends per generation."""
+    by_label = {p.label: p for p in points}
+    return (
+        by_label[reference].energy_per_generation_j
+        / by_label[ours].energy_per_generation_j
+    )

@@ -1,0 +1,501 @@
+"""Series builders for every figure in the paper's evaluation.
+
+Each ``figN_*`` function runs the protocol engines (via the session caches)
+and returns plain data structures: the same rows/series the corresponding
+paper figure plots. The benchmark harness prints them via
+:mod:`repro.analysis.report`; tests assert the qualitative claims on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cache import RunCache, shared_cache
+from repro.cluster.analytic import (
+    ClusterSpec,
+    TimingBreakdown,
+    mean_generation_time,
+)
+from repro.cluster.device import get_device
+from repro.cluster.netmodel import WiFiModel
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.core.extrapolation import (
+    ExtrapolationStudy,
+    ScalingFit,
+    fit_scaling_curve,
+)
+from repro.core.messages import Message, MessageType
+from repro.core.protocols import make_protocol
+from repro.neat.config import NEATConfig
+
+#: the three distributed configurations, in the paper's order
+CONFIGURATIONS = ("CLAN_DCS", "CLAN_DDS", "CLAN_DDA")
+
+
+def paper_floats(message: Message) -> int:
+    """Fig 4's unit: one 32-bit word per gene for genome payloads, one
+    word per fitness report, raw words otherwise."""
+    if message.n_genes > 0:
+        return message.n_genes
+    if message.msg_type is MessageType.SENDING_FITNESS:
+        return message.n_units
+    return message.n_floats
+
+
+# ---------------------------------------------------------------------------
+# Fig 3 — cost of the NEAT compute blocks across generations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BlockCosts:
+    """Per-generation gene cost of the three compute blocks (Fig 3)."""
+
+    generation: int
+    inference_genes: int
+    speciation_genes: int
+    reproduction_genes: int
+
+
+def fig3_block_costs(
+    workloads: tuple[str, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, list[BlockCosts]]:
+    """Gene-cost trends per compute block for each workload."""
+    out: dict[str, list[BlockCosts]] = {}
+    for env_id in workloads:
+        cache = shared_cache(env_id, pop_size, seed=seed)
+        records = cache.records("Serial", 1, generations)
+        series = []
+        for record in records:
+            load = record.agent_loads[0]
+            series.append(
+                BlockCosts(
+                    generation=record.generation,
+                    inference_genes=load.inference_gene_ops,
+                    speciation_genes=load.speciation_gene_ops,
+                    reproduction_genes=load.reproduction_gene_ops,
+                )
+            )
+        out[env_id] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 4 — communication cost breakdown per configuration
+# ---------------------------------------------------------------------------
+
+
+def fig4_comm_breakdown(
+    workload_groups: dict[str, tuple[str, ...]],
+    pop_size: int,
+    generations: int,
+    n_agents: int = 4,
+    seed: int = 0,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Mean floats/generation by message category, per configuration.
+
+    Returns ``{group: {configuration: {category: floats_per_gen}}}`` in the
+    paper's Fig 4 unit (see :func:`paper_floats`).
+    """
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for group, env_ids in workload_groups.items():
+        group_result: dict[str, dict[str, float]] = {
+            cfg: {t.value: 0.0 for t in MessageType}
+            for cfg in CONFIGURATIONS
+        }
+        for env_id in env_ids:
+            cache = shared_cache(env_id, pop_size, seed=seed)
+            for protocol in CONFIGURATIONS:
+                records = cache.records(protocol, n_agents, generations)
+                for record in records:
+                    for message in record.messages:
+                        group_result[protocol][
+                            message.msg_type.value
+                        ] += paper_floats(message)
+        n_envs = len(env_ids)
+        for protocol in CONFIGURATIONS:
+            for category in group_result[protocol]:
+                group_result[protocol][category] /= generations * n_envs
+        out[group] = group_result
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figs 5-7a — runtime at scale per configuration
+# ---------------------------------------------------------------------------
+
+
+def scaling_series(
+    env_id: str,
+    protocol: str,
+    n_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+    max_steps: int | None = None,
+    link: WiFiModel | None = None,
+    device_name: str = "raspberry_pi",
+    cache: RunCache | None = None,
+) -> dict[int, TimingBreakdown]:
+    """Mean per-generation timing of ``protocol`` across cluster sizes."""
+    if cache is None:
+        cache = shared_cache(env_id, pop_size, seed=seed, max_steps=max_steps)
+    step_s = pi_env_step_seconds(env_id)
+    series: dict[int, TimingBreakdown] = {}
+    for n in n_grid:
+        if protocol == "CLAN_DDA" and pop_size < 2 * n:
+            continue
+        records = cache.records(protocol, n, generations)
+        spec = ClusterSpec(
+            n_agents=n,
+            agent_device=get_device(device_name),
+            link=link if link is not None else WiFiModel(),
+        )
+        series[n] = mean_generation_time(records, spec, step_s)
+    return series
+
+
+def fig5_dcs_scaling(
+    workloads: tuple[str, ...],
+    n_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, dict[int, TimingBreakdown]]:
+    """Fig 5(a): CLAN_DCS inference runtime at scale, per workload.
+
+    The returned breakdowns also serve Fig 5(b) (inference versus
+    communication share for the small workload).
+    """
+    return {
+        env_id: scaling_series(
+            env_id, "CLAN_DCS", n_grid, pop_size, generations, seed
+        )
+        for env_id in workloads
+    }
+
+
+def fig6_dds_scaling(
+    workloads: tuple[str, ...],
+    n_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, dict[int, TimingBreakdown]]:
+    """Fig 6: CLAN_DDS evolution + communication runtime at scale."""
+    return {
+        env_id: scaling_series(
+            env_id, "CLAN_DDS", n_grid, pop_size, generations, seed
+        )
+        for env_id in workloads
+    }
+
+
+def fig7a_dda_scaling(
+    workloads: tuple[str, ...],
+    n_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, dict[int, TimingBreakdown]]:
+    """Fig 7(a): CLAN_DDA evolution + communication runtime at scale."""
+    return {
+        env_id: scaling_series(
+            env_id, "CLAN_DDA", n_grid, pop_size, generations, seed
+        )
+        for env_id in workloads
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 7b — convergence cost of asynchronous speciation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClanAccuracyPoint:
+    """Convergence statistics for one clan count (Fig 7b)."""
+
+    n_clans: int
+    mean_generations: float
+    converged_runs: int
+    total_runs: int
+    per_run: list[int | None] = field(default_factory=list)
+
+
+def fig7b_clan_accuracy(
+    env_id: str,
+    clans_grid: tuple[int, ...],
+    pop_size: int,
+    n_runs: int,
+    max_generations: int,
+    seed: int = 0,
+    fitness_threshold: float | None = None,
+) -> list[ClanAccuracyPoint]:
+    """Generations-to-converge versus clan count, averaged over runs.
+
+    A single clan is synchronous speciation, exactly as in Stanley &
+    Miikkulainen; runs that fail to converge within ``max_generations``
+    count as ``max_generations`` (a conservative floor, noted in the
+    returned ``converged_runs``).
+    """
+    config = NEATConfig.for_env(env_id, pop_size=pop_size)
+    points = []
+    for n_clans in clans_grid:
+        per_run: list[int | None] = []
+        total = 0.0
+        converged = 0
+        for run in range(n_runs):
+            engine = make_protocol(
+                "CLAN_DDA",
+                env_id,
+                n_agents=n_clans,
+                config=config,
+                seed=seed + 7919 * run,
+            )
+            result = engine.run(
+                max_generations=max_generations,
+                fitness_threshold=fitness_threshold,
+            )
+            if result.converged:
+                converged += 1
+                per_run.append(result.generations_to_converge)
+                total += result.generations_to_converge
+            else:
+                per_run.append(None)
+                total += max_generations
+        points.append(
+            ClanAccuracyPoint(
+                n_clans=n_clans,
+                mean_generations=total / n_runs,
+                converged_runs=converged,
+                total_runs=n_runs,
+                per_run=per_run,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Fig 8 — compute/communication share, single-step inference
+# ---------------------------------------------------------------------------
+
+
+def fig8_share(
+    workloads: tuple[str, ...],
+    pop_size: int,
+    generations: int,
+    n_agents: int = 2,
+    seed: int = 0,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Share of inference/evolution/communication with single-step
+    inference and two nodes (``{env: {configuration: shares}}``)."""
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for env_id in workloads:
+        cache = shared_cache(env_id, pop_size, seed=seed, max_steps=1)
+        step_s = pi_env_step_seconds(env_id)
+        spec = ClusterSpec.of_pis(n_agents)
+        env_result = {}
+        for protocol in CONFIGURATIONS:
+            records = cache.records(protocol, n_agents, generations)
+            timing = mean_generation_time(records, spec, step_s)
+            env_result[protocol] = timing.share()
+        out[env_id] = env_result
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 9 — extrapolated scaling to 100 units
+# ---------------------------------------------------------------------------
+
+
+def fig9_extrapolation(
+    env_id: str,
+    measure_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    single_step: bool,
+    seed: int = 0,
+    link: WiFiModel | None = None,
+    device_name: str = "raspberry_pi",
+    plot_grid: tuple[int, ...] = (1, 6, 12, 24, 40, 60, 100),
+) -> ExtrapolationStudy:
+    """Measure DCS/DDA at testbed scales, fit and extrapolate (Fig 9).
+
+    ``single_step=True`` reproduces panel (a), ``False`` panel (b).
+    """
+    max_steps = 1 if single_step else None
+    cache = shared_cache(env_id, pop_size, seed=seed, max_steps=max_steps)
+    step_s = pi_env_step_seconds(env_id)
+    device = get_device(device_name)
+    the_link = link if link is not None else WiFiModel()
+
+    serial_records = cache.records("Serial", 1, generations)
+    serial_spec = ClusterSpec(n_agents=1, agent_device=device, link=the_link)
+    serial_time = mean_generation_time(
+        serial_records, serial_spec, step_s
+    ).total_s
+
+    fits: dict[str, ScalingFit] = {}
+    for protocol in ("CLAN_DCS", "CLAN_DDA"):
+        ns, ts = [], []
+        for n in measure_grid:
+            if protocol == "CLAN_DDA" and pop_size < 2 * n:
+                continue
+            records = cache.records(protocol, n, generations)
+            spec = ClusterSpec(
+                n_agents=n, agent_device=device, link=the_link
+            )
+            ns.append(n)
+            ts.append(
+                mean_generation_time(records, spec, step_s).total_s
+            )
+        fits[protocol] = fit_scaling_curve(ns, ts)
+
+    return ExtrapolationStudy(
+        serial_time_s=serial_time, fits=fits, grid=tuple(plot_grid)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 10 — technology and hardware impact
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TechnologyStudy:
+    """One Fig 10 panel: baseline vs modified-technology curves."""
+
+    label: str
+    baseline: ExtrapolationStudy
+    modified: ExtrapolationStudy
+
+
+def fig10_technology(
+    env_id: str,
+    measure_grid: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, TechnologyStudy]:
+    """The three panels of Fig 10.
+
+    (a) halved communication cost, single-step inference;
+    (b) halved communication cost, multi-step inference;
+    (c) systolic-array inference hardware, multi-step inference.
+    """
+    halved = WiFiModel().scaled(0.5)
+    panels: dict[str, TechnologyStudy] = {}
+    for label, single_step, link, device in (
+        ("a_comm_single_step", True, halved, "raspberry_pi"),
+        ("b_comm_multi_step", False, halved, "raspberry_pi"),
+        ("c_custom_hw_multi_step", False, None, "systolic_32x32"),
+    ):
+        baseline = fig9_extrapolation(
+            env_id,
+            measure_grid,
+            pop_size,
+            generations,
+            single_step=single_step,
+            seed=seed,
+            plot_grid=(1, 8, 18, 30, 40, 70),
+        )
+        modified = fig9_extrapolation(
+            env_id,
+            measure_grid,
+            pop_size,
+            generations,
+            single_step=single_step,
+            seed=seed,
+            link=link,
+            device_name=device,
+            plot_grid=(1, 8, 18, 30, 40, 70),
+        )
+        panels[label] = TechnologyStudy(
+            label=label, baseline=baseline, modified=modified
+        )
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Fig 11 — performance per dollar across platforms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlatformPoint:
+    """One bar of Fig 11."""
+
+    label: str
+    price_usd: float
+    time_per_generation_s: float
+
+    @property
+    def performance_per_dollar(self) -> float:
+        """1 / (time * price): higher is better."""
+        return 1.0 / (self.time_per_generation_s * self.price_usd)
+
+
+def fig11_ppp(
+    workloads: tuple[str, ...],
+    pi_counts: tuple[int, ...],
+    pop_size: int,
+    generations: int,
+    seed: int = 0,
+) -> dict[str, list[PlatformPoint]]:
+    """Average generation time per platform, with hardware price.
+
+    Localised baselines (HPC CPU/GPU, Jetson CPU/GPU, one Pi) run serial
+    NEAT on the respective device model; multi-Pi points run CLAN_DDA over
+    WiFi, the paper's proposed deployment.
+    """
+    platforms = (
+        ("HPC GPU", "hpc_gpu"),
+        ("HPC CPU", "hpc_cpu"),
+        ("Jetson GPU", "jetson_gpu"),
+        ("Jetson CPU", "jetson_cpu"),
+    )
+    out: dict[str, list[PlatformPoint]] = {}
+    for env_id in workloads:
+        cache = shared_cache(env_id, pop_size, seed=seed)
+        step_s = pi_env_step_seconds(env_id)
+        serial_records = cache.records("Serial", 1, generations)
+        points = []
+        for label, device_name in platforms:
+            device = get_device(device_name)
+            spec = ClusterSpec(n_agents=1, agent_device=device)
+            timing = mean_generation_time(serial_records, spec, step_s)
+            points.append(
+                PlatformPoint(label, device.price_usd, timing.total_s)
+            )
+        pi = get_device("raspberry_pi")
+        for count in pi_counts:
+            if count == 1:
+                records = serial_records
+            else:
+                if pop_size < 2 * count:
+                    continue
+                records = cache.records("CLAN_DDA", count, generations)
+            spec = ClusterSpec(n_agents=count, agent_device=pi)
+            timing = mean_generation_time(records, spec, step_s)
+            points.append(
+                PlatformPoint(
+                    f"{count} pi", pi.price_usd * count, timing.total_s
+                )
+            )
+        out[env_id] = points
+    return out
+
+
+def ppp_ratio(
+    points: list[PlatformPoint], ours: str, reference: str
+) -> float:
+    """Price-Performance-Product advantage of ``ours`` over ``reference``."""
+    by_label = {p.label: p for p in points}
+    return (
+        by_label[ours].performance_per_dollar
+        / by_label[reference].performance_per_dollar
+    )

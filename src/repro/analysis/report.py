@@ -1,0 +1,164 @@
+"""ASCII rendering of figure series — the rows the paper's plots encode.
+
+Every benchmark prints through these helpers so the harness output is
+uniform: one table per figure panel, with the paper's qualitative claim
+quoted next to the measured numbers where applicable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    BlockCosts,
+    ClanAccuracyPoint,
+    PlatformPoint,
+)
+from repro.cluster.analytic import TimingBreakdown
+from repro.core.extrapolation import ExtrapolationStudy
+from repro.utils.fmt import format_quantity, format_seconds, format_table
+
+
+def render_block_costs(env_id: str, series: list[BlockCosts]) -> str:
+    rows = [
+        [
+            point.generation,
+            format_quantity(point.inference_genes),
+            format_quantity(point.speciation_genes),
+            format_quantity(point.reproduction_genes),
+        ]
+        for point in series
+    ]
+    return format_table(
+        ["gen", "inference", "speciation", "reproduction"],
+        rows,
+        title=f"[Fig 3] {env_id}: genes processed per compute block",
+    )
+
+
+def render_comm_breakdown(
+    group: str, breakdown: dict[str, dict[str, float]]
+) -> str:
+    categories = sorted(
+        {
+            category
+            for per_config in breakdown.values()
+            for category, value in per_config.items()
+            if value > 0
+        }
+    )
+    rows = []
+    for config_name, per_category in breakdown.items():
+        total = sum(per_category.values())
+        rows.append(
+            [config_name]
+            + [format_quantity(per_category.get(c, 0.0)) for c in categories]
+            + [format_quantity(total)]
+        )
+    return format_table(
+        ["configuration"] + categories + ["total"],
+        rows,
+        title=f"[Fig 4] {group}: floats transferred per generation",
+    )
+
+
+def render_scaling_series(
+    figure: str,
+    env_id: str,
+    series: dict[int, TimingBreakdown],
+    components: tuple[str, ...] = ("inference", "evolution", "communication"),
+) -> str:
+    rows = []
+    for n, timing in sorted(series.items()):
+        row = [n]
+        for component in components:
+            row.append(format_seconds(getattr(timing, f"{component}_s")))
+        row.append(format_seconds(timing.total_s))
+        rows.append(row)
+    return format_table(
+        ["nodes"] + list(components) + ["total"],
+        rows,
+        title=f"[{figure}] {env_id}: per-generation time at scale",
+    )
+
+
+def render_clan_accuracy(points: list[ClanAccuracyPoint], env_id: str) -> str:
+    rows = [
+        [
+            point.n_clans,
+            f"{point.mean_generations:.1f}",
+            f"{point.converged_runs}/{point.total_runs}",
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["clans", "mean generations to converge", "converged"],
+        rows,
+        title=f"[Fig 7b] {env_id}: accuracy cost of asynchronous speciation",
+    )
+
+
+def render_share(
+    env_id: str, shares: dict[str, dict[str, float]]
+) -> str:
+    rows = []
+    for config_name, share in shares.items():
+        rows.append(
+            [
+                config_name,
+                f"{share['evolution'] * 100:.0f}%",
+                f"{share['inference'] * 100:.0f}%",
+                f"{share['communication'] * 100:.0f}%",
+            ]
+        )
+    return format_table(
+        ["configuration", "evolution", "inference", "communication"],
+        rows,
+        title=f"[Fig 8] {env_id}: compute share, single-step, 2 nodes",
+    )
+
+
+def render_extrapolation(label: str, study: ExtrapolationStudy) -> str:
+    curves = study.curves()
+    rows = []
+    for index, n in enumerate(study.grid):
+        row = [n]
+        for name in sorted(curves):
+            row.append(format_seconds(curves[name][index]))
+        rows.append(row)
+    crossovers = study.crossovers()
+    stagnation = study.stagnation_points()
+    lines = [
+        format_table(
+            ["nodes"] + sorted(curves),
+            rows,
+            title=f"[{label}] extrapolated total time per generation",
+        ),
+        f"serial baseline: {format_seconds(study.serial_time_s)}",
+        "crossover vs serial: "
+        + ", ".join(
+            f"{name} at {cross if cross is not None else '>500'} nodes"
+            for name, cross in sorted(crossovers.items())
+        ),
+        "stagnation points: "
+        + ", ".join(
+            f"{name} at {point} nodes"
+            for name, point in sorted(stagnation.items())
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_platforms(env_id: str, points: list[PlatformPoint]) -> str:
+    rows = [
+        [
+            point.label,
+            f"${point.price_usd:.0f}",
+            format_seconds(point.time_per_generation_s),
+            f"{point.performance_per_dollar:.2e}",
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["platform", "price", "time/generation", "perf per dollar"],
+        rows,
+        title=f"[Fig 11] {env_id}: performance per dollar",
+    )

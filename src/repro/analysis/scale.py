@@ -1,0 +1,105 @@
+"""Benchmark scale presets.
+
+The paper's full parameter grids (population 150, 10-run averages, six
+workloads) take a while in interpreted Python; the harness therefore runs a
+reduced-but-shape-preserving ``quick`` preset by default and the faithful
+``paper`` preset when ``REPRO_SCALE=paper`` is set in the environment.
+Every benchmark prints which preset produced its rows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """All knobs a figure builder needs to size its experiment."""
+
+    name: str
+    pop_size: int
+    generations: int
+    #: node grids per scaling figure (paper x-axes)
+    fig5_grid: tuple[int, ...]
+    fig6_grid: tuple[int, ...]
+    fig7a_grid: tuple[int, ...]
+    #: Fig 7b accuracy study
+    fig7b_env: str
+    fig7b_pop: int
+    fig7b_clans: tuple[int, ...]
+    fig7b_runs: int
+    fig7b_max_generations: int
+    #: Fig 9 extrapolation: measurement grid (testbed) + plotted grid
+    fig9_measure_grid: tuple[int, ...]
+    fig9_plot_grid_single: tuple[int, ...]
+    fig9_plot_grid_multi: tuple[int, ...]
+    #: Fig 11 Pi counts
+    fig11_pi_counts: tuple[int, ...]
+    #: workloads plotted in scaling figures (paper omits Amidar)
+    workloads: tuple[str, ...] = (
+        "CartPole-v0",
+        "MountainCar-v0",
+        "LunarLander-v2",
+        "Airraid-ram-v0",
+        "Alien-ram-v0",
+    )
+    fig4_workload_groups: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "Cartpole-v0": ("CartPole-v0",),
+            "MountainCar-v0": ("MountainCar-v0",),
+            "LunarLander-v2": ("LunarLander-v2",),
+            "Atari Games": ("Airraid-ram-v0",),
+        }
+    )
+
+
+_QUICK = BenchScale(
+    name="quick",
+    pop_size=60,
+    generations=5,
+    fig5_grid=(1, 3, 5, 7, 10, 15),
+    fig6_grid=(1, 2, 4, 6, 8),
+    fig7a_grid=(1, 2, 4, 6, 8, 10, 12, 15),
+    fig7b_env="CartPole-v0",
+    fig7b_pop=64,
+    fig7b_clans=(1, 2, 4, 8, 16),
+    fig7b_runs=3,
+    fig7b_max_generations=30,
+    fig9_measure_grid=(1, 2, 4, 6, 8, 10, 12, 15),
+    fig9_plot_grid_single=(1, 6, 12, 24, 40, 60, 100),
+    fig9_plot_grid_multi=(15, 24, 35, 45, 60, 80),
+    fig11_pi_counts=(1, 2, 4, 6, 10, 15),
+)
+
+_PAPER = BenchScale(
+    name="paper",
+    pop_size=150,
+    generations=10,
+    fig5_grid=(1, 3, 5, 7, 10, 15),
+    fig6_grid=(1, 2, 4, 6, 8),
+    fig7a_grid=(1, 2, 4, 6, 8, 10, 12, 15),
+    fig7b_env="LunarLander-v2",
+    fig7b_pop=150,
+    fig7b_clans=(1, 2, 4, 8, 16),
+    fig7b_runs=10,
+    fig7b_max_generations=60,
+    fig9_measure_grid=(1, 2, 4, 6, 8, 10, 12, 15),
+    fig9_plot_grid_single=(1, 6, 12, 24, 40, 60, 100),
+    fig9_plot_grid_multi=(15, 24, 35, 45, 60, 80),
+    fig11_pi_counts=(1, 2, 4, 6, 10, 15),
+)
+
+_PRESETS = {"quick": _QUICK, "paper": _PAPER}
+
+
+def bench_scale() -> BenchScale:
+    """The preset selected by ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(_PRESETS)
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; choose one of: {known}"
+        ) from None

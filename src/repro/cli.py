@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points so a cluster operator
+never needs to write Python:
+
+* ``learn``      — evolve a workload on a modelled Pi cluster, optionally
+  checkpointing the population.
+* ``inspect``    — summarise the champion genome of a checkpoint.
+* ``scale``      — the Fig 9 scaling study (measure, fit, extrapolate).
+* ``ppp``        — the Fig 11 price-performance table.
+* ``platforms``  — the Table IV device registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import fig9_extrapolation, fig11_ppp
+from repro.analysis.report import render_extrapolation, render_platforms
+from repro.analysis.tables import table4_platforms
+from repro.cluster.analytic import ClusterSpec
+from repro.core.driver import ClanDriver
+from repro.core.protocols import available_protocols
+from repro.envs.registry import available_env_ids
+from repro.utils.fmt import format_seconds, format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CLAN: collaborative neuroevolution on edge clusters",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="evolve a workload on a cluster")
+    learn.add_argument("env", choices=available_env_ids())
+    learn.add_argument(
+        "--protocol", default="CLAN_DDA", choices=available_protocols()
+    )
+    learn.add_argument("--agents", type=int, default=8)
+    learn.add_argument("--pop", type=int, default=100)
+    learn.add_argument("--generations", type=int, default=50)
+    learn.add_argument("--seed", type=int, default=0)
+    learn.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fitness threshold (default: the gym convergence criterion)",
+    )
+    learn.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write the final population to this JSON file",
+    )
+
+    inspect = sub.add_parser(
+        "inspect", help="describe the champion of a checkpoint"
+    )
+    inspect.add_argument("checkpoint")
+    inspect.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT instead"
+    )
+
+    scale = sub.add_parser("scale", help="Fig 9 scaling study")
+    scale.add_argument("env", choices=available_env_ids())
+    scale.add_argument("--single-step", action="store_true")
+    scale.add_argument("--pop", type=int, default=60)
+    scale.add_argument("--generations", type=int, default=5)
+    scale.add_argument("--seed", type=int, default=0)
+
+    ppp = sub.add_parser("ppp", help="Fig 11 price-performance table")
+    ppp.add_argument("env", choices=available_env_ids())
+    ppp.add_argument("--pop", type=int, default=60)
+    ppp.add_argument("--generations", type=int, default=5)
+    ppp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("platforms", help="Table IV device registry")
+    return parser
+
+
+def _cmd_learn(args) -> int:
+    if args.protocol == "Serial" and args.agents != 1:
+        args.agents = 1
+    driver = ClanDriver(
+        args.env,
+        ClusterSpec.of_pis(args.agents),
+        protocol=args.protocol,
+        pop_size=args.pop,
+        seed=args.seed,
+    )
+    print(
+        f"learning {args.env} with {args.protocol} on {args.agents} Pis "
+        f"(population {args.pop})"
+    )
+    run = driver.learn(
+        max_generations=args.generations, fitness_threshold=args.threshold
+    )
+    for record in run.result.records:
+        print(
+            f"  generation {record.generation:3d}: "
+            f"best {record.best_fitness:9.2f}  "
+            f"species {record.n_species:2d}"
+        )
+    status = "converged" if run.converged else "budget exhausted"
+    timing = run.timing_per_generation
+    print(
+        f"{status} after {run.generations} generations; modelled cluster "
+        f"time {format_seconds(run.timing_total.total_s)} "
+        f"({format_seconds(timing.total_s)}/generation: "
+        f"inference {format_seconds(timing.inference_s)}, evolution "
+        f"{format_seconds(timing.evolution_s)}, communication "
+        f"{format_seconds(timing.communication_s)})"
+    )
+    if args.checkpoint:
+        from repro.neat.checkpoint import save_population
+
+        engine = driver.engine
+        population = getattr(engine, "population", None)
+        if population is None:
+            print(
+                "checkpointing is supported for Serial/CLAN_DCS/CLAN_DDS "
+                "engines only",
+                file=sys.stderr,
+            )
+            return 2
+        save_population(population, args.checkpoint)
+        print(f"population checkpointed to {args.checkpoint}")
+    return 0 if run.converged or args.threshold is None else 1
+
+
+def _cmd_inspect(args) -> int:
+    from repro.neat.checkpoint import load_population
+    from repro.neat.visualize import describe_genome, genome_to_dot
+
+    population = load_population(args.checkpoint)
+    champion = population.best_genome
+    if champion is None:
+        champion = max(
+            population.genomes.values(),
+            key=lambda g: (g.fitness or float("-inf")),
+        )
+    if args.dot:
+        print(genome_to_dot(champion, population.config, name="champion"))
+    else:
+        print(
+            f"checkpoint at generation {population.generation}, "
+            f"population {len(population.genomes)}"
+        )
+        print(describe_genome(champion, population.config))
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    study = fig9_extrapolation(
+        args.env,
+        measure_grid=(1, 2, 4, 6, 8, 10, 12, 15),
+        pop_size=args.pop,
+        generations=args.generations,
+        single_step=args.single_step,
+        seed=args.seed,
+    )
+    mode = "single-step" if args.single_step else "multi-step"
+    print(render_extrapolation(f"scale study, {mode}", study))
+    return 0
+
+
+def _cmd_ppp(args) -> int:
+    points = fig11_ppp(
+        (args.env,),
+        (1, 2, 4, 6, 10, 15),
+        args.pop,
+        args.generations,
+        seed=args.seed,
+    )
+    print(render_platforms(args.env, points[args.env]))
+    return 0
+
+
+def _cmd_platforms(_args) -> int:
+    rows = [
+        [
+            row["platform"],
+            f"${row['price_usd']:.0f}",
+            f"{row['inference_speedup_vs_pi']}x",
+            f"{row['evolution_speedup_vs_pi']}x",
+            row["description"],
+        ]
+        for row in table4_platforms()
+    ]
+    print(
+        format_table(
+            ["platform", "price", "inference", "evolution", "description"],
+            rows,
+            title="Table IV platform models",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "learn": _cmd_learn,
+    "inspect": _cmd_inspect,
+    "scale": _cmd_scale,
+    "ppp": _cmd_ppp,
+    "platforms": _cmd_platforms,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

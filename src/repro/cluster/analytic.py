@@ -1,0 +1,218 @@
+"""Closed-form per-generation timing of CLAN protocol records.
+
+Every protocol generation decomposes into barrier-synchronised phases
+(paper Fig 2 time-lines); this module assigns wall-clock time to the
+compute and communication a :class:`~repro.core.metrics.GenerationRecord`
+logged, for any cluster size, device mix and link technology.
+
+Model (constants documented where defined):
+
+* **Inference** — ``max`` over agents of
+  ``gene_ops / inference_rate + env_steps * env_step_time``.
+* **Evolution** — centre blocks plus the slowest agent's blocks. Per-gene
+  speciation and reproduction work is cheaper than a forward-pass gene-op
+  (dictionary walks versus float math + function calls):
+  :data:`SPECIATION_EFFICIENCY` / :data:`REPRODUCTION_EFFICIENCY` convert
+  raw gene counters into effective gene-ops.
+* **Communication** — per logical message: ``n_units`` per-send overheads
+  (channel setup + latency) plus payload bytes over bandwidth, and per
+  communication *phase* a synchronisation cost ``phase_sync_s * n_agents**2``
+  at the centre (connection polling plus WiFi contention, both of which
+  grow with the number of peers). The quadratic sync term is what makes
+  adding nodes eventually lose to a serial implementation; its coefficient
+  is calibrated so the single-step crossovers land where the paper measured
+  them (~40 nodes for CLAN_DCS, ~65 for CLAN_DDA, Fig 9a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.device import DeviceModel, get_device
+from repro.cluster.netmodel import WiFiModel
+from repro.core.messages import MessageType
+from repro.core.metrics import GenerationRecord
+
+#: effective inference gene-ops per raw speciation gene compared
+SPECIATION_EFFICIENCY = 0.10
+#: effective inference gene-ops per raw reproduction gene processed
+REPRODUCTION_EFFICIENCY = 0.15
+#: effective gene-ops per generation-planning bookkeeping op
+PLANNING_EFFICIENCY = 0.5
+#: per-phase synchronisation coefficient (seconds / agents^2); see module
+#: docstring for the calibration rationale
+PHASE_SYNC_S = 3.0e-3
+
+#: message type -> barrier phase it belongs to (one sync cost per phase)
+_PHASE_OF_TYPE = {
+    MessageType.SENDING_GENOMES: "genomes_down",
+    MessageType.SENDING_FITNESS: "fitness_up",
+    MessageType.SENDING_SPAWN_COUNT: "plan_down",
+    MessageType.SENDING_PARENT_LIST: "plan_down",
+    MessageType.SENDING_PARENT_GENOMES: "plan_down",
+    MessageType.SENDING_CHILDREN: "children_up",
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A concrete cluster to time records against."""
+
+    n_agents: int
+    agent_device: DeviceModel
+    link: WiFiModel = field(default_factory=WiFiModel)
+    center_device: DeviceModel | None = None
+    phase_sync_s: float = PHASE_SYNC_S
+
+    def __post_init__(self) -> None:
+        if self.n_agents < 1:
+            raise ValueError("cluster needs at least one agent")
+        if self.phase_sync_s < 0:
+            raise ValueError("phase_sync_s cannot be negative")
+
+    @classmethod
+    def of_pis(cls, n_agents: int, link: WiFiModel | None = None, **kwargs):
+        """The paper's testbed: ``n_agents`` Raspberry Pis over WiFi."""
+        return cls(
+            n_agents=n_agents,
+            agent_device=get_device("raspberry_pi"),
+            link=link if link is not None else WiFiModel(),
+            **kwargs,
+        )
+
+    @property
+    def center(self) -> DeviceModel:
+        """The coordinating device (defaults to the agent device type)."""
+        return (
+            self.center_device
+            if self.center_device is not None
+            else self.agent_device
+        )
+
+    def total_price_usd(self) -> float:
+        """Hardware cost of the agent fleet (the Fig 11 dollar axis)."""
+        return self.n_agents * self.agent_device.price_usd
+
+
+@dataclass
+class TimingBreakdown:
+    """Per-generation wall-clock split (the unit of every scaling figure)."""
+
+    inference_s: float = 0.0
+    evolution_s: float = 0.0
+    communication_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.inference_s + self.evolution_s + self.communication_s
+
+    def __add__(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            self.inference_s + other.inference_s,
+            self.evolution_s + other.evolution_s,
+            self.communication_s + other.communication_s,
+        )
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        return TimingBreakdown(
+            self.inference_s * factor,
+            self.evolution_s * factor,
+            self.communication_s * factor,
+        )
+
+    def share(self) -> dict[str, float]:
+        """Fractional shares (the Fig 8 pie)."""
+        total = self.total_s
+        if total <= 0:
+            return {"inference": 0.0, "evolution": 0.0, "communication": 0.0}
+        return {
+            "inference": self.inference_s / total,
+            "evolution": self.evolution_s / total,
+            "communication": self.communication_s / total,
+        }
+
+
+def effective_evolution_gene_ops(
+    speciation_genes: float,
+    reproduction_genes: float,
+    planning_ops: float = 0.0,
+) -> float:
+    """Convert raw evolution counters into effective gene-ops."""
+    return (
+        speciation_genes * SPECIATION_EFFICIENCY
+        + reproduction_genes * REPRODUCTION_EFFICIENCY
+        + planning_ops * PLANNING_EFFICIENCY
+    )
+
+
+def time_generation(
+    record: GenerationRecord,
+    spec: ClusterSpec,
+    pi_env_step_s: float,
+) -> TimingBreakdown:
+    """Assign wall-clock time to one generation record on ``spec``."""
+    agent = spec.agent_device
+    center = spec.center
+
+    inference_s = 0.0
+    agent_evolution_s = 0.0
+    for load in record.agent_loads:
+        t_inf = agent.inference_time(load.inference_gene_ops)
+        t_inf += load.env_steps * agent.env_step_time(pi_env_step_s)
+        inference_s = max(inference_s, t_inf)
+        t_evo = agent.evolution_time(
+            effective_evolution_gene_ops(
+                load.speciation_gene_ops, load.reproduction_gene_ops
+            )
+        )
+        agent_evolution_s = max(agent_evolution_s, t_evo)
+
+    center_evolution_s = center.evolution_time(
+        effective_evolution_gene_ops(
+            record.center_speciation_gene_ops,
+            record.center_reproduction_gene_ops,
+            record.center_planning_ops,
+        )
+    )
+    evolution_s = agent_evolution_s + center_evolution_s
+
+    communication_s = 0.0
+    phases: set[str] = set()
+    for message in record.messages:
+        communication_s += message.n_units * (
+            spec.link.channel_setup_s + spec.link.base_latency_s
+        )
+        communication_s += message.n_bytes * 8 / spec.link.bandwidth_bps
+        phases.add(_PHASE_OF_TYPE[message.msg_type])
+    communication_s += (
+        len(phases) * spec.phase_sync_s * spec.n_agents**2
+    )
+
+    return TimingBreakdown(
+        inference_s=inference_s,
+        evolution_s=evolution_s,
+        communication_s=communication_s,
+    )
+
+
+def time_run(
+    records: list[GenerationRecord],
+    spec: ClusterSpec,
+    pi_env_step_s: float,
+) -> TimingBreakdown:
+    """Total wall-clock split across a whole run."""
+    total = TimingBreakdown()
+    for record in records:
+        total = total + time_generation(record, spec, pi_env_step_s)
+    return total
+
+
+def mean_generation_time(
+    records: list[GenerationRecord],
+    spec: ClusterSpec,
+    pi_env_step_s: float,
+) -> TimingBreakdown:
+    """Average per-generation split (the Fig 11 y-axis)."""
+    if not records:
+        raise ValueError("no records to time")
+    return time_run(records, spec, pi_env_step_s).scaled(1 / len(records))

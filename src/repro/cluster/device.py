@@ -1,0 +1,175 @@
+"""Compute-device models for the platforms of the paper's Table IV.
+
+The timing model is deliberately simple and fully documented so every figure
+is reproducible from first principles:
+
+* NEAT compute (inference forward passes, speciation distance math,
+  crossover/mutation) is measured in **gene-ops** — one gene processed once,
+  the paper's cost unit. A Raspberry Pi 3 running the paper's Python stack
+  (neat-python) processes :data:`PI_GENE_OPS_PER_S` gene-ops per second;
+  this constant was chosen so that serial per-generation times land in the
+  ranges of the paper's Fig 5/Fig 11 (a few seconds for CartPole, hundreds
+  to thousands of seconds for the Atari-RAM workloads).
+* Environment simulation costs ``pi_env_step_s`` seconds per time-step on a
+  Pi (per-workload constants live in :mod:`repro.cluster.profiles`).
+* Every other platform is expressed as a pair of speed-up factors relative
+  to the Pi: ``inference_speedup`` (forward passes; GPUs and the systolic
+  array help here) and ``evolution_speedup`` (genetic-operator and
+  bookkeeping work, which stays on the CPU). Factors follow the relative
+  single-core/GPU throughput of the platforms and were calibrated so the
+  published price-performance crossovers hold exactly: ~6 Pis match the
+  Jetson TX2 CPU (PPP 2.5x) and ~15 Pis reach about half the HPC CPU
+  (PPP 1.2x) on the large workload (Fig 11).
+
+The 32x32 systolic array of Fig 10(c) is modelled in
+:mod:`repro.hw.systolic`; its registry entry here carries the effective
+gene-op speed-up derived from that model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: NEAT gene-ops per second of the reference platform (Raspberry Pi 3,
+#: ARM Cortex A53, interpreted Python) — the model's single compute anchor.
+PI_GENE_OPS_PER_S = 50_000.0
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One platform from Table IV (plus the custom-HW design point)."""
+
+    name: str
+    price_usd: float
+    #: forward-pass (Inference block) speed-up relative to a Raspberry Pi
+    inference_speedup: float
+    #: genetic-operator / bookkeeping speed-up relative to a Raspberry Pi
+    evolution_speedup: float
+    #: sustained board/system power under load, watts (public platform
+    #: specifications; drives the energy extension of the Fig 11 study)
+    power_w: float = 4.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.price_usd <= 0:
+            raise ValueError("price must be positive")
+        if self.inference_speedup <= 0 or self.evolution_speedup <= 0:
+            raise ValueError("speed-ups must be positive")
+        if self.power_w <= 0:
+            raise ValueError("power must be positive")
+
+    @property
+    def inference_gene_ops_per_s(self) -> float:
+        return PI_GENE_OPS_PER_S * self.inference_speedup
+
+    @property
+    def evolution_gene_ops_per_s(self) -> float:
+        return PI_GENE_OPS_PER_S * self.evolution_speedup
+
+    def inference_time(self, gene_ops: float) -> float:
+        """Seconds to execute ``gene_ops`` of forward-pass work."""
+        return gene_ops / self.inference_gene_ops_per_s
+
+    def evolution_time(self, gene_ops: float) -> float:
+        """Seconds to execute ``gene_ops`` of evolution work."""
+        return gene_ops / self.evolution_gene_ops_per_s
+
+    def env_step_time(self, pi_env_step_s: float) -> float:
+        """Seconds per environment step, given the per-Pi constant.
+
+        Environment simulation is general-purpose CPU work, so it scales
+        with the evolution factor (GPUs don't accelerate gym physics).
+        """
+        return pi_env_step_s / self.evolution_speedup
+
+
+_DEVICES: dict[str, DeviceModel] = {}
+
+
+def _register(device: DeviceModel) -> None:
+    if device.name in _DEVICES:
+        raise ValueError(f"duplicate device {device.name}")
+    _DEVICES[device.name] = device
+
+
+_register(
+    DeviceModel(
+        name="raspberry_pi",
+        price_usd=40.0,
+        inference_speedup=1.0,
+        evolution_speedup=1.0,
+        # measured Pi 3 board draw under sustained single-core load,
+        # no peripherals (~3 W; idle ~1.9 W, all-core stress ~5 W)
+        power_w=3.0,
+        description="Raspberry Pi 3, ARM Cortex A53 (Table IV, $40)",
+    )
+)
+_register(
+    DeviceModel(
+        name="jetson_cpu",
+        price_usd=600.0,
+        inference_speedup=5.7,
+        evolution_speedup=5.7,
+        power_w=7.5,
+        description="Nvidia Jetson TX2, ARM Cortex A57 cluster (Table IV)",
+    )
+)
+_register(
+    DeviceModel(
+        name="jetson_gpu",
+        price_usd=600.0,
+        inference_speedup=25.0,
+        evolution_speedup=5.7,
+        power_w=15.0,
+        description="Nvidia Jetson TX2, Pascal GPU (Table IV)",
+    )
+)
+_register(
+    DeviceModel(
+        name="hpc_cpu",
+        price_usd=1500.0,
+        inference_speedup=25.0,
+        evolution_speedup=25.0,
+        power_w=90.0,
+        description="HPC machine, 6th-gen Intel i7 (Table IV)",
+    )
+)
+_register(
+    DeviceModel(
+        name="hpc_gpu",
+        price_usd=1500.0,
+        inference_speedup=100.0,
+        evolution_speedup=25.0,
+        power_w=250.0,
+        description="HPC machine, Nvidia GTX 1080 (Table IV)",
+    )
+)
+_register(
+    DeviceModel(
+        name="systolic_32x32",
+        price_usd=40.0,
+        power_w=5.0,
+        # effective factor derived from repro.hw.systolic for NEAT-sized
+        # layers at 200 MHz; see bench_fig10_technology.py
+        inference_speedup=100.0,
+        evolution_speedup=1.0,
+        description=(
+            "hypothetical commodity edge node with a 32x32 systolic-array "
+            "inference accelerator (SCALE-sim-style model, Fig 10c)"
+        ),
+    )
+)
+
+
+def available_devices() -> tuple[str, ...]:
+    """Registered device names."""
+    return tuple(_DEVICES)
+
+
+def get_device(name: str) -> DeviceModel:
+    """Look up a device by name, raising with the known set on error."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        known = ", ".join(_DEVICES)
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,85 @@
+"""Discrete-event engine primitives for the cluster simulator.
+
+Minimal but genuine DES machinery: a time-ordered event queue and a
+single-server resource with FIFO acquisition, enough to model agents
+computing in parallel while the centre's WiFi radio serialises transfers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Time-ordered event executor."""
+
+    def __init__(self):
+        self._heap: list[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> None:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        heapq.heappush(
+            self._heap, _QueuedEvent(time, next(self._seq), action, label)
+        )
+
+    def run(self) -> float:
+        """Process all events in time order; return the final clock."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            self.processed += 1
+            event.action()
+        return self.now
+
+
+class Resource:
+    """A single-server FIFO resource (a device core or the centre's radio).
+
+    ``acquire(earliest, duration)`` books the resource for ``duration``
+    starting no earlier than ``earliest`` nor before the previous booking
+    ends, and returns the (start, end) interval.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.bookings: list[tuple[float, float, str]] = []
+
+    def acquire(
+        self, earliest: float, duration: float, label: str = ""
+    ) -> tuple[float, float]:
+        if duration < 0:
+            raise ValueError("duration cannot be negative")
+        start = max(earliest, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.bookings.append((start, end, label))
+        return start, end
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)

@@ -1,0 +1,79 @@
+"""WiFi link timing model.
+
+Parameterised from the paper's measured testbed (section IV-A): a
+62.24 Mbps client-to-client local WiFi network with a peer-to-peer latency
+of 8.83 ms for 64 B transfers. The paper further observes a "constant cost
+of invoking the communication channels" that punishes chatty protocols; we
+model a message as::
+
+    time(bytes) = channel_setup + base_latency + bytes * 8 / bandwidth
+
+``base_latency`` is calibrated so a 64 B transfer takes the published
+8.83 ms. The technology study of Fig 10(a/b) ("what if the communication
+technology used was better?") is expressed through :meth:`WiFiModel.scaled`,
+which the paper approximates by halving the communication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: paper-measured client-to-client bandwidth, bits per second
+PAPER_BANDWIDTH_BPS = 62.24e6
+#: paper-measured peer-to-peer time for a 64-byte transfer, seconds
+PAPER_64B_LATENCY_S = 8.83e-3
+
+
+@dataclass(frozen=True)
+class WiFiModel:
+    """Point-to-point link timing between two cluster nodes."""
+
+    bandwidth_bps: float = PAPER_BANDWIDTH_BPS
+    #: fixed per-message latency (medium access, kernel, python stack)
+    base_latency_s: float = PAPER_64B_LATENCY_S - 64 * 8 / PAPER_BANDWIDTH_BPS
+    #: per-message channel invocation cost at the sender (socket write path);
+    #: the paper calls this "the constant cost of invoking the communication
+    #: channels"
+    channel_setup_s: float = 2.0e-3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency_s < 0 or self.channel_setup_s < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds to deliver one message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        return (
+            self.channel_setup_s
+            + self.base_latency_s
+            + n_bytes * 8 / self.bandwidth_bps
+        )
+
+    def sender_occupancy(self, n_bytes: int) -> float:
+        """Seconds the *sender* is busy with one message.
+
+        The sender serialises its transfers (a hub talking to n agents pays
+        this n times); propagation latency overlaps with the next send, so
+        occupancy excludes ``base_latency_s``.
+        """
+        if n_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        return self.channel_setup_s + n_bytes * 8 / self.bandwidth_bps
+
+    def scaled(self, factor: float) -> "WiFiModel":
+        """A link whose every cost component is multiplied by ``factor``.
+
+        ``scaled(0.5)`` reproduces the paper's Fig 10(a/b) approximation of
+        better communication technology ("we halve the communication cost").
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            bandwidth_bps=self.bandwidth_bps / factor,
+            base_latency_s=self.base_latency_s * factor,
+            channel_setup_s=self.channel_setup_s * factor,
+        )

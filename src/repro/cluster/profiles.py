@@ -1,0 +1,42 @@
+"""Per-workload environment-step cost constants.
+
+``pi_env_step_s`` is the wall-clock cost of one environment time-step on a
+Raspberry Pi 3 running the paper's Python stack — gym environment physics
+plus the per-step interpreter overhead of the evaluation loop. Values were
+chosen so that serial per-generation times land in the ranges the paper
+reports (Fig 5a and Fig 11):
+
+* CartPole / MountainCar: classic-control physics, well under a
+  millisecond of float math, dominated by Python call overhead
+  (~0.8-1.0 ms/step on an ARM A53).
+* LunarLander: Box2D rigid-body world step — tens of milliseconds on a Pi
+  (the paper's ~1000 s generations for a population of 150 imply ~45 ms).
+* Atari-RAM games: Stella emulation of several frames per step plus
+  observation marshalling (~45-50 ms on a Pi).
+
+These constants live apart from :mod:`repro.envs` because they describe the
+*paper's* testbed cost of the real gym environments, not the cost of our
+synthetic re-implementations.
+"""
+
+from __future__ import annotations
+
+_PI_ENV_STEP_S: dict[str, float] = {
+    "CartPole-v0": 0.8e-3,
+    "MountainCar-v0": 1.0e-3,
+    "LunarLander-v2": 45e-3,
+    "Airraid-ram-v0": 45e-3,
+    "Amidar-ram-v0": 45e-3,
+    "Alien-ram-v0": 50e-3,
+}
+
+
+def pi_env_step_seconds(env_id: str) -> float:
+    """Per-step environment cost on a Raspberry Pi for ``env_id``."""
+    try:
+        return _PI_ENV_STEP_S[env_id]
+    except KeyError:
+        known = ", ".join(_PI_ENV_STEP_S)
+        raise KeyError(
+            f"no cost profile for env {env_id!r}; known: {known}"
+        ) from None

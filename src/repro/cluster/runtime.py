@@ -1,0 +1,220 @@
+"""Physically parallel CLAN execution over OS processes.
+
+While the engines in :mod:`repro.core.protocols` are logical (exact
+algorithm, modelled time), the runtimes here actually fan work out to a
+:class:`~repro.cluster.transport.WorkerPool` — one process per agent — and
+measure real wall-clock. Two runtimes mirror the two interesting designs:
+
+* :class:`ParallelInferenceRuntime` — distributed inference with central
+  evolution (CLAN_DCS on your own CPU cores).
+* :class:`DistributedClanRuntime` — fully asynchronous clans (CLAN_DDA);
+  each worker hosts a clan and runs complete local generations.
+
+Both reproduce the logical engines' results exactly: evaluation is
+deterministic per (seed, generation), and clans use the same named RNG
+streams as :class:`repro.core.protocols.CLAN_DDA`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.serialization import decode_genome, encode_genomes
+from repro.cluster.transport import WorkerPool
+from repro.core.partition import contiguous_blocks, round_robin
+from repro.envs.registry import workload_spec
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.population import Population
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class RealRunStats:
+    """Wall-clock measurements from a physically parallel run."""
+
+    generations: int = 0
+    wall_time_s: float = 0.0
+    best_fitness: float = float("-inf")
+    converged: bool = False
+    per_generation_s: list[float] = field(default_factory=list)
+    best_fitness_per_generation: list[float] = field(default_factory=list)
+
+
+class ParallelInferenceRuntime:
+    """CLAN_DCS over real processes: inference on workers, evolution here."""
+
+    def __init__(
+        self,
+        env_id: str,
+        n_workers: int,
+        config: NEATConfig | None = None,
+        seed: int = 0,
+        max_steps: int | None = None,
+    ):
+        self.env_id = env_id
+        self.config = config or NEATConfig.for_env(env_id)
+        self.seed = seed
+        self.population = Population(self.config, seed=seed)
+        rngs = RngFactory(seed)
+        self.pool = WorkerPool(
+            n_workers,
+            env_id,
+            self.config,
+            evaluator_seed=rngs.seed_for("episodes") % (2**31),
+            max_steps=max_steps,
+        )
+        self.solved_threshold = workload_spec(env_id).solved_threshold
+
+    def run(
+        self,
+        max_generations: int,
+        fitness_threshold: float | None = None,
+    ) -> RealRunStats:
+        """Evolve with physically distributed inference."""
+        threshold = (
+            self.solved_threshold
+            if fitness_threshold is None
+            else fitness_threshold
+        )
+        stats = RealRunStats()
+        start = time.perf_counter()
+
+        def evaluate(genomes, generation):
+            ordered = sorted(genomes, key=lambda g: g.key)
+            shards = round_robin(ordered, self.pool.n_workers)
+            results = {}
+            for reply in self.pool.evaluate_shards(shards, generation):
+                results.update(reply)
+            return results
+
+        for _ in range(max_generations):
+            gen_start = time.perf_counter()
+            gen_stats = self.population.run_generation(evaluate)
+            stats.per_generation_s.append(time.perf_counter() - gen_start)
+            stats.best_fitness_per_generation.append(gen_stats.best_fitness)
+            stats.generations += 1
+            stats.best_fitness = max(
+                stats.best_fitness, gen_stats.best_fitness
+            )
+            if gen_stats.best_fitness >= threshold:
+                stats.converged = True
+                break
+        stats.wall_time_s = time.perf_counter() - start
+        return stats
+
+    @property
+    def best_genome(self) -> Genome | None:
+        return self.population.best_genome
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ParallelInferenceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class DistributedClanRuntime:
+    """CLAN_DDA over real processes: each worker hosts a full clan."""
+
+    def __init__(
+        self,
+        env_id: str,
+        n_clans: int,
+        config: NEATConfig | None = None,
+        seed: int = 0,
+        max_steps: int | None = None,
+    ):
+        self.env_id = env_id
+        self.config = config or NEATConfig.for_env(env_id)
+        if self.config.pop_size < 2 * n_clans:
+            raise ValueError(
+                f"population of {self.config.pop_size} cannot form "
+                f"{n_clans} clans of >= 2 members"
+            )
+        self.n_clans = n_clans
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        self.solved_threshold = workload_spec(env_id).solved_threshold
+
+        # identical initial population + partition to the logical engine
+        seed_population = Population(self.config, seed=seed)
+        blocks = contiguous_blocks(sorted(seed_population.genomes), n_clans)
+
+        self.pool = WorkerPool(
+            n_clans,
+            env_id,
+            self.config,
+            evaluator_seed=self.rngs.seed_for("episodes") % (2**31),
+            max_steps=max_steps,
+        )
+        payloads = []
+        for clan_id, block in enumerate(blocks):
+            members = [seed_population.genomes[key] for key in block]
+            payloads.append(
+                {
+                    "clan_id": clan_id,
+                    "n_clans": n_clans,
+                    "members_wire": encode_genomes(members),
+                    "rng_seed": self.rngs.child(
+                        f"clan:{clan_id}"
+                    ).root_seed,
+                    "next_genome_key": self.config.pop_size + clan_id,
+                    "num_outputs": self.config.num_outputs,
+                }
+            )
+        self.pool.broadcast("clan_init", payloads)
+        self._generation = 0
+
+    def run(
+        self,
+        max_generations: int,
+        fitness_threshold: float | None = None,
+    ) -> RealRunStats:
+        """Run asynchronous clans in parallel until convergence."""
+        threshold = (
+            self.solved_threshold
+            if fitness_threshold is None
+            else fitness_threshold
+        )
+        stats = RealRunStats()
+        start = time.perf_counter()
+        for _ in range(max_generations):
+            gen_start = time.perf_counter()
+            summaries = self.pool.broadcast(
+                "clan_step", [self._generation] * self.n_clans
+            )
+            self._generation += 1
+            best = max(s.best_fitness for s in summaries)
+            stats.per_generation_s.append(time.perf_counter() - gen_start)
+            stats.best_fitness_per_generation.append(best)
+            stats.generations += 1
+            stats.best_fitness = max(stats.best_fitness, best)
+            if best >= threshold:
+                stats.converged = True
+                break
+        stats.wall_time_s = time.perf_counter() - start
+        return stats
+
+    def best_genome(self) -> Genome:
+        """Gather per-clan champions and return the global best."""
+        champions = [
+            decode_genome(wire)
+            for wire in self.pool.broadcast(
+                "clan_best", [None] * self.n_clans
+            )
+        ]
+        return max(champions, key=lambda g: g.fitness)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "DistributedClanRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

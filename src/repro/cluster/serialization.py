@@ -1,0 +1,169 @@
+"""Genome wire format.
+
+The paper's cost metric treats a gene as "a 32-bit datastructure"; this
+module makes that concrete. A genome is serialised as::
+
+    header : genome key, fitness (NaN if unset), n_nodes, n_connections
+    nodes  : per node gene — key, bias, response, activation id, aggregation id
+    conns  : per connection gene — in key, out key, weight, enabled flag
+
+Accounting (``genome_wire_floats``) counts one 32-bit word per field,
+exactly the paper's convention; every communication cost model uses these
+counts. The *encoded byte stream*, however, stores scalar attributes as
+IEEE-754 doubles: the multiprocess runtime must round-trip genomes
+bit-exactly so a physically distributed run reproduces the logical engines,
+and Python floats are doubles. The modelled wire cost and the transport
+encoding are therefore intentionally distinct layers.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.neat.activations import ACTIVATIONS
+from repro.neat.aggregations import AGGREGATIONS
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+
+#: bytes per accounted 32-bit word
+WORD_BYTES = 4
+#: accounted words in the genome header
+HEADER_WORDS = 4
+
+_HEADER_FMT = "<idii"
+_NODE_FMT = "<iddii"
+_CONN_FMT = "<iidi"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_NODE_SIZE = struct.calcsize(_NODE_FMT)
+_CONN_SIZE = struct.calcsize(_CONN_FMT)
+
+_ACTIVATION_IDS = {name: i for i, name in enumerate(sorted(ACTIVATIONS))}
+_ACTIVATION_NAMES = {i: name for name, i in _ACTIVATION_IDS.items()}
+_AGGREGATION_IDS = {name: i for i, name in enumerate(sorted(AGGREGATIONS))}
+_AGGREGATION_NAMES = {i: name for name, i in _AGGREGATION_IDS.items()}
+
+
+def genome_wire_floats(genome: Genome) -> int:
+    """Number of 32-bit words the genome occupies on the wire."""
+    return (
+        HEADER_WORDS
+        + NodeGene.FLOAT_FIELDS * len(genome.nodes)
+        + ConnectionGene.FLOAT_FIELDS * len(genome.connections)
+    )
+
+
+def genome_wire_bytes(genome: Genome) -> int:
+    """Modelled wire footprint of a genome in bytes (accounted words)."""
+    return WORD_BYTES * genome_wire_floats(genome)
+
+
+def genome_stream_bytes(genome: Genome) -> int:
+    """Actual encoded byte-stream length (doubles for scalars)."""
+    return (
+        _HEADER_SIZE
+        + _NODE_SIZE * len(genome.nodes)
+        + _CONN_SIZE * len(genome.connections)
+    )
+
+
+def encode_genome(genome: Genome) -> bytes:
+    """Serialise a genome to its canonical byte stream."""
+    fitness = genome.fitness if genome.fitness is not None else math.nan
+    parts = [
+        struct.pack(
+            _HEADER_FMT,
+            genome.key,
+            fitness,
+            len(genome.nodes),
+            len(genome.connections),
+        )
+    ]
+    for key in sorted(genome.nodes):
+        node = genome.nodes[key]
+        parts.append(
+            struct.pack(
+                _NODE_FMT,
+                node.key,
+                node.bias,
+                node.response,
+                _ACTIVATION_IDS[node.activation],
+                _AGGREGATION_IDS[node.aggregation],
+            )
+        )
+    for key in sorted(genome.connections):
+        conn = genome.connections[key]
+        parts.append(
+            struct.pack(
+                _CONN_FMT,
+                conn.key[0],
+                conn.key[1],
+                conn.weight,
+                1 if conn.enabled else 0,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_genome(data: bytes) -> Genome:
+    """Reconstruct a genome from :func:`encode_genome` output."""
+    if len(data) < _HEADER_SIZE:
+        raise ValueError("genome byte stream shorter than header")
+    key, fitness, n_nodes, n_conns = struct.unpack_from(_HEADER_FMT, data, 0)
+    expected = _HEADER_SIZE + _NODE_SIZE * n_nodes + _CONN_SIZE * n_conns
+    if len(data) != expected:
+        raise ValueError(
+            f"genome byte stream length {len(data)} != expected {expected}"
+        )
+    genome = Genome(key)
+    genome.fitness = None if math.isnan(fitness) else fitness
+    offset = _HEADER_SIZE
+    for _ in range(n_nodes):
+        node_key, bias, response, act_id, agg_id = struct.unpack_from(
+            _NODE_FMT, data, offset
+        )
+        offset += _NODE_SIZE
+        try:
+            activation = _ACTIVATION_NAMES[act_id]
+            aggregation = _AGGREGATION_NAMES[agg_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown activation/aggregation id in node {node_key}"
+            ) from None
+        genome.nodes[node_key] = NodeGene(
+            node_key, bias, response, activation, aggregation
+        )
+    for _ in range(n_conns):
+        in_key, out_key, weight, enabled = struct.unpack_from(
+            _CONN_FMT, data, offset
+        )
+        offset += _CONN_SIZE
+        genome.connections[(in_key, out_key)] = ConnectionGene(
+            (in_key, out_key), weight, bool(enabled)
+        )
+    return genome
+
+
+def encode_genomes(genomes: list[Genome]) -> bytes:
+    """Serialise a batch: a count word followed by length-prefixed genomes."""
+    parts = [struct.pack("<i", len(genomes))]
+    for genome in genomes:
+        payload = encode_genome(genome)
+        parts.append(struct.pack("<i", len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_genomes(data: bytes) -> list[Genome]:
+    """Inverse of :func:`encode_genomes`."""
+    (count,) = struct.unpack_from("<i", data, 0)
+    offset = WORD_BYTES
+    genomes = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<i", data, offset)
+        offset += WORD_BYTES
+        genomes.append(decode_genome(data[offset: offset + length]))
+        offset += length
+    if offset != len(data):
+        raise ValueError("trailing bytes after genome batch")
+    return genomes

@@ -1,0 +1,227 @@
+"""Real multiprocess transport: one OS process per simulated Pi.
+
+The logical protocol engines in :mod:`repro.core.protocols` place compute
+and account for communication; this module actually *executes* the heavy
+phases in parallel across worker processes, shipping genomes over pipes in
+the canonical 32-bit wire format of :mod:`repro.cluster.serialization` —
+the same bytes the cost model counts.
+
+Workers are long-lived (started once, fed per-generation commands) to match
+the persistent agents of the paper's testbed. Two command sets are
+supported:
+
+* ``eval``: evaluate a shard of genomes (distributed inference — the heavy
+  phase of CLAN_DCS / CLAN_DDS).
+* ``clan_init`` / ``clan_step``: host an entire clan and run full local
+  generations (CLAN_DDA).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass
+
+from repro.cluster.serialization import decode_genomes, encode_genomes
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult, GenomeEvaluator
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """Command: evaluate a shard of genomes for one generation."""
+
+    genomes_wire: bytes
+    generation: int
+
+
+@dataclass(frozen=True)
+class EvalReply:
+    """Per-genome evaluation outcomes (no genome payloads)."""
+
+    results: tuple[tuple[int, float, int, float, bool], ...]
+
+    def to_fitness_results(self) -> dict[int, FitnessResult]:
+        return {
+            key: FitnessResult(
+                genome_key=key,
+                fitness=fitness,
+                steps=steps,
+                total_reward=reward,
+                solved=solved,
+            )
+            for key, fitness, steps, reward, solved in self.results
+        }
+
+
+def _worker_main(
+    conn,
+    env_id: str,
+    config: NEATConfig,
+    evaluator_seed: int,
+    episodes: int,
+    max_steps: int | None,
+) -> None:
+    """Worker process loop: serve evaluation commands until 'stop'."""
+    evaluator = GenomeEvaluator(
+        env_id, episodes=episodes, max_steps=max_steps, seed=evaluator_seed
+    )
+    clan = None  # lazily created by 'clan_init'
+    try:
+        while True:
+            command, payload = conn.recv()
+            if command == "stop":
+                conn.send(("stopped", None))
+                break
+            elif command == "eval":
+                genomes = decode_genomes(payload.genomes_wire)
+                results = []
+                for genome in genomes:
+                    r = evaluator.evaluate(
+                        genome, config, payload.generation
+                    )
+                    results.append(
+                        (genome.key, r.fitness, r.steps, r.total_reward,
+                         r.solved)
+                    )
+                conn.send(("ok", EvalReply(tuple(results))))
+            elif command == "clan_init":
+                from repro.cluster.worker_clan import WorkerClan
+
+                clan = WorkerClan(
+                    env_id=env_id,
+                    config=config,
+                    evaluator=evaluator,
+                    **payload,
+                )
+                conn.send(("ok", None))
+            elif command == "clan_step":
+                if clan is None:
+                    raise RuntimeError("clan_step before clan_init")
+                summary = clan.run_generation(payload)
+                conn.send(("ok", summary))
+            elif command == "clan_best":
+                if clan is None:
+                    raise RuntimeError("clan_best before clan_init")
+                conn.send(("ok", clan.best_genome_wire()))
+            else:
+                raise ValueError(f"unknown command {command!r}")
+    except Exception:  # pragma: no cover - surfaced to the parent
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """A fleet of agent processes connected by pipes.
+
+    Use as a context manager to guarantee shutdown::
+
+        with WorkerPool(4, "CartPole-v0", config) as pool:
+            replies = pool.evaluate_shards(shards, generation=0)
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        env_id: str,
+        config: NEATConfig,
+        evaluator_seed: int = 0,
+        episodes: int = 1,
+        max_steps: int | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self.env_id = env_id
+        self.config = config
+        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+        self._conns = []
+        self._procs = []
+        for _ in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    env_id,
+                    config,
+                    evaluator_seed,
+                    episodes,
+                    max_steps,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._stopped = False
+
+    # -- commands ----------------------------------------------------------
+
+    def _request(self, worker: int, command: str, payload) -> None:
+        self._conns[worker].send((command, payload))
+
+    def _collect(self, worker: int):
+        status, value = self._conns[worker].recv()
+        if status == "error":
+            raise RuntimeError(
+                f"worker {worker} failed:\n{value}"
+            )
+        return value
+
+    def evaluate_shards(
+        self, shards: list[list], generation: int
+    ) -> list[dict[int, FitnessResult]]:
+        """Evaluate genome shards in parallel; shard i goes to worker i."""
+        if len(shards) > self.n_workers:
+            raise ValueError(
+                f"{len(shards)} shards for {self.n_workers} workers"
+            )
+        active = []
+        for worker, shard in enumerate(shards):
+            if not shard:
+                continue
+            request = EvalRequest(
+                genomes_wire=encode_genomes(shard), generation=generation
+            )
+            self._request(worker, "eval", request)
+            active.append(worker)
+        replies = []
+        for worker in active:
+            reply = self._collect(worker)
+            replies.append(reply.to_fitness_results())
+        return replies
+
+    def broadcast(self, command: str, payloads: list) -> list:
+        """Send one command per worker, collect all replies in order."""
+        if len(payloads) != self.n_workers:
+            raise ValueError("need exactly one payload per worker")
+        for worker, payload in enumerate(payloads):
+            self._request(worker, command, payload)
+        return [self._collect(worker) for worker in range(self.n_workers)]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker, conn in enumerate(self._conns):
+            try:
+                conn.send(("stop", None))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,138 @@
+"""Clan state hosted inside a worker process (real CLAN_DDA backend).
+
+A ``WorkerClan`` is the in-process twin of
+:class:`repro.core.protocols._Clan`: it owns a sub-population, speciates it
+locally, plans and reproduces — the full asynchronous-speciation loop — and
+only ever reports fitness summaries back through the pipe. Kept in its own
+module so worker processes import it lazily without dragging the whole
+``repro.core`` package into the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.serialization import decode_genomes, encode_genome
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.innovation import InnovationTracker
+from repro.neat.reproduction import execute_plan, plan_generation
+from repro.neat.species import SpeciesSet
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class ClanGenerationSummary:
+    """What a clan reports to the centre after one local generation."""
+
+    clan_id: int
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    n_species: int
+    n_members: int
+    solved: bool
+
+
+class WorkerClan:
+    """One clan evolving independently inside a worker process."""
+
+    def __init__(
+        self,
+        env_id: str,
+        config: NEATConfig,
+        evaluator: GenomeEvaluator,
+        clan_id: int,
+        n_clans: int,
+        members_wire: bytes,
+        rng_seed: int,
+        next_genome_key: int,
+        num_outputs: int,
+    ):
+        members = decode_genomes(members_wire)
+        self.env_id = env_id
+        self.clan_id = clan_id
+        self.evaluator = evaluator
+        self.config = config.evolve_with(pop_size=len(members))
+        self.members = {g.key: g for g in members}
+        self.rngs = RngFactory(rng_seed)
+        self.species_set = SpeciesSet(
+            species_id_offset=clan_id, species_id_stride=n_clans
+        )
+        max_node = max(
+            (g.max_node_id() for g in self.members.values()),
+            default=num_outputs - 1,
+        )
+        self.innovation = InnovationTracker(
+            next_node_id=max(max_node + 1, num_outputs),
+            agent_offset=clan_id,
+            agent_stride=n_clans,
+        )
+        self._next_key = next_genome_key
+        self._key_stride = n_clans
+        self._best = None
+
+    def _allocate_key(self) -> int:
+        key = self._next_key
+        self._next_key += self._key_stride
+        return key
+
+    def run_generation(self, generation: int) -> ClanGenerationSummary:
+        """One full local generation: I -> S -> plan -> R."""
+        solved = False
+        for genome in self.members.values():
+            result = self.evaluator.evaluate(
+                genome, self.config, generation
+            )
+            genome.fitness = result.fitness
+            solved = solved or result.solved
+
+        best = max(
+            self.members.values(), key=lambda g: (g.fitness, -g.key)
+        )
+        if self._best is None or best.fitness > self._best.fitness:
+            self._best = best.copy()
+        mean = sum(g.fitness for g in self.members.values()) / len(
+            self.members
+        )
+
+        stats = self.species_set.speciate(
+            self.members,
+            generation,
+            self.config,
+            self.rngs.get(f"speciate:{generation}"),
+        )
+        plan = plan_generation(
+            self.config,
+            self.species_set,
+            generation,
+            self.rngs.get(f"plan:{generation}"),
+            self._allocate_key,
+        )
+        next_members, _repro = execute_plan(
+            plan,
+            self.members,
+            self.config,
+            lambda spec: self.rngs.get(
+                f"child:{generation}:{spec.child_key}"
+            ),
+            self.innovation,
+        )
+        self.members = next_members
+        self.innovation.advance_generation()
+
+        return ClanGenerationSummary(
+            clan_id=self.clan_id,
+            generation=generation,
+            best_fitness=best.fitness,
+            mean_fitness=mean,
+            n_species=stats.n_species,
+            n_members=len(self.members),
+            solved=solved,
+        )
+
+    def best_genome_wire(self) -> bytes:
+        """The clan's best-ever genome, serialised (for final collection)."""
+        if self._best is None:
+            raise RuntimeError("no generation has run yet")
+        return encode_genome(self._best)

@@ -1,0 +1,45 @@
+"""CLAN — Collaborative Learning using Asynchronous Neuroevolution.
+
+The paper's contribution: three arrangements of the NEAT compute blocks
+(Inference I, Reproduction R, Speciation S) over a centre + agents cluster,
+named ``CLAN_<IRS>``:
+
+* :class:`~repro.core.protocols.CLAN_DCS` — Distributed inference, Central
+  reproduction, Synchronous speciation.
+* :class:`~repro.core.protocols.CLAN_DDS` — Distributed inference and
+  reproduction, Synchronous speciation.
+* :class:`~repro.core.protocols.CLAN_DDA` — Distributed inference and
+  reproduction, Asynchronous speciation over independent clans.
+
+:mod:`repro.core.driver` wires a protocol to a workload and a cluster model;
+:mod:`repro.core.adaptive` implements the paper's Fig 1 closed loop
+(deploy expert, watch fitness, relearn on drift).
+"""
+
+from repro.core.messages import Message, MessageType
+from repro.core.metrics import GenerationRecord, RunResult
+from repro.core.protocols import (
+    CLAN_DCS,
+    CLAN_DDA,
+    CLAN_DDS,
+    SerialNEAT,
+    make_protocol,
+)
+from repro.core.driver import ClanDriver, ClusterSpec
+from repro.core.adaptive import AdaptiveAgent, AdaptiveLoopResult
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "GenerationRecord",
+    "RunResult",
+    "SerialNEAT",
+    "CLAN_DCS",
+    "CLAN_DDS",
+    "CLAN_DDA",
+    "make_protocol",
+    "ClanDriver",
+    "ClusterSpec",
+    "AdaptiveAgent",
+    "AdaptiveLoopResult",
+]

@@ -1,0 +1,172 @@
+"""The paper's Fig 1 closed loop: deploy, monitor fitness, relearn on drift.
+
+An :class:`AdaptiveAgent` owns a deployed expert (a NEAT genome compiled to
+a network). Every episode it performs the task and accumulates reward; when
+the rolling fitness falls below a threshold — because the task or the
+environment changed — the agent invokes collaborative learning (any CLAN
+protocol) to evolve a new expert, then resumes inference with it. This is
+the "Learning on autonomous agents" path of Fig 1, with zero cloud
+interaction.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster.analytic import ClusterSpec
+from repro.core.driver import ClanDriver, TimedRun
+from repro.envs.base import Environment, rollout
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class AdaptiveLoopResult:
+    """What happened over one monitoring window."""
+
+    episodes: int = 0
+    relearn_events: int = 0
+    episode_fitness: list[float] = field(default_factory=list)
+    relearn_episodes: list[int] = field(default_factory=list)
+    learning_runs: list[TimedRun] = field(default_factory=list)
+
+    @property
+    def final_fitness(self) -> float:
+        return self.episode_fitness[-1] if self.episode_fitness else 0.0
+
+
+class AdaptiveAgent:
+    """Closed-loop continuous learner (paper Fig 1).
+
+    Parameters
+    ----------
+    env:
+        The deployment environment. The *caller* may mutate it between
+        episodes (e.g. change physics constants) to model environment
+        drift; the agent only observes the fitness consequences.
+    cluster:
+        Cluster available for collaborative relearning.
+    fitness_threshold:
+        Rolling mean fitness below which relearning is triggered.
+    window:
+        Number of recent episodes in the rolling fitness estimate.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: ClusterSpec,
+        fitness_threshold: float,
+        window: int = 5,
+        protocol: str = "CLAN_DDA",
+        config: NEATConfig | None = None,
+        seed: int = 0,
+        relearn_generations: int = 50,
+        relearn_target: float | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.env = env
+        self.cluster = cluster
+        self.fitness_threshold = fitness_threshold
+        self.window = window
+        self.protocol = protocol
+        self.config = config or NEATConfig.for_env(env.env_id)
+        self.seed = seed
+        self.relearn_generations = relearn_generations
+        self.relearn_target = (
+            relearn_target if relearn_target is not None else fitness_threshold
+        )
+        self.expert: Genome | None = None
+        self._network: FeedForwardNetwork | None = None
+        self._recent: deque[float] = deque(maxlen=window)
+        self._relearn_count = 0
+
+    # -- expert management -------------------------------------------------
+
+    def deploy(self, expert: Genome) -> None:
+        """Install a trained expert (the Fig 1 'Deployment' arrow)."""
+        self.expert = expert
+        self._network = FeedForwardNetwork.create(expert, self.config)
+        self._recent.clear()
+
+    @property
+    def rolling_fitness(self) -> float:
+        """Mean fitness over the recent window (inf when no data yet)."""
+        if not self._recent:
+            return float("inf")
+        return sum(self._recent) / len(self._recent)
+
+    def needs_relearning(self) -> bool:
+        """Fig 1 decision diamond: has the expert deteriorated?"""
+        return (
+            len(self._recent) >= self.window
+            and self.rolling_fitness < self.fitness_threshold
+        )
+
+    # -- the closed loop ----------------------------------------------------
+
+    def run_episode(self, seed: int | None = None) -> float:
+        """Perform the task once with the deployed expert; track fitness."""
+        if self._network is None:
+            raise RuntimeError("no expert deployed; call deploy() or learn()")
+        result = rollout(self.env, self._network.policy, seed=seed)
+        self._recent.append(result.fitness)
+        return result.fitness
+
+    def learn(self) -> TimedRun:
+        """Invoke collaborative learning and deploy the new expert.
+
+        Learning happens inside a *copy of the deployed environment* — if
+        the physics drifted, the new expert is evolved against the drifted
+        dynamics, not the pristine registry environment.
+        """
+        self._relearn_count += 1
+        seed = self.seed + 1000 * self._relearn_count
+        evaluator = GenomeEvaluator(
+            self.env.env_id,
+            seed=RngFactory(seed).seed_for("episodes") % (2**31),
+            env_factory=lambda: copy.deepcopy(self.env),
+        )
+        driver = ClanDriver(
+            self.env.env_id,
+            self.cluster,
+            protocol=self.protocol,
+            config=self.config,
+            seed=seed,
+            evaluator=evaluator,
+        )
+        run = driver.learn(
+            max_generations=self.relearn_generations,
+            fitness_threshold=self.relearn_target,
+        )
+        if run.best_genome is None:
+            raise RuntimeError("learning produced no genome")
+        self.deploy(run.best_genome)
+        return run
+
+    def live(
+        self, episodes: int, episode_seed_base: int = 0
+    ) -> AdaptiveLoopResult:
+        """Run the full Fig 1 loop for ``episodes`` task executions.
+
+        If no expert is deployed yet, one is learned first (not counted as
+        a relearn event).
+        """
+        outcome = AdaptiveLoopResult()
+        if self._network is None:
+            outcome.learning_runs.append(self.learn())
+        for episode in range(episodes):
+            fitness = self.run_episode(seed=episode_seed_base + episode)
+            outcome.episodes += 1
+            outcome.episode_fitness.append(fitness)
+            if self.needs_relearning():
+                outcome.relearn_events += 1
+                outcome.relearn_episodes.append(episode)
+                outcome.learning_runs.append(self.learn())
+        return outcome

@@ -1,0 +1,111 @@
+"""Top-level CLAN API: run a protocol on a workload over a modelled cluster.
+
+``ClanDriver`` glues the three layers together: a protocol engine (what is
+computed where), a cluster spec (devices + link) and the analytic timing
+model (how long it takes). This is the entry point the examples and most
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.analytic import (
+    ClusterSpec,
+    TimingBreakdown,
+    mean_generation_time,
+    time_run,
+)
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.core.metrics import RunResult
+from repro.core.protocols import make_protocol
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+
+
+@dataclass
+class TimedRun:
+    """A protocol run together with its modelled wall-clock cost."""
+
+    result: RunResult
+    timing_total: TimingBreakdown
+    timing_per_generation: TimingBreakdown
+    best_genome: Genome | None
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    @property
+    def generations(self) -> int:
+        return self.result.generations
+
+
+class ClanDriver:
+    """Run CLAN on a workload and report both outcome and modelled time.
+
+    >>> from repro.core import ClanDriver
+    >>> from repro.cluster.analytic import ClusterSpec
+    >>> driver = ClanDriver("CartPole-v0", ClusterSpec.of_pis(4),
+    ...                     protocol="CLAN_DDA", pop_size=40, seed=1)
+    >>> run = driver.learn(max_generations=3, fitness_threshold=1e9)
+    >>> run.generations
+    3
+    """
+
+    def __init__(
+        self,
+        env_id: str,
+        cluster: ClusterSpec,
+        protocol: str = "CLAN_DDA",
+        config: NEATConfig | None = None,
+        pop_size: int | None = None,
+        seed: int = 0,
+        max_steps: int | None = None,
+        **protocol_kwargs,
+    ):
+        if config is None:
+            overrides = {}
+            if pop_size is not None:
+                overrides["pop_size"] = pop_size
+            config = NEATConfig.for_env(env_id, **overrides)
+        elif pop_size is not None and config.pop_size != pop_size:
+            raise ValueError(
+                "pass either config or pop_size, not conflicting values"
+            )
+        self.env_id = env_id
+        self.cluster = cluster
+        self.protocol_name = protocol
+        self.config = config
+        self.seed = seed
+        self.engine = make_protocol(
+            protocol,
+            env_id,
+            n_agents=cluster.n_agents,
+            config=config,
+            seed=seed,
+            max_steps=max_steps,
+            **protocol_kwargs,
+        )
+        self._pi_env_step_s = pi_env_step_seconds(env_id)
+
+    def learn(
+        self,
+        max_generations: int = 100,
+        fitness_threshold: float | None = None,
+    ) -> TimedRun:
+        """Evolve until convergence (or budget), then time the run."""
+        result = self.engine.run(
+            max_generations=max_generations,
+            fitness_threshold=fitness_threshold,
+        )
+        total = time_run(result.records, self.cluster, self._pi_env_step_s)
+        per_generation = mean_generation_time(
+            result.records, self.cluster, self._pi_env_step_s
+        )
+        return TimedRun(
+            result=result,
+            timing_total=total,
+            timing_per_generation=per_generation,
+            best_genome=self.engine.best_genome,
+        )

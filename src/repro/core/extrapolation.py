@@ -1,0 +1,152 @@
+"""Scaling-curve extrapolation (the paper's Fig 9 methodology).
+
+The paper's testbed stops at 15 Pis; to ask "how far can we push before
+adding nodes stops helping, or a serial implementation wins?", the authors
+fit the observed inference/evolution/communication trends and extrapolate
+to 100 units. This module mirrors that: measured per-generation times at
+testbed scales are fitted to the structural form
+
+    t(n) = a / n + b + c * n**2
+
+(``a/n``: population-level-parallel compute; ``b``: serial blocks and
+constant message payloads; ``c * n**2``: per-phase synchronisation, see
+:mod:`repro.cluster.analytic`), then extrapolated, and the two questions
+the paper answers are answered: where does the curve stop improving
+(stagnation), and where does a serial implementation become preferable
+(crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Fitted t(n) = a/n + b + c*n^2."""
+
+    a: float
+    b: float
+    c: float
+    residual: float
+
+    def predict(self, n: float) -> float:
+        if n < 1:
+            raise ValueError("node count must be >= 1")
+        return self.a / n + self.b + self.c * n * n
+
+    def predict_many(self, ns: list[int]) -> list[float]:
+        return [self.predict(n) for n in ns]
+
+    def stagnation_point(self, n_max: int = 200) -> int:
+        """Smallest n in [1, n_max] minimising t(n) (integer scan)."""
+        best_n, best_t = 1, self.predict(1)
+        for n in range(2, n_max + 1):
+            t = self.predict(n)
+            if t < best_t - 1e-12:
+                best_n, best_t = n, t
+        return best_n
+
+    def crossover_with(self, serial_time: float, n_max: int = 500) -> int | None:
+        """Smallest n > 1 where the distributed curve exceeds ``serial_time``.
+
+        Returns ``None`` if the curve stays below serial through ``n_max``.
+        Scanning starts past the curve's minimum so an initially-worse
+        region near n=1 (where parallelism hasn't paid off yet) is not
+        mistaken for the at-scale crossover.
+        """
+        start = max(self.stagnation_point(n_max), 2)
+        for n in range(start, n_max + 1):
+            if self.predict(n) > serial_time:
+                return n
+        return None
+
+
+def fit_scaling_curve(
+    node_counts: list[int], times_s: list[float]
+) -> ScalingFit:
+    """Least-squares fit of t(n) = a/n + b + c*n^2 to measurements.
+
+    Requires at least three distinct node counts (three basis functions).
+    The ``a`` and ``c`` coefficients are clamped to be non-negative (both
+    are physically non-negative; tiny negative values from noise would
+    produce absurd extrapolations at n=100).
+    """
+    if len(node_counts) != len(times_s):
+        raise ValueError("node_counts and times_s must have equal length")
+    if len(set(node_counts)) < 3:
+        raise ValueError("need at least three distinct node counts to fit")
+    if any(n < 1 for n in node_counts):
+        raise ValueError("node counts must be >= 1")
+
+    ns = np.asarray(node_counts, dtype=float)
+    ts = np.asarray(times_s, dtype=float)
+    basis = np.column_stack([1.0 / ns, np.ones_like(ns), ns * ns])
+    coeffs, _res, _rank, _sv = np.linalg.lstsq(basis, ts, rcond=None)
+    a, b, c = coeffs
+
+    # clamp and refit the remaining coefficients if needed
+    if a < 0 or c < 0:
+        keep = [
+            i
+            for i, coeff in enumerate((a, b, c))
+            if not (i == 0 and a < 0) and not (i == 2 and c < 0)
+        ]
+        sub = basis[:, keep]
+        sub_coeffs, _r, _rk, _s = np.linalg.lstsq(sub, ts, rcond=None)
+        full = [0.0, 0.0, 0.0]
+        for index, coeff in zip(keep, sub_coeffs):
+            full[index] = float(coeff)
+        a, b, c = full
+        a = max(a, 0.0)
+        c = max(c, 0.0)
+
+    predicted = a / ns + b + c * ns * ns
+    residual = float(np.sqrt(np.mean((predicted - ts) ** 2)))
+    return ScalingFit(a=float(a), b=float(b), c=float(c), residual=residual)
+
+
+@dataclass(frozen=True)
+class ExtrapolationStudy:
+    """One Fig 9 panel: two configurations extrapolated against serial."""
+
+    serial_time_s: float
+    fits: dict[str, ScalingFit]
+    grid: tuple[int, ...]
+
+    def curves(self) -> dict[str, list[float]]:
+        """Predicted total time per configuration over the grid."""
+        return {
+            name: fit.predict_many(list(self.grid))
+            for name, fit in self.fits.items()
+        }
+
+    def crossovers(self, n_max: int = 500) -> dict[str, int | None]:
+        """Node count where each configuration loses to serial."""
+        return {
+            name: fit.crossover_with(self.serial_time_s, n_max)
+            for name, fit in self.fits.items()
+        }
+
+    def stagnation_points(self, n_max: int = 200) -> dict[str, int]:
+        return {
+            name: fit.stagnation_point(n_max) for name, fit in self.fits.items()
+        }
+
+    def mean_advantage(
+        self, better: str, worse: str, up_to: int | None = None
+    ) -> float:
+        """Average t_worse / t_better across the grid (paper's "2x better")."""
+        limit = up_to if up_to is not None else max(self.grid)
+        ratios = []
+        for n in self.grid:
+            if n > limit:
+                continue
+            ratios.append(
+                self.fits[worse].predict(n) / self.fits[better].predict(n)
+            )
+        if not ratios:
+            raise ValueError("no grid points within limit")
+        return float(np.mean(ratios))

@@ -1,0 +1,88 @@
+"""Protocol message taxonomy.
+
+The categories are exactly the legend of the paper's Fig 4 communication
+breakdown: genomes out for inference, fitness back, spawn counts, parent
+lists, parent genomes and formed children. Every protocol engine logs
+:class:`Message` instances; cost models only ever aggregate them, so the
+wire accounting is defined in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cluster.serialization import WORD_BYTES
+
+#: node id of the central coordinator in message logs
+CENTER = -1
+
+
+class MessageType(Enum):
+    """Fig 4 legend entries."""
+
+    #: centre -> agent: genomes shipped for inference (CLAN_DCS) or the
+    #: one-off initial clan distribution (CLAN_DDA, generation 0)
+    SENDING_GENOMES = "Sending Genomes"
+    #: agent -> centre: one float per evaluated genome
+    SENDING_FITNESS = "Sending Fitness"
+    #: centre -> agent: per-species spawn counts (generation plan)
+    SENDING_SPAWN_COUNT = "Sending Spawn Count"
+    #: centre -> agent: per-child parent picks (generation plan)
+    SENDING_PARENT_LIST = "Sending Parent List"
+    #: centre -> agent: parent genome payloads for distributed reproduction
+    SENDING_PARENT_GENOMES = "Sending Parent Genomes"
+    #: agent -> centre: formed children for synchronous speciation
+    SENDING_CHILDREN = "Sending Children"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical transfer between two cluster nodes.
+
+    ``n_floats`` is the paper's Fig 4 unit ("number of floating point
+    values transferred", i.e. 32-bit words); ``n_genes`` counts whole genes
+    for gene-level accounting. ``n_units`` is the number of individual
+    network sends the logical transfer comprises — the prototype the paper
+    measures ships genomes one socket write at a time, so a shard of k
+    genomes pays k per-message overheads (this is what makes communication
+    the dominant share for small workloads, Fig 8).
+    """
+
+    msg_type: MessageType
+    src: int
+    dst: int
+    n_floats: int
+    n_genes: int = 0
+    n_units: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_floats < 0 or self.n_genes < 0:
+            raise ValueError("message sizes cannot be negative")
+        if self.n_units < 1:
+            raise ValueError("a message comprises at least one send")
+        if self.src == self.dst:
+            raise ValueError("message source and destination are equal")
+
+    @property
+    def n_bytes(self) -> int:
+        """Wire footprint in bytes (32-bit words)."""
+        return self.n_floats * WORD_BYTES
+
+    @property
+    def downlink(self) -> bool:
+        """True for centre -> agent transfers."""
+        return self.src == CENTER
+
+
+def total_floats(messages: list[Message]) -> int:
+    """Total 32-bit words across ``messages``."""
+    return sum(m.n_floats for m in messages)
+
+
+def breakdown_by_type(messages: list[Message]) -> dict[MessageType, int]:
+    """Fig 4 aggregation: floats transferred per message category."""
+    out: dict[MessageType, int] = {t: 0 for t in MessageType}
+    for message in messages:
+        out[message.msg_type] += message.n_floats
+    return out

@@ -1,0 +1,119 @@
+"""Per-generation records and run summaries for the CLAN protocols.
+
+A :class:`GenerationRecord` captures everything a timing model needs about
+one distributed generation: how much of each compute block ran where, and
+every message that crossed the network. Records are produced by the
+protocol engines (:mod:`repro.core.protocols`) and by the placement cost
+model (:mod:`repro.core.placement`), and consumed by the analytic timing
+model and the discrete-event simulator in :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import Message, MessageType, breakdown_by_type
+
+
+@dataclass
+class AgentLoad:
+    """Compute placed on one agent during one generation (cost units)."""
+
+    #: forward-pass work: sum over evaluated genomes of genes * steps
+    inference_gene_ops: int = 0
+    #: environment simulation steps executed
+    env_steps: int = 0
+    #: child-formation work in gene-ops (CLAN_DDS / CLAN_DDA)
+    reproduction_gene_ops: int = 0
+    #: distance-comparison work in gene-ops (CLAN_DDA clans)
+    speciation_gene_ops: int = 0
+    #: genomes evaluated on this agent
+    genomes_evaluated: int = 0
+
+    def total_gene_ops(self) -> int:
+        return (
+            self.inference_gene_ops
+            + self.reproduction_gene_ops
+            + self.speciation_gene_ops
+        )
+
+
+@dataclass
+class GenerationRecord:
+    """One distributed generation: placement of compute + all messages."""
+
+    generation: int
+    protocol: str
+    n_agents: int
+    # per-agent placed compute, index = agent id (0..n_agents-1)
+    agent_loads: list[AgentLoad] = field(default_factory=list)
+    # compute blocks that ran on the centre
+    center_speciation_gene_ops: int = 0
+    center_reproduction_gene_ops: int = 0
+    center_planning_ops: int = 0
+    messages: list[Message] = field(default_factory=list)
+    # population-level outcome (mirrors neat GenerationStats)
+    best_fitness: float = float("-inf")
+    mean_fitness: float = 0.0
+    n_species: int = 0
+    population_size: int = 0
+    solved: bool = False
+
+    def comm_floats(self) -> int:
+        """Total 32-bit words transferred this generation."""
+        return sum(m.n_floats for m in self.messages)
+
+    def comm_breakdown(self) -> dict[MessageType, int]:
+        """Fig 4 aggregation for this generation."""
+        return breakdown_by_type(self.messages)
+
+    def total_inference_gene_ops(self) -> int:
+        return sum(load.inference_gene_ops for load in self.agent_loads)
+
+    def total_env_steps(self) -> int:
+        return sum(load.env_steps for load in self.agent_loads)
+
+    def total_evolution_gene_ops(self) -> int:
+        """All non-inference gene-ops, wherever they ran."""
+        distributed = sum(
+            load.reproduction_gene_ops + load.speciation_gene_ops
+            for load in self.agent_loads
+        )
+        return (
+            distributed
+            + self.center_speciation_gene_ops
+            + self.center_reproduction_gene_ops
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of a multi-generation protocol run."""
+
+    protocol: str
+    env_id: str
+    n_agents: int
+    records: list[GenerationRecord] = field(default_factory=list)
+    converged: bool = False
+    generations_to_converge: int | None = None
+    best_fitness: float = float("-inf")
+
+    @property
+    def generations(self) -> int:
+        return len(self.records)
+
+    def total_comm_floats(self) -> int:
+        return sum(r.comm_floats() for r in self.records)
+
+    def comm_breakdown(self) -> dict[MessageType, int]:
+        """Fig 4 aggregation across the whole run."""
+        totals: dict[MessageType, int] = {t: 0 for t in MessageType}
+        for record in self.records:
+            for msg_type, floats in record.comm_breakdown().items():
+                totals[msg_type] += floats
+        return totals
+
+    def mean_comm_floats_per_generation(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.total_comm_floats() / len(self.records)

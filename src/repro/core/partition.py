@@ -1,0 +1,57 @@
+"""Population/agent partitioning helpers.
+
+All CLAN protocols shard work across agents round-robin over sorted genome
+keys: deterministic, balanced to within one item, and independent of dict
+iteration order (which matters for cross-process reproducibility).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def round_robin(items: Sequence[T], n_shards: int) -> list[list[T]]:
+    """Deal ``items`` into ``n_shards`` lists, round-robin.
+
+    >>> round_robin([1, 2, 3, 4, 5], 2)
+    [[1, 3, 5], [2, 4]]
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    shards: list[list[T]] = [[] for _ in range(n_shards)]
+    for index, item in enumerate(items):
+        shards[index % n_shards].append(item)
+    return shards
+
+
+def contiguous_blocks(items: Sequence[T], n_shards: int) -> list[list[T]]:
+    """Split ``items`` into ``n_shards`` contiguous, near-equal blocks.
+
+    Sizes differ by at most one; used for clan formation in CLAN_DDA where
+    each clan must be a stable, contiguous sub-population.
+
+    >>> contiguous_blocks([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    base, extra = divmod(len(items), n_shards)
+    blocks: list[list[T]] = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        blocks.append(list(items[start: start + size]))
+        start += size
+    return blocks
+
+
+def assign_genomes(
+    genome_keys: Iterable[int], n_agents: int
+) -> dict[int, int]:
+    """Map genome key -> agent id, round-robin over sorted keys."""
+    mapping: dict[int, int] = {}
+    for index, key in enumerate(sorted(genome_keys)):
+        mapping[key] = index % n_agents
+    return mapping

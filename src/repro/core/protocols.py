@@ -1,0 +1,757 @@
+"""The CLAN protocol engines (paper Fig 2).
+
+Each engine runs real NEAT while logging where every compute block executes
+and every message that would cross the WiFi network, producing one
+:class:`~repro.core.metrics.GenerationRecord` per generation. Engines are
+*logical* distributed executions: the algorithm, placement and communication
+are exact, while wall-clock time is assigned later by the cluster timing
+models (:mod:`repro.cluster.analytic` / :mod:`repro.cluster.simulator`).
+A physically parallel backend with one OS process per agent lives in
+:mod:`repro.cluster.runtime` and reuses these same engines.
+
+Design note — placement-independent evolution: child genomes are formed
+from RNG streams keyed by ``(seed, generation, child key)`` (see
+:meth:`repro.neat.population.Population.child_rng_for_generation`), so
+SerialNEAT, CLAN_DCS and CLAN_DDS produce *bit-identical* populations for
+the same seed. Distribution changes who computes, not what is computed —
+the tests assert this. CLAN_DDA genuinely changes the algorithm
+(asynchronous speciation over clans), which is why the paper studies its
+convergence cost separately (Fig 7b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.messages import CENTER, Message, MessageType
+from repro.core.metrics import AgentLoad, GenerationRecord, RunResult
+from repro.core.partition import assign_genomes, contiguous_blocks
+from repro.cluster.serialization import genome_wire_floats
+from repro.envs.registry import workload_spec
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult, GenomeEvaluator
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.population import Population
+from repro.neat.reproduction import (
+    GenerationPlan,
+    execute_plan,
+    make_child,
+    plan_generation,
+)
+from repro.neat.species import SpeciesSet
+from repro.utils.rng import RngFactory
+
+#: 32-bit words per reported fitness entry: (genome key, fitness)
+FITNESS_ENTRY_FLOATS = 2
+#: 32-bit words per spawn-count entry: (species key, count)
+SPAWN_ENTRY_FLOATS = 2
+#: 32-bit words per child spec on the wire: (child, species, parent1,
+#: parent2-or-sentinel)
+CHILD_SPEC_FLOATS = 4
+
+
+class ProtocolBase:
+    """Shared engine scaffolding: evaluator, config, convergence tracking."""
+
+    name = "Base"
+
+    def __init__(
+        self,
+        env_id: str,
+        n_agents: int,
+        config: NEATConfig | None = None,
+        seed: int = 0,
+        max_steps: int | None = None,
+        episodes: int = 1,
+        evaluator: GenomeEvaluator | None = None,
+    ):
+        if n_agents < 1:
+            raise ValueError("n_agents must be >= 1")
+        self.env_id = env_id
+        self.n_agents = n_agents
+        self.config = config or NEATConfig.for_env(env_id)
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        # an injected evaluator (e.g. a shared cache for n-sweeps) must be
+        # seeded identically to the default one or trajectories change
+        self.evaluator = evaluator or self.default_evaluator(
+            env_id, seed, episodes=episodes, max_steps=max_steps
+        )
+        self.solved_threshold = workload_spec(env_id).solved_threshold
+        self.generation = 0
+        self.records: list[GenerationRecord] = []
+        self.best_fitness = float("-inf")
+        self.best_genome: Genome | None = None
+
+    @staticmethod
+    def default_evaluator(
+        env_id: str,
+        seed: int,
+        episodes: int = 1,
+        max_steps: int | None = None,
+    ) -> GenomeEvaluator:
+        """The evaluator a protocol seeded with ``seed`` would build."""
+        return GenomeEvaluator(
+            env_id,
+            episodes=episodes,
+            max_steps=max_steps,
+            seed=RngFactory(seed).seed_for("episodes") % (2**31),
+        )
+
+    # -- template methods -----------------------------------------------------
+
+    def run_generation(self) -> GenerationRecord:
+        raise NotImplementedError
+
+    def run(
+        self,
+        max_generations: int,
+        fitness_threshold: float | None = None,
+    ) -> RunResult:
+        """Run generations until convergence or the budget expires.
+
+        ``fitness_threshold`` defaults to the workload's gym convergence
+        criterion.
+        """
+        threshold = (
+            self.solved_threshold
+            if fitness_threshold is None
+            else fitness_threshold
+        )
+        result = RunResult(
+            protocol=self.name, env_id=self.env_id, n_agents=self.n_agents
+        )
+        for _ in range(max_generations):
+            record = self.run_generation()
+            result.records.append(record)
+            if record.best_fitness >= threshold:
+                result.converged = True
+                result.generations_to_converge = record.generation + 1
+                break
+        result.best_fitness = self.best_fitness
+        return result
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _new_record(self) -> GenerationRecord:
+        return GenerationRecord(
+            generation=self.generation,
+            protocol=self.name,
+            n_agents=self.n_agents,
+            agent_loads=[AgentLoad() for _ in range(self.n_agents)],
+        )
+
+    def _note_best(self, genome: Genome) -> None:
+        if genome.fitness is not None and genome.fitness > self.best_fitness:
+            self.best_fitness = genome.fitness
+            self.best_genome = genome.copy()
+
+    def _evaluate_on_agent(
+        self,
+        genome: Genome,
+        load: AgentLoad,
+        generation: int,
+    ) -> FitnessResult:
+        """Evaluate one genome, charging the work to ``load``."""
+        result = self.evaluator.evaluate(genome, self.config, generation)
+        load.inference_gene_ops += genome.gene_count() * max(result.steps, 1)
+        load.env_steps += result.steps
+        load.genomes_evaluated += 1
+        return result
+
+
+class SerialNEAT(ProtocolBase):
+    """Baseline: everything on a single device, zero communication."""
+
+    name = "Serial"
+
+    def __init__(self, env_id: str, **kwargs):
+        kwargs.setdefault("n_agents", 1)
+        if kwargs["n_agents"] != 1:
+            raise ValueError("SerialNEAT runs on exactly one device")
+        super().__init__(env_id, **kwargs)
+        self.population = Population(self.config, seed=self.seed)
+
+    def run_generation(self) -> GenerationRecord:
+        record = self._new_record()
+        load = record.agent_loads[0]
+
+        def evaluate(genomes, generation):
+            return {
+                g.key: self._evaluate_on_agent(g, load, generation)
+                for g in genomes
+            }
+
+        stats = self.population.run_generation(evaluate)
+        load.speciation_gene_ops = stats.speciation_genes
+        load.reproduction_gene_ops = stats.reproduction_genes
+        record.best_fitness = stats.best_fitness
+        record.mean_fitness = stats.mean_fitness
+        record.n_species = stats.n_species
+        record.population_size = stats.population_size
+        record.solved = stats.solved
+        self._note_best(self.population.best_genome)
+        self.generation += 1
+        self.records.append(record)
+        return record
+
+
+class CLAN_DCS(ProtocolBase):
+    """Distributed inference, Central reproduction, Synchronous speciation.
+
+    Every generation the centre ships each agent its shard of genomes
+    (``Sending Genomes``), agents run inference and return fitness
+    (``Sending Fitness``); speciation, planning and reproduction all happen
+    on the centre (paper Fig 2b).
+    """
+
+    name = "CLAN_DCS"
+
+    def __init__(self, env_id: str, n_agents: int, **kwargs):
+        super().__init__(env_id, n_agents=n_agents, **kwargs)
+        self.population = Population(self.config, seed=self.seed)
+
+    def run_generation(self) -> GenerationRecord:
+        record = self._new_record()
+
+        def evaluate(genomes, generation):
+            by_key = {g.key: g for g in genomes}
+            shard_map = assign_genomes(by_key, self.n_agents)
+            shards: list[list[Genome]] = [[] for _ in range(self.n_agents)]
+            for key, agent in shard_map.items():
+                shards[agent].append(by_key[key])
+            results: dict[int, FitnessResult] = {}
+            for agent, shard in enumerate(shards):
+                if not shard:
+                    continue
+                record.messages.append(
+                    Message(
+                        MessageType.SENDING_GENOMES,
+                        CENTER,
+                        agent,
+                        n_floats=sum(
+                            genome_wire_floats(g) for g in shard
+                        ),
+                        n_genes=sum(g.gene_count() for g in shard),
+                        n_units=len(shard),
+                    )
+                )
+                load = record.agent_loads[agent]
+                for genome in shard:
+                    results[genome.key] = self._evaluate_on_agent(
+                        genome, load, generation
+                    )
+                record.messages.append(
+                    Message(
+                        MessageType.SENDING_FITNESS,
+                        agent,
+                        CENTER,
+                        n_floats=FITNESS_ENTRY_FLOATS * len(shard),
+                        n_units=len(shard),
+                    )
+                )
+            return results
+
+        stats = self.population.run_generation(evaluate)
+        record.center_speciation_gene_ops = stats.speciation_genes
+        record.center_reproduction_gene_ops = stats.reproduction_genes
+        record.center_planning_ops = stats.population_size
+        record.best_fitness = stats.best_fitness
+        record.mean_fitness = stats.mean_fitness
+        record.n_species = stats.n_species
+        record.population_size = stats.population_size
+        record.solved = stats.solved
+        self._note_best(self.population.best_genome)
+        self.generation += 1
+        self.records.append(record)
+        return record
+
+
+class CLAN_DDS(ProtocolBase):
+    """Distributed inference + reproduction, Synchronous speciation.
+
+    Children are formed *on the agents*; because speciation stays
+    synchronous on the centre, every formed child must be shipped back
+    (``Sending Children``) and every chosen parent shipped out
+    (``Sending Parent Genomes``) when not already resident — the repeated
+    back-and-forth the paper identifies as DDS's downfall (Fig 2c, Fig 4).
+    """
+
+    name = "CLAN_DDS"
+
+    def __init__(self, env_id: str, n_agents: int, **kwargs):
+        super().__init__(env_id, n_agents=n_agents, **kwargs)
+        # the centre's algorithm state is a Population (same seed => same
+        # trajectory as SerialNEAT); this engine adds placement on top
+        self.population = Population(self.config, seed=self.seed)
+        #: genome key -> agent currently holding a live copy
+        self.residency: dict[int, int] = assign_genomes(
+            self.population.genomes, self.n_agents
+        )
+        self._initial_distribution_pending = True
+
+    def run_generation(self) -> GenerationRecord:
+        record = self._new_record()
+
+        if self._initial_distribution_pending:
+            self._log_genome_shipment(
+                record,
+                MessageType.SENDING_GENOMES,
+                self.population.genomes,
+                self.residency,
+            )
+            self._initial_distribution_pending = False
+
+        def evaluate(genomes, generation):
+            results: dict[int, FitnessResult] = {}
+            per_agent_counts = [0] * self.n_agents
+            for genome in genomes:
+                agent = self.residency[genome.key]
+                results[genome.key] = self._evaluate_on_agent(
+                    genome, record.agent_loads[agent], generation
+                )
+                per_agent_counts[agent] += 1
+            for agent, count in enumerate(per_agent_counts):
+                if count:
+                    record.messages.append(
+                        Message(
+                            MessageType.SENDING_FITNESS,
+                            agent,
+                            CENTER,
+                            n_floats=FITNESS_ENTRY_FLOATS * count,
+                            n_units=count,
+                        )
+                    )
+            return results
+
+        # Inference (distributed) + Speciation & planning (centre), via the
+        # shared Population loop; reproduction placement is reconstructed
+        # from the plan below.
+        previous_genomes = dict(self.population.genomes)
+        stats = self.population.run_generation(evaluate)
+        plan = self.population.last_plan
+        record.center_speciation_gene_ops = stats.speciation_genes
+        record.center_planning_ops = stats.population_size
+
+        self._place_reproduction(record, plan, previous_genomes)
+
+        record.best_fitness = stats.best_fitness
+        record.mean_fitness = stats.mean_fitness
+        record.n_species = stats.n_species
+        record.population_size = stats.population_size
+        record.solved = stats.solved
+        self._note_best(self.population.best_genome)
+        self.generation += 1
+        self.records.append(record)
+        return record
+
+    # -- placement ---------------------------------------------------------------
+
+    def _log_genome_shipment(
+        self,
+        record: GenerationRecord,
+        msg_type: MessageType,
+        genomes: dict[int, Genome],
+        destination: dict[int, int],
+    ) -> None:
+        """Log centre -> agent genome transfers grouped per agent."""
+        per_agent: dict[int, list[Genome]] = {}
+        for key, genome in genomes.items():
+            per_agent.setdefault(destination[key], []).append(genome)
+        for agent in sorted(per_agent):
+            batch = per_agent[agent]
+            record.messages.append(
+                Message(
+                    msg_type,
+                    CENTER,
+                    agent,
+                    n_floats=sum(genome_wire_floats(g) for g in batch),
+                    n_genes=sum(g.gene_count() for g in batch),
+                    n_units=len(batch),
+                )
+            )
+
+    def _place_reproduction(
+        self,
+        record: GenerationRecord,
+        plan: GenerationPlan,
+        parents_view: dict[int, Genome],
+    ) -> None:
+        """Assign child formation to agents; log the plan/parent traffic."""
+        new_population = self.population.genomes  # already formed
+        child_agents = assign_genomes(
+            [spec.child_key for spec in plan.children], self.n_agents
+        )
+
+        # plan messages: spawn counts + parent lists go to every agent with
+        # work assigned
+        children_per_agent: dict[int, list] = {}
+        for spec in plan.children:
+            children_per_agent.setdefault(
+                child_agents[spec.child_key], []
+            ).append(spec)
+
+        new_residency: dict[int, int] = {}
+        for elite_key in plan.elites:
+            new_residency[elite_key] = self.residency[elite_key]
+
+        for agent in sorted(children_per_agent):
+            specs = children_per_agent[agent]
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_SPAWN_COUNT,
+                    CENTER,
+                    agent,
+                    n_floats=SPAWN_ENTRY_FLOATS * len(plan.spawn_counts),
+                )
+            )
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_PARENT_LIST,
+                    CENTER,
+                    agent,
+                    n_floats=CHILD_SPEC_FLOATS * len(specs),
+                )
+            )
+            # parents not resident on this agent must be shipped there
+            needed: dict[int, Genome] = {}
+            for spec in specs:
+                for parent_key in (spec.parent1_key, spec.parent2_key):
+                    if parent_key is None:
+                        continue
+                    if self.residency.get(parent_key) != agent:
+                        needed[parent_key] = parents_view[parent_key]
+            if needed:
+                record.messages.append(
+                    Message(
+                        MessageType.SENDING_PARENT_GENOMES,
+                        CENTER,
+                        agent,
+                        n_floats=sum(
+                            genome_wire_floats(g) for g in needed.values()
+                        ),
+                        n_genes=sum(
+                            g.gene_count() for g in needed.values()
+                        ),
+                        n_units=len(needed),
+                    )
+                )
+
+            # child formation work on this agent + children shipped back
+            load = record.agent_loads[agent]
+            children_floats = 0
+            children_genes = 0
+            for spec in specs:
+                child = new_population[spec.child_key]
+                genes = (
+                    parents_view[spec.parent1_key].gene_count()
+                    + child.gene_count()
+                )
+                if spec.parent2_key is not None:
+                    genes += parents_view[spec.parent2_key].gene_count()
+                load.reproduction_gene_ops += genes
+                children_floats += genome_wire_floats(child)
+                children_genes += child.gene_count()
+                new_residency[spec.child_key] = agent
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_CHILDREN,
+                    agent,
+                    CENTER,
+                    n_floats=children_floats,
+                    n_genes=children_genes,
+                    n_units=len(specs),
+                )
+            )
+
+        self.residency = new_residency
+
+
+class CLAN_DDA(ProtocolBase):
+    """Distributed inference + reproduction, Asynchronous speciation.
+
+    The population is split once into ``n_agents`` clans; each agent runs
+    the full NEAT loop (I, S, planning, R) on its clan independently and
+    only reports fitness to the centre. Genomes cross the network exactly
+    once, at initialisation — the paper's key communication saving
+    (Fig 2d, Fig 4). Optional ``resync_period`` implements the "periodic
+    global speciation" the paper flags as future work: every k generations
+    all clans are gathered, re-partitioned and redistributed.
+    """
+
+    name = "CLAN_DDA"
+
+    def __init__(
+        self,
+        env_id: str,
+        n_agents: int,
+        resync_period: int | None = None,
+        **kwargs,
+    ):
+        super().__init__(env_id, n_agents=n_agents, **kwargs)
+        if self.config.pop_size < 2 * n_agents:
+            raise ValueError(
+                f"population of {self.config.pop_size} cannot form "
+                f"{n_agents} clans of >= 2 members"
+            )
+        if resync_period is not None and resync_period < 1:
+            raise ValueError("resync_period must be >= 1")
+        self.resync_period = resync_period
+
+        # centre builds the same initial population as serial NEAT, then
+        # partitions it into contiguous clans
+        seed_population = Population(self.config, seed=self.seed)
+        initial = seed_population.genomes
+        blocks = contiguous_blocks(sorted(initial), n_agents)
+
+        self._clans: list[_Clan] = []
+        self._initial_distribution_pending = True
+        self._initial_blocks = blocks
+        self._all_initial = initial
+        next_key = self.config.pop_size
+        for clan_id, block in enumerate(blocks):
+            members = {key: initial[key] for key in block}
+            self._clans.append(
+                _Clan(
+                    clan_id=clan_id,
+                    n_clans=n_agents,
+                    members=members,
+                    config=self.config.evolve_with(pop_size=len(block)),
+                    rngs=self.rngs.child(f"clan:{clan_id}"),
+                    next_genome_key=next_key + clan_id,
+                    genome_key_stride=n_agents,
+                    num_outputs=self.config.num_outputs,
+                )
+            )
+
+    @property
+    def clan_sizes(self) -> list[int]:
+        return [len(clan.members) for clan in self._clans]
+
+    def run_generation(self) -> GenerationRecord:
+        record = self._new_record()
+
+        if self._initial_distribution_pending:
+            for clan_id, block in enumerate(self._initial_blocks):
+                genomes = [self._all_initial[key] for key in block]
+                record.messages.append(
+                    Message(
+                        MessageType.SENDING_GENOMES,
+                        CENTER,
+                        clan_id,
+                        n_floats=sum(
+                            genome_wire_floats(g) for g in genomes
+                        ),
+                        n_genes=sum(g.gene_count() for g in genomes),
+                        n_units=len(genomes),
+                    )
+                )
+            self._initial_distribution_pending = False
+
+        best_fitness = float("-inf")
+        fitness_sum = 0.0
+        total_members = 0
+        n_species = 0
+        solved = False
+        for clan in self._clans:
+            load = record.agent_loads[clan.clan_id]
+            clan_best, clan_sum, clan_solved, clan_species = (
+                clan.run_generation(
+                    self.generation, self, load
+                )
+            )
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_FITNESS,
+                    clan.clan_id,
+                    CENTER,
+                    n_floats=FITNESS_ENTRY_FLOATS * len(clan.members),
+                    n_units=len(clan.members),
+                )
+            )
+            best_fitness = max(best_fitness, clan_best)
+            fitness_sum += clan_sum
+            total_members += len(clan.members)
+            n_species += clan_species
+            solved = solved or clan_solved
+            if clan.best_genome is not None:
+                self._note_best(clan.best_genome)
+
+        if (
+            self.resync_period is not None
+            and self.generation > 0
+            and self.generation % self.resync_period == 0
+        ):
+            self._global_resync(record)
+
+        record.best_fitness = best_fitness
+        record.mean_fitness = fitness_sum / max(total_members, 1)
+        record.n_species = n_species
+        record.population_size = total_members
+        record.solved = solved
+        self.generation += 1
+        self.records.append(record)
+        return record
+
+    def _global_resync(self, record: GenerationRecord) -> None:
+        """Gather all clans, re-partition, redistribute (extension)."""
+        merged: dict[int, Genome] = {}
+        for clan in self._clans:
+            floats = sum(
+                genome_wire_floats(g) for g in clan.members.values()
+            )
+            genes = sum(g.gene_count() for g in clan.members.values())
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_CHILDREN,
+                    clan.clan_id,
+                    CENTER,
+                    n_floats=floats,
+                    n_genes=genes,
+                    n_units=len(clan.members),
+                )
+            )
+            merged.update(clan.members)
+
+        blocks = contiguous_blocks(sorted(merged), self.n_agents)
+        for clan, block in zip(self._clans, blocks):
+            members = {key: merged[key] for key in block}
+            floats = sum(genome_wire_floats(g) for g in members.values())
+            genes = sum(g.gene_count() for g in members.values())
+            record.messages.append(
+                Message(
+                    MessageType.SENDING_GENOMES,
+                    CENTER,
+                    clan.clan_id,
+                    n_floats=floats,
+                    n_genes=genes,
+                    n_units=len(members),
+                )
+            )
+            clan.adopt_members(members)
+
+
+class _Clan:
+    """One agent's independent NEAT loop inside CLAN_DDA."""
+
+    def __init__(
+        self,
+        clan_id: int,
+        n_clans: int,
+        members: dict[int, Genome],
+        config: NEATConfig,
+        rngs: RngFactory,
+        next_genome_key: int,
+        genome_key_stride: int,
+        num_outputs: int,
+    ):
+        self.clan_id = clan_id
+        self.members = members
+        self.config = config
+        self.rngs = rngs
+        self.species_set = SpeciesSet(
+            species_id_offset=clan_id, species_id_stride=n_clans
+        )
+        max_node = max(
+            (genome.max_node_id() for genome in members.values()),
+            default=num_outputs - 1,
+        )
+        self.innovation = InnovationTracker(
+            next_node_id=max(max_node + 1, num_outputs),
+            agent_offset=clan_id,
+            agent_stride=n_clans,
+        )
+        self._next_key = next_genome_key
+        self._key_stride = genome_key_stride
+        self.best_genome: Genome | None = None
+
+    def _allocate_key(self) -> int:
+        key = self._next_key
+        self._next_key += self._key_stride
+        return key
+
+    def adopt_members(self, members: dict[int, Genome]) -> None:
+        """Replace the clan population after a global resync."""
+        self.members = members
+        self.species_set = SpeciesSet(
+            species_id_offset=self.species_set._next_species_id,
+            species_id_stride=self.species_set._stride,
+        )
+        for genome in members.values():
+            self.innovation.observe_node_id(genome.max_node_id())
+        self.config = self.config.evolve_with(pop_size=len(members))
+
+    def run_generation(
+        self,
+        generation: int,
+        protocol: "CLAN_DDA",
+        load: AgentLoad,
+    ) -> tuple[float, float, bool, int]:
+        """One clan-local generation; returns (best, sum, solved, species)."""
+        solved = False
+        for genome in self.members.values():
+            result = protocol._evaluate_on_agent(genome, load, generation)
+            genome.fitness = result.fitness
+            solved = solved or result.solved
+
+        best = max(
+            self.members.values(), key=lambda g: (g.fitness, -g.key)
+        )
+        if (
+            self.best_genome is None
+            or best.fitness > (self.best_genome.fitness or float("-inf"))
+        ):
+            self.best_genome = best.copy()
+        fitness_sum = sum(g.fitness for g in self.members.values())
+
+        speciation_stats = self.species_set.speciate(
+            self.members,
+            generation,
+            self.config,
+            self.rngs.get(f"speciate:{generation}"),
+        )
+        load.speciation_gene_ops += speciation_stats.genes_compared
+
+        plan = plan_generation(
+            self.config,
+            self.species_set,
+            generation,
+            self.rngs.get(f"plan:{generation}"),
+            self._allocate_key,
+        )
+        child_rng: Callable = lambda spec: self.rngs.get(  # noqa: E731
+            f"child:{generation}:{spec.child_key}"
+        )
+        next_members, repro_stats = execute_plan(
+            plan, self.members, self.config, child_rng, self.innovation
+        )
+        load.reproduction_gene_ops += repro_stats.genes_processed
+        self.members = next_members
+        self.innovation.advance_generation()
+        return best.fitness, fitness_sum, solved, speciation_stats.n_species
+
+
+_PROTOCOLS = {
+    "Serial": SerialNEAT,
+    "CLAN_DCS": CLAN_DCS,
+    "CLAN_DDS": CLAN_DDS,
+    "CLAN_DDA": CLAN_DDA,
+}
+
+
+def available_protocols() -> tuple[str, ...]:
+    """Names accepted by :func:`make_protocol`."""
+    return tuple(_PROTOCOLS)
+
+
+def make_protocol(name: str, env_id: str, n_agents: int = 1, **kwargs):
+    """Instantiate a protocol engine by name."""
+    try:
+        cls = _PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(_PROTOCOLS)
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+    if cls is SerialNEAT:
+        return cls(env_id, **kwargs)
+    return cls(env_id, n_agents=n_agents, **kwargs)

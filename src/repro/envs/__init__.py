@@ -1,0 +1,38 @@
+"""Gym-substitute environments.
+
+The paper evaluates on OpenAI gym workloads. This package re-implements the
+required environments from scratch with a gym-compatible API:
+
+* small workloads: :class:`~repro.envs.cartpole.CartPoleEnv`,
+  :class:`~repro.envs.mountaincar.MountainCarEnv`
+* medium workload: :class:`~repro.envs.lunarlander.LunarLanderEnv`
+* large workloads: the Atari-RAM surrogates in :mod:`repro.envs.atari_ram`
+  (AirRaid / Amidar / Alien), synthetic arcade games whose internal state is
+  serialised into a 128-byte RAM observation.
+
+Use :func:`repro.envs.registry.make` to instantiate by gym-style id.
+"""
+
+from repro.envs.base import Environment, EpisodeResult, rollout
+from repro.envs.spaces import Box, Discrete, Space
+from repro.envs.registry import (
+    WORKLOAD_CLASSES,
+    WorkloadSpec,
+    available_env_ids,
+    make,
+    workload_spec,
+)
+
+__all__ = [
+    "Environment",
+    "EpisodeResult",
+    "rollout",
+    "Box",
+    "Discrete",
+    "Space",
+    "make",
+    "available_env_ids",
+    "workload_spec",
+    "WorkloadSpec",
+    "WORKLOAD_CLASSES",
+]

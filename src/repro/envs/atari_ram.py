@@ -1,0 +1,407 @@
+"""Atari-RAM workload surrogates: AirRaid, Amidar and Alien.
+
+The paper's large workloads are Atari 2600 games observed through their
+128-byte console RAM (``*-ram-v0``). A real Atari emulator is out of scope
+and unnecessary for the systems study: what makes these workloads "large" for
+CLAN is (a) the 128-dimensional observation, which forces big genomes and
+therefore big inference and communication costs, and (b) multi-step episodes
+with accumulating score. This module provides three synthetic arcade games
+with exactly those properties:
+
+* :class:`AirRaidRamEnv` — a fixed shooter: bombers descend in columns, the
+  player moves left/right along the bottom and fires upward.
+* :class:`AmidarRamEnv` — paint the lattice: the player walks a grid painting
+  cells while patrollers sweep the board.
+* :class:`AlienRamEnv` — maze dot-collection with pursuing aliens.
+
+Each game serialises its full internal state into a 128-byte RAM image every
+step (entity coordinates, counters, score bytes, lives, frame parity...),
+exactly as a 2600 game would, and exposes the gym RAM convention:
+observation = 128 values in ``[0, 255]`` scaled to ``[0, 1]``, action space
+``Discrete(6)`` (NOOP, FIRE, UP, RIGHT, LEFT, DOWN).
+
+The paper notes Amidar performs equivalently to AirRaid and omits it from
+most plots; we implement all three and follow the same reporting convention
+in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+
+RAM_SIZE = 128
+
+ACTION_NOOP = 0
+ACTION_FIRE = 1
+ACTION_UP = 2
+ACTION_RIGHT = 3
+ACTION_LEFT = 4
+ACTION_DOWN = 5
+
+
+class AtariRamEnv(Environment):
+    """Base class: RAM observation plumbing shared by the three games."""
+
+    solved_threshold = 1000.0
+    n_actions = 6
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self.observation_space = Box([0.0] * RAM_SIZE, [1.0] * RAM_SIZE)
+        self.action_space = Discrete(self.n_actions)
+        self._ram = bytearray(RAM_SIZE)
+        self._score = 0
+        self._lives = 3
+        self._frame = 0
+
+    # -- RAM plumbing -------------------------------------------------------
+
+    def _write_byte(self, addr: int, value: int) -> None:
+        self._ram[addr] = value & 0xFF
+
+    def _write_word(self, addr: int, value: int) -> None:
+        """Little-endian 16-bit write (score counters)."""
+        self._ram[addr] = value & 0xFF
+        self._ram[addr + 1] = (value >> 8) & 0xFF
+
+    def _observation(self) -> tuple[float, ...]:
+        self._encode_ram()
+        return tuple(b / 255.0 for b in self._ram)
+
+    def _encode_common(self) -> None:
+        """Bytes 0-7: frame counter, lives, score — common game header."""
+        self._write_word(0, self._frame)
+        self._write_byte(2, self._lives)
+        self._write_word(3, min(self._score, 0xFFFF))
+        self._write_byte(5, self._frame & 1)
+
+    # -- game hooks ---------------------------------------------------------
+
+    def _encode_ram(self) -> None:
+        raise NotImplementedError
+
+    def _reset_game(self) -> None:
+        raise NotImplementedError
+
+    def _advance(self, action: int) -> tuple[float, bool]:
+        """Advance game logic one frame; return (reward, done)."""
+        raise NotImplementedError
+
+    # -- Environment hooks ---------------------------------------------------
+
+    def _reset(self) -> tuple[float, ...]:
+        self._ram = bytearray(RAM_SIZE)
+        self._score = 0
+        self._lives = 3
+        self._frame = 0
+        self._reset_game()
+        return self._observation()
+
+    def _step(self, action: int):
+        reward, done = self._advance(action)
+        self._frame += 1
+        self._score += int(max(reward, 0))
+        if self._lives <= 0:
+            done = True
+        return self._observation(), reward, done, {"score": self._score}
+
+
+class AirRaidRamEnv(AtariRamEnv):
+    """Fixed shooter on a 16x12 grid.
+
+    Bombers spawn at the top row and descend; the player slides along the
+    bottom row and fires bullets that travel upward two cells per frame.
+    Hitting a bomber scores +25; a bomber reaching the bottom row costs a
+    life. Three lives per episode.
+    """
+
+    env_id = "Airraid-ram-v0"
+
+    WIDTH = 16
+    HEIGHT = 12
+    MAX_BOMBERS = 8
+    MAX_BULLETS = 4
+    SPAWN_PERIOD = 5  # frames between spawn attempts
+    HIT_SCORE = 25.0
+
+    def _reset_game(self) -> None:
+        self._player_x = self.WIDTH // 2
+        self._bombers: list[list[int]] = []  # [x, y]
+        self._bullets: list[list[int]] = []  # [x, y]
+        self._cooldown = 0
+
+    def _advance(self, action: int) -> tuple[float, bool]:
+        reward = 0.0
+
+        if action == ACTION_LEFT:
+            self._player_x = max(0, self._player_x - 1)
+        elif action == ACTION_RIGHT:
+            self._player_x = min(self.WIDTH - 1, self._player_x + 1)
+        elif action == ACTION_FIRE and self._cooldown == 0:
+            if len(self._bullets) < self.MAX_BULLETS:
+                self._bullets.append([self._player_x, self.HEIGHT - 2])
+                self._cooldown = 2
+        self._cooldown = max(0, self._cooldown - 1)
+
+        # bullets travel up two cells per frame
+        for bullet in self._bullets:
+            bullet[1] -= 2
+        self._bullets = [b for b in self._bullets if b[1] >= 0]
+
+        # bombers descend one cell every other frame
+        if self._frame % 2 == 0:
+            for bomber in self._bombers:
+                bomber[1] += 1
+
+        # collisions: bullet meets bomber in the same column within one row
+        surviving = []
+        for bomber in self._bombers:
+            hit = None
+            for bullet in self._bullets:
+                if bullet[0] == bomber[0] and abs(bullet[1] - bomber[1]) <= 1:
+                    hit = bullet
+                    break
+            if hit is not None:
+                self._bullets.remove(hit)
+                reward += self.HIT_SCORE
+            else:
+                surviving.append(bomber)
+        self._bombers = surviving
+
+        # bombers that reach the bottom cost a life
+        landed = [b for b in self._bombers if b[1] >= self.HEIGHT - 1]
+        if landed:
+            self._lives -= len(landed)
+            self._bombers = [
+                b for b in self._bombers if b[1] < self.HEIGHT - 1
+            ]
+
+        if (
+            self._frame % self.SPAWN_PERIOD == 0
+            and len(self._bombers) < self.MAX_BOMBERS
+        ):
+            self._bombers.append([self._rng.randrange(self.WIDTH), 0])
+
+        return reward, False
+
+    def _encode_ram(self) -> None:
+        self._encode_common()
+        self._write_byte(8, self._player_x)
+        self._write_byte(9, len(self._bombers))
+        self._write_byte(10, len(self._bullets))
+        self._write_byte(11, self._cooldown)
+        base = 16
+        for i in range(self.MAX_BOMBERS):
+            if i < len(self._bombers):
+                x, y = self._bombers[i]
+                self._write_byte(base + 2 * i, x + 1)
+                self._write_byte(base + 2 * i + 1, y + 1)
+            else:
+                self._write_byte(base + 2 * i, 0)
+                self._write_byte(base + 2 * i + 1, 0)
+        base = 40
+        for i in range(self.MAX_BULLETS):
+            if i < len(self._bullets):
+                x, y = self._bullets[i]
+                self._write_byte(base + 2 * i, x + 1)
+                self._write_byte(base + 2 * i + 1, y + 1)
+            else:
+                self._write_byte(base + 2 * i, 0)
+                self._write_byte(base + 2 * i + 1, 0)
+
+
+class AmidarRamEnv(AtariRamEnv):
+    """Paint-the-lattice game on a 12x10 grid.
+
+    The player moves in four directions painting every cell visited (+1 for
+    each newly painted cell, +10 for completing a full row). Two patrollers
+    sweep the board in deterministic serpentine paths; contact costs a life
+    and respawns the player in the corner.
+    """
+
+    env_id = "Amidar-ram-v0"
+
+    WIDTH = 12
+    HEIGHT = 10
+    PAINT_SCORE = 1.0
+    ROW_BONUS = 10.0
+
+    def _reset_game(self) -> None:
+        self._px, self._py = 0, 0
+        self._painted = {(0, 0)}
+        self._completed_rows: set[int] = set()
+        # patrollers: (x, y, direction)
+        self._patrollers = [
+            [self.WIDTH - 1, self.HEIGHT - 1, -1],
+            [self.WIDTH - 1, self.HEIGHT // 2, 1],
+        ]
+
+    def _advance(self, action: int) -> tuple[float, bool]:
+        reward = 0.0
+        dx, dy = 0, 0
+        if action == ACTION_UP:
+            dy = -1
+        elif action == ACTION_DOWN:
+            dy = 1
+        elif action == ACTION_LEFT:
+            dx = -1
+        elif action == ACTION_RIGHT:
+            dx = 1
+        self._px = max(0, min(self.WIDTH - 1, self._px + dx))
+        self._py = max(0, min(self.HEIGHT - 1, self._py + dy))
+
+        if (self._px, self._py) not in self._painted:
+            self._painted.add((self._px, self._py))
+            reward += self.PAINT_SCORE
+            row = self._py
+            if row not in self._completed_rows and all(
+                (x, row) in self._painted for x in range(self.WIDTH)
+            ):
+                self._completed_rows.add(row)
+                reward += self.ROW_BONUS
+
+        # patrollers serpentine horizontally, dropping a row at each edge
+        if self._frame % 2 == 0:
+            for patroller in self._patrollers:
+                patroller[0] += patroller[2]
+                if patroller[0] < 0 or patroller[0] >= self.WIDTH:
+                    patroller[2] = -patroller[2]
+                    patroller[0] += patroller[2]
+                    patroller[1] = (patroller[1] + 1) % self.HEIGHT
+
+        for patroller in self._patrollers:
+            if patroller[0] == self._px and patroller[1] == self._py:
+                self._lives -= 1
+                self._px, self._py = 0, 0
+                break
+
+        if len(self._painted) == self.WIDTH * self.HEIGHT:
+            reward += 100.0
+            self._painted = {(self._px, self._py)}
+            self._completed_rows = set()
+
+        return reward, False
+
+    def _encode_ram(self) -> None:
+        self._encode_common()
+        self._write_byte(8, self._px)
+        self._write_byte(9, self._py)
+        self._write_byte(10, len(self._painted))
+        self._write_byte(11, len(self._completed_rows))
+        for i, patroller in enumerate(self._patrollers):
+            self._write_byte(12 + 3 * i, patroller[0])
+            self._write_byte(13 + 3 * i, patroller[1])
+            self._write_byte(14 + 3 * i, 1 if patroller[2] > 0 else 0)
+        # painted bitmap: 120 cells -> 15 bytes starting at 32
+        bitmap = 0
+        for (x, y) in self._painted:
+            bitmap |= 1 << (y * self.WIDTH + x)
+        for i in range(15):
+            self._write_byte(32 + i, (bitmap >> (8 * i)) & 0xFF)
+
+
+class AlienRamEnv(AtariRamEnv):
+    """Maze dot-collection with pursuing aliens on a 12x12 grid.
+
+    The player collects dots (+10 each); clearing the board scores +100 and
+    respawns the dots. Three aliens step toward the player every other frame
+    (greedy pursuit with deterministic tie-breaking); contact costs a life
+    and respawns the player at the centre.
+    """
+
+    env_id = "Alien-ram-v0"
+
+    SIZE = 12
+    N_ALIENS = 3
+    DOT_SCORE = 10.0
+    CLEAR_BONUS = 100.0
+    DOT_SPACING = 2  # dots on every other cell
+
+    def _reset_game(self) -> None:
+        self._px, self._py = self.SIZE // 2, self.SIZE // 2
+        self._dots = {
+            (x, y)
+            for x in range(0, self.SIZE, self.DOT_SPACING)
+            for y in range(0, self.SIZE, self.DOT_SPACING)
+        }
+        self._dots.discard((self._px, self._py))
+        corners = [
+            (0, 0),
+            (self.SIZE - 1, 0),
+            (0, self.SIZE - 1),
+        ]
+        self._aliens = [list(c) for c in corners[: self.N_ALIENS]]
+
+    def _advance(self, action: int) -> tuple[float, bool]:
+        reward = 0.0
+        dx, dy = 0, 0
+        if action == ACTION_UP:
+            dy = -1
+        elif action == ACTION_DOWN:
+            dy = 1
+        elif action == ACTION_LEFT:
+            dx = -1
+        elif action == ACTION_RIGHT:
+            dx = 1
+        self._px = max(0, min(self.SIZE - 1, self._px + dx))
+        self._py = max(0, min(self.SIZE - 1, self._py + dy))
+
+        if (self._px, self._py) in self._dots:
+            self._dots.discard((self._px, self._py))
+            reward += self.DOT_SCORE
+            if not self._dots:
+                reward += self.CLEAR_BONUS
+                self._reset_dots()
+
+        if self._frame % 2 == 1:
+            for alien in self._aliens:
+                if abs(alien[0] - self._px) >= abs(alien[1] - self._py):
+                    alien[0] += _sign(self._px - alien[0])
+                else:
+                    alien[1] += _sign(self._py - alien[1])
+
+        for alien in self._aliens:
+            if alien[0] == self._px and alien[1] == self._py:
+                self._lives -= 1
+                self._px, self._py = self.SIZE // 2, self.SIZE // 2
+                break
+
+        return reward, False
+
+    def _reset_dots(self) -> None:
+        self._dots = {
+            (x, y)
+            for x in range(0, self.SIZE, self.DOT_SPACING)
+            for y in range(0, self.SIZE, self.DOT_SPACING)
+        }
+        self._dots.discard((self._px, self._py))
+
+    def _encode_ram(self) -> None:
+        self._encode_common()
+        self._write_byte(8, self._px)
+        self._write_byte(9, self._py)
+        self._write_byte(10, len(self._dots))
+        for i, alien in enumerate(self._aliens):
+            self._write_byte(12 + 2 * i, alien[0])
+            self._write_byte(13 + 2 * i, alien[1])
+        # dot bitmap: 6x6 sites -> 36 bits -> 5 bytes at 32
+        bitmap = 0
+        sites = [
+            (x, y)
+            for x in range(0, self.SIZE, self.DOT_SPACING)
+            for y in range(0, self.SIZE, self.DOT_SPACING)
+        ]
+        for i, site in enumerate(sites):
+            if site in self._dots:
+                bitmap |= 1 << i
+        for i in range(5):
+            self._write_byte(32 + i, (bitmap >> (8 * i)) & 0xFF)
+
+
+def _sign(x: int) -> int:
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0

@@ -1,0 +1,159 @@
+"""Environment base API and episode rollout helper.
+
+The interface mirrors classic OpenAI gym (pre-0.26): ``reset() -> obs`` and
+``step(action) -> (obs, reward, done, info)``. Every environment is
+deterministic under :meth:`Environment.seed`, which the distributed runtime
+relies on to reproduce evaluations across processes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.envs.spaces import Space
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of a full episode rollout."""
+
+    total_reward: float
+    steps: int
+    terminated: bool
+    #: environment-specific shaped fitness (the paper's "minor changes for
+    #: different environments"); equals total_reward unless the env shapes it.
+    fitness: float = 0.0
+    rewards: list[float] = field(default_factory=list)
+
+
+class Environment:
+    """Abstract episodic environment.
+
+    Subclasses set :attr:`observation_space` and :attr:`action_space` and
+    implement :meth:`_reset` / :meth:`_step`. The base class owns seeding,
+    step counting and the 200-step cap the paper applies to every workload.
+    """
+
+    #: gym-style identifier, e.g. ``"CartPole-v0"``.
+    env_id: str = "Environment-v0"
+    observation_space: Space
+    action_space: Space
+    #: score at which the workload counts as solved (gym convergence criteria)
+    solved_threshold: float = float("inf")
+    #: hard cap on episode length (paper: "Each environment is limited to 200
+    #: time-steps in our experiments")
+    max_episode_steps: int = 200
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._steps = 0
+        self._done = True
+
+    # -- public API -------------------------------------------------------
+
+    def seed(self, seed: int) -> None:
+        """Reset the RNG so the next episode is reproducible."""
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> tuple[float, ...]:
+        """Start a new episode and return the initial observation."""
+        self._steps = 0
+        self._done = False
+        obs = self._reset()
+        return obs
+
+    def step(self, action) -> tuple[tuple[float, ...], float, bool, dict]:
+        """Advance one time-step.
+
+        Raises ``RuntimeError`` if called on a finished/unstarted episode and
+        ``ValueError`` for actions outside the action space.
+        """
+        if self._done:
+            raise RuntimeError(
+                f"{self.env_id}: step() called on a finished episode; "
+                "call reset() first"
+            )
+        if not self.action_space.contains(action):
+            raise ValueError(
+                f"{self.env_id}: action {action!r} not in {self.action_space}"
+            )
+        obs, reward, done, info = self._step(int(action))
+        self._steps += 1
+        if self._steps >= self.max_episode_steps:
+            done = True
+            info.setdefault("truncated", True)
+        self._done = done
+        return obs, reward, done, info
+
+    @property
+    def elapsed_steps(self) -> int:
+        """Steps taken in the current episode."""
+        return self._steps
+
+    def shaped_fitness(
+        self, total_reward: float, steps: int, terminated: bool
+    ) -> float:
+        """Map episode outcome to a NEAT fitness value.
+
+        Default: the raw accumulated reward. Environments whose reward is
+        uninformative for evolution (e.g. MountainCar's constant -1) override
+        this — the paper's "minor changes for different environments".
+        """
+        return total_reward
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _reset(self) -> tuple[float, ...]:
+        raise NotImplementedError
+
+    def _step(self, action: int) -> tuple[tuple[float, ...], float, bool, dict]:
+        raise NotImplementedError
+
+
+Policy = Callable[[Sequence[float]], int]
+
+
+def rollout(
+    env: Environment,
+    policy: Policy,
+    max_steps: int | None = None,
+    seed: int | None = None,
+) -> EpisodeResult:
+    """Run ``policy`` for one episode and return the outcome.
+
+    ``policy`` maps an observation vector to a discrete action. ``max_steps``
+    optionally tightens (never loosens) the environment's own cap — the
+    paper's single-step-inference study passes ``max_steps=1``.
+    """
+    if seed is not None:
+        env.seed(seed)
+    obs = env.reset()
+    cap = env.max_episode_steps if max_steps is None else min(
+        max_steps, env.max_episode_steps
+    )
+    total = 0.0
+    rewards: list[float] = []
+    terminated = False
+    steps = 0
+    for _ in range(cap):
+        action = policy(obs)
+        obs, reward, done, info = env.step(action)
+        total += reward
+        rewards.append(reward)
+        steps += 1
+        if done:
+            # a time-limit truncation is not a true terminal state
+            terminated = not info.get("truncated", False)
+            break
+    fitness = env.shaped_fitness(total, steps, terminated)
+    return EpisodeResult(
+        total_reward=total,
+        steps=steps,
+        terminated=terminated,
+        fitness=fitness,
+        rewards=rewards,
+    )

@@ -1,0 +1,87 @@
+"""CartPole-v0: balance a pole on a cart (classic control).
+
+Physics follow Barto, Sutton & Anderson (1983) as implemented in OpenAI gym:
+Euler integration at 0.02 s, force +/-10 N, episode ends when the pole tips
+past 12 degrees or the cart leaves +/-2.4 m. Reward is +1 per surviving step;
+with the paper's 200-step cap the maximum score is 200 and the workload is
+treated as solved at 195.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+
+
+class CartPoleEnv(Environment):
+    """Pole-balancing environment, 4-D observation, 2 actions."""
+
+    env_id = "CartPole-v0"
+    solved_threshold = 195.0
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE_MAG = 10.0
+    TAU = 0.02  # integration step, seconds
+    THETA_LIMIT = 12 * 2 * math.pi / 360
+    X_LIMIT = 2.4
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        high = [
+            self.X_LIMIT * 2,
+            1e4,
+            self.THETA_LIMIT * 2,
+            1e4,
+        ]
+        self.observation_space = Box([-v for v in high], high)
+        self.action_space = Discrete(2)
+        self._state = (0.0, 0.0, 0.0, 0.0)
+
+    @property
+    def total_mass(self) -> float:
+        return self.CART_MASS + self.POLE_MASS
+
+    @property
+    def pole_mass_length(self) -> float:
+        return self.POLE_MASS * self.POLE_HALF_LENGTH
+
+    def _reset(self) -> tuple[float, ...]:
+        self._state = tuple(
+            self._rng.uniform(-0.05, 0.05) for _ in range(4)
+        )
+        return self._state
+
+    def _step(self, action: int):
+        x, x_dot, theta, theta_dot = self._state
+        force = self.FORCE_MAG if action == 1 else -self.FORCE_MAG
+        cos_theta = math.cos(theta)
+        sin_theta = math.sin(theta)
+
+        temp = (
+            force + self.pole_mass_length * theta_dot**2 * sin_theta
+        ) / self.total_mass
+        theta_acc = (self.GRAVITY * sin_theta - cos_theta * temp) / (
+            self.POLE_HALF_LENGTH
+            * (4.0 / 3.0 - self.POLE_MASS * cos_theta**2 / self.total_mass)
+        )
+        x_acc = (
+            temp
+            - self.pole_mass_length * theta_acc * cos_theta / self.total_mass
+        )
+
+        x += self.TAU * x_dot
+        x_dot += self.TAU * x_acc
+        theta += self.TAU * theta_dot
+        theta_dot += self.TAU * theta_acc
+        self._state = (x, x_dot, theta, theta_dot)
+
+        done = (
+            abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT
+        )
+        reward = 1.0
+        return self._state, reward, done, {}

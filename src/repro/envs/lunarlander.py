@@ -1,0 +1,185 @@
+"""LunarLander-v2: land a rocket on a pad (simplified 2-D physics).
+
+The original gym environment is built on Box2D, which is not available
+offline; this module re-implements the lander as a single rigid body with
+gravity, a main engine, two orientation engines and the *same reward
+structure the paper describes*:
+
+* moving from the top of the screen toward the pad earns shaping reward
+  (potential-based, worth 100-140 points over a good descent),
+* each leg touching the ground: +10,
+* main engine: -0.3 per frame, orientation engines: -0.03 per frame,
+* landing softly: +100, crashing: -100,
+* solved at 200 points (gym convergence criterion).
+
+Observation is the gym-compatible 8-vector ``(x, y, vx, vy, angle,
+angular_velocity, leg1_contact, leg2_contact)`` in normalised units; the
+action space is ``Discrete(4)``: no-op, left engine, main engine, right
+engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+
+
+class LunarLanderEnv(Environment):
+    """Rigid-body lunar lander, 8-D observation, 4 actions."""
+
+    env_id = "LunarLander-v2"
+    solved_threshold = 200.0
+
+    # world geometry (metres)
+    WORLD_HALF_WIDTH = 10.0
+    START_ALTITUDE = 13.0
+    PAD_HALF_WIDTH = 2.0
+    LEG_SPAN = 0.8  # lateral distance between the two legs
+
+    # dynamics
+    DT = 0.05  # seconds per step
+    GRAVITY = 1.62  # lunar, m/s^2
+    MAIN_ACC = 4.0  # main engine acceleration, m/s^2
+    SIDE_ACC = 0.8  # lateral acceleration from orientation engines
+    TORQUE_ACC = 0.8  # angular acceleration from orientation engines, rad/s^2
+    ANGULAR_DAMPING = 0.99
+
+    # landing tolerances
+    SAFE_VY = 1.0  # m/s
+    SAFE_VX = 1.0  # m/s
+    SAFE_ANGLE = 0.35  # rad
+
+    # fuel penalties per frame (paper section III-C)
+    MAIN_ENGINE_COST = 0.3
+    SIDE_ENGINE_COST = 0.03
+
+    ACTION_NOOP, ACTION_LEFT, ACTION_MAIN, ACTION_RIGHT = range(4)
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self.observation_space = Box.uniform(5.0, 8)
+        self.action_space = Discrete(4)
+        self._x = 0.0
+        self._y = self.START_ALTITUDE
+        self._vx = 0.0
+        self._vy = 0.0
+        self._angle = 0.0
+        self._omega = 0.0
+        self._prev_shaping: float | None = None
+        self._outcome = ""
+
+    # -- helpers -----------------------------------------------------------
+
+    def _observation(self) -> tuple[float, ...]:
+        leg1, leg2 = self._leg_contacts()
+        return (
+            self._x / self.WORLD_HALF_WIDTH,
+            self._y / self.START_ALTITUDE,
+            self._vx / 5.0,
+            self._vy / 5.0,
+            self._angle,
+            self._omega / 2.0,
+            1.0 if leg1 else 0.0,
+            1.0 if leg2 else 0.0,
+        )
+
+    def _leg_contacts(self) -> tuple[bool, bool]:
+        """Each leg touches once its foot reaches ground level."""
+        if self._y > 0.25:
+            return (False, False)
+        tilt = math.sin(self._angle) * self.LEG_SPAN / 2
+        left_height = self._y - tilt
+        right_height = self._y + tilt
+        return (left_height <= 0.25, right_height <= 0.25)
+
+    def _shaping(self) -> float:
+        """Potential function: closer, slower and straighter is better."""
+        leg1, leg2 = self._leg_contacts()
+        dist = math.hypot(
+            self._x / self.WORLD_HALF_WIDTH, self._y / self.START_ALTITUDE
+        )
+        speed = math.hypot(self._vx / 5.0, self._vy / 5.0)
+        return (
+            -100.0 * dist
+            - 100.0 * speed
+            - 100.0 * abs(self._angle)
+            + 10.0 * leg1
+            + 10.0 * leg2
+        )
+
+    @property
+    def outcome(self) -> str:
+        """One of '', 'landed', 'crashed', 'out_of_bounds' after an episode."""
+        return self._outcome
+
+    # -- Environment hooks --------------------------------------------------
+
+    def _reset(self) -> tuple[float, ...]:
+        self._x = self._rng.uniform(-1.0, 1.0)
+        self._y = self.START_ALTITUDE
+        self._vx = self._rng.uniform(-1.0, 1.0)
+        self._vy = self._rng.uniform(-0.5, 0.0)
+        self._angle = self._rng.uniform(-0.1, 0.1)
+        self._omega = self._rng.uniform(-0.1, 0.1)
+        self._outcome = ""
+        self._prev_shaping = self._shaping()
+        return self._observation()
+
+    def _step(self, action: int):
+        dt = self.DT
+        ax, ay = 0.0, -self.GRAVITY
+        fuel_cost = 0.0
+
+        if action == self.ACTION_MAIN:
+            # thrust along the body axis
+            ax += -math.sin(self._angle) * self.MAIN_ACC
+            ay += math.cos(self._angle) * self.MAIN_ACC
+            fuel_cost = self.MAIN_ENGINE_COST
+        elif action == self.ACTION_LEFT:
+            # left orientation engine pushes the craft right & rotates it
+            ax += self.SIDE_ACC
+            self._omega -= self.TORQUE_ACC * dt
+            fuel_cost = self.SIDE_ENGINE_COST
+        elif action == self.ACTION_RIGHT:
+            ax += -self.SIDE_ACC
+            self._omega += self.TORQUE_ACC * dt
+            fuel_cost = self.SIDE_ENGINE_COST
+
+        self._vx += ax * dt
+        self._vy += ay * dt
+        self._x += self._vx * dt
+        self._y += self._vy * dt
+        self._omega *= self.ANGULAR_DAMPING
+        self._angle += self._omega * dt
+
+        reward = -fuel_cost
+        done = False
+
+        shaping = self._shaping()
+        if self._prev_shaping is not None:
+            reward += shaping - self._prev_shaping
+        self._prev_shaping = shaping
+
+        if abs(self._x) > self.WORLD_HALF_WIDTH:
+            done = True
+            reward -= 100.0
+            self._outcome = "out_of_bounds"
+        elif self._y <= 0.0:
+            done = True
+            self._y = 0.0
+            on_pad = abs(self._x) <= self.PAD_HALF_WIDTH
+            soft = (
+                abs(self._vy) <= self.SAFE_VY
+                and abs(self._vx) <= self.SAFE_VX
+                and abs(self._angle) <= self.SAFE_ANGLE
+            )
+            if soft and on_pad:
+                reward += 100.0
+                self._outcome = "landed"
+            else:
+                reward -= 100.0
+                self._outcome = "crashed"
+
+        return self._observation(), reward, done, {"outcome": self._outcome}

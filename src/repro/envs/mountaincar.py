@@ -1,0 +1,79 @@
+"""MountainCar-v0: drive an under-powered car up a hill (classic control).
+
+Physics follow Moore (1990) as implemented in OpenAI gym. Reward is -1 per
+step until the car reaches the flag at x = 0.5. Because a population whose
+members all fail scores a uniform -200, raw reward carries no gradient for
+evolution; :meth:`MountainCarEnv.shaped_fitness` adds the maximum position
+reached as a tie-breaking shaping term — one of the paper's "minor changes
+for different environments".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.envs.base import Environment
+from repro.envs.spaces import Box, Discrete
+
+
+class MountainCarEnv(Environment):
+    """Under-powered car in a valley, 2-D observation, 3 actions."""
+
+    env_id = "MountainCar-v0"
+    solved_threshold = -110.0
+
+    MIN_POSITION = -1.2
+    MAX_POSITION = 0.6
+    MAX_SPEED = 0.07
+    GOAL_POSITION = 0.5
+    FORCE = 0.001
+    GRAVITY = 0.0025
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self.observation_space = Box(
+            [self.MIN_POSITION, -self.MAX_SPEED],
+            [self.MAX_POSITION, self.MAX_SPEED],
+        )
+        self.action_space = Discrete(3)
+        self._position = 0.0
+        self._velocity = 0.0
+        self._max_position = self.MIN_POSITION
+
+    def _reset(self) -> tuple[float, ...]:
+        self._position = self._rng.uniform(-0.6, -0.4)
+        self._velocity = 0.0
+        self._max_position = self._position
+        return (self._position, self._velocity)
+
+    def _step(self, action: int):
+        self._velocity += (action - 1) * self.FORCE + math.cos(
+            3 * self._position
+        ) * (-self.GRAVITY)
+        self._velocity = max(-self.MAX_SPEED, min(self.MAX_SPEED, self._velocity))
+        self._position += self._velocity
+        self._position = max(
+            self.MIN_POSITION, min(self.MAX_POSITION, self._position)
+        )
+        if self._position <= self.MIN_POSITION and self._velocity < 0:
+            self._velocity = 0.0
+        self._max_position = max(self._max_position, self._position)
+
+        done = self._position >= self.GOAL_POSITION
+        reward = -1.0
+        return (self._position, self._velocity), reward, done, {}
+
+    def shaped_fitness(
+        self, total_reward: float, steps: int, terminated: bool
+    ) -> float:
+        """Raw reward plus progress shaping.
+
+        The shaping term (best position reached, scaled to [0, 10)) is
+        strictly smaller than one reward unit times the typical step-count
+        difference between genuinely better policies, so it only breaks ties
+        among policies that never reach the goal.
+        """
+        progress = (self._max_position - self.MIN_POSITION) / (
+            self.GOAL_POSITION - self.MIN_POSITION
+        )
+        return total_reward + 10.0 * progress

@@ -1,0 +1,122 @@
+"""Observation/action space descriptions (gym-compatible subset).
+
+Only the two space types the CLAN workloads need are implemented:
+``Discrete`` action spaces and ``Box`` observation spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class Space:
+    """Abstract space: knows its size, can sample and test membership."""
+
+    def contains(self, x) -> bool:
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random):
+        raise NotImplementedError
+
+    @property
+    def flat_dim(self) -> int:
+        """Number of scalar inputs/outputs a network needs for this space."""
+        raise NotImplementedError
+
+
+class Discrete(Space):
+    """The set ``{0, 1, ..., n - 1}``."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"Discrete space needs n >= 1, got {n}")
+        self.n = int(n)
+
+    def contains(self, x) -> bool:
+        if isinstance(x, (bool, str, bytes)):
+            return False
+        if not isinstance(x, int):
+            try:
+                if float(x) != int(x):
+                    return False
+                x = int(x)
+            except (TypeError, ValueError):
+                return False
+        return 0 <= x < self.n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+    @property
+    def flat_dim(self) -> int:
+        return self.n
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+    def __hash__(self) -> int:
+        return hash(("Discrete", self.n))
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+
+class Box(Space):
+    """A bounded (possibly unbounded) box in R^n, flat vectors only."""
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        if len(low) != len(high):
+            raise ValueError("low and high must have equal length")
+        if len(low) == 0:
+            raise ValueError("Box must have at least one dimension")
+        self.low = tuple(float(x) for x in low)
+        self.high = tuple(float(x) for x in high)
+        for lo, hi in zip(self.low, self.high):
+            if lo > hi:
+                raise ValueError(f"low {lo} exceeds high {hi}")
+
+    @classmethod
+    def uniform(cls, bound: float, dim: int) -> "Box":
+        """Symmetric box ``[-bound, bound]^dim``."""
+        return cls([-bound] * dim, [bound] * dim)
+
+    def contains(self, x) -> bool:
+        try:
+            values = [float(v) for v in x]
+        except (TypeError, ValueError):
+            return False
+        if len(values) != len(self.low):
+            return False
+        return all(
+            lo <= v <= hi for v, lo, hi in zip(values, self.low, self.high)
+        )
+
+    def sample(self, rng: random.Random) -> tuple[float, ...]:
+        out = []
+        for lo, hi in zip(self.low, self.high):
+            lo_eff = max(lo, -1e6)
+            hi_eff = min(hi, 1e6)
+            out.append(rng.uniform(lo_eff, hi_eff))
+        return tuple(out)
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (len(self.low),)
+
+    @property
+    def flat_dim(self) -> int:
+        return len(self.low)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and other.low == self.low
+            and other.high == self.high
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Box", self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Box(dim={self.flat_dim})"

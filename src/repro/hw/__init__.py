@@ -1,0 +1,5 @@
+"""Custom-hardware models for the paper's technology study (Fig 10c)."""
+
+from repro.hw.systolic import SystolicArrayModel
+
+__all__ = ["SystolicArrayModel"]

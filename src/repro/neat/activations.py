@@ -1,0 +1,74 @@
+"""Node activation functions.
+
+NEAT genomes may evolve the activation of each node; the registry maps the
+string stored in the gene to a callable. All functions accept and return a
+single float and are bounded (or clamped) to keep recurrent-free evaluation
+numerically safe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+ActivationFn = Callable[[float], float]
+
+
+def sigmoid_activation(z: float) -> float:
+    """Steepened sigmoid used in the original NEAT paper, range (0, 1)."""
+    z = max(-60.0, min(60.0, 4.9 * z))
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+def tanh_activation(z: float) -> float:
+    z = max(-60.0, min(60.0, 2.5 * z))
+    return math.tanh(z)
+
+
+def relu_activation(z: float) -> float:
+    return z if z > 0.0 else 0.0
+
+
+def identity_activation(z: float) -> float:
+    return z
+
+
+def clamped_activation(z: float) -> float:
+    return max(-1.0, min(1.0, z))
+
+
+def gauss_activation(z: float) -> float:
+    z = max(-3.4, min(3.4, z))
+    return math.exp(-5.0 * z * z)
+
+
+def sin_activation(z: float) -> float:
+    z = max(-60.0, min(60.0, 5.0 * z))
+    return math.sin(z)
+
+
+def abs_activation(z: float) -> float:
+    return abs(z)
+
+
+ACTIVATIONS: dict[str, ActivationFn] = {
+    "sigmoid": sigmoid_activation,
+    "tanh": tanh_activation,
+    "relu": relu_activation,
+    "identity": identity_activation,
+    "clamped": clamped_activation,
+    "gauss": gauss_activation,
+    "sin": sin_activation,
+    "abs": abs_activation,
+}
+
+
+def get_activation(name: str) -> ActivationFn:
+    """Look up an activation by name, raising with the known set on error."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ACTIVATIONS))
+        raise ValueError(
+            f"unknown activation {name!r}; known: {known}"
+        ) from None

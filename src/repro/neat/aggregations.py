@@ -1,0 +1,48 @@
+"""Node aggregation functions (how incoming activations combine)."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+AggregationFn = Callable[[Sequence[float]], float]
+
+
+def sum_aggregation(values: Sequence[float]) -> float:
+    return sum(values)
+
+
+def product_aggregation(values: Sequence[float]) -> float:
+    return math.prod(values)
+
+
+def max_aggregation(values: Sequence[float]) -> float:
+    return max(values) if values else 0.0
+
+
+def min_aggregation(values: Sequence[float]) -> float:
+    return min(values) if values else 0.0
+
+
+def mean_aggregation(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+AGGREGATIONS: dict[str, AggregationFn] = {
+    "sum": sum_aggregation,
+    "product": product_aggregation,
+    "max": max_aggregation,
+    "min": min_aggregation,
+    "mean": mean_aggregation,
+}
+
+
+def get_aggregation(name: str) -> AggregationFn:
+    """Look up an aggregation by name, raising with the known set on error."""
+    try:
+        return AGGREGATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATIONS))
+        raise ValueError(
+            f"unknown aggregation {name!r}; known: {known}"
+        ) from None

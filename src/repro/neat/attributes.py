@@ -1,0 +1,57 @@
+"""Helpers for mutating scalar gene attributes.
+
+Kept as plain functions (no descriptor machinery): each takes the RNG and
+the relevant config knobs explicitly so the call sites in
+:mod:`repro.neat.genes` read as a direct transcription of the NEAT update
+rules.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    return max(low, min(high, value))
+
+
+def new_float(
+    rng: random.Random, mean: float, stdev: float, low: float, high: float
+) -> float:
+    """Draw a fresh attribute value from a clamped Gaussian."""
+    return clamp(rng.gauss(mean, stdev), low, high)
+
+
+def mutate_float(
+    value: float,
+    rng: random.Random,
+    *,
+    mutate_rate: float,
+    replace_rate: float,
+    mutate_power: float,
+    init_mean: float,
+    init_stdev: float,
+    low: float,
+    high: float,
+) -> float:
+    """Apply the NEAT float-attribute update.
+
+    With probability ``mutate_rate`` the value is perturbed by zero-mean
+    Gaussian noise of ``mutate_power``; with probability ``replace_rate``
+    (evaluated next, on the residual probability mass) it is replaced by a
+    fresh draw; otherwise it is unchanged.
+    """
+    r = rng.random()
+    if r < mutate_rate:
+        return clamp(value + rng.gauss(0.0, mutate_power), low, high)
+    if r < mutate_rate + replace_rate:
+        return new_float(rng, init_mean, init_stdev, low, high)
+    return value
+
+
+def mutate_bool(value: bool, rng: random.Random, mutate_rate: float) -> bool:
+    """Flip a boolean attribute to a random value with ``mutate_rate``."""
+    if mutate_rate > 0 and rng.random() < mutate_rate:
+        return rng.random() < 0.5
+    return value

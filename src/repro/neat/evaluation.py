@@ -1,0 +1,98 @@
+"""Genome fitness evaluation against an environment (Inference block).
+
+``GenomeEvaluator`` rolls a compiled genome policy through episodes of a
+registered environment and reports both fitness and the step count — the
+step count feeds the paper's gene-cost model (inference cost is genes
+processed *per time-step*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.envs.base import rollout
+from repro.envs.registry import make
+from repro.neat.network import FeedForwardNetwork
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.genome import Genome
+
+
+@dataclass(frozen=True)
+class FitnessResult:
+    """Outcome of evaluating one genome."""
+
+    genome_key: int
+    fitness: float
+    steps: int
+    total_reward: float
+    solved: bool
+
+
+class GenomeEvaluator:
+    """Evaluates genomes on one workload.
+
+    ``episode_seed`` policy: every genome in a given generation faces the
+    same episode seed(s) so fitness comparisons within a generation are
+    fair; the seed advances each generation to prevent overfitting to one
+    initial condition. This matches how neat-python gym harnesses are
+    typically written and keeps distributed evaluation deterministic: any
+    agent evaluating genome g in generation t gets the same result.
+
+    ``max_steps=1`` reproduces the paper's single-step-inference study
+    (section IV-D).
+    """
+
+    def __init__(
+        self,
+        env_id: str,
+        episodes: int = 1,
+        max_steps: int | None = None,
+        seed: int = 0,
+        env_factory=None,
+    ):
+        """``env_factory``, when given, supplies the evaluation environment
+        instead of the registry — the adaptive loop uses it to learn inside
+        a *drifted* deployment environment rather than the pristine one."""
+        if episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        self.env_id = env_id
+        self.episodes = episodes
+        self.max_steps = max_steps
+        self.seed = seed
+        self._env = env_factory() if env_factory is not None else make(env_id)
+        self._solved_threshold = self._env.solved_threshold
+
+    def episode_seed(self, generation: int, episode: int) -> int:
+        """Deterministic seed for (generation, episode)."""
+        return self.seed * 1_000_003 + generation * 1_009 + episode
+
+    def evaluate(
+        self, genome: "Genome", config: "NEATConfig", generation: int = 0
+    ) -> FitnessResult:
+        """Roll out ``genome`` and return its fitness and step count."""
+        network = FeedForwardNetwork.create(genome, config)
+        total_fitness = 0.0
+        total_steps = 0
+        total_reward = 0.0
+        for episode in range(self.episodes):
+            result = rollout(
+                self._env,
+                network.policy,
+                max_steps=self.max_steps,
+                seed=self.episode_seed(generation, episode),
+            )
+            total_fitness += result.fitness
+            total_steps += result.steps
+            total_reward += result.total_reward
+        mean_fitness = total_fitness / self.episodes
+        mean_reward = total_reward / self.episodes
+        return FitnessResult(
+            genome_key=genome.key,
+            fitness=mean_fitness,
+            steps=total_steps,
+            total_reward=mean_reward,
+            solved=mean_reward >= self._solved_threshold,
+        )

@@ -1,0 +1,76 @@
+"""Historical markings (innovation bookkeeping).
+
+NEAT requires that the *same* structural mutation occurring independently in
+the same generation receives the same identifier, so crossover can align
+genes. Connections are identified structurally by their ``(in, out)`` key;
+nodes created by splitting a connection are the case that needs bookkeeping:
+``InnovationTracker`` hands out one node id per split connection per
+generation window.
+
+In the distributed CLAN_DDS/DDA settings each agent owns a tracker operating
+on a disjoint id range (``agent_offset``/``agent_stride``) so concurrently
+created nodes never collide without any coordination traffic — the same
+zero-communication trick GeneSys uses in hardware.
+"""
+
+from __future__ import annotations
+
+
+class InnovationTracker:
+    """Allocates node ids; aligns same-generation structural mutations."""
+
+    def __init__(
+        self,
+        next_node_id: int,
+        agent_offset: int = 0,
+        agent_stride: int = 1,
+    ):
+        if agent_stride < 1:
+            raise ValueError("agent_stride must be >= 1")
+        if not 0 <= agent_offset < agent_stride:
+            raise ValueError(
+                f"agent_offset must be in [0, {agent_stride}), got "
+                f"{agent_offset}"
+            )
+        self._stride = agent_stride
+        self._offset = agent_offset
+        self._next = self._align(next_node_id)
+        self._split_cache: dict[tuple[int, int], int] = {}
+
+    def _align(self, value: int) -> int:
+        """Smallest id >= value congruent to offset modulo stride."""
+        remainder = (value - self._offset) % self._stride
+        if remainder:
+            value += self._stride - remainder
+        return value
+
+    @property
+    def next_node_id(self) -> int:
+        """The id the next novel structural mutation would receive."""
+        return self._next
+
+    def get_split_node_id(self, connection_key: tuple[int, int]) -> int:
+        """Node id for splitting ``connection_key``.
+
+        Two genomes splitting the same connection within one generation
+        window get the same id (classic NEAT historical marking).
+        """
+        if connection_key in self._split_cache:
+            return self._split_cache[connection_key]
+        node_id = self._next
+        self._next += self._stride
+        self._split_cache[connection_key] = node_id
+        return node_id
+
+    def advance_generation(self) -> None:
+        """Close the alignment window: future identical splits get new ids."""
+        self._split_cache.clear()
+
+    def observe_node_id(self, node_id: int) -> None:
+        """Ensure future allocations exceed an externally seen node id.
+
+        Used when genomes migrate between agents (CLAN_DDS children return
+        to the centre; clan resync in CLAN_DDA).
+        """
+        if node_id >= self._next:
+            self._next = self._align(node_id + 1)

@@ -1,0 +1,164 @@
+"""Compile a genome into an executable feed-forward network (the paper's
+Inference block).
+
+The compiler prunes nodes that cannot influence an output, topologically
+orders the rest, and produces a flat evaluation plan so ``activate`` is a
+tight loop. Policy helpers map network outputs to discrete gym actions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.neat.activations import get_activation
+from repro.neat.aggregations import get_aggregation
+
+if TYPE_CHECKING:
+    from repro.neat.genome import Genome
+    from repro.neat.config import NEATConfig
+
+
+def required_for_output(
+    inputs: Sequence[int],
+    outputs: Sequence[int],
+    connections: Sequence[tuple[int, int]],
+) -> set[int]:
+    """Nodes (incl. outputs) on some directed path ending at an output.
+
+    Walks the connection graph backwards from the outputs; input keys are
+    never included (their values are given, not computed).
+    """
+    incoming: dict[int, list[int]] = {}
+    for in_node, out_node in connections:
+        incoming.setdefault(out_node, []).append(in_node)
+    required = set(outputs)
+    frontier = list(outputs)
+    input_set = set(inputs)
+    while frontier:
+        node = frontier.pop()
+        for source in incoming.get(node, ()):
+            if source not in required and source not in input_set:
+                required.add(source)
+                frontier.append(source)
+    return required
+
+
+class FeedForwardNetwork:
+    """Executable network: an ordered list of node evaluations."""
+
+    def __init__(
+        self,
+        input_keys: Sequence[int],
+        output_keys: Sequence[int],
+        node_evals: list[tuple],
+    ):
+        self.input_keys = tuple(input_keys)
+        self.output_keys = tuple(output_keys)
+        self.node_evals = node_evals
+        self._values: dict[int, float] = {
+            key: 0.0 for key in self.input_keys + self.output_keys
+        }
+
+    @classmethod
+    def create(
+        cls, genome: "Genome", config: "NEATConfig"
+    ) -> "FeedForwardNetwork":
+        """Compile ``genome`` into an evaluation plan.
+
+        Raises ``ValueError`` if the enabled connection graph has a cycle
+        (cannot happen for genomes mutated through :class:`Genome`, but
+        deserialised or hand-built genomes are validated here).
+        """
+        enabled = [
+            gene.key for gene in genome.connections.values() if gene.enabled
+        ]
+        required = required_for_output(
+            config.input_keys, config.output_keys, enabled
+        )
+
+        # group incoming links per required node; sorted iteration keeps
+        # float summation order canonical across dict insertion histories
+        incoming: dict[int, list[tuple[int, float]]] = {
+            key: [] for key in required
+        }
+        for conn_key in sorted(genome.connections):
+            gene = genome.connections[conn_key]
+            if not gene.enabled:
+                continue
+            in_node, out_node = gene.key
+            if out_node not in required:
+                continue
+            if in_node not in required and in_node not in config.input_keys:
+                continue
+            incoming[out_node].append((in_node, gene.weight))
+
+        # Kahn's algorithm over required nodes
+        input_set = set(config.input_keys)
+        pending = {
+            key: sum(
+                1 for (src, _w) in links if src not in input_set
+            )
+            for key, links in incoming.items()
+        }
+        order: list[int] = []
+        ready = sorted(key for key, count in pending.items() if count == 0)
+        dependents: dict[int, list[int]] = {}
+        for key, links in incoming.items():
+            for src, _w in links:
+                if src not in input_set:
+                    dependents.setdefault(src, []).append(key)
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dependent in dependents.get(node, ()):
+                pending[dependent] -= 1
+                if pending[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(required):
+            raise ValueError(
+                "genome's enabled connection graph contains a cycle"
+            )
+
+        node_evals = []
+        for key in order:
+            node = genome.nodes[key]
+            node_evals.append(
+                (
+                    key,
+                    get_activation(node.activation),
+                    get_aggregation(node.aggregation),
+                    node.bias,
+                    node.response,
+                    incoming[key],
+                )
+            )
+        return cls(config.input_keys, config.output_keys, node_evals)
+
+    def activate(self, inputs: Sequence[float]) -> list[float]:
+        """Run one forward pass; returns output node values in key order."""
+        if len(inputs) != len(self.input_keys):
+            raise ValueError(
+                f"expected {len(self.input_keys)} inputs, got {len(inputs)}"
+            )
+        values = self._values
+        for key, value in zip(self.input_keys, inputs):
+            values[key] = float(value)
+        for key, activation, aggregation, bias, response, links in (
+            self.node_evals
+        ):
+            node_inputs = [values[src] * weight for src, weight in links]
+            values[key] = activation(
+                bias + response * aggregation(node_inputs)
+            )
+        return [self._values.get(key, 0.0) for key in self.output_keys]
+
+    def policy(self, observation: Sequence[float]) -> int:
+        """Greedy discrete policy: argmax over output activations."""
+        outputs = self.activate(observation)
+        best_index = 0
+        best_value = outputs[0]
+        for i, value in enumerate(outputs):
+            if value > best_value:
+                best_index = i
+                best_value = value
+        return best_index

@@ -1,0 +1,240 @@
+"""The serial NEAT generation loop (paper Fig 2a).
+
+One generation = Inference -> Speciation -> Generation planning ->
+Reproduction. :class:`Population` owns the genome set, species partition and
+innovation bookkeeping, and emits a :class:`GenerationStats` record per
+generation carrying the gene-cost counters behind the paper's Fig 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.reproduction import ChildSpec, execute_plan, plan_generation
+from repro.neat.species import SpeciesSet
+from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.evaluation import FitnessResult
+
+
+#: maps (genomes, generation) -> {genome_key: FitnessResult}
+EvaluateFn = Callable[[list[Genome], int], dict[int, "FitnessResult"]]
+
+
+@dataclass
+class GenerationStats:
+    """Everything measured in one generation.
+
+    Gene counts follow the paper's cost metric (section III-B): compute and
+    communication costs grow proportionally to the number of genes
+    processed, a gene being a 32-bit datastructure.
+    """
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    best_genome_key: int
+    n_species: int
+    population_size: int
+    solved: bool
+    # inference block
+    inference_genes: int
+    inference_steps: int
+    # speciation block
+    speciation_genes: int
+    speciation_comparisons: int
+    # reproduction block
+    reproduction_genes: int
+    children_formed: int
+    # genome shape summary (drives communication cost models)
+    total_genome_genes: int
+    mean_genome_genes: float
+    max_genome_genes: int
+    #: per-genome (genes, eval steps), keyed by genome id
+    genome_profile: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+def summarise_population(
+    population: dict[int, Genome]
+) -> tuple[int, float, int]:
+    """(total genes, mean genes, max genes) across a population."""
+    counts = [genome.gene_count() for genome in population.values()]
+    total = sum(counts)
+    return total, total / len(counts), max(counts)
+
+
+class Population:
+    """Serial NEAT driver.
+
+    >>> from repro.neat import NEATConfig, Population
+    >>> config = NEATConfig.for_env("CartPole-v0", pop_size=20)
+    >>> pop = Population(config, seed=1)
+    >>> len(pop.genomes)
+    20
+    """
+
+    def __init__(self, config: "NEATConfig", seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        self.innovation = InnovationTracker(
+            next_node_id=config.num_outputs
+        )
+        self.species_set = SpeciesSet()
+        self.generation = 0
+        self.best_genome: Genome | None = None
+        self.history: list[GenerationStats] = []
+        #: the plan that produced the *current* population (set after the
+        #: first generation); trace capture reads it
+        self.last_plan = None
+        #: gene/wire sizes of the children formed by the last plan
+        self.last_children_profile: dict[int, int] = {}
+
+        self._next_key = 0
+        self.genomes: dict[int, Genome] = {}
+        for _ in range(config.pop_size):
+            genome = Genome(self._allocate_key())
+            genome.configure_new(
+                config, self.rngs.get(f"genome-init:{genome.key}")
+            )
+            self.genomes[genome.key] = genome
+
+    def _allocate_key(self) -> int:
+        key = self._next_key
+        self._next_key += 1
+        return key
+
+    def child_rng_for_generation(
+        self, generation: int
+    ) -> Callable[[ChildSpec], random.Random]:
+        """RNG-stream factory for children of ``generation``.
+
+        The stream is a pure function of (population seed, generation,
+        child key), so a child formed on any cluster node is identical to
+        the one serial NEAT would form — the distributed protocols rely on
+        this to stay exactly equivalent to the serial algorithm.
+        """
+        return lambda spec: self.rngs.get(
+            f"child:{generation}:{spec.child_key}"
+        )
+
+    # -- generation loop ----------------------------------------------------
+
+    def run_generation(self, evaluate: EvaluateFn) -> GenerationStats:
+        """Run one full generation and advance the population."""
+        results = evaluate(list(self.genomes.values()), self.generation)
+        missing = set(self.genomes) - set(results)
+        if missing:
+            raise ValueError(
+                f"evaluator returned no fitness for genomes {sorted(missing)}"
+            )
+
+        inference_genes = 0
+        inference_steps = 0
+        genome_profile: dict[int, tuple[int, int]] = {}
+        for key, genome in self.genomes.items():
+            result = results[key]
+            genome.fitness = result.fitness
+            genes = genome.gene_count()
+            inference_genes += genes * max(result.steps, 1)
+            inference_steps += result.steps
+            genome_profile[key] = (genes, result.steps)
+
+        best = max(
+            self.genomes.values(), key=lambda g: (g.fitness, -g.key)
+        )
+        if (
+            self.best_genome is None
+            or best.fitness > self.best_genome.fitness
+        ):
+            self.best_genome = best.copy()
+
+        speciation_stats = self.species_set.speciate(
+            self.genomes,
+            self.generation,
+            self.config,
+            self.rngs.get(f"speciate:{self.generation}"),
+        )
+
+        plan = plan_generation(
+            self.config,
+            self.species_set,
+            self.generation,
+            self.rngs.get(f"plan:{self.generation}"),
+            self._allocate_key,
+        )
+        next_population, repro_stats = execute_plan(
+            plan,
+            self.genomes,
+            self.config,
+            self.child_rng_for_generation(self.generation),
+            self.innovation,
+        )
+        self.last_plan = plan
+        self.last_children_profile = {
+            spec.child_key: next_population[spec.child_key].gene_count()
+            for spec in plan.children
+        }
+
+        total_genes, mean_genes, max_genes = summarise_population(
+            self.genomes
+        )
+        fitnesses = [g.fitness for g in self.genomes.values()]
+        stats = GenerationStats(
+            generation=self.generation,
+            best_fitness=best.fitness,
+            mean_fitness=sum(fitnesses) / len(fitnesses),
+            best_genome_key=best.key,
+            n_species=speciation_stats.n_species,
+            population_size=len(self.genomes),
+            solved=any(r.solved for r in results.values()),
+            inference_genes=inference_genes,
+            inference_steps=inference_steps,
+            speciation_genes=speciation_stats.genes_compared,
+            speciation_comparisons=speciation_stats.comparisons,
+            reproduction_genes=repro_stats.genes_processed,
+            children_formed=repro_stats.children_formed,
+            total_genome_genes=total_genes,
+            mean_genome_genes=mean_genes,
+            max_genome_genes=max_genes,
+            genome_profile=genome_profile,
+        )
+        self.history.append(stats)
+
+        self.genomes = next_population
+        self.innovation.advance_generation()
+        self.generation += 1
+        return stats
+
+    def run(
+        self,
+        evaluate: EvaluateFn,
+        max_generations: int,
+        fitness_threshold: float | None = None,
+    ) -> list[GenerationStats]:
+        """Run until ``fitness_threshold`` is reached or generations expire."""
+        stats_log: list[GenerationStats] = []
+        for _ in range(max_generations):
+            stats = self.run_generation(evaluate)
+            stats_log.append(stats)
+            if (
+                fitness_threshold is not None
+                and stats.best_fitness >= fitness_threshold
+            ):
+                break
+        return stats_log
+
+    # -- introspection --------------------------------------------------------
+
+    def genome_iter(self) -> Iterable[Genome]:
+        return iter(self.genomes.values())
+
+    @property
+    def size(self) -> int:
+        return len(self.genomes)

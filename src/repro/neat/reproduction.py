@@ -1,0 +1,295 @@
+"""Generation planning and reproduction (paper Table III).
+
+The paper treats these as distinct compute blocks, and CLAN distributes them
+differently (planning stays on the centre in DCS/DDS; child formation moves
+to the agents in DDS/DDA). This module therefore splits reproduction into:
+
+* :func:`plan_generation` — fitness sharing, spawn counts, elite selection,
+  parent-pair selection ("Generation Planning"); produces a
+  :class:`GenerationPlan` that can be shipped over the wire.
+* :func:`make_child` / :func:`execute_plan` — child formation (crossover +
+  mutation, "Reproduction"); can run anywhere the parent genomes exist.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.stagnation import update_stagnation
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.species import SpeciesSet
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    """Instructions for forming one child genome.
+
+    ``parent2_key is None`` means asexual reproduction (mutated clone).
+    """
+
+    child_key: int
+    species_key: int
+    parent1_key: int
+    parent2_key: int | None
+
+
+@dataclass
+class GenerationPlan:
+    """Everything the Reproduction block needs, and nothing more.
+
+    This is exactly the payload CLAN_DDS sends from the centre to the
+    agents: spawn counts, the parent pool (keys only — genome payloads are
+    accounted separately) and per-child parent picks.
+    """
+
+    generation: int
+    #: species id -> spawn count after fitness sharing
+    spawn_counts: dict[int, int] = field(default_factory=dict)
+    #: genome keys copied unchanged into the next generation
+    elites: list[int] = field(default_factory=list)
+    #: children to form
+    children: list[ChildSpec] = field(default_factory=list)
+    #: species id -> surviving parent pool (genome keys, fittest first)
+    parent_pools: dict[int, list[int]] = field(default_factory=dict)
+    #: species removed by stagnation this generation
+    stagnant_species: list[int] = field(default_factory=list)
+
+    @property
+    def parent_keys(self) -> set[int]:
+        """Distinct genomes referenced as parents (DDS wire payload)."""
+        keys = set()
+        for spec in self.children:
+            keys.add(spec.parent1_key)
+            if spec.parent2_key is not None:
+                keys.add(spec.parent2_key)
+        return keys
+
+    def next_population_size(self) -> int:
+        return len(self.elites) + len(self.children)
+
+
+def compute_spawn_counts(
+    adjusted_fitnesses: dict[int, float],
+    previous_sizes: dict[int, int],
+    pop_size: int,
+    min_species_size: int,
+) -> dict[int, int]:
+    """Spawn counts per species (fitness sharing -> growth/shrink).
+
+    Follows neat-python's damped proportional controller, then rescales so
+    the counts sum exactly to ``pop_size`` (we keep the population size
+    invariant to simplify distributed bookkeeping; neat-python lets it
+    drift by a few members).
+    """
+    if not adjusted_fitnesses:
+        raise ValueError("no species to compute spawn counts for")
+    af_sum = sum(adjusted_fitnesses.values())
+    species_ids = sorted(adjusted_fitnesses)
+
+    spawns: dict[int, float] = {}
+    for species_id in species_ids:
+        af = adjusted_fitnesses[species_id]
+        previous = previous_sizes[species_id]
+        if af_sum > 0:
+            target = max(min_species_size, af / af_sum * pop_size)
+        else:
+            target = float(min_species_size)
+        delta = (target - previous) * 0.5
+        step = int(round(delta))
+        spawn = float(previous)
+        if abs(step) > 0:
+            spawn += step
+        elif delta > 0:
+            spawn += 1
+        elif delta < 0:
+            spawn -= 1
+        spawns[species_id] = spawn
+
+    total = sum(spawns.values())
+    norm = pop_size / total if total > 0 else 0.0
+    counts = {
+        sid: max(min_species_size, int(round(spawn * norm)))
+        for sid, spawn in spawns.items()
+    }
+
+    # exact rebalance to pop_size: adjust the largest species
+    deficit = pop_size - sum(counts.values())
+    order = sorted(
+        species_ids, key=lambda sid: (-counts[sid], sid)
+    )
+    index = 0
+    while deficit != 0 and order:
+        sid = order[index % len(order)]
+        if deficit > 0:
+            counts[sid] += 1
+            deficit -= 1
+        elif counts[sid] > min_species_size:
+            counts[sid] -= 1
+            deficit += 1
+        index += 1
+        if index > 10 * len(order) + pop_size:
+            # all species pinned at min_species_size but total exceeds
+            # pop_size: accept the overshoot (tiny populations only)
+            break
+    return counts
+
+
+def plan_generation(
+    config: "NEATConfig",
+    species_set: "SpeciesSet",
+    generation: int,
+    rng: random.Random,
+    next_genome_key: Callable[[], int],
+) -> GenerationPlan:
+    """Run stagnation, fitness sharing and parent selection.
+
+    Returns the :class:`GenerationPlan`; mutates ``species_set`` only by
+    removing stagnant species.
+    """
+    plan = GenerationPlan(generation=generation)
+
+    for species_id, is_stagnant in update_stagnation(
+        species_set, generation, config
+    ):
+        if is_stagnant:
+            plan.stagnant_species.append(species_id)
+            species_set.remove_species(species_id)
+
+    remaining = species_set.species
+    if not remaining:
+        raise RuntimeError(
+            "all species went extinct; increase species_elitism or relax "
+            "stagnation"
+        )
+
+    # fitness sharing: normalise mean member fitness across the population
+    all_fitnesses = [
+        fitness
+        for species in remaining.values()
+        for fitness in species.get_fitnesses()
+    ]
+    min_fitness = min(all_fitnesses)
+    max_fitness = max(all_fitnesses)
+    fitness_range = max(max_fitness - min_fitness, 1.0)
+    adjusted: dict[int, float] = {}
+    previous_sizes: dict[int, int] = {}
+    for species_id, species in remaining.items():
+        mean_fitness = sum(species.get_fitnesses()) / len(species)
+        species.adjusted_fitness = (mean_fitness - min_fitness) / fitness_range
+        adjusted[species_id] = species.adjusted_fitness
+        previous_sizes[species_id] = len(species)
+
+    plan.spawn_counts = compute_spawn_counts(
+        adjusted, previous_sizes, config.pop_size, config.min_species_size
+    )
+
+    for species_id in sorted(remaining):
+        species = remaining[species_id]
+        spawn = plan.spawn_counts[species_id]
+        # fittest first, ties broken by key for determinism
+        ranked = sorted(
+            species.members.values(),
+            key=lambda g: (-g.fitness, g.key),
+        )
+
+        n_elites = min(config.elitism, len(ranked), spawn)
+        for elite in ranked[:n_elites]:
+            plan.elites.append(elite.key)
+        spawn -= n_elites
+        if spawn <= 0:
+            plan.parent_pools[species_id] = [g.key for g in ranked[:n_elites]]
+            continue
+
+        cutoff = max(
+            int(math.ceil(config.survival_threshold * len(ranked))), 2
+        )
+        survivors = ranked[: min(cutoff, len(ranked))]
+        plan.parent_pools[species_id] = [g.key for g in survivors]
+
+        for _ in range(spawn):
+            parent1 = rng.choice(survivors)
+            parent2 = rng.choice(survivors)
+            sexual = (
+                parent1.key != parent2.key
+                and rng.random() < config.crossover_prob
+            )
+            plan.children.append(
+                ChildSpec(
+                    child_key=next_genome_key(),
+                    species_key=species_id,
+                    parent1_key=parent1.key,
+                    parent2_key=parent2.key if sexual else None,
+                )
+            )
+    return plan
+
+
+@dataclass
+class ReproductionStats:
+    """Cost counters for child formation (Fig 3b)."""
+
+    children_formed: int = 0
+    genes_processed: int = 0
+
+
+def make_child(
+    spec: ChildSpec,
+    lookup: dict[int, Genome],
+    config: "NEATConfig",
+    rng: random.Random,
+    innovation: InnovationTracker,
+) -> Genome:
+    """Form one child genome from its spec (crossover + mutation).
+
+    ``rng`` should be a stream derived from the child key (see
+    :class:`repro.utils.rng.RngFactory`) so the child is identical no matter
+    which cluster node forms it — the property that makes CLAN_DDS exactly
+    equivalent to serial NEAT.
+    """
+    parent1 = lookup[spec.parent1_key]
+    if spec.parent2_key is None:
+        child = parent1.copy(new_key=spec.child_key)
+    else:
+        parent2 = lookup[spec.parent2_key]
+        # Genome.crossover requires the fitter parent first
+        if (parent2.fitness, -parent2.key) > (parent1.fitness, -parent1.key):
+            parent1, parent2 = parent2, parent1
+        child = Genome.crossover(spec.child_key, parent1, parent2, rng)
+    child.mutate(config, rng, innovation)
+    child.fitness = None
+    return child
+
+
+def execute_plan(
+    plan: GenerationPlan,
+    lookup: dict[int, Genome],
+    config: "NEATConfig",
+    child_rng: Callable[[ChildSpec], random.Random],
+    innovation: InnovationTracker,
+) -> tuple[dict[int, Genome], ReproductionStats]:
+    """Form the whole next population from a plan (serial Reproduction).
+
+    ``child_rng`` maps a :class:`ChildSpec` to the RNG stream used to form
+    that child; deriving the stream from the child key keeps the outcome
+    independent of where (and in what order) children are formed.
+    """
+    stats = ReproductionStats()
+    next_population: dict[int, Genome] = {}
+    for elite_key in plan.elites:
+        next_population[elite_key] = lookup[elite_key]
+    for spec in plan.children:
+        child = make_child(spec, lookup, config, child_rng(spec), innovation)
+        next_population[child.key] = child
+        stats.children_formed += 1
+        genes = lookup[spec.parent1_key].gene_count() + child.gene_count()
+        if spec.parent2_key is not None:
+            genes += lookup[spec.parent2_key].gene_count()
+        stats.genes_processed += genes
+    return next_population, stats

@@ -1,0 +1,204 @@
+"""Speciation: grouping genomes with similar topologies (paper Table III).
+
+New structures need time to optimise before they must compete globally;
+NEAT therefore speciates the population by compatibility distance, and
+genomes only compete within their species (fitness sharing happens during
+generation planning in :mod:`repro.neat.reproduction`).
+
+Speciation is the block the paper cannot parallelise ("cannot use PLP being
+a synchronous operation in NEAT") — its cost, measured in genes touched by
+distance comparisons, is what CLAN_DDA attacks with asynchronous clans.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.genome import Genome
+
+
+@dataclass
+class SpeciationStats:
+    """Cost counters for one speciation pass (Fig 3c)."""
+
+    comparisons: int = 0
+    genes_compared: int = 0
+    n_species: int = 0
+
+
+class Species:
+    """A group of compatible genomes sharing fitness."""
+
+    def __init__(self, key: int, generation: int):
+        self.key = key
+        self.created = generation
+        self.last_improved = generation
+        self.representative: "Genome | None" = None
+        self.members: dict[int, "Genome"] = {}
+        self.fitness: float | None = None
+        self.adjusted_fitness: float | None = None
+        self.fitness_history: list[float] = []
+
+    def update(
+        self, representative: "Genome", members: dict[int, "Genome"]
+    ) -> None:
+        self.representative = representative
+        self.members = members
+
+    def get_fitnesses(self) -> list[float]:
+        """Member fitness values (all members must be evaluated)."""
+        fitnesses = []
+        for genome in self.members.values():
+            if genome.fitness is None:
+                raise ValueError(
+                    f"genome {genome.key} in species {self.key} has no fitness"
+                )
+            fitnesses.append(genome.fitness)
+        return fitnesses
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return (
+            f"Species(key={self.key}, size={len(self.members)}, "
+            f"fitness={self.fitness})"
+        )
+
+
+class DistanceCache:
+    """Memoises genome-pair distances within one speciation pass."""
+
+    def __init__(self, config: "NEATConfig"):
+        self.config = config
+        self.distances: dict[tuple[int, int], float] = {}
+        self.stats = SpeciationStats()
+
+    def __call__(self, genome1: "Genome", genome2: "Genome") -> float:
+        key = (genome1.key, genome2.key)
+        if key in self.distances:
+            return self.distances[key]
+        distance = genome1.distance(genome2, self.config)
+        self.distances[key] = distance
+        self.distances[(genome2.key, genome1.key)] = distance
+        self.stats.comparisons += 1
+        self.stats.genes_compared += (
+            genome1.gene_count() + genome2.gene_count()
+        )
+        return distance
+
+
+class SpeciesSet:
+    """Owns the species partition across generations."""
+
+    def __init__(self, species_id_offset: int = 0, species_id_stride: int = 1):
+        # In CLAN_DDA each clan speciates independently; offset/stride keep
+        # species keys globally unique without coordination.
+        if species_id_stride < 1:
+            raise ValueError("species_id_stride must be >= 1")
+        self.species: dict[int, Species] = {}
+        self.genome_to_species: dict[int, int] = {}
+        self._next_species_id = species_id_offset + species_id_stride
+        self._stride = species_id_stride
+
+    def _new_species_id(self) -> int:
+        species_id = self._next_species_id
+        self._next_species_id += self._stride
+        return species_id
+
+    def speciate(
+        self,
+        population: dict[int, "Genome"],
+        generation: int,
+        config: "NEATConfig",
+        rng: random.Random,
+    ) -> SpeciationStats:
+        """Partition ``population`` into species.
+
+        Mirrors neat-python: each surviving species first adopts the unspeciated
+        genome closest to its previous representative as the new
+        representative, then every remaining genome joins the first species
+        within ``compatibility_threshold`` (or founds a new one).
+        """
+        if not population:
+            raise ValueError("cannot speciate an empty population")
+        distance = DistanceCache(config)
+        unspeciated = set(population)
+        new_representatives: dict[int, int] = {}
+        new_members: dict[int, list[int]] = {}
+
+        # re-anchor existing species on the new population
+        for species_id, species in self.species.items():
+            if not unspeciated:
+                break
+            candidates = []
+            for genome_key in unspeciated:
+                genome = population[genome_key]
+                candidates.append(
+                    (distance(species.representative, genome), genome_key)
+                )
+            _d, best_key = min(candidates)
+            new_representatives[species_id] = best_key
+            new_members[species_id] = [best_key]
+            unspeciated.remove(best_key)
+
+        # assign every remaining genome
+        for genome_key in sorted(unspeciated):
+            genome = population[genome_key]
+            best_species = None
+            best_distance = None
+            for species_id, rep_key in new_representatives.items():
+                representative = population[rep_key]
+                d = distance(representative, genome)
+                if d < config.compatibility_threshold and (
+                    best_distance is None or d < best_distance
+                ):
+                    best_distance = d
+                    best_species = species_id
+            if best_species is None:
+                best_species = self._new_species_id()
+                new_representatives[best_species] = genome_key
+                new_members[best_species] = [genome_key]
+            else:
+                new_members[best_species].append(genome_key)
+
+        # materialise the new partition
+        self.genome_to_species = {}
+        updated_species: dict[int, Species] = {}
+        for species_id, rep_key in new_representatives.items():
+            species = self.species.get(species_id)
+            if species is None:
+                species = Species(species_id, generation)
+            members = {
+                key: population[key] for key in new_members[species_id]
+            }
+            for key in members:
+                self.genome_to_species[key] = species_id
+            species.update(population[rep_key], members)
+            updated_species[species_id] = species
+        self.species = updated_species
+
+        stats = distance.stats
+        stats.n_species = len(self.species)
+        return stats
+
+    def remove_species(self, species_id: int) -> None:
+        """Drop a species (stagnation kill)."""
+        species = self.species.pop(species_id, None)
+        if species is not None:
+            for genome_key in species.members:
+                self.genome_to_species.pop(genome_key, None)
+
+    def species_of(self, genome_key: int) -> int | None:
+        """Species id holding ``genome_key``, if any."""
+        return self.genome_to_species.get(genome_key)
+
+    def total_members(self) -> int:
+        return sum(len(s) for s in self.species.values())
+
+    def iter_species(self) -> Iterable[Species]:
+        return iter(self.species.values())

@@ -1,0 +1,56 @@
+"""Species stagnation policy.
+
+A species that has not improved its best fitness for ``max_stagnation``
+generations is removed, except that the ``species_elitism`` fittest species
+are always protected (so the population can never go extinct through
+stagnation alone).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.species import SpeciesSet
+
+
+def update_stagnation(
+    species_set: "SpeciesSet", generation: int, config: "NEATConfig"
+) -> list[tuple[int, bool]]:
+    """Refresh species fitness history; return ``(species_id, stagnant)``.
+
+    Species fitness is the max of member fitness (the criterion NEAT uses
+    for improvement tracking). The returned list is sorted by species
+    fitness ascending, with the top ``species_elitism`` species never marked
+    stagnant.
+    """
+    species_data = []
+    for species_id, species in species_set.species.items():
+        if species.fitness_history:
+            previous_best = max(species.fitness_history)
+        else:
+            previous_best = float("-inf")
+        species.fitness = max(species.get_fitnesses())
+        species.fitness_history.append(species.fitness)
+        species.adjusted_fitness = None
+        if species.fitness > previous_best:
+            species.last_improved = generation
+        species_data.append((species_id, species))
+
+    species_data.sort(key=lambda item: (item[1].fitness, item[0]))
+
+    result = []
+    num_non_stagnant = len(species_data)
+    for index, (species_id, species) in enumerate(species_data):
+        stagnant_time = generation - species.last_improved
+        is_stagnant = False
+        # protect the species_elitism best species (end of the sorted list)
+        if num_non_stagnant > config.species_elitism:
+            is_stagnant = stagnant_time > config.max_stagnation
+        if len(species_data) - index <= config.species_elitism:
+            is_stagnant = False
+        if is_stagnant:
+            num_non_stagnant -= 1
+        result.append((species_id, is_stagnant))
+    return result

@@ -1,0 +1,146 @@
+"""Genome inspection: DOT export and plain-text summaries.
+
+Evolved topologies are the *output* of NEAT; being able to look at them is
+half the point of a TWEANN. ``genome_to_dot`` emits Graphviz source (no
+graphviz dependency — the string renders anywhere), ``describe_genome``
+prints an aligned summary for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.neat.network import FeedForwardNetwork, required_for_output
+from repro.utils.fmt import format_table
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.genome import Genome
+
+
+def node_role(key: int, config: "NEATConfig") -> str:
+    """'input' / 'output' / 'hidden' for a node key."""
+    if key in config.input_keys:
+        return "input"
+    if key in config.output_keys:
+        return "output"
+    return "hidden"
+
+
+def genome_to_dot(
+    genome: "Genome",
+    config: "NEATConfig",
+    include_disabled: bool = False,
+    name: str = "genome",
+) -> str:
+    """Render a genome as Graphviz DOT source.
+
+    Inputs are boxes on the left rank, outputs doublecircles on the right,
+    hidden nodes circles; disabled connections come dashed when requested.
+    """
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+    ]
+    lines.append("  { rank=source;")
+    for key in config.input_keys:
+        lines.append(f'    "{key}" [shape=box, label="in {key}"];')
+    lines.append("  }")
+    lines.append("  { rank=sink;")
+    for key in config.output_keys:
+        node = genome.nodes[key]
+        lines.append(
+            f'    "{key}" [shape=doublecircle, '
+            f'label="out {key}\\nbias {node.bias:.2f}"];'
+        )
+    lines.append("  }")
+    for key, node in sorted(genome.nodes.items()):
+        if key in config.output_keys:
+            continue
+        lines.append(
+            f'  "{key}" [shape=circle, '
+            f'label="{key}\\n{node.activation}\\nbias {node.bias:.2f}"];'
+        )
+    for conn_key in sorted(genome.connections):
+        gene = genome.connections[conn_key]
+        if not gene.enabled and not include_disabled:
+            continue
+        style = "solid" if gene.enabled else "dashed"
+        color = "green" if gene.weight >= 0 else "red"
+        width = 0.5 + min(abs(gene.weight), 5.0) / 2
+        lines.append(
+            f'  "{conn_key[0]}" -> "{conn_key[1]}" '
+            f'[style={style}, color={color}, penwidth={width:.2f}, '
+            f'label="{gene.weight:.2f}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def describe_genome(genome: "Genome", config: "NEATConfig") -> str:
+    """Aligned plain-text summary of a genome's structure."""
+    nodes, enabled = genome.complexity()
+    enabled_keys = [
+        gene.key for gene in genome.connections.values() if gene.enabled
+    ]
+    required = required_for_output(
+        config.input_keys, config.output_keys, enabled_keys
+    )
+    pruned = [
+        key for key in genome.nodes
+        if key not in required and key not in config.output_keys
+    ]
+
+    header = (
+        f"Genome {genome.key}: {nodes} nodes, {enabled} enabled / "
+        f"{len(genome.connections)} total connections, "
+        f"fitness={genome.fitness}"
+    )
+    node_rows = [
+        [
+            key,
+            node_role(key, config),
+            f"{node.bias:.3f}",
+            node.activation,
+            node.aggregation,
+            "yes" if key in required or key in config.output_keys else "no",
+        ]
+        for key, node in sorted(genome.nodes.items())
+    ]
+    conn_rows = [
+        [
+            f"{conn_key[0]} -> {conn_key[1]}",
+            f"{gene.weight:.3f}",
+            "on" if gene.enabled else "off",
+        ]
+        for conn_key, gene in sorted(genome.connections.items())
+    ]
+    parts = [
+        header,
+        format_table(
+            ["node", "role", "bias", "activation", "aggregation", "reaches output"],
+            node_rows,
+        ),
+        format_table(["connection", "weight", "state"], conn_rows),
+    ]
+    if pruned:
+        parts.append(f"nodes pruned at compile time: {sorted(pruned)}")
+    return "\n\n".join(parts)
+
+
+def describe_layers(genome: "Genome", config: "NEATConfig") -> str:
+    """One line per feed-forward level (what the compiler executes)."""
+    network = FeedForwardNetwork.create(genome, config)
+    level: dict[int, int] = {key: 0 for key in config.input_keys}
+    layers: dict[int, list[int]] = {}
+    for key, _act, _agg, _bias, _resp, links in network.node_evals:
+        node_level = 1 + max(
+            (level.get(src, 0) for src, _w in links), default=0
+        )
+        level[key] = node_level
+        layers.setdefault(node_level, []).append(key)
+    lines = [f"level 0 (inputs): {list(config.input_keys)}"]
+    for node_level in sorted(layers):
+        lines.append(f"level {node_level}: {sorted(layers[node_level])}")
+    return "\n".join(lines)

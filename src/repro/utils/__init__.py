@@ -1,0 +1,12 @@
+"""Shared utilities: seeded RNG fan-out and text formatting helpers."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.fmt import format_table, format_quantity, format_seconds
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "format_table",
+    "format_quantity",
+    "format_seconds",
+]

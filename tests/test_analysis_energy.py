@@ -1,0 +1,44 @@
+"""Tests for the energy extension."""
+
+import pytest
+
+from repro.analysis.energy import EnergyPoint, energy_ratio, energy_study
+
+
+class TestEnergyPoint:
+    def test_energy_is_power_times_time(self):
+        point = EnergyPoint("x", 1, 10.0, 5.0)
+        assert point.energy_per_generation_j == 50.0
+
+    def test_edp(self):
+        point = EnergyPoint("x", 1, 10.0, 5.0)
+        assert point.energy_delay_product == 250.0
+
+
+class TestEnergyStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return energy_study(
+            "Airraid-ram-v0", (1, 4), pop_size=24, generations=2, seed=0
+        )
+
+    def test_all_platforms_present(self, points):
+        labels = {p.label for p in points}
+        assert {"HPC CPU", "HPC GPU", "Jetson CPU", "Jetson GPU",
+                "1 pi", "4 pi"} <= labels
+
+    def test_fleet_power_scales_with_pis(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["4 pi"].fleet_power_w == pytest.approx(
+            4 * by_label["1 pi"].fleet_power_w
+        )
+
+    def test_pi_swarm_beats_hpc_on_energy(self, points):
+        # 4 W nodes vs a 90 W desktop: the swarm wins on joules even after
+        # paying communication time
+        assert energy_ratio(points, "4 pi", "HPC CPU") > 1.0
+
+    def test_ratio_inverts(self, points):
+        ratio = energy_ratio(points, "4 pi", "HPC CPU")
+        inverse = energy_ratio(points, "HPC CPU", "4 pi")
+        assert ratio * inverse == pytest.approx(1.0)

@@ -1,0 +1,43 @@
+"""Tests for the Fig 10 technology-study builder."""
+
+import pytest
+
+from repro.analysis.figures import fig10_technology
+
+
+class TestFig10Builder:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return fig10_technology(
+            "CartPole-v0",
+            measure_grid=(1, 2, 4, 6, 8),
+            pop_size=20,
+            generations=2,
+            seed=0,
+        )
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {
+            "a_comm_single_step",
+            "b_comm_multi_step",
+            "c_custom_hw_multi_step",
+        }
+
+    def test_each_panel_has_baseline_and_modified(self, panels):
+        for study in panels.values():
+            assert set(study.baseline.fits) == {"CLAN_DCS", "CLAN_DDA"}
+            assert set(study.modified.fits) == {"CLAN_DCS", "CLAN_DDA"}
+
+    def test_halved_link_never_slower(self, panels):
+        for label in ("a_comm_single_step", "b_comm_multi_step"):
+            study = panels[label]
+            for n in study.baseline.grid:
+                for protocol in ("CLAN_DCS", "CLAN_DDA"):
+                    assert (
+                        study.modified.fits[protocol].predict(n)
+                        <= study.baseline.fits[protocol].predict(n) + 1e-9
+                    )
+
+    def test_custom_hw_faster_serial(self, panels):
+        study = panels["c_custom_hw_multi_step"]
+        assert study.modified.serial_time_s < study.baseline.serial_time_s

@@ -1,0 +1,185 @@
+"""Tests for the figure builders: each must reproduce the paper's
+qualitative claim at reduced scale."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig3_block_costs,
+    fig4_comm_breakdown,
+    fig5_dcs_scaling,
+    fig7b_clan_accuracy,
+    fig8_share,
+    fig11_ppp,
+    paper_floats,
+    ppp_ratio,
+    scaling_series,
+)
+from repro.core.messages import CENTER, Message, MessageType
+
+POP = 24
+GENS = 3
+
+
+class TestPaperFloats:
+    def test_genome_messages_count_genes(self):
+        message = Message(
+            MessageType.SENDING_GENOMES, CENTER, 0, n_floats=430, n_genes=100
+        )
+        assert paper_floats(message) == 100
+
+    def test_fitness_counts_one_per_genome(self):
+        message = Message(
+            MessageType.SENDING_FITNESS, 0, CENTER, n_floats=20, n_units=10
+        )
+        assert paper_floats(message) == 10
+
+    def test_plan_messages_count_raw_words(self):
+        message = Message(
+            MessageType.SENDING_PARENT_LIST, CENTER, 0, n_floats=40
+        )
+        assert paper_floats(message) == 40
+
+
+class TestFig3:
+    def test_inference_dominates(self):
+        costs = fig3_block_costs(("CartPole-v0",), POP, GENS, seed=0)
+        for point in costs["CartPole-v0"]:
+            assert point.inference_genes > point.speciation_genes
+            assert point.speciation_genes > point.reproduction_genes / 10
+
+    def test_one_series_per_workload(self):
+        costs = fig3_block_costs(
+            ("CartPole-v0", "MountainCar-v0"), POP, GENS, seed=0
+        )
+        assert set(costs) == {"CartPole-v0", "MountainCar-v0"}
+        assert all(len(series) == GENS for series in costs.values())
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return fig4_comm_breakdown(
+            {"Cartpole-v0": ("CartPole-v0",)}, POP, GENS, n_agents=3, seed=0
+        )
+
+    def test_dds_highest_total(self, breakdown):
+        per_config = breakdown["Cartpole-v0"]
+        totals = {
+            name: sum(categories.values())
+            for name, categories in per_config.items()
+        }
+        assert totals["CLAN_DDS"] > totals["CLAN_DCS"] > totals["CLAN_DDA"]
+
+    def test_dda_dominated_by_fitness_after_init(self, breakdown):
+        dda = breakdown["Cartpole-v0"]["CLAN_DDA"]
+        # genome traffic amortises over generations; fitness recurs
+        assert dda["Sending Children"] == 0
+        assert dda["Sending Parent Genomes"] == 0
+        assert dda["Sending Fitness"] > 0
+
+    def test_dcs_has_no_plan_traffic(self, breakdown):
+        dcs = breakdown["Cartpole-v0"]["CLAN_DCS"]
+        assert dcs["Sending Parent List"] == 0
+        assert dcs["Sending Spawn Count"] == 0
+
+    def test_dds_pays_children_and_parents(self, breakdown):
+        dds = breakdown["Cartpole-v0"]["CLAN_DDS"]
+        assert dds["Sending Children"] > 0
+        assert dds["Sending Parent Genomes"] > 0
+
+
+class TestScalingSeries:
+    def test_inference_shrinks_with_nodes(self):
+        series = scaling_series(
+            "CartPole-v0", "CLAN_DCS", (1, 4, 8), POP, GENS, seed=0
+        )
+        assert series[4].inference_s < series[1].inference_s
+        assert series[8].inference_s < series[4].inference_s
+
+    def test_communication_grows_with_nodes(self):
+        series = scaling_series(
+            "CartPole-v0", "CLAN_DCS", (2, 8, 15), POP, GENS, seed=0
+        )
+        assert series[15].communication_s > series[2].communication_s
+
+    def test_dda_skips_oversized_clusters(self):
+        series = scaling_series(
+            "CartPole-v0", "CLAN_DDA", (2, POP), POP, GENS, seed=0
+        )
+        assert POP not in series  # pop cannot form pop clans of >= 2
+        assert 2 in series
+
+    def test_fig5_covers_workloads(self):
+        result = fig5_dcs_scaling(
+            ("CartPole-v0",), (1, 2), POP, GENS, seed=0
+        )
+        assert set(result) == {"CartPole-v0"}
+        assert set(result["CartPole-v0"]) == {1, 2}
+
+
+class TestFig7b:
+    def test_reports_all_clan_counts(self):
+        points = fig7b_clan_accuracy(
+            "CartPole-v0",
+            clans_grid=(1, 2),
+            pop_size=16,
+            n_runs=2,
+            max_generations=10,
+            seed=0,
+            fitness_threshold=50.0,
+        )
+        assert [p.n_clans for p in points] == [1, 2]
+        assert all(p.total_runs == 2 for p in points)
+
+    def test_mean_generations_bounded(self):
+        points = fig7b_clan_accuracy(
+            "CartPole-v0",
+            clans_grid=(2,),
+            pop_size=16,
+            n_runs=2,
+            max_generations=8,
+            seed=0,
+            fitness_threshold=1e9,  # never converges
+        )
+        assert points[0].mean_generations == 8.0
+        assert points[0].converged_runs == 0
+
+
+class TestFig8:
+    def test_shares_sum_to_one(self):
+        shares = fig8_share(("CartPole-v0",), POP, GENS, seed=0)
+        for per_config in shares.values():
+            for share in per_config.values():
+                assert sum(share.values()) == pytest.approx(1.0)
+
+    def test_small_workload_is_comm_bound(self):
+        # the paper's Fig 8: >90% communication for CartPole in every config
+        shares = fig8_share(("CartPole-v0",), POP, GENS, seed=0)
+        for share in shares["CartPole-v0"].values():
+            assert share["communication"] > 0.5
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig11_ppp(("CartPole-v0",), (1, 2, 4), POP, GENS, seed=0)
+
+    def test_platforms_and_pi_counts_present(self, points):
+        labels = {p.label for p in points["CartPole-v0"]}
+        assert {"HPC CPU", "HPC GPU", "Jetson CPU", "Jetson GPU"} <= labels
+        assert {"1 pi", "2 pi", "4 pi"} <= labels
+
+    def test_pi_cluster_price_scales(self, points):
+        by_label = {p.label: p for p in points["CartPole-v0"]}
+        assert by_label["4 pi"].price_usd == 4 * by_label["1 pi"].price_usd
+
+    def test_hpc_faster_than_single_pi(self, points):
+        by_label = {p.label: p for p in points["CartPole-v0"]}
+        assert (
+            by_label["HPC CPU"].time_per_generation_s
+            < by_label["1 pi"].time_per_generation_s
+        )
+
+    def test_ppp_ratio(self, points):
+        ratio = ppp_ratio(points["CartPole-v0"], "1 pi", "HPC CPU")
+        assert ratio > 0

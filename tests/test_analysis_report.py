@@ -1,0 +1,96 @@
+"""Tests for ASCII report rendering."""
+
+from repro.analysis.figures import (
+    BlockCosts,
+    ClanAccuracyPoint,
+    PlatformPoint,
+)
+from repro.analysis.report import (
+    render_block_costs,
+    render_clan_accuracy,
+    render_comm_breakdown,
+    render_extrapolation,
+    render_platforms,
+    render_scaling_series,
+    render_share,
+)
+from repro.cluster.analytic import TimingBreakdown
+from repro.core.extrapolation import ExtrapolationStudy, ScalingFit
+
+
+class TestRenderers:
+    def test_block_costs(self):
+        text = render_block_costs(
+            "CartPole-v0",
+            [BlockCosts(0, 1000, 100, 10), BlockCosts(1, 2000, 200, 20)],
+        )
+        assert "[Fig 3]" in text
+        assert "CartPole-v0" in text
+        assert "2.00K" in text
+
+    def test_comm_breakdown(self):
+        text = render_comm_breakdown(
+            "Atari Games",
+            {
+                "CLAN_DCS": {"Sending Genomes": 100.0, "Sending Fitness": 5.0},
+                "CLAN_DDA": {"Sending Genomes": 10.0, "Sending Fitness": 5.0},
+            },
+        )
+        assert "[Fig 4]" in text
+        assert "CLAN_DCS" in text
+        assert "total" in text
+
+    def test_scaling_series(self):
+        text = render_scaling_series(
+            "Fig 5",
+            "LunarLander-v2",
+            {1: TimingBreakdown(10, 1, 0), 4: TimingBreakdown(2.5, 1, 0.5)},
+        )
+        assert "nodes" in text
+        assert "10.00s" in text
+
+    def test_clan_accuracy(self):
+        text = render_clan_accuracy(
+            [ClanAccuracyPoint(1, 8.0, 3, 3), ClanAccuracyPoint(4, 12.5, 3, 3)],
+            "LunarLander-v2",
+        )
+        assert "[Fig 7b]" in text
+        assert "12.5" in text
+
+    def test_share(self):
+        text = render_share(
+            "Airraid-ram-v0",
+            {
+                "CLAN_DCS": {
+                    "inference": 0.32,
+                    "evolution": 0.32,
+                    "communication": 0.36,
+                }
+            },
+        )
+        assert "36%" in text
+
+    def test_extrapolation(self):
+        study = ExtrapolationStudy(
+            serial_time_s=10.0,
+            fits={
+                "CLAN_DCS": ScalingFit(20, 5, 0.01, 0.0),
+                "CLAN_DDA": ScalingFit(25, 1, 0.005, 0.0),
+            },
+            grid=(1, 10, 100),
+        )
+        text = render_extrapolation("Fig 9a", study)
+        assert "serial baseline" in text
+        assert "crossover" in text
+        assert "stagnation" in text
+
+    def test_platforms(self):
+        text = render_platforms(
+            "Atari Games",
+            [
+                PlatformPoint("HPC CPU", 1500.0, 100.0),
+                PlatformPoint("6 pi", 240.0, 120.0),
+            ],
+        )
+        assert "$1500" in text
+        assert "perf per dollar" in text

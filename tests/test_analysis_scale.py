@@ -1,0 +1,36 @@
+"""Tests for benchmark scale presets."""
+
+import pytest
+
+from repro.analysis.scale import bench_scale
+
+
+class TestBenchScale:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_scale().name == "quick"
+
+    def test_paper_preset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        scale = bench_scale()
+        assert scale.name == "paper"
+        assert scale.pop_size == 150  # the paper's population
+        assert scale.fig7b_env == "LunarLander-v2"
+        assert scale.fig7b_runs == 10
+
+    def test_unknown_preset_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError, match="quick"):
+            bench_scale()
+
+    def test_quick_grids_match_paper_axes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        scale = bench_scale()
+        # Fig 7b x-axis: 1, 2, 4, 8, 16 clans
+        assert scale.fig7b_clans == (1, 2, 4, 8, 16)
+        # Fig 9 extrapolation reaches 100 units
+        assert max(scale.fig9_plot_grid_single) == 100
+
+    def test_workloads_omit_amidar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert "Amidar-ram-v0" not in bench_scale().workloads

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLearn:
+    def test_learn_prints_progress_and_timing(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "CLAN_DDA",
+                "--agents", "4",
+                "--pop", "32",
+                "--generations", "3",
+                "--threshold", "1e9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "generation   0" in out
+        assert "communication" in out
+
+    def test_learn_converges_exit_zero(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--pop", "32",
+                "--generations", "30",
+                "--threshold", "30",
+            ]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_learn_with_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "pop.json"
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "20",
+                "--generations", "2",
+                "--threshold", "1e9",
+                "--checkpoint", str(path),
+            ]
+        )
+        assert code in (0, 1)
+        assert path.exists()
+
+    def test_serial_forces_one_agent(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "Serial",
+                "--agents", "5",
+                "--pop", "20",
+                "--generations", "1",
+                "--threshold", "1e9",
+            ]
+        )
+        assert code in (0, 1)
+        assert "on 1 Pis" in capsys.readouterr().out
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["learn", "Pong-v0"])
+
+
+class TestInspect:
+    def test_inspect_describes_champion(self, tmp_path, capsys):
+        path = tmp_path / "pop.json"
+        main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "20",
+                "--generations", "2",
+                "--threshold", "1e9",
+                "--checkpoint", str(path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["inspect", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Genome" in out
+        assert "connection" in out
+
+    def test_inspect_dot_output(self, tmp_path, capsys):
+        path = tmp_path / "pop.json"
+        main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "20",
+                "--generations", "1",
+                "--threshold", "1e9",
+                "--checkpoint", str(path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["inspect", str(path), "--dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph champion")
+
+
+class TestAnalyses:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "raspberry_pi" in out
+        assert "$1500" in out
+
+    def test_scale_study(self, capsys):
+        code = main(
+            [
+                "scale", "CartPole-v0",
+                "--pop", "24",
+                "--generations", "2",
+                "--single-step",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crossover" in out
+
+    def test_ppp(self, capsys):
+        code = main(
+            ["ppp", "CartPole-v0", "--pop", "24", "--generations", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perf per dollar" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

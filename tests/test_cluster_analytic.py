@@ -1,0 +1,207 @@
+"""Tests for the analytic timing model."""
+
+import pytest
+
+from repro.cluster.analytic import (
+    ClusterSpec,
+    TimingBreakdown,
+    effective_evolution_gene_ops,
+    mean_generation_time,
+    time_generation,
+    time_run,
+)
+from repro.cluster.device import get_device
+from repro.cluster.netmodel import WiFiModel
+from repro.core.messages import CENTER, Message, MessageType
+from repro.core.metrics import AgentLoad, GenerationRecord
+
+
+def record_with(n_agents=2, **kwargs):
+    record = GenerationRecord(
+        generation=0,
+        protocol="CLAN_DCS",
+        n_agents=n_agents,
+        agent_loads=[AgentLoad() for _ in range(n_agents)],
+    )
+    for key, value in kwargs.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestClusterSpec:
+    def test_of_pis(self):
+        spec = ClusterSpec.of_pis(4)
+        assert spec.n_agents == 4
+        assert spec.agent_device.name == "raspberry_pi"
+
+    def test_center_defaults_to_agent_device(self):
+        spec = ClusterSpec.of_pis(2)
+        assert spec.center is spec.agent_device
+
+    def test_total_price(self):
+        assert ClusterSpec.of_pis(6).total_price_usd() == 240.0
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_agents=0, agent_device=get_device("raspberry_pi"))
+
+
+class TestTimingBreakdown:
+    def test_total(self):
+        timing = TimingBreakdown(1.0, 2.0, 3.0)
+        assert timing.total_s == 6.0
+
+    def test_add(self):
+        total = TimingBreakdown(1, 1, 1) + TimingBreakdown(2, 2, 2)
+        assert total.total_s == 9.0
+
+    def test_scaled(self):
+        timing = TimingBreakdown(2.0, 4.0, 6.0).scaled(0.5)
+        assert timing.inference_s == 1.0
+        assert timing.total_s == 6.0
+
+    def test_share_sums_to_one(self):
+        share = TimingBreakdown(1.0, 2.0, 3.0).share()
+        assert sum(share.values()) == pytest.approx(1.0)
+
+    def test_share_of_zero(self):
+        share = TimingBreakdown().share()
+        assert all(v == 0.0 for v in share.values())
+
+
+class TestTimeGeneration:
+    def test_inference_is_max_over_agents(self):
+        record = record_with(n_agents=2)
+        record.agent_loads[0].inference_gene_ops = 100_000
+        record.agent_loads[1].inference_gene_ops = 50_000
+        spec = ClusterSpec.of_pis(2)
+        timing = time_generation(record, spec, pi_env_step_s=0.0)
+        expected = spec.agent_device.inference_time(100_000)
+        assert timing.inference_s == pytest.approx(expected)
+
+    def test_env_steps_add_inference_time(self):
+        record = record_with(n_agents=1)
+        record.agent_loads[0].env_steps = 1000
+        spec = ClusterSpec.of_pis(1)
+        timing = time_generation(record, spec, pi_env_step_s=1e-3)
+        assert timing.inference_s == pytest.approx(1.0)
+
+    def test_center_evolution_timed_on_center_device(self):
+        record = record_with(n_agents=1)
+        record.center_speciation_gene_ops = 1_000_000
+        fast_center = ClusterSpec(
+            n_agents=1,
+            agent_device=get_device("raspberry_pi"),
+            center_device=get_device("hpc_cpu"),
+        )
+        pi_center = ClusterSpec.of_pis(1)
+        fast = time_generation(record, fast_center, 0.0)
+        slow = time_generation(record, pi_center, 0.0)
+        assert fast.evolution_s < slow.evolution_s
+
+    def test_no_messages_no_comm(self):
+        record = record_with(n_agents=2)
+        timing = time_generation(record, ClusterSpec.of_pis(2), 0.0)
+        assert timing.communication_s == 0.0
+
+    def test_message_units_charge_per_send(self):
+        base = record_with(n_agents=1)
+        base.messages.append(
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 100, 50, 1)
+        )
+        chatty = record_with(n_agents=1)
+        chatty.messages.append(
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 100, 50, 10)
+        )
+        spec = ClusterSpec.of_pis(1)
+        assert (
+            time_generation(chatty, spec, 0.0).communication_s
+            > time_generation(base, spec, 0.0).communication_s
+        )
+
+    def test_phase_sync_scales_quadratically(self):
+        def comm_at(n):
+            record = record_with(n_agents=n)
+            record.messages.append(
+                Message(MessageType.SENDING_FITNESS, 0, CENTER, 10, 0, 1)
+            )
+            return time_generation(
+                record, ClusterSpec.of_pis(n), 0.0
+            ).communication_s
+
+        delta_small = comm_at(4) - comm_at(2)
+        delta_large = comm_at(16) - comm_at(14)
+        assert delta_large > delta_small
+
+    def test_one_sync_cost_per_phase(self):
+        one_phase = record_with(n_agents=2)
+        one_phase.messages.append(
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, 10, 0, 1)
+        )
+        two_phase = record_with(n_agents=2)
+        two_phase.messages.append(
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, 10, 0, 1)
+        )
+        two_phase.messages.append(
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 10, 5, 1)
+        )
+        spec = ClusterSpec.of_pis(2)
+        t1 = time_generation(one_phase, spec, 0.0).communication_s
+        t2 = time_generation(two_phase, spec, 0.0).communication_s
+        assert t2 > t1 + spec.phase_sync_s * 4 - 1e-9
+
+    def test_plan_messages_share_one_phase(self):
+        record = record_with(n_agents=2)
+        for msg_type in (
+            MessageType.SENDING_SPAWN_COUNT,
+            MessageType.SENDING_PARENT_LIST,
+            MessageType.SENDING_PARENT_GENOMES,
+        ):
+            record.messages.append(
+                Message(msg_type, CENTER, 0, 10, 0, 1)
+            )
+        spec = ClusterSpec.of_pis(2)
+        timing = time_generation(record, spec, 0.0)
+        per_message = (
+            spec.link.channel_setup_s + spec.link.base_latency_s
+        ) * 3 + 3 * 10 * 4 * 8 / spec.link.bandwidth_bps
+        sync = spec.phase_sync_s * 4  # one phase only
+        assert timing.communication_s == pytest.approx(per_message + sync)
+
+
+class TestRunAggregation:
+    def test_time_run_sums(self):
+        records = [record_with(n_agents=1) for _ in range(3)]
+        for record in records:
+            record.agent_loads[0].inference_gene_ops = 50_000
+        spec = ClusterSpec.of_pis(1)
+        total = time_run(records, spec, 0.0)
+        single = time_generation(records[0], spec, 0.0)
+        assert total.total_s == pytest.approx(3 * single.total_s)
+
+    def test_mean_generation_time(self):
+        records = [record_with(n_agents=1) for _ in range(4)]
+        for record in records:
+            record.agent_loads[0].inference_gene_ops = 50_000
+        spec = ClusterSpec.of_pis(1)
+        mean = mean_generation_time(records, spec, 0.0)
+        assert mean.total_s == pytest.approx(
+            time_generation(records[0], spec, 0.0).total_s
+        )
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_generation_time([], ClusterSpec.of_pis(1), 0.0)
+
+
+class TestEffectiveEvolution:
+    def test_speciation_cheaper_per_gene_than_inference(self):
+        assert effective_evolution_gene_ops(100, 0, 0) < 100
+
+    def test_components_additive(self):
+        combined = effective_evolution_gene_ops(100, 200, 50)
+        assert combined == pytest.approx(
+            effective_evolution_gene_ops(100, 0, 0)
+            + effective_evolution_gene_ops(0, 200, 0)
+            + effective_evolution_gene_ops(0, 0, 50)
+        )

@@ -1,0 +1,122 @@
+"""Tests for device models (Table IV platforms)."""
+
+import pytest
+
+from repro.cluster.device import (
+    PI_GENE_OPS_PER_S,
+    DeviceModel,
+    available_devices,
+    get_device,
+)
+
+
+class TestRegistry:
+    def test_table_iv_platforms_present(self):
+        for name in (
+            "raspberry_pi",
+            "jetson_cpu",
+            "jetson_gpu",
+            "hpc_cpu",
+            "hpc_gpu",
+        ):
+            assert name in available_devices()
+
+    def test_custom_hw_present(self):
+        assert "systolic_32x32" in available_devices()
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="raspberry_pi"):
+            get_device("tpu")
+
+    def test_table_iv_prices(self):
+        # Table IV: Pi $40, Jetson $600, HPC $1500
+        assert get_device("raspberry_pi").price_usd == 40.0
+        assert get_device("jetson_cpu").price_usd == 600.0
+        assert get_device("jetson_gpu").price_usd == 600.0
+        assert get_device("hpc_cpu").price_usd == 1500.0
+        assert get_device("hpc_gpu").price_usd == 1500.0
+
+    def test_pi_is_reference(self):
+        pi = get_device("raspberry_pi")
+        assert pi.inference_speedup == 1.0
+        assert pi.evolution_speedup == 1.0
+
+    def test_platform_ordering(self):
+        # HPC > Jetson > Pi on CPU throughput; GPUs above their CPUs
+        assert (
+            get_device("hpc_cpu").inference_speedup
+            > get_device("jetson_cpu").inference_speedup
+            > get_device("raspberry_pi").inference_speedup
+        )
+        assert (
+            get_device("hpc_gpu").inference_speedup
+            > get_device("hpc_cpu").inference_speedup
+        )
+        assert (
+            get_device("jetson_gpu").inference_speedup
+            > get_device("jetson_cpu").inference_speedup
+        )
+
+    def test_gpu_does_not_speed_up_evolution(self):
+        assert (
+            get_device("hpc_gpu").evolution_speedup
+            == get_device("hpc_cpu").evolution_speedup
+        )
+
+    def test_systolic_accelerates_inference_only(self):
+        systolic = get_device("systolic_32x32")
+        assert systolic.inference_speedup >= 50
+        assert systolic.evolution_speedup == 1.0
+
+
+class TestTiming:
+    def test_pi_inference_rate(self):
+        pi = get_device("raspberry_pi")
+        assert pi.inference_time(PI_GENE_OPS_PER_S) == pytest.approx(1.0)
+
+    def test_speedup_scales_time(self):
+        pi = get_device("raspberry_pi")
+        hpc = get_device("hpc_cpu")
+        work = 1e6
+        assert hpc.inference_time(work) == pytest.approx(
+            pi.inference_time(work) / hpc.inference_speedup
+        )
+
+    def test_env_step_scales_with_evolution_speed(self):
+        jetson = get_device("jetson_cpu")
+        assert jetson.env_step_time(1e-3) == pytest.approx(
+            1e-3 / jetson.evolution_speedup
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModel("bad", price_usd=0, inference_speedup=1,
+                        evolution_speedup=1)
+        with pytest.raises(ValueError):
+            DeviceModel("bad", price_usd=1, inference_speedup=0,
+                        evolution_speedup=1)
+
+
+class TestProfiles:
+    def test_all_envs_have_step_costs(self):
+        from repro.cluster.profiles import pi_env_step_seconds
+        from repro.envs.registry import available_env_ids
+
+        for env_id in available_env_ids():
+            assert pi_env_step_seconds(env_id) > 0
+
+    def test_large_workloads_cost_more_per_step(self):
+        from repro.cluster.profiles import pi_env_step_seconds
+
+        assert pi_env_step_seconds("Airraid-ram-v0") > pi_env_step_seconds(
+            "CartPole-v0"
+        )
+        assert pi_env_step_seconds("LunarLander-v2") > pi_env_step_seconds(
+            "MountainCar-v0"
+        )
+
+    def test_unknown_env_raises(self):
+        from repro.cluster.profiles import pi_env_step_seconds
+
+        with pytest.raises(KeyError):
+            pi_env_step_seconds("Pong-v0")

@@ -1,0 +1,93 @@
+"""Tests for the discrete-event primitives."""
+
+import pytest
+
+from repro.cluster.events import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_processes_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append(1))
+        queue.schedule(1.0, lambda: order.append(2))
+        queue.run()
+        assert order == [1, 2]
+
+    def test_run_returns_final_clock(self):
+        queue = EventQueue()
+        queue.schedule(5.5, lambda: None)
+        assert queue.run() == 5.5
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            queue.schedule(queue.now + 1.0, lambda: seen.append("second"))
+
+        queue.schedule(1.0, first)
+        final = queue.run()
+        assert seen == ["second"]
+        assert final == 2.0
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+
+        def bad():
+            queue.schedule(queue.now - 1.0, lambda: None)
+
+        queue.schedule(5.0, bad)
+        with pytest.raises(ValueError):
+            queue.run()
+
+    def test_processed_count(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.schedule(float(t), lambda: None)
+        queue.run()
+        assert queue.processed == 5
+
+
+class TestResource:
+    def test_serialises_bookings(self):
+        resource = Resource("radio")
+        s1, e1 = resource.acquire(0.0, 2.0)
+        s2, e2 = resource.acquire(0.0, 3.0)
+        assert (s1, e1) == (0.0, 2.0)
+        assert (s2, e2) == (2.0, 5.0)
+
+    def test_waits_for_earliest(self):
+        resource = Resource("radio")
+        start, end = resource.acquire(10.0, 1.0)
+        assert (start, end) == (10.0, 11.0)
+
+    def test_busy_time_accumulates(self):
+        resource = Resource("radio")
+        resource.acquire(0.0, 2.0)
+        resource.acquire(0.0, 3.0)
+        assert resource.busy_time == 5.0
+
+    def test_zero_duration_allowed(self):
+        resource = Resource("marker")
+        start, end = resource.acquire(1.0, 0.0)
+        assert start == end == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("x").acquire(0.0, -1.0)
+
+    def test_utilisation(self):
+        resource = Resource("radio")
+        resource.acquire(0.0, 5.0)
+        assert resource.utilisation(10.0) == 0.5
+        assert resource.utilisation(0.0) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the WiFi link model."""
+
+import pytest
+
+from repro.cluster.netmodel import (
+    PAPER_64B_LATENCY_S,
+    PAPER_BANDWIDTH_BPS,
+    WiFiModel,
+)
+
+
+class TestPaperCalibration:
+    def test_64_byte_transfer_matches_measurement(self):
+        # paper section IV-A: 8.83 ms peer-to-peer latency for 64 B
+        link = WiFiModel(channel_setup_s=0.0)
+        assert link.transfer_time(64) == pytest.approx(
+            PAPER_64B_LATENCY_S, rel=1e-6
+        )
+
+    def test_bandwidth_constant(self):
+        assert PAPER_BANDWIDTH_BPS == pytest.approx(62.24e6)
+
+
+class TestTransferTime:
+    def test_monotone_in_size(self):
+        link = WiFiModel()
+        times = [link.transfer_time(n) for n in (0, 100, 10_000, 1_000_000)]
+        assert times == sorted(times)
+
+    def test_large_transfer_dominated_by_bandwidth(self):
+        link = WiFiModel()
+        ten_mb = 10 * 1024 * 1024
+        expected_stream = ten_mb * 8 / link.bandwidth_bps
+        assert link.transfer_time(ten_mb) == pytest.approx(
+            expected_stream, rel=0.05
+        )
+
+    def test_small_transfer_dominated_by_latency(self):
+        link = WiFiModel()
+        assert link.transfer_time(8) == pytest.approx(
+            link.channel_setup_s + link.base_latency_s, rel=0.01
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WiFiModel().transfer_time(-1)
+
+    def test_sender_occupancy_excludes_latency(self):
+        link = WiFiModel()
+        assert link.sender_occupancy(1000) < link.transfer_time(1000)
+
+
+class TestScaled:
+    def test_half_cost_link(self):
+        link = WiFiModel()
+        fast = link.scaled(0.5)
+        for size in (64, 10_000, 1_000_000):
+            assert fast.transfer_time(size) == pytest.approx(
+                link.transfer_time(size) / 2
+            )
+
+    def test_identity_scale(self):
+        link = WiFiModel()
+        same = link.scaled(1.0)
+        assert same.transfer_time(500) == pytest.approx(
+            link.transfer_time(500)
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            WiFiModel().scaled(0.0)
+
+    def test_original_unchanged(self):
+        link = WiFiModel()
+        before = link.transfer_time(64)
+        link.scaled(0.25)
+        assert link.transfer_time(64) == before
+
+
+class TestValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            WiFiModel(bandwidth_bps=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            WiFiModel(base_latency_s=-1.0)

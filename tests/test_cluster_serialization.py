@@ -1,0 +1,156 @@
+"""Tests for the genome wire format."""
+
+import pytest
+
+from repro.cluster.serialization import (
+    HEADER_WORDS,
+    WORD_BYTES,
+    decode_genome,
+    decode_genomes,
+    encode_genome,
+    encode_genomes,
+    genome_stream_bytes,
+    genome_wire_bytes,
+    genome_wire_floats,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+
+from tests.conftest import make_evolved_genome
+
+
+@pytest.fixture
+def config():
+    return NEATConfig(num_inputs=4, num_outputs=2)
+
+
+def genomes_equal(a: Genome, b: Genome) -> bool:
+    return (
+        a.key == b.key
+        and a.fitness == b.fitness
+        and a.nodes == b.nodes
+        and set(a.connections) == set(b.connections)
+        and all(a.connections[k] == b.connections[k] for k in a.connections)
+    )
+
+
+class TestRoundTrip:
+    def test_fresh_genome(self, config, rng):
+        genome = Genome(3)
+        genome.configure_new(config, rng)
+        assert genomes_equal(genome, decode_genome(encode_genome(genome)))
+
+    def test_evolved_genome(self, config):
+        genome = make_evolved_genome(config, seed=5, mutations=60, key=11)
+        assert genomes_equal(genome, decode_genome(encode_genome(genome)))
+
+    def test_fitness_preserved(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        genome.fitness = -123.456
+        assert decode_genome(encode_genome(genome)).fitness == -123.456
+
+    def test_unset_fitness_round_trips_as_none(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        genome.fitness = None
+        assert decode_genome(encode_genome(genome)).fitness is None
+
+    def test_disabled_connections_preserved(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        key = next(iter(genome.connections))
+        genome.connections[key].enabled = False
+        decoded = decode_genome(encode_genome(genome))
+        assert not decoded.connections[key].enabled
+
+    def test_bit_exact_weights(self, config):
+        # the runtime depends on doubles surviving the round-trip exactly
+        genome = make_evolved_genome(config, seed=9, mutations=40)
+        decoded = decode_genome(encode_genome(genome))
+        for key, gene in genome.connections.items():
+            assert decoded.connections[key].weight == gene.weight
+
+    def test_empty_genome(self):
+        genome = Genome(7)
+        decoded = decode_genome(encode_genome(genome))
+        assert decoded.key == 7
+        assert not decoded.nodes
+        assert not decoded.connections
+
+    def test_encode_is_canonical(self, config):
+        # same content, different dict insertion order => same bytes
+        genome = make_evolved_genome(config, seed=5, mutations=30)
+        reordered = Genome(genome.key)
+        reordered.fitness = genome.fitness
+        for key in reversed(sorted(genome.nodes)):
+            reordered.nodes[key] = genome.nodes[key].copy()
+        for key in reversed(sorted(genome.connections)):
+            reordered.connections[key] = genome.connections[key].copy()
+        assert encode_genome(genome) == encode_genome(reordered)
+
+
+class TestBatch:
+    def test_batch_round_trip(self, config):
+        batch = [
+            make_evolved_genome(config, seed=i, mutations=20, key=i)
+            for i in range(5)
+        ]
+        decoded = decode_genomes(encode_genomes(batch))
+        assert len(decoded) == 5
+        for original, copy in zip(batch, decoded):
+            assert genomes_equal(original, copy)
+
+    def test_empty_batch(self):
+        assert decode_genomes(encode_genomes([])) == []
+
+    def test_trailing_bytes_rejected(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        data = encode_genomes([genome]) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_genomes(data)
+
+
+class TestValidation:
+    def test_truncated_stream_rejected(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        data = encode_genome(genome)
+        with pytest.raises(ValueError):
+            decode_genome(data[:-4])
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            decode_genome(b"\x00" * 4)
+
+
+class TestAccounting:
+    def test_wire_floats_formula(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        expected = (
+            HEADER_WORDS
+            + NodeGene.FLOAT_FIELDS * len(genome.nodes)
+            + ConnectionGene.FLOAT_FIELDS * len(genome.connections)
+        )
+        assert genome_wire_floats(genome) == expected
+
+    def test_wire_bytes_is_words_times_four(self, config, rng):
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        assert genome_wire_bytes(genome) == WORD_BYTES * genome_wire_floats(
+            genome
+        )
+
+    def test_stream_bytes_matches_encoding(self, config):
+        genome = make_evolved_genome(config, seed=2, mutations=25)
+        assert genome_stream_bytes(genome) == len(encode_genome(genome))
+
+    def test_wire_floats_grow_with_genes(self, config, rng):
+        small = Genome(0)
+        small.configure_new(config, rng)
+        big = make_evolved_genome(config, seed=3, mutations=60)
+        if big.gene_count() > small.gene_count():
+            assert genome_wire_floats(big) > genome_wire_floats(small)

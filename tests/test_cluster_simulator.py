@@ -1,0 +1,106 @@
+"""Tests for the event-driven cluster simulator."""
+
+import pytest
+
+from repro.cluster.analytic import ClusterSpec, time_generation
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.cluster.simulator import GenerationSimulator
+from repro.core.protocols import CLAN_DCS, CLAN_DDA, CLAN_DDS, SerialNEAT
+from repro.neat.config import NEATConfig
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """One short run per protocol, shared across tests."""
+    config = NEATConfig.for_env("CartPole-v0", pop_size=30)
+    out = {}
+    for cls, n in ((SerialNEAT, 1), (CLAN_DCS, 3), (CLAN_DDS, 3),
+                   (CLAN_DDA, 3)):
+        if cls is SerialNEAT:
+            engine = cls("CartPole-v0", config=config, seed=11)
+        else:
+            engine = cls("CartPole-v0", n_agents=n, config=config, seed=11)
+        engine.run(max_generations=3, fitness_threshold=1e9)
+        out[cls.name] = engine
+    return out
+
+
+STEP_S = pi_env_step_seconds("CartPole-v0")
+
+
+class TestBarrierModeAgreement:
+    @pytest.mark.parametrize(
+        "protocol,n", [("Serial", 1), ("CLAN_DCS", 3), ("CLAN_DDS", 3),
+                       ("CLAN_DDA", 3)]
+    )
+    def test_matches_analytic_model(self, engines, protocol, n):
+        spec = ClusterSpec.of_pis(n)
+        simulator = GenerationSimulator(spec, STEP_S, mode="barrier")
+        for record in engines[protocol].records:
+            analytic = time_generation(record, spec, STEP_S).total_s
+            simulated = simulator.simulate(record).total_s
+            assert simulated == pytest.approx(analytic, rel=1e-3)
+
+    def test_total_time_sums_generations(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S)
+        records = engines["CLAN_DCS"].records
+        total = simulator.total_time(records)
+        assert total == pytest.approx(
+            sum(simulator.simulate(r).total_s for r in records)
+        )
+
+
+class TestPipelinedMode:
+    def test_never_slower_than_barrier(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        barrier = GenerationSimulator(spec, STEP_S, mode="barrier")
+        pipelined = GenerationSimulator(spec, STEP_S, mode="pipelined")
+        for record in engines["CLAN_DCS"].records:
+            assert (
+                pipelined.simulate(record).total_s
+                <= barrier.simulate(record).total_s + 1e-9
+            )
+
+    def test_helps_dcs_genome_distribution(self, engines):
+        # DCS ships genomes before inference; overlap must buy time
+        spec = ClusterSpec.of_pis(3)
+        barrier = GenerationSimulator(spec, STEP_S, mode="barrier")
+        pipelined = GenerationSimulator(spec, STEP_S, mode="pipelined")
+        record = engines["CLAN_DCS"].records[0]
+        assert (
+            pipelined.simulate(record).total_s
+            < barrier.simulate(record).total_s
+        )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationSimulator(ClusterSpec.of_pis(1), STEP_S, mode="warp")
+
+
+class TestSimulationDetail:
+    def test_phase_ends_monotone(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S)
+        sim = simulator.simulate(engines["CLAN_DDS"].records[0])
+        times = list(sim.phase_end_s.values())
+        assert times == sorted(times)
+
+    def test_radio_busy_only_with_messages(self, engines):
+        spec = ClusterSpec.of_pis(1)
+        simulator = GenerationSimulator(spec, STEP_S)
+        serial = simulator.simulate(engines["Serial"].records[0])
+        assert serial.radio_busy_s == 0.0
+        dcs = GenerationSimulator(ClusterSpec.of_pis(3), STEP_S).simulate(
+            engines["CLAN_DCS"].records[0]
+        )
+        assert dcs.radio_busy_s > 0.0
+
+    def test_agent_busy_reflects_loads(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S)
+        record = engines["CLAN_DCS"].records[0]
+        sim = simulator.simulate(record)
+        for agent, load in enumerate(record.agent_loads):
+            if load.inference_gene_ops > 0:
+                assert sim.agent_busy_s[agent] > 0.0

@@ -1,0 +1,107 @@
+"""Tests for the Fig 1 closed adaptive loop."""
+
+import pytest
+
+from repro.cluster.analytic import ClusterSpec
+from repro.core.adaptive import AdaptiveAgent
+from repro.envs.cartpole import CartPoleEnv
+from repro.neat.config import NEATConfig
+
+
+def make_agent(**overrides):
+    env = CartPoleEnv(seed=0)
+    params = dict(
+        env=env,
+        cluster=ClusterSpec.of_pis(4),
+        fitness_threshold=60.0,
+        window=3,
+        protocol="CLAN_DDA",
+        config=NEATConfig.for_env("CartPole-v0", pop_size=32),
+        seed=5,
+        relearn_generations=25,
+        relearn_target=100.0,
+    )
+    params.update(overrides)
+    return AdaptiveAgent(**params), params["env"]
+
+
+class TestDeployment:
+    def test_episode_requires_expert(self):
+        agent, _env = make_agent()
+        with pytest.raises(RuntimeError):
+            agent.run_episode()
+
+    def test_learn_deploys_expert(self):
+        agent, _env = make_agent()
+        run = agent.learn()
+        assert agent.expert is not None
+        assert run.best_genome is agent.expert
+
+    def test_rolling_fitness_tracks_episodes(self):
+        agent, _env = make_agent()
+        agent.learn()
+        for episode in range(3):
+            agent.run_episode(seed=episode)
+        assert agent.rolling_fitness != float("inf")
+
+
+class TestDriftDetection:
+    def test_no_relearn_while_healthy(self):
+        agent, _env = make_agent()
+        agent.learn()
+        for episode in range(3):
+            agent.run_episode(seed=episode)
+        if agent.rolling_fitness >= agent.fitness_threshold:
+            assert not agent.needs_relearning()
+
+    def test_needs_window_before_deciding(self):
+        agent, _env = make_agent(window=5)
+        agent.learn()
+        agent.run_episode(seed=0)
+        assert not agent.needs_relearning()  # only 1 of 5 episodes seen
+
+    def test_environment_drift_triggers_relearn(self):
+        agent, env = make_agent()
+        outcome_before = agent.learn()
+        assert outcome_before is not None
+        # drift: make gravity crushing so the old expert fails
+        env.GRAVITY = 90.0
+        env.POLE_HALF_LENGTH = 0.05
+        result = agent.live(episodes=6, episode_seed_base=100)
+        assert result.relearn_events >= 1
+
+    def test_live_learns_initial_expert(self):
+        agent, _env = make_agent()
+        result = agent.live(episodes=2)
+        assert agent.expert is not None
+        assert len(result.learning_runs) >= 1
+        assert result.episodes == 2
+
+
+class TestDriftRecovery:
+    def test_relearning_happens_in_drifted_environment(self):
+        # invert the actuators: the old expert collapses to ~9 points;
+        # relearning must evolve against the *inverted* dynamics and
+        # restore performance (the paper's Fig 1 story end-to-end)
+        agent, env = make_agent(fitness_threshold=50.0, relearn_target=150.0)
+        agent.learn()
+        env.FORCE_MAG = -env.FORCE_MAG
+        collapsed = [agent.run_episode(seed=s) for s in range(3)]
+        assert max(collapsed) < 50.0
+        assert agent.needs_relearning()
+        agent.learn()
+        recovered = [agent.run_episode(seed=s) for s in range(100, 103)]
+        assert max(recovered) > max(collapsed)
+        assert sum(recovered) / 3 > 50.0
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        env = CartPoleEnv(seed=0)
+        with pytest.raises(ValueError):
+            AdaptiveAgent(
+                env,
+                ClusterSpec.of_pis(2),
+                fitness_threshold=10.0,
+                window=0,
+            )

@@ -1,0 +1,77 @@
+"""Tests for the top-level ClanDriver API."""
+
+import pytest
+
+from repro.cluster.analytic import ClusterSpec
+from repro.core.driver import ClanDriver
+from repro.neat.config import NEATConfig
+
+
+class TestDriver:
+    def test_learn_returns_timed_run(self):
+        driver = ClanDriver(
+            "CartPole-v0",
+            ClusterSpec.of_pis(4),
+            protocol="CLAN_DDA",
+            pop_size=32,
+            seed=1,
+        )
+        run = driver.learn(max_generations=3, fitness_threshold=1e9)
+        assert run.generations == 3
+        assert run.timing_total.total_s > 0
+        assert run.timing_per_generation.total_s == pytest.approx(
+            run.timing_total.total_s / 3
+        )
+
+    def test_converged_run_has_best_genome(self):
+        driver = ClanDriver(
+            "CartPole-v0",
+            ClusterSpec.of_pis(2),
+            protocol="CLAN_DCS",
+            pop_size=32,
+            seed=1,
+        )
+        run = driver.learn(max_generations=30, fitness_threshold=30.0)
+        assert run.converged
+        assert run.best_genome is not None
+        assert run.best_genome.fitness >= 30.0
+
+    def test_protocol_selection(self):
+        for protocol in ("Serial", "CLAN_DCS", "CLAN_DDS", "CLAN_DDA"):
+            n = 1 if protocol == "Serial" else 3
+            driver = ClanDriver(
+                "CartPole-v0",
+                ClusterSpec.of_pis(n),
+                protocol=protocol,
+                pop_size=16,
+                seed=0,
+            )
+            assert driver.engine.name == protocol
+
+    def test_config_and_pop_size_conflict_rejected(self):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=30)
+        with pytest.raises(ValueError):
+            ClanDriver(
+                "CartPole-v0",
+                ClusterSpec.of_pis(2),
+                config=config,
+                pop_size=40,
+            )
+
+    def test_explicit_config_used(self):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=26)
+        driver = ClanDriver(
+            "CartPole-v0", ClusterSpec.of_pis(2), config=config
+        )
+        assert driver.config.pop_size == 26
+
+    def test_serial_runs_have_zero_communication(self):
+        driver = ClanDriver(
+            "CartPole-v0",
+            ClusterSpec.of_pis(1),
+            protocol="Serial",
+            pop_size=16,
+            seed=0,
+        )
+        run = driver.learn(max_generations=2, fitness_threshold=1e9)
+        assert run.timing_total.communication_s == 0.0

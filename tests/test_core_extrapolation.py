@@ -1,0 +1,123 @@
+"""Tests for scaling-curve fitting and extrapolation (Fig 9 machinery)."""
+
+import pytest
+
+from repro.core.extrapolation import (
+    ExtrapolationStudy,
+    ScalingFit,
+    fit_scaling_curve,
+)
+
+
+def synth_times(ns, a, b, c):
+    return [a / n + b + c * n * n for n in ns]
+
+
+class TestFit:
+    def test_recovers_exact_coefficients(self):
+        ns = [1, 2, 4, 8, 12, 15]
+        fit = fit_scaling_curve(ns, synth_times(ns, 10.0, 2.0, 0.01))
+        assert fit.a == pytest.approx(10.0, rel=1e-6)
+        assert fit.b == pytest.approx(2.0, rel=1e-6)
+        assert fit.c == pytest.approx(0.01, rel=1e-6)
+        assert fit.residual < 1e-9
+
+    def test_predict_matches_formula(self):
+        fit = ScalingFit(a=10.0, b=2.0, c=0.01, residual=0.0)
+        assert fit.predict(5) == pytest.approx(10 / 5 + 2 + 0.01 * 25)
+
+    def test_negative_coefficients_clamped(self):
+        # pure serial data (flat): no way to need negative a or c
+        ns = [1, 2, 4, 8, 15]
+        times = [5.0, 5.1, 4.9, 5.0, 5.05]
+        fit = fit_scaling_curve(ns, times)
+        assert fit.a >= 0.0
+        assert fit.c >= 0.0
+
+    def test_requires_three_distinct_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling_curve([1, 1, 2], [1.0, 1.0, 2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_scaling_curve([1, 2, 3], [1.0, 2.0])
+
+    def test_rejects_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            fit_scaling_curve([0, 1, 2], [1.0, 2.0, 3.0])
+
+
+class TestPredictions:
+    def test_stagnation_point_matches_calculus(self):
+        # d/dn (a/n + c n^2) = 0 at n = (a / 2c)^(1/3)
+        fit = ScalingFit(a=100.0, b=0.0, c=0.01, residual=0.0)
+        expected = round((100 / (2 * 0.01)) ** (1 / 3))
+        assert abs(fit.stagnation_point() - expected) <= 1
+
+    def test_monotone_curve_stagnates_at_max(self):
+        fit = ScalingFit(a=100.0, b=0.0, c=0.0, residual=0.0)
+        assert fit.stagnation_point(n_max=50) == 50
+
+    def test_crossover_detection(self):
+        fit = ScalingFit(a=10.0, b=1.0, c=0.01, residual=0.0)
+        serial = 5.0
+        crossover = fit.crossover_with(serial)
+        assert crossover is not None
+        assert fit.predict(crossover) > serial
+        assert fit.predict(crossover - 1) <= serial
+
+    def test_no_crossover_below_serial(self):
+        fit = ScalingFit(a=10.0, b=0.0, c=0.0, residual=0.0)
+        assert fit.crossover_with(100.0, n_max=50) is None
+
+    def test_crossover_ignores_initial_hump(self):
+        # worse than serial at n=1, better in the middle, worse at scale
+        fit = ScalingFit(a=50.0, b=1.0, c=0.02, residual=0.0)
+        serial = 20.0
+        assert fit.predict(1) > serial
+        crossover = fit.crossover_with(serial)
+        assert crossover is not None
+        assert crossover > fit.stagnation_point()
+
+    def test_predict_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ScalingFit(1, 1, 1, 0).predict(0)
+
+
+class TestStudy:
+    def study(self):
+        return ExtrapolationStudy(
+            serial_time_s=10.0,
+            fits={
+                "CLAN_DCS": ScalingFit(20.0, 5.0, 0.01, 0.0),
+                "CLAN_DDA": ScalingFit(25.0, 1.0, 0.005, 0.0),
+            },
+            grid=(1, 6, 12, 24, 40, 60, 100),
+        )
+
+    def test_curves_cover_grid(self):
+        study = self.study()
+        curves = study.curves()
+        assert set(curves) == {"CLAN_DCS", "CLAN_DDA"}
+        assert all(len(v) == len(study.grid) for v in curves.values())
+
+    def test_dda_crossover_beyond_dcs(self):
+        crossovers = self.study().crossovers()
+        assert crossovers["CLAN_DDA"] > crossovers["CLAN_DCS"]
+
+    def test_mean_advantage(self):
+        study = self.study()
+        advantage = study.mean_advantage("CLAN_DDA", "CLAN_DCS")
+        assert advantage > 1.0
+
+    def test_mean_advantage_up_to(self):
+        study = self.study()
+        assert study.mean_advantage(
+            "CLAN_DDA", "CLAN_DCS", up_to=12
+        ) != pytest.approx(
+            study.mean_advantage("CLAN_DDA", "CLAN_DCS", up_to=100)
+        )
+
+    def test_mean_advantage_empty_limit(self):
+        with pytest.raises(ValueError):
+            self.study().mean_advantage("CLAN_DDA", "CLAN_DCS", up_to=0)

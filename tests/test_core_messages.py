@@ -1,0 +1,66 @@
+"""Tests for the protocol message taxonomy."""
+
+import pytest
+
+from repro.core.messages import (
+    CENTER,
+    Message,
+    MessageType,
+    breakdown_by_type,
+    total_floats,
+)
+
+
+class TestMessage:
+    def test_bytes_are_words_times_four(self):
+        message = Message(MessageType.SENDING_FITNESS, 0, CENTER, 10)
+        assert message.n_bytes == 40
+
+    def test_downlink_detection(self):
+        down = Message(MessageType.SENDING_GENOMES, CENTER, 3, 10)
+        up = Message(MessageType.SENDING_FITNESS, 3, CENTER, 10)
+        assert down.downlink
+        assert not up.downlink
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, -1)
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, 1, n_units=0)
+
+    def test_rejects_self_message(self):
+        with pytest.raises(ValueError):
+            Message(MessageType.SENDING_FITNESS, 2, 2, 1)
+
+    def test_fig4_categories_complete(self):
+        # the six legend entries of Fig 4
+        assert {t.value for t in MessageType} == {
+            "Sending Genomes",
+            "Sending Fitness",
+            "Sending Spawn Count",
+            "Sending Parent List",
+            "Sending Parent Genomes",
+            "Sending Children",
+        }
+
+
+class TestAggregation:
+    def test_total_floats(self):
+        messages = [
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 100),
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, 10),
+        ]
+        assert total_floats(messages) == 110
+
+    def test_breakdown_by_type(self):
+        messages = [
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 100),
+            Message(MessageType.SENDING_GENOMES, CENTER, 1, 50),
+            Message(MessageType.SENDING_FITNESS, 0, CENTER, 10),
+        ]
+        breakdown = breakdown_by_type(messages)
+        assert breakdown[MessageType.SENDING_GENOMES] == 150
+        assert breakdown[MessageType.SENDING_FITNESS] == 10
+        assert breakdown[MessageType.SENDING_CHILDREN] == 0

@@ -1,0 +1,81 @@
+"""Tests for generation records and run summaries."""
+
+from repro.core.messages import CENTER, Message, MessageType
+from repro.core.metrics import AgentLoad, GenerationRecord, RunResult
+
+
+def record_with_messages():
+    record = GenerationRecord(
+        generation=0,
+        protocol="CLAN_DDS",
+        n_agents=2,
+        agent_loads=[AgentLoad(), AgentLoad()],
+    )
+    record.messages = [
+        Message(MessageType.SENDING_GENOMES, CENTER, 0, 100, 40, 5),
+        Message(MessageType.SENDING_FITNESS, 0, CENTER, 10, 0, 5),
+        Message(MessageType.SENDING_CHILDREN, 1, CENTER, 60, 25, 3),
+    ]
+    return record
+
+
+class TestAgentLoad:
+    def test_total_gene_ops(self):
+        load = AgentLoad(
+            inference_gene_ops=10,
+            reproduction_gene_ops=5,
+            speciation_gene_ops=3,
+        )
+        assert load.total_gene_ops() == 18
+
+    def test_defaults_zero(self):
+        assert AgentLoad().total_gene_ops() == 0
+
+
+class TestGenerationRecord:
+    def test_comm_floats(self):
+        record = record_with_messages()
+        assert record.comm_floats() == 170
+
+    def test_comm_breakdown(self):
+        breakdown = record_with_messages().comm_breakdown()
+        assert breakdown[MessageType.SENDING_GENOMES] == 100
+        assert breakdown[MessageType.SENDING_CHILDREN] == 60
+
+    def test_total_inference(self):
+        record = record_with_messages()
+        record.agent_loads[0].inference_gene_ops = 7
+        record.agent_loads[1].inference_gene_ops = 3
+        assert record.total_inference_gene_ops() == 10
+
+    def test_total_evolution_includes_center_and_agents(self):
+        record = record_with_messages()
+        record.center_speciation_gene_ops = 5
+        record.agent_loads[0].reproduction_gene_ops = 2
+        assert record.total_evolution_gene_ops() == 7
+
+    def test_total_env_steps(self):
+        record = record_with_messages()
+        record.agent_loads[0].env_steps = 100
+        record.agent_loads[1].env_steps = 50
+        assert record.total_env_steps() == 150
+
+
+class TestRunResult:
+    def test_aggregates_over_records(self):
+        result = RunResult(protocol="CLAN_DDS", env_id="x", n_agents=2)
+        result.records = [record_with_messages(), record_with_messages()]
+        assert result.generations == 2
+        assert result.total_comm_floats() == 340
+        assert result.mean_comm_floats_per_generation() == 170
+
+    def test_breakdown_sums(self):
+        result = RunResult(protocol="CLAN_DDS", env_id="x", n_agents=2)
+        result.records = [record_with_messages()] * 3
+        breakdown = result.comm_breakdown()
+        assert breakdown[MessageType.SENDING_GENOMES] == 300
+
+    def test_empty_run(self):
+        result = RunResult(protocol="Serial", env_id="x", n_agents=1)
+        assert result.generations == 0
+        assert result.mean_comm_floats_per_generation() == 0.0

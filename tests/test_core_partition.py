@@ -1,0 +1,72 @@
+"""Tests for population/agent partitioning helpers."""
+
+import pytest
+
+from repro.core.partition import assign_genomes, contiguous_blocks, round_robin
+
+
+class TestRoundRobin:
+    def test_deals_in_order(self):
+        assert round_robin([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_balanced_within_one(self):
+        shards = round_robin(list(range(17)), 5)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard(self):
+        assert round_robin([1, 2], 1) == [[1, 2]]
+
+    def test_more_shards_than_items(self):
+        shards = round_robin([1], 3)
+        assert shards == [[1], [], []]
+
+    def test_empty_items(self):
+        assert round_robin([], 2) == [[], []]
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            round_robin([1], 0)
+
+    def test_preserves_all_items(self):
+        items = list(range(23))
+        shards = round_robin(items, 4)
+        assert sorted(x for s in shards for x in s) == items
+
+
+class TestContiguousBlocks:
+    def test_contiguity(self):
+        blocks = contiguous_blocks(list(range(10)), 3)
+        assert blocks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_sizes_within_one(self):
+        blocks = contiguous_blocks(list(range(150)), 16)
+        sizes = [len(b) for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 150
+
+    def test_exact_division(self):
+        blocks = contiguous_blocks(list(range(8)), 4)
+        assert all(len(b) == 2 for b in blocks)
+
+    def test_single_block(self):
+        assert contiguous_blocks([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            contiguous_blocks([1], 0)
+
+
+class TestAssignGenomes:
+    def test_round_robin_over_sorted_keys(self):
+        mapping = assign_genomes([5, 3, 1, 4, 2], 2)
+        assert mapping == {1: 0, 2: 1, 3: 0, 4: 1, 5: 0}
+
+    def test_insensitive_to_input_order(self):
+        a = assign_genomes([3, 1, 2], 2)
+        b = assign_genomes([1, 2, 3], 2)
+        assert a == b
+
+    def test_all_agents_used(self):
+        mapping = assign_genomes(range(10), 3)
+        assert set(mapping.values()) == {0, 1, 2}

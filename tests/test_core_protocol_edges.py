@@ -1,0 +1,129 @@
+"""Edge-case tests for the protocol engines."""
+
+import pytest
+
+from repro.core.messages import MessageType
+from repro.core.protocols import CLAN_DCS, CLAN_DDA, CLAN_DDS, SerialNEAT
+from repro.neat.config import NEATConfig
+
+ENV = "CartPole-v0"
+
+
+@pytest.fixture
+def tiny_config():
+    return NEATConfig.for_env(ENV, pop_size=8)
+
+
+class TestDegenerateClusters:
+    def test_dcs_single_agent_still_communicates(self, tiny_config):
+        # 1 agent + centre: genomes still cross the network (the paper's
+        # "1 pi" CLAN points pay this, unlike true serial)
+        engine = CLAN_DCS(ENV, n_agents=1, config=tiny_config, seed=0)
+        result = engine.run(max_generations=2, fitness_threshold=1e9)
+        assert all(record.messages for record in result.records)
+
+    def test_dcs_more_agents_than_genomes(self, tiny_config):
+        engine = CLAN_DCS(ENV, n_agents=20, config=tiny_config, seed=0)
+        result = engine.run(max_generations=2, fitness_threshold=1e9)
+        record = result.records[0]
+        active = [
+            load for load in record.agent_loads
+            if load.genomes_evaluated > 0
+        ]
+        assert len(active) == tiny_config.pop_size  # 8 of 20 agents busy
+
+    def test_dds_single_agent(self, tiny_config):
+        engine = CLAN_DDS(ENV, n_agents=1, config=tiny_config, seed=0)
+        result = engine.run(max_generations=3, fitness_threshold=1e9)
+        # with one agent every parent is resident: no parent shipments
+        for record in result.records:
+            parent_payloads = [
+                m
+                for m in record.messages
+                if m.msg_type is MessageType.SENDING_PARENT_GENOMES
+            ]
+            assert not parent_payloads
+
+    def test_dda_maximum_clans(self, tiny_config):
+        # pop 8 -> at most 4 clans of 2
+        engine = CLAN_DDA(ENV, n_agents=4, config=tiny_config, seed=0)
+        assert engine.clan_sizes == [2, 2, 2, 2]
+        result = engine.run(max_generations=3, fitness_threshold=1e9)
+        assert result.records[-1].population_size == 8
+
+    def test_dda_single_clan_is_synchronous_speciation(self, tiny_config):
+        engine = CLAN_DDA(ENV, n_agents=1, config=tiny_config, seed=0)
+        result = engine.run(max_generations=3, fitness_threshold=1e9)
+        assert result.records[-1].population_size == tiny_config.pop_size
+
+
+class TestInvalidInputs:
+    def test_zero_agents_rejected(self, tiny_config):
+        for cls in (CLAN_DCS, CLAN_DDS, CLAN_DDA):
+            with pytest.raises(ValueError):
+                cls(ENV, n_agents=0, config=tiny_config)
+
+    def test_unknown_env_rejected(self):
+        with pytest.raises(KeyError):
+            SerialNEAT("Pong-v0")
+
+
+class TestDDSResidencyInvariants:
+    def test_residency_covers_population_every_generation(self, tiny_config):
+        engine = CLAN_DDS(ENV, n_agents=3, config=tiny_config, seed=1)
+        for _ in range(4):
+            engine.run_generation()
+            assert set(engine.residency) == set(engine.population.genomes)
+
+    def test_residency_agents_in_range(self, tiny_config):
+        engine = CLAN_DDS(ENV, n_agents=3, config=tiny_config, seed=1)
+        engine.run_generation()
+        assert set(engine.residency.values()) <= {0, 1, 2}
+
+    def test_parent_shipments_shrink_with_fewer_agents(self):
+        config = NEATConfig.for_env(ENV, pop_size=30)
+
+        def parent_floats(n_agents):
+            engine = CLAN_DDS(ENV, n_agents=n_agents, config=config, seed=1)
+            result = engine.run(max_generations=3, fitness_threshold=1e9)
+            return sum(
+                m.n_floats
+                for record in result.records
+                for m in record.messages
+                if m.msg_type is MessageType.SENDING_PARENT_GENOMES
+            )
+
+        # with more agents, parents are less likely to be resident
+        assert parent_floats(6) >= parent_floats(2)
+
+
+class TestSingleStepMode:
+    def test_single_step_reduces_inference_cost(self, tiny_config):
+        multi = SerialNEAT(ENV, config=tiny_config, seed=0)
+        multi_result = multi.run(max_generations=2, fitness_threshold=1e9)
+        single = SerialNEAT(
+            ENV, config=tiny_config, seed=0, max_steps=1
+        )
+        single_result = single.run(max_generations=2, fitness_threshold=1e9)
+        assert (
+            single_result.records[0].total_inference_gene_ops()
+            < multi_result.records[0].total_inference_gene_ops()
+        )
+
+    def test_single_step_env_steps_equal_population(self, tiny_config):
+        engine = SerialNEAT(ENV, config=tiny_config, seed=0, max_steps=1)
+        result = engine.run(max_generations=1, fitness_threshold=1e9)
+        assert result.records[0].total_env_steps() == tiny_config.pop_size
+
+
+class TestEpisodeAveraging:
+    def test_multi_episode_fitness_differs(self, tiny_config):
+        one = SerialNEAT(ENV, config=tiny_config, seed=0, episodes=1)
+        three = SerialNEAT(ENV, config=tiny_config, seed=0, episodes=3)
+        r1 = one.run(max_generations=1, fitness_threshold=1e9)
+        r3 = three.run(max_generations=1, fitness_threshold=1e9)
+        # averaging over 3 episodes triples evaluation steps
+        assert (
+            r3.records[0].total_env_steps()
+            > r1.records[0].total_env_steps()
+        )

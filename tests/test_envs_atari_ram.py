@@ -1,0 +1,226 @@
+"""Tests for the Atari-RAM surrogate games."""
+
+import random
+
+import pytest
+
+from repro.envs.atari_ram import (
+    ACTION_DOWN,
+    ACTION_FIRE,
+    ACTION_LEFT,
+    ACTION_NOOP,
+    ACTION_RIGHT,
+    ACTION_UP,
+    RAM_SIZE,
+    AirRaidRamEnv,
+    AlienRamEnv,
+    AmidarRamEnv,
+)
+from repro.envs.base import rollout
+
+ALL_GAMES = [AirRaidRamEnv, AmidarRamEnv, AlienRamEnv]
+
+
+@pytest.mark.parametrize("game_class", ALL_GAMES)
+class TestRamConvention:
+    def test_observation_is_128_dim(self, game_class):
+        env = game_class(seed=0)
+        obs = env.reset()
+        assert len(obs) == RAM_SIZE
+
+    def test_observation_values_in_unit_range(self, game_class):
+        env = game_class(seed=0)
+        env.reset()
+        rng = random.Random(1)
+        for _ in range(30):
+            obs, _r, done, _i = env.step(rng.randrange(6))
+            assert all(0.0 <= v <= 1.0 for v in obs)
+            if done:
+                break
+
+    def test_six_actions(self, game_class):
+        env = game_class(seed=0)
+        assert env.action_space.n == 6
+
+    def test_three_lives(self, game_class):
+        env = game_class(seed=0)
+        env.reset()
+        assert env._lives == 3
+
+    def test_deterministic_under_seed(self, game_class):
+        def run():
+            env = game_class()
+            rng = random.Random(5)
+            return rollout(
+                env, lambda obs: rng.randrange(6), seed=11
+            ).total_reward
+
+        assert run() == run()
+
+    def test_frame_counter_encoded(self, game_class):
+        env = game_class(seed=0)
+        env.reset()
+        obs1, _r, _d, _i = env.step(ACTION_NOOP)
+        obs2, _r, _d, _i = env.step(ACTION_NOOP)
+        # byte 0 is the low byte of the frame counter
+        assert obs2[0] != obs1[0] or obs2[1] != obs1[1]
+
+    def test_score_accumulates_in_info(self, game_class):
+        env = game_class(seed=0)
+        env.reset()
+        rng = random.Random(2)
+        last_score = 0
+        for _ in range(60):
+            _obs, _r, done, info = env.step(rng.randrange(6))
+            assert info["score"] >= last_score
+            last_score = info["score"]
+            if done:
+                break
+
+
+class TestAirRaid:
+    def test_player_moves_left_and_right(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        x0 = env._player_x
+        env.step(ACTION_RIGHT)
+        assert env._player_x == x0 + 1
+        env.step(ACTION_LEFT)
+        assert env._player_x == x0
+
+    def test_player_clamped_to_screen(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        for _ in range(40):
+            env.step(ACTION_LEFT)
+            if env._done:
+                break
+        assert env._player_x == 0
+
+    def test_fire_spawns_bullet(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        env.step(ACTION_FIRE)
+        assert len(env._bullets) == 1
+
+    def test_fire_cooldown_limits_rate(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        env.step(ACTION_FIRE)
+        env.step(ACTION_FIRE)  # cooldown still active
+        assert len(env._bullets) == 1
+
+    def test_bombers_spawn_over_time(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        for _ in range(12):
+            env.step(ACTION_NOOP)
+        assert env._bombers
+
+    def test_hitting_bomber_scores(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        env._bombers = [[env._player_x, 2]]
+        env._bullets = [[env._player_x, 4]]
+        reward = 0.0
+        for _ in range(3):
+            _obs, r, done, _i = env.step(ACTION_NOOP)
+            reward += r
+            if done or reward:
+                break
+        assert reward == env.HIT_SCORE
+
+    def test_bomber_landing_costs_life(self):
+        env = AirRaidRamEnv(seed=0)
+        env.reset()
+        env._bombers = [[3, env.HEIGHT - 2]]
+        lives0 = env._lives
+        for _ in range(3):
+            env.step(ACTION_NOOP)
+            if env._lives < lives0:
+                break
+        assert env._lives == lives0 - 1
+
+
+class TestAmidar:
+    def test_painting_scores(self):
+        env = AmidarRamEnv(seed=0)
+        env.reset()
+        _obs, reward, _d, _i = env.step(ACTION_RIGHT)
+        assert reward == env.PAINT_SCORE
+
+    def test_repainting_scores_nothing(self):
+        env = AmidarRamEnv(seed=0)
+        env.reset()
+        env.step(ACTION_RIGHT)
+        env.step(ACTION_LEFT)  # back onto painted start cell
+        _obs, reward, _d, _i = env.step(ACTION_RIGHT)  # painted already
+        assert reward == 0.0
+
+    def test_row_completion_bonus(self):
+        env = AmidarRamEnv(seed=0)
+        env.reset()
+        total = 0.0
+        for _ in range(env.WIDTH - 1):
+            _obs, r, _d, _i = env.step(ACTION_RIGHT)
+            total += r
+        # row 0 complete: (WIDTH-1) paints + bonus
+        assert total == (env.WIDTH - 1) * env.PAINT_SCORE + env.ROW_BONUS
+
+    def test_patroller_contact_costs_life(self):
+        env = AmidarRamEnv(seed=0)
+        env.reset()
+        env._patrollers[0][:2] = [env._px, env._py]
+        lives0 = env._lives
+        env.step(ACTION_NOOP)
+        assert env._lives <= lives0  # may have stepped off, but never gains
+        env._patrollers[0][:2] = [env._px, env._py]
+        env._frame = 1  # patrollers move on even frames only
+        env.step(ACTION_NOOP)
+        assert env._lives < lives0
+
+
+class TestAlien:
+    def test_dot_collection_scores(self):
+        env = AlienRamEnv(seed=0)
+        env.reset()
+        env._dots = {(env._px + 1, env._py)}
+        _obs, reward, _d, _i = env.step(ACTION_RIGHT)
+        assert reward >= env.DOT_SCORE
+
+    def test_clearing_board_gives_bonus_and_respawns(self):
+        env = AlienRamEnv(seed=0)
+        env.reset()
+        env._dots = {(env._px + 1, env._py)}
+        _obs, reward, _d, _i = env.step(ACTION_RIGHT)
+        assert reward == env.DOT_SCORE + env.CLEAR_BONUS
+        assert env._dots  # respawned
+
+    def test_aliens_pursue_player(self):
+        env = AlienRamEnv(seed=0)
+        env.reset()
+        alien = env._aliens[0]
+        d0 = abs(alien[0] - env._px) + abs(alien[1] - env._py)
+        for _ in range(4):
+            env.step(ACTION_NOOP)
+        d1 = abs(alien[0] - env._px) + abs(alien[1] - env._py)
+        assert d1 < d0
+
+    def test_alien_contact_costs_life_and_respawns(self):
+        env = AlienRamEnv(seed=0)
+        env.reset()
+        env._aliens[0][:] = [env._px, env._py]
+        lives0 = env._lives
+        env._frame = 0  # aliens don't move this frame; contact check runs
+        env.step(ACTION_NOOP)
+        assert env._lives == lives0 - 1
+        assert (env._px, env._py) == (env.SIZE // 2, env.SIZE // 2)
+
+    def test_player_movement(self):
+        env = AlienRamEnv(seed=0)
+        env.reset()
+        x, y = env._px, env._py
+        env.step(ACTION_UP)
+        assert (env._px, env._py) == (x, y - 1)
+        env.step(ACTION_DOWN)
+        assert (env._px, env._py) == (x, y)

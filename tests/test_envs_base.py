@@ -1,0 +1,106 @@
+"""Tests for the environment base API and rollout helper."""
+
+import pytest
+
+from repro.envs.base import rollout
+from repro.envs.cartpole import CartPoleEnv
+from repro.envs.registry import make
+
+
+class TestEnvironmentProtocol:
+    def test_step_before_reset_raises(self):
+        env = CartPoleEnv()
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_step_after_done_raises(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        done = False
+        while not done:
+            _obs, _r, done, _info = env.step(0)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_invalid_action_raises(self):
+        env = CartPoleEnv()
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(7)
+
+    def test_episode_capped_at_200_steps(self):
+        env = make("MountainCar-v0", seed=0)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _obs, _r, done, info = env.step(1)
+            steps += 1
+        assert steps <= 200
+        if steps == 200:
+            assert info.get("truncated")
+
+    def test_seed_reproducibility(self):
+        env = CartPoleEnv()
+        env.seed(99)
+        first = env.reset()
+        env.seed(99)
+        second = env.reset()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        env = CartPoleEnv()
+        env.seed(1)
+        a = env.reset()
+        env.seed(2)
+        b = env.reset()
+        assert a != b
+
+    def test_elapsed_steps_counts(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env.step(0)
+        env.step(1)
+        assert env.elapsed_steps == 2
+
+
+class TestRollout:
+    def test_policy_receives_observations(self):
+        env = CartPoleEnv(seed=0)
+        seen = []
+
+        def policy(obs):
+            seen.append(obs)
+            return 0
+
+        rollout(env, policy, seed=5)
+        assert seen
+        assert all(len(obs) == 4 for obs in seen)
+
+    def test_rewards_accumulate(self):
+        env = CartPoleEnv(seed=0)
+        result = rollout(env, lambda obs: 0, seed=5)
+        assert result.total_reward == pytest.approx(sum(result.rewards))
+        assert result.steps == len(result.rewards)
+
+    def test_max_steps_tightens_cap(self):
+        env = make("MountainCar-v0", seed=0)
+        result = rollout(env, lambda obs: 1, max_steps=7, seed=3)
+        assert result.steps <= 7
+
+    def test_max_steps_cannot_exceed_env_cap(self):
+        env = make("MountainCar-v0", seed=0)
+        result = rollout(env, lambda obs: 1, max_steps=10_000, seed=3)
+        assert result.steps <= env.max_episode_steps
+
+    def test_same_seed_same_result(self):
+        env = make("LunarLander-v2")
+        a = rollout(env, lambda obs: 2, seed=42)
+        b = rollout(env, lambda obs: 2, seed=42)
+        assert a.total_reward == b.total_reward
+        assert a.steps == b.steps
+
+    def test_fitness_defaults_to_reward(self):
+        env = CartPoleEnv(seed=0)
+        result = rollout(env, lambda obs: 0, seed=1)
+        assert result.fitness == result.total_reward

@@ -1,0 +1,89 @@
+"""Physics tests for CartPole-v0."""
+
+import math
+
+import pytest
+
+from repro.envs.cartpole import CartPoleEnv
+
+
+class TestCartPolePhysics:
+    def test_initial_state_near_zero(self):
+        env = CartPoleEnv(seed=3)
+        obs = env.reset()
+        assert all(abs(v) <= 0.05 for v in obs)
+
+    def test_push_right_accelerates_cart_right(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env._state = (0.0, 0.0, 0.0, 0.0)
+        obs, _r, _d, _i = env.step(1)
+        assert obs[1] > 0  # positive cart velocity
+
+    def test_push_left_accelerates_cart_left(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env._state = (0.0, 0.0, 0.0, 0.0)
+        obs, _r, _d, _i = env.step(0)
+        assert obs[1] < 0
+
+    def test_upright_pole_falls_eventually(self):
+        # constant force tips the pole within the 12-degree envelope
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        done = False
+        steps = 0
+        while not done and steps < 200:
+            _obs, _r, done, _i = env.step(1)
+            steps += 1
+        assert done
+        assert steps < 200
+
+    def test_reward_is_one_per_step(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        _obs, reward, _d, _i = env.step(0)
+        assert reward == 1.0
+
+    def test_terminates_on_angle_limit(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env._state = (0.0, 0.0, env.THETA_LIMIT * 0.999, 3.0)
+        _obs, _r, done, _i = env.step(1)
+        assert done
+
+    def test_terminates_on_position_limit(self):
+        env = CartPoleEnv(seed=0)
+        env.reset()
+        env._state = (env.X_LIMIT * 0.999, 3.0, 0.0, 0.0)
+        _obs, _r, done, _i = env.step(1)
+        assert done
+
+    def test_alternating_policy_survives_longer_than_constant(self):
+        def run(policy):
+            env = CartPoleEnv()
+            env.seed(7)
+            env.reset()
+            steps, done = 0, False
+            while not done and steps < 200:
+                _o, _r, done, _i = env.step(policy(steps))
+                steps += 1
+            return steps
+
+        constant = run(lambda t: 1)
+        alternating = run(lambda t: t % 2)
+        assert alternating > constant
+
+    def test_energy_like_quantity_bounded_early(self):
+        # within a few steps state stays physically reasonable
+        env = CartPoleEnv(seed=1)
+        env.reset()
+        for _ in range(5):
+            obs, _r, done, _i = env.step(0)
+            if done:
+                break
+            assert abs(obs[0]) < 1.0
+            assert abs(obs[2]) < math.pi / 2
+
+    def test_solved_threshold(self):
+        assert CartPoleEnv.solved_threshold == pytest.approx(195.0)

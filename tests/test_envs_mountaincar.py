@@ -1,0 +1,76 @@
+"""Physics tests for MountainCar-v0."""
+
+import pytest
+
+from repro.envs.base import rollout
+from repro.envs.mountaincar import MountainCarEnv
+
+
+class TestMountainCarPhysics:
+    def test_starts_in_valley(self):
+        env = MountainCarEnv(seed=4)
+        position, velocity = env.reset()
+        assert -0.6 <= position <= -0.4
+        assert velocity == 0.0
+
+    def test_velocity_clamped(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        for _ in range(100):
+            obs, _r, done, _i = env.step(2)
+            assert abs(obs[1]) <= env.MAX_SPEED + 1e-12
+            if done:
+                break
+
+    def test_position_clamped_left(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        for _ in range(200):
+            obs, _r, done, _i = env.step(0)
+            assert obs[0] >= env.MIN_POSITION
+            if done:
+                break
+
+    def test_reward_is_minus_one_per_step(self):
+        env = MountainCarEnv(seed=0)
+        env.reset()
+        _obs, reward, _d, _i = env.step(1)
+        assert reward == -1.0
+
+    def test_constant_push_fails_to_reach_goal(self):
+        # the car is under-powered: pushing right alone cannot summit
+        env = MountainCarEnv(seed=0)
+        result = rollout(env, lambda obs: 2, seed=1)
+        assert not result.terminated
+        assert result.total_reward == -200.0
+
+    def test_oscillation_policy_reaches_goal(self):
+        # push in the direction of motion: the textbook solution
+        env = MountainCarEnv(seed=0)
+
+        def policy(obs):
+            return 2 if obs[1] >= 0 else 0
+
+        result = rollout(env, policy, seed=1)
+        assert result.terminated
+        assert result.steps < 200
+
+    def test_shaping_rewards_progress(self):
+        env = MountainCarEnv(seed=0)
+        lazy = rollout(env, lambda obs: 1, seed=1)
+
+        def energetic(obs):
+            return 2 if obs[1] >= 0 else 0
+
+        env2 = MountainCarEnv(seed=0)
+        driven = rollout(env2, energetic, seed=1)
+        assert driven.fitness > lazy.fitness
+
+    def test_shaping_bounded_by_ten(self):
+        env = MountainCarEnv(seed=0)
+        result = rollout(env, lambda obs: 1, seed=1)
+        assert result.fitness - result.total_reward <= 10.0
+        assert result.fitness - result.total_reward >= 0.0
+
+    def test_solved_threshold(self):
+        assert MountainCarEnv.solved_threshold == pytest.approx(-110.0)

@@ -1,0 +1,68 @@
+"""Tests for the environment registry and workload classification."""
+
+import pytest
+
+from repro.envs.registry import (
+    PLOTTED_WORKLOADS,
+    WORKLOAD_CLASSES,
+    available_env_ids,
+    make,
+    workload_spec,
+)
+
+
+class TestRegistry:
+    def test_all_six_workloads_registered(self):
+        assert len(available_env_ids()) == 6
+
+    def test_make_instantiates_each(self):
+        for env_id in available_env_ids():
+            env = make(env_id, seed=1)
+            assert env.env_id == env_id
+
+    def test_unknown_id_raises_with_known_set(self):
+        with pytest.raises(KeyError, match="CartPole-v0"):
+            make("Pong-v0")
+
+    def test_spec_dimensions_match_env(self):
+        for env_id in available_env_ids():
+            spec = workload_spec(env_id)
+            env = make(env_id)
+            assert env.observation_space.flat_dim == spec.obs_dim
+            assert env.action_space.n == spec.n_actions
+
+    def test_spec_threshold_matches_env(self):
+        for env_id in available_env_ids():
+            assert (
+                workload_spec(env_id).solved_threshold
+                == make(env_id).solved_threshold
+            )
+
+    def test_size_classes_cover_all(self):
+        classified = [
+            env_id for group in WORKLOAD_CLASSES.values() for env_id in group
+        ]
+        assert sorted(classified) == sorted(available_env_ids())
+
+    def test_paper_workload_grouping(self):
+        assert WORKLOAD_CLASSES["small"] == (
+            "CartPole-v0",
+            "MountainCar-v0",
+        )
+        assert WORKLOAD_CLASSES["medium"] == ("LunarLander-v2",)
+        assert len(WORKLOAD_CLASSES["large"]) == 3
+
+    def test_large_workloads_have_128_inputs(self):
+        for env_id in WORKLOAD_CLASSES["large"]:
+            assert workload_spec(env_id).obs_dim == 128
+
+    def test_plotted_workloads_omit_amidar(self):
+        # the paper: "amidar-ram-v0 results are omitted ... as it performs
+        # equivalently to airraid-ram-v0"
+        assert "Amidar-ram-v0" not in PLOTTED_WORKLOADS
+        assert len(PLOTTED_WORKLOADS) == 5
+
+    def test_seed_passed_through(self):
+        a = make("CartPole-v0", seed=5).reset()
+        b = make("CartPole-v0", seed=5).reset()
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for repro.envs.spaces."""
+
+import random
+
+import pytest
+
+from repro.envs.spaces import Box, Discrete
+
+
+class TestDiscrete:
+    def test_contains_valid(self):
+        space = Discrete(3)
+        assert all(space.contains(i) for i in range(3))
+
+    def test_excludes_out_of_range(self):
+        space = Discrete(3)
+        assert not space.contains(3)
+        assert not space.contains(-1)
+
+    def test_excludes_non_integers(self):
+        space = Discrete(3)
+        assert not space.contains(1.5)
+        assert not space.contains("1")
+        assert not space.contains(None)
+
+    def test_excludes_bool(self):
+        assert not Discrete(3).contains(True)
+
+    def test_accepts_integral_float(self):
+        assert Discrete(3).contains(2.0)
+
+    def test_sample_in_range(self):
+        space = Discrete(5)
+        rng = random.Random(0)
+        assert all(space.contains(space.sample(rng)) for _ in range(50))
+
+    def test_flat_dim(self):
+        assert Discrete(4).flat_dim == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+    def test_hashable(self):
+        assert len({Discrete(2), Discrete(2), Discrete(3)}) == 2
+
+
+class TestBox:
+    def test_contains_inside(self):
+        space = Box([-1, -1], [1, 1])
+        assert space.contains((0.0, 0.5))
+
+    def test_contains_boundary(self):
+        space = Box([-1, -1], [1, 1])
+        assert space.contains((1.0, -1.0))
+
+    def test_excludes_outside(self):
+        space = Box([-1, -1], [1, 1])
+        assert not space.contains((1.1, 0.0))
+
+    def test_excludes_wrong_dimension(self):
+        space = Box([-1, -1], [1, 1])
+        assert not space.contains((0.0,))
+        assert not space.contains((0.0, 0.0, 0.0))
+
+    def test_excludes_non_numeric(self):
+        assert not Box([-1], [1]).contains(("a",))
+
+    def test_sample_contained(self):
+        space = Box([-2, 0], [2, 5])
+        rng = random.Random(3)
+        assert all(space.contains(space.sample(rng)) for _ in range(50))
+
+    def test_uniform_constructor(self):
+        space = Box.uniform(2.0, 3)
+        assert space.low == (-2.0, -2.0, -2.0)
+        assert space.high == (2.0, 2.0, 2.0)
+
+    def test_flat_dim_and_shape(self):
+        space = Box([-1] * 4, [1] * 4)
+        assert space.flat_dim == 4
+        assert space.shape == (4,)
+
+    def test_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Box([-1, -1], [1])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Box([2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box([], [])
+
+    def test_equality(self):
+        assert Box([-1], [1]) == Box([-1], [1])
+        assert Box([-1], [1]) != Box([-2], [1])

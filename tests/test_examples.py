@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "converged" in result.stdout
+        assert "replay episode" in result.stdout
+
+    def test_distributed_edge_cluster(self):
+        result = run_example("distributed_edge_cluster.py")
+        assert result.returncode == 0, result.stderr
+        assert "bit-exact agreement: True" in result.stdout
+        for protocol in ("CLAN_DCS", "CLAN_DDS", "CLAN_DDA"):
+            assert protocol in result.stdout
+
+    def test_continuous_adaptation(self):
+        result = run_example("continuous_adaptation.py")
+        assert result.returncode == 0, result.stderr
+        assert "relearning" in result.stdout
+        assert "phase 4" in result.stdout
+
+    def test_scaling_study_single_step(self):
+        result = run_example("scaling_study.py", "--single")
+        assert result.returncode == 0, result.stderr
+        assert "crossover vs serial" in result.stdout
+
+    def test_price_performance(self):
+        result = run_example("price_performance.py")
+        assert result.returncode == 0, result.stderr
+        assert "performance per dollar" in result.stdout
+
+    def test_robot_swarm_patrol(self):
+        result = run_example("robot_swarm_patrol.py")
+        assert result.returncode == 0, result.stderr
+        assert "single-step" in result.stdout
+        assert "robots" in result.stdout
+
+    def test_all_examples_have_docstrings_and_main(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            source = script.read_text()
+            assert source.lstrip().startswith(
+                ("#!/usr/bin/env python3", '"""')
+            ), script.name
+            assert 'if __name__ == "__main__":' in source, script.name

@@ -1,0 +1,119 @@
+"""Failure injection: the system must fail loudly and cleanly.
+
+Edge deployments see corrupted transfers, dying workers and broken
+evaluators; these tests verify each failure surfaces as a clear error at
+the right layer instead of silent corruption.
+"""
+
+import pytest
+
+from repro.cluster.serialization import (
+    decode_genome,
+    decode_genomes,
+    encode_genome,
+    encode_genomes,
+)
+from repro.cluster.transport import EvalRequest, WorkerPool
+from repro.core.protocols import SerialNEAT
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+
+@pytest.fixture
+def config():
+    return NEATConfig.for_env("CartPole-v0", pop_size=10)
+
+
+class TestCorruptedWireData:
+    def test_truncated_genome_rejected(self, config):
+        population = Population(config, seed=0)
+        data = encode_genome(next(iter(population.genomes.values())))
+        for cut in (1, 4, len(data) // 2, len(data) - 1):
+            with pytest.raises(ValueError):
+                decode_genome(data[:cut])
+
+    def test_bit_flip_in_counts_rejected(self, config):
+        population = Population(config, seed=0)
+        data = bytearray(
+            encode_genome(next(iter(population.genomes.values())))
+        )
+        data[12] ^= 0xFF  # node-count word: length check must fire
+        with pytest.raises(ValueError):
+            decode_genome(bytes(data))
+
+    def test_invalid_activation_id_rejected(self, config):
+        population = Population(config, seed=0)
+        genome = next(iter(population.genomes.values()))
+        data = bytearray(encode_genome(genome))
+        # first node record: activation-id word sits after header(20B) +
+        # key(4) + bias(8) + response(8)
+        offset = 20 + 4 + 8 + 8
+        data[offset:offset + 4] = (10_000).to_bytes(4, "little")
+        with pytest.raises(ValueError, match="activation"):
+            decode_genome(bytes(data))
+
+    def test_batch_with_garbage_tail_rejected(self, config):
+        population = Population(config, seed=0)
+        genomes = list(population.genomes.values())[:2]
+        data = encode_genomes(genomes) + b"\xde\xad\xbe\xef"
+        with pytest.raises(ValueError):
+            decode_genomes(data)
+
+
+class TestWorkerFailures:
+    def test_worker_exception_propagates_with_traceback(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            # generation is used in arithmetic inside the evaluator;
+            # a string payload explodes inside the worker process
+            pool._request(0, "eval", EvalRequest(
+                genomes_wire=encode_genomes([]), generation="boom"
+            ))
+            reply_status, value = pool._conns[0].recv()
+            # empty shard is fine; now corrupt wire data must error
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            pool._request(
+                0, "eval",
+                EvalRequest(genomes_wire=b"\x01\x00\x00\x00junk",
+                            generation=0),
+            )
+            with pytest.raises(RuntimeError, match="worker 0 failed"):
+                pool._collect(0)
+
+    def test_unknown_command_surfaces(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            pool._request(0, "frobnicate", None)
+            with pytest.raises(RuntimeError, match="unknown command"):
+                pool._collect(0)
+
+    def test_clan_step_before_init_surfaces(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            pool._request(0, "clan_step", 0)
+            with pytest.raises(RuntimeError, match="clan_step"):
+                pool._collect(0)
+
+
+class TestEvaluatorFailures:
+    def test_broken_evaluator_stops_engine(self, config):
+        engine = SerialNEAT("CartPole-v0", config=config, seed=0)
+
+        class Broken:
+            def evaluate(self, genome, config, generation):
+                raise OSError("sensor offline")
+
+        engine.evaluator = Broken()
+        with pytest.raises(OSError, match="sensor offline"):
+            engine.run_generation()
+
+    def test_partial_results_rejected_by_population(self, config):
+        population = Population(config, seed=0)
+
+        def evaluate(genomes, generation):
+            from repro.neat.evaluation import FitnessResult
+
+            return {
+                g.key: FitnessResult(g.key, 1.0, 1, 1.0, False)
+                for g in list(genomes)[:-1]  # drop one
+            }
+
+        with pytest.raises(ValueError, match="no fitness"):
+            population.run_generation(evaluate)

@@ -1,0 +1,110 @@
+"""Tests for the SCALE-sim-style systolic-array model."""
+
+import pytest
+
+from repro.hw.systolic import SystolicArrayModel
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+
+from tests.conftest import make_evolved_genome
+
+
+@pytest.fixture
+def array():
+    return SystolicArrayModel()  # 32x32 @ 200 MHz, the paper's assumption
+
+
+class TestMatmulModel:
+    def test_single_fold(self, array):
+        # M,N within the array: one fold
+        cycles = array.matmul_cycles(1, 10, 32)
+        assert cycles == 32 + 32 + 10 - 2
+
+    def test_folding_over_columns(self, array):
+        one = array.matmul_cycles(1, 10, 32)
+        two = array.matmul_cycles(1, 10, 64)
+        assert two == 2 * one
+
+    def test_folding_over_rows(self, array):
+        one = array.matmul_cycles(32, 10, 32)
+        two = array.matmul_cycles(64, 10, 32)
+        assert two == 2 * one
+
+    def test_partial_fold_rounds_up(self, array):
+        assert array.matmul_cycles(1, 10, 33) == 2 * array.matmul_cycles(
+            1, 10, 32
+        )
+
+    def test_seconds_scale_with_clock(self):
+        slow = SystolicArrayModel(clock_hz=100e6)
+        fast = SystolicArrayModel(clock_hz=200e6)
+        assert slow.matmul_seconds(8, 8, 8) == pytest.approx(
+            2 * fast.matmul_seconds(8, 8, 8)
+        )
+
+    def test_utilisation_below_one(self, array):
+        assert 0 < array.utilisation(32, 100, 32) <= 1.0
+
+    def test_utilisation_poor_for_vectors(self, array):
+        # M=1 wastes 31 of 32 rows: the NE-inference regime
+        assert array.utilisation(1, 100, 32) < 0.05
+
+    def test_invalid_dims(self, array):
+        with pytest.raises(ValueError):
+            array.matmul_cycles(0, 1, 1)
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            SystolicArrayModel(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArrayModel(clock_hz=0)
+
+
+class TestGenomeMapping:
+    def test_initial_genome_single_layer(self, array):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=4)
+        genome = next(iter(Population(config, seed=0).genomes.values()))
+        layers = array.genome_layers(genome, config)
+        assert len(layers) == 1
+        fan_in, width = layers[0]
+        assert fan_in == config.num_inputs
+        assert width == config.num_outputs
+
+    def test_evolved_genome_layers(self, array):
+        config = NEATConfig(num_inputs=8, num_outputs=4)
+        genome = make_evolved_genome(config, seed=5, mutations=60)
+        layers = array.genome_layers(genome, config)
+        assert layers
+        assert all(fan_in >= 1 and width >= 1 for fan_in, width in layers)
+
+    def test_inference_cycles_positive(self, array):
+        config = NEATConfig.for_env("Airraid-ram-v0", pop_size=4)
+        genome = next(iter(Population(config, seed=0).genomes.values()))
+        assert array.genome_inference_cycles(genome, config) > 0
+
+    def test_array_speedup_is_generous_upper_bound(self, array):
+        config = NEATConfig.for_env("Airraid-ram-v0", pop_size=4)
+        genome = next(iter(Population(config, seed=0).genomes.values()))
+        assert array.speedup_vs_pi(genome, config) > 1000
+
+    def test_system_speedup_justifies_registry_factor(self, array):
+        # the systolic_32x32 device entry claims ~100x at the system level
+        config = NEATConfig.for_env("Airraid-ram-v0", pop_size=4)
+        genome = next(iter(Population(config, seed=0).genomes.values()))
+        system = array.system_speedup_vs_pi(genome, config)
+        assert 50 <= system <= 300
+
+    def test_host_overhead_dominates_small_batches(self, array):
+        config = NEATConfig.for_env("Airraid-ram-v0", pop_size=4)
+        genome = next(iter(Population(config, seed=0).genomes.values()))
+        assert array.system_speedup_vs_pi(
+            genome, config
+        ) < array.speedup_vs_pi(genome, config)
+
+    def test_bigger_array_fewer_folds_for_wide_layers(self):
+        # array size pays off for wide matmuls, not M=1 vectors
+        small = SystolicArrayModel(rows=8, cols=8)
+        large = SystolicArrayModel(rows=64, cols=64)
+        assert large.matmul_cycles(64, 32, 128) < small.matmul_cycles(
+            64, 32, 128
+        )

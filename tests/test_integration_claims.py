@@ -1,0 +1,221 @@
+"""Integration: the paper's headline quantitative claims, at reduced scale.
+
+Each test reruns one evaluation-section claim with small populations and
+asserts the *shape* (who wins, orderings, monotonicity) rather than the
+paper's absolute numbers; EXPERIMENTS.md records the full-scale values.
+"""
+
+import pytest
+
+from repro.analysis.cache import RunCache
+from repro.analysis.figures import (
+    fig8_share,
+    fig9_extrapolation,
+    scaling_series,
+)
+from repro.cluster.analytic import ClusterSpec, mean_generation_time
+from repro.cluster.netmodel import WiFiModel
+from repro.cluster.profiles import pi_env_step_seconds
+from repro.core.messages import MessageType
+from repro.neat.config import NEATConfig
+
+POP = 40
+GENS = 4
+
+
+@pytest.fixture(scope="module")
+def airraid_cache():
+    config = NEATConfig.for_env("Airraid-ram-v0", pop_size=POP)
+    return RunCache("Airraid-ram-v0", config, seed=2)
+
+
+@pytest.fixture(scope="module")
+def airraid_single_step_cache():
+    config = NEATConfig.for_env("Airraid-ram-v0", pop_size=POP)
+    return RunCache("Airraid-ram-v0", config, seed=2, max_steps=1)
+
+
+class TestCommunicationClaims:
+    """Section IV-B / Fig 4: DDS pays the most, DDA the least."""
+
+    def test_comm_ordering_dda_dcs_dds(self, airraid_cache):
+        totals = {}
+        for protocol in ("CLAN_DCS", "CLAN_DDS", "CLAN_DDA"):
+            records = airraid_cache.records(protocol, 4, GENS)
+            totals[protocol] = sum(r.comm_floats() for r in records)
+        assert totals["CLAN_DDA"] < totals["CLAN_DCS"] < totals["CLAN_DDS"]
+
+    def test_dda_comm_reduction_vs_dds_exceeds_3x(self, airraid_cache):
+        # the paper: "reduce communication by up to 3.6x during learning"
+        dds = sum(
+            r.comm_floats()
+            for r in airraid_cache.records("CLAN_DDS", 4, GENS)
+        )
+        dda = sum(
+            r.comm_floats()
+            for r in airraid_cache.records("CLAN_DDA", 4, GENS)
+        )
+        assert dds / dda > 3.0
+
+    def test_dda_steady_state_genome_silence(self, airraid_cache):
+        records = airraid_cache.records("CLAN_DDA", 4, GENS)
+        for record in records[1:]:
+            assert all(
+                m.msg_type is MessageType.SENDING_FITNESS
+                for m in record.messages
+            )
+
+
+class TestScalingClaims:
+    """Fig 5-7: who scales, and where scaling stops."""
+
+    def test_dcs_inference_scales_linearly_for_large_workload(
+        self, airraid_cache
+    ):
+        series = scaling_series(
+            "Airraid-ram-v0",
+            "CLAN_DCS",
+            (1, 2, 4, 8),
+            POP,
+            GENS,
+            seed=2,
+            cache=airraid_cache,
+        )
+        for n in (2, 4, 8):
+            speedup = series[1].inference_s / series[n].inference_s
+            assert speedup == pytest.approx(n, rel=0.35)
+
+    def test_small_workload_total_stops_scaling(self):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=POP)
+        cache = RunCache("CartPole-v0", config, seed=2)
+        series = scaling_series(
+            "CartPole-v0",
+            "CLAN_DCS",
+            (1, 5, 15),
+            POP,
+            GENS,
+            seed=2,
+            cache=cache,
+        )
+        # communication kills further scaling well before 15 nodes
+        assert series[15].total_s > series[5].total_s * 0.8
+
+    def test_dds_evolution_does_not_scale(self, airraid_cache):
+        series = scaling_series(
+            "Airraid-ram-v0",
+            "CLAN_DDS",
+            (2, 8),
+            POP,
+            GENS,
+            seed=2,
+            cache=airraid_cache,
+        )
+        evo_comm_2 = series[2].evolution_s + series[2].communication_s
+        evo_comm_8 = series[8].evolution_s + series[8].communication_s
+        assert evo_comm_8 > evo_comm_2 * 0.9  # no meaningful improvement
+
+    def test_dda_beats_dds_at_every_size(self, airraid_cache):
+        for n in (2, 4, 8):
+            dds = scaling_series(
+                "Airraid-ram-v0", "CLAN_DDS", (n,), POP, GENS, seed=2,
+                cache=airraid_cache,
+            )[n]
+            dda = scaling_series(
+                "Airraid-ram-v0", "CLAN_DDA", (n,), POP, GENS, seed=2,
+                cache=airraid_cache,
+            )[n]
+            assert dda.total_s < dds.total_s
+
+
+class TestFig8Claims:
+    """Single-step inference shares at 2 nodes."""
+
+    @pytest.fixture(scope="class")
+    def shares(self):
+        return fig8_share(
+            ("CartPole-v0", "Airraid-ram-v0"), POP, GENS, seed=2
+        )
+
+    def test_small_workload_comm_above_90pct(self, shares):
+        for share in shares["CartPole-v0"].values():
+            assert share["communication"] > 0.85
+
+    def test_large_workload_dda_comm_least(self, shares):
+        airraid = shares["Airraid-ram-v0"]
+        assert (
+            airraid["CLAN_DDA"]["communication"]
+            < airraid["CLAN_DCS"]["communication"]
+        )
+        assert (
+            airraid["CLAN_DCS"]["communication"]
+            < airraid["CLAN_DDS"]["communication"]
+        )
+
+    def test_large_workload_inference_visible(self, shares):
+        airraid = shares["Airraid-ram-v0"]
+        assert airraid["CLAN_DCS"]["inference"] > 0.2
+
+
+class TestFig9Claims:
+    """Extrapolation: crossovers against serial."""
+
+    @pytest.fixture(scope="class")
+    def single_step_study(self, airraid_single_step_cache):
+        return fig9_extrapolation(
+            "Airraid-ram-v0",
+            (1, 2, 4, 6, 8, 10, 12, 15),
+            POP,
+            GENS,
+            single_step=True,
+            seed=2,
+        )
+
+    def test_dda_outlives_dcs(self, single_step_study):
+        crossovers = single_step_study.crossovers()
+        assert crossovers["CLAN_DCS"] is not None
+        assert crossovers["CLAN_DDA"] is not None
+        assert crossovers["CLAN_DDA"] > crossovers["CLAN_DCS"]
+
+    def test_dda_faster_on_average(self, single_step_study):
+        advantage = single_step_study.mean_advantage(
+            "CLAN_DDA", "CLAN_DCS", up_to=40
+        )
+        assert advantage > 1.2
+
+    def test_fit_residuals_small(self, single_step_study):
+        for fit in single_step_study.fits.values():
+            assert fit.residual < 0.25 * single_step_study.serial_time_s
+
+
+class TestFig10Claims:
+    """Better links stretch scaling; custom HW makes comm the wall."""
+
+    def test_halved_comm_extends_stagnation_point(
+        self, airraid_single_step_cache
+    ):
+        base = fig9_extrapolation(
+            "Airraid-ram-v0", (1, 2, 4, 6, 8, 10, 12, 15), POP, GENS,
+            single_step=True, seed=2,
+        )
+        fast = fig9_extrapolation(
+            "Airraid-ram-v0", (1, 2, 4, 6, 8, 10, 12, 15), POP, GENS,
+            single_step=True, seed=2, link=WiFiModel().scaled(0.5),
+        )
+        assert (
+            fast.stagnation_points()["CLAN_DCS"]
+            >= base.stagnation_points()["CLAN_DCS"]
+        )
+
+    def test_custom_hw_shrinks_inference_share(self, airraid_cache):
+        records = airraid_cache.records("CLAN_DCS", 2, GENS)
+        step_s = pi_env_step_seconds("Airraid-ram-v0")
+        from repro.cluster.device import get_device
+
+        pi_spec = ClusterSpec.of_pis(2)
+        hw_spec = ClusterSpec(
+            n_agents=2, agent_device=get_device("systolic_32x32")
+        )
+        pi_share = mean_generation_time(records, pi_spec, step_s).share()
+        hw_share = mean_generation_time(records, hw_spec, step_s).share()
+        assert hw_share["inference"] < pi_share["inference"]
+        assert hw_share["communication"] > pi_share["communication"]

@@ -1,0 +1,119 @@
+"""Integration: speciation dynamics over long runs."""
+
+import pytest
+
+from repro.core.protocols import SerialNEAT
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult
+from repro.neat.population import Population
+
+
+def deceptive_evaluate(genomes, generation):
+    """Fitness favours structural complexity: drives divergence."""
+    return {
+        g.key: FitnessResult(
+            genome_key=g.key,
+            fitness=float(g.gene_count()),
+            steps=1,
+            total_reward=0.0,
+            solved=False,
+        )
+        for g in genomes
+    }
+
+
+class TestSpeciesFormation:
+    def test_lower_threshold_more_species(self):
+        def count_species(threshold):
+            config = NEATConfig(
+                num_inputs=4,
+                num_outputs=2,
+                pop_size=40,
+                compatibility_threshold=threshold,
+            )
+            population = Population(config, seed=3)
+            for _ in range(6):
+                stats = population.run_generation(deceptive_evaluate)
+            return stats.n_species
+
+        assert count_species(1.0) >= count_species(5.0)
+
+    def test_species_emerge_under_structural_pressure(self):
+        config = NEATConfig(
+            num_inputs=4,
+            num_outputs=2,
+            pop_size=40,
+            compatibility_threshold=2.0,
+            node_add_prob=0.2,
+            conn_add_prob=0.4,
+        )
+        population = Population(config, seed=3)
+        for _ in range(8):
+            stats = population.run_generation(deceptive_evaluate)
+        assert stats.n_species >= 2
+
+    def test_stagnant_species_culled_over_time(self):
+        config = NEATConfig(
+            num_inputs=4,
+            num_outputs=2,
+            pop_size=40,
+            compatibility_threshold=1.5,
+            max_stagnation=3,
+            species_elitism=1,
+        )
+        population = Population(config, seed=5)
+
+        def flat_evaluate(genomes, generation):
+            # constant fitness: every species stagnates immediately
+            return {
+                g.key: FitnessResult(g.key, 1.0, 1, 1.0, False)
+                for g in genomes
+            }
+
+        peak = 0
+        for _ in range(10):
+            stats = population.run_generation(flat_evaluate)
+            peak = max(peak, stats.n_species)
+        # survivors exist (species_elitism) but the peak was culled
+        assert stats.n_species >= 1
+        assert population.size == config.pop_size
+
+
+class TestFitnessSharing:
+    def test_no_species_monopolises_under_sharing(self):
+        # paper Table III: "each genome must share the fitness of their
+        # species"; with several species alive, spawn counts stay bounded
+        config = NEATConfig(
+            num_inputs=4,
+            num_outputs=2,
+            pop_size=60,
+            compatibility_threshold=1.5,
+            node_add_prob=0.15,
+            min_species_size=2,
+        )
+        population = Population(config, seed=7)
+        for _ in range(6):
+            population.run_generation(deceptive_evaluate)
+        plan = population.last_plan
+        if len(plan.spawn_counts) >= 2:
+            largest = max(plan.spawn_counts.values())
+            assert largest < config.pop_size
+
+
+class TestConvergedBehaviourStability:
+    def test_champion_protected_by_elitism(self):
+        engine = SerialNEAT(
+            "CartPole-v0",
+            config=NEATConfig.for_env("CartPole-v0", pop_size=60),
+            seed=1,
+        )
+        result = engine.run(max_generations=25, fitness_threshold=1e9)
+        # paper section III-C: NEAT maintains accuracy over generations;
+        # with elitism the best-ever fitness never regresses much
+        best_so_far = float("-inf")
+        regressions = 0
+        for record in result.records:
+            if record.best_fitness < best_so_far * 0.5:
+                regressions += 1
+            best_so_far = max(best_so_far, record.best_fitness)
+        assert regressions <= len(result.records) // 3

@@ -1,0 +1,96 @@
+"""Tests for activation and aggregation registries."""
+
+import math
+
+import pytest
+
+from repro.neat.activations import (
+    ACTIVATIONS,
+    get_activation,
+    relu_activation,
+    sigmoid_activation,
+    tanh_activation,
+)
+from repro.neat.aggregations import (
+    AGGREGATIONS,
+    get_aggregation,
+    max_aggregation,
+    mean_aggregation,
+    min_aggregation,
+    product_aggregation,
+    sum_aggregation,
+)
+
+
+class TestActivations:
+    def test_sigmoid_range(self):
+        for z in (-100, -1, 0, 1, 100):
+            assert 0.0 <= sigmoid_activation(z) <= 1.0
+
+    def test_sigmoid_midpoint(self):
+        assert sigmoid_activation(0.0) == pytest.approx(0.5)
+
+    def test_sigmoid_monotone(self):
+        values = [sigmoid_activation(z) for z in (-2, -1, 0, 1, 2)]
+        assert values == sorted(values)
+
+    def test_tanh_range_and_sign(self):
+        assert -1.0 <= tanh_activation(-50) < 0
+        assert 0 < tanh_activation(50) <= 1.0
+        assert tanh_activation(0.0) == 0.0
+
+    def test_relu(self):
+        assert relu_activation(-3.0) == 0.0
+        assert relu_activation(3.0) == 3.0
+
+    def test_no_overflow_at_extremes(self):
+        for name, fn in ACTIVATIONS.items():
+            for z in (-1e9, -60, 60, 1e9):
+                value = fn(z)
+                assert math.isfinite(value), f"{name}({z}) not finite"
+
+    def test_get_activation_known(self):
+        assert get_activation("tanh") is tanh_activation
+
+    def test_get_activation_unknown_lists_known(self):
+        with pytest.raises(ValueError, match="sigmoid"):
+            get_activation("swish")
+
+    def test_registry_has_classic_neat_set(self):
+        for name in ("sigmoid", "tanh", "relu", "identity", "sin", "gauss"):
+            assert name in ACTIVATIONS
+
+
+class TestAggregations:
+    def test_sum(self):
+        assert sum_aggregation([1.0, 2.0, 3.0]) == 6.0
+
+    def test_sum_empty(self):
+        assert sum_aggregation([]) == 0.0
+
+    def test_product(self):
+        assert product_aggregation([2.0, 3.0]) == 6.0
+
+    def test_product_empty_is_identity(self):
+        assert product_aggregation([]) == 1.0
+
+    def test_max_min(self):
+        assert max_aggregation([1.0, 3.0, 2.0]) == 3.0
+        assert min_aggregation([1.0, 3.0, 2.0]) == 1.0
+
+    def test_max_min_empty(self):
+        assert max_aggregation([]) == 0.0
+        assert min_aggregation([]) == 0.0
+
+    def test_mean(self):
+        assert mean_aggregation([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean_aggregation([]) == 0.0
+
+    def test_get_aggregation_unknown(self):
+        with pytest.raises(ValueError, match="sum"):
+            get_aggregation("median")
+
+    def test_registry_complete(self):
+        assert set(AGGREGATIONS) == {"sum", "product", "max", "min", "mean"}

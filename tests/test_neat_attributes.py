@@ -1,0 +1,80 @@
+"""Tests for gene-attribute mutation helpers."""
+
+import random
+
+from repro.neat.attributes import clamp, mutate_bool, mutate_float, new_float
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-2.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+
+class TestNewFloat:
+    def test_respects_bounds(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            value = new_float(rng, 0.0, 5.0, -1.0, 1.0)
+            assert -1.0 <= value <= 1.0
+
+    def test_zero_stdev_returns_mean(self):
+        rng = random.Random(0)
+        assert new_float(rng, 0.7, 0.0, -1.0, 1.0) == 0.7
+
+
+class TestMutateFloat:
+    KWARGS = dict(
+        mutate_rate=0.8,
+        replace_rate=0.1,
+        mutate_power=0.5,
+        init_mean=0.0,
+        init_stdev=1.0,
+        low=-2.0,
+        high=2.0,
+    )
+
+    def test_zero_rates_never_change(self):
+        rng = random.Random(0)
+        kwargs = dict(self.KWARGS, mutate_rate=0.0, replace_rate=0.0)
+        assert all(
+            mutate_float(0.3, rng, **kwargs) == 0.3 for _ in range(100)
+        )
+
+    def test_rate_one_always_perturbs(self):
+        rng = random.Random(0)
+        kwargs = dict(self.KWARGS, mutate_rate=1.0, replace_rate=0.0)
+        values = {mutate_float(0.3, rng, **kwargs) for _ in range(20)}
+        assert 0.3 not in values
+
+    def test_result_always_in_bounds(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            value = mutate_float(1.9, rng, **self.KWARGS)
+            assert -2.0 <= value <= 2.0
+
+    def test_perturbation_magnitude_tracks_power(self):
+        rng = random.Random(5)
+        kwargs = dict(
+            self.KWARGS, mutate_rate=1.0, replace_rate=0.0, mutate_power=0.01
+        )
+        deltas = [
+            abs(mutate_float(0.0, rng, **kwargs)) for _ in range(200)
+        ]
+        assert max(deltas) < 0.1
+
+
+class TestMutateBool:
+    def test_zero_rate_is_stable(self):
+        rng = random.Random(0)
+        assert all(mutate_bool(True, rng, 0.0) for _ in range(50))
+
+    def test_rate_one_randomises(self):
+        rng = random.Random(0)
+        values = {mutate_bool(True, rng, 1.0) for _ in range(50)}
+        assert values == {True, False}

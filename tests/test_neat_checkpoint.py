@@ -1,0 +1,124 @@
+"""Tests for population checkpointing: resume must be bit-exact."""
+
+import pytest
+
+from repro.cluster.serialization import encode_genome
+from repro.neat.checkpoint import load_population, save_population
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult
+from repro.neat.population import Population
+
+
+def fake_evaluate(genomes, generation):
+    return {
+        g.key: FitnessResult(
+            genome_key=g.key,
+            fitness=float((g.key * 7 + generation) % 23),
+            steps=2,
+            total_reward=0.0,
+            solved=False,
+        )
+        for g in genomes
+    }
+
+
+def population_bytes(population):
+    return b"".join(
+        encode_genome(population.genomes[key])
+        for key in sorted(population.genomes)
+    )
+
+
+@pytest.fixture
+def config():
+    return NEATConfig(num_inputs=3, num_outputs=2, pop_size=20)
+
+
+class TestRoundTrip:
+    def test_fresh_population(self, config, tmp_path):
+        population = Population(config, seed=4)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        assert population_bytes(restored) == population_bytes(population)
+        assert restored.generation == 0
+        assert restored.config == config
+
+    def test_evolved_population(self, config, tmp_path):
+        population = Population(config, seed=4)
+        for _ in range(4):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        assert population_bytes(restored) == population_bytes(population)
+        assert restored.generation == population.generation
+        assert set(restored.species_set.species) == set(
+            population.species_set.species
+        )
+
+    def test_best_genome_preserved(self, config, tmp_path):
+        population = Population(config, seed=4)
+        population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        assert encode_genome(restored.best_genome) == encode_genome(
+            population.best_genome
+        )
+
+    def test_species_history_preserved(self, config, tmp_path):
+        population = Population(config, seed=4)
+        for _ in range(3):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        for key, species in population.species_set.species.items():
+            twin = restored.species_set.species[key]
+            assert twin.fitness_history == species.fitness_history
+            assert twin.last_improved == species.last_improved
+
+
+class TestResumeExactness:
+    def test_resumed_run_identical_to_uninterrupted(self, config, tmp_path):
+        # 6 straight generations ...
+        straight = Population(config, seed=9)
+        for _ in range(6):
+            straight.run_generation(fake_evaluate)
+        # ... versus 3 + checkpoint + 3
+        interrupted = Population(config, seed=9)
+        for _ in range(3):
+            interrupted.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(interrupted, path)
+        resumed = load_population(path)
+        for _ in range(3):
+            resumed.run_generation(fake_evaluate)
+        assert population_bytes(resumed) == population_bytes(straight)
+        assert resumed.generation == straight.generation
+
+    def test_resume_twice_from_same_checkpoint(self, config, tmp_path):
+        population = Population(config, seed=9)
+        population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        a = load_population(path)
+        b = load_population(path)
+        a.run_generation(fake_evaluate)
+        b.run_generation(fake_evaluate)
+        assert population_bytes(a) == population_bytes(b)
+
+
+class TestValidation:
+    def test_version_checked(self, config, tmp_path):
+        import json
+
+        population = Population(config, seed=1)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_population(path)

@@ -1,0 +1,82 @@
+"""Tests for NEATConfig validation and derivation."""
+
+import pytest
+
+from repro.neat.config import NEATConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = NEATConfig()
+        assert config.pop_size == 150  # the paper's population size
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_inputs", 0),
+            ("num_outputs", 0),
+            ("pop_size", 1),
+            ("survival_threshold", 1.5),
+            ("survival_threshold", -0.1),
+            ("crossover_prob", 2.0),
+            ("elitism", -1),
+            ("min_species_size", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            NEATConfig(**{field: value})
+
+    def test_invalid_initial_connection(self):
+        with pytest.raises(ValueError, match="initial_connection"):
+            NEATConfig(initial_connection="sparse")
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            NEATConfig(default_activation="swish")
+
+    def test_unknown_allowed_activation_rejected(self):
+        with pytest.raises(ValueError):
+            NEATConfig(allowed_activations=("tanh", "swish"))
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            NEATConfig(default_aggregation="median")
+
+
+class TestDerivation:
+    def test_evolve_with(self):
+        config = NEATConfig(pop_size=50)
+        derived = config.evolve_with(pop_size=20)
+        assert derived.pop_size == 20
+        assert config.pop_size == 50
+
+    def test_evolve_with_validates(self):
+        with pytest.raises(ValueError):
+            NEATConfig().evolve_with(pop_size=0)
+
+    def test_for_env_sizes_io(self):
+        config = NEATConfig.for_env("LunarLander-v2")
+        assert config.num_inputs == 8
+        assert config.num_outputs == 4
+
+    def test_for_env_atari(self):
+        config = NEATConfig.for_env("Airraid-ram-v0")
+        assert config.num_inputs == 128
+        assert config.num_outputs == 6
+
+    def test_for_env_overrides(self):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=42)
+        assert config.pop_size == 42
+
+    def test_input_keys_negative(self):
+        config = NEATConfig(num_inputs=3, num_outputs=2)
+        assert config.input_keys == (-1, -2, -3)
+
+    def test_output_keys_nonnegative(self):
+        config = NEATConfig(num_inputs=3, num_outputs=2)
+        assert config.output_keys == (0, 1)
+
+    def test_key_spaces_disjoint(self):
+        config = NEATConfig(num_inputs=5, num_outputs=5)
+        assert not set(config.input_keys) & set(config.output_keys)

@@ -1,0 +1,68 @@
+"""Tests for genome evaluation against environments."""
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.population import Population
+
+
+@pytest.fixture
+def config():
+    return NEATConfig.for_env("CartPole-v0", pop_size=10)
+
+
+@pytest.fixture
+def genome(config):
+    return next(iter(Population(config, seed=0).genomes.values()))
+
+
+class TestGenomeEvaluator:
+    def test_deterministic_per_generation(self, config, genome):
+        evaluator = GenomeEvaluator("CartPole-v0", seed=5)
+        a = evaluator.evaluate(genome, config, generation=3)
+        b = evaluator.evaluate(genome, config, generation=3)
+        assert a.fitness == b.fitness
+        assert a.steps == b.steps
+
+    def test_generations_use_different_episodes(self, config, genome):
+        evaluator = GenomeEvaluator("CartPole-v0", seed=5)
+        seeds = {
+            evaluator.episode_seed(generation, 0) for generation in range(10)
+        }
+        assert len(seeds) == 10
+
+    def test_steps_positive(self, config, genome):
+        evaluator = GenomeEvaluator("CartPole-v0", seed=5)
+        result = evaluator.evaluate(genome, config, 0)
+        assert result.steps >= 1
+
+    def test_single_step_mode(self, config, genome):
+        evaluator = GenomeEvaluator("CartPole-v0", max_steps=1, seed=5)
+        result = evaluator.evaluate(genome, config, 0)
+        assert result.steps == 1
+
+    def test_multiple_episodes_average(self, config, genome):
+        one = GenomeEvaluator("CartPole-v0", episodes=1, seed=5)
+        three = GenomeEvaluator("CartPole-v0", episodes=3, seed=5)
+        r1 = one.evaluate(genome, config, 0)
+        r3 = three.evaluate(genome, config, 0)
+        assert r3.steps >= r1.steps  # steps accumulate over episodes
+
+    def test_solved_flag_uses_reward_not_shaping(self, config):
+        evaluator = GenomeEvaluator("MountainCar-v0", seed=5)
+        mc_config = NEATConfig.for_env("MountainCar-v0", pop_size=10)
+        genome = next(
+            iter(Population(mc_config, seed=0).genomes.values())
+        )
+        result = evaluator.evaluate(genome, mc_config, 0)
+        # a random initial genome never solves MountainCar
+        assert not result.solved
+
+    def test_invalid_episode_count(self):
+        with pytest.raises(ValueError):
+            GenomeEvaluator("CartPole-v0", episodes=0)
+
+    def test_result_carries_genome_key(self, config, genome):
+        evaluator = GenomeEvaluator("CartPole-v0", seed=5)
+        assert evaluator.evaluate(genome, config, 0).genome_key == genome.key

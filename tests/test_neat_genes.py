@@ -1,0 +1,141 @@
+"""Tests for node and connection genes."""
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+
+
+@pytest.fixture
+def config():
+    return NEATConfig(num_inputs=2, num_outputs=1)
+
+
+class TestNodeGene:
+    def test_rejects_negative_key(self):
+        with pytest.raises(ValueError):
+            NodeGene(-1)
+
+    def test_random_within_bounds(self, config):
+        rng = random.Random(0)
+        for _ in range(50):
+            gene = NodeGene.random(3, config, rng)
+            assert config.bias_min <= gene.bias <= config.bias_max
+
+    def test_random_uses_default_activation(self, config):
+        gene = NodeGene.random(0, config, random.Random(0))
+        assert gene.activation == config.default_activation
+        assert gene.aggregation == config.default_aggregation
+
+    def test_copy_is_independent(self):
+        gene = NodeGene(1, bias=0.5)
+        clone = gene.copy()
+        clone.bias = 9.0
+        assert gene.bias == 0.5
+
+    def test_copy_equal(self):
+        gene = NodeGene(1, bias=0.5, response=2.0)
+        assert gene.copy() == gene
+
+    def test_crossover_mixes_parents(self, config):
+        rng = random.Random(0)
+        a = NodeGene(1, bias=0.0)
+        b = NodeGene(1, bias=1.0)
+        picks = {a.crossover(b, rng).bias for _ in range(40)}
+        assert picks == {0.0, 1.0}
+
+    def test_crossover_requires_matching_keys(self):
+        with pytest.raises(ValueError):
+            NodeGene(1).crossover(NodeGene(2), random.Random(0))
+
+    def test_distance_zero_for_identical(self, config):
+        gene = NodeGene(1, bias=0.3)
+        assert gene.distance(gene.copy(), config) == 0.0
+
+    def test_distance_tracks_bias_difference(self, config):
+        a = NodeGene(1, bias=0.0)
+        b = NodeGene(1, bias=2.0)
+        expected = 2.0 * config.compatibility_weight_coefficient
+        assert a.distance(b, config) == pytest.approx(expected)
+
+    def test_distance_counts_activation_mismatch(self, config):
+        a = NodeGene(1, activation="tanh")
+        b = NodeGene(1, activation="relu")
+        assert a.distance(b, config) > 0
+
+    def test_distance_symmetric(self, config):
+        a = NodeGene(1, bias=0.1, response=1.5)
+        b = NodeGene(1, bias=-0.7, response=0.5)
+        assert a.distance(b, config) == pytest.approx(b.distance(a, config))
+
+    def test_mutate_respects_bounds(self, config):
+        rng = random.Random(7)
+        gene = NodeGene(1, bias=config.bias_max)
+        for _ in range(100):
+            gene.mutate(config, rng)
+            assert config.bias_min <= gene.bias <= config.bias_max
+
+    def test_wire_footprint(self):
+        assert NodeGene.FLOAT_FIELDS == 5
+
+
+class TestConnectionGene:
+    def test_rejects_connection_into_input(self):
+        with pytest.raises(ValueError):
+            ConnectionGene((-1, -2))
+
+    def test_key_normalised_to_ints(self):
+        gene = ConnectionGene((True, 3))  # bools are ints; normalised
+        assert gene.key == (1, 3)
+
+    def test_random_within_bounds(self, config):
+        rng = random.Random(0)
+        for _ in range(50):
+            gene = ConnectionGene.random((-1, 0), config, rng)
+            assert config.weight_min <= gene.weight <= config.weight_max
+            assert gene.enabled
+
+    def test_copy_is_independent(self):
+        gene = ConnectionGene((-1, 0), weight=1.0)
+        clone = gene.copy()
+        clone.weight = -1.0
+        clone.enabled = False
+        assert gene.weight == 1.0
+        assert gene.enabled
+
+    def test_crossover_mixes_weights(self, config):
+        rng = random.Random(0)
+        a = ConnectionGene((-1, 0), weight=0.0)
+        b = ConnectionGene((-1, 0), weight=1.0)
+        picks = {a.crossover(b, rng).weight for _ in range(40)}
+        assert picks == {0.0, 1.0}
+
+    def test_crossover_requires_matching_keys(self):
+        with pytest.raises(ValueError):
+            ConnectionGene((-1, 0)).crossover(
+                ConnectionGene((-2, 0)), random.Random(0)
+            )
+
+    def test_distance_includes_enabled_flag(self, config):
+        a = ConnectionGene((-1, 0), weight=1.0, enabled=True)
+        b = ConnectionGene((-1, 0), weight=1.0, enabled=False)
+        assert a.distance(b, config) == pytest.approx(
+            config.compatibility_weight_coefficient
+        )
+
+    def test_distance_symmetric(self, config):
+        a = ConnectionGene((-1, 0), weight=2.0)
+        b = ConnectionGene((-1, 0), weight=-1.0)
+        assert a.distance(b, config) == pytest.approx(b.distance(a, config))
+
+    def test_mutate_respects_bounds(self, config):
+        rng = random.Random(9)
+        gene = ConnectionGene((-1, 0), weight=config.weight_max)
+        for _ in range(100):
+            gene.mutate(config, rng)
+            assert config.weight_min <= gene.weight <= config.weight_max
+
+    def test_wire_footprint(self):
+        assert ConnectionGene.FLOAT_FIELDS == 4

@@ -1,0 +1,285 @@
+"""Tests for the Genome: construction, mutation, crossover, distance."""
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome, creates_cycle
+from repro.neat.innovation import InnovationTracker
+
+from tests.conftest import make_evolved_genome
+
+
+class TestCreatesCycle:
+    def test_self_loop(self):
+        assert creates_cycle([], (1, 1))
+
+    def test_simple_back_edge(self):
+        assert creates_cycle([(1, 2)], (2, 1))
+
+    def test_transitive_back_edge(self):
+        assert creates_cycle([(1, 2), (2, 3)], (3, 1))
+
+    def test_forward_edge_ok(self):
+        assert not creates_cycle([(1, 2), (2, 3)], (1, 3))
+
+    def test_disconnected_ok(self):
+        assert not creates_cycle([(1, 2)], (3, 4))
+
+
+class TestConstruction:
+    def test_full_initial_connection(self, small_config, rng):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        expected = small_config.num_inputs * small_config.num_outputs
+        assert len(genome.connections) == expected
+        assert len(genome.nodes) == small_config.num_outputs
+
+    def test_none_initial_connection(self, rng):
+        config = NEATConfig(
+            num_inputs=3, num_outputs=2, initial_connection="none"
+        )
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        assert not genome.connections
+        assert len(genome.nodes) == 2
+
+    def test_gene_count(self, genome, small_config):
+        assert genome.gene_count() == len(genome.nodes) + len(
+            genome.connections
+        )
+
+    def test_copy_preserves_fitness(self, genome):
+        genome.fitness = 5.0
+        assert genome.copy().fitness == 5.0
+
+    def test_copy_with_new_key_clears_fitness(self, genome):
+        genome.fitness = 5.0
+        clone = genome.copy(new_key=99)
+        assert clone.key == 99
+        assert clone.fitness is None
+
+    def test_copy_deep(self, genome):
+        clone = genome.copy()
+        first = next(iter(clone.connections.values()))
+        first.weight += 10.0
+        original = genome.connections[first.key]
+        assert original.weight != first.weight
+
+
+class TestMutations:
+    def test_add_node_splits_connection(self, small_config, rng, innovation):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        n_nodes = len(genome.nodes)
+        assert genome.mutate_add_node(small_config, rng, innovation)
+        assert len(genome.nodes) == n_nodes + 1
+        # exactly one connection disabled, two added
+        disabled = [
+            g for g in genome.connections.values() if not g.enabled
+        ]
+        assert len(disabled) == 1
+
+    def test_add_node_preserves_initial_behaviour(
+        self, small_config, rng, innovation
+    ):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        old = dict(genome.connections)
+        genome.mutate_add_node(small_config, rng, innovation)
+        new_node = max(genome.nodes)
+        into = genome.connections[
+            next(k for k in genome.connections if k[1] == new_node)
+        ]
+        out_of = genome.connections[
+            next(k for k in genome.connections if k[0] == new_node)
+        ]
+        split = next(
+            g for k, g in genome.connections.items()
+            if k in old and not g.enabled
+        )
+        assert into.weight == 1.0
+        assert out_of.weight == split.weight
+
+    def test_add_node_on_empty_genome_fails(self, rng, innovation):
+        config = NEATConfig(
+            num_inputs=2, num_outputs=1, initial_connection="none"
+        )
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        assert not genome.mutate_add_node(config, rng, innovation)
+
+    def test_delete_node_removes_incident_connections(
+        self, small_config, rng, innovation
+    ):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        genome.mutate_add_node(small_config, rng, innovation)
+        hidden = max(genome.nodes)
+        # force deletion of the hidden node by removing others from play
+        deleted = False
+        for _ in range(50):
+            if genome.mutate_delete_node(small_config, rng):
+                deleted = True
+                break
+        assert deleted
+        assert hidden not in genome.nodes
+        assert all(hidden not in key for key in genome.connections)
+
+    def test_delete_node_never_removes_outputs(self, small_config, rng):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        assert not genome.mutate_delete_node(small_config, rng)
+        for key in small_config.output_keys:
+            assert key in genome.nodes
+
+    def test_add_connection_no_duplicates(self, small_config, rng):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        before = set(genome.connections)
+        for _ in range(100):
+            genome.mutate_add_connection(small_config, rng)
+        after = set(genome.connections)
+        assert before <= after
+        assert len(after) == len(set(after))
+
+    def test_add_connection_never_creates_cycle(
+        self, small_config, rng, innovation
+    ):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        for _ in range(200):
+            genome.mutate_add_node(small_config, rng, innovation)
+            genome.mutate_add_connection(small_config, rng)
+        enabled = [g.key for g in genome.connections.values()]
+        for key in enabled:
+            others = [k for k in enabled if k != key]
+            assert not creates_cycle(others, key)
+
+    def test_delete_connection(self, small_config, rng):
+        genome = Genome(0)
+        genome.configure_new(small_config, rng)
+        n = len(genome.connections)
+        assert genome.mutate_delete_connection(small_config, rng)
+        assert len(genome.connections) == n - 1
+
+    def test_delete_connection_on_empty(self, rng):
+        config = NEATConfig(
+            num_inputs=2, num_outputs=1, initial_connection="none"
+        )
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        assert not genome.mutate_delete_connection(config, rng)
+
+    def test_single_structural_mutation_mode(self, rng, innovation):
+        config = NEATConfig(
+            num_inputs=3,
+            num_outputs=2,
+            single_structural_mutation=True,
+            node_add_prob=1.0,
+            conn_add_prob=1.0,
+            node_delete_prob=1.0,
+            conn_delete_prob=1.0,
+        )
+        genome = Genome(0)
+        genome.configure_new(config, rng)
+        before_nodes = len(genome.nodes)
+        before_conns = len(genome.connections)
+        genome.mutate(config, rng, innovation)
+        node_delta = abs(len(genome.nodes) - before_nodes)
+        conn_delta = abs(len(genome.connections) - before_conns)
+        # a single structural change: at most one node added/removed (add
+        # node also adds two connections)
+        assert node_delta <= 1
+
+
+class TestCrossover:
+    def test_requires_fitness(self, small_config, rng):
+        a = Genome(0)
+        a.configure_new(small_config, rng)
+        b = Genome(1)
+        b.configure_new(small_config, rng)
+        with pytest.raises(ValueError):
+            Genome.crossover(2, a, b, rng)
+
+    def test_requires_fitter_first(self, genome_pair, rng):
+        fit, unfit = genome_pair
+        with pytest.raises(ValueError):
+            Genome.crossover(2, unfit, fit, rng)
+
+    def test_child_keys_subset_of_fitter_parent(self, small_config, rng):
+        fit = make_evolved_genome(small_config, seed=1, key=0)
+        unfit = make_evolved_genome(small_config, seed=2, key=1)
+        fit.fitness, unfit.fitness = 3.0, 1.0
+        child = Genome.crossover(2, fit, unfit, rng)
+        assert set(child.nodes) == set(fit.nodes)
+        assert set(child.connections) == set(fit.connections)
+
+    def test_matching_gene_attributes_from_either_parent(
+        self, genome_pair, rng
+    ):
+        fit, unfit = genome_pair
+        key = next(iter(fit.connections))
+        weights = set()
+        for i in range(50):
+            child = Genome.crossover(2, fit, unfit, random.Random(i))
+            weights.add(child.connections[key].weight)
+        assert weights == {
+            fit.connections[key].weight,
+            unfit.connections[key].weight,
+        }
+
+    def test_child_has_requested_key(self, genome_pair, rng):
+        fit, unfit = genome_pair
+        child = Genome.crossover(42, fit, unfit, rng)
+        assert child.key == 42
+        assert child.fitness is None
+
+
+class TestDistance:
+    def test_self_distance_zero(self, genome, small_config):
+        assert genome.distance(genome, small_config) == 0.0
+
+    def test_symmetric(self, small_config, rng):
+        a = make_evolved_genome(small_config, seed=1, key=0)
+        b = make_evolved_genome(small_config, seed=2, key=1)
+        assert a.distance(b, small_config) == pytest.approx(
+            b.distance(a, small_config)
+        )
+
+    def test_disjoint_genes_increase_distance(self, small_config, rng):
+        a = Genome(0)
+        a.configure_new(small_config, rng)
+        b = a.copy(new_key=1)
+        base = a.distance(b, small_config)
+        tracker = InnovationTracker(next_node_id=small_config.num_outputs)
+        b.mutate_add_node(small_config, rng, tracker)
+        assert a.distance(b, small_config) > base
+
+    def test_weight_difference_increases_distance(self, small_config, rng):
+        a = Genome(0)
+        a.configure_new(small_config, rng)
+        b = a.copy(new_key=1)
+        key = next(iter(b.connections))
+        b.connections[key].weight += 5.0
+        assert a.distance(b, small_config) > 0.0
+
+    def test_identical_structures_zero_distance(self, small_config, rng):
+        a = Genome(0)
+        a.configure_new(small_config, rng)
+        b = a.copy(new_key=1)
+        assert a.distance(b, small_config) == 0.0
+
+
+class TestBookkeeping:
+    def test_complexity(self, genome):
+        nodes, enabled = genome.complexity()
+        assert nodes == len(genome.nodes)
+        assert enabled <= len(genome.connections)
+
+    def test_max_node_id(self, genome, small_config):
+        assert genome.max_node_id() == max(small_config.output_keys)
+
+    def test_max_node_id_empty(self):
+        assert Genome(0).max_node_id() == -1

@@ -1,0 +1,77 @@
+"""Tests for innovation (historical marking) bookkeeping."""
+
+import pytest
+
+from repro.neat.innovation import InnovationTracker
+
+
+class TestBasicAllocation:
+    def test_same_split_same_id_within_generation(self):
+        tracker = InnovationTracker(next_node_id=2)
+        a = tracker.get_split_node_id((-1, 0))
+        b = tracker.get_split_node_id((-1, 0))
+        assert a == b
+
+    def test_different_splits_different_ids(self):
+        tracker = InnovationTracker(next_node_id=2)
+        a = tracker.get_split_node_id((-1, 0))
+        b = tracker.get_split_node_id((-2, 0))
+        assert a != b
+
+    def test_generation_boundary_resets_alignment(self):
+        tracker = InnovationTracker(next_node_id=2)
+        a = tracker.get_split_node_id((-1, 0))
+        tracker.advance_generation()
+        b = tracker.get_split_node_id((-1, 0))
+        assert a != b
+
+    def test_ids_start_at_next_node_id(self):
+        tracker = InnovationTracker(next_node_id=5)
+        assert tracker.get_split_node_id((-1, 0)) == 5
+
+    def test_observe_node_id_advances(self):
+        tracker = InnovationTracker(next_node_id=2)
+        tracker.observe_node_id(10)
+        assert tracker.get_split_node_id((-1, 0)) == 11
+
+    def test_observe_smaller_id_is_noop(self):
+        tracker = InnovationTracker(next_node_id=7)
+        tracker.observe_node_id(3)
+        assert tracker.next_node_id == 7
+
+
+class TestAgentStriding:
+    def test_disjoint_ranges_across_agents(self):
+        trackers = [
+            InnovationTracker(next_node_id=2, agent_offset=i, agent_stride=4)
+            for i in range(4)
+        ]
+        ids = []
+        for tracker in trackers:
+            for split in ((-1, 0), (-2, 0), (-3, 0)):
+                ids.append(tracker.get_split_node_id(split))
+        assert len(ids) == len(set(ids))
+
+    def test_ids_congruent_to_offset(self):
+        tracker = InnovationTracker(
+            next_node_id=2, agent_offset=3, agent_stride=5
+        )
+        for split in ((-1, 0), (-2, 0), (-1, 1)):
+            assert tracker.get_split_node_id(split) % 5 == 3
+
+    def test_observe_keeps_congruence(self):
+        tracker = InnovationTracker(
+            next_node_id=2, agent_offset=1, agent_stride=4
+        )
+        tracker.observe_node_id(11)
+        next_id = tracker.get_split_node_id((-1, 0))
+        assert next_id > 11
+        assert next_id % 4 == 1
+
+    def test_invalid_offset_rejected(self):
+        with pytest.raises(ValueError):
+            InnovationTracker(next_node_id=0, agent_offset=4, agent_stride=4)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            InnovationTracker(next_node_id=0, agent_stride=0)

@@ -1,0 +1,148 @@
+"""Tests for the feed-forward network compiler."""
+
+import math
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork, required_for_output
+
+from tests.conftest import make_evolved_genome
+
+
+def manual_genome(config, weights):
+    """Genome with explicit connection weights {(in, out): w} and zero
+    biases, identity activation."""
+    genome = Genome(0)
+    node_keys = {k for _i, k in weights} | {k for k, _o in weights if k >= 0}
+    node_keys |= set(config.output_keys)
+    for key in sorted(node_keys):
+        genome.nodes[key] = NodeGene(
+            key, bias=0.0, response=1.0, activation="identity",
+            aggregation="sum",
+        )
+    for key, weight in weights.items():
+        genome.connections[key] = ConnectionGene(key, weight, True)
+    return genome
+
+
+class TestRequiredForOutput:
+    def test_direct_path(self):
+        required = required_for_output([-1], [0], [(-1, 0)])
+        assert required == {0}
+
+    def test_hidden_chain(self):
+        required = required_for_output([-1], [0], [(-1, 2), (2, 0)])
+        assert required == {0, 2}
+
+    def test_dead_end_excluded(self):
+        # node 3 feeds nothing
+        required = required_for_output([-1], [0], [(-1, 0), (-1, 3)])
+        assert 3 not in required
+
+    def test_inputs_never_included(self):
+        required = required_for_output([-1, -2], [0], [(-1, 0), (-2, 0)])
+        assert required == {0}
+
+
+class TestCompilation:
+    def test_simple_identity_network(self):
+        config = NEATConfig(num_inputs=2, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 2.0, (-2, 0): 3.0})
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.activate([1.0, 1.0]) == [5.0]
+
+    def test_hidden_layer(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 5): 2.0, (5, 0): 3.0})
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.activate([1.0]) == [6.0]
+
+    def test_bias_and_response(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0})
+        genome.nodes[0].bias = 0.5
+        genome.nodes[0].response = 2.0
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.activate([1.0]) == [2.5]  # bias + response * sum
+
+    def test_disabled_connection_ignored(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 2.0})
+        genome.connections[(-1, 0)].enabled = False
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.activate([1.0]) == [0.0]
+
+    def test_unconnected_output_uses_bias_only(self):
+        config = NEATConfig(num_inputs=1, num_outputs=2)
+        genome = manual_genome(config, {(-1, 0): 1.0})
+        genome.nodes[1].bias = 0.7
+        network = FeedForwardNetwork.create(genome, config)
+        outputs = network.activate([0.0])
+        # output 1 has no incoming links: value = activation(bias)
+        assert outputs[1] == 0.7
+
+    def test_cycle_detection(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(
+            config, {(-1, 2): 1.0, (2, 3): 1.0, (3, 0): 1.0}
+        )
+        # introduce a cycle behind the compiler's back
+        genome.connections[(3, 2)] = ConnectionGene((3, 2), 1.0, True)
+        with pytest.raises(ValueError, match="cycle"):
+            FeedForwardNetwork.create(genome, config)
+
+    def test_wrong_input_count_raises(self):
+        config = NEATConfig(num_inputs=2, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0})
+        network = FeedForwardNetwork.create(genome, config)
+        with pytest.raises(ValueError):
+            network.activate([1.0])
+
+    def test_tanh_bounded_outputs(self):
+        config = NEATConfig(num_inputs=4, num_outputs=2)
+        genome = make_evolved_genome(config, seed=3, mutations=40)
+        network = FeedForwardNetwork.create(genome, config)
+        rng = random.Random(0)
+        for _ in range(20):
+            outputs = network.activate(
+                [rng.uniform(-10, 10) for _ in range(4)]
+            )
+            assert all(math.isfinite(v) for v in outputs)
+            assert all(-1.0 <= v <= 1.0 for v in outputs)
+
+    def test_deterministic_across_compilations(self):
+        config = NEATConfig(num_inputs=4, num_outputs=3)
+        genome = make_evolved_genome(config, seed=9, mutations=50)
+        n1 = FeedForwardNetwork.create(genome, config)
+        n2 = FeedForwardNetwork.create(genome, config)
+        inputs = [0.1, -0.2, 0.3, -0.4]
+        assert n1.activate(inputs) == n2.activate(inputs)
+
+    def test_stateless_between_activations(self):
+        config = NEATConfig(num_inputs=2, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0, (-2, 0): 1.0})
+        network = FeedForwardNetwork.create(genome, config)
+        first = network.activate([1.0, 2.0])
+        network.activate([5.0, 5.0])
+        again = network.activate([1.0, 2.0])
+        assert first == again
+
+
+class TestPolicy:
+    def test_argmax(self):
+        config = NEATConfig(num_inputs=1, num_outputs=3)
+        genome = manual_genome(
+            config, {(-1, 0): 0.1, (-1, 1): 5.0, (-1, 2): 1.0}
+        )
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.policy([1.0]) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        config = NEATConfig(num_inputs=1, num_outputs=2)
+        genome = manual_genome(config, {(-1, 0): 1.0, (-1, 1): 1.0})
+        network = FeedForwardNetwork.create(genome, config)
+        assert network.policy([1.0]) == 0

@@ -1,0 +1,113 @@
+"""Tests for recurrent network execution."""
+
+import math
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.network import FeedForwardNetwork
+from repro.neat.recurrent import RecurrentNetwork
+
+from tests.conftest import make_evolved_genome
+
+
+def manual_genome(config, weights, activation="identity"):
+    genome = Genome(0)
+    node_keys = {k for _i, k in weights} | {
+        k for k, _o in weights if k >= 0
+    }
+    node_keys |= set(config.output_keys)
+    for key in sorted(node_keys):
+        genome.nodes[key] = NodeGene(
+            key, bias=0.0, response=1.0, activation=activation,
+            aggregation="sum",
+        )
+    for key, weight in weights.items():
+        genome.connections[key] = ConnectionGene(key, weight, True)
+    return genome
+
+
+class TestRecurrentSemantics:
+    def test_accepts_self_loop(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0, (0, 0): 1.0})
+        network = RecurrentNetwork.create(genome, config)
+        # accumulator: y_t = x_t + y_{t-1}
+        assert network.activate([1.0]) == [1.0]
+        assert network.activate([1.0]) == [2.0]
+        assert network.activate([1.0]) == [3.0]
+
+    def test_feedforward_genome_rejected_by_ff_but_cycle_ok_here(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(
+            config, {(-1, 2): 1.0, (2, 0): 1.0, (0, 2): 0.5}
+        )
+        with pytest.raises(ValueError):
+            FeedForwardNetwork.create(genome, config)
+        network = RecurrentNetwork.create(genome, config)
+        outputs = network.activate([1.0])
+        assert len(outputs) == 1
+
+    def test_unit_delay_through_hidden_node(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 5): 1.0, (5, 0): 1.0})
+        network = RecurrentNetwork.create(genome, config)
+        # step 1: hidden sees x, output sees stale hidden (0)
+        assert network.activate([3.0]) == [0.0]
+        # step 2: output sees hidden's previous value (3)
+        assert network.activate([0.0]) == [3.0]
+
+    def test_reset_clears_state(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0, (0, 0): 1.0})
+        network = RecurrentNetwork.create(genome, config)
+        network.activate([1.0])
+        network.activate([1.0])
+        network.reset()
+        assert network.activate([1.0]) == [1.0]
+
+    def test_matches_feedforward_after_settling(self):
+        # for an acyclic genome, after enough steps of constant input the
+        # recurrent semantics converge to the feed-forward value
+        config = NEATConfig(num_inputs=2, num_outputs=1)
+        genome = manual_genome(
+            config, {(-1, 7): 0.5, (-2, 7): -0.25, (7, 0): 2.0}
+        )
+        ff = FeedForwardNetwork.create(genome, config)
+        rn = RecurrentNetwork.create(genome, config)
+        inputs = [1.0, 2.0]
+        expected = ff.activate(inputs)
+        for _ in range(5):
+            settled = rn.activate(inputs)
+        assert settled == pytest.approx(expected)
+
+    def test_evolved_genomes_run(self):
+        config = NEATConfig(num_inputs=3, num_outputs=2)
+        rng = random.Random(0)
+        for seed in range(5):
+            genome = make_evolved_genome(config, seed=seed, mutations=30)
+            network = RecurrentNetwork.create(genome, config)
+            for _ in range(10):
+                outputs = network.activate(
+                    [rng.uniform(-1, 1) for _ in range(3)]
+                )
+                assert all(math.isfinite(v) for v in outputs)
+
+    def test_policy_in_action_space(self):
+        config = NEATConfig(num_inputs=2, num_outputs=3)
+        genome = manual_genome(
+            config, {(-1, 0): 1.0, (-2, 1): 1.0, (-1, 2): -1.0}
+        )
+        network = RecurrentNetwork.create(genome, config)
+        for inputs in ([1.0, 0.0], [0.0, 1.0], [-1.0, -1.0]):
+            assert 0 <= network.policy(inputs) < 3
+
+    def test_wrong_input_count(self):
+        config = NEATConfig(num_inputs=2, num_outputs=1)
+        genome = manual_genome(config, {(-1, 0): 1.0})
+        network = RecurrentNetwork.create(genome, config)
+        with pytest.raises(ValueError):
+            network.activate([1.0])

@@ -1,0 +1,229 @@
+"""Tests for generation planning and child formation."""
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.reproduction import (
+    compute_spawn_counts,
+    execute_plan,
+    make_child,
+    plan_generation,
+)
+from repro.neat.species import SpeciesSet
+
+
+def build_state(config, fitness_fn, seed=0):
+    """Population + speciation ready for planning."""
+    rng = random.Random(seed)
+    population = {}
+    for key in range(config.pop_size):
+        genome = Genome(key)
+        genome.configure_new(config, rng)
+        genome.fitness = fitness_fn(key)
+        population[key] = genome
+    species_set = SpeciesSet()
+    species_set.speciate(population, 0, config, rng)
+    return population, species_set
+
+
+class TestSpawnCounts:
+    def test_exact_population_size(self):
+        counts = compute_spawn_counts(
+            {1: 0.5, 2: 0.3, 3: 0.2}, {1: 10, 2: 10, 3: 10}, 30, 2
+        )
+        assert sum(counts.values()) == 30
+
+    def test_fitter_species_grow(self):
+        counts = compute_spawn_counts(
+            {1: 0.9, 2: 0.1}, {1: 10, 2: 10}, 20, 2
+        )
+        assert counts[1] > counts[2]
+
+    def test_min_species_size_respected(self):
+        counts = compute_spawn_counts(
+            {1: 1.0, 2: 0.0}, {1: 18, 2: 2}, 20, 2
+        )
+        assert counts[2] >= 2
+
+    def test_zero_fitness_sum_splits_evenly(self):
+        counts = compute_spawn_counts(
+            {1: 0.0, 2: 0.0}, {1: 10, 2: 10}, 20, 2
+        )
+        assert counts[1] == counts[2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_spawn_counts({}, {}, 10, 2)
+
+    def test_single_species_gets_everything(self):
+        counts = compute_spawn_counts({7: 0.4}, {7: 10}, 25, 2)
+        assert counts == {7: 25}
+
+
+class TestPlanGeneration:
+    def config(self, **overrides):
+        params = dict(num_inputs=3, num_outputs=2, pop_size=20, elitism=2)
+        params.update(overrides)
+        return NEATConfig(**params)
+
+    def test_plan_preserves_population_size(self):
+        config = self.config()
+        _pop, species_set = build_state(config, lambda k: float(k))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0), iter(range(100, 200)).__next__
+        )
+        assert plan.next_population_size() == config.pop_size
+
+    def test_elites_are_fittest(self):
+        config = self.config()
+        population, species_set = build_state(config, lambda k: float(k))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__,
+        )
+        # with one species, the two elites must be the top-fitness genomes
+        if len(species_set.species) == 1:
+            assert set(plan.elites) == {18, 19}
+
+    def test_children_reference_surviving_parents(self):
+        config = self.config()
+        population, species_set = build_state(config, lambda k: float(k))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__,
+        )
+        pools = {
+            key for pool in plan.parent_pools.values() for key in pool
+        }
+        for spec in plan.children:
+            assert spec.parent1_key in pools
+            if spec.parent2_key is not None:
+                assert spec.parent2_key in pools
+
+    def test_survival_threshold_culls(self):
+        config = self.config(survival_threshold=0.2)
+        population, species_set = build_state(config, lambda k: float(k))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__,
+        )
+        for species_id, pool in plan.parent_pools.items():
+            species = species_set.species.get(species_id)
+            if species is not None and len(species) >= 10:
+                assert len(pool) <= max(
+                    2, int(0.2 * len(species)) + 1
+                )
+
+    def test_unique_child_keys(self):
+        config = self.config()
+        _pop, species_set = build_state(config, lambda k: float(k))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__,
+        )
+        keys = [spec.child_key for spec in plan.children]
+        assert len(keys) == len(set(keys))
+
+    def test_all_stagnant_raises(self):
+        config = self.config(max_stagnation=0, species_elitism=0)
+        _pop, species_set = build_state(config, lambda k: 1.0)
+        plan = plan_generation(  # generation 0: just created, not stagnant
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__,
+        )
+        assert plan is not None
+
+
+class TestMakeChild:
+    def test_asexual_child_is_mutated_clone(self, small_config):
+        rng = random.Random(0)
+        parent = Genome(0)
+        parent.configure_new(small_config, rng)
+        parent.fitness = 1.0
+        tracker = InnovationTracker(next_node_id=small_config.num_outputs)
+        from repro.neat.reproduction import ChildSpec
+
+        spec = ChildSpec(
+            child_key=5, species_key=1, parent1_key=0, parent2_key=None
+        )
+        child = make_child(
+            spec, {0: parent}, small_config, random.Random(1), tracker
+        )
+        assert child.key == 5
+        assert child.fitness is None
+
+    def test_sexual_child_orders_parents_by_fitness(self, small_config):
+        rng = random.Random(0)
+        weak = Genome(0)
+        weak.configure_new(small_config, rng)
+        weak.fitness = 1.0
+        strong = Genome(1)
+        strong.configure_new(small_config, rng)
+        strong.fitness = 9.0
+        # strong has an extra connection the weak parent lacks
+        tracker = InnovationTracker(next_node_id=small_config.num_outputs)
+        strong.mutate_add_node(small_config, rng, tracker)
+        extra_keys = set(strong.connections) - set(weak.connections)
+
+        from repro.neat.reproduction import ChildSpec
+
+        spec = ChildSpec(
+            child_key=7, species_key=1, parent1_key=0, parent2_key=1
+        )
+        child = make_child(
+            spec,
+            {0: weak, 1: strong},
+            small_config.evolve_with(
+                conn_add_prob=0.0,
+                conn_delete_prob=0.0,
+                node_add_prob=0.0,
+                node_delete_prob=0.0,
+            ),
+            random.Random(2),
+            tracker,
+        )
+        # disjoint genes must come from the fitter parent (strong)
+        assert extra_keys <= set(child.connections)
+
+
+class TestExecutePlan:
+    def test_full_cycle_produces_population(self, small_config):
+        config = small_config
+        population, species_set = build_state(config, lambda k: float(k))
+        counter = iter(range(100, 200))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0), counter.__next__
+        )
+        tracker = InnovationTracker(next_node_id=config.num_outputs)
+        next_population, stats = execute_plan(
+            plan,
+            population,
+            config,
+            lambda spec: random.Random(spec.child_key),
+            tracker,
+        )
+        assert len(next_population) == config.pop_size
+        assert stats.children_formed == len(plan.children)
+        assert stats.genes_processed > 0
+
+    def test_elites_carried_unchanged(self, small_config):
+        config = small_config
+        population, species_set = build_state(config, lambda k: float(k))
+        counter = iter(range(100, 200))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(0), counter.__next__
+        )
+        tracker = InnovationTracker(next_node_id=config.num_outputs)
+        next_population, _stats = execute_plan(
+            plan,
+            population,
+            config,
+            lambda spec: random.Random(spec.child_key),
+            tracker,
+        )
+        for elite_key in plan.elites:
+            assert next_population[elite_key] is population[elite_key]

@@ -1,0 +1,144 @@
+"""Tests for speciation."""
+
+import random
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.species import DistanceCache, SpeciesSet
+
+from tests.conftest import make_evolved_genome
+
+
+def make_population(config, n, seed=0):
+    rng = random.Random(seed)
+    population = {}
+    for key in range(n):
+        genome = Genome(key)
+        genome.configure_new(config, rng)
+        genome.fitness = float(key)
+        population[key] = genome
+    return population
+
+
+class TestDistanceCache:
+    def test_caches_symmetric_pairs(self, small_config):
+        population = make_population(small_config, 2)
+        cache = DistanceCache(small_config)
+        d1 = cache(population[0], population[1])
+        d2 = cache(population[1], population[0])
+        assert d1 == d2
+        assert cache.stats.comparisons == 1
+
+    def test_counts_genes_compared(self, small_config):
+        population = make_population(small_config, 2)
+        cache = DistanceCache(small_config)
+        cache(population[0], population[1])
+        expected = population[0].gene_count() + population[1].gene_count()
+        assert cache.stats.genes_compared == expected
+
+
+class TestSpeciation:
+    def test_partitions_whole_population(self, small_config):
+        population = make_population(small_config, 12)
+        species_set = SpeciesSet()
+        species_set.speciate(
+            population, 0, small_config, random.Random(0)
+        )
+        assert species_set.total_members() == 12
+        assert set(species_set.genome_to_species) == set(population)
+
+    def test_similar_genomes_one_species(self, small_config):
+        population = make_population(small_config, 10)
+        species_set = SpeciesSet()
+        stats = species_set.speciate(
+            population, 0, small_config, random.Random(0)
+        )
+        # identical topology + similar weights: few species
+        assert stats.n_species <= 3
+
+    def test_divergent_genomes_split_species(self, small_config):
+        population = make_population(small_config, 4)
+        # make two genomes structurally alien
+        for key in (2, 3):
+            population[key] = make_evolved_genome(
+                small_config, seed=key, mutations=60, key=key
+            )
+            population[key].fitness = float(key)
+        config = small_config.evolve_with(compatibility_threshold=1.0)
+        species_set = SpeciesSet()
+        stats = species_set.speciate(population, 0, config, random.Random(0))
+        assert stats.n_species >= 2
+
+    def test_species_membership_consistent(self, small_config):
+        population = make_population(small_config, 8)
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, small_config, random.Random(0))
+        for species_id, species in species_set.species.items():
+            for key in species.members:
+                assert species_set.species_of(key) == species_id
+
+    def test_representatives_are_members(self, small_config):
+        population = make_population(small_config, 8)
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, small_config, random.Random(0))
+        for species in species_set.iter_species():
+            assert species.representative.key in species.members
+
+    def test_respeciation_keeps_species_ids_stable(self, small_config):
+        population = make_population(small_config, 8)
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, small_config, random.Random(0))
+        ids_before = set(species_set.species)
+        # same population next generation: species survive under same ids
+        species_set.speciate(population, 1, small_config, random.Random(1))
+        assert set(species_set.species) == ids_before
+
+    def test_empty_population_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            SpeciesSet().speciate({}, 0, small_config, random.Random(0))
+
+    def test_remove_species(self, small_config):
+        population = make_population(small_config, 8)
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, small_config, random.Random(0))
+        target = next(iter(species_set.species))
+        members = set(species_set.species[target].members)
+        species_set.remove_species(target)
+        assert target not in species_set.species
+        for key in members:
+            assert species_set.species_of(key) is None
+
+    def test_get_fitnesses_requires_evaluation(self, small_config):
+        population = make_population(small_config, 4)
+        population[0].fitness = None
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, small_config, random.Random(0))
+        species = species_set.species[
+            species_set.species_of(0)
+        ]
+        with pytest.raises(ValueError):
+            species.get_fitnesses()
+
+
+class TestSpeciesIdStriding:
+    def test_clan_species_ids_disjoint(self, small_config):
+        populations = [
+            make_population(small_config, 6, seed=i) for i in range(3)
+        ]
+        all_ids = set()
+        for clan_id, population in enumerate(populations):
+            species_set = SpeciesSet(
+                species_id_offset=clan_id, species_id_stride=3
+            )
+            species_set.speciate(
+                population, 0, small_config, random.Random(clan_id)
+            )
+            ids = set(species_set.species)
+            assert not ids & all_ids
+            all_ids |= ids
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            SpeciesSet(species_id_stride=0)

@@ -1,0 +1,79 @@
+"""Tests for species stagnation."""
+
+import random
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.species import SpeciesSet
+from repro.neat.stagnation import update_stagnation
+
+
+def speciated_population(config, fitness_by_key, generation=0):
+    rng = random.Random(0)
+    population = {}
+    for key, fitness in fitness_by_key.items():
+        genome = Genome(key)
+        genome.configure_new(config, rng)
+        genome.fitness = fitness
+        population[key] = genome
+    species_set = SpeciesSet()
+    species_set.speciate(population, generation, config, rng)
+    return species_set
+
+
+class TestStagnation:
+    def config(self, **overrides):
+        params = dict(num_inputs=2, num_outputs=1, max_stagnation=3,
+                      species_elitism=0)
+        params.update(overrides)
+        return NEATConfig(**params)
+
+    def test_fresh_species_not_stagnant(self):
+        config = self.config()
+        species_set = speciated_population(config, {0: 1.0, 1: 2.0})
+        result = update_stagnation(species_set, 0, config)
+        assert all(not stagnant for _sid, stagnant in result)
+
+    def test_species_fitness_is_member_max(self):
+        config = self.config()
+        species_set = speciated_population(config, {0: 1.0, 1: 5.0})
+        update_stagnation(species_set, 0, config)
+        best = max(s.fitness for s in species_set.iter_species())
+        assert best == 5.0
+
+    def test_stagnant_after_no_improvement(self):
+        config = self.config(max_stagnation=2, species_elitism=0)
+        species_set = speciated_population(config, {0: 1.0, 1: 1.5})
+        for generation in range(4):
+            result = update_stagnation(species_set, generation, config)
+        # fitness never improved after generation 0 -> stagnant
+        assert any(stagnant for _sid, stagnant in result)
+
+    def test_improvement_resets_clock(self):
+        config = self.config(max_stagnation=2, species_elitism=0)
+        species_set = speciated_population(config, {0: 1.0})
+        update_stagnation(species_set, 0, config)
+        species = next(species_set.iter_species())
+        for generation in range(1, 5):
+            # keep improving the species every generation
+            for genome in species.members.values():
+                genome.fitness += 1.0
+            result = update_stagnation(species_set, generation, config)
+            assert all(not stagnant for _sid, stagnant in result)
+
+    def test_species_elitism_protects_best(self):
+        config = self.config(max_stagnation=1, species_elitism=2)
+        species_set = speciated_population(config, {0: 1.0, 1: 2.0})
+        last = []
+        for generation in range(5):
+            last = update_stagnation(species_set, generation, config)
+        if len(species_set.species) <= config.species_elitism:
+            assert all(not stagnant for _sid, stagnant in last)
+
+    def test_history_appended(self):
+        config = self.config()
+        species_set = speciated_population(config, {0: 1.0})
+        update_stagnation(species_set, 0, config)
+        update_stagnation(species_set, 1, config)
+        species = next(species_set.iter_species())
+        assert len(species.fitness_history) == 2

@@ -1,0 +1,101 @@
+"""Tests for run statistics and sparklines."""
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import FitnessResult
+from repro.neat.population import Population
+from repro.neat.statistics import (
+    RunStatistics,
+    sparkline,
+    summarise,
+)
+
+
+def fake_evaluate(genomes, generation):
+    return {
+        g.key: FitnessResult(
+            g.key, float(g.key % 11 + generation), 2, 0.0, False
+        )
+        for g in genomes
+    }
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3], width=4)
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5], width=3)
+        assert len(set(line)) == 1
+
+    def test_pooling_to_width(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=40)) == 2
+
+
+class TestSummarise:
+    def test_fields(self):
+        summary = summarise([1.0, 3.0, 2.0])
+        assert summary.first == 1.0
+        assert summary.last == 2.0
+        assert summary.best == 3.0
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestRunStatistics:
+    @pytest.fixture
+    def stats(self):
+        config = NEATConfig(num_inputs=3, num_outputs=2, pop_size=20)
+        population = Population(config, seed=2)
+        run = RunStatistics()
+        for _ in range(5):
+            run.record(population.run_generation(fake_evaluate))
+        return run
+
+    def test_series_lengths(self, stats):
+        assert len(stats.best_fitness_series()) == 5
+        assert len(stats.species_count_series()) == 5
+        assert len(stats.complexity_series()) == 5
+
+    def test_best_fitness_grows_with_generation_bonus(self, stats):
+        series = stats.best_fitness_series()
+        assert series[-1] > series[0]  # fitness includes +generation
+
+    def test_generations_to_reach(self, stats):
+        series = stats.best_fitness_series()
+        assert stats.generations_to_reach(series[0]) == 0
+        assert stats.generations_to_reach(1e9) is None
+
+    def test_report_renders(self, stats):
+        report = stats.report()
+        assert "best fitness" in report
+        assert "species" in report
+        assert "genome genes" in report
+
+    def test_empty_report(self):
+        assert "no generations" in RunStatistics().report()
+
+    def test_record_all(self):
+        config = NEATConfig(num_inputs=3, num_outputs=2, pop_size=20)
+        population = Population(config, seed=2)
+        log = population.run(
+            fake_evaluate, max_generations=3, fitness_threshold=1e9
+        )
+        run = RunStatistics()
+        run.record_all(log)
+        assert len(run.generations) == 3

@@ -1,0 +1,95 @@
+"""Tests for genome visualisation helpers."""
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.visualize import (
+    describe_genome,
+    describe_layers,
+    genome_to_dot,
+    node_role,
+)
+
+from tests.conftest import make_evolved_genome
+
+
+@pytest.fixture
+def config():
+    return NEATConfig(num_inputs=3, num_outputs=2)
+
+
+@pytest.fixture
+def genome(config):
+    return make_evolved_genome(config, seed=4, mutations=40)
+
+
+class TestNodeRole:
+    def test_roles(self, config):
+        assert node_role(-1, config) == "input"
+        assert node_role(0, config) == "output"
+        assert node_role(57, config) == "hidden"
+
+
+class TestDot:
+    def test_valid_digraph_shape(self, genome, config):
+        dot = genome_to_dot(genome, config)
+        assert dot.startswith("digraph genome {")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_inputs_and_outputs_present(self, genome, config):
+        dot = genome_to_dot(genome, config)
+        for key in config.input_keys + config.output_keys:
+            assert f'"{key}"' in dot
+
+    def test_enabled_edges_rendered(self, genome, config):
+        dot = genome_to_dot(genome, config)
+        enabled = [
+            gene.key
+            for gene in genome.connections.values()
+            if gene.enabled
+        ]
+        for in_node, out_node in enabled:
+            assert f'"{in_node}" -> "{out_node}"' in dot
+
+    def test_disabled_edges_excluded_by_default(self, genome, config):
+        disabled = [
+            gene.key
+            for gene in genome.connections.values()
+            if not gene.enabled
+        ]
+        if not disabled:
+            pytest.skip("no disabled connections in this genome")
+        dot = genome_to_dot(genome, config)
+        for in_node, out_node in disabled:
+            assert f'"{in_node}" -> "{out_node}"' not in dot
+
+    def test_disabled_edges_dashed_when_included(self, genome, config):
+        dot = genome_to_dot(genome, config, include_disabled=True)
+        if any(not g.enabled for g in genome.connections.values()):
+            assert "dashed" in dot
+
+    def test_custom_name(self, genome, config):
+        assert genome_to_dot(genome, config, name="champ").startswith(
+            "digraph champ"
+        )
+
+
+class TestDescribe:
+    def test_summary_header(self, genome, config):
+        text = describe_genome(genome, config)
+        assert f"Genome {genome.key}" in text
+        assert "fitness" in text
+
+    def test_lists_every_node_and_connection(self, genome, config):
+        text = describe_genome(genome, config)
+        for key in genome.nodes:
+            assert str(key) in text
+        assert text.count("->") >= len(genome.connections)
+
+    def test_layers_start_at_inputs(self, genome, config):
+        text = describe_layers(genome, config)
+        assert text.splitlines()[0].startswith("level 0 (inputs)")
+
+    def test_layers_cover_outputs(self, genome, config):
+        text = describe_layers(genome, config)
+        assert "0" in text and "1" in text

@@ -1,0 +1,64 @@
+"""Property-based tests for environment invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs.base import rollout
+from repro.envs.registry import available_env_ids, make
+
+env_ids = st.sampled_from(available_env_ids())
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestEnvironmentProperties:
+    @given(env_ids, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_observations_stay_in_space(self, env_id, seed):
+        env = make(env_id)
+        env.seed(seed)
+        obs = env.reset()
+        assert env.observation_space.contains(obs)
+        rng = random.Random(seed)
+        for _ in range(30):
+            obs, _r, done, _i = env.step(env.action_space.sample(rng))
+            assert env.observation_space.contains(obs)
+            if done:
+                break
+
+    @given(env_ids, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_seeds_identical_episodes(self, env_id, seed):
+        def run():
+            env = make(env_id)
+            rng = random.Random(seed + 1)
+            return rollout(
+                env, lambda obs: env.action_space.sample(rng), seed=seed
+            )
+
+        a, b = run(), run()
+        assert a.total_reward == b.total_reward
+        assert a.steps == b.steps
+        assert a.rewards == b.rewards
+
+    @given(env_ids, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_episode_never_exceeds_cap(self, env_id, seed):
+        env = make(env_id)
+        rng = random.Random(seed)
+        result = rollout(
+            env, lambda obs: env.action_space.sample(rng), seed=seed
+        )
+        assert 1 <= result.steps <= env.max_episode_steps
+
+    @given(env_ids, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_fitness_finite(self, env_id, seed):
+        env = make(env_id)
+        rng = random.Random(seed)
+        result = rollout(
+            env, lambda obs: env.action_space.sample(rng), seed=seed
+        )
+        assert result.fitness == result.fitness  # not NaN
+        assert abs(result.fitness) < 1e9

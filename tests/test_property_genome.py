@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for genome invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome, creates_cycle
+from repro.neat.innovation import InnovationTracker
+
+CONFIG = NEATConfig(num_inputs=3, num_outputs=2, pop_size=10)
+
+
+def evolved(seed: int, mutations: int, key: int = 0) -> Genome:
+    rng = random.Random(seed)
+    tracker = InnovationTracker(next_node_id=CONFIG.num_outputs)
+    genome = Genome(key)
+    genome.configure_new(CONFIG, rng)
+    for _ in range(mutations):
+        genome.mutate(CONFIG, rng, tracker)
+    return genome
+
+
+@st.composite
+def genome_strategy(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    mutations = draw(st.integers(min_value=0, max_value=25))
+    return evolved(seed, mutations)
+
+
+class TestStructuralInvariants:
+    @given(genome_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_always_present(self, genome):
+        for key in CONFIG.output_keys:
+            assert key in genome.nodes
+
+    @given(genome_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_connection_endpoints_exist(self, genome):
+        input_keys = set(CONFIG.input_keys)
+        for (in_node, out_node) in genome.connections:
+            assert in_node in genome.nodes or in_node in input_keys
+            assert out_node in genome.nodes
+
+    @given(genome_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_graph_always_acyclic(self, genome):
+        edges = list(genome.connections)
+        for edge in edges:
+            others = [e for e in edges if e != edge]
+            assert not creates_cycle(others, edge)
+
+    @given(genome_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_attributes_within_bounds(self, genome):
+        for gene in genome.connections.values():
+            assert CONFIG.weight_min <= gene.weight <= CONFIG.weight_max
+        for gene in genome.nodes.values():
+            assert CONFIG.bias_min <= gene.bias <= CONFIG.bias_max
+
+
+class TestDistanceMetric:
+    @given(genome_strategy(), genome_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b):
+        assert abs(
+            a.distance(b, CONFIG) - b.distance(a, CONFIG)
+        ) < 1e-12
+
+    @given(genome_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, genome):
+        assert genome.distance(genome, CONFIG) == 0.0
+        assert genome.distance(genome.copy(new_key=99), CONFIG) == 0.0
+
+    @given(genome_strategy(), genome_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, a, b):
+        assert a.distance(b, CONFIG) >= 0.0
+
+
+class TestCrossoverInvariants:
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_child_structure_equals_fitter_parent(
+        self, seed_a, seed_b, mut_a, mut_b, cross_seed
+    ):
+        a = evolved(seed_a, mut_a, key=0)
+        b = evolved(seed_b, mut_b, key=1)
+        a.fitness, b.fitness = 2.0, 1.0
+        child = Genome.crossover(2, a, b, random.Random(cross_seed))
+        assert set(child.nodes) == set(a.nodes)
+        assert set(child.connections) == set(a.connections)
+
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_attributes_from_some_parent(self, seed, cross_seed):
+        a = evolved(seed, 10, key=0)
+        b = evolved(seed + 1, 10, key=1)
+        a.fitness, b.fitness = 2.0, 1.0
+        child = Genome.crossover(2, a, b, random.Random(cross_seed))
+        for key, gene in child.connections.items():
+            sources = {a.connections[key].weight}
+            if key in b.connections:
+                sources.add(b.connections[key].weight)
+            assert gene.weight in sources
+
+
+class TestCopySemantics:
+    @given(genome_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_copy_equal_but_independent(self, genome):
+        clone = genome.copy()
+        assert clone.distance(genome, CONFIG) == 0.0
+        for gene in clone.connections.values():
+            gene.weight = CONFIG.weight_max
+        # at least one original connection must differ now (unless all
+        # weights were already at max, which the init distribution forbids)
+        if genome.connections:
+            assert any(
+                genome.connections[k].weight != clone.connections[k].weight
+                for k in genome.connections
+            ) or all(
+                g.weight == CONFIG.weight_max
+                for g in genome.connections.values()
+            )

@@ -1,0 +1,68 @@
+"""Property-based tests for innovation tracking and striding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neat.innovation import InnovationTracker
+
+split_keys = st.tuples(
+    st.integers(min_value=-20, max_value=50),
+    st.integers(min_value=0, max_value=50),
+)
+
+
+class TestInnovationProperties:
+    @given(st.lists(split_keys, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_same_split_same_id_within_window(self, splits):
+        tracker = InnovationTracker(next_node_id=5)
+        first_pass = [tracker.get_split_node_id(key) for key in splits]
+        second_pass = [tracker.get_split_node_id(key) for key in splits]
+        assert first_pass == second_pass
+
+    @given(st.lists(split_keys, min_size=1, max_size=30, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_splits_distinct_ids(self, splits):
+        tracker = InnovationTracker(next_node_id=5)
+        ids = [tracker.get_split_node_id(key) for key in splits]
+        assert len(ids) == len(set(ids))
+
+    @given(
+        st.lists(split_keys, min_size=1, max_size=20, unique=True),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_striding_partitions_id_space(self, splits, stride):
+        trackers = [
+            InnovationTracker(
+                next_node_id=3, agent_offset=i, agent_stride=stride
+            )
+            for i in range(stride)
+        ]
+        seen: set[int] = set()
+        for offset, tracker in enumerate(trackers):
+            for key in splits:
+                node_id = tracker.get_split_node_id(key)
+                assert node_id % stride == offset
+                assert node_id not in seen
+                seen.add(node_id)
+
+    @given(
+        st.lists(split_keys, min_size=1, max_size=15, unique=True),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_observe_never_reissues_seen_ids(self, splits, observed):
+        tracker = InnovationTracker(next_node_id=3)
+        tracker.observe_node_id(observed)
+        for key in splits:
+            assert tracker.get_split_node_id(key) > observed
+
+    @given(st.lists(split_keys, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_generation_advance_monotone(self, splits):
+        tracker = InnovationTracker(next_node_id=3)
+        first = [tracker.get_split_node_id(key) for key in splits]
+        tracker.advance_generation()
+        second = [tracker.get_split_node_id(key) for key in splits]
+        assert min(second) > max(first)

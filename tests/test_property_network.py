@@ -1,0 +1,77 @@
+"""Property-based tests for network compilation and activation."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.network import FeedForwardNetwork
+
+CONFIG = NEATConfig(num_inputs=3, num_outputs=2, pop_size=10)
+
+
+@st.composite
+def genome_strategy(draw):
+    seed = draw(st.integers(min_value=0, max_value=50_000))
+    mutations = draw(st.integers(min_value=0, max_value=40))
+    rng = random.Random(seed)
+    tracker = InnovationTracker(next_node_id=CONFIG.num_outputs)
+    genome = Genome(0)
+    genome.configure_new(CONFIG, rng)
+    for _ in range(mutations):
+        genome.mutate(CONFIG, rng, tracker)
+    return genome
+
+
+inputs_strategy = st.lists(
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestActivationProperties:
+    @given(genome_strategy(), inputs_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_every_mutated_genome_compiles_and_runs(self, genome, inputs):
+        network = FeedForwardNetwork.create(genome, CONFIG)
+        outputs = network.activate(inputs)
+        assert len(outputs) == CONFIG.num_outputs
+        assert all(math.isfinite(v) for v in outputs)
+
+    @given(genome_strategy(), inputs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_activation_deterministic(self, genome, inputs):
+        network = FeedForwardNetwork.create(genome, CONFIG)
+        assert network.activate(inputs) == network.activate(inputs)
+
+    @given(genome_strategy(), inputs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_fresh_compile_agrees(self, genome, inputs):
+        a = FeedForwardNetwork.create(genome, CONFIG)
+        b = FeedForwardNetwork.create(genome, CONFIG)
+        assert a.activate(inputs) == b.activate(inputs)
+
+    @given(genome_strategy(), inputs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_policy_in_action_space(self, genome, inputs):
+        network = FeedForwardNetwork.create(genome, CONFIG)
+        action = network.policy(inputs)
+        assert 0 <= action < CONFIG.num_outputs
+
+    @given(genome_strategy(), inputs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_wire_round_trip_preserves_behaviour(self, genome, inputs):
+        from repro.cluster.serialization import decode_genome, encode_genome
+
+        original = FeedForwardNetwork.create(genome, CONFIG)
+        restored = FeedForwardNetwork.create(
+            decode_genome(encode_genome(genome)), CONFIG
+        )
+        assert original.activate(inputs) == restored.activate(inputs)

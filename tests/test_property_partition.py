@@ -1,0 +1,77 @@
+"""Property-based tests for partitioning and spawn-count invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import assign_genomes, contiguous_blocks, round_robin
+from repro.neat.reproduction import compute_spawn_counts
+
+
+class TestPartitionProperties:
+    @given(
+        st.lists(st.integers(), max_size=200),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_robin_partitions(self, items, n):
+        shards = round_robin(items, n)
+        assert len(shards) == n
+        flattened = [x for shard in shards for x in shard]
+        assert sorted(flattened) == sorted(items)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        st.lists(st.integers(), max_size=200),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguous_blocks_partition(self, items, n):
+        blocks = contiguous_blocks(items, n)
+        assert len(blocks) == n
+        assert [x for block in blocks for x in block] == items
+        sizes = [len(b) for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=10_000), max_size=100),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_covers_all_keys(self, keys, n):
+        mapping = assign_genomes(keys, n)
+        assert set(mapping) == keys
+        assert all(0 <= agent < n for agent in mapping.values())
+
+
+class TestSpawnCountProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=50),
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=30, max_value=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_spawn_counts_sum_to_population(self, adjusted, pop_size):
+        previous = {sid: 10 for sid in adjusted}
+        min_size = 2
+        if pop_size < min_size * len(adjusted):
+            return  # infeasible request: covered by the overshoot test
+        counts = compute_spawn_counts(adjusted, previous, pop_size, min_size)
+        assert sum(counts.values()) == pop_size
+        assert all(count >= min_size for count in counts.values())
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=30, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_fitness_near_uniform_spawns(self, n_species, pop_size):
+        adjusted = {sid: 0.5 for sid in range(1, n_species + 1)}
+        previous = {sid: pop_size // n_species for sid in adjusted}
+        counts = compute_spawn_counts(adjusted, previous, pop_size, 2)
+        sizes = sorted(counts.values())
+        assert sizes[-1] - sizes[0] <= max(3, pop_size // n_species)

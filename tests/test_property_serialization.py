@@ -1,0 +1,77 @@
+"""Property-based tests for the wire format."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.serialization import (
+    decode_genome,
+    decode_genomes,
+    encode_genome,
+    encode_genomes,
+    genome_stream_bytes,
+    genome_wire_floats,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+
+CONFIG = NEATConfig(num_inputs=4, num_outputs=3, pop_size=10)
+
+
+@st.composite
+def genome_strategy(draw):
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    mutations = draw(st.integers(min_value=0, max_value=30))
+    fitness_code = draw(st.integers(min_value=-1, max_value=1000))
+    rng = random.Random(seed)
+    tracker = InnovationTracker(next_node_id=CONFIG.num_outputs)
+    genome = Genome(draw(st.integers(min_value=0, max_value=2**20)))
+    genome.configure_new(CONFIG, rng)
+    for _ in range(mutations):
+        genome.mutate(CONFIG, rng, tracker)
+    genome.fitness = None if fitness_code < 0 else fitness_code / 7.0
+    return genome
+
+
+class TestRoundTripProperties:
+    @given(genome_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_decode_inverts_encode(self, genome):
+        decoded = decode_genome(encode_genome(genome))
+        assert decoded.key == genome.key
+        assert decoded.fitness == genome.fitness
+        assert decoded.nodes == genome.nodes
+        assert set(decoded.connections) == set(genome.connections)
+        for key in genome.connections:
+            assert decoded.connections[key] == genome.connections[key]
+
+    @given(genome_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_stream_length_matches_prediction(self, genome):
+        assert len(encode_genome(genome)) == genome_stream_bytes(genome)
+
+    @given(genome_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_double_round_trip_is_fixed_point(self, genome):
+        once = encode_genome(genome)
+        twice = encode_genome(decode_genome(once))
+        assert once == twice
+
+    @given(genome_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_wire_floats_counts_genes(self, genome):
+        # 4 header words + 5 per node + 4 per connection
+        expected = (
+            4 + 5 * len(genome.nodes) + 4 * len(genome.connections)
+        )
+        assert genome_wire_floats(genome) == expected
+
+    @given(st.lists(genome_strategy(), max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_round_trip(self, batch):
+        decoded = decode_genomes(encode_genomes(batch))
+        assert len(decoded) == len(batch)
+        for original, copy in zip(batch, decoded):
+            assert encode_genome(original) == encode_genome(copy)

@@ -1,0 +1,62 @@
+"""Tests for repro.utils.fmt: table and number rendering."""
+
+from repro.utils.fmt import format_quantity, format_seconds, format_table
+
+
+class TestFormatQuantity:
+    def test_small_integer(self):
+        assert format_quantity(12) == "12"
+
+    def test_small_float(self):
+        assert format_quantity(1.5) == "1.50"
+
+    def test_thousands(self):
+        assert format_quantity(1200) == "1.20K"
+
+    def test_millions(self):
+        assert format_quantity(3_400_000) == "3.40M"
+
+    def test_billions(self):
+        assert format_quantity(2_500_000_000) == "2.50G"
+
+    def test_negative(self):
+        assert format_quantity(-1500) == "-1.50K"
+
+    def test_zero(self):
+        assert format_quantity(0) == "0"
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0025) == "2.50ms"
+
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.50us"
+
+    def test_nanoseconds(self):
+        assert format_seconds(3e-9) == "3.00ns"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "a  | bb"
+        assert lines[2] == "1  | 2 "
+        assert lines[3] == "33 | 4 "
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["h"], [["wider-than-header"]])
+        header, _sep, row = table.splitlines()
+        assert len(header) == len(row)
