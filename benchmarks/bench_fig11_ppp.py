@@ -42,7 +42,13 @@ def test_fig11_ppp(benchmark, scale, report_sink):
                 )
             section += (
                 f"\nPPP 15 Pis vs HPC CPU: "
-                f"{ppp_ratio(platform_points, f'{max(scale.fig11_pi_counts)} pi', 'HPC CPU'):.2f}x"
+                "{:.2f}x".format(
+                    ppp_ratio(
+                        platform_points,
+                        f"{max(scale.fig11_pi_counts)} pi",
+                        "HPC CPU",
+                    )
+                )
             )
         sections.append(section)
     report_sink("fig11_ppp", "\n\n".join(sections))

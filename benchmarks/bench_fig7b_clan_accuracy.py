@@ -41,4 +41,6 @@ def test_fig7b_clan_accuracy(benchmark, scale, report_sink):
     slope = np.polyfit(xs, ys, 1)[0]
     assert slope >= 0.0, f"convergence cost should grow with clans: {ys}"
     # synchronous speciation (1 clan) is never the worst configuration
-    assert points[0].mean_generations <= max(p.mean_generations for p in points)
+    assert points[0].mean_generations <= max(
+        p.mean_generations for p in points
+    )

@@ -22,7 +22,8 @@ def test_table1_memory(benchmark, scale, report_sink):
         ),
     )
     rows = [
-        ["DQN weights (1.7M fp32 params)", f"{comparison.dqn_weights_mb:.1f} MB"],
+        ["DQN weights (1.7M fp32 params)",
+         f"{comparison.dqn_weights_mb:.1f} MB"],
         [
             "DQN training state (batch 32)",
             f"{comparison.dqn_batch_training_mb:.1f} MB",

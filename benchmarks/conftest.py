@@ -9,7 +9,9 @@ paper's full parameter grids.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 
 import pytest
 
@@ -32,6 +34,35 @@ def report_sink():
         path = REPORT_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[report saved to {path}]")
+
+    return sink
+
+
+@pytest.fixture(scope="session")
+def json_sink():
+    """Write a machine-readable result payload to disk.
+
+    Counterpart of ``report_sink`` for automation: each benchmark can dump
+    its headline numbers as ``benchmarks/reports/<name>.json`` so future PRs
+    (and CI trend jobs) can diff the perf trajectory without parsing the
+    rendered text tables. The payload is wrapped with enough provenance
+    (python/platform) to compare runs across machines.
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, payload: dict) -> pathlib.Path:
+        document = {
+            "benchmark": name,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": payload,
+        }
+        path = REPORT_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[json saved to {path}]")
+        return path
 
     return sink
 

@@ -24,11 +24,12 @@ def main() -> None:
         print()
 
     airraid = results["Airraid-ram-v0"]
+    prices = {p.label: p.price_usd for p in airraid}
     print("headline ratios (Airraid):")
     for ours, reference in (("6 pi", "Jetson CPU"), ("15 pi", "HPC CPU")):
         ratio = ppp_ratio(airraid, ours, reference)
         print(
-            f"  {ours} (${dict((p.label, p.price_usd) for p in airraid)[ours]:.0f}) "
+            f"  {ours} (${prices[ours]:.0f}) "
             f"vs {reference}: {ratio:.2f}x performance per dollar"
         )
 

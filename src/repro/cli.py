@@ -24,6 +24,7 @@ from repro.cluster.analytic import ClusterSpec
 from repro.core.driver import ClanDriver
 from repro.core.protocols import available_protocols
 from repro.envs.registry import available_env_ids
+from repro.neat.evaluation import BACKENDS
 from repro.utils.fmt import format_seconds, format_table
 
 
@@ -43,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--pop", type=int, default=100)
     learn.add_argument("--generations", type=int, default=50)
     learn.add_argument("--seed", type=int, default=0)
+    learn.add_argument(
+        "--backend",
+        default="scalar",
+        choices=BACKENDS,
+        help="inference engine: the scalar interpreter or the batched "
+        "NumPy engine (equivalent to float64 rounding; see "
+        "docs/backends.md)",
+    )
     learn.add_argument(
         "--threshold",
         type=float,
@@ -89,10 +98,11 @@ def _cmd_learn(args) -> int:
         protocol=args.protocol,
         pop_size=args.pop,
         seed=args.seed,
+        backend=args.backend,
     )
     print(
         f"learning {args.env} with {args.protocol} on {args.agents} Pis "
-        f"(population {args.pop})"
+        f"(population {args.pop}, {args.backend} inference)"
     )
     run = driver.learn(
         max_generations=args.generations, fitness_threshold=args.threshold

@@ -17,7 +17,9 @@
 from repro.cluster.netmodel import WiFiModel
 from repro.cluster.device import DeviceModel, get_device, available_devices
 from repro.cluster.serialization import (
+    decode_batched_plan,
     decode_genome,
+    encode_batched_plan,
     encode_genome,
     genome_wire_floats,
 )
@@ -29,5 +31,7 @@ __all__ = [
     "available_devices",
     "encode_genome",
     "decode_genome",
+    "encode_batched_plan",
+    "decode_batched_plan",
     "genome_wire_floats",
 ]

@@ -26,6 +26,7 @@ from repro.core.partition import contiguous_blocks, round_robin
 from repro.envs.registry import workload_spec
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
+from repro.neat.network import compile_batched
 from repro.neat.population import Population
 from repro.utils.rng import RngFactory
 
@@ -52,10 +53,22 @@ class ParallelInferenceRuntime:
         config: NEATConfig | None = None,
         seed: int = 0,
         max_steps: int | None = None,
+        backend: str = "scalar",
     ):
+        """``backend="batched"`` evaluates with the NumPy engine; the centre
+        then compiles each genome once and ships the lowered plan alongside
+        it, so workers skip recompilation.
+
+        Trade-off: each genome is evaluated by exactly one worker per
+        generation, so shipping plans moves compile work onto the centre
+        rather than deduplicating it. That mirrors the paper's asymmetric
+        deployments (a strong centre feeding weak edge agents); on a
+        symmetric local pool the codec overhead roughly offsets the saved
+        worker-side compiles."""
         self.env_id = env_id
         self.config = config or NEATConfig.for_env(env_id)
         self.seed = seed
+        self.backend = backend
         self.population = Population(self.config, seed=seed)
         rngs = RngFactory(seed)
         self.pool = WorkerPool(
@@ -64,6 +77,7 @@ class ParallelInferenceRuntime:
             self.config,
             evaluator_seed=rngs.seed_for("episodes") % (2**31),
             max_steps=max_steps,
+            backend=backend,
         )
         self.solved_threshold = workload_spec(env_id).solved_threshold
 
@@ -84,8 +98,16 @@ class ParallelInferenceRuntime:
         def evaluate(genomes, generation):
             ordered = sorted(genomes, key=lambda g: g.key)
             shards = round_robin(ordered, self.pool.n_workers)
+            plans = None
+            if self.backend == "batched":
+                plans = [
+                    [compile_batched(g, self.config) for g in shard]
+                    for shard in shards
+                ]
             results = {}
-            for reply in self.pool.evaluate_shards(shards, generation):
+            for reply in self.pool.evaluate_shards(
+                shards, generation, plans=plans
+            ):
                 results.update(reply)
             return results
 
@@ -128,7 +150,10 @@ class DistributedClanRuntime:
         config: NEATConfig | None = None,
         seed: int = 0,
         max_steps: int | None = None,
+        backend: str = "scalar",
     ):
+        """``backend="batched"`` makes every clan evaluate its members with
+        the NumPy engine (episodes step in lockstep on the worker)."""
         self.env_id = env_id
         self.config = config or NEATConfig.for_env(env_id)
         if self.config.pop_size < 2 * n_clans:
@@ -151,6 +176,7 @@ class DistributedClanRuntime:
             self.config,
             evaluator_seed=self.rngs.seed_for("episodes") % (2**31),
             max_steps=max_steps,
+            backend=backend,
         )
         payloads = []
         for clan_id, block in enumerate(blocks):

@@ -116,7 +116,7 @@ class GenerationSimulator:
             )
         )
 
-    # -- simulation -------------------------------------------------------------
+    # -- simulation -----------------------------------------------------------
 
     def simulate(self, record: GenerationRecord) -> SimulatedGeneration:
         """Run one generation through the event engine."""

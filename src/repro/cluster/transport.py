@@ -22,17 +22,29 @@ import multiprocessing as mp
 import traceback
 from dataclasses import dataclass
 
-from repro.cluster.serialization import decode_genomes, encode_genomes
+from repro.cluster.serialization import (
+    decode_batched_plans,
+    decode_genomes,
+    encode_batched_plans,
+    encode_genomes,
+)
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import FitnessResult, GenomeEvaluator
+from repro.neat.network import BatchedFeedForwardNetwork
 
 
 @dataclass(frozen=True)
 class EvalRequest:
-    """Command: evaluate a shard of genomes for one generation."""
+    """Command: evaluate a shard of genomes for one generation.
+
+    ``plans_wire``, when set, carries the genomes' pre-compiled batched
+    plans (same order as the genome batch) so the worker skips
+    recompilation and evaluates straight from the lowered arrays.
+    """
 
     genomes_wire: bytes
     generation: int
+    plans_wire: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -61,10 +73,15 @@ def _worker_main(
     evaluator_seed: int,
     episodes: int,
     max_steps: int | None,
+    backend: str,
 ) -> None:
     """Worker process loop: serve evaluation commands until 'stop'."""
     evaluator = GenomeEvaluator(
-        env_id, episodes=episodes, max_steps=max_steps, seed=evaluator_seed
+        env_id,
+        episodes=episodes,
+        max_steps=max_steps,
+        seed=evaluator_seed,
+        backend=backend,
     )
     clan = None  # lazily created by 'clan_init'
     try:
@@ -75,11 +92,27 @@ def _worker_main(
                 break
             elif command == "eval":
                 genomes = decode_genomes(payload.genomes_wire)
+                if payload.plans_wire is not None:
+                    plans = decode_batched_plans(payload.plans_wire)
+                    if len(plans) != len(genomes):
+                        raise ValueError(
+                            f"{len(plans)} plans for {len(genomes)} genomes"
+                        )
+                    networks = [
+                        BatchedFeedForwardNetwork(plan) for plan in plans
+                    ]
+                else:
+                    networks = [None] * len(genomes)
                 results = []
-                for genome in genomes:
-                    r = evaluator.evaluate(
-                        genome, config, payload.generation
-                    )
+                for genome, network in zip(genomes, networks):
+                    if network is not None:
+                        r = evaluator.evaluate_compiled(
+                            network, genome.key, payload.generation
+                        )
+                    else:
+                        r = evaluator.evaluate(
+                            genome, config, payload.generation
+                        )
                     results.append(
                         (genome.key, r.fitness, r.steps, r.total_reward,
                          r.solved)
@@ -129,12 +162,14 @@ class WorkerPool:
         evaluator_seed: int = 0,
         episodes: int = 1,
         max_steps: int | None = None,
+        backend: str = "scalar",
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.n_workers = n_workers
         self.env_id = env_id
         self.config = config
+        self.backend = backend
         ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
         self._conns = []
         self._procs = []
@@ -149,6 +184,7 @@ class WorkerPool:
                     evaluator_seed,
                     episodes,
                     max_steps,
+                    backend,
                 ),
                 daemon=True,
             )
@@ -172,19 +208,37 @@ class WorkerPool:
         return value
 
     def evaluate_shards(
-        self, shards: list[list], generation: int
+        self,
+        shards: list[list],
+        generation: int,
+        plans: list[list] | None = None,
     ) -> list[dict[int, FitnessResult]]:
-        """Evaluate genome shards in parallel; shard i goes to worker i."""
+        """Evaluate genome shards in parallel; shard i goes to worker i.
+
+        ``plans``, when given, mirrors ``shards`` with each genome's
+        pre-compiled :class:`~repro.neat.network.BatchedPlan`; workers then
+        evaluate the shipped plans instead of recompiling.
+        """
         if len(shards) > self.n_workers:
             raise ValueError(
                 f"{len(shards)} shards for {self.n_workers} workers"
+            )
+        if plans is not None and len(plans) != len(shards):
+            raise ValueError(
+                f"{len(plans)} plan shards for {len(shards)} genome shards"
             )
         active = []
         for worker, shard in enumerate(shards):
             if not shard:
                 continue
             request = EvalRequest(
-                genomes_wire=encode_genomes(shard), generation=generation
+                genomes_wire=encode_genomes(shard),
+                generation=generation,
+                plans_wire=(
+                    encode_batched_plans(plans[worker])
+                    if plans is not None
+                    else None
+                ),
             )
             self._request(worker, "eval", request)
             active.append(worker)

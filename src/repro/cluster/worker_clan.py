@@ -80,10 +80,14 @@ class WorkerClan:
     def run_generation(self, generation: int) -> ClanGenerationSummary:
         """One full local generation: I -> S -> plan -> R."""
         solved = False
+        # the evaluator's configured backend applies here: with
+        # backend="batched" each member's episodes run in lockstep through
+        # the NumPy engine instead of the scalar interpreter
+        results = self.evaluator.evaluate_many(
+            self.members.values(), self.config, generation
+        )
         for genome in self.members.values():
-            result = self.evaluator.evaluate(
-                genome, self.config, generation
-            )
+            result = results[genome.key]
             genome.fitness = result.fitness
             solved = solved or result.solved
 

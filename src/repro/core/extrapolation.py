@@ -49,7 +49,9 @@ class ScalingFit:
                 best_n, best_t = n, t
         return best_n
 
-    def crossover_with(self, serial_time: float, n_max: int = 500) -> int | None:
+    def crossover_with(
+        self, serial_time: float, n_max: int = 500
+    ) -> int | None:
         """Smallest n > 1 where the distributed curve exceeds ``serial_time``.
 
         Returns ``None`` if the curve stays below serial through ``n_max``.
@@ -132,7 +134,8 @@ class ExtrapolationStudy:
 
     def stagnation_points(self, n_max: int = 200) -> dict[str, int]:
         return {
-            name: fit.stagnation_point(n_max) for name, fit in self.fits.items()
+            name: fit.stagnation_point(n_max)
+            for name, fit in self.fits.items()
         }
 
     def mean_advantage(

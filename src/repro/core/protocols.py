@@ -65,6 +65,7 @@ class ProtocolBase:
         max_steps: int | None = None,
         episodes: int = 1,
         evaluator: GenomeEvaluator | None = None,
+        backend: str = "scalar",
     ):
         if n_agents < 1:
             raise ValueError("n_agents must be >= 1")
@@ -76,7 +77,8 @@ class ProtocolBase:
         # an injected evaluator (e.g. a shared cache for n-sweeps) must be
         # seeded identically to the default one or trajectories change
         self.evaluator = evaluator or self.default_evaluator(
-            env_id, seed, episodes=episodes, max_steps=max_steps
+            env_id, seed, episodes=episodes, max_steps=max_steps,
+            backend=backend,
         )
         self.solved_threshold = workload_spec(env_id).solved_threshold
         self.generation = 0
@@ -90,13 +92,22 @@ class ProtocolBase:
         seed: int,
         episodes: int = 1,
         max_steps: int | None = None,
+        backend: str = "scalar",
     ) -> GenomeEvaluator:
-        """The evaluator a protocol seeded with ``seed`` would build."""
+        """The evaluator a protocol seeded with ``seed`` would build.
+
+        ``backend`` selects the inference engine (``"scalar"`` or
+        ``"batched"``). The engines agree to float64 rounding, so fitness
+        trajectories match in practice (the suite asserts it on real
+        workloads); keep the default scalar interpreter where bit-exact
+        reproduction of the paper figures is the point.
+        """
         return GenomeEvaluator(
             env_id,
             episodes=episodes,
             max_steps=max_steps,
             seed=RngFactory(seed).seed_for("episodes") % (2**31),
+            backend=backend,
         )
 
     # -- template methods -----------------------------------------------------
@@ -132,7 +143,7 @@ class ProtocolBase:
         result.best_fitness = self.best_fitness
         return result
 
-    # -- shared helpers ---------------------------------------------------------
+    # -- shared helpers -------------------------------------------------------
 
     def _new_record(self) -> GenerationRecord:
         return GenerationRecord(
@@ -346,7 +357,7 @@ class CLAN_DDS(ProtocolBase):
         self.records.append(record)
         return record
 
-    # -- placement ---------------------------------------------------------------
+    # -- placement ------------------------------------------------------------
 
     def _log_genome_shipment(
         self,

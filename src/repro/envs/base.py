@@ -110,7 +110,9 @@ class Environment:
     def _reset(self) -> tuple[float, ...]:
         raise NotImplementedError
 
-    def _step(self, action: int) -> tuple[tuple[float, ...], float, bool, dict]:
+    def _step(
+        self, action: int
+    ) -> tuple[tuple[float, ...], float, bool, dict]:
         raise NotImplementedError
 
 

@@ -50,7 +50,9 @@ class MountainCarEnv(Environment):
         self._velocity += (action - 1) * self.FORCE + math.cos(
             3 * self._position
         ) * (-self.GRAVITY)
-        self._velocity = max(-self.MAX_SPEED, min(self.MAX_SPEED, self._velocity))
+        self._velocity = max(
+            -self.MAX_SPEED, min(self.MAX_SPEED, self._velocity)
+        )
         self._position += self._velocity
         self._position = max(
             self.MIN_POSITION, min(self.MAX_POSITION, self._position)

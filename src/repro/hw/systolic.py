@@ -66,7 +66,7 @@ class SystolicArrayModel:
         cycles = self.matmul_cycles(m, k, n)
         return (m * k * n) / (cycles * self.rows * self.cols)
 
-    # -- genome mapping -----------------------------------------------------------
+    # -- genome mapping -------------------------------------------------------
 
     def genome_layers(
         self, genome: "Genome", config: "NEATConfig"

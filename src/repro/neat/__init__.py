@@ -14,13 +14,19 @@ structure as the `neat-python` library the paper builds on:
   pools) separated from child formation, mirroring the paper's compute-block
   decomposition so the CLAN protocols can distribute each block.
 * :mod:`repro.neat.population` — the serial generation loop (paper Fig 2a).
-* :mod:`repro.neat.network` — feed-forward network compiler for evaluation.
+* :mod:`repro.neat.network` — feed-forward network compilers: the scalar
+  interpreter and the batched NumPy engine (see ``docs/backends.md``).
 """
 
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.innovation import InnovationTracker
-from repro.neat.network import FeedForwardNetwork
+from repro.neat.network import (
+    BatchedFeedForwardNetwork,
+    BatchedPlan,
+    FeedForwardNetwork,
+    compile_batched,
+)
 from repro.neat.recurrent import RecurrentNetwork
 from repro.neat.population import GenerationStats, Population
 from repro.neat.evaluation import FitnessResult, GenomeEvaluator
@@ -33,6 +39,9 @@ __all__ = [
     "Genome",
     "InnovationTracker",
     "FeedForwardNetwork",
+    "BatchedFeedForwardNetwork",
+    "BatchedPlan",
+    "compile_batched",
     "RecurrentNetwork",
     "Population",
     "GenerationStats",

@@ -11,6 +11,11 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+try:  # numpy is optional: the scalar interpreter never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 ActivationFn = Callable[[float], float]
 
 
@@ -69,6 +74,73 @@ def get_activation(name: str) -> ActivationFn:
         return ACTIVATIONS[name]
     except KeyError:
         known = ", ".join(sorted(ACTIVATIONS))
+        raise ValueError(
+            f"unknown activation {name!r}; known: {known}"
+        ) from None
+
+
+# -- vectorized variants (batched inference engine) ---------------------------
+#
+# Each function mirrors its scalar twin above element-wise, including the
+# clamping constants, so the batched engine reproduces the interpreter's
+# numerics to float64 rounding.
+
+def _batched_sigmoid(z):
+    z = _np.clip(4.9 * z, -60.0, 60.0)
+    return 1.0 / (1.0 + _np.exp(-z))
+
+
+def _batched_tanh(z):
+    return _np.tanh(_np.clip(2.5 * z, -60.0, 60.0))
+
+
+def _batched_relu(z):
+    return _np.maximum(z, 0.0)
+
+
+def _batched_identity(z):
+    return +z
+
+
+def _batched_clamped(z):
+    return _np.clip(z, -1.0, 1.0)
+
+
+def _batched_gauss(z):
+    z = _np.clip(z, -3.4, 3.4)
+    return _np.exp(-5.0 * z * z)
+
+
+def _batched_sin(z):
+    return _np.sin(_np.clip(5.0 * z, -60.0, 60.0))
+
+
+def _batched_abs(z):
+    return _np.abs(z)
+
+
+#: name -> ufunc-style callable over float64 arrays (same keys as
+#: :data:`ACTIVATIONS`; the tests assert the registries stay in sync)
+BATCHED_ACTIVATIONS: dict[str, Callable] = {
+    "sigmoid": _batched_sigmoid,
+    "tanh": _batched_tanh,
+    "relu": _batched_relu,
+    "identity": _batched_identity,
+    "clamped": _batched_clamped,
+    "gauss": _batched_gauss,
+    "sin": _batched_sin,
+    "abs": _batched_abs,
+}
+
+
+def get_batched_activation(name: str) -> Callable:
+    """Vectorized activation by name (requires numpy)."""
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError("numpy is required for the batched backend")
+    try:
+        return BATCHED_ACTIVATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(BATCHED_ACTIVATIONS))
         raise ValueError(
             f"unknown activation {name!r}; known: {known}"
         ) from None

@@ -5,6 +5,11 @@ from __future__ import annotations
 import math
 from typing import Callable, Sequence
 
+try:  # numpy is optional: the scalar interpreter never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 AggregationFn = Callable[[Sequence[float]], float]
 
 
@@ -43,6 +48,46 @@ def get_aggregation(name: str) -> AggregationFn:
         return AGGREGATIONS[name]
     except KeyError:
         known = ", ".join(sorted(AGGREGATIONS))
+        raise ValueError(
+            f"unknown aggregation {name!r}; known: {known}"
+        ) from None
+
+
+# -- vectorized variants (batched inference engine) ---------------------------
+#
+# Each callable reduces a ``(batch, fan_in)`` float64 array along axis 1,
+# mirroring the scalar twin above. ``EMPTY_AGGREGATION`` records what the
+# scalar function returns for an empty input list (``math.prod([]) == 1.0``,
+# the rest return 0.0) so zero-fan-in nodes stay equivalent.
+
+#: name -> value the scalar aggregation yields for zero incoming links
+EMPTY_AGGREGATION: dict[str, float] = {
+    "sum": 0.0,
+    "product": 1.0,
+    "max": 0.0,
+    "min": 0.0,
+    "mean": 0.0,
+}
+
+#: name -> reducer over ``(batch, fan_in)`` arrays (same keys as
+#: :data:`AGGREGATIONS`; the tests assert the registries stay in sync)
+BATCHED_AGGREGATIONS: dict[str, Callable] = {
+    "sum": lambda a: a.sum(axis=1),
+    "product": lambda a: a.prod(axis=1),
+    "max": lambda a: a.max(axis=1),
+    "min": lambda a: a.min(axis=1),
+    "mean": lambda a: a.mean(axis=1),
+}
+
+
+def get_batched_aggregation(name: str) -> Callable:
+    """Vectorized aggregation by name (requires numpy)."""
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError("numpy is required for the batched backend")
+    try:
+        return BATCHED_AGGREGATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(BATCHED_AGGREGATIONS))
         raise ValueError(
             f"unknown aggregation {name!r}; known: {known}"
         ) from None

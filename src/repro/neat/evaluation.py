@@ -4,20 +4,40 @@
 registered environment and reports both fitness and the step count — the
 step count feeds the paper's gene-cost model (inference cost is genes
 processed *per time-step*).
+
+Two inference backends are supported (see ``docs/backends.md``):
+
+* ``"scalar"`` — the dict-and-loop interpreter
+  (:class:`~repro.neat.network.FeedForwardNetwork`); episodes run
+  sequentially on one environment instance.
+* ``"batched"`` — the NumPy engine
+  (:class:`~repro.neat.network.BatchedFeedForwardNetwork`); all of a
+  genome's episodes step in lockstep, so every environment time-step costs
+  one vectorized forward pass instead of ``episodes`` interpreted ones.
+
+The backends agree to float64 rounding (~1e-15 per forward pass; they sum
+incoming links in different orders), so greedy actions — and therefore
+fitness trajectories — match in practice and throughout the test suite. A
+policy whose two best outputs tie within one ulp could in principle pick
+differently across backends; the scalar interpreter stays the reference
+for the paper's bit-exactness claims.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.envs.base import rollout
 from repro.envs.registry import make
-from repro.neat.network import FeedForwardNetwork
+from repro.neat.network import BatchedFeedForwardNetwork, FeedForwardNetwork
 
 if TYPE_CHECKING:
     from repro.neat.config import NEATConfig
     from repro.neat.genome import Genome
+
+#: inference backends accepted by :class:`GenomeEvaluator`
+BACKENDS = ("scalar", "batched")
 
 
 @dataclass(frozen=True)
@@ -52,18 +72,41 @@ class GenomeEvaluator:
         max_steps: int | None = None,
         seed: int = 0,
         env_factory=None,
+        backend: str = "scalar",
     ):
         """``env_factory``, when given, supplies the evaluation environment
         instead of the registry — the adaptive loop uses it to learn inside
         a *drifted* deployment environment rather than the pristine one."""
         if episodes < 1:
             raise ValueError("episodes must be >= 1")
+        if backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {known}"
+            )
         self.env_id = env_id
         self.episodes = episodes
         self.max_steps = max_steps
         self.seed = seed
+        self.backend = backend
+        self._env_factory = env_factory
         self._env = env_factory() if env_factory is not None else make(env_id)
+        #: lockstep episode environments, built lazily by the batched backend
+        self._batch_envs: list | None = None
         self._solved_threshold = self._env.solved_threshold
+
+    def with_backend(self, backend: str) -> "GenomeEvaluator":
+        """A new evaluator identical to this one but for ``backend``."""
+        if backend == self.backend:
+            return self
+        return GenomeEvaluator(
+            self.env_id,
+            episodes=self.episodes,
+            max_steps=self.max_steps,
+            seed=self.seed,
+            env_factory=self._env_factory,
+            backend=backend,
+        )
 
     def episode_seed(self, generation: int, episode: int) -> int:
         """Deterministic seed for (generation, episode)."""
@@ -73,26 +116,135 @@ class GenomeEvaluator:
         self, genome: "Genome", config: "NEATConfig", generation: int = 0
     ) -> FitnessResult:
         """Roll out ``genome`` and return its fitness and step count."""
-        network = FeedForwardNetwork.create(genome, config)
-        total_fitness = 0.0
-        total_steps = 0
-        total_reward = 0.0
-        for episode in range(self.episodes):
-            result = rollout(
-                self._env,
-                network.policy,
-                max_steps=self.max_steps,
-                seed=self.episode_seed(generation, episode),
-            )
-            total_fitness += result.fitness
-            total_steps += result.steps
-            total_reward += result.total_reward
+        if self.backend == "batched":
+            network = BatchedFeedForwardNetwork.create(genome, config)
+        else:
+            network = FeedForwardNetwork.create(genome, config)
+        return self.evaluate_compiled(network, genome.key, generation)
+
+    def evaluate_compiled(
+        self,
+        network,
+        genome_key: int,
+        generation: int = 0,
+    ) -> FitnessResult:
+        """Roll out an already-compiled network (either backend).
+
+        Workers use this with plans decoded off the wire
+        (:func:`repro.cluster.serialization.decode_batched_plan`) to skip
+        recompilation.
+        """
+        if isinstance(network, BatchedFeedForwardNetwork):
+            episodes = self._rollout_lockstep(network, generation)
+        else:
+            episodes = [
+                rollout(
+                    self._env,
+                    network.policy,
+                    max_steps=self.max_steps,
+                    seed=self.episode_seed(generation, episode),
+                )
+                for episode in range(self.episodes)
+            ]
+        total_fitness = sum(ep.fitness for ep in episodes)
+        total_steps = sum(ep.steps for ep in episodes)
+        total_reward = sum(ep.total_reward for ep in episodes)
         mean_fitness = total_fitness / self.episodes
         mean_reward = total_reward / self.episodes
         return FitnessResult(
-            genome_key=genome.key,
+            genome_key=genome_key,
             fitness=mean_fitness,
             steps=total_steps,
             total_reward=mean_reward,
             solved=mean_reward >= self._solved_threshold,
         )
+
+    def evaluate_many(
+        self,
+        genomes: Iterable["Genome"],
+        config: "NEATConfig",
+        generation: int = 0,
+    ) -> dict[int, FitnessResult]:
+        """Evaluate a batch of genomes, keyed by genome key.
+
+        Topologies differ per genome, so the population loop stays in
+        Python; within each genome the configured backend applies (the
+        batched backend steps all episodes in lockstep).
+        """
+        return {
+            genome.key: self.evaluate(genome, config, generation)
+            for genome in genomes
+        }
+
+    # -- batched lockstep rollout ------------------------------------------
+
+    def _episode_envs(self) -> list:
+        """One environment instance per lockstep episode (lazily built)."""
+        if self._batch_envs is None:
+            factory = (
+                self._env_factory
+                if self._env_factory is not None
+                else (lambda: make(self.env_id))
+            )
+            self._batch_envs = [self._env] + [
+                factory() for _ in range(self.episodes - 1)
+            ]
+        return self._batch_envs
+
+    def _rollout_lockstep(
+        self, network: BatchedFeedForwardNetwork, generation: int
+    ) -> list:
+        """Step all episodes together, one batched forward pass per tick.
+
+        Reproduces :func:`repro.envs.base.rollout` exactly — same seeds,
+        same step cap, same truncation semantics — but stacks the live
+        episodes' observations into one ``activate_batch`` call.
+        """
+        from repro.envs.base import EpisodeResult
+
+        envs = self._episode_envs()
+        observations: list = [None] * len(envs)
+        for episode, env in enumerate(envs):
+            env.seed(self.episode_seed(generation, episode))
+            observations[episode] = env.reset()
+        cap = (
+            envs[0].max_episode_steps
+            if self.max_steps is None
+            else min(self.max_steps, envs[0].max_episode_steps)
+        )
+        totals = [0.0] * len(envs)
+        steps = [0] * len(envs)
+        terminated = [False] * len(envs)
+        rewards: list[list[float]] = [[] for _ in envs]
+        active = list(range(len(envs)))
+        for _ in range(cap):
+            if not active:
+                break
+            actions = network.policy_batch(
+                [observations[episode] for episode in active]
+            )
+            still_active = []
+            for action, episode in zip(actions, active):
+                obs, reward, done, info = envs[episode].step(int(action))
+                observations[episode] = obs
+                totals[episode] += reward
+                rewards[episode].append(reward)
+                steps[episode] += 1
+                if done:
+                    # a time-limit truncation is not a true terminal state
+                    terminated[episode] = not info.get("truncated", False)
+                else:
+                    still_active.append(episode)
+            active = still_active
+        return [
+            EpisodeResult(
+                total_reward=totals[episode],
+                steps=steps[episode],
+                terminated=terminated[episode],
+                fitness=envs[episode].shaped_fitness(
+                    totals[episode], steps[episode], terminated[episode]
+                ),
+                rewards=rewards[episode],
+            )
+            for episode in range(len(envs))
+        ]

@@ -49,7 +49,7 @@ class NodeGene:
     def random(
         cls, key: int, config: "NEATConfig", rng: random.Random
     ) -> "NodeGene":
-        """Fresh node gene with attributes drawn from the init distributions."""
+        """Fresh node gene, attributes drawn from the init distributions."""
         return cls(
             key=key,
             bias=new_float(
@@ -196,7 +196,7 @@ class ConnectionGene:
         return ConnectionGene(self.key, self.weight, self.enabled)
 
     def mutate(self, config: "NEATConfig", rng: random.Random) -> None:
-        """Perturb weight / enabled flag in place (Table III: Perturb Weights)."""
+        """Perturb weight / enabled flag (Table III: Perturb Weights)."""
         self.weight = mutate_float(
             self.weight,
             rng,

@@ -191,7 +191,7 @@ class Genome:
         rng: random.Random,
         innovation: InnovationTracker,
     ) -> bool:
-        """Split an enabled connection with a new node (Table III: Add Node)."""
+        """Split an enabled connection with a node (Table III: Add Node)."""
         enabled = [g for g in self.connections.values() if g.enabled]
         if not enabled:
             return False

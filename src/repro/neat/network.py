@@ -4,14 +4,38 @@ Inference block).
 The compiler prunes nodes that cannot influence an output, topologically
 orders the rest, and produces a flat evaluation plan so ``activate`` is a
 tight loop. Policy helpers map network outputs to discrete gym actions.
+
+Two backends share the same pruning/ordering front-end:
+
+* :class:`FeedForwardNetwork` — the scalar interpreter: one dict lookup
+  and one Python call per gene per observation.
+* :class:`BatchedFeedForwardNetwork` — a NumPy engine. A lowering pass
+  (:func:`compile_batched`) groups the topological order into layers and
+  emits flat per-layer weight/bias/response arrays, so a whole batch of
+  observations is evaluated in a few vectorized ops per layer. Outputs
+  match the interpreter to float64 rounding (tested at 1e-9).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.neat.activations import get_activation
-from repro.neat.aggregations import get_aggregation
+from repro.neat.activations import get_activation, get_batched_activation
+from repro.neat.aggregations import (
+    EMPTY_AGGREGATION,
+    get_aggregation,
+    get_batched_aggregation,
+)
+
+# numpy is a declared dependency, but the scalar interpreter must keep
+# working on bare PYTHONPATH=src deployments (the paper's minimal edge
+# install), so the batched engine degrades to a clear runtime error
+# instead of an import failure
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
 
 if TYPE_CHECKING:
     from repro.neat.genome import Genome
@@ -43,6 +67,70 @@ def required_for_output(
     return required
 
 
+def _evaluation_order(
+    genome: "Genome", config: "NEATConfig"
+) -> tuple[list[int], dict[int, list[tuple[int, float]]]]:
+    """Prune and topologically order a genome's enabled graph.
+
+    Returns ``(order, incoming)``: required non-input nodes in evaluation
+    order, and per-node incoming ``(source, weight)`` links in canonical
+    (sorted connection key) order. Raises ``ValueError`` if the enabled
+    connection graph has a cycle (cannot happen for genomes mutated through
+    :class:`Genome`, but deserialised or hand-built genomes are validated
+    here).
+    """
+    enabled = [
+        gene.key for gene in genome.connections.values() if gene.enabled
+    ]
+    required = required_for_output(
+        config.input_keys, config.output_keys, enabled
+    )
+
+    # group incoming links per required node; sorted iteration keeps
+    # float summation order canonical across dict insertion histories
+    incoming: dict[int, list[tuple[int, float]]] = {
+        key: [] for key in required
+    }
+    for conn_key in sorted(genome.connections):
+        gene = genome.connections[conn_key]
+        if not gene.enabled:
+            continue
+        in_node, out_node = gene.key
+        if out_node not in required:
+            continue
+        if in_node not in required and in_node not in config.input_keys:
+            continue
+        incoming[out_node].append((in_node, gene.weight))
+
+    # Kahn's algorithm over required nodes
+    input_set = set(config.input_keys)
+    pending = {
+        key: sum(
+            1 for (src, _w) in links if src not in input_set
+        )
+        for key, links in incoming.items()
+    }
+    order: list[int] = []
+    ready = sorted(key for key, count in pending.items() if count == 0)
+    dependents: dict[int, list[int]] = {}
+    for key, links in incoming.items():
+        for src, _w in links:
+            if src not in input_set:
+                dependents.setdefault(src, []).append(key)
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for dependent in dependents.get(node, ()):
+            pending[dependent] -= 1
+            if pending[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(required):
+        raise ValueError(
+            "genome's enabled connection graph contains a cycle"
+        )
+    return order, incoming
+
+
 class FeedForwardNetwork:
     """Executable network: an ordered list of node evaluations."""
 
@@ -69,56 +157,7 @@ class FeedForwardNetwork:
         (cannot happen for genomes mutated through :class:`Genome`, but
         deserialised or hand-built genomes are validated here).
         """
-        enabled = [
-            gene.key for gene in genome.connections.values() if gene.enabled
-        ]
-        required = required_for_output(
-            config.input_keys, config.output_keys, enabled
-        )
-
-        # group incoming links per required node; sorted iteration keeps
-        # float summation order canonical across dict insertion histories
-        incoming: dict[int, list[tuple[int, float]]] = {
-            key: [] for key in required
-        }
-        for conn_key in sorted(genome.connections):
-            gene = genome.connections[conn_key]
-            if not gene.enabled:
-                continue
-            in_node, out_node = gene.key
-            if out_node not in required:
-                continue
-            if in_node not in required and in_node not in config.input_keys:
-                continue
-            incoming[out_node].append((in_node, gene.weight))
-
-        # Kahn's algorithm over required nodes
-        input_set = set(config.input_keys)
-        pending = {
-            key: sum(
-                1 for (src, _w) in links if src not in input_set
-            )
-            for key, links in incoming.items()
-        }
-        order: list[int] = []
-        ready = sorted(key for key, count in pending.items() if count == 0)
-        dependents: dict[int, list[int]] = {}
-        for key, links in incoming.items():
-            for src, _w in links:
-                if src not in input_set:
-                    dependents.setdefault(src, []).append(key)
-        while ready:
-            node = ready.pop()
-            order.append(node)
-            for dependent in dependents.get(node, ()):
-                pending[dependent] -= 1
-                if pending[dependent] == 0:
-                    ready.append(dependent)
-        if len(order) != len(required):
-            raise ValueError(
-                "genome's enabled connection graph contains a cycle"
-            )
-
+        order, incoming = _evaluation_order(genome, config)
         node_evals = []
         for key in order:
             node = genome.nodes[key]
@@ -162,3 +201,255 @@ class FeedForwardNetwork:
                 best_index = i
                 best_value = value
         return best_index
+
+
+# -- batched backend ----------------------------------------------------------
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "numpy is required for the batched inference backend; install "
+            "numpy or use backend='scalar'"
+        )
+
+
+@dataclass
+class LayerPlan:
+    """One lowered layer: nodes whose sources are all already computed.
+
+    ``weights`` is dense over every value slot; rows belonging to nodes with
+    a non-``sum`` aggregation are all-zero and those nodes are instead listed
+    in ``generic_nodes`` as ``(row, aggregation, source_slots, weights)``.
+    ``act_groups`` partitions the layer's rows by activation function.
+    """
+
+    node_slots: "np.ndarray"  # (n,) int32 — target slot per node
+    weights: "np.ndarray"  # (n, total_slots) float64
+    bias: "np.ndarray"  # (n,) float64
+    response: "np.ndarray"  # (n,) float64
+    act_groups: list[tuple[str, "np.ndarray"]] = field(default_factory=list)
+    generic_nodes: list[tuple[int, str, "np.ndarray", "np.ndarray"]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class BatchedPlan:
+    """A genome lowered to flat per-layer arrays (see :func:`compile_batched`).
+
+    The plan is self-contained — evaluating it needs no genome or config —
+    which is what lets :mod:`repro.cluster.serialization` ship compiled plans
+    to workers so they skip recompilation.
+    """
+
+    input_keys: tuple[int, ...]
+    output_keys: tuple[int, ...]
+    total_slots: int
+    output_slots: "np.ndarray"  # (n_out,) int32 — value slot per output key
+    layers: list[LayerPlan] = field(default_factory=list)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+
+def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
+    """Lower a pruned, topologically-ordered genome into a batched plan.
+
+    Value slots are laid out as ``[inputs..., computed nodes in topological
+    order...]``. Nodes are grouped into layers by longest path from the
+    inputs, so each layer reads only slots written by earlier layers and the
+    whole layer evaluates as one matmul (plus per-activation ufuncs).
+    """
+    _require_numpy()
+    order, incoming = _evaluation_order(genome, config)
+
+    slot: dict[int, int] = {
+        key: i for i, key in enumerate(config.input_keys)
+    }
+    n_inputs = len(config.input_keys)
+    for i, key in enumerate(order):
+        slot[key] = n_inputs + i
+    total_slots = n_inputs + len(order)
+
+    # longest-path layering: inputs are level 0; a node sits one past its
+    # deepest source, so every source is computed before the node's layer
+    level: dict[int, int] = {key: 0 for key in config.input_keys}
+    layers_nodes: dict[int, list[int]] = {}
+    for key in order:
+        depth = 1 + max(
+            (level[src] for src, _w in incoming[key]), default=0
+        )
+        level[key] = depth
+        layers_nodes.setdefault(depth, []).append(key)
+
+    layers: list[LayerPlan] = []
+    for depth in sorted(layers_nodes):
+        nodes = layers_nodes[depth]
+        n = len(nodes)
+        node_slots = np.empty(n, dtype=np.int32)
+        weights = np.zeros((n, total_slots), dtype=np.float64)
+        bias = np.empty(n, dtype=np.float64)
+        response = np.empty(n, dtype=np.float64)
+        act_rows: dict[str, list[int]] = {}
+        generic_nodes: list[tuple[int, str, "np.ndarray", "np.ndarray"]] = []
+        for row, key in enumerate(nodes):
+            node = genome.nodes[key]
+            node_slots[row] = slot[key]
+            bias[row] = node.bias
+            response[row] = node.response
+            act_rows.setdefault(node.activation, []).append(row)
+            links = incoming[key]
+            if node.aggregation == "sum":
+                for src, weight in links:
+                    weights[row, slot[src]] += weight
+            else:
+                generic_nodes.append(
+                    (
+                        row,
+                        node.aggregation,
+                        np.asarray(
+                            [slot[src] for src, _w in links],
+                            dtype=np.int32,
+                        ),
+                        np.asarray(
+                            [w for _src, w in links], dtype=np.float64
+                        ),
+                    )
+                )
+        act_groups = [
+            (name, np.asarray(rows, dtype=np.int32))
+            for name, rows in sorted(act_rows.items())
+        ]
+        layers.append(
+            LayerPlan(
+                node_slots=node_slots,
+                weights=weights,
+                bias=bias,
+                response=response,
+                act_groups=act_groups,
+                generic_nodes=generic_nodes,
+            )
+        )
+
+    output_slots = np.asarray(
+        [slot[key] for key in config.output_keys], dtype=np.int32
+    )
+    return BatchedPlan(
+        input_keys=tuple(config.input_keys),
+        output_keys=tuple(config.output_keys),
+        total_slots=total_slots,
+        output_slots=output_slots,
+        layers=layers,
+    )
+
+
+class BatchedFeedForwardNetwork:
+    """NumPy-backed network evaluating whole observation batches at once.
+
+    Produces the same outputs as :class:`FeedForwardNetwork` (to float64
+    rounding; the equivalence suite asserts 1e-9) while amortising Python
+    dispatch over the batch dimension — the paper's Inference block at
+    population scale.
+    """
+
+    def __init__(self, plan: BatchedPlan):
+        _require_numpy()
+        self.plan = plan
+        self.input_keys = plan.input_keys
+        self.output_keys = plan.output_keys
+        # resolve activation/aggregation names once, not per batch
+        self._layer_ops = [
+            (
+                layer,
+                [
+                    (get_batched_activation(name), rows)
+                    for name, rows in layer.act_groups
+                ],
+                [
+                    (
+                        row,
+                        get_batched_aggregation(agg),
+                        EMPTY_AGGREGATION[agg],
+                        src_slots,
+                        link_weights,
+                    )
+                    for row, agg, src_slots, link_weights in (
+                        layer.generic_nodes
+                    )
+                ],
+            )
+            for layer in plan.layers
+        ]
+
+    @classmethod
+    def create(
+        cls, genome: "Genome", config: "NEATConfig"
+    ) -> "BatchedFeedForwardNetwork":
+        """Compile ``genome`` into a lowered plan and wrap it."""
+        return cls(compile_batched(genome, config))
+
+    def activate_batch(self, observations) -> "np.ndarray":
+        """Forward-pass a ``(batch, n_inputs)`` array.
+
+        Returns a ``(batch, n_outputs)`` float64 array of output node
+        values in output-key order.
+        """
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != len(self.input_keys):
+            raise ValueError(
+                f"expected (batch, {len(self.input_keys)}) observations, "
+                f"got shape {obs.shape}"
+            )
+        batch = obs.shape[0]
+        values = np.zeros((batch, self.plan.total_slots), dtype=np.float64)
+        values[:, : obs.shape[1]] = obs
+        for layer, act_ops, generic_ops in self._layer_ops:
+            agg = values @ layer.weights.T
+            for row, reduce_fn, empty_value, src_slots, link_weights in (
+                generic_ops
+            ):
+                if src_slots.size == 0:
+                    agg[:, row] = empty_value
+                else:
+                    agg[:, row] = reduce_fn(
+                        values[:, src_slots] * link_weights
+                    )
+            pre = layer.bias + layer.response * agg
+            for activation, rows in act_ops:
+                pre[:, rows] = activation(pre[:, rows])
+            values[:, layer.node_slots] = pre
+        return values[:, self.plan.output_slots]
+
+    def activate(self, inputs: Sequence[float]) -> list[float]:
+        """Scalar-compatible single-observation forward pass."""
+        if len(inputs) != len(self.input_keys):
+            raise ValueError(
+                f"expected {len(self.input_keys)} inputs, got {len(inputs)}"
+            )
+        return self.activate_batch([inputs])[0].tolist()
+
+    def policy(self, observation: Sequence[float]) -> int:
+        """Greedy discrete policy: argmax over output activations."""
+        return int(self.policy_batch([observation])[0])
+
+    def policy_batch(self, observations) -> "np.ndarray":
+        """Greedy actions for a batch: ``(batch,)`` int64 array.
+
+        ``argmax`` keeps the scalar policy's first-max tie-break.
+        """
+        return np.argmax(self.activate_batch(observations), axis=1)
+
+
+def activate_population(
+    networks: Sequence[BatchedFeedForwardNetwork], observations
+) -> list["np.ndarray"]:
+    """Evaluate many compiled networks against one shared observation set.
+
+    Each network is vectorized over the observation batch; the list loops
+    over the population (topologies differ, so they cannot share a matmul).
+    """
+    _require_numpy()
+    obs = np.asarray(observations, dtype=np.float64)
+    return [network.activate_batch(obs) for network in networks]

@@ -119,10 +119,10 @@ class SpeciesSet:
     ) -> SpeciationStats:
         """Partition ``population`` into species.
 
-        Mirrors neat-python: each surviving species first adopts the unspeciated
-        genome closest to its previous representative as the new
-        representative, then every remaining genome joins the first species
-        within ``compatibility_threshold`` (or founds a new one).
+        Mirrors neat-python: each surviving species first adopts the
+        unspeciated genome closest to its previous representative as the
+        new representative, then every remaining genome joins the first
+        species within ``compatibility_threshold`` (or founds a new one).
         """
         if not population:
             raise ValueError("cannot speciate an empty population")

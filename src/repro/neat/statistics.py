@@ -101,7 +101,7 @@ class RunStatistics:
     def complexity_series(self) -> list[float]:
         return [s.mean_genome_genes for s in self.generations]
 
-    # -- reports ---------------------------------------------------------------
+    # -- reports --------------------------------------------------------------
 
     def fitness_summary(self) -> FitnessSummary:
         return summarise(self.best_fitness_series())

@@ -119,7 +119,8 @@ def describe_genome(genome: "Genome", config: "NEATConfig") -> str:
     parts = [
         header,
         format_table(
-            ["node", "role", "bias", "activation", "aggregation", "reaches output"],
+            ["node", "role", "bias", "activation", "aggregation",
+             "reaches output"],
             node_rows,
         ),
         format_table(["connection", "weight", "state"], conn_rows),

@@ -51,7 +51,8 @@ class TestRenderers:
 
     def test_clan_accuracy(self):
         text = render_clan_accuracy(
-            [ClanAccuracyPoint(1, 8.0, 3, 3), ClanAccuracyPoint(4, 12.5, 3, 3)],
+            [ClanAccuracyPoint(1, 8.0, 3, 3),
+             ClanAccuracyPoint(4, 12.5, 3, 3)],
             "LunarLander-v2",
         )
         assert "[Fig 7b]" in text

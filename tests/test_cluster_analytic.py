@@ -11,7 +11,6 @@ from repro.cluster.analytic import (
     time_run,
 )
 from repro.cluster.device import get_device
-from repro.cluster.netmodel import WiFiModel
 from repro.core.messages import CENTER, Message, MessageType
 from repro.core.metrics import AgentLoad, GenerationRecord
 

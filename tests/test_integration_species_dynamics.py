@@ -1,7 +1,5 @@
 """Integration: speciation dynamics over long runs."""
 
-import pytest
-
 from repro.core.protocols import SerialNEAT
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import FitnessResult

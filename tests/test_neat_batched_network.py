@@ -1,0 +1,270 @@
+"""Equivalence of the batched NumPy engine with the scalar interpreter.
+
+The batched backend must be a pure performance change: for any genome and
+any observation, ``BatchedFeedForwardNetwork`` matches
+``FeedForwardNetwork.activate`` within 1e-9 and picks the same greedy
+action. The property-style sweeps below run seeded random genomes (all
+activations and aggregations enabled) against random observation batches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.neat.activations import ACTIVATIONS, BATCHED_ACTIVATIONS
+from repro.neat.aggregations import (
+    AGGREGATIONS,
+    BATCHED_AGGREGATIONS,
+    EMPTY_AGGREGATION,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.genome import Genome
+from repro.neat.network import (
+    BatchedFeedForwardNetwork,
+    FeedForwardNetwork,
+    activate_population,
+    compile_batched,
+)
+
+from tests.conftest import make_evolved_genome
+
+TOLERANCE = 1e-9
+
+
+def rich_config(**overrides) -> NEATConfig:
+    """A config whose mutations explore every activation/aggregation."""
+    params = dict(
+        num_inputs=5,
+        num_outputs=3,
+        pop_size=20,
+        node_add_prob=0.4,
+        conn_add_prob=0.5,
+        conn_delete_prob=0.15,
+        activation_mutate_rate=0.3,
+        aggregation_mutate_rate=0.3,
+        allowed_activations=tuple(sorted(ACTIVATIONS)),
+        allowed_aggregations=tuple(sorted(AGGREGATIONS)),
+    )
+    params.update(overrides)
+    return NEATConfig(**params)
+
+
+def assert_equivalent(genome, config, observations) -> None:
+    scalar = FeedForwardNetwork.create(genome, config)
+    batched = BatchedFeedForwardNetwork.create(genome, config)
+    batch_out = batched.activate_batch(observations)
+    for i, row in enumerate(observations):
+        scalar_out = scalar.activate(list(row))
+        np.testing.assert_allclose(
+            batch_out[i], scalar_out, rtol=0.0, atol=TOLERANCE
+        )
+        assert scalar.policy(list(row)) == batched.policy(list(row))
+
+
+class TestRegistryParity:
+    def test_every_activation_has_a_batched_twin(self):
+        assert set(BATCHED_ACTIVATIONS) == set(ACTIVATIONS)
+
+    def test_every_aggregation_has_a_batched_twin(self):
+        assert set(BATCHED_AGGREGATIONS) == set(AGGREGATIONS)
+        assert set(EMPTY_AGGREGATION) == set(AGGREGATIONS)
+
+    def test_batched_activations_match_scalar_pointwise(self):
+        zs = np.linspace(-75.0, 75.0, 301)
+        for name, scalar_fn in ACTIVATIONS.items():
+            batched_out = BATCHED_ACTIVATIONS[name](zs.copy())
+            for z, got in zip(zs, batched_out):
+                assert got == pytest.approx(
+                    scalar_fn(float(z)), abs=TOLERANCE
+                ), name
+
+    def test_empty_aggregation_matches_scalar(self):
+        for name, scalar_fn in AGGREGATIONS.items():
+            assert EMPTY_AGGREGATION[name] == scalar_fn([])
+
+
+class TestEquivalenceSweep:
+    def test_random_evolved_genomes_match(self):
+        config = rich_config()
+        for seed in range(25):
+            genome = make_evolved_genome(
+                config, seed=seed, mutations=40, key=seed
+            )
+            obs = np.random.default_rng(seed).uniform(
+                -3.0, 3.0, size=(16, config.num_inputs)
+            )
+            assert_equivalent(genome, config, obs)
+
+    def test_fresh_genomes_match(self, small_config, rng):
+        for key in range(10):
+            genome = Genome(key)
+            genome.configure_new(small_config, rng)
+            obs = np.random.default_rng(key).normal(
+                size=(8, small_config.num_inputs)
+            )
+            assert_equivalent(genome, small_config, obs)
+
+    def test_every_aggregation_in_a_hand_built_genome(self):
+        config = NEATConfig(num_inputs=2, num_outputs=1, pop_size=2)
+        for aggregation in sorted(AGGREGATIONS):
+            genome = Genome(0)
+            genome.nodes[0] = NodeGene(0, 0.3, 1.0, "identity", "sum")
+            genome.nodes[5] = NodeGene(5, -0.2, 1.0, "tanh", aggregation)
+            genome.connections[(-1, 5)] = ConnectionGene((-1, 5), 0.7, True)
+            genome.connections[(-2, 5)] = ConnectionGene((-2, 5), -1.3, True)
+            genome.connections[(5, 0)] = ConnectionGene((5, 0), 2.0, True)
+            obs = np.random.default_rng(7).uniform(-2, 2, size=(12, 2))
+            assert_equivalent(genome, config, obs)
+
+    def test_zero_fan_in_output_matches(self):
+        # an output with no incoming links: sum gives 0, product gives 1
+        config = NEATConfig(num_inputs=2, num_outputs=2, pop_size=2)
+        genome = Genome(0)
+        genome.nodes[0] = NodeGene(0, 0.5, 1.0, "identity", "sum")
+        genome.nodes[1] = NodeGene(1, 0.5, 1.0, "identity", "product")
+        obs = np.zeros((3, 2))
+        assert_equivalent(genome, config, obs)
+        batched = BatchedFeedForwardNetwork.create(genome, config)
+        out = batched.activate_batch(obs)
+        np.testing.assert_allclose(out[0], [0.5, 1.5])
+
+
+class TestBatchedNetworkApi:
+    def test_rejects_wrong_observation_width(self, small_config, genome):
+        network = BatchedFeedForwardNetwork.create(genome, small_config)
+        with pytest.raises(ValueError):
+            network.activate_batch(np.zeros((4, small_config.num_inputs + 1)))
+        with pytest.raises(ValueError):
+            network.activate([0.0])
+
+    def test_rejects_flat_observations(self, small_config, genome):
+        network = BatchedFeedForwardNetwork.create(genome, small_config)
+        with pytest.raises(ValueError):
+            network.activate_batch(np.zeros(small_config.num_inputs))
+
+    def test_cycle_detection_matches_scalar(self):
+        config = NEATConfig(num_inputs=1, num_outputs=1, pop_size=2)
+        genome = Genome(0)
+        genome.nodes[0] = NodeGene(0, 0.0, 1.0, "tanh", "sum")
+        genome.nodes[3] = NodeGene(3, 0.0, 1.0, "tanh", "sum")
+        genome.nodes[4] = NodeGene(4, 0.0, 1.0, "tanh", "sum")
+        genome.connections[(3, 4)] = ConnectionGene((3, 4), 1.0, True)
+        genome.connections[(4, 3)] = ConnectionGene((4, 3), 1.0, True)
+        genome.connections[(4, 0)] = ConnectionGene((4, 0), 1.0, True)
+        with pytest.raises(ValueError):
+            compile_batched(genome, config)
+
+    def test_policy_batch_matches_scalar_policy(self):
+        config = rich_config()
+        genome = make_evolved_genome(config, seed=3, mutations=40)
+        scalar = FeedForwardNetwork.create(genome, config)
+        batched = BatchedFeedForwardNetwork.create(genome, config)
+        obs = np.random.default_rng(3).uniform(
+            -2, 2, size=(32, config.num_inputs)
+        )
+        actions = batched.policy_batch(obs)
+        assert actions.shape == (32,)
+        for i, row in enumerate(obs):
+            assert int(actions[i]) == scalar.policy(list(row))
+
+    def test_activate_population_shared_observations(self):
+        config = rich_config()
+        networks = [
+            BatchedFeedForwardNetwork.create(
+                make_evolved_genome(config, seed=s, mutations=20, key=s),
+                config,
+            )
+            for s in range(4)
+        ]
+        obs = np.random.default_rng(0).normal(size=(6, config.num_inputs))
+        outputs = activate_population(networks, obs)
+        assert len(outputs) == 4
+        for out, network in zip(outputs, networks):
+            assert out.shape == (6, config.num_outputs)
+            np.testing.assert_array_equal(out, network.activate_batch(obs))
+
+    def test_plan_layers_respect_topology(self):
+        config = rich_config()
+        genome = make_evolved_genome(config, seed=11, mutations=50)
+        plan = compile_batched(genome, config)
+        seen = set(range(len(config.input_keys)))
+        for layer in plan.layers:
+            for row, slot in enumerate(layer.node_slots):
+                sources = set(np.nonzero(layer.weights[row])[0].tolist())
+                for _r, _agg, src_slots, _w in layer.generic_nodes:
+                    if _r == row:
+                        sources |= set(src_slots.tolist())
+                assert sources <= seen, "layer reads a not-yet-written slot"
+            seen |= set(int(s) for s in layer.node_slots)
+        assert len(seen) == plan.total_slots
+
+
+class TestEvaluatorBackends:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GenomeEvaluator("CartPole-v0", backend="tpu")
+
+    def test_with_backend_round_trip(self):
+        evaluator = GenomeEvaluator("CartPole-v0", episodes=2, seed=5)
+        batched = evaluator.with_backend("batched")
+        assert batched.backend == "batched"
+        assert batched.episodes == 2 and batched.seed == 5
+        assert evaluator.with_backend("scalar") is evaluator
+
+    @pytest.mark.parametrize("env_id", ["CartPole-v0", "MountainCar-v0"])
+    @pytest.mark.parametrize("episodes", [1, 3])
+    def test_fitness_results_identical(self, env_id, episodes):
+        config = NEATConfig.for_env(env_id)
+        scalar_eval = GenomeEvaluator(
+            env_id, episodes=episodes, seed=9, backend="scalar"
+        )
+        batched_eval = GenomeEvaluator(
+            env_id, episodes=episodes, seed=9, backend="batched"
+        )
+        for seed in range(4):
+            genome = make_evolved_genome(
+                config, seed=seed, mutations=25, key=seed
+            )
+            for generation in (0, 3):
+                scalar_result = scalar_eval.evaluate(
+                    genome, config, generation
+                )
+                batched_result = batched_eval.evaluate(
+                    genome, config, generation
+                )
+                assert scalar_result == batched_result
+
+    def test_max_steps_cap_identical(self):
+        config = NEATConfig.for_env("CartPole-v0")
+        genome = make_evolved_genome(config, seed=2, mutations=15)
+        for max_steps in (1, 7):
+            scalar_result = GenomeEvaluator(
+                "CartPole-v0", max_steps=max_steps, seed=4
+            ).evaluate(genome, config)
+            batched_result = GenomeEvaluator(
+                "CartPole-v0",
+                max_steps=max_steps,
+                seed=4,
+                backend="batched",
+            ).evaluate(genome, config)
+            assert scalar_result == batched_result
+
+    def test_evaluate_many_matches_evaluate(self):
+        config = NEATConfig.for_env("CartPole-v0")
+        genomes = [
+            make_evolved_genome(config, seed=s, mutations=15, key=s)
+            for s in range(3)
+        ]
+        evaluator = GenomeEvaluator(
+            "CartPole-v0", episodes=2, seed=1, backend="batched"
+        )
+        many = evaluator.evaluate_many(genomes, config, generation=1)
+        for genome in genomes:
+            assert many[genome.key] == evaluator.evaluate(
+                genome, config, 1
+            )

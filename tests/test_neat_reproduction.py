@@ -74,7 +74,8 @@ class TestPlanGeneration:
         config = self.config()
         _pop, species_set = build_state(config, lambda k: float(k))
         plan = plan_generation(
-            config, species_set, 0, random.Random(0), iter(range(100, 200)).__next__
+            config, species_set, 0, random.Random(0),
+            iter(range(100, 200)).__next__
         )
         assert plan.next_population_size() == config.pop_size
 

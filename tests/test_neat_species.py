@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.species import DistanceCache, SpeciesSet
 
