@@ -1,0 +1,125 @@
+"""Population-mode vs per-genome batched evaluation (extension).
+
+PR 1 vectorized inference *within* one genome; this benchmark measures
+what the PR 2 evaluation stack adds on top: ``eval_mode="population"``
+stacks every genome's compiled plan into one ragged super-batch
+(:class:`~repro.neat.network.StackedPopulationNetwork`) and rolls all
+genomes x episodes forward together against the array-native
+:class:`~repro.envs.vector.CartPoleVectorEnv`, retiring lanes and
+compacting the batch as episodes finish.
+
+Both paths pay their full cost (compile + rollout), evaluate the same
+128-genome CartPole generation under identical seeds, and must return
+*identical* ``FitnessResult``s — the speedup is a pure execution change.
+Results go to ``reports/bench_population_eval.txt`` and, machine-readably,
+``reports/bench_population_eval.json`` for the CI trend gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+from tests.conftest import make_evolved_genome
+
+#: evolved genomes in the benchmark generation (the issue's target size)
+POPULATION = 128
+#: episodes per genome, lockstep in both modes
+EPISODES = 3
+#: structural mutation bursts growing each genome's hidden topology
+MUTATIONS = 60
+#: timing repetitions; the minimum is reported
+REPEATS = 3
+#: acceptance floor: population mode must be at least this much faster
+#: than the PR 1 per-genome batched path
+MIN_SPEEDUP = 3.0
+
+
+def _population(config: NEATConfig) -> list:
+    return [
+        make_evolved_genome(config, seed=seed, mutations=MUTATIONS,
+                            key=seed)
+        for seed in range(POPULATION)
+    ]
+
+
+def _time(evaluate) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        evaluate()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_population_eval_speedup(benchmark, report_sink, json_sink):
+    config = NEATConfig.for_env("CartPole-v0", pop_size=POPULATION)
+    genomes = _population(config)
+    per_genome = GenomeEvaluator(
+        "CartPole-v0", episodes=EPISODES, seed=11, backend="batched"
+    )
+    population = GenomeEvaluator(
+        "CartPole-v0", episodes=EPISODES, seed=11, backend="batched",
+        eval_mode="population",
+    )
+
+    # the two modes must agree exactly before their timings mean
+    # anything (tier-1's test_population_eval.py owns this invariant and
+    # runs first in CI; repeating it here keeps the report honest)
+    expected = per_genome.evaluate_many(genomes, config, generation=0)
+    got = population.evaluate_many(genomes, config, generation=0)
+    assert got == expected, "population mode diverged from per-genome"
+
+    per_genome_s = run_once(
+        benchmark,
+        lambda: _time(
+            lambda: per_genome.evaluate_many(genomes, config, 0)
+        ),
+    )
+    population_s = _time(
+        lambda: population.evaluate_many(genomes, config, 0)
+    )
+    speedup = per_genome_s / population_s
+    total_steps = sum(r.steps for r in expected.values())
+    genes = sum(g.gene_count() for g in genomes)
+
+    rows = [
+        ["per_genome (batched)", f"{per_genome_s * 1e3:.1f}",
+         f"{total_steps / per_genome_s:,.0f}", "1.0x"],
+        ["population", f"{population_s * 1e3:.1f}",
+         f"{total_steps / population_s:,.0f}", f"{speedup:.1f}x"],
+    ]
+    report_sink(
+        "bench_population_eval",
+        f"Population-scale evaluation — {POPULATION} evolved genomes "
+        f"({genes} genes) x {EPISODES} episodes, CartPole-v0\n"
+        + format_table(
+            ["eval mode", "time (ms)", "env steps/s", "speedup"], rows
+        )
+        + "\nfitness parity: exact for all "
+        f"{POPULATION} genomes",
+    )
+    json_sink(
+        "bench_population_eval",
+        {
+            "population": POPULATION,
+            "episodes": EPISODES,
+            "total_genes": genes,
+            "total_env_steps": total_steps,
+            "per_genome_s": per_genome_s,
+            "population_s": population_s,
+            "speedup": speedup,
+            "env_steps_per_s_per_genome": total_steps / per_genome_s,
+            "env_steps_per_s_population": total_steps / population_s,
+            "fitness_parity": True,
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"population mode only {speedup:.1f}x faster; need "
+        f">= {MIN_SPEEDUP}x"
+    )

@@ -24,7 +24,7 @@ from repro.cluster.analytic import ClusterSpec
 from repro.core.driver import ClanDriver
 from repro.core.protocols import available_protocols
 from repro.envs.registry import available_env_ids
-from repro.neat.evaluation import BACKENDS
+from repro.neat.evaluation import BACKENDS, EVAL_MODES
 from repro.utils.fmt import format_seconds, format_table
 
 
@@ -51,6 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inference engine: the scalar interpreter or the batched "
         "NumPy engine (equivalent to float64 rounding; see "
         "docs/backends.md)",
+    )
+    learn.add_argument(
+        "--eval-mode",
+        default="per_genome",
+        choices=EVAL_MODES,
+        help="how each agent evaluates its genome block: one genome at "
+        "a time (the bit-exact reference) or one vectorized population "
+        "sweep over the array-native environment (requires --backend "
+        "batched; see docs/vectorization.md)",
     )
     learn.add_argument(
         "--threshold",
@@ -92,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_learn(args) -> int:
     if args.protocol == "Serial" and args.agents != 1:
         args.agents = 1
+    if args.eval_mode == "population" and args.backend != "batched":
+        print(
+            "--eval-mode population requires --backend batched "
+            "(the population sweep stacks compiled batched plans)",
+            file=sys.stderr,
+        )
+        return 2
     driver = ClanDriver(
         args.env,
         ClusterSpec.of_pis(args.agents),
@@ -99,10 +115,14 @@ def _cmd_learn(args) -> int:
         pop_size=args.pop,
         seed=args.seed,
         backend=args.backend,
+        eval_mode=args.eval_mode,
+    )
+    eval_note = (
+        ", population sweep" if args.eval_mode == "population" else ""
     )
     print(
         f"learning {args.env} with {args.protocol} on {args.agents} Pis "
-        f"(population {args.pop}, {args.backend} inference)"
+        f"(population {args.pop}, {args.backend} inference{eval_note})"
     )
     run = driver.learn(
         max_generations=args.generations, fitness_threshold=args.threshold

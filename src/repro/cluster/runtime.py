@@ -54,10 +54,14 @@ class ParallelInferenceRuntime:
         seed: int = 0,
         max_steps: int | None = None,
         backend: str = "scalar",
+        eval_mode: str = "per_genome",
     ):
         """``backend="batched"`` evaluates with the NumPy engine; the centre
         then compiles each genome once and ships the lowered plan alongside
-        it, so workers skip recompilation.
+        it, so workers skip recompilation. ``eval_mode="population"``
+        additionally makes each worker roll its whole shard forward as one
+        vectorized sweep (stacked plans against the array-native
+        environment) instead of genome-by-genome.
 
         Trade-off: each genome is evaluated by exactly one worker per
         generation, so shipping plans moves compile work onto the centre
@@ -78,6 +82,7 @@ class ParallelInferenceRuntime:
             evaluator_seed=rngs.seed_for("episodes") % (2**31),
             max_steps=max_steps,
             backend=backend,
+            eval_mode=eval_mode,
         )
         self.solved_threshold = workload_spec(env_id).solved_threshold
 
@@ -151,9 +156,12 @@ class DistributedClanRuntime:
         seed: int = 0,
         max_steps: int | None = None,
         backend: str = "scalar",
+        eval_mode: str = "per_genome",
     ):
         """``backend="batched"`` makes every clan evaluate its members with
-        the NumPy engine (episodes step in lockstep on the worker)."""
+        the NumPy engine (episodes step in lockstep on the worker);
+        ``eval_mode="population"`` makes each clan evaluate its whole
+        membership as one vectorized sweep per generation."""
         self.env_id = env_id
         self.config = config or NEATConfig.for_env(env_id)
         if self.config.pop_size < 2 * n_clans:
@@ -177,6 +185,7 @@ class DistributedClanRuntime:
             evaluator_seed=self.rngs.seed_for("episodes") % (2**31),
             max_steps=max_steps,
             backend=backend,
+            eval_mode=eval_mode,
         )
         payloads = []
         for clan_id, block in enumerate(blocks):

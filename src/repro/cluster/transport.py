@@ -74,6 +74,7 @@ def _worker_main(
     episodes: int,
     max_steps: int | None,
     backend: str,
+    eval_mode: str,
 ) -> None:
     """Worker process loop: serve evaluation commands until 'stop'."""
     evaluator = GenomeEvaluator(
@@ -82,6 +83,7 @@ def _worker_main(
         max_steps=max_steps,
         seed=evaluator_seed,
         backend=backend,
+        eval_mode=eval_mode,
     )
     clan = None  # lazily created by 'clan_init'
     try:
@@ -92,12 +94,39 @@ def _worker_main(
                 break
             elif command == "eval":
                 genomes = decode_genomes(payload.genomes_wire)
+                plans = None
                 if payload.plans_wire is not None:
                     plans = decode_batched_plans(payload.plans_wire)
                     if len(plans) != len(genomes):
                         raise ValueError(
                             f"{len(plans)} plans for {len(genomes)} genomes"
                         )
+                if evaluator.eval_mode == "population" and genomes:
+                    # one vectorized sweep over the whole shard; shipped
+                    # plans skip recompilation just like per-genome mode
+                    if plans is not None:
+                        result_map = evaluator.evaluate_stacked(
+                            plans,
+                            [g.key for g in genomes],
+                            payload.generation,
+                        )
+                    else:
+                        result_map = evaluator.evaluate_many(
+                            genomes, config, payload.generation
+                        )
+                    results = [
+                        (
+                            g.key,
+                            result_map[g.key].fitness,
+                            result_map[g.key].steps,
+                            result_map[g.key].total_reward,
+                            result_map[g.key].solved,
+                        )
+                        for g in genomes
+                    ]
+                    conn.send(("ok", EvalReply(tuple(results))))
+                    continue
+                if plans is not None:
                     networks = [
                         BatchedFeedForwardNetwork(plan) for plan in plans
                     ]
@@ -163,6 +192,7 @@ class WorkerPool:
         episodes: int = 1,
         max_steps: int | None = None,
         backend: str = "scalar",
+        eval_mode: str = "per_genome",
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -170,6 +200,7 @@ class WorkerPool:
         self.env_id = env_id
         self.config = config
         self.backend = backend
+        self.eval_mode = eval_mode
         ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
         self._conns = []
         self._procs = []
@@ -185,6 +216,7 @@ class WorkerPool:
                     episodes,
                     max_steps,
                     backend,
+                    eval_mode,
                 ),
                 daemon=True,
             )

@@ -44,6 +44,13 @@ class TimedRun:
 class ClanDriver:
     """Run CLAN on a workload and report both outcome and modelled time.
 
+    Engine selection flows through ``**protocol_kwargs`` — notably
+    ``backend="scalar" | "batched"`` (inference engine) and
+    ``eval_mode="per_genome" | "population"`` (per-genome rollouts vs
+    one vectorized sweep per agent block; see ``docs/vectorization.md``).
+    Both execution choices leave trajectories and the modelled cost
+    accounting unchanged.
+
     >>> from repro.core import ClanDriver
     >>> from repro.cluster.analytic import ClusterSpec
     >>> driver = ClanDriver("CartPole-v0", ClusterSpec.of_pis(4),

@@ -36,7 +36,6 @@ from repro.neat.population import Population
 from repro.neat.reproduction import (
     GenerationPlan,
     execute_plan,
-    make_child,
     plan_generation,
 )
 from repro.neat.species import SpeciesSet
@@ -66,6 +65,7 @@ class ProtocolBase:
         episodes: int = 1,
         evaluator: GenomeEvaluator | None = None,
         backend: str = "scalar",
+        eval_mode: str = "per_genome",
     ):
         if n_agents < 1:
             raise ValueError("n_agents must be >= 1")
@@ -78,7 +78,7 @@ class ProtocolBase:
         # seeded identically to the default one or trajectories change
         self.evaluator = evaluator or self.default_evaluator(
             env_id, seed, episodes=episodes, max_steps=max_steps,
-            backend=backend,
+            backend=backend, eval_mode=eval_mode,
         )
         self.solved_threshold = workload_spec(env_id).solved_threshold
         self.generation = 0
@@ -93,14 +93,17 @@ class ProtocolBase:
         episodes: int = 1,
         max_steps: int | None = None,
         backend: str = "scalar",
+        eval_mode: str = "per_genome",
     ) -> GenomeEvaluator:
         """The evaluator a protocol seeded with ``seed`` would build.
 
         ``backend`` selects the inference engine (``"scalar"`` or
-        ``"batched"``). The engines agree to float64 rounding, so fitness
-        trajectories match in practice (the suite asserts it on real
-        workloads); keep the default scalar interpreter where bit-exact
-        reproduction of the paper figures is the point.
+        ``"batched"``); ``eval_mode`` selects how each agent evaluates
+        its genome block (``"per_genome"`` or the vectorized
+        ``"population"`` sweep). The engines agree to float64 rounding,
+        so fitness trajectories match in practice (the suite asserts it
+        on real workloads); keep the default scalar interpreter where
+        bit-exact reproduction of the paper figures is the point.
         """
         return GenomeEvaluator(
             env_id,
@@ -108,6 +111,7 @@ class ProtocolBase:
             max_steps=max_steps,
             seed=RngFactory(seed).seed_for("episodes") % (2**31),
             backend=backend,
+            eval_mode=eval_mode,
         )
 
     # -- template methods -----------------------------------------------------
@@ -158,18 +162,40 @@ class ProtocolBase:
             self.best_fitness = genome.fitness
             self.best_genome = genome.copy()
 
-    def _evaluate_on_agent(
+    def _evaluate_block_on_agent(
         self,
-        genome: Genome,
+        genomes: list[Genome],
         load: AgentLoad,
         generation: int,
-    ) -> FitnessResult:
-        """Evaluate one genome, charging the work to ``load``."""
-        result = self.evaluator.evaluate(genome, self.config, generation)
-        load.inference_gene_ops += genome.gene_count() * max(result.steps, 1)
-        load.env_steps += result.steps
-        load.genomes_evaluated += 1
-        return result
+    ) -> dict[int, FitnessResult]:
+        """Evaluate one agent's whole genome block as a single sweep.
+
+        The evaluator's ``eval_mode`` decides execution: per-genome
+        rollouts or one vectorized population sweep. Either way the
+        gene-op/message accounting is charged per genome, so the cost
+        model sees identical work regardless of how it was executed.
+
+        Injected evaluators (``evaluator=`` kwarg) may implement only
+        ``evaluate``; they are looped per genome like before.
+        """
+        evaluate_many = getattr(self.evaluator, "evaluate_many", None)
+        if evaluate_many is not None:
+            results = evaluate_many(genomes, self.config, generation)
+        else:
+            results = {
+                genome.key: self.evaluator.evaluate(
+                    genome, self.config, generation
+                )
+                for genome in genomes
+            }
+        for genome in genomes:
+            result = results[genome.key]
+            load.inference_gene_ops += genome.gene_count() * max(
+                result.steps, 1
+            )
+            load.env_steps += result.steps
+            load.genomes_evaluated += 1
+        return results
 
 
 class SerialNEAT(ProtocolBase):
@@ -189,10 +215,9 @@ class SerialNEAT(ProtocolBase):
         load = record.agent_loads[0]
 
         def evaluate(genomes, generation):
-            return {
-                g.key: self._evaluate_on_agent(g, load, generation)
-                for g in genomes
-            }
+            return self._evaluate_block_on_agent(
+                list(genomes), load, generation
+            )
 
         stats = self.population.run_generation(evaluate)
         load.speciation_gene_ops = stats.speciation_genes
@@ -249,10 +274,9 @@ class CLAN_DCS(ProtocolBase):
                     )
                 )
                 load = record.agent_loads[agent]
-                for genome in shard:
-                    results[genome.key] = self._evaluate_on_agent(
-                        genome, load, generation
-                    )
+                results.update(
+                    self._evaluate_block_on_agent(shard, load, generation)
+                )
                 record.messages.append(
                     Message(
                         MessageType.SENDING_FITNESS,
@@ -317,12 +341,18 @@ class CLAN_DDS(ProtocolBase):
         def evaluate(genomes, generation):
             results: dict[int, FitnessResult] = {}
             per_agent_counts = [0] * self.n_agents
+            blocks: list[list[Genome]] = [[] for _ in range(self.n_agents)]
             for genome in genomes:
                 agent = self.residency[genome.key]
-                results[genome.key] = self._evaluate_on_agent(
-                    genome, record.agent_loads[agent], generation
-                )
+                blocks[agent].append(genome)
                 per_agent_counts[agent] += 1
+            for agent, block in enumerate(blocks):
+                if block:
+                    results.update(
+                        self._evaluate_block_on_agent(
+                            block, record.agent_loads[agent], generation
+                        )
+                    )
             for agent, count in enumerate(per_agent_counts):
                 if count:
                     record.messages.append(
@@ -701,8 +731,11 @@ class _Clan:
     ) -> tuple[float, float, bool, int]:
         """One clan-local generation; returns (best, sum, solved, species)."""
         solved = False
+        results = protocol._evaluate_block_on_agent(
+            list(self.members.values()), load, generation
+        )
         for genome in self.members.values():
-            result = protocol._evaluate_on_agent(genome, load, generation)
+            result = results[genome.key]
             genome.fitness = result.fitness
             solved = solved or result.solved
 

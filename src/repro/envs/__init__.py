@@ -10,7 +10,9 @@ required environments from scratch with a gym-compatible API:
   (AirRaid / Amidar / Alien), synthetic arcade games whose internal state is
   serialised into a 128-byte RAM observation.
 
-Use :func:`repro.envs.registry.make` to instantiate by gym-style id.
+Use :func:`repro.envs.registry.make` to instantiate by gym-style id, or
+:func:`repro.envs.registry.make_vector` for the array-native twin that
+steps many seeded episode lanes at once (:mod:`repro.envs.vector`).
 """
 
 from repro.envs.base import Environment, EpisodeResult, rollout
@@ -20,6 +22,7 @@ from repro.envs.registry import (
     WorkloadSpec,
     available_env_ids,
     make,
+    make_vector,
     workload_spec,
 )
 
@@ -31,6 +34,7 @@ __all__ = [
     "Discrete",
     "Space",
     "make",
+    "make_vector",
     "available_env_ids",
     "workload_spec",
     "WorkloadSpec",

@@ -8,13 +8,16 @@ grouping through :data:`WORKLOAD_CLASSES`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Type
+from typing import TYPE_CHECKING, Type
 
 from repro.envs.atari_ram import AirRaidRamEnv, AlienRamEnv, AmidarRamEnv
 from repro.envs.base import Environment
 from repro.envs.cartpole import CartPoleEnv
 from repro.envs.lunarlander import LunarLanderEnv
 from repro.envs.mountaincar import MountainCarEnv
+
+if TYPE_CHECKING:
+    from repro.envs.vector import VectorEnvironment
 
 
 @dataclass(frozen=True)
@@ -27,6 +30,10 @@ class WorkloadSpec:
     obs_dim: int
     n_actions: int
     solved_threshold: float
+    #: dotted name of the array-native twin in :mod:`repro.envs.vector`
+    #: (resolved lazily so the scalar registry keeps importing without
+    #: numpy); ``None`` marks a workload with no vectorized kernel
+    vector_env_name: str | None = None
 
 
 _REGISTRY: dict[str, WorkloadSpec] = {}
@@ -39,22 +46,40 @@ def _register(spec: WorkloadSpec) -> None:
 
 
 _register(
-    WorkloadSpec("CartPole-v0", CartPoleEnv, "small", 4, 2, 195.0)
+    WorkloadSpec(
+        "CartPole-v0", CartPoleEnv, "small", 4, 2, 195.0,
+        vector_env_name="CartPoleVectorEnv",
+    )
 )
 _register(
-    WorkloadSpec("MountainCar-v0", MountainCarEnv, "small", 2, 3, -110.0)
+    WorkloadSpec(
+        "MountainCar-v0", MountainCarEnv, "small", 2, 3, -110.0,
+        vector_env_name="MountainCarVectorEnv",
+    )
 )
 _register(
-    WorkloadSpec("LunarLander-v2", LunarLanderEnv, "medium", 8, 4, 200.0)
+    WorkloadSpec(
+        "LunarLander-v2", LunarLanderEnv, "medium", 8, 4, 200.0,
+        vector_env_name="LunarLanderVectorEnv",
+    )
 )
 _register(
-    WorkloadSpec("Airraid-ram-v0", AirRaidRamEnv, "large", 128, 6, 1000.0)
+    WorkloadSpec(
+        "Airraid-ram-v0", AirRaidRamEnv, "large", 128, 6, 1000.0,
+        vector_env_name="AirRaidVectorEnv",
+    )
 )
 _register(
-    WorkloadSpec("Amidar-ram-v0", AmidarRamEnv, "large", 128, 6, 1000.0)
+    WorkloadSpec(
+        "Amidar-ram-v0", AmidarRamEnv, "large", 128, 6, 1000.0,
+        vector_env_name="AmidarVectorEnv",
+    )
 )
 _register(
-    WorkloadSpec("Alien-ram-v0", AlienRamEnv, "large", 128, 6, 1000.0)
+    WorkloadSpec(
+        "Alien-ram-v0", AlienRamEnv, "large", 128, 6, 1000.0,
+        vector_env_name="AlienVectorEnv",
+    )
 )
 
 #: size class -> env ids, in the paper's reporting order
@@ -92,3 +117,21 @@ def workload_spec(env_id: str) -> WorkloadSpec:
 def make(env_id: str, seed: int = 0) -> Environment:
     """Instantiate an environment by gym-style id."""
     return workload_spec(env_id).env_class(seed=seed)
+
+
+def make_vector(env_id: str, n_lanes: int) -> "VectorEnvironment":
+    """Instantiate the array-native twin of ``env_id`` with ``n_lanes``.
+
+    Raises ``KeyError`` for unknown ids and ``ValueError`` for workloads
+    without a vectorized kernel (every registered workload currently has
+    one; custom ``env_factory`` environments do not go through here).
+    """
+    spec = workload_spec(env_id)
+    if spec.vector_env_name is None:
+        raise ValueError(
+            f"{env_id} has no vectorized kernel; use the scalar "
+            "environment (eval_mode='per_genome')"
+        )
+    from repro.envs import vector
+
+    return getattr(vector, spec.vector_env_name)(n_lanes)

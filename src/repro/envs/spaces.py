@@ -6,8 +6,16 @@ Only the two space types the CLAN workloads need are implemented:
 
 from __future__ import annotations
 
+import numbers
 import random
 from typing import Sequence
+
+# optional: only needed to reject numpy booleans explicitly; the scalar
+# stack must keep working on numpy-free deployments
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 
 class Space:
@@ -36,14 +44,19 @@ class Discrete(Space):
     def contains(self, x) -> bool:
         if isinstance(x, (bool, str, bytes)):
             return False
-        if not isinstance(x, int):
+        if _np is not None and isinstance(x, _np.bool_):
+            return False
+        # numbers.Integral admits the whole integer family — Python ints
+        # and NumPy integer scalars alike (an np.int64 coming out of a
+        # batched argmax is a valid action); integral-valued floats keep
+        # their historical acceptance via the fallback
+        if not isinstance(x, numbers.Integral):
             try:
                 if float(x) != int(x):
                     return False
-                x = int(x)
             except (TypeError, ValueError):
                 return False
-        return 0 <= x < self.n
+        return 0 <= int(x) < self.n
 
     def sample(self, rng: random.Random) -> int:
         return rng.randrange(self.n)

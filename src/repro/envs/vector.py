@@ -1,0 +1,952 @@
+"""Array-native vectorized environments (population-scale rollouts).
+
+Every scalar environment in this package steps one episode at a time
+through Python floats; at population scale that loop dominates the
+evaluation wall-clock (the paper's Inference block measures *genes per
+environment time-step*, but the repo's PR-1 profile shows the time-steps
+themselves are Python-bound). This module provides an array-native twin
+for each workload: a :class:`VectorEnvironment` holds the state of ``n``
+independent episode *lanes* as NumPy arrays and advances all of them with
+one ``step_batch`` call.
+
+Lane semantics
+==============
+
+* ``reset_batch(seeds)`` starts one episode per lane; lane ``i`` is seeded
+  with ``seeds[i]`` exactly like ``Environment.seed(seeds[i])`` on the
+  scalar twin, so lane ``i`` reproduces the scalar environment's
+  trajectory **bit-for-bit** (same observations, rewards, done flags and
+  truncation steps).
+* ``step_batch(actions)`` advances every *live* lane and returns
+  ``(obs, reward, done, truncated)`` arrays. Finished lanes are
+  auto-masked: their state and observation freeze, their reward is 0.0
+  and their ``done`` flag stays set. Calling ``step_batch`` once every
+  lane has finished raises ``RuntimeError``, mirroring the scalar
+  ``step()`` contract.
+* Truncation mirrors ``Environment.step``: a lane whose step counter
+  reaches ``max_episode_steps`` is flagged ``truncated`` (even when the
+  kernel terminates on the same step — the scalar path sets
+  ``info["truncated"]`` unconditionally at the cap).
+
+Bit-exactness
+=============
+
+The kernels replicate the scalar implementations operation-for-operation:
+NumPy float64 elementwise arithmetic performs the same IEEE-754 double
+operations as CPython floats, and ``np.cos``/``np.sin`` agree bit-for-bit
+with ``math.cos``/``math.sin`` on float64 input. The one exception is
+``math.hypot`` (LunarLander's shaping potential), whose correctly-rounded
+algorithm differs from ``np.hypot`` at the ULP level; the vector kernel
+therefore delegates hypot to :func:`math.hypot` per lane. Per-lane reset
+draws (and AirRaid's in-episode spawn draws) come from one
+``random.Random(seed)`` stream per lane — the identical stream the scalar
+environment consumes — via :func:`repro.utils.rng.spawn_lane_rngs`. The
+equivalence suite (``tests/test_envs_vector.py``) asserts exact equality
+against the scalar environments for every workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Type
+
+import numpy as np
+
+from repro.envs.atari_ram import (
+    ACTION_DOWN,
+    ACTION_FIRE,
+    ACTION_LEFT,
+    ACTION_RIGHT,
+    ACTION_UP,
+    RAM_SIZE,
+    AirRaidRamEnv,
+    AlienRamEnv,
+    AmidarRamEnv,
+)
+from repro.envs.base import Environment
+from repro.envs.cartpole import CartPoleEnv
+from repro.envs.lunarlander import LunarLanderEnv
+from repro.envs.mountaincar import MountainCarEnv
+from repro.utils.rng import spawn_lane_rngs
+
+#: dead-slot sequence sentinel; argsort pushes dead entries past any live
+#: insertion number
+_SEQ_DEAD = np.int64(2**62)
+
+# np.hypot is not bit-identical to math.hypot (CPython's is correctly
+# rounded); delegate to the scalar function per lane so LunarLander's
+# shaping potential matches the scalar env exactly
+_HYPOT_UFUNC = np.frompyfunc(math.hypot, 2, 1)
+
+
+def _hypot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return _HYPOT_UFUNC(a, b).astype(np.float64)
+
+
+class VectorEnvironment:
+    """Abstract batch of independent episode lanes over NumPy state.
+
+    Subclasses set :attr:`scalar_env_class` (their bit-exact scalar twin,
+    from which ``env_id``, spaces metadata and the episode cap are
+    inherited), declare their per-lane state arrays in
+    :attr:`STATE_ATTRS` and implement :meth:`_reset_lanes` /
+    :meth:`_step_lanes`. The base class owns seeding, step counting, the
+    episode cap and the auto-masking of finished lanes.
+    """
+
+    #: the scalar environment this kernel reproduces bit-for-bit
+    scalar_env_class: Type[Environment]
+    #: names of per-lane state arrays (including ``"_obs"``); the base
+    #: class snapshots these for finished lanes around every step so
+    #: kernels may advance all lanes unconditionally
+    STATE_ATTRS: tuple[str, ...] = ("_obs",)
+
+    def __init__(self, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        self.n_lanes = n_lanes
+        scalar = self.scalar_env_class
+        self.env_id = scalar.env_id
+        self.solved_threshold = scalar.solved_threshold
+        self.max_episode_steps = scalar.max_episode_steps
+        # spaces carry per-step metadata (obs_dim, n_actions); instantiate
+        # the twin once to copy them rather than re-deriving
+        twin = scalar()
+        self.observation_space = twin.observation_space
+        self.action_space = twin.action_space
+        self.obs_dim = twin.observation_space.flat_dim
+        self.n_actions = twin.action_space.n
+        self._lane_rngs: list = []
+        self._steps = np.zeros(n_lanes, dtype=np.int64)
+        self._done = np.ones(n_lanes, dtype=bool)
+        self._truncated = np.zeros(n_lanes, dtype=bool)
+        self._obs = np.zeros((n_lanes, self.obs_dim), dtype=np.float64)
+
+    # -- public API --------------------------------------------------------
+
+    def reset_batch(self, seeds: Sequence[int]) -> np.ndarray:
+        """Start one episode per lane; lane ``i`` is seeded ``seeds[i]``.
+
+        Returns the ``(n_lanes, obs_dim)`` initial observations.
+        """
+        if len(seeds) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} seeds, got {len(seeds)}"
+            )
+        self._lane_rngs = spawn_lane_rngs(seeds)
+        self._steps = np.zeros(self.n_lanes, dtype=np.int64)
+        self._done = np.zeros(self.n_lanes, dtype=bool)
+        self._truncated = np.zeros(self.n_lanes, dtype=bool)
+        self._obs = np.zeros((self.n_lanes, self.obs_dim), dtype=np.float64)
+        self._reset_lanes()
+        return self._obs.copy()
+
+    def step_batch(
+        self, actions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every live lane one time-step.
+
+        Returns ``(obs, reward, done, truncated)``; finished lanes are
+        frozen (observation unchanged, reward 0.0, flags latched). Raises
+        ``RuntimeError`` once every lane has finished and ``ValueError``
+        for out-of-range actions on live lanes.
+        """
+        if self._done.all():
+            raise RuntimeError(
+                f"{self.env_id}: step_batch() called with every lane "
+                "finished; call reset_batch() first"
+            )
+        actions = np.asarray(actions)
+        if actions.shape != (self.n_lanes,):
+            raise ValueError(
+                f"expected ({self.n_lanes},) actions, got {actions.shape}"
+            )
+        if actions.dtype != np.int64:
+            if not np.issubdtype(actions.dtype, np.integer):
+                rounded = actions.astype(np.int64)
+                if not np.all(actions == rounded):
+                    raise ValueError(
+                        f"{self.env_id}: non-integral actions in batch"
+                    )
+                actions = rounded
+            actions = actions.astype(np.int64, copy=False)
+        active = ~self._done
+        # fast path: an in-range batch (the common case — policies emit
+        # argmax indices) skips the per-lane mask entirely
+        if int(actions.min()) < 0 or int(actions.max()) >= self.n_actions:
+            bad = active & ((actions < 0) | (actions >= self.n_actions))
+            if bad.any():
+                lane = int(np.nonzero(bad)[0][0])
+                raise ValueError(
+                    f"{self.env_id}: action {actions[lane]!r} of lane "
+                    f"{lane} not in {self.action_space}"
+                )
+
+        # kernels advance all lanes unconditionally; snapshot finished
+        # lanes and restore them afterwards so their state stays frozen
+        frozen = ~active
+        saved = None
+        if frozen.any():
+            saved = [
+                (name, getattr(self, name)[frozen].copy())
+                for name in self.STATE_ATTRS
+            ]
+        rewards, env_done = self._step_lanes(actions, active)
+        if saved is not None:
+            for name, values in saved:
+                getattr(self, name)[frozen] = values
+
+        self._steps += active
+        hit_cap = active & (self._steps >= self.max_episode_steps)
+        self._truncated |= hit_cap
+        self._done |= (env_done & active) | hit_cap
+        rewards = np.where(active, rewards, 0.0)
+        return (
+            self._obs.copy(),
+            rewards,
+            self._done.copy(),
+            self._truncated.copy(),
+        )
+
+    def extract_lanes(self, lanes) -> "VectorEnvironment":
+        """A new environment holding only ``lanes`` (mid-episode).
+
+        Lane ``i`` of the clone continues exactly where ``lanes[i]`` of
+        this environment left off — same state, step counter, flags and
+        RNG stream. The population evaluator uses this to *compact* the
+        batch as episodes finish, so late rollout steps don't pay for
+        long-dead lanes. The parent environment should not be stepped
+        afterwards (its RNG streams move with the clone); it stays
+        reusable via :meth:`reset_batch`.
+        """
+        lanes = np.asarray(lanes, dtype=np.int64)
+        clone = type(self)(len(lanes))
+        clone._lane_rngs = [self._lane_rngs[int(i)] for i in lanes]
+        clone._steps = self._steps[lanes].copy()
+        clone._done = self._done[lanes].copy()
+        clone._truncated = self._truncated[lanes].copy()
+        for name in self.STATE_ATTRS:
+            setattr(clone, name, getattr(self, name)[lanes].copy())
+        clone._rebind_views()
+        return clone
+
+    def _rebind_views(self) -> None:
+        """Re-derive any state attributes that are views into arrays
+        replaced by :meth:`extract_lanes` (no-op unless a kernel keeps
+        column views)."""
+
+    @property
+    def lane_steps(self) -> np.ndarray:
+        """Steps taken so far in each lane's current episode."""
+        return self._steps.copy()
+
+    @property
+    def done_lanes(self) -> np.ndarray:
+        """Which lanes have finished their episode."""
+        return self._done.copy()
+
+    def shaped_fitness_batch(
+        self,
+        total_rewards: np.ndarray,
+        steps: np.ndarray,
+        terminated: np.ndarray,
+    ) -> np.ndarray:
+        """Per-lane counterpart of ``Environment.shaped_fitness``."""
+        return np.asarray(total_rewards, dtype=np.float64).copy()
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _reset_lanes(self) -> None:
+        """Initialise all state arrays and fill ``self._obs``."""
+        raise NotImplementedError
+
+    def _step_lanes(
+        self, actions: np.ndarray, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the kernel one step for all lanes.
+
+        Must update the state arrays and ``self._obs`` and return
+        ``(rewards, done)`` for all lanes. State of finished lanes is
+        restored by the caller, so kernels may compute unconditionally —
+        except for per-lane RNG draws, which must be guarded by
+        ``active`` to keep frozen lanes' streams untouched.
+        """
+        raise NotImplementedError
+
+
+# -- classic control ----------------------------------------------------------
+
+
+class CartPoleVectorEnv(VectorEnvironment):
+    """Array-native CartPole: lane ``i`` == ``CartPoleEnv`` bit-for-bit.
+
+    The state *is* the observation: the four state vectors are column
+    views into ``self._obs``, so in-place integration updates both at
+    once and the frozen-lane snapshot covers a single array.
+    """
+
+    scalar_env_class = CartPoleEnv
+    STATE_ATTRS = ("_obs",)
+
+    def _reset_lanes(self) -> None:
+        for lane, rng in enumerate(self._lane_rngs):
+            self._obs[lane] = [rng.uniform(-0.05, 0.05) for _ in range(4)]
+        self._rebind_views()
+
+    def _rebind_views(self) -> None:
+        self._x = self._obs[:, 0]
+        self._x_dot = self._obs[:, 1]
+        self._theta = self._obs[:, 2]
+        self._theta_dot = self._obs[:, 3]
+
+    def _step_lanes(self, actions, active):
+        env = CartPoleEnv
+        total_mass = env.CART_MASS + env.POLE_MASS
+        pole_mass_length = env.POLE_MASS * env.POLE_HALF_LENGTH
+        force = np.where(actions == 1, env.FORCE_MAG, -env.FORCE_MAG)
+        cos_theta = np.cos(self._theta)
+        sin_theta = np.sin(self._theta)
+
+        temp = (
+            force + pole_mass_length * self._theta_dot**2 * sin_theta
+        ) / total_mass
+        theta_acc = (env.GRAVITY * sin_theta - cos_theta * temp) / (
+            env.POLE_HALF_LENGTH
+            * (4.0 / 3.0 - env.POLE_MASS * cos_theta**2 / total_mass)
+        )
+        x_acc = (
+            temp
+            - pole_mass_length * theta_acc * cos_theta / total_mass
+        )
+
+        # Euler updates in the scalar order: positions advance on the
+        # *old* velocities because the velocity columns update after
+        self._x += env.TAU * self._x_dot
+        self._x_dot += env.TAU * x_acc
+        self._theta += env.TAU * self._theta_dot
+        self._theta_dot += env.TAU * theta_acc
+
+        done = (np.abs(self._x) > env.X_LIMIT) | (
+            np.abs(self._theta) > env.THETA_LIMIT
+        )
+        rewards = np.ones(self.n_lanes, dtype=np.float64)
+        return rewards, done
+
+
+class MountainCarVectorEnv(VectorEnvironment):
+    """Array-native MountainCar with the paper's progress shaping."""
+
+    scalar_env_class = MountainCarEnv
+    STATE_ATTRS = ("_obs", "_max_position")
+
+    def _reset_lanes(self) -> None:
+        for lane, rng in enumerate(self._lane_rngs):
+            self._obs[lane, 0] = rng.uniform(-0.6, -0.4)
+        self._rebind_views()
+        self._max_position = self._position.copy()
+
+    def _rebind_views(self) -> None:
+        self._position = self._obs[:, 0]
+        self._velocity = self._obs[:, 1]
+
+    def _step_lanes(self, actions, active):
+        env = MountainCarEnv
+        self._velocity += (
+            (actions - 1) * env.FORCE
+            + np.cos(3 * self._position) * (-env.GRAVITY)
+        )
+        # clamp order mirrors the scalar max(-MS, min(MS, v))
+        np.minimum(self._velocity, env.MAX_SPEED, out=self._velocity)
+        np.maximum(self._velocity, -env.MAX_SPEED, out=self._velocity)
+        self._position += self._velocity
+        np.minimum(self._position, env.MAX_POSITION, out=self._position)
+        np.maximum(self._position, env.MIN_POSITION, out=self._position)
+        at_wall = (self._position <= env.MIN_POSITION) & (
+            self._velocity < 0
+        )
+        self._velocity[at_wall] = 0.0
+        np.maximum(
+            self._max_position, self._position, out=self._max_position
+        )
+
+        done = self._position >= env.GOAL_POSITION
+        rewards = np.full(self.n_lanes, -1.0)
+        return rewards, done
+
+    def shaped_fitness_batch(self, total_rewards, steps, terminated):
+        env = MountainCarEnv
+        progress = (self._max_position - env.MIN_POSITION) / (
+            env.GOAL_POSITION - env.MIN_POSITION
+        )
+        return np.asarray(total_rewards, dtype=np.float64) + 10.0 * progress
+
+
+class LunarLanderVectorEnv(VectorEnvironment):
+    """Array-native LunarLander (rigid-body surrogate, shaped reward)."""
+
+    scalar_env_class = LunarLanderEnv
+    STATE_ATTRS = ("_obs", "_state", "_prev_shaping")
+
+    def _reset_lanes(self) -> None:
+        n = self.n_lanes
+        env = LunarLanderEnv
+        # one (n, 6) state matrix; the six vectors are column views so
+        # the frozen-lane snapshot covers a single array
+        state = np.empty((n, 6), dtype=np.float64)
+        for lane, rng in enumerate(self._lane_rngs):
+            # identical draw order to LunarLanderEnv._reset
+            state[lane, 0] = rng.uniform(-1.0, 1.0)
+            state[lane, 2] = rng.uniform(-1.0, 1.0)
+            state[lane, 3] = rng.uniform(-0.5, 0.0)
+            state[lane, 4] = rng.uniform(-0.1, 0.1)
+            state[lane, 5] = rng.uniform(-0.1, 0.1)
+        state[:, 1] = float(env.START_ALTITUDE)
+        self._state = state
+        self._rebind_views()
+        self._prev_shaping = self._shaping()
+        self._obs = self._observation()
+
+    def _rebind_views(self) -> None:
+        self._x = self._state[:, 0]
+        self._y = self._state[:, 1]
+        self._vx = self._state[:, 2]
+        self._vy = self._state[:, 3]
+        self._angle = self._state[:, 4]
+        self._omega = self._state[:, 5]
+
+    def _leg_contacts(self) -> tuple[np.ndarray, np.ndarray]:
+        env = LunarLanderEnv
+        low = self._y <= 0.25
+        tilt = np.sin(self._angle) * env.LEG_SPAN / 2
+        leg1 = low & (self._y - tilt <= 0.25)
+        leg2 = low & (self._y + tilt <= 0.25)
+        return leg1, leg2
+
+    def _shaping(self) -> np.ndarray:
+        env = LunarLanderEnv
+        leg1, leg2 = self._leg_contacts()
+        dist = _hypot(
+            self._x / env.WORLD_HALF_WIDTH, self._y / env.START_ALTITUDE
+        )
+        speed = _hypot(self._vx / 5.0, self._vy / 5.0)
+        return (
+            -100.0 * dist
+            - 100.0 * speed
+            - 100.0 * np.abs(self._angle)
+            + 10.0 * leg1
+            + 10.0 * leg2
+        )
+
+    def _observation(self) -> np.ndarray:
+        env = LunarLanderEnv
+        leg1, leg2 = self._leg_contacts()
+        return np.column_stack(
+            (
+                self._x / env.WORLD_HALF_WIDTH,
+                self._y / env.START_ALTITUDE,
+                self._vx / 5.0,
+                self._vy / 5.0,
+                self._angle,
+                self._omega / 2.0,
+                np.where(leg1, 1.0, 0.0),
+                np.where(leg2, 1.0, 0.0),
+            )
+        )
+
+    def _step_lanes(self, actions, active):
+        env = LunarLanderEnv
+        dt = env.DT
+        main = actions == env.ACTION_MAIN
+        left = actions == env.ACTION_LEFT
+        right = actions == env.ACTION_RIGHT
+
+        sin_a = np.sin(self._angle)
+        cos_a = np.cos(self._angle)
+        ax = np.where(main, 0.0 + -sin_a * env.MAIN_ACC, 0.0)
+        ax = np.where(left, 0.0 + env.SIDE_ACC, ax)
+        ax = np.where(right, 0.0 + -env.SIDE_ACC, ax)
+        ay = np.where(main, -env.GRAVITY + cos_a * env.MAIN_ACC,
+                      -env.GRAVITY)
+        # masked in-place updates keep the state columns as views and
+        # leave unaffected lanes bit-untouched
+        self._omega[left] -= env.TORQUE_ACC * dt
+        self._omega[right] += env.TORQUE_ACC * dt
+        fuel_cost = np.where(
+            main,
+            env.MAIN_ENGINE_COST,
+            np.where(left | right, env.SIDE_ENGINE_COST, 0.0),
+        )
+
+        self._vx += ax * dt
+        self._vy += ay * dt
+        self._x += self._vx * dt
+        self._y += self._vy * dt
+        self._omega *= env.ANGULAR_DAMPING
+        self._angle += self._omega * dt
+
+        rewards = -fuel_cost
+        shaping = self._shaping()
+        rewards = rewards + (shaping - self._prev_shaping)
+        self._prev_shaping = shaping
+
+        oob = np.abs(self._x) > env.WORLD_HALF_WIDTH
+        rewards = np.where(oob, rewards - 100.0, rewards)
+        ground = (~oob) & (self._y <= 0.0)
+        self._y[ground] = 0.0
+        on_pad = np.abs(self._x) <= env.PAD_HALF_WIDTH
+        soft = (
+            (np.abs(self._vy) <= env.SAFE_VY)
+            & (np.abs(self._vx) <= env.SAFE_VX)
+            & (np.abs(self._angle) <= env.SAFE_ANGLE)
+        )
+        landed = ground & soft & on_pad
+        rewards = np.where(landed, rewards + 100.0, rewards)
+        rewards = np.where(ground & ~landed, rewards - 100.0, rewards)
+        done = oob | ground
+
+        self._obs = self._observation()
+        return rewards, done
+
+
+# -- Atari-RAM surrogates -----------------------------------------------------
+
+
+class AtariRamVectorEnv(VectorEnvironment):
+    """Shared RAM plumbing for the vectorized arcade surrogates."""
+
+    ATARI_STATE: tuple[str, ...] = ()
+
+    def __init__(self, n_lanes: int):
+        super().__init__(n_lanes)
+        self.STATE_ATTRS = (
+            ("_obs", "_ram", "_frame", "_score", "_lives")
+            + self.ATARI_STATE
+        )
+
+    def _reset_lanes(self) -> None:
+        n = self.n_lanes
+        self._ram = np.zeros((n, RAM_SIZE), dtype=np.uint8)
+        self._frame = np.zeros(n, dtype=np.int64)
+        self._score = np.zeros(n, dtype=np.int64)
+        self._lives = np.full(n, 3, dtype=np.int64)
+        self._reset_games()
+        self._encode_ram()
+        self._obs = self._ram / 255.0
+
+    def _step_lanes(self, actions, active):
+        rewards = self._advance(actions, active)
+        self._frame = self._frame + 1
+        self._score = self._score + np.maximum(rewards, 0).astype(np.int64)
+        done = self._lives <= 0
+        self._encode_ram()
+        self._obs = self._ram / 255.0
+        return rewards, done
+
+    def _encode_common(self) -> None:
+        """Bytes 0-7: frame counter, lives, score (same layout as scalar)."""
+        ram = self._ram
+        ram[:, 0] = self._frame & 0xFF
+        ram[:, 1] = (self._frame >> 8) & 0xFF
+        ram[:, 2] = self._lives & 0xFF
+        score = np.minimum(self._score, 0xFFFF)
+        ram[:, 3] = score & 0xFF
+        ram[:, 4] = (score >> 8) & 0xFF
+        ram[:, 5] = self._frame & 1
+
+    @staticmethod
+    def _pack_bits(bits: np.ndarray, n_bytes: int) -> np.ndarray:
+        """Little-endian bit packing: bit ``i`` -> byte ``i//8``, weight
+        ``1 << (i % 8)`` — the layout of the scalar ``_encode_ram``."""
+        n, width = bits.shape
+        padded = np.zeros((n, n_bytes * 8), dtype=np.uint8)
+        padded[:, :width] = bits
+        weights = (1 << np.arange(8, dtype=np.uint16)).astype(np.uint16)
+        return (
+            (padded.reshape(n, n_bytes, 8) * weights).sum(axis=2) & 0xFF
+        ).astype(np.uint8)
+
+    # -- game hooks --------------------------------------------------------
+
+    def _reset_games(self) -> None:
+        raise NotImplementedError
+
+    def _advance(
+        self, actions: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _encode_ram(self) -> None:
+        raise NotImplementedError
+
+
+class AirRaidVectorEnv(AtariRamVectorEnv):
+    """Vectorized fixed shooter; entity list order tracked by sequence
+    numbers so collisions resolve exactly like the scalar lists."""
+
+    scalar_env_class = AirRaidRamEnv
+    ATARI_STATE = (
+        "_player_x", "_cooldown",
+        "_bomber_x", "_bomber_y", "_bomber_alive", "_bomber_seq",
+        "_bullet_x", "_bullet_y", "_bullet_alive", "_bullet_seq",
+        "_next_bomber_seq", "_next_bullet_seq",
+    )
+
+    def _reset_games(self) -> None:
+        n = self.n_lanes
+        env = AirRaidRamEnv
+        self._player_x = np.full(n, env.WIDTH // 2, dtype=np.int64)
+        self._cooldown = np.zeros(n, dtype=np.int64)
+        self._bomber_x = np.zeros((n, env.MAX_BOMBERS), dtype=np.int64)
+        self._bomber_y = np.zeros((n, env.MAX_BOMBERS), dtype=np.int64)
+        self._bomber_alive = np.zeros((n, env.MAX_BOMBERS), dtype=bool)
+        self._bomber_seq = np.full(
+            (n, env.MAX_BOMBERS), _SEQ_DEAD, dtype=np.int64
+        )
+        self._bullet_x = np.zeros((n, env.MAX_BULLETS), dtype=np.int64)
+        self._bullet_y = np.zeros((n, env.MAX_BULLETS), dtype=np.int64)
+        self._bullet_alive = np.zeros((n, env.MAX_BULLETS), dtype=bool)
+        self._bullet_seq = np.full(
+            (n, env.MAX_BULLETS), _SEQ_DEAD, dtype=np.int64
+        )
+        self._next_bomber_seq = np.zeros(n, dtype=np.int64)
+        self._next_bullet_seq = np.zeros(n, dtype=np.int64)
+
+    def _advance(self, actions, active):
+        env = AirRaidRamEnv
+        n = self.n_lanes
+        lanes = np.arange(n)
+        rewards = np.zeros(n, dtype=np.float64)
+
+        # player movement / firing
+        self._player_x = np.where(
+            actions == ACTION_LEFT,
+            np.maximum(0, self._player_x - 1),
+            np.where(
+                actions == ACTION_RIGHT,
+                np.minimum(env.WIDTH - 1, self._player_x + 1),
+                self._player_x,
+            ),
+        )
+        fires = (
+            (actions == ACTION_FIRE)
+            & (self._cooldown == 0)
+            & (self._bullet_alive.sum(axis=1) < env.MAX_BULLETS)
+        )
+        free = np.argmin(self._bullet_alive, axis=1)
+        rows = np.nonzero(fires)[0]
+        if rows.size:
+            slots = free[rows]
+            self._bullet_x[rows, slots] = self._player_x[rows]
+            self._bullet_y[rows, slots] = env.HEIGHT - 2
+            self._bullet_alive[rows, slots] = True
+            self._bullet_seq[rows, slots] = self._next_bullet_seq[rows]
+            self._next_bullet_seq[rows] += 1
+            self._cooldown[rows] = 2
+        self._cooldown = np.maximum(0, self._cooldown - 1)
+
+        # bullets travel up two cells per frame; off-screen ones vanish
+        self._bullet_y = self._bullet_y - 2
+        self._bullet_alive &= self._bullet_y >= 0
+        self._bullet_seq[~self._bullet_alive] = _SEQ_DEAD
+
+        # bombers descend one cell every other frame
+        descend = (self._frame % 2 == 0)[:, None] & self._bomber_alive
+        self._bomber_y = self._bomber_y + descend
+
+        # collisions, in bomber list order (= insertion-sequence order);
+        # each bomber consumes the first live bullet in list order that
+        # shares its column within one row
+        order = np.argsort(self._bomber_seq, axis=1, kind="stable")
+        for rank in range(env.MAX_BOMBERS):
+            b = order[:, rank]
+            b_alive = self._bomber_alive[lanes, b]
+            if not b_alive.any():
+                continue
+            bx = self._bomber_x[lanes, b]
+            by = self._bomber_y[lanes, b]
+            cand = (
+                self._bullet_alive
+                & b_alive[:, None]
+                & (self._bullet_x == bx[:, None])
+                & (np.abs(self._bullet_y - by[:, None]) <= 1)
+            )
+            hit = cand.any(axis=1)
+            seqs = np.where(cand, self._bullet_seq, _SEQ_DEAD)
+            first = np.argmin(seqs, axis=1)
+            rows = np.nonzero(hit)[0]
+            if rows.size:
+                self._bullet_alive[rows, first[rows]] = False
+                self._bullet_seq[rows, first[rows]] = _SEQ_DEAD
+                self._bomber_alive[rows, b[rows]] = False
+                self._bomber_seq[rows, b[rows]] = _SEQ_DEAD
+                rewards[rows] += env.HIT_SCORE
+
+        # bombers that reach the bottom cost a life
+        landed = self._bomber_alive & (self._bomber_y >= env.HEIGHT - 1)
+        self._lives = self._lives - landed.sum(axis=1)
+        self._bomber_alive &= self._bomber_y < env.HEIGHT - 1
+        self._bomber_seq[~self._bomber_alive] = _SEQ_DEAD
+
+        # spawn attempt every SPAWN_PERIOD frames; draws come from the
+        # per-lane stream, guarded by ``active`` so frozen lanes' streams
+        # stay aligned with the scalar env
+        spawn = (
+            active
+            & (self._frame % env.SPAWN_PERIOD == 0)
+            & (self._bomber_alive.sum(axis=1) < env.MAX_BOMBERS)
+        )
+        for lane in np.nonzero(spawn)[0]:
+            slot = int(np.argmin(self._bomber_alive[lane]))
+            self._bomber_x[lane, slot] = self._lane_rngs[lane].randrange(
+                env.WIDTH
+            )
+            self._bomber_y[lane, slot] = 0
+            self._bomber_alive[lane, slot] = True
+            self._bomber_seq[lane, slot] = self._next_bomber_seq[lane]
+            self._next_bomber_seq[lane] += 1
+
+        return rewards
+
+    def _encode_ram(self) -> None:
+        env = AirRaidRamEnv
+        self._encode_common()
+        ram = self._ram
+        ram[:, 8] = self._player_x & 0xFF
+        ram[:, 9] = self._bomber_alive.sum(axis=1) & 0xFF
+        ram[:, 10] = self._bullet_alive.sum(axis=1) & 0xFF
+        ram[:, 11] = self._cooldown & 0xFF
+
+        def entity_bytes(x, y, alive, seq, width):
+            order = np.argsort(seq, axis=1, kind="stable")
+            xo = np.take_along_axis(x, order, axis=1)
+            yo = np.take_along_axis(y, order, axis=1)
+            ao = np.take_along_axis(alive, order, axis=1)
+            out = np.zeros((self.n_lanes, 2 * width), dtype=np.uint8)
+            out[:, 0::2] = np.where(ao, (xo + 1) & 0xFF, 0)
+            out[:, 1::2] = np.where(ao, (yo + 1) & 0xFF, 0)
+            return out
+
+        ram[:, 16:16 + 2 * env.MAX_BOMBERS] = entity_bytes(
+            self._bomber_x, self._bomber_y, self._bomber_alive,
+            self._bomber_seq, env.MAX_BOMBERS,
+        )
+        ram[:, 40:40 + 2 * env.MAX_BULLETS] = entity_bytes(
+            self._bullet_x, self._bullet_y, self._bullet_alive,
+            self._bullet_seq, env.MAX_BULLETS,
+        )
+
+
+class AmidarVectorEnv(AtariRamVectorEnv):
+    """Vectorized paint-the-lattice game."""
+
+    scalar_env_class = AmidarRamEnv
+    ATARI_STATE = (
+        "_px", "_py", "_painted", "_completed",
+        "_pat_x", "_pat_y", "_pat_d",
+    )
+
+    def _reset_games(self) -> None:
+        n = self.n_lanes
+        env = AmidarRamEnv
+        self._px = np.zeros(n, dtype=np.int64)
+        self._py = np.zeros(n, dtype=np.int64)
+        self._painted = np.zeros((n, env.WIDTH * env.HEIGHT), dtype=bool)
+        self._painted[:, 0] = True  # (0, 0) painted at spawn
+        self._completed = np.zeros((n, env.HEIGHT), dtype=bool)
+        self._pat_x = np.tile(
+            np.array([env.WIDTH - 1, env.WIDTH - 1], dtype=np.int64), (n, 1)
+        )
+        self._pat_y = np.tile(
+            np.array([env.HEIGHT - 1, env.HEIGHT // 2], dtype=np.int64),
+            (n, 1),
+        )
+        self._pat_d = np.tile(np.array([-1, 1], dtype=np.int64), (n, 1))
+
+    def _advance(self, actions, active):
+        env = AmidarRamEnv
+        n = self.n_lanes
+        lanes = np.arange(n)
+        rewards = np.zeros(n, dtype=np.float64)
+
+        dx = np.where(
+            actions == ACTION_LEFT, -1,
+            np.where(actions == ACTION_RIGHT, 1, 0),
+        )
+        dy = np.where(
+            actions == ACTION_UP, -1,
+            np.where(actions == ACTION_DOWN, 1, 0),
+        )
+        self._px = np.maximum(0, np.minimum(env.WIDTH - 1, self._px + dx))
+        self._py = np.maximum(0, np.minimum(env.HEIGHT - 1, self._py + dy))
+
+        cell = self._py * env.WIDTH + self._px
+        newly = ~self._painted[lanes, cell]
+        self._painted[lanes, cell] = True
+        rewards += np.where(newly, env.PAINT_SCORE, 0.0)
+        row_full = self._painted.reshape(n, env.HEIGHT, env.WIDTH)[
+            lanes, self._py
+        ].all(axis=1)
+        complete_now = newly & ~self._completed[lanes, self._py] & row_full
+        rows = np.nonzero(complete_now)[0]
+        if rows.size:
+            self._completed[rows, self._py[rows]] = True
+            rewards[rows] += env.ROW_BONUS
+
+        # patrollers serpentine on even frames
+        move = (self._frame % 2 == 0)[:, None]
+        x_new = self._pat_x + self._pat_d
+        bounce = (x_new < 0) | (x_new >= env.WIDTH)
+        d_new = np.where(bounce, -self._pat_d, self._pat_d)
+        x_new = np.where(bounce, x_new + d_new, x_new)
+        y_new = np.where(bounce, (self._pat_y + 1) % env.HEIGHT,
+                         self._pat_y)
+        self._pat_x = np.where(move, x_new, self._pat_x)
+        self._pat_y = np.where(move, y_new, self._pat_y)
+        self._pat_d = np.where(move, d_new, self._pat_d)
+
+        # contact, in patroller order; at most one life lost per frame
+        hit_any = np.zeros(n, dtype=bool)
+        for i in range(self._pat_x.shape[1]):
+            contact = (
+                (self._pat_x[:, i] == self._px)
+                & (self._pat_y[:, i] == self._py)
+                & ~hit_any
+            )
+            self._lives = self._lives - contact
+            self._px = np.where(contact, 0, self._px)
+            self._py = np.where(contact, 0, self._py)
+            hit_any |= contact
+
+        # board cleared: bonus, repaint only the player's current cell
+        full = self._painted.all(axis=1)
+        rows = np.nonzero(full)[0]
+        if rows.size:
+            rewards[rows] += 100.0
+            self._painted[rows] = False
+            cell_now = self._py[rows] * env.WIDTH + self._px[rows]
+            self._painted[rows, cell_now] = True
+            self._completed[rows] = False
+
+        return rewards
+
+    def _encode_ram(self) -> None:
+        self._encode_common()
+        ram = self._ram
+        ram[:, 8] = self._px & 0xFF
+        ram[:, 9] = self._py & 0xFF
+        ram[:, 10] = self._painted.sum(axis=1) & 0xFF
+        ram[:, 11] = self._completed.sum(axis=1) & 0xFF
+        for i in range(self._pat_x.shape[1]):
+            ram[:, 12 + 3 * i] = self._pat_x[:, i] & 0xFF
+            ram[:, 13 + 3 * i] = self._pat_y[:, i] & 0xFF
+            ram[:, 14 + 3 * i] = (self._pat_d[:, i] > 0).astype(np.uint8)
+        ram[:, 32:47] = self._pack_bits(
+            self._painted.astype(np.uint8), 15
+        )
+
+
+class AlienVectorEnv(AtariRamVectorEnv):
+    """Vectorized maze dot-collection with pursuing aliens."""
+
+    scalar_env_class = AlienRamEnv
+    ATARI_STATE = ("_px", "_py", "_dots", "_alien_x", "_alien_y")
+
+    #: dot sites per axis (dots on every other cell of the SIZE x SIZE grid)
+    N_SITES_PER_AXIS = AlienRamEnv.SIZE // AlienRamEnv.DOT_SPACING
+
+    def _reset_games(self) -> None:
+        n = self.n_lanes
+        env = AlienRamEnv
+        sites = self.N_SITES_PER_AXIS
+        center = env.SIZE // 2
+        self._px = np.full(n, center, dtype=np.int64)
+        self._py = np.full(n, center, dtype=np.int64)
+        self._dots = np.ones((n, sites * sites), dtype=bool)
+        # centre cell is discarded at reset (player stands on it)
+        self._dots[:, (center // 2) * sites + center // 2] = False
+        corners = [(0, 0), (env.SIZE - 1, 0), (0, env.SIZE - 1)]
+        self._alien_x = np.tile(
+            np.array([c[0] for c in corners[: env.N_ALIENS]],
+                     dtype=np.int64),
+            (n, 1),
+        )
+        self._alien_y = np.tile(
+            np.array([c[1] for c in corners[: env.N_ALIENS]],
+                     dtype=np.int64),
+            (n, 1),
+        )
+
+    def _advance(self, actions, active):
+        env = AlienRamEnv
+        n = self.n_lanes
+        lanes = np.arange(n)
+        sites = self.N_SITES_PER_AXIS
+        rewards = np.zeros(n, dtype=np.float64)
+
+        dx = np.where(
+            actions == ACTION_LEFT, -1,
+            np.where(actions == ACTION_RIGHT, 1, 0),
+        )
+        dy = np.where(
+            actions == ACTION_UP, -1,
+            np.where(actions == ACTION_DOWN, 1, 0),
+        )
+        self._px = np.maximum(0, np.minimum(env.SIZE - 1, self._px + dx))
+        self._py = np.maximum(0, np.minimum(env.SIZE - 1, self._py + dy))
+
+        on_site = (self._px % env.DOT_SPACING == 0) & (
+            self._py % env.DOT_SPACING == 0
+        )
+        site = (self._px // env.DOT_SPACING) * sites + (
+            self._py // env.DOT_SPACING
+        )
+        got = on_site & self._dots[lanes, site]
+        rows = np.nonzero(got)[0]
+        if rows.size:
+            self._dots[rows, site[rows]] = False
+            rewards[rows] += env.DOT_SCORE
+            cleared = rows[self._dots[rows].sum(axis=1) == 0]
+            if cleared.size:
+                rewards[cleared] += env.CLEAR_BONUS
+                self._dots[cleared] = True
+                self._dots[cleared, site[cleared]] = False
+
+        # aliens pursue every other frame (greedy, deterministic ties)
+        pursue = self._frame % 2 == 1
+        for i in range(env.N_ALIENS):
+            ddx = self._px - self._alien_x[:, i]
+            ddy = self._py - self._alien_y[:, i]
+            move_x = np.abs(ddx) >= np.abs(ddy)
+            self._alien_x[:, i] += np.where(
+                pursue & move_x, np.sign(ddx), 0
+            )
+            self._alien_y[:, i] += np.where(
+                pursue & ~move_x, np.sign(ddy), 0
+            )
+
+        # contact, in alien order; first contact respawns and stops checks
+        hit_any = np.zeros(n, dtype=bool)
+        center = env.SIZE // 2
+        for i in range(env.N_ALIENS):
+            contact = (
+                (self._alien_x[:, i] == self._px)
+                & (self._alien_y[:, i] == self._py)
+                & ~hit_any
+            )
+            self._lives = self._lives - contact
+            self._px = np.where(contact, center, self._px)
+            self._py = np.where(contact, center, self._py)
+            hit_any |= contact
+
+        return rewards
+
+    def _encode_ram(self) -> None:
+        self._encode_common()
+        ram = self._ram
+        ram[:, 8] = self._px & 0xFF
+        ram[:, 9] = self._py & 0xFF
+        ram[:, 10] = self._dots.sum(axis=1) & 0xFF
+        for i in range(self._alien_x.shape[1]):
+            ram[:, 12 + 2 * i] = self._alien_x[:, i] & 0xFF
+            ram[:, 13 + 2 * i] = self._alien_y[:, i] & 0xFF
+        ram[:, 32:37] = self._pack_bits(self._dots.astype(np.uint8), 5)

@@ -449,7 +449,316 @@ def activate_population(
 
     Each network is vectorized over the observation batch; the list loops
     over the population (topologies differ, so they cannot share a matmul).
+    For the converse pattern — each genome against *its own* observation
+    batch, all at once — see :class:`StackedPopulationNetwork`.
     """
     _require_numpy()
     obs = np.asarray(observations, dtype=np.float64)
     return [network.activate_batch(obs) for network in networks]
+
+
+class StackedPopulationNetwork:
+    """Many genomes' batched plans stacked into one ragged super-batch.
+
+    Topologies differ per genome, so the plans cannot share a single
+    matmul — but they *can* share a batched one: layer ``l`` of every
+    plan is padded to common dimensions and stacked into ``(genomes,
+    rows, slots)`` tensors, and one ``np.matmul`` per layer then advances
+    the whole population against per-genome observation batches. Padding
+    is inert: padded weight rows are all-zero, write to a scratch slot no
+    weight ever reads, and contribute exact IEEE-754 zeros to every sum,
+    so each genome's outputs equal its own
+    :class:`BatchedFeedForwardNetwork` up to summation order (the extra
+    zero terms never change a partial sum; BLAS blocking over the padded
+    width may still differ from the per-genome matmul at the ULP level —
+    same caveat the batched backend already carries vs the interpreter).
+
+    Nodes with a non-``sum`` aggregation fall off the stacked matmul and
+    are evaluated per node (still vectorized over that genome's lanes),
+    exactly as :class:`BatchedFeedForwardNetwork` handles them.
+    """
+
+    def __init__(self, plans: Sequence[BatchedPlan]):
+        _require_numpy()
+        if not plans:
+            raise ValueError("need at least one plan to stack")
+        n_in = len(plans[0].input_keys)
+        n_out = len(plans[0].output_keys)
+        for plan in plans:
+            if (
+                len(plan.input_keys) != n_in
+                or len(plan.output_keys) != n_out
+            ):
+                raise ValueError(
+                    "all stacked plans must share input/output arity"
+                )
+        self.n_genomes = len(plans)
+        self.n_inputs = n_in
+        self.n_outputs = n_out
+        #: per-genome layer count; genome subsets truncate the stacked
+        #: pass at their own maximum depth
+        self._depths = np.asarray(
+            [plan.n_layers for plan in plans], dtype=np.int64
+        )
+        depth = max(plan.n_layers for plan in plans)
+        slots = max(plan.total_slots for plan in plans) + 1
+        self.total_slots = slots
+        scratch = slots - 1  # written by padded rows, read by no weight
+        self._output_slots = np.stack(
+            [plan.output_slots.astype(np.int64) for plan in plans]
+        )
+
+        self._layers = []
+        for level in range(depth):
+            width = max(
+                len(plan.layers[level].node_slots)
+                for plan in plans
+                if level < plan.n_layers
+            )
+            weights_t = np.zeros(
+                (self.n_genomes, slots, width), dtype=np.float64
+            )
+            bias = np.zeros((self.n_genomes, width), dtype=np.float64)
+            response = np.zeros_like(bias)
+            node_slots = np.full(
+                (self.n_genomes, width), scratch, dtype=np.int64
+            )
+            act_masks: dict[str, "np.ndarray"] = {}
+            generic = []
+            for g, plan in enumerate(plans):
+                if level >= plan.n_layers:
+                    continue
+                layer = plan.layers[level]
+                k = len(layer.node_slots)
+                weights_t[g, : layer.weights.shape[1], :k] = layer.weights.T
+                bias[g, :k] = layer.bias
+                response[g, :k] = layer.response
+                node_slots[g, :k] = layer.node_slots
+                for name, rows in layer.act_groups:
+                    mask = act_masks.get(name)
+                    if mask is None:
+                        mask = np.zeros(
+                            (self.n_genomes, width), dtype=bool
+                        )
+                        act_masks[name] = mask
+                    mask[g, rows] = True
+                for row, agg, src_slots, link_weights in (
+                    layer.generic_nodes
+                ):
+                    generic.append(
+                        (
+                            g,
+                            row,
+                            get_batched_aggregation(agg),
+                            EMPTY_AGGREGATION[agg],
+                            src_slots,
+                            link_weights,
+                        )
+                    )
+            # fast path: a layer whose real rows all share one activation
+            # applies it to the full padded tensor (padded rows carry
+            # pre-activation 0; any activation of 0 lands in the scratch
+            # slot no weight reads, so the wholesale apply is inert)
+            single_act = None
+            if len(act_masks) == 1:
+                name = next(iter(act_masks))
+                single_act = get_batched_activation(name)
+            act_ops = [
+                (get_batched_activation(name), mask)
+                for name, mask in sorted(act_masks.items())
+            ]
+            # flat scatter indices: values[g_flat, :, s_flat] = pre rows;
+            # cheaper than np.put_along_axis's index assembly per step
+            g_flat = np.repeat(
+                np.arange(self.n_genomes, dtype=np.int64), width
+            )
+            self._layers.append(
+                (
+                    weights_t, bias, response, node_slots,
+                    g_flat, node_slots.reshape(-1),
+                    single_act, act_ops, generic,
+                )
+            )
+        # genome-subset slices are cached: the evaluator's alive set only
+        # shrinks a handful of times per rollout, so re-slicing per step
+        # would dominate the late (small) steps
+        self._subset_key: "np.ndarray | None" = None
+        self._subset_layers: list | None = None
+        self._subset_output_slots: "np.ndarray | None" = None
+
+    @classmethod
+    def create(
+        cls, genomes: Sequence["Genome"], config: "NEATConfig"
+    ) -> "StackedPopulationNetwork":
+        """Compile and stack a whole population of genomes."""
+        return cls([compile_batched(g, config) for g in genomes])
+
+    def activate_all(
+        self, observations, genome_idx: "np.ndarray | None" = None
+    ) -> "np.ndarray":
+        """Forward-pass a ``(genomes, episodes, n_inputs)`` batch.
+
+        Lane block ``g`` runs through genome ``g``'s network; returns a
+        ``(genomes, episodes, n_outputs)`` float64 array. ``genome_idx``
+        restricts the pass to a subset of genomes (the evaluator retires
+        genomes whose lanes have all finished): observations then carry
+        ``len(genome_idx)`` blocks and the result matches that subset.
+        """
+        values = self._forward(observations, genome_idx)
+        n_active = values.shape[0]
+        episodes = values.shape[1]
+        if genome_idx is None:
+            output_slots = self._output_slots
+        else:
+            output_slots = self._output_slots[genome_idx]
+        return np.take_along_axis(
+            values,
+            np.broadcast_to(
+                output_slots[:, None, :],
+                (n_active, episodes, self.n_outputs),
+            ),
+            axis=2,
+        )
+
+    def _forward(
+        self, observations, genome_idx: "np.ndarray | None"
+    ) -> "np.ndarray":
+        """Run all layers; returns the full ``(active, episodes, slots)``
+        value tensor (outputs are gathered by the callers)."""
+        obs = np.asarray(observations, dtype=np.float64)
+        n_active = (
+            self.n_genomes if genome_idx is None else len(genome_idx)
+        )
+        if obs.ndim != 3 or obs.shape[0] != n_active or (
+            obs.shape[2] != self.n_inputs
+        ):
+            raise ValueError(
+                f"expected ({n_active}, episodes, {self.n_inputs}) "
+                f"observations, got shape {obs.shape}"
+            )
+        episodes = obs.shape[1]
+        values = np.zeros(
+            (n_active, episodes, self.total_slots), dtype=np.float64
+        )
+        values[:, :, : self.n_inputs] = obs
+        layers, _output_slots = self._resolve_subset(genome_idx)
+        for weights_t, bias, response, g_flat, s_flat, single_act, (
+            act_ops
+        ), generic in layers:
+            agg = np.matmul(values, weights_t)
+            for i, row, reduce_fn, empty_value, src, link_w in generic:
+                if src.size == 0:
+                    agg[i, :, row] = empty_value
+                else:
+                    agg[i, :, row] = reduce_fn(values[i][:, src] * link_w)
+            # pre = bias + response * agg, fused in place (bias and
+            # response are pre-shaped (genomes, 1, width))
+            np.multiply(agg, response, out=agg)
+            np.add(agg, bias, out=agg)
+            pre = agg
+            if single_act is not None:
+                pre = single_act(pre)
+            else:
+                for activation, (gi, ri) in act_ops:
+                    pre[gi, :, ri] = activation(pre[gi, :, ri])
+            values[g_flat, :, s_flat] = pre.transpose(0, 2, 1).reshape(
+                -1, episodes
+            )
+        return values
+
+    def _resolve_subset(self, genome_idx: "np.ndarray | None"):
+        """Per-layer tensors for ``genome_idx`` (cached between calls).
+
+        The population evaluator retires genomes as their lanes finish,
+        so the alive set shrinks at most ``n_genomes`` times per rollout
+        while ``activate_all`` runs every step; caching the sliced
+        tensors keeps the slicing cost off the per-step path.
+        """
+        if genome_idx is None:
+            return self._full_layers(), self._output_slots
+        if self._subset_key is not None and np.array_equal(
+            genome_idx, self._subset_key
+        ):
+            return self._subset_layers, self._subset_output_slots
+        n_active = len(genome_idx)
+        position = {int(g): i for i, g in enumerate(genome_idx)}
+        depth = int(self._depths[genome_idx].max())
+        layers = []
+        for weights_t, bias, response, node_slots, _g_flat, _s_flat, (
+            single_act
+        ), act_ops, generic in self._layers[:depth]:
+            node_sub = node_slots[genome_idx]
+            width = node_sub.shape[1]
+            sliced_acts = []
+            if single_act is None:
+                for activation, mask in act_ops:
+                    sliced_acts.append(
+                        (activation, np.nonzero(mask[genome_idx]))
+                    )
+            sliced_generic = [
+                (position[g], row, fn, empty, src, link_w)
+                for g, row, fn, empty, src, link_w in generic
+                if g in position
+            ]
+            layers.append(
+                (
+                    weights_t[genome_idx],
+                    bias[genome_idx][:, None, :],
+                    response[genome_idx][:, None, :],
+                    np.repeat(np.arange(n_active, dtype=np.int64), width),
+                    node_sub.reshape(-1),
+                    single_act,
+                    sliced_acts,
+                    sliced_generic,
+                )
+            )
+        self._subset_key = np.array(genome_idx, copy=True)
+        self._subset_layers = layers
+        self._subset_output_slots = self._output_slots[genome_idx]
+        return layers, self._subset_output_slots
+
+    def _full_layers(self):
+        """The all-genomes layer tuples in ``activate_all``'s shape."""
+        if getattr(self, "_full_cache", None) is None:
+            layers = []
+            for weights_t, bias, response, _node_slots, g_flat, s_flat, (
+                single_act
+            ), act_ops, generic in self._layers:
+                resolved_acts = []
+                if single_act is None:
+                    resolved_acts = [
+                        (activation, np.nonzero(mask))
+                        for activation, mask in act_ops
+                    ]
+                layers.append(
+                    (
+                        weights_t, bias[:, None, :], response[:, None, :],
+                        g_flat, s_flat,
+                        single_act, resolved_acts, generic,
+                    )
+                )
+            self._full_cache = layers
+        return self._full_cache
+
+    def policy_all(
+        self, observations, genome_idx: "np.ndarray | None" = None
+    ) -> "np.ndarray":
+        """Greedy actions, ``(genomes, episodes)`` int64.
+
+        ``argmax`` keeps the scalar policy's first-max tie-break (the
+        output gather transposes to ``(genomes, outputs, episodes)``, so
+        the argmax runs over axis 1 — same first-max semantics).
+        """
+        values = self._forward(observations, genome_idx)
+        n_active = values.shape[0]
+        if genome_idx is None:
+            output_slots = self._output_slots
+        else:
+            output_slots = self._output_slots[genome_idx]
+        g_flat = np.repeat(
+            np.arange(n_active, dtype=np.int64), self.n_outputs
+        )
+        gathered = values[g_flat, :, output_slots.reshape(-1)]
+        return np.argmax(
+            gathered.reshape(n_active, self.n_outputs, -1), axis=1
+        )

@@ -5,12 +5,32 @@ instance handed to it explicitly; nothing touches the global RNG. The
 ``RngFactory`` fans a single user seed out into independent, reproducible
 streams, one per named component, so that e.g. the mutation stream of agent 3
 does not depend on how many evaluations agent 2 performed.
+
+Environment seeding scheme
+==========================
+
+Scalar and vectorized environment rollouts share one seeding scheme so
+the two paths are interchangeable:
+
+* :func:`episode_seed` maps ``(root_seed, generation, episode)`` to the
+  integer seed an episode runs under. Every genome in a generation faces
+  the same episode seeds; the seed advances each generation.
+* A scalar rollout calls ``env.seed(s)``, which builds
+  ``random.Random(s)``. A vectorized rollout assigns one *lane* per
+  (genome, episode) pair and builds the identical ``random.Random(s)``
+  stream for each lane via :func:`spawn_lane_rngs` — so lane ``i``
+  reproduces the scalar environment's draws bit-for-bit.
+* Vector-only stochastic components (anything that has no scalar twin to
+  match) derive a ``numpy.random.Generator`` from the same root via
+  :func:`spawn_np_generator`, keeping the NumPy stream independent of —
+  but reproducibly tied to — the ``random.Random`` streams.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from typing import Sequence
 
 
 def _derive_seed(root_seed: int, name: str) -> int:
@@ -28,6 +48,51 @@ def _derive_seed(root_seed: int, name: str) -> int:
 def spawn_rng(root_seed: int, name: str) -> random.Random:
     """Return a fresh ``random.Random`` for stream ``name``."""
     return random.Random(_derive_seed(root_seed, name))
+
+
+def episode_seed(root_seed: int, generation: int, episode: int) -> int:
+    """Deterministic environment seed for ``(generation, episode)``.
+
+    The multipliers are primes so distinct (generation, episode) pairs
+    map to distinct seeds across any realistic range. This is the single
+    source of truth for evaluation seeding — the scalar and vectorized
+    rollout paths both consume it, which is what makes their
+    trajectories comparable lane-for-lane.
+    """
+    return root_seed * 1_000_003 + generation * 1_009 + episode
+
+
+def spawn_lane_rngs(seeds: Sequence[int]) -> list[random.Random]:
+    """One ``random.Random`` per vectorized environment lane.
+
+    Lane ``i`` gets ``random.Random(seeds[i])`` — exactly the stream
+    ``Environment.seed(seeds[i])`` builds — so a vectorized kernel's
+    per-lane draws replicate the scalar environment's bit-for-bit.
+    """
+    return [random.Random(int(seed)) for seed in seeds]
+
+
+def spawn_np_generator(root_seed: int, name: str):
+    """A ``numpy.random.Generator`` for the vector-only stream ``name``.
+
+    Derived through the same BLAKE2b scheme as :func:`spawn_rng`, so the
+    NumPy stream is reproducible from the root seed yet independent of
+    every ``random.Random`` stream. Raises ``RuntimeError`` without
+    numpy (the scalar paths never need it).
+
+    No shipped kernel draws from it yet: every current vector kernel
+    replays its scalar twin's ``random.Random`` stream bit-for-bit via
+    :func:`spawn_lane_rngs`. This is the reserved derivation for future
+    vector-only stochastic components (e.g. batched environment drift)
+    that have no scalar stream to match.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "numpy is required for vectorized RNG streams"
+        ) from None
+    return np.random.default_rng(_derive_seed(root_seed, name))
 
 
 class RngFactory:

@@ -69,6 +69,65 @@ class TestLearn:
         with pytest.raises(SystemExit):
             main(["learn", "Pong-v0"])
 
+    def test_learn_population_eval_mode(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--pop", "24",
+                "--generations", "2",
+                "--threshold", "1e9",
+                "--backend", "batched",
+                "--eval-mode", "population",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "population sweep" in out
+        assert "generation   1" in out
+
+    def test_population_eval_mode_matches_per_genome(self, capsys):
+        def run(eval_mode):
+            main(
+                [
+                    "learn", "CartPole-v0",
+                    "--protocol", "CLAN_DDA",
+                    "--agents", "2",
+                    "--pop", "24",
+                    "--generations", "2",
+                    "--threshold", "1e9",
+                    "--backend", "batched",
+                    "--eval-mode", eval_mode,
+                ]
+            )
+            out = capsys.readouterr().out
+            return [
+                line.split("best")[1]
+                for line in out.splitlines()
+                if "generation" in line and "best" in line
+            ]
+
+        assert run("per_genome") == run("population")
+
+    def test_population_eval_mode_requires_batched(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--pop", "20",
+                "--generations", "1",
+                "--eval-mode", "population",
+            ]
+        )
+        assert code == 2
+        assert "batched" in capsys.readouterr().err
+
+    def test_unknown_eval_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["learn", "CartPole-v0", "--eval-mode", "warp"]
+            )
+
 
 class TestInspect:
     def test_inspect_describes_champion(self, tmp_path, capsys):

@@ -28,6 +28,25 @@ class TestEnvironmentProtocol:
         with pytest.raises(ValueError):
             env.step(7)
 
+    def test_numpy_integer_actions_accepted(self):
+        # regression: the batched policy's argmax hands step() np.int64
+        # actions; they must be treated exactly like Python ints
+        import numpy as np
+
+        for env_id in ("CartPole-v0", "MountainCar-v0", "Alien-ram-v0"):
+            env = make(env_id)
+            env.seed(3)
+            env.reset()
+            reference = make(env_id)
+            reference.seed(3)
+            reference.reset()
+            obs_np, r_np, d_np, _ = env.step(np.int64(1))
+            obs_py, r_py, d_py, _ = reference.step(1)
+            assert obs_np == obs_py
+            assert r_np == r_py and d_np == d_py
+            with pytest.raises(ValueError):
+                env.step(np.int64(env.action_space.n))
+
     def test_episode_capped_at_200_steps(self):
         env = make("MountainCar-v0", seed=0)
         env.reset()

@@ -29,6 +29,25 @@ class TestDiscrete:
     def test_accepts_integral_float(self):
         assert Discrete(3).contains(2.0)
 
+    def test_accepts_numpy_integers(self):
+        # regression: a batched argmax emits np.int64 actions, which are
+        # numbers.Integral but not Python int
+        import numbers
+
+        import numpy as np
+
+        space = Discrete(3)
+        for dtype in (np.int8, np.int16, np.int32, np.int64, np.uint8):
+            assert space.contains(dtype(2))
+            assert not space.contains(dtype(3))
+        assert isinstance(np.int64(1), numbers.Integral)
+        assert space.contains(np.asarray([0, 1, 2])[1])
+
+    def test_excludes_numpy_bool(self):
+        import numpy as np
+
+        assert not Discrete(3).contains(np.bool_(True))
+
     def test_sample_in_range(self):
         space = Discrete(5)
         rng = random.Random(0)

@@ -1,0 +1,257 @@
+"""Scalar <-> vector environment equivalence and lane semantics.
+
+The vectorized kernels must reproduce the scalar environments
+*bit-for-bit* per lane: same observations, rewards, done flags and
+truncation steps under the same seeds. These tests drive both through
+identical scripted action sequences and assert exact equality — no
+tolerances.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs.registry import available_env_ids, make, make_vector
+from repro.envs.vector import VectorEnvironment
+
+env_ids = st.sampled_from(available_env_ids())
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def drive_pair(env_id, lane_seeds, action_rng_seed, max_steps=200):
+    """Step scalar envs and the vector env in lockstep; compare exactly."""
+    n = len(lane_seeds)
+    scalars = [make(env_id) for _ in range(n)]
+    for env, seed in zip(scalars, lane_seeds):
+        env.seed(seed)
+    scalar_obs = [env.reset() for env in scalars]
+
+    vec = make_vector(env_id, n)
+    vec_obs = vec.reset_batch(lane_seeds)
+    for lane in range(n):
+        assert tuple(vec_obs[lane]) == scalar_obs[lane]
+
+    arng = random.Random(action_rng_seed)
+    scripts = [
+        [arng.randrange(vec.n_actions) for _ in range(max_steps)]
+        for _ in range(n)
+    ]
+    scalar_done = [False] * n
+    for t in range(max_steps):
+        actions = np.asarray(
+            [scripts[lane][t] for lane in range(n)], dtype=np.int64
+        )
+        vec_obs, vec_rew, vec_done, vec_trunc = vec.step_batch(actions)
+        for lane in range(n):
+            if scalar_done[lane]:
+                # finished lanes stay latched and silent
+                assert vec_done[lane]
+                assert vec_rew[lane] == 0.0
+                continue
+            obs, reward, done, info = scalars[lane].step(
+                int(actions[lane])
+            )
+            assert tuple(vec_obs[lane]) == obs
+            assert vec_rew[lane] == reward
+            assert bool(vec_done[lane]) == done
+            assert bool(vec_trunc[lane]) == bool(
+                info.get("truncated", False)
+            )
+            scalar_done[lane] = done
+        if all(scalar_done):
+            break
+    return vec, scalars
+
+
+class TestLaneEquivalence:
+    @pytest.mark.parametrize("env_id", available_env_ids())
+    def test_seeded_lanes_match_scalar_bit_for_bit(self, env_id):
+        for trial in range(3):
+            lane_seeds = [1000 * trial + 17 * i + 3 for i in range(6)]
+            drive_pair(env_id, lane_seeds, action_rng_seed=42 + trial)
+
+    @given(env_ids, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_seeds_match(self, env_id, seed):
+        lane_seeds = [seed + i for i in range(4)]
+        drive_pair(env_id, lane_seeds, action_rng_seed=seed ^ 0x5A5A)
+
+    @pytest.mark.parametrize("env_id", available_env_ids())
+    def test_shaped_fitness_matches_scalar_rollout(self, env_id):
+        """Per-lane shaped fitness equals Environment.shaped_fitness."""
+        from repro.envs.base import rollout
+
+        n = 4
+        lane_seeds = [97 * i + 5 for i in range(n)]
+        results = []
+        for seed in lane_seeds:
+            env = make(env_id)
+            arng = random.Random(seed + 1)
+            results.append(
+                rollout(
+                    env,
+                    lambda obs: env.action_space.sample(arng),
+                    seed=seed,
+                )
+            )
+        vec = make_vector(env_id, n)
+        obs = vec.reset_batch(lane_seeds)
+        arngs = [random.Random(seed + 1) for seed in lane_seeds]
+        totals = np.zeros(n)
+        done = np.zeros(n, dtype=bool)
+        trunc = np.zeros(n, dtype=bool)
+        for _ in range(vec.max_episode_steps):
+            actions = [
+                vec.action_space.sample(arngs[lane]) if not done[lane]
+                else 0
+                for lane in range(n)
+            ]
+            obs, rew, done, trunc = vec.step_batch(actions)
+            totals += rew
+            if done.all():
+                break
+        steps = vec.lane_steps
+        fitness = vec.shaped_fitness_batch(totals, steps, done & ~trunc)
+        for lane, result in enumerate(results):
+            assert totals[lane] == result.total_reward
+            assert int(steps[lane]) == result.steps
+            assert fitness[lane] == result.fitness
+
+
+class TestLaneSemantics:
+    def test_step_before_reset_raises(self):
+        vec = make_vector("CartPole-v0", 2)
+        with pytest.raises(RuntimeError, match="finished"):
+            vec.step_batch([0, 0])
+
+    def test_step_after_all_done_raises(self):
+        vec = make_vector("CartPole-v0", 2)
+        vec.reset_batch([0, 1])
+        for _ in range(vec.max_episode_steps):
+            _obs, _r, done, _t = vec.step_batch([0, 0])
+            if done.all():
+                break
+        with pytest.raises(RuntimeError, match="finished"):
+            vec.step_batch([0, 0])
+
+    def test_out_of_range_action_on_live_lane_raises(self):
+        vec = make_vector("CartPole-v0", 2)
+        vec.reset_batch([0, 1])
+        with pytest.raises(ValueError, match="not in"):
+            vec.step_batch([0, 7])
+
+    def test_non_integral_actions_rejected(self):
+        vec = make_vector("CartPole-v0", 2)
+        vec.reset_batch([0, 1])
+        with pytest.raises(ValueError, match="non-integral"):
+            vec.step_batch(np.asarray([0.5, 0.0]))
+        # integral floats are fine (scalar Discrete accepts 1.0)
+        vec.step_batch(np.asarray([1.0, 0.0]))
+
+    def test_wrong_lane_count_raises(self):
+        vec = make_vector("CartPole-v0", 3)
+        with pytest.raises(ValueError, match="seeds"):
+            vec.reset_batch([1, 2])
+        vec.reset_batch([1, 2, 3])
+        with pytest.raises(ValueError, match="actions"):
+            vec.step_batch([0, 0])
+
+    def test_truncation_flag_set_at_cap(self):
+        vec = make_vector("MountainCar-v0", 2)
+        vec.reset_batch([5, 6])
+        trunc = None
+        for _ in range(vec.max_episode_steps):
+            _obs, _r, done, trunc = vec.step_batch([1, 1])
+        assert done.all()
+        assert trunc.all()
+
+    def test_finished_lane_observation_freezes(self):
+        # lane 0 pushes right constantly and tips over within ~10 steps;
+        # lane 1 alternates directions and survives much longer, so the
+        # frozen lane is observed across many subsequent steps
+        vec = make_vector("CartPole-v0", 2)
+        vec.reset_batch([0, 1])
+        frozen = {}
+        checked = False
+        for t in range(vec.max_episode_steps):
+            obs, _r, done, _t = vec.step_batch([1, t % 2])
+            for lane in range(2):
+                if done[lane] and lane not in frozen:
+                    frozen[lane] = obs[lane].copy()
+                elif lane in frozen:
+                    assert tuple(obs[lane]) == tuple(frozen[lane])
+                    checked = True
+            if done.all():
+                break
+        assert frozen and checked
+
+    def test_reset_batch_reuses_instance(self):
+        vec = make_vector("CartPole-v0", 2)
+        first = vec.reset_batch([3, 4]).copy()
+        vec.step_batch([0, 1])
+        again = vec.reset_batch([3, 4])
+        assert np.array_equal(first, again)
+
+
+class TestExtractLanes:
+    @pytest.mark.parametrize(
+        "env_id", ("CartPole-v0", "MountainCar-v0", "LunarLander-v2",
+                   "Airraid-ram-v0")
+    )
+    def test_extracted_lanes_continue_identically(self, env_id):
+        n = 6
+        lane_seeds = [31 * i + 7 for i in range(n)]
+        ref = make_vector(env_id, n)
+        ref.reset_batch(lane_seeds)
+        vec = make_vector(env_id, n)
+        vec.reset_batch(lane_seeds)
+        arng = random.Random(9)
+        script = [
+            [arng.randrange(ref.n_actions) for _ in range(60)]
+            for _ in range(n)
+        ]
+        for t in range(30):
+            acts = [script[lane][t] for lane in range(n)]
+            ref.step_batch(acts)
+            vec.step_batch(acts)
+        keep = [0, 2, 5]
+        small = vec.extract_lanes(keep)
+        for t in range(30, 60):
+            ref_obs, ref_rew, ref_done, ref_tr = ref.step_batch(
+                [script[lane][t] for lane in range(n)]
+            )
+            if ref_done.all():
+                break
+            if small.done_lanes.all():
+                break
+            obs, rew, done, tr = small.step_batch(
+                [script[lane][t] for lane in keep]
+            )
+            for i, lane in enumerate(keep):
+                assert tuple(obs[i]) == tuple(ref_obs[lane])
+                assert rew[i] == ref_rew[lane]
+                assert bool(done[i]) == bool(ref_done[lane])
+
+
+class TestVectorRegistry:
+    def test_every_workload_has_a_vector_twin(self):
+        for env_id in available_env_ids():
+            vec = make_vector(env_id, 2)
+            assert isinstance(vec, VectorEnvironment)
+            scalar = make(env_id)
+            assert vec.env_id == scalar.env_id
+            assert vec.obs_dim == scalar.observation_space.flat_dim
+            assert vec.n_actions == scalar.action_space.n
+            assert vec.max_episode_steps == scalar.max_episode_steps
+            assert vec.solved_threshold == scalar.solved_threshold
+
+    def test_unknown_env_raises(self):
+        with pytest.raises(KeyError, match="unknown env id"):
+            make_vector("Pong-v0", 4)
+
+    def test_n_lanes_validated(self):
+        with pytest.raises(ValueError, match="n_lanes"):
+            make_vector("CartPole-v0", 0)

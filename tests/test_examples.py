@@ -52,6 +52,12 @@ class TestExamples:
         assert "single-step" in result.stdout
         assert "robots" in result.stdout
 
+    def test_population_eval(self):
+        result = run_example("population_eval.py")
+        assert result.returncode == 0, result.stderr
+        assert "identical trajectories: True" in result.stdout
+        assert "x faster" in result.stdout
+
     def test_all_examples_have_docstrings_and_main(self):
         scripts = sorted(EXAMPLES_DIR.glob("*.py"))
         assert len(scripts) >= 5

@@ -2,7 +2,52 @@
 
 import random
 
-from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.rng import (
+    RngFactory,
+    episode_seed,
+    spawn_lane_rngs,
+    spawn_np_generator,
+    spawn_rng,
+)
+
+
+class TestEnvSeedingScheme:
+    def test_episode_seed_is_the_evaluator_formula(self):
+        # the single source of truth both rollout paths consume
+        from repro.neat.evaluation import GenomeEvaluator
+
+        evaluator = GenomeEvaluator("CartPole-v0", seed=17)
+        for generation in (0, 3):
+            for episode in (0, 2):
+                assert evaluator.episode_seed(
+                    generation, episode
+                ) == episode_seed(17, generation, episode)
+
+    def test_episode_seeds_distinct(self):
+        seen = {
+            episode_seed(5, generation, episode)
+            for generation in range(50)
+            for episode in range(8)
+        }
+        assert len(seen) == 50 * 8
+
+    def test_lane_rngs_match_scalar_env_seeding(self):
+        # lane i must consume the identical stream Environment.seed builds
+        seeds = [3, 99, 12345]
+        lanes = spawn_lane_rngs(seeds)
+        for seed, lane in zip(seeds, lanes):
+            assert lane.random() == random.Random(seed).random()
+
+    def test_np_generator_deterministic_and_independent(self):
+        a = spawn_np_generator(42, "drift")
+        b = spawn_np_generator(42, "drift")
+        assert a.random() == b.random()
+        c = spawn_np_generator(42, "noise")
+        assert spawn_np_generator(42, "drift").random() != c.random()
+        # independent of the random.Random stream of the same name
+        assert spawn_rng(42, "drift").random() != spawn_np_generator(
+            42, "drift"
+        ).random()
 
 
 class TestSpawnRng:
