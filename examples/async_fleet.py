@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Barrier-free CLAN on a heterogeneous edge fleet.
+
+Models the paper's headline claim — the A in CLAN — on the mixed fleets
+it targets: a Jetson Nano next to Raspberry Pis next to a $10 Pi Zero.
+One CLAN_DDA run is replayed through the event simulator in barrier,
+pipelined and async execution modes, showing how much time the global
+barrier burns waiting for the straggler; then the barrier-free process
+driver runs real clans with no per-generation pool join, letting fast
+clans drift ahead until one converges.
+
+Run:  python examples/async_fleet.py
+"""
+
+from repro.cluster.analytic import ClusterSpec
+from repro.cluster.runtime import DistributedClanRuntime
+from repro.core import ClanDriver
+from repro.neat import NEATConfig
+
+ENV_ID = "CartPole-v0"
+FLEET = ("jetson_nano", "raspberry_pi", "raspberry_pi", "pi_zero")
+GENERATIONS = 6
+SEED = 7
+
+
+def main() -> None:
+    cluster = ClusterSpec.of_devices(FLEET)
+    config = NEATConfig.for_env(ENV_ID, pop_size=40)
+    print(
+        f"workload {ENV_ID} on a heterogeneous fleet "
+        f"[{', '.join(FLEET)}] (cost ${cluster.total_price_usd():.0f})\n"
+    )
+
+    driver = ClanDriver(
+        ENV_ID, cluster, protocol="CLAN_DDA", config=config, seed=SEED
+    )
+    driver.learn(
+        max_generations=GENERATIONS, fitness_threshold=float("inf")
+    )
+
+    print(f"{'execution mode':15s} {'total':>8s} {'radio idle':>11s} "
+          f"{'straggler gap':>14s}")
+    for mode in ("barrier", "pipelined", "async"):
+        generations, total = driver.simulate(mode=mode)
+        idle = sum(g.radio_idle_share for g in generations) / len(
+            generations
+        )
+        gap = (
+            f"{max(g.straggler_gap_s for g in generations):13.2f}s"
+            if mode == "async"
+            else f"{'-':>14s}"
+        )
+        print(f"{mode:15s} {total:7.2f}s {idle:10.0%} {gap}")
+
+    straggliest = max(
+        driver.engine.records, key=lambda r: r.load_imbalance()
+    )
+    print(
+        f"\nworst generation load imbalance (max/mean gene-ops): "
+        f"{straggliest.load_imbalance():.2f}x — the barrier waits for "
+        f"the Pi Zero every generation; async does not.\n"
+    )
+
+    print("running clans barrier-free (no per-generation pool join)...")
+    with DistributedClanRuntime(
+        ENV_ID, n_clans=len(FLEET), config=config, seed=SEED
+    ) as runtime:
+        stats = runtime.run_async(max_generations=30)
+        champion = runtime.best_genome()
+    print(
+        f"converged: {stats.converged}; per-clan generation counts "
+        f"{stats.per_clan_generations} (clans drift apart freely)"
+    )
+    print(
+        f"champion fitness {champion.fitness:.1f} after "
+        f"{stats.wall_time_s:.2f}s wall time on this machine"
+    )
+
+
+if __name__ == "__main__":
+    main()

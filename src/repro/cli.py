@@ -3,8 +3,10 @@
 Commands mirror the library's main entry points so a cluster operator
 never needs to write Python:
 
-* ``learn``      — evolve a workload on a modelled Pi cluster, optionally
-  checkpointing the population.
+* ``learn``      — evolve a workload on a modelled cluster (homogeneous or
+  heterogeneous), optionally checkpointing the population.
+* ``model``      — replay one run through the execution-mode simulator
+  (barrier / pipelined / async) and compare modelled wall-clock.
 * ``inspect``    — summarise the champion genome of a checkpoint.
 * ``scale``      — the Fig 9 scaling study (measure, fit, extrapolate).
 * ``ppp``        — the Fig 11 price-performance table.
@@ -21,11 +23,40 @@ from repro.analysis.figures import fig9_extrapolation, fig11_ppp
 from repro.analysis.report import render_extrapolation, render_platforms
 from repro.analysis.tables import table4_platforms
 from repro.cluster.analytic import ClusterSpec
+from repro.cluster.device import available_devices
+from repro.cluster.simulator import MODES as SIM_MODES
 from repro.core.driver import ClanDriver
 from repro.core.protocols import available_protocols
 from repro.envs.registry import available_env_ids
 from repro.neat.evaluation import BACKENDS, EVAL_MODES
 from repro.utils.fmt import format_seconds, format_table
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Device-fleet options shared by ``learn`` and ``model``."""
+    parser.add_argument(
+        "--device",
+        default="raspberry_pi",
+        choices=available_devices(),
+        help="device model every agent runs on (homogeneous fleet)",
+    )
+    parser.add_argument(
+        "--devices",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated per-agent device models for a heterogeneous "
+        "fleet; overrides --device and sets the agent count to the list "
+        "length (e.g. jetson_nano,raspberry_pi,pi_zero)",
+    )
+    parser.add_argument(
+        "--resync-period",
+        type=int,
+        default=None,
+        metavar="K",
+        help="CLAN_DDA only: gather, re-partition and redistribute all "
+        "clans every K generations (the paper's periodic global "
+        "speciation extension)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--pop", type=int, default=100)
     learn.add_argument("--generations", type=int, default=50)
     learn.add_argument("--seed", type=int, default=0)
+    _add_fleet_arguments(learn)
+    learn.add_argument(
+        "--sim-mode",
+        default="analytic",
+        choices=("analytic",) + SIM_MODES,
+        help="timing model for the learning report: the closed-form "
+        "analytic phase model, or the event-driven simulator in barrier, "
+        "pipelined or barrier-free async execution (async requires "
+        "CLAN_DDA or Serial; see docs/asynchrony.md)",
+    )
     learn.add_argument(
         "--backend",
         default="scalar",
@@ -94,13 +135,120 @@ def _build_parser() -> argparse.ArgumentParser:
     ppp.add_argument("--generations", type=int, default=5)
     ppp.add_argument("--seed", type=int, default=0)
 
+    model = sub.add_parser(
+        "model",
+        help="compare execution modes (barrier/pipelined/async) for a run",
+    )
+    model.add_argument("env", choices=available_env_ids())
+    model.add_argument(
+        "--protocol", default="CLAN_DDA", choices=available_protocols()
+    )
+    model.add_argument("--agents", type=int, default=8)
+    model.add_argument("--pop", type=int, default=60)
+    model.add_argument("--generations", type=int, default=5)
+    model.add_argument("--seed", type=int, default=0)
+    _add_fleet_arguments(model)
+    model.add_argument(
+        "--sim-mode",
+        default="all",
+        choices=("all",) + SIM_MODES,
+        help="which execution mode(s) to simulate (default: every mode "
+        "the protocol supports)",
+    )
+
     sub.add_parser("platforms", help="Table IV device registry")
     return parser
 
 
-def _cmd_learn(args) -> int:
+#: protocols whose generation records the barrier-free simulator accepts
+#: (clans evolve locally; no centre-side evolution phases)
+_ASYNC_PROTOCOLS = ("CLAN_DDA", "Serial")
+
+
+def _validate_fleet(args) -> int | None:
+    """Common --devices / --resync-period validation; exit code on error."""
+    if args.devices is not None:
+        names = [n.strip() for n in args.devices.split(",") if n.strip()]
+        known = available_devices()
+        unknown = [n for n in names if n not in known]
+        if not names or unknown:
+            print(
+                f"--devices needs a comma-separated list from "
+                f"{', '.join(known)}"
+                + (f" (unknown: {', '.join(unknown)})" if unknown else ""),
+                file=sys.stderr,
+            )
+            return 2
+        args.devices = names
+        args.agents = len(names)
+    if args.resync_period is not None:
+        if args.resync_period < 1:
+            print("--resync-period must be >= 1", file=sys.stderr)
+            return 2
+        if args.protocol != "CLAN_DDA":
+            print(
+                "--resync-period is a CLAN_DDA extension (periodic global "
+                f"speciation); {args.protocol} has no clans to resync",
+                file=sys.stderr,
+            )
+            return 2
+    if (
+        getattr(args, "sim_mode", None) == "async"
+        and args.protocol not in _ASYNC_PROTOCOLS
+    ):
+        print(
+            f"--sim-mode async models barrier-free clans; {args.protocol} "
+            "generations synchronise on the centre (use CLAN_DDA)",
+            file=sys.stderr,
+        )
+        return 2
     if args.protocol == "Serial" and args.agents != 1:
+        if args.devices is not None:
+            print(
+                "Serial runs on exactly one device; pass a single name "
+                "to --devices",
+                file=sys.stderr,
+            )
+            return 2
         args.agents = 1
+    return None
+
+
+def _build_cluster(args) -> ClusterSpec:
+    """The fleet the validated arguments describe."""
+    if args.devices is not None:
+        return ClusterSpec.of_devices(args.devices)
+    from repro.cluster.device import get_device
+
+    return ClusterSpec(
+        n_agents=args.agents, agent_device=get_device(args.device)
+    )
+
+
+def _protocol_kwargs(args) -> dict:
+    kwargs = {}
+    if args.resync_period is not None:
+        kwargs["resync_period"] = args.resync_period
+    return kwargs
+
+
+def _fleet_label(cluster: ClusterSpec) -> str:
+    """Human-readable fleet description for reports."""
+    if cluster.agent_devices is not None:
+        return "[" + ", ".join(d.name for d in cluster.agent_devices) + "]"
+    return f"{cluster.n_agents} x {cluster.agent_device.name}"
+
+
+def _simulated_summary(generations) -> tuple[float, float]:
+    """(mean radio idle share, worst straggler gap) over a simulated run."""
+    if not generations:
+        return 0.0, 0.0
+    idle = sum(g.radio_idle_share for g in generations) / len(generations)
+    gap = max(g.straggler_gap_s for g in generations)
+    return idle, gap
+
+
+def _cmd_learn(args) -> int:
     if args.eval_mode == "population" and args.backend != "batched":
         print(
             "--eval-mode population requires --backend batched "
@@ -108,20 +256,26 @@ def _cmd_learn(args) -> int:
             file=sys.stderr,
         )
         return 2
+    code = _validate_fleet(args)
+    if code is not None:
+        return code
+    cluster = _build_cluster(args)
     driver = ClanDriver(
         args.env,
-        ClusterSpec.of_pis(args.agents),
+        cluster,
         protocol=args.protocol,
         pop_size=args.pop,
         seed=args.seed,
         backend=args.backend,
         eval_mode=args.eval_mode,
+        **_protocol_kwargs(args),
     )
     eval_note = (
         ", population sweep" if args.eval_mode == "population" else ""
     )
     print(
-        f"learning {args.env} with {args.protocol} on {args.agents} Pis "
+        f"learning {args.env} with {args.protocol} on "
+        f"{_fleet_label(cluster)} "
         f"(population {args.pop}, {args.backend} inference{eval_note})"
     )
     run = driver.learn(
@@ -143,6 +297,19 @@ def _cmd_learn(args) -> int:
         f"{format_seconds(timing.evolution_s)}, communication "
         f"{format_seconds(timing.communication_s)})"
     )
+    if args.sim_mode != "analytic":
+        generations, total = driver.simulate(mode=args.sim_mode)
+        line = (
+            f"simulated ({args.sim_mode}): total "
+            f"{format_seconds(total)}"
+        )
+        if args.sim_mode == "async" and generations:
+            idle, gap = _simulated_summary(generations)
+            line += (
+                f", worst straggler gap {format_seconds(gap)}, "
+                f"radio idle {idle:.0%}"
+            )
+        print(line)
     if args.checkpoint:
         from repro.neat.checkpoint import save_population
 
@@ -208,6 +375,57 @@ def _cmd_ppp(args) -> int:
     return 0
 
 
+def _cmd_model(args) -> int:
+    code = _validate_fleet(args)
+    if code is not None:
+        return code
+    cluster = _build_cluster(args)
+    driver = ClanDriver(
+        args.env,
+        cluster,
+        protocol=args.protocol,
+        pop_size=args.pop,
+        seed=args.seed,
+        **_protocol_kwargs(args),
+    )
+    driver.learn(max_generations=args.generations, fitness_threshold=1e18)
+
+    if args.sim_mode == "all":
+        modes = [
+            m
+            for m in SIM_MODES
+            if m != "async" or args.protocol in _ASYNC_PROTOCOLS
+        ]
+    else:
+        modes = [args.sim_mode]
+
+    rows = []
+    for mode in modes:
+        generations, total = driver.simulate(mode=mode)
+        idle, gap = _simulated_summary(generations)
+        rows.append(
+            [
+                mode,
+                format_seconds(total),
+                format_seconds(total / max(len(generations), 1)),
+                f"{idle:.0%}",
+                format_seconds(gap) if mode == "async" else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["mode", "total", "per generation", "radio idle",
+             "straggler gap"],
+            rows,
+            title=(
+                f"{args.env}, {args.protocol} on {_fleet_label(cluster)}, "
+                f"{args.generations} generations"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_platforms(_args) -> int:
     rows = [
         [
@@ -231,6 +449,7 @@ def _cmd_platforms(_args) -> int:
 
 _COMMANDS = {
     "learn": _cmd_learn,
+    "model": _cmd_model,
     "inspect": _cmd_inspect,
     "scale": _cmd_scale,
     "ppp": _cmd_ppp,

@@ -7,11 +7,14 @@
   array of the custom-hardware study.
 * :mod:`repro.cluster.serialization` — genomes as streams of 32-bit words
   (the paper's gene wire format).
-* :mod:`repro.cluster.analytic` — closed-form per-generation phase timing.
+* :mod:`repro.cluster.analytic` — closed-form per-generation phase timing
+  over homogeneous or heterogeneous (per-agent device) fleets.
 * :mod:`repro.cluster.simulator` — discrete-event cross-check of the
-  analytic model.
+  analytic model, plus pipelined and barrier-free ``async`` execution
+  modes (see ``docs/asynchrony.md``).
 * :mod:`repro.cluster.transport` / :mod:`repro.cluster.runtime` — a real
-  multiprocess execution backend (one OS process per simulated Pi).
+  multiprocess execution backend (one OS process per simulated Pi), with
+  lock-step and barrier-free clan drivers.
 """
 
 from repro.cluster.netmodel import WiFiModel

@@ -56,19 +56,42 @@ _PHASE_OF_TYPE = {
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A concrete cluster to time records against."""
+    """A concrete cluster to time records against.
+
+    Homogeneous fleets pass the scalar ``agent_device``; heterogeneous
+    fleets pass ``agent_devices`` (one model per agent, index = agent id).
+    When both are given the per-agent list wins; when only the list is
+    given the scalar defaults to its first entry so existing single-device
+    consumers keep working.
+    """
 
     n_agents: int
-    agent_device: DeviceModel
+    agent_device: DeviceModel | None = None
     link: WiFiModel = field(default_factory=WiFiModel)
     center_device: DeviceModel | None = None
     phase_sync_s: float = PHASE_SYNC_S
+    agent_devices: tuple[DeviceModel, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_agents < 1:
             raise ValueError("cluster needs at least one agent")
         if self.phase_sync_s < 0:
             raise ValueError("phase_sync_s cannot be negative")
+        if self.agent_devices is not None:
+            devices = tuple(self.agent_devices)
+            if len(devices) != self.n_agents:
+                raise ValueError(
+                    f"{len(devices)} agent_devices for "
+                    f"{self.n_agents} agents"
+                )
+            object.__setattr__(self, "agent_devices", devices)
+            if self.agent_device is None:
+                object.__setattr__(self, "agent_device", devices[0])
+        elif self.agent_device is None:
+            raise ValueError(
+                "pass agent_device (homogeneous) or agent_devices "
+                "(per-agent)"
+            )
 
     @classmethod
     def of_pis(cls, n_agents: int, link: WiFiModel | None = None, **kwargs):
@@ -80,17 +103,66 @@ class ClusterSpec:
             **kwargs,
         )
 
+    @classmethod
+    def of_devices(
+        cls,
+        device_names: "list[str] | tuple[str, ...]",
+        link: WiFiModel | None = None,
+        **kwargs,
+    ):
+        """A heterogeneous fleet from registered device names, in order."""
+        devices = tuple(get_device(name) for name in device_names)
+        return cls(
+            n_agents=len(devices),
+            agent_devices=devices,
+            link=link if link is not None else WiFiModel(),
+            **kwargs,
+        )
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when agents run on more than one device model."""
+        return (
+            self.agent_devices is not None
+            and len({d.name for d in self.agent_devices}) > 1
+        )
+
+    def device_for(self, agent: int) -> DeviceModel:
+        """The device agent ``agent`` runs on.
+
+        Records are occasionally timed against a spec with a different
+        agent count (scaling sweeps); out-of-range ids fall back to the
+        scalar device rather than failing.
+        """
+        if self.agent_devices is not None and 0 <= agent < len(
+            self.agent_devices
+        ):
+            return self.agent_devices[agent]
+        return self.agent_device
+
     @property
     def center(self) -> DeviceModel:
-        """The coordinating device (defaults to the agent device type)."""
-        return (
-            self.center_device
-            if self.center_device is not None
-            else self.agent_device
-        )
+        """The coordinating device.
+
+        Defaults to the agent device type; on a heterogeneous fleet it
+        defaults to the strongest evolution device in the mix (you
+        coordinate on your best general-purpose node) — deterministic
+        under any ``agent_devices`` ordering, unlike "the first entry".
+        Pass ``center_device`` to pin it explicitly.
+        """
+        if self.center_device is not None:
+            return self.center_device
+        if self.agent_devices is not None:
+            return max(
+                self.agent_devices,
+                key=lambda d: (d.evolution_speedup, d.name),
+            )
+        return self.agent_device
 
     def total_price_usd(self) -> float:
         """Hardware cost of the agent fleet (the Fig 11 dollar axis)."""
+        if self.agent_devices is not None:
+            return sum(d.price_usd for d in self.agent_devices)
         return self.n_agents * self.agent_device.price_usd
 
 
@@ -151,12 +223,12 @@ def time_generation(
     pi_env_step_s: float,
 ) -> TimingBreakdown:
     """Assign wall-clock time to one generation record on ``spec``."""
-    agent = spec.agent_device
     center = spec.center
 
     inference_s = 0.0
     agent_evolution_s = 0.0
-    for load in record.agent_loads:
+    for i, load in enumerate(record.agent_loads):
+        agent = spec.device_for(i)
         t_inf = agent.inference_time(load.inference_gene_ops)
         t_inf += load.env_steps * agent.env_step_time(pi_env_step_s)
         inference_s = max(inference_s, t_inf)
@@ -183,7 +255,7 @@ def time_generation(
             spec.link.channel_setup_s + spec.link.base_latency_s
         )
         communication_s += message.n_bytes * 8 / spec.link.bandwidth_bps
-        phases.add(_PHASE_OF_TYPE[message.msg_type])
+        phases.add(message.phase or _PHASE_OF_TYPE[message.msg_type])
     communication_s += (
         len(phases) * spec.phase_sync_s * spec.n_agents**2
     )

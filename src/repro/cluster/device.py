@@ -106,6 +106,51 @@ _register(
 )
 _register(
     DeviceModel(
+        name="raspberry_pi4",
+        price_usd=55.0,
+        inference_speedup=2.8,
+        evolution_speedup=2.8,
+        # Pi 4B board draw under sustained single-core load
+        power_w=4.5,
+        description=(
+            "Raspberry Pi 4B, ARM Cortex A72 — a faster drop-in peer for "
+            "heterogeneous fleets (~2.8x a Pi 3 single-core)"
+        ),
+    )
+)
+_register(
+    DeviceModel(
+        name="pi_zero",
+        price_usd=10.0,
+        # single-core ARM11 @ 1 GHz: roughly a third of a Pi 3 core on
+        # interpreted Python (no NEON, smaller caches) — the canonical
+        # straggler of a mixed edge fleet
+        inference_speedup=0.3,
+        evolution_speedup=0.3,
+        power_w=1.2,
+        description=(
+            "Raspberry Pi Zero W, single-core ARM11 — the $10 straggler "
+            "of a heterogeneous fleet (~0.3x a Pi 3)"
+        ),
+    )
+)
+_register(
+    DeviceModel(
+        name="jetson_nano",
+        price_usd=99.0,
+        # quad Cortex A57 + 128-core Maxwell GPU: CPU work ~2.5x a Pi 3
+        # core, forward passes ~10x once batched onto the GPU
+        inference_speedup=10.0,
+        evolution_speedup=2.5,
+        power_w=10.0,
+        description=(
+            "Nvidia Jetson Nano, Cortex A57 + 128-core Maxwell GPU — the "
+            "fast end of a commodity heterogeneous fleet"
+        ),
+    )
+)
+_register(
+    DeviceModel(
         name="jetson_cpu",
         price_usd=600.0,
         inference_speedup=5.7,

@@ -79,7 +79,13 @@ class Resource:
         return start, end
 
     def utilisation(self, horizon: float) -> float:
-        """Fraction of ``[0, horizon]`` the resource was busy."""
+        """Fraction of ``[0, horizon]`` the resource was busy.
+
+        Returns the *raw* ratio: a single-server resource genuinely
+        saturated over the horizon reads 1.0, and a ratio above 1.0 means
+        the caller's horizon is shorter than the booked busy time — a
+        double-booking signal that clamping used to hide.
+        """
         if horizon <= 0:
             return 0.0
-        return min(self.busy_time / horizon, 1.0)
+        return self.busy_time / horizon

@@ -33,7 +33,15 @@ from repro.utils.rng import RngFactory
 
 @dataclass
 class RealRunStats:
-    """Wall-clock measurements from a physically parallel run."""
+    """Wall-clock measurements from a physically parallel run.
+
+    Barrier-free runs (:meth:`DistributedClanRuntime.run_async`) also fill
+    ``per_clan_generations`` — how many local generations each clan
+    completed, which diverge on heterogeneous or contended hosts — and
+    ``best_fitness_per_generation`` then holds the centre's best-so-far at
+    each *report arrival* (one entry per clan generation received, in
+    arrival order), not per global generation.
+    """
 
     generations: int = 0
     wall_time_s: float = 0.0
@@ -41,6 +49,7 @@ class RealRunStats:
     converged: bool = False
     per_generation_s: list[float] = field(default_factory=list)
     best_fitness_per_generation: list[float] = field(default_factory=list)
+    per_clan_generations: list[int] = field(default_factory=list)
 
 
 class ParallelInferenceRuntime:
@@ -232,6 +241,69 @@ class DistributedClanRuntime:
             if best >= threshold:
                 stats.converged = True
                 break
+        stats.wall_time_s = time.perf_counter() - start
+        return stats
+
+    def run_async(
+        self,
+        max_generations: int,
+        fitness_threshold: float | None = None,
+    ) -> RealRunStats:
+        """Barrier-free execution: no per-generation pool join.
+
+        Every worker free-runs its clan for up to ``max_generations``
+        local generations, streaming a summary after each one; the centre
+        consumes reports as they arrive and tracks best-so-far. When any
+        report crosses the threshold the centre nudges the other clans to
+        halt after their in-flight generation — fast clans never wait for
+        stragglers, which is where this driver beats :meth:`run` on
+        heterogeneous fleets (see ``docs/asynchrony.md``).
+
+        Unlike :meth:`run`, clans drift apart in generation count, so the
+        best-so-far trajectory is indexed by report arrival, and
+        ``stats.generations`` is the *maximum* clan generation count.
+        """
+        threshold = (
+            self.solved_threshold
+            if fitness_threshold is None
+            else fitness_threshold
+        )
+        stats = RealRunStats()
+        stats.per_clan_generations = [0] * self.n_clans
+        start = time.perf_counter()
+
+        payload = {
+            "start_generation": self._generation,
+            "max_generations": max_generations,
+            "threshold": threshold,
+        }
+        for worker in range(self.n_clans):
+            self.pool.send(worker, "clan_run", payload)
+
+        active = set(range(self.n_clans))
+        halt_sent = False
+        while active:
+            for worker, status, value in self.pool.wait_any():
+                if status == "progress":
+                    stats.per_clan_generations[worker] += 1
+                    stats.best_fitness = max(
+                        stats.best_fitness, value.best_fitness
+                    )
+                    stats.best_fitness_per_generation.append(
+                        stats.best_fitness
+                    )
+                    if value.best_fitness >= threshold:
+                        stats.converged = True
+                        if not halt_sent:
+                            halt_sent = True
+                            for other in active:
+                                if other != worker:
+                                    self.pool.send(other, "clan_halt")
+                elif status == "done":
+                    active.discard(worker)
+
+        self._generation += max(stats.per_clan_generations, default=0)
+        stats.generations = max(stats.per_clan_generations, default=0)
         stats.wall_time_s = time.perf_counter() - start
         return stats
 

@@ -7,11 +7,21 @@ Phases are barrier-synchronised exactly as in the paper's Fig 2 time-lines,
 so in ``barrier`` mode the simulator reproduces the analytic model of
 :mod:`repro.cluster.analytic` (tests assert agreement to <0.1 %).
 
-Beyond validation, the simulator supports ``pipelined`` mode, where each
-agent starts inference as soon as *its* genome shipment lands instead of
-waiting for the full distribution phase — the kind of overlap optimisation
-the paper leaves to algorithm-hardware co-design. The ablation benchmark
-quantifies what it would buy.
+Beyond validation, two relaxed execution modes are supported:
+
+* ``pipelined`` — each agent starts inference as soon as *its* genome
+  shipment lands instead of waiting for the full distribution phase — the
+  kind of overlap optimisation the paper leaves to algorithm-hardware
+  co-design. The ablation benchmark quantifies what it would buy.
+* ``async`` — the paper's headline design point, barrier-free CLAN_DDA:
+  every clan's compute chain (inference -> local evolution) advances on
+  its own clock, only fitness reports serialise through the centre radio,
+  and there is no per-phase synchronisation cost. The generation "ends"
+  when the slowest clan's report lands; fast clans are already evolving
+  (and, across :meth:`GenerationSimulator.simulate_run`, already running
+  their next generation). Heterogeneous fleets — ``ClusterSpec`` with
+  per-agent ``agent_devices`` — are where the two modes diverge most; see
+  ``docs/asynchrony.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +36,9 @@ from repro.cluster.events import EventQueue, Resource
 from repro.core.messages import CENTER, Message, MessageType
 from repro.core.metrics import GenerationRecord
 
-#: phase execution order within one generation (barrier after each)
+#: phase execution order within one generation (barrier after each);
+#: ``resync`` carries CLAN_DDA's optional end-of-generation gather /
+#: redistribute traffic, which must run *after* the compute phases
 _PHASE_ORDER = (
     "genomes_down",
     "inference",
@@ -35,6 +47,7 @@ _PHASE_ORDER = (
     "plan_down",
     "agent_evolution",
     "children_up",
+    "resync",
 )
 
 _COMM_PHASE_OF_TYPE = {
@@ -46,16 +59,40 @@ _COMM_PHASE_OF_TYPE = {
     MessageType.SENDING_CHILDREN: "children_up",
 }
 
+MODES = ("barrier", "pipelined", "async")
+
+
+def _phase_of(message: Message) -> str:
+    """The barrier phase a message executes in (explicit tag wins)."""
+    return message.phase or _COMM_PHASE_OF_TYPE[message.msg_type]
+
 
 @dataclass
 class SimulatedGeneration:
-    """Timing produced by one simulated generation."""
+    """Timing produced by one simulated generation.
+
+    ``clan_finish_s`` / ``clan_ready_s`` / ``straggler_gap_s`` are filled
+    by ``async`` mode only: when each clan's fitness report landed at the
+    centre, when each clan may start its next generation (local evolution
+    done, resync barrier passed), and the spread between the first and the
+    last report — the time barrier execution would have burned waiting.
+    In async runs these clocks are absolute (they carry across
+    generations), so ``total_s`` is the cumulative makespan, not a
+    per-generation duration.
+    """
 
     total_s: float
     phase_end_s: dict[str, float] = field(default_factory=dict)
     radio_busy_s: float = 0.0
     agent_busy_s: list[float] = field(default_factory=list)
     events_processed: int = 0
+    clan_finish_s: list[float] = field(default_factory=list)
+    clan_ready_s: list[float] = field(default_factory=list)
+    straggler_gap_s: float = 0.0
+    #: share of this generation's simulated window the centre radio spent
+    #: idle (1 - busy/window); the async claim is that the radio, not the
+    #: devices, stops being the bottleneck
+    radio_idle_share: float = 0.0
 
     def phase_duration(self, phase: str, previous: float) -> float:
         return self.phase_end_s.get(phase, previous) - previous
@@ -70,8 +107,8 @@ class GenerationSimulator:
         pi_env_step_s: float,
         mode: str = "barrier",
     ):
-        if mode not in ("barrier", "pipelined"):
-            raise ValueError("mode must be 'barrier' or 'pipelined'")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
         self.spec = spec
         self.pi_env_step_s = pi_env_step_s
         self.mode = mode
@@ -93,7 +130,7 @@ class GenerationSimulator:
 
     def _inference_duration(self, record: GenerationRecord, agent: int):
         load = record.agent_loads[agent]
-        device = self.spec.agent_device
+        device = self.spec.device_for(agent)
         return (
             device.inference_time(load.inference_gene_ops)
             + load.env_steps * device.env_step_time(self.pi_env_step_s)
@@ -101,7 +138,7 @@ class GenerationSimulator:
 
     def _agent_evolution_duration(self, record: GenerationRecord, agent: int):
         load = record.agent_loads[agent]
-        return self.spec.agent_device.evolution_time(
+        return self.spec.device_for(agent).evolution_time(
             effective_evolution_gene_ops(
                 load.speciation_gene_ops, load.reproduction_gene_ops
             )
@@ -118,8 +155,27 @@ class GenerationSimulator:
 
     # -- simulation -----------------------------------------------------------
 
-    def simulate(self, record: GenerationRecord) -> SimulatedGeneration:
-        """Run one generation through the event engine."""
+    def simulate(
+        self,
+        record: GenerationRecord,
+        clan_start: list[float] | None = None,
+    ) -> SimulatedGeneration:
+        """Run one generation through the event engine.
+
+        ``clan_start`` (async mode only) gives each clan's absolute ready
+        time, letting :meth:`simulate_run` chain generations without a
+        global barrier between them.
+        """
+        if self.mode == "async":
+            return self._simulate_async(record, clan_start)
+        if clan_start is not None:
+            raise ValueError("clan_start is only meaningful in async mode")
+        return self._simulate_barrier(record)
+
+    def _simulate_barrier(
+        self, record: GenerationRecord
+    ) -> SimulatedGeneration:
+        """Barrier / pipelined execution: one global clock, phase order."""
         queue = EventQueue()
         radio = Resource("center-radio")
         agents = [
@@ -128,8 +184,7 @@ class GenerationSimulator:
 
         comm_phases: dict[str, list[Message]] = {}
         for message in record.messages:
-            phase = _COMM_PHASE_OF_TYPE[message.msg_type]
-            comm_phases.setdefault(phase, []).append(message)
+            comm_phases.setdefault(_phase_of(message), []).append(message)
 
         phase_end: dict[str, float] = {}
         #: inference release time per agent in pipelined mode
@@ -211,14 +266,210 @@ class GenerationSimulator:
             radio_busy_s=radio.busy_time,
             agent_busy_s=[a.busy_time for a in agents],
             events_processed=queue.processed,
+            radio_idle_share=(
+                1.0 - radio.busy_time / total if total > 0 else 0.0
+            ),
+        )
+
+    def _check_async_record(self, record: GenerationRecord) -> None:
+        """Async mode models CLAN_DDA-shaped generations only."""
+        if (
+            record.center_speciation_gene_ops
+            or record.center_reproduction_gene_ops
+            or record.center_planning_ops
+        ):
+            raise ValueError(
+                "async mode cannot simulate centre-side evolution "
+                f"(record from protocol {record.protocol!r}); it models "
+                "CLAN_DDA-shaped generations where clans evolve locally"
+            )
+        for message in record.messages:
+            phase = _phase_of(message)
+            if phase in ("plan_down", "children_up"):
+                raise ValueError(
+                    f"async mode cannot simulate {phase!r} traffic "
+                    f"(record from protocol {record.protocol!r}); "
+                    "synchronous generation plans imply a global barrier"
+                )
+        if len(record.agent_loads) != self.spec.n_agents:
+            raise ValueError(
+                f"record places load on {len(record.agent_loads)} agents "
+                f"but the spec has {self.spec.n_agents}"
+            )
+
+    def _simulate_async(
+        self,
+        record: GenerationRecord,
+        clan_start: list[float] | None,
+        radio: Resource | None = None,
+    ) -> SimulatedGeneration:
+        """Barrier-free execution: per-clan clocks, radio-only contention.
+
+        Per clan: (genome arrival if any shipment is logged) -> inference
+        on the clan's own device -> fitness report through the centre
+        radio (first-come first-served) -> local evolution, which does
+        *not* wait for the radio. An optional ``resync`` phase is the one
+        global barrier: all clans gather, the centre redistributes, and
+        every clan restarts on the redistribute's completion.
+
+        ``radio`` lets :meth:`simulate_run` share one radio across
+        generations: clan clocks are absolute, so a report from a fast
+        clan's next generation must queue behind a straggler's previous
+        one still on the air.
+        """
+        self._check_async_record(record)
+        n = self.spec.n_agents
+        starts = list(clan_start) if clan_start is not None else [0.0] * n
+        if len(starts) != n:
+            raise ValueError(
+                f"{len(starts)} clan_start entries for {n} agents"
+            )
+
+        if radio is None:
+            radio = Resource("center-radio")
+        radio_busy_before = radio.busy_time
+        agents = [Resource(f"agent-{i}") for i in range(n)]
+        window_start = min(starts)
+
+        genome_msgs: list[Message] = []
+        fitness_msgs: dict[int, list[Message]] = {}
+        resync_msgs: list[Message] = []
+        for message in record.messages:
+            phase = _phase_of(message)
+            if phase == "resync":
+                resync_msgs.append(message)
+            elif phase == "genomes_down":
+                genome_msgs.append(message)
+            else:  # fitness_up (the only other phase the check allows)
+                fitness_msgs.setdefault(message.src, []).append(message)
+
+        phase_end: dict[str, float] = {}
+
+        # initial clan distribution (generation 0 / post-resync records):
+        # the centre's radio serialises the shipments
+        arrival: dict[int, float] = {}
+        for message in genome_msgs:
+            _start, end = radio.acquire(
+                window_start, self._send_cost(message), "genomes_down"
+            )
+            if message.dst != CENTER and 0 <= message.dst < n:
+                arrival[message.dst] = max(
+                    arrival.get(message.dst, 0.0), end
+                )
+        if genome_msgs:
+            phase_end["genomes_down"] = max(
+                arrival.values(), default=window_start
+            )
+
+        # inference on each clan's own clock and device
+        inference_end = [0.0] * n
+        for i in range(n):
+            ready = max(starts[i], arrival.get(i, starts[i]))
+            duration = self._inference_duration(record, i)
+            if duration > 0:
+                _start, end = agents[i].acquire(ready, duration, "inference")
+                inference_end[i] = end
+            else:
+                inference_end[i] = ready
+        phase_end["inference"] = max(inference_end)
+
+        # fitness reports serialise through the radio in arrival order
+        report_end = list(inference_end)
+        for i in sorted(range(n), key=lambda i: inference_end[i]):
+            for message in fitness_msgs.get(i, ()):
+                _start, end = radio.acquire(
+                    inference_end[i], self._send_cost(message), "fitness_up"
+                )
+                report_end[i] = end
+        if fitness_msgs:
+            phase_end["fitness_up"] = max(report_end)
+
+        # local evolution advances without waiting for the radio
+        evolution_end = list(inference_end)
+        for i in range(n):
+            duration = self._agent_evolution_duration(record, i)
+            if duration > 0:
+                _start, end = agents[i].acquire(
+                    inference_end[i], duration, "evolution"
+                )
+                evolution_end[i] = end
+        if any(
+            evo > inf for evo, inf in zip(evolution_end, inference_end)
+        ):
+            phase_end["agent_evolution"] = max(evolution_end)
+
+        # optional global resync: gather + redistribute is a true barrier
+        clan_ready = list(evolution_end)
+        if resync_msgs:
+            gate = max(max(evolution_end), max(report_end))
+            end = gate
+            for message in resync_msgs:
+                _start, end = radio.acquire(
+                    gate, self._send_cost(message), "resync"
+                )
+            phase_end["resync"] = end
+            clan_ready = [end] * n
+
+        # unlike the barrier path there is no event queue to flush: every
+        # clock above is a Resource booking, so the makespan is direct
+        total = max(max(clan_ready), max(report_end))
+        window = total - window_start
+        radio_busy = radio.busy_time - radio_busy_before
+
+        return SimulatedGeneration(
+            total_s=total,
+            phase_end_s=phase_end,
+            radio_busy_s=radio_busy,
+            agent_busy_s=[a.busy_time for a in agents],
+            clan_finish_s=report_end,
+            clan_ready_s=clan_ready,
+            straggler_gap_s=max(report_end) - min(report_end),
+            radio_idle_share=(
+                1.0 - radio_busy / window if window > 0 else 0.0
+            ),
         )
 
     def simulate_run(
         self, records: list[GenerationRecord]
     ) -> list[SimulatedGeneration]:
-        """Simulate every generation of a run independently."""
-        return [self.simulate(record) for record in records]
+        """Simulate every generation of a run.
+
+        In ``barrier`` / ``pipelined`` mode generations are independent
+        (each starts at t=0). In ``async`` mode each clan's ready time
+        carries into the next generation — the barrier-free pipeline the
+        paper's "A" stands for — so the returned generations share one
+        absolute clock and the last ``total_s`` is the run's makespan.
+        """
+        if self.mode != "async":
+            return [self.simulate(record) for record in records]
+        out: list[SimulatedGeneration] = []
+        clan_start: list[float] | None = None
+        # one radio for the whole run: reports from a fast clan's next
+        # generation queue behind a straggler's previous one
+        radio = Resource("center-radio")
+        for record in records:
+            sim = self._simulate_async(record, clan_start, radio=radio)
+            out.append(sim)
+            clan_start = list(sim.clan_ready_s)
+        return out
+
+    def aggregate_total(
+        self, sims: list[SimulatedGeneration]
+    ) -> float:
+        """Run total for generations produced by :meth:`simulate_run`.
+
+        Barrier-family modes sum per-generation durations; async
+        generations share one absolute clock, so the run total is the
+        last makespan (when the slowest clan's final report lands / its
+        last local evolution ends). Kept here so every consumer (CLI,
+        driver, benchmarks) aggregates the same way.
+        """
+        if not sims:
+            return 0.0
+        if self.mode == "async":
+            return sims[-1].total_s
+        return sum(g.total_s for g in sims)
 
     def total_time(self, records: list[GenerationRecord]) -> float:
         """Total simulated wall-clock across a run."""
-        return sum(g.total_s for g in self.simulate_run(records))
+        return self.aggregate_total(self.simulate_run(records))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import traceback
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 
 from repro.cluster.serialization import (
@@ -162,6 +163,40 @@ def _worker_main(
                     raise RuntimeError("clan_step before clan_init")
                 summary = clan.run_generation(payload)
                 conn.send(("ok", summary))
+            elif command == "clan_run":
+                # barrier-free driver: run generations continuously,
+                # streaming one ("progress", summary) per generation; the
+                # centre never joins the pool per generation. Stops on
+                # budget, on own convergence, or on a "clan_halt" nudge.
+                if clan is None:
+                    raise RuntimeError("clan_run before clan_init")
+                start = payload["start_generation"]
+                budget = payload["max_generations"]
+                threshold = payload["threshold"]
+                ran = 0
+                stopping = False
+                for generation in range(start, start + budget):
+                    if conn.poll():
+                        nudge, _ = conn.recv()
+                        if nudge == "stop":
+                            # shutdown raced into the free-run: honour the
+                            # stop handshake instead of nudging
+                            stopping = True
+                            break
+                        if nudge == "clan_halt":
+                            break
+                    summary = clan.run_generation(generation)
+                    ran += 1
+                    conn.send(("progress", summary))
+                    if summary.best_fitness >= threshold:
+                        break
+                if stopping:
+                    conn.send(("stopped", None))
+                    break
+                conn.send(("done", ran))
+            elif command == "clan_halt":
+                # a halt that raced past the end of clan_run; nothing to do
+                pass
             elif command == "clan_best":
                 if clan is None:
                     raise RuntimeError("clan_best before clan_init")
@@ -288,6 +323,37 @@ class WorkerPool:
             self._request(worker, command, payload)
         return [self._collect(worker) for worker in range(self.n_workers)]
 
+    def send(self, worker: int, command: str, payload=None) -> None:
+        """Fire one command at one worker without waiting for a reply.
+
+        Pair with :meth:`wait_any` for asynchronous protocols (streaming
+        ``clan_run`` progress, ``clan_halt`` nudges).
+        """
+        self._request(worker, command, payload)
+
+    def wait_any(
+        self, timeout: float | None = None
+    ) -> list[tuple[int, str, object]]:
+        """Collect every message currently readable from any worker.
+
+        Blocks up to ``timeout`` seconds (None = forever) for at least one
+        message, then drains without blocking. Returns
+        ``(worker, status, value)`` triples; a worker ``"error"`` status
+        raises immediately, like the synchronous paths.
+        """
+        ready = mp_connection.wait(self._conns, timeout)
+        out: list[tuple[int, str, object]] = []
+        for conn in ready:
+            worker = self._conns.index(conn)
+            while True:
+                status, value = conn.recv()
+                if status == "error":
+                    raise RuntimeError(f"worker {worker} failed:\n{value}")
+                out.append((worker, status, value))
+                if not conn.poll():
+                    break
+        return out
+
     # -- lifecycle ------------------------------------------------------------
 
     def shutdown(self) -> None:
@@ -297,7 +363,13 @@ class WorkerPool:
         for worker, conn in enumerate(self._conns):
             try:
                 conn.send(("stop", None))
-                conn.recv()
+                # drain until the stop ack: a free-running clan_run may
+                # have queued unsolicited progress/done messages nobody
+                # collected (e.g. run_async aborted early)
+                while True:
+                    status, _value = conn.recv()
+                    if status == "stopped":
+                        break
             except (BrokenPipeError, EOFError, OSError):
                 pass
             conn.close()

@@ -96,6 +96,23 @@ class ClanDriver:
         )
         self._pi_env_step_s = pi_env_step_seconds(env_id)
 
+    def simulate(self, mode: str = "barrier"):
+        """Replay the engine's records through the event-driven simulator.
+
+        Returns ``(generations, total_s)`` where ``generations`` is one
+        :class:`~repro.cluster.simulator.SimulatedGeneration` per record.
+        ``mode="async"`` (CLAN_DDA only) chains per-clan clocks across
+        generations, so ``total_s`` is the barrier-free makespan rather
+        than a sum of per-generation durations.
+        """
+        from repro.cluster.simulator import GenerationSimulator
+
+        simulator = GenerationSimulator(
+            self.cluster, self._pi_env_step_s, mode=mode
+        )
+        generations = simulator.simulate_run(self.engine.records)
+        return generations, simulator.aggregate_total(generations)
+
     def learn(
         self,
         max_generations: int = 100,

@@ -47,6 +47,14 @@ class Message:
     measures ships genomes one socket write at a time, so a shard of k
     genomes pays k per-message overheads (this is what makes communication
     the dominant share for small workloads, Fig 8).
+
+    ``phase``, when set, overrides the barrier phase the timing models
+    infer from ``msg_type``. CLAN_DDA's periodic global resync re-uses the
+    ``SENDING_CHILDREN`` / ``SENDING_GENOMES`` categories (the Fig 4
+    accounting is by payload kind) but happens *after* the generation's
+    evolution, not before inference — those messages carry
+    ``phase="resync"`` so the simulator doesn't gate inference on traffic
+    from the end of the generation.
     """
 
     msg_type: MessageType
@@ -55,6 +63,7 @@ class Message:
     n_floats: int
     n_genes: int = 0
     n_units: int = 1
+    phase: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_floats < 0 or self.n_genes < 0:

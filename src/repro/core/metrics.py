@@ -85,6 +85,28 @@ class GenerationRecord:
             + self.center_reproduction_gene_ops
         )
 
+    def slowest_agent(self) -> int:
+        """Agent id carrying the most placed gene-ops this generation."""
+        if not self.agent_loads:
+            raise ValueError("record places no agent load")
+        return max(
+            range(len(self.agent_loads)),
+            key=lambda i: self.agent_loads[i].total_gene_ops(),
+        )
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean placed gene-ops across agents (1.0 = balanced).
+
+        A straggler-heavy generation — the regime where barrier-free
+        execution beats barrier synchronisation — shows up as a ratio
+        well above 1; the async benchmark and docs use this to
+        characterise specs.
+        """
+        totals = [load.total_gene_ops() for load in self.agent_loads]
+        if not totals or sum(totals) == 0:
+            return 1.0
+        return max(totals) / (sum(totals) / len(totals))
+
 
 @dataclass
 class RunResult:

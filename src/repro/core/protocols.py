@@ -636,7 +636,14 @@ class CLAN_DDA(ProtocolBase):
         return record
 
     def _global_resync(self, record: GenerationRecord) -> None:
-        """Gather all clans, re-partition, redistribute (extension)."""
+        """Gather all clans, re-partition, redistribute (extension).
+
+        Runs after the generation's local evolution, so every message is
+        tagged ``phase="resync"`` — without the tag the timing models file
+        the gather/redistribute under the pre-inference ``children_up`` /
+        ``genomes_down`` phases and (in pipelined mode) wrongly gate the
+        *next* inference start on this end-of-generation traffic.
+        """
         merged: dict[int, Genome] = {}
         for clan in self._clans:
             floats = sum(
@@ -651,6 +658,7 @@ class CLAN_DDA(ProtocolBase):
                     n_floats=floats,
                     n_genes=genes,
                     n_units=len(clan.members),
+                    phase="resync",
                 )
             )
             merged.update(clan.members)
@@ -668,6 +676,7 @@ class CLAN_DDA(ProtocolBase):
                     n_floats=floats,
                     n_genes=genes,
                     n_units=len(members),
+                    phase="resync",
                 )
             )
             clan.adopt_members(members)

@@ -25,7 +25,12 @@ from repro.neat.innovation import InnovationTracker
 from repro.neat.population import Population
 from repro.neat.species import Species, SpeciesSet
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: versions :func:`load_population` can still read. Version 1 predates
+#: species-membership persistence: it restores species with empty
+#: ``members`` (the next ``speciate()`` rebuilds them), which is exactly
+#: the bug version 2 fixes for anything reading membership before then.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: config fields stored as tuples but serialised as JSON lists
 _TUPLE_FIELDS = ("allowed_activations", "allowed_aggregations")
@@ -52,13 +57,26 @@ def save_population(population: Population, path) -> None:
     """
     species_blobs = []
     for species in population.species_set.iter_species():
+        # membership is stored as keys; members that are no longer part of
+        # the population (replaced by their children, with the species not
+        # yet re-speciated) ship their full payload so a restored species
+        # is state-identical, not just trajectory-identical
+        stale_members = {
+            key: _encode_genome_hex(genome)
+            for key, genome in species.members.items()
+            if key not in population.genomes
+        }
         species_blobs.append(
             {
                 "key": species.key,
                 "created": species.created,
                 "last_improved": species.last_improved,
+                "fitness": species.fitness,
+                "adjusted_fitness": species.adjusted_fitness,
                 "fitness_history": species.fitness_history,
                 "representative": _encode_genome_hex(species.representative),
+                "member_keys": sorted(species.members),
+                "stale_members": stale_members,
             }
         )
     document = {
@@ -87,7 +105,7 @@ def save_population(population: Population, path) -> None:
 def load_population(path) -> Population:
     """Reconstruct a :class:`Population` from a checkpoint file."""
     document = json.loads(pathlib.Path(path).read_text())
-    if document.get("version") != CHECKPOINT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint version {document.get('version')!r}"
         )
@@ -124,8 +142,23 @@ def load_population(path) -> Population:
     for blob in document["species"]:
         species = Species(blob["key"], blob["created"])
         species.last_improved = blob["last_improved"]
+        species.fitness = blob.get("fitness")
+        species.adjusted_fitness = blob.get("adjusted_fitness")
         species.fitness_history = list(blob["fitness_history"])
         species.representative = _decode_genome_hex(blob["representative"])
+        # restore membership (version >= 2): members still alive alias the
+        # population's genome objects, exactly as in a live Population;
+        # replaced members are rebuilt from their stored payloads
+        stale = {
+            int(key): payload
+            for key, payload in blob.get("stale_members", {}).items()
+        }
+        for key in blob.get("member_keys", ()):
+            if key in population.genomes:
+                species.members[key] = population.genomes[key]
+            else:
+                species.members[key] = _decode_genome_hex(stale[key])
+            species_set.genome_to_species[key] = species.key
         species_set.species[species.key] = species
     population.species_set = species_set
 

@@ -63,7 +63,7 @@ class TestLearn:
             ]
         )
         assert code in (0, 1)
-        assert "on 1 Pis" in capsys.readouterr().out
+        assert "on 1 x raspberry_pi" in capsys.readouterr().out
 
     def test_unknown_env_rejected(self):
         with pytest.raises(SystemExit):
@@ -127,6 +127,170 @@ class TestLearn:
             main(
                 ["learn", "CartPole-v0", "--eval-mode", "warp"]
             )
+
+
+LEARN_QUICK = [
+    "learn", "CartPole-v0",
+    "--pop", "24",
+    "--generations", "2",
+    "--threshold", "1e9",
+]
+
+
+class TestLearnFleetAndSimMode:
+    def test_heterogeneous_devices(self, capsys):
+        code = main(
+            LEARN_QUICK + ["--devices", "jetson_nano,raspberry_pi,pi_zero"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "[jetson_nano, raspberry_pi, pi_zero]" in out
+
+    def test_unknown_device_in_list_rejected(self, capsys):
+        code = main(LEARN_QUICK + ["--devices", "raspberry_pi,tpu"])
+        assert code == 2
+        assert "tpu" in capsys.readouterr().err
+
+    def test_sim_mode_async(self, capsys):
+        code = main(
+            LEARN_QUICK + [
+                "--agents", "3",
+                "--sim-mode", "async",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "simulated (async)" in out
+        assert "straggler gap" in out
+
+    def test_sim_mode_async_rejected_for_synchronous_protocols(
+        self, capsys
+    ):
+        code = main(
+            LEARN_QUICK + [
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--sim-mode", "async",
+            ]
+        )
+        assert code == 2
+        assert "CLAN_DDA" in capsys.readouterr().err
+
+    def test_resync_period(self, capsys):
+        code = main(
+            LEARN_QUICK + ["--agents", "3", "--resync-period", "2"]
+        )
+        assert code in (0, 1)
+
+    def test_resync_period_must_be_positive(self, capsys):
+        code = main(LEARN_QUICK + ["--resync-period", "0"])
+        assert code == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_resync_period_requires_dda(self, capsys):
+        code = main(
+            LEARN_QUICK + [
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--resync-period", "2",
+            ]
+        )
+        assert code == 2
+        assert "CLAN_DDA" in capsys.readouterr().err
+
+    def test_unknown_sim_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["learn", "CartPole-v0", "--sim-mode", "warp"])
+
+
+class TestModel:
+    def test_compares_all_modes(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--agents", "3",
+                "--pop", "24",
+                "--generations", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for mode in ("barrier", "pipelined", "async"):
+            assert mode in out
+        assert "straggler gap" in out
+
+    def test_single_mode_on_heterogeneous_fleet(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--pop", "24",
+                "--generations", "2",
+                "--devices", "jetson_nano,raspberry_pi,pi_zero",
+                "--sim-mode", "async",
+                "--resync-period", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "async" in out
+        assert "pipelined" not in out
+        assert "pi_zero" in out
+
+    def test_async_excluded_for_synchronous_protocols(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--pop", "24",
+                "--generations", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "barrier" in out
+        assert "async" not in out
+
+    def test_serial_rejects_multi_device_fleet(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "24",
+                "--generations", "1",
+                "--devices", "pi_zero,raspberry_pi",
+            ]
+        )
+        assert code == 2
+        assert "exactly one device" in capsys.readouterr().err
+
+    def test_serial_single_device_fleet(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "24",
+                "--generations", "1",
+                "--devices", "jetson_nano",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jetson_nano" in out
+
+    def test_rejects_async_request_for_dcs(self, capsys):
+        code = main(
+            [
+                "model", "CartPole-v0",
+                "--protocol", "CLAN_DCS",
+                "--agents", "2",
+                "--pop", "24",
+                "--generations", "1",
+                "--sim-mode", "async",
+            ]
+        )
+        assert code == 2
+        assert "CLAN_DDA" in capsys.readouterr().err
 
 
 class TestInspect:

@@ -45,6 +45,89 @@ class TestClusterSpec:
             ClusterSpec(n_agents=0, agent_device=get_device("raspberry_pi"))
 
 
+class TestHeterogeneousSpec:
+    def test_of_devices(self):
+        spec = ClusterSpec.of_devices(
+            ["jetson_nano", "raspberry_pi", "pi_zero"]
+        )
+        assert spec.n_agents == 3
+        assert spec.heterogeneous
+        assert spec.device_for(0).name == "jetson_nano"
+        assert spec.device_for(2).name == "pi_zero"
+        # scalar convenience field defaults to the first entry
+        assert spec.agent_device.name == "jetson_nano"
+
+    def test_homogeneous_spec_not_heterogeneous(self):
+        assert not ClusterSpec.of_pis(4).heterogeneous
+        uniform = ClusterSpec.of_devices(["raspberry_pi", "raspberry_pi"])
+        assert not uniform.heterogeneous
+
+    def test_device_list_length_must_match(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                n_agents=3,
+                agent_devices=(get_device("raspberry_pi"),),
+            )
+
+    def test_requires_some_device(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_agents=2)
+
+    def test_total_price_sums_per_agent(self):
+        spec = ClusterSpec.of_devices(["jetson_nano", "pi_zero"])
+        assert spec.total_price_usd() == pytest.approx(
+            get_device("jetson_nano").price_usd
+            + get_device("pi_zero").price_usd
+        )
+
+    def test_out_of_range_agent_falls_back_to_scalar(self):
+        spec = ClusterSpec.of_devices(["pi_zero", "raspberry_pi"])
+        assert spec.device_for(7) is spec.agent_device
+
+    def test_center_default_is_order_independent(self):
+        # the centre must not silently follow the arbitrary order of the
+        # device list; it defaults to the strongest evolution device
+        one = ClusterSpec.of_devices(["pi_zero", "jetson_nano"])
+        other = ClusterSpec.of_devices(["jetson_nano", "pi_zero"])
+        assert one.center is other.center
+        assert one.center.name == "jetson_nano"
+        record = record_with(n_agents=2)
+        record.center_speciation_gene_ops = 100_000
+        assert time_generation(record, one, 0.0).total_s == pytest.approx(
+            time_generation(record, other, 0.0).total_s
+        )
+
+    def test_center_device_override_wins(self):
+        spec = ClusterSpec.of_devices(
+            ["pi_zero", "jetson_nano"],
+            center_device=get_device("raspberry_pi"),
+        )
+        assert spec.center.name == "raspberry_pi"
+
+    def test_straggler_paces_inference(self):
+        # one heavy Pi Zero must dominate the inference phase even when a
+        # fast device carries the same load
+        record = record_with(n_agents=2)
+        for load in record.agent_loads:
+            load.inference_gene_ops = 100_000
+        het = ClusterSpec.of_devices(["jetson_nano", "pi_zero"])
+        timing = time_generation(record, het, 0.0)
+        assert timing.inference_s == pytest.approx(
+            get_device("pi_zero").inference_time(100_000)
+        )
+
+    def test_homogeneous_numbers_unchanged_by_list_form(self):
+        record = record_with(n_agents=2)
+        for load in record.agent_loads:
+            load.inference_gene_ops = 50_000
+            load.speciation_gene_ops = 10_000
+        scalar = ClusterSpec.of_pis(2)
+        as_list = ClusterSpec.of_devices(["raspberry_pi", "raspberry_pi"])
+        assert time_generation(record, scalar, 0.0).total_s == (
+            pytest.approx(time_generation(record, as_list, 0.0).total_s)
+        )
+
+
 class TestTimingBreakdown:
     def test_total(self):
         timing = TimingBreakdown(1.0, 2.0, 3.0)
@@ -166,6 +249,38 @@ class TestTimeGeneration:
         ) * 3 + 3 * 10 * 4 * 8 / spec.link.bandwidth_bps
         sync = spec.phase_sync_s * 4  # one phase only
         assert timing.communication_s == pytest.approx(per_message + sync)
+
+    def test_phase_tag_overrides_message_type(self):
+        # resync-tagged traffic forms its own barrier phase instead of
+        # re-entering genomes_down / children_up
+        untagged = record_with(n_agents=2)
+        untagged.messages.append(
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 10, 5, 1)
+        )
+        tagged = record_with(n_agents=2)
+        tagged.messages.append(
+            Message(MessageType.SENDING_GENOMES, CENTER, 0, 10, 5, 1)
+        )
+        tagged.messages.append(
+            Message(
+                MessageType.SENDING_GENOMES, CENTER, 0, 10, 5, 1,
+                phase="resync",
+            )
+        )
+        spec = ClusterSpec.of_pis(2)
+        delta = (
+            time_generation(tagged, spec, 0.0).communication_s
+            - time_generation(untagged, spec, 0.0).communication_s
+        )
+        per_message = (
+            spec.link.channel_setup_s
+            + spec.link.base_latency_s
+            + 10 * 4 * 8 / spec.link.bandwidth_bps
+        )
+        # the tagged copy pays its transfer plus one extra phase sync
+        assert delta == pytest.approx(
+            per_message + spec.phase_sync_s * 4
+        )
 
 
 class TestRunAggregation:

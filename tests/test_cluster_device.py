@@ -24,6 +24,23 @@ class TestRegistry:
     def test_custom_hw_present(self):
         assert "systolic_32x32" in available_devices()
 
+    def test_heterogeneous_fleet_profiles_present(self):
+        for name in ("jetson_nano", "pi_zero", "raspberry_pi4"):
+            assert name in available_devices()
+
+    def test_fleet_profiles_bracket_the_pi(self):
+        pi = get_device("raspberry_pi")
+        assert get_device("pi_zero").evolution_speedup < pi.evolution_speedup
+        assert (
+            get_device("raspberry_pi4").evolution_speedup
+            > pi.evolution_speedup
+        )
+        nano = get_device("jetson_nano")
+        # Nano: GPU helps inference well beyond its CPU factor, and the
+        # whole board stays below the Jetson TX2 dev kit
+        assert nano.inference_speedup > nano.evolution_speedup
+        assert nano.price_usd < get_device("jetson_cpu").price_usd
+
     def test_unknown_device_raises(self):
         with pytest.raises(KeyError, match="raspberry_pi"):
             get_device("tpu")

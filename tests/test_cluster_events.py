@@ -91,3 +91,13 @@ class TestResource:
         resource.acquire(0.0, 5.0)
         assert resource.utilisation(10.0) == 0.5
         assert resource.utilisation(0.0) == 0.0
+
+    def test_utilisation_reports_overbooking(self):
+        # regression: the ratio used to clamp at 1.0, hiding horizons
+        # shorter than the booked busy time (a double-booking signal)
+        resource = Resource("radio")
+        resource.acquire(0.0, 5.0)
+        resource.acquire(0.0, 5.0)
+        assert resource.utilisation(10.0) == 1.0
+        assert resource.utilisation(5.0) == 2.0
+        assert resource.utilisation(8.0) == pytest.approx(1.25)

@@ -79,3 +79,83 @@ class TestDistributedClans:
         ) as runtime:
             stats = runtime.run(max_generations=20, fitness_threshold=30.0)
         assert stats.converged
+
+
+class TestBarrierFreeClans:
+    def test_run_async_converges(self, config):
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=3, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=20, fitness_threshold=30.0
+            )
+            champion = runtime.best_genome()
+        assert stats.converged
+        assert stats.best_fitness >= 30.0
+        assert champion.fitness >= 30.0
+
+    def test_per_clan_generation_counts(self, config):
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=3, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=2, fitness_threshold=1e9
+            )
+        assert len(stats.per_clan_generations) == 3
+        # budget-bounded run: every clan free-runs its full budget
+        assert stats.per_clan_generations == [2, 2, 2]
+        assert stats.generations == 2
+        # one best-so-far sample per received report
+        assert len(stats.best_fitness_per_generation) == 6
+        assert stats.best_fitness_per_generation == sorted(
+            stats.best_fitness_per_generation
+        )
+
+    def test_reaches_same_best_as_barrier_run(self, config):
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=3, config=config, seed=8
+        ) as barrier_runtime:
+            barrier = barrier_runtime.run(
+                max_generations=3, fitness_threshold=1e9
+            )
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=3, config=config, seed=8
+        ) as async_runtime:
+            asynchronous = async_runtime.run_async(
+                max_generations=3, fitness_threshold=1e9
+            )
+        # same clans, same streams: the same best fitness must be found
+        assert asynchronous.best_fitness == barrier.best_fitness
+
+    def test_shutdown_drains_free_running_workers(self, config):
+        # regression: shutdown during an abandoned free-run used to read
+        # a queued progress message as the stop ack, close the pipe under
+        # the worker, and hang up to 5s per worker on the join
+        import time
+
+        runtime = DistributedClanRuntime(
+            "CartPole-v0", n_clans=2, config=config, seed=8
+        )
+        payload = {
+            "start_generation": 0,
+            "max_generations": 50,
+            "threshold": 1e18,
+        }
+        for worker in range(2):
+            runtime.pool.send(worker, "clan_run", payload)
+        time.sleep(0.2)  # let undrained progress messages queue up
+        start = time.perf_counter()
+        runtime.shutdown()
+        assert time.perf_counter() - start < 5.0
+        assert all(not p.is_alive() for p in runtime.pool._procs)
+
+    def test_halts_stragglers_after_convergence(self, config):
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=2, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=50, fitness_threshold=30.0
+            )
+        assert stats.converged
+        # nobody runs the full budget once a clan has converged
+        assert all(g < 50 for g in stats.per_clan_generations)

@@ -1,5 +1,7 @@
 """Tests for the event-driven cluster simulator."""
 
+import dataclasses
+
 import pytest
 
 from repro.cluster.analytic import ClusterSpec, time_generation
@@ -23,6 +25,17 @@ def engines():
         engine.run(max_generations=3, fitness_threshold=1e9)
         out[cls.name] = engine
     return out
+
+
+@pytest.fixture(scope="module")
+def resync_engine():
+    """A CLAN_DDA run whose generation 2 carries global-resync traffic."""
+    config = NEATConfig.for_env("CartPole-v0", pop_size=30)
+    engine = CLAN_DDA(
+        "CartPole-v0", n_agents=3, config=config, seed=11, resync_period=2
+    )
+    engine.run(max_generations=3, fitness_threshold=1e9)
+    return engine
 
 
 STEP_S = pi_env_step_seconds("CartPole-v0")
@@ -76,6 +89,183 @@ class TestPipelinedMode:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError):
             GenerationSimulator(ClusterSpec.of_pis(1), STEP_S, mode="warp")
+
+
+class TestResyncPhase:
+    """Regression: resync traffic must not leak into pre-inference phases.
+
+    ``_global_resync`` logs SENDING_CHILDREN / SENDING_GENOMES at the
+    *end* of a generation; before the phase tag those messages landed in
+    the ``children_up`` / ``genomes_down`` buckets, and pipelined mode
+    wrongly gated inference start on "genome arrivals" from traffic that
+    happens after inference.
+    """
+
+    @staticmethod
+    def _resync_record(resync_engine):
+        record = resync_engine.records[2]
+        assert any(m.phase == "resync" for m in record.messages)
+        return record
+
+    @staticmethod
+    def _without_resync(record):
+        return dataclasses.replace(
+            record,
+            messages=[m for m in record.messages if m.phase != "resync"],
+        )
+
+    def test_pipelined_inference_not_gated_on_resync(self, resync_engine):
+        # with the bug, the redistribute shipments count as genome
+        # arrivals and push the simulated inference start (and end) out
+        spec = ClusterSpec.of_pis(3)
+        pipelined = GenerationSimulator(spec, STEP_S, mode="pipelined")
+        record = self._resync_record(resync_engine)
+        with_resync = pipelined.simulate(record)
+        without = pipelined.simulate(self._without_resync(record))
+        assert with_resync.phase_end_s["inference"] == pytest.approx(
+            without.phase_end_s["inference"]
+        )
+
+    def test_resync_phase_runs_last(self, resync_engine):
+        spec = ClusterSpec.of_pis(3)
+        sim = GenerationSimulator(spec, STEP_S).simulate(
+            self._resync_record(resync_engine)
+        )
+        assert "resync" in sim.phase_end_s
+        assert sim.phase_end_s["resync"] == max(sim.phase_end_s.values())
+
+    def test_pipelined_resync_cost_is_additive(self, resync_engine):
+        # the resync only appends radio time after the compute phases, so
+        # pipelined totals differ by exactly the resync transfer cost
+        spec = ClusterSpec.of_pis(3)
+        pipelined = GenerationSimulator(spec, STEP_S, mode="pipelined")
+        record = self._resync_record(resync_engine)
+        with_resync = pipelined.simulate(record).total_s
+        without = pipelined.simulate(self._without_resync(record)).total_s
+        resync_cost = sum(
+            pipelined._send_cost(m)
+            for m in record.messages
+            if m.phase == "resync"
+        ) + pipelined._sync_cost()
+        assert with_resync == pytest.approx(without + resync_cost)
+
+    def test_barrier_still_matches_analytic_with_resync(self, resync_engine):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S, mode="barrier")
+        for record in resync_engine.records:
+            analytic = time_generation(record, spec, STEP_S).total_s
+            assert simulator.simulate(record).total_s == pytest.approx(
+                analytic, rel=1e-3
+            )
+
+
+class TestAsyncMode:
+    def test_requires_dda_shaped_records(self, engines):
+        simulator = GenerationSimulator(
+            ClusterSpec.of_pis(3), STEP_S, mode="async"
+        )
+        for protocol in ("CLAN_DCS", "CLAN_DDS"):
+            with pytest.raises(ValueError):
+                simulator.simulate(engines[protocol].records[0])
+
+    def test_never_slower_than_barrier(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        barrier = GenerationSimulator(spec, STEP_S, mode="barrier")
+        records = engines["CLAN_DDA"].records
+        asynchronous = GenerationSimulator(spec, STEP_S, mode="async")
+        assert (
+            asynchronous.total_time(records)
+            <= barrier.total_time(records) + 1e-9
+        )
+
+    def test_beats_barrier_on_heterogeneous_straggler_spec(self, engines):
+        records = engines["CLAN_DDA"].records
+        het = ClusterSpec.of_devices(
+            ["jetson_nano", "raspberry_pi", "pi_zero"]
+        )
+        barrier = GenerationSimulator(het, STEP_S, mode="barrier")
+        asynchronous = GenerationSimulator(het, STEP_S, mode="async")
+        assert asynchronous.total_time(records) < barrier.total_time(
+            records
+        )
+
+    def test_per_clan_finish_times_and_straggler_gap(self, engines):
+        het = ClusterSpec.of_devices(
+            ["jetson_nano", "raspberry_pi", "pi_zero"]
+        )
+        simulator = GenerationSimulator(het, STEP_S, mode="async")
+        sim = simulator.simulate(engines["CLAN_DDA"].records[1])
+        assert len(sim.clan_finish_s) == 3
+        assert sim.straggler_gap_s == pytest.approx(
+            max(sim.clan_finish_s) - min(sim.clan_finish_s)
+        )
+        assert sim.straggler_gap_s > 0
+        assert 0.0 <= sim.radio_idle_share <= 1.0
+
+    def test_clocks_carry_across_generations(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S, mode="async")
+        sims = simulator.simulate_run(engines["CLAN_DDA"].records)
+        # absolute clocks: each generation ends after the previous one
+        totals = [s.total_s for s in sims]
+        assert totals == sorted(totals)
+        assert simulator.total_time(engines["CLAN_DDA"].records) == (
+            totals[-1]
+        )
+
+    def test_run_carries_radio_contention_across_generations(self, engines):
+        # regression: simulate_run shares one radio, so a fast clan's
+        # next-generation report queues behind a straggler's previous one
+        # still on the air; chaining fresh radios (clan clocks only)
+        # underestimates on a saturating link
+        from repro.cluster.device import get_device
+        from repro.cluster.netmodel import WiFiModel
+
+        spec = ClusterSpec(
+            n_agents=3,
+            agent_device=get_device("raspberry_pi"),
+            link=WiFiModel().scaled(50.0),
+        )
+        simulator = GenerationSimulator(spec, STEP_S, mode="async")
+        records = engines["CLAN_DDA"].records
+        shared = simulator.simulate_run(records)
+        fresh_radio = []
+        start = None
+        for record in records:
+            sim = simulator.simulate(record, clan_start=start)
+            fresh_radio.append(sim)
+            start = list(sim.clan_ready_s)
+        assert shared[-1].total_s > fresh_radio[-1].total_s
+
+    def test_clan_ready_precedes_next_start(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S, mode="async")
+        records = engines["CLAN_DDA"].records
+        first = simulator.simulate(records[0])
+        second = simulator.simulate(
+            records[1], clan_start=first.clan_ready_s
+        )
+        assert min(second.clan_finish_s) >= min(first.clan_ready_s)
+
+    def test_resync_is_a_global_barrier(self, resync_engine):
+        spec = ClusterSpec.of_pis(3)
+        simulator = GenerationSimulator(spec, STEP_S, mode="async")
+        sims = simulator.simulate_run(resync_engine.records)
+        resynced = sims[2]
+        assert "resync" in resynced.phase_end_s
+        # every clan restarts at the redistribute's completion
+        assert all(
+            ready == resynced.phase_end_s["resync"]
+            for ready in resynced.clan_ready_s
+        )
+
+    def test_clan_start_rejected_outside_async(self, engines):
+        spec = ClusterSpec.of_pis(3)
+        barrier = GenerationSimulator(spec, STEP_S, mode="barrier")
+        with pytest.raises(ValueError):
+            barrier.simulate(
+                engines["CLAN_DDA"].records[0], clan_start=[0.0] * 3
+            )
 
 
 class TestSimulationDetail:

@@ -60,6 +60,22 @@ class TestGenerationRecord:
         record.agent_loads[1].env_steps = 50
         assert record.total_env_steps() == 150
 
+    def test_slowest_agent(self):
+        record = record_with_messages()
+        record.agent_loads[0].inference_gene_ops = 10
+        record.agent_loads[1].inference_gene_ops = 90
+        assert record.slowest_agent() == 1
+
+    def test_load_imbalance(self):
+        record = record_with_messages()
+        record.agent_loads[0].inference_gene_ops = 30
+        record.agent_loads[1].inference_gene_ops = 90
+        # max 90 over mean 60
+        assert record.load_imbalance() == 1.5
+
+    def test_load_imbalance_of_empty_load_is_balanced(self):
+        assert record_with_messages().load_imbalance() == 1.0
+
 
 class TestRunResult:
     def test_aggregates_over_records(self):

@@ -52,6 +52,13 @@ class TestExamples:
         assert "single-step" in result.stdout
         assert "robots" in result.stdout
 
+    def test_async_fleet(self):
+        result = run_example("async_fleet.py")
+        assert result.returncode == 0, result.stderr
+        assert "barrier" in result.stdout
+        assert "async" in result.stdout
+        assert "per-clan generation counts" in result.stdout
+
     def test_population_eval(self):
         result = run_example("population_eval.py")
         assert result.returncode == 0, result.stderr

@@ -80,6 +80,72 @@ class TestRoundTrip:
             assert twin.last_improved == species.last_improved
 
 
+class TestSpeciesMembership:
+    """Regression: a restored population must be state-identical, not just
+    trajectory-identical — membership used to come back empty."""
+
+    def test_membership_restored(self, config, tmp_path):
+        population = Population(config, seed=4)
+        for _ in range(3):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        for key, species in population.species_set.species.items():
+            twin = restored.species_set.species[key]
+            assert sorted(twin.members) == sorted(species.members)
+            for member_key, member in species.members.items():
+                assert encode_genome(twin.members[member_key]) == (
+                    encode_genome(member)
+                )
+
+    def test_genome_to_species_restored(self, config, tmp_path):
+        population = Population(config, seed=4)
+        for _ in range(2):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        assert restored.species_set.genome_to_species == (
+            population.species_set.genome_to_species
+        )
+
+    def test_species_fitness_restored(self, config, tmp_path):
+        population = Population(config, seed=4)
+        for _ in range(2):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        for key, species in population.species_set.species.items():
+            twin = restored.species_set.species[key]
+            assert twin.fitness == species.fitness
+            assert twin.adjusted_fitness == species.adjusted_fitness
+
+    def test_live_members_alias_population_genomes(self, config, tmp_path):
+        # elites survive reproduction: a restored species must point at
+        # the *same* genome objects as the restored population, exactly
+        # like a live Population does
+        population = Population(config, seed=4)
+        for _ in range(3):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        restored = load_population(path)
+        shared = [
+            (species.key, member_key)
+            for species in restored.species_set.iter_species()
+            for member_key in species.members
+            if member_key in restored.genomes
+        ]
+        assert shared  # elites guarantee at least one
+        for species_key, member_key in shared:
+            species = restored.species_set.species[species_key]
+            assert species.members[member_key] is restored.genomes[
+                member_key
+            ]
+
+
 class TestResumeExactness:
     def test_resumed_run_identical_to_uninterrupted(self, config, tmp_path):
         # 6 straight generations ...
@@ -97,6 +163,31 @@ class TestResumeExactness:
             resumed.run_generation(fake_evaluate)
         assert population_bytes(resumed) == population_bytes(straight)
         assert resumed.generation == straight.generation
+
+    def test_resumed_species_state_then_trajectory_parity(
+        self, config, tmp_path
+    ):
+        # interleave: species state identical at the checkpoint AND the
+        # continued runs stay bit-exact through run_generation
+        straight = Population(config, seed=12)
+        interrupted = Population(config, seed=12)
+        for _ in range(3):
+            straight.run_generation(fake_evaluate)
+            interrupted.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(interrupted, path)
+        resumed = load_population(path)
+        for key, species in straight.species_set.species.items():
+            twin = resumed.species_set.species[key]
+            assert sorted(twin.members) == sorted(species.members)
+            assert twin.fitness == species.fitness
+        for _ in range(3):
+            straight.run_generation(fake_evaluate)
+            resumed.run_generation(fake_evaluate)
+        assert population_bytes(resumed) == population_bytes(straight)
+        assert resumed.species_set.genome_to_species == (
+            straight.species_set.genome_to_species
+        )
 
     def test_resume_twice_from_same_checkpoint(self, config, tmp_path):
         population = Population(config, seed=9)
@@ -122,3 +213,25 @@ class TestValidation:
         path.write_text(json.dumps(doc))
         with pytest.raises(ValueError, match="version"):
             load_population(path)
+
+    def test_legacy_v1_loads_with_empty_membership(self, config, tmp_path):
+        import json
+
+        population = Population(config, seed=1)
+        for _ in range(2):
+            population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 1
+        for blob in doc["species"]:
+            for field in (
+                "member_keys", "stale_members", "fitness",
+                "adjusted_fitness",
+            ):
+                blob.pop(field, None)
+        path.write_text(json.dumps(doc))
+        restored = load_population(path)
+        assert population_bytes(restored) == population_bytes(population)
+        for species in restored.species_set.iter_species():
+            assert species.members == {}
