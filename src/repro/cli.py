@@ -5,12 +5,18 @@ never needs to write Python:
 
 * ``learn``      — evolve a workload on a modelled cluster (homogeneous or
   heterogeneous), optionally checkpointing the population.
+* ``serve``      — run the continuous-learning inference service: clans
+  evolve in the background while a micro-batching gateway answers
+  synthetic Poisson traffic, hot-swapping champions mid-run.
 * ``model``      — replay one run through the execution-mode simulator
   (barrier / pipelined / async) and compare modelled wall-clock.
 * ``inspect``    — summarise the champion genome of a checkpoint.
 * ``scale``      — the Fig 9 scaling study (measure, fit, extrapolate).
 * ``ppp``        — the Fig 11 price-performance table.
 * ``platforms``  — the Table IV device registry.
+
+Installed entry points: both ``clan-repro`` and the shorter ``repro``
+dispatch here, matching the ``python -m repro`` invocations in the docs.
 """
 
 from __future__ import annotations
@@ -112,6 +118,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         default=None,
         help="write the final population to this JSON file",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a continuously evolving champion under synthetic "
+        "load (evolve->deploy loop with mid-traffic hot-swaps)",
+    )
+    serve.add_argument("env", choices=available_env_ids())
+    serve.add_argument(
+        "--clans", type=int, default=2,
+        help="background clan workers evolving the champion",
+    )
+    serve.add_argument("--pop", type=int, default=24)
+    serve.add_argument(
+        "--generations", type=int, default=30,
+        help="per-clan local generation budget for the background run",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--rate", type=float, default=300.0, metavar="QPS",
+        help="open-loop Poisson arrival rate of the synthetic load",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=600,
+        help="total synthetic requests to offer",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="most requests coalesced into one forward pass",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="longest a request waits for batch-mates before flushing",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=None,
+        help="halt background evolution at this fitness (default: the "
+        "gym convergence criterion; serving continues either way)",
     )
 
     inspect = sub.add_parser(
@@ -327,6 +371,99 @@ def _cmd_learn(args) -> int:
     return 0 if run.converged or args.threshold is None else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        ContinuousService,
+        LoadGenerator,
+        observation_sampler,
+    )
+
+    if args.clans < 1:
+        print("--clans must be >= 1", file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.requests < 1:
+        print(
+            "--rate must be positive and --requests >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_batch < 1 or args.max_wait_ms < 0:
+        print(
+            "--max-batch must be >= 1 and --max-wait-ms >= 0",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def run():
+        service = ContinuousService(
+            args.env,
+            n_clans=args.clans,
+            pop_size=args.pop,
+            seed=args.seed,
+            max_generations=args.generations,
+            fitness_threshold=args.threshold,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+        )
+        await service.start()
+        generator = LoadGenerator(
+            service.submit,
+            observation_sampler(args.env),
+            rate_hz=args.rate,
+            n_requests=args.requests,
+            seed=args.seed,
+        )
+        report = await generator.run()
+        # let the (bounded) background budget finish so the summary is
+        # deterministic — most swaps land mid-traffic anyway, and a
+        # long-lived deployment would simply keep serving here
+        evolution = await service.evolution_done()
+        stats = service.stats()
+        await service.close()
+        return service, report, stats, evolution
+
+    print(
+        f"serving {args.env}: {args.clans} clans evolving in the "
+        f"background (population {args.pop}, budget {args.generations} "
+        f"generations/clan), {args.rate:.0f} qps Poisson load"
+    )
+    service, report, stats, evolution = asyncio.run(run())
+
+    # the champion-changed events run_async streamed, one line per swap
+    for record, event in service.promotions:
+        print(
+            f"  hot-swap -> v{record.version}: genome {event.genome_key} "
+            f"(clan {event.clan_id}, generation {event.generation}, "
+            f"fitness {event.fitness:.2f})"
+        )
+    histogram = " ".join(
+        f"{size}x{count}"
+        for size, count in sorted(stats.batch_size_histogram.items())
+    )
+    rows = [
+        ["offered", str(report.offered)],
+        ["served", str(report.served)],
+        ["shed", str(stats.shed)],
+        ["qps", f"{stats.qps:,.0f}"],
+        ["p50 latency", format_seconds(stats.p50_latency_s)],
+        ["p95 latency", format_seconds(stats.p95_latency_s)],
+        ["mean batch", f"{stats.mean_batch_size:.2f}"],
+        ["batch histogram", histogram],
+        ["hot-swaps", str(stats.swaps)],
+        ["champion version", f"v{stats.champion_version}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="service stats"))
+    print(
+        f"evolution: {evolution.generations} generations/clan, best "
+        f"fitness {evolution.best_fitness:.2f}, "
+        f"{len(evolution.champions)} champion improvement(s)"
+        + (" (converged)" if evolution.converged else "")
+    )
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     from repro.neat.checkpoint import load_population
     from repro.neat.visualize import describe_genome, genome_to_dot
@@ -449,6 +586,7 @@ def _cmd_platforms(_args) -> int:
 
 _COMMANDS = {
     "learn": _cmd_learn,
+    "serve": _cmd_serve,
     "model": _cmd_model,
     "inspect": _cmd_inspect,
     "scale": _cmd_scale,

@@ -17,8 +17,10 @@ streams as :class:`repro.core.protocols.CLAN_DDA`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.serialization import decode_genome, encode_genomes
 from repro.cluster.transport import WorkerPool
@@ -29,6 +31,29 @@ from repro.neat.genome import Genome
 from repro.neat.network import compile_batched
 from repro.neat.population import Population
 from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class ChampionEvent:
+    """A new global-best genome surfaced by a barrier-free run.
+
+    Emitted by :meth:`DistributedClanRuntime.run_async` every time a clan
+    report improves on the best champion the centre has seen so far — the
+    hook the serving subsystem (:mod:`repro.serve`) uses to hot-swap a
+    deployed policy mid-traffic, and what the ``repro serve`` summary
+    prints per swap.
+    """
+
+    #: clan that produced the champion
+    clan_id: int
+    #: the clan-local generation that produced it
+    generation: int
+    #: key of the champion genome
+    genome_key: int
+    #: champion fitness (strictly increasing across a run's events)
+    fitness: float
+    #: the decoded champion genome itself
+    genome: Genome
 
 
 @dataclass
@@ -50,6 +75,9 @@ class RealRunStats:
     per_generation_s: list[float] = field(default_factory=list)
     best_fitness_per_generation: list[float] = field(default_factory=list)
     per_clan_generations: list[int] = field(default_factory=list)
+    #: champion-changed events in arrival order (run_async with champion
+    #: streaming only); fitness is strictly increasing along this list
+    champions: list[ChampionEvent] = field(default_factory=list)
 
 
 class ParallelInferenceRuntime:
@@ -248,6 +276,8 @@ class DistributedClanRuntime:
         self,
         max_generations: int,
         fitness_threshold: float | None = None,
+        on_champion: Callable[[ChampionEvent], None] | None = None,
+        stop: threading.Event | None = None,
     ) -> RealRunStats:
         """Barrier-free execution: no per-generation pool join.
 
@@ -258,6 +288,22 @@ class DistributedClanRuntime:
         halt after their in-flight generation — fast clans never wait for
         stragglers, which is where this driver beats :meth:`run` on
         heterogeneous fleets (see ``docs/asynchrony.md``).
+
+        ``on_champion`` turns on champion streaming: clans additionally
+        ship their champion genome whenever their best-ever fitness
+        improves, and the centre fires one :class:`ChampionEvent` per
+        *global* improvement (cross-clan duplicates are filtered, so
+        event fitness is strictly increasing). Events are also collected
+        on ``stats.champions``. The callback runs on the caller's thread
+        between report arrivals; :mod:`repro.serve` uses it to hot-swap
+        the deployed policy with zero downtime.
+
+        ``stop``, when given, is polled between report batches: setting
+        it nudges every active clan to halt after its in-flight
+        generation and the call returns once they drain — the external
+        counterpart of the threshold halt, used by long-lived hosts
+        (:class:`repro.serve.ContinuousService`) to wind down evolution
+        without tearing the pool down mid-message.
 
         Unlike :meth:`run`, clans drift apart in generation count, so the
         best-so-far trajectory is indexed by report arrival, and
@@ -276,15 +322,40 @@ class DistributedClanRuntime:
             "start_generation": self._generation,
             "max_generations": max_generations,
             "threshold": threshold,
+            "stream_champions": on_champion is not None,
         }
         for worker in range(self.n_clans):
             self.pool.send(worker, "clan_run", payload)
 
         active = set(range(self.n_clans))
         halt_sent = False
+        champion_best = float("-inf")
+        # a blocking wait is fine without a stop event; with one, wake up
+        # periodically so an external stop is honoured promptly
+        wait_timeout = None if stop is None else 0.05
         while active:
-            for worker, status, value in self.pool.wait_any():
-                if status == "progress":
+            if stop is not None and stop.is_set() and not halt_sent:
+                halt_sent = True
+                for other in active:
+                    self.pool.send(other, "clan_halt")
+            for worker, status, value in self.pool.wait_any(wait_timeout):
+                if status == "champion":
+                    # clans stream their *local* improvements; only
+                    # global improvements become events
+                    if value["fitness"] > champion_best:
+                        champion_best = value["fitness"]
+                        genome = decode_genome(value["genome_wire"])
+                        event = ChampionEvent(
+                            clan_id=value["clan_id"],
+                            generation=value["generation"],
+                            genome_key=genome.key,
+                            fitness=value["fitness"],
+                            genome=genome,
+                        )
+                        stats.champions.append(event)
+                        if on_champion is not None:
+                            on_champion(event)
+                elif status == "progress":
                     stats.per_clan_generations[worker] += 1
                     stats.best_fitness = max(
                         stats.best_fitness, value.best_fitness

@@ -173,6 +173,10 @@ def _worker_main(
                 start = payload["start_generation"]
                 budget = payload["max_generations"]
                 threshold = payload["threshold"]
+                # opt-in (older payloads lack the key): stream the clan's
+                # champion genome whenever its best-ever fitness improves,
+                # so the centre can hot-swap a deployed policy mid-run
+                stream_champions = payload.get("stream_champions", False)
                 ran = 0
                 stopping = False
                 for generation in range(start, start + budget):
@@ -185,8 +189,26 @@ def _worker_main(
                             break
                         if nudge == "clan_halt":
                             break
+                    previous_best = clan.best_fitness
                     summary = clan.run_generation(generation)
                     ran += 1
+                    if stream_champions and clan.best_fitness > (
+                        previous_best
+                    ):
+                        # champion precedes its generation's progress
+                        # report, so a threshold-crossing report never
+                        # arrives before the genome that caused it
+                        conn.send(
+                            (
+                                "champion",
+                                {
+                                    "clan_id": clan.clan_id,
+                                    "generation": generation,
+                                    "fitness": clan.best_fitness,
+                                    "genome_wire": clan.best_genome_wire(),
+                                },
+                            )
+                        )
                     conn.send(("progress", summary))
                     if summary.best_fitness >= threshold:
                         break

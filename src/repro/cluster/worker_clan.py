@@ -135,6 +135,17 @@ class WorkerClan:
             solved=solved,
         )
 
+    @property
+    def best_fitness(self) -> float:
+        """Fitness of the clan's best-ever genome (-inf before any run).
+
+        The barrier-free worker loop compares this across generations to
+        decide when to stream a champion-changed message to the centre.
+        """
+        if self._best is None:
+            return float("-inf")
+        return self._best.fitness
+
     def best_genome_wire(self) -> bytes:
         """The clan's best-ever genome, serialised (for final collection)."""
         if self._best is None:

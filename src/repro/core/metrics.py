@@ -6,11 +6,17 @@ every message that crossed the network. Records are produced by the
 protocol engines (:mod:`repro.core.protocols`) and by the placement cost
 model (:mod:`repro.core.placement`), and consumed by the analytic timing
 model and the discrete-event simulator in :mod:`repro.cluster`.
+
+The serving-side counterparts live at the bottom: :func:`percentile` and
+:class:`ServiceStats` summarise what the inference gateway
+(:mod:`repro.serve`) observed — request latencies, throughput, and how
+well micro-batching coalesced traffic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.messages import Message, MessageType, breakdown_by_type
 
@@ -139,3 +145,65 @@ class RunResult:
         if not self.records:
             return 0.0
         return self.total_comm_floats() / len(self.records)
+
+
+# -- serving-side metrics -----------------------------------------------------
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Nearest-rank keeps the result an *observed* value (no interpolation
+    between two latencies that never happened); empty input yields 0.0 so
+    a gateway that has served nothing reports a zeroed summary rather
+    than raising mid-scrape.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of an inference gateway's service quality.
+
+    Produced by :meth:`repro.serve.gateway.InferenceGateway.stats`;
+    rendered by ``repro serve`` and dumped (as JSON) by
+    ``benchmarks/bench_serving_latency.py``.
+    """
+
+    #: requests accepted into the batching queue
+    requests: int
+    #: requests answered (== requests once the gateway has drained)
+    served: int
+    #: requests rejected because the pending queue was full
+    shed: int
+    #: served / seconds-since-start (0 before the first request)
+    qps: float
+    #: median submit-to-answer latency, seconds
+    p50_latency_s: float
+    #: 95th-percentile submit-to-answer latency, seconds
+    p95_latency_s: float
+    #: batch size -> number of forward passes flushed at that size
+    batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    #: registry version currently deployed (0 = nothing published)
+    champion_version: int = 0
+    #: champion deployment changes since the first publish
+    swaps: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Requests per forward pass actually achieved (1.0 = no
+        coalescing; the micro-batching speedup scales with this)."""
+        flushes = sum(self.batch_size_histogram.values())
+        if flushes == 0:
+            return 0.0
+        weighted = sum(
+            size * count
+            for size, count in self.batch_size_histogram.items()
+        )
+        return weighted / flushes

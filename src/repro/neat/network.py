@@ -132,7 +132,13 @@ def _evaluation_order(
 
 
 class FeedForwardNetwork:
-    """Executable network: an ordered list of node evaluations."""
+    """Executable network: an ordered list of node evaluations.
+
+    Not safe for concurrent use: ``activate`` writes into a per-instance
+    value dict. Callers that need the scalar reference from several
+    threads (e.g. serving parity checks) must build one instance per
+    thread — compilation is cheap relative to an episode.
+    """
 
     def __init__(
         self,
@@ -352,6 +358,12 @@ class BatchedFeedForwardNetwork:
     rounding; the equivalence suite asserts 1e-9) while amortising Python
     dispatch over the batch dimension — the paper's Inference block at
     population scale.
+
+    Safe for concurrent readers: the wrapped :class:`BatchedPlan` and the
+    resolved per-layer ops are never written after construction, and
+    ``activate_batch`` allocates its value tensor per call. The serving
+    registry (:mod:`repro.serve.registry`) relies on this to share one
+    compiled champion across every in-flight batch.
     """
 
     def __init__(self, plan: BatchedPlan):

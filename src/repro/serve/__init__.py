@@ -1,0 +1,36 @@
+"""Continuous-learning inference serving (the evolve->deploy loop).
+
+The subsystem closes the loop the paper's title opens: clans keep
+evolving while the deployed champion keeps answering requests.
+
+* :class:`ChampionRegistry` — versioned, pre-compiled champions with
+  atomic hot-swap and rollback.
+* :class:`MicroBatcher` — coalesces concurrent requests into one batched
+  forward pass (scalar-parity per request).
+* :class:`InferenceGateway` — asyncio ``submit(obs) -> action`` plus
+  service-quality stats (p50/p95, qps, batch histogram, shed count).
+* :class:`ContinuousService` — background barrier-free evolution
+  promoting new champions into the registry mid-traffic.
+* :class:`LoadGenerator` — seeded open-loop Poisson arrivals to drive it.
+
+See ``docs/serving.md`` and ``examples/continuous_serving.py``.
+"""
+
+from repro.serve.batcher import (
+    MicroBatcher,
+    Overloaded,
+    ServedAction,
+    ServiceClosed,
+)
+from repro.serve.gateway import InferenceGateway
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    observation_sampler,
+)
+from repro.serve.registry import (
+    ChampionRecord,
+    ChampionRegistry,
+    RegistryClosed,
+)
+from repro.serve.service import ContinuousService

@@ -1,0 +1,239 @@
+"""Micro-batching: coalesce concurrent requests into one forward pass.
+
+The scalar interpreter costs one Python call per gene per request; the
+batched engine amortises that over a whole observation batch (PR 1
+measured ~14x at population scale). A serving gateway sees *concurrent
+single* requests, so the win has to be manufactured: the
+:class:`MicroBatcher` holds the first request of a batch for at most
+``max_wait_s`` while more arrive, then runs them all through one
+``policy_batch`` call.
+
+Per-request semantics are unchanged — each request's action equals what
+the then-current champion's scalar interpreter would have produced for
+that observation alone (the hypothesis suite in
+``tests/test_serve_batcher.py`` drives arbitrary interleavings against
+per-request ``FeedForwardNetwork.activate``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - serving requires the numpy engine
+    np = None
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by ``submit`` after ``close`` has begun."""
+
+
+class Overloaded(RuntimeError):
+    """Raised by ``submit`` when the pending queue is full (request shed)."""
+
+
+@dataclass(frozen=True)
+class ServedAction:
+    """One answered inference request."""
+
+    #: greedy action (argmax over the champion's output activations)
+    action: int
+    #: registry version of the champion that served the whole batch
+    champion_version: int
+    #: submit-to-answer latency, seconds (includes coalescing wait)
+    latency_s: float
+    #: how many requests shared this forward pass
+    batch_size: int
+
+
+@dataclass
+class _Pending:
+    observation: tuple
+    future: asyncio.Future
+    submitted_at: float
+
+
+_CLOSE = object()
+
+
+class MicroBatcher:
+    """Coalesce awaiting ``submit`` calls into batched forward passes.
+
+    ``infer`` is the pluggable execution hook: it takes a
+    ``(batch, n_inputs)`` float64 array and returns ``(version,
+    actions)`` where ``actions`` is a ``(batch,)`` integer array. The
+    gateway supplies a hook that snapshots the champion registry once
+    per batch, which is what makes a whole batch attributable to exactly
+    one champion version.
+
+    Lifecycle: ``start`` spawns the collector task on the running loop;
+    ``close`` stops intake, **drains every already-accepted request**,
+    then returns — accepted requests are never dropped (see
+    ``tests/test_serve_gateway.py``).
+    """
+
+    def __init__(
+        self,
+        infer,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_pending: int = 4096,
+    ):
+        if np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError(
+                "numpy is required for the serving subsystem (the gateway "
+                "batches through the NumPy inference engine)"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self._infer = infer
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_pending = max_pending
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        # flushes mutate the counters on the loop thread while stats
+        # scrapers may snapshot from any other thread; one lock per
+        # batch keeps the snapshot coherent
+        self._metrics_lock = threading.Lock()
+        #: batch-size -> how many batches flushed at that size
+        self.batch_size_histogram: dict[int, int] = {}
+        #: answered-request latencies (bounded window for quantiles)
+        self.latencies_s: deque[float] = deque(maxlen=65536)
+        self.accepted = 0
+        self.served = 0
+        self.shed = 0
+
+    async def start(self) -> None:
+        """Spawn the collector on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("batcher already started")
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def submit(self, observation) -> ServedAction:
+        """Queue one observation; resolves with its batched answer."""
+        if self._queue is None:
+            raise RuntimeError("batcher not started")
+        if self._closed:
+            raise ServiceClosed("gateway is closing; request rejected")
+        if self._queue.qsize() >= self.max_pending:
+            with self._metrics_lock:
+                self.shed += 1
+            raise Overloaded(
+                f"{self.max_pending} requests already pending"
+            )
+        item = _Pending(
+            observation=tuple(float(v) for v in observation),
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=time.perf_counter(),
+        )
+        self._queue.put_nowait(item)
+        with self._metrics_lock:
+            self.accepted += 1
+        return await item.future
+
+    async def close(self) -> None:
+        """Stop intake, drain every accepted request, stop the collector.
+
+        The close sentinel is enqueued *behind* all accepted requests
+        (FIFO), so the collector answers everything in flight before it
+        sees the sentinel — mirroring the stale-message drain the worker
+        pool does on shutdown.
+        """
+        if self._queue is None or self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(_CLOSE)
+        await self._task
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _CLOSE:
+                return
+            batch = [first]
+            closing = False
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                if not self._queue.empty():
+                    item = self._queue.get_nowait()
+                else:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if item is _CLOSE:
+                    closing = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+            if closing:
+                return
+
+    def _flush(self, batch: list[_Pending]) -> None:
+        """One batched forward pass; resolve every request's future.
+
+        Any failure — a ragged observation breaking the array stack as
+        much as a backend error — fails only this batch's futures; the
+        collector itself must survive to serve the next batch.
+        """
+        try:
+            observations = np.asarray(
+                [item.observation for item in batch], dtype=np.float64
+            )
+            version, actions = self._infer(observations)
+        except Exception as exc:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        size = len(batch)
+        with self._metrics_lock:
+            self.batch_size_histogram[size] = (
+                self.batch_size_histogram.get(size, 0) + 1
+            )
+            for item in batch:
+                self.latencies_s.append(now - item.submitted_at)
+            self.served += size
+        for i, item in enumerate(batch):
+            if not item.future.done():
+                item.future.set_result(
+                    ServedAction(
+                        action=int(actions[i]),
+                        champion_version=version,
+                        latency_s=now - item.submitted_at,
+                        batch_size=size,
+                    )
+                )
+
+    def metrics_snapshot(self) -> tuple[int, int, int, list, dict]:
+        """Coherent ``(accepted, served, shed, latencies, histogram)``.
+
+        Safe from any thread — the same lock that guards flush-side
+        updates guards the copies, so a scraper never iterates a deque
+        or dict mid-mutation.
+        """
+        with self._metrics_lock:
+            return (
+                self.accepted,
+                self.served,
+                self.shed,
+                list(self.latencies_s),
+                dict(self.batch_size_histogram),
+            )

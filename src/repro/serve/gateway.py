@@ -1,0 +1,115 @@
+"""The asyncio front door: ``submit(obs) -> action`` over a hot registry.
+
+The gateway glues the two serving halves together: every flushed batch
+snapshots the :class:`~repro.serve.registry.ChampionRegistry` exactly
+once and runs the whole batch through that champion's pre-compiled
+batched network. A hot-swap therefore lands *between* batches — requests
+already coalesced finish on the champion they were batched under, the
+next batch picks up the new one, and no request ever sees a half-swapped
+policy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.metrics import ServiceStats, percentile
+from repro.serve.batcher import MicroBatcher, ServedAction
+from repro.serve.registry import ChampionRegistry
+
+
+class InferenceGateway:
+    """Micro-batched inference over the currently deployed champion.
+
+    >>> # inside a running event loop:
+    >>> # gateway = InferenceGateway(registry)
+    >>> # await gateway.start()
+    >>> # served = await gateway.submit(observation)
+    >>> # served.action, served.champion_version
+
+    ``stats()`` may be called from any thread (it only reads counters
+    and bounded sample windows); ``submit`` must be awaited on the loop
+    that ``start`` ran on.
+    """
+
+    def __init__(
+        self,
+        registry: ChampionRegistry,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_pending: int = 4096,
+        close_registry: bool = True,
+    ):
+        """``close_registry=False`` leaves the registry open after
+        :meth:`close` — for gateways that *borrow* a registry (several
+        gateways over one champion store, benchmark repeats) rather than
+        own it like :class:`~repro.serve.service.ContinuousService`."""
+        self.registry = registry
+        self._close_registry = close_registry
+        self._batcher = MicroBatcher(
+            self._infer,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_pending=max_pending,
+        )
+        self._started_at: float | None = None
+        self._closed = False
+
+    def _infer(self, observations):
+        """One batch, one registry snapshot, one forward pass."""
+        record = self.registry.current()
+        return record.version, record.network.policy_batch(observations)
+
+    async def start(self) -> None:
+        """Start the batching collector on the running event loop."""
+        await self._batcher.start()
+        self._started_at = time.perf_counter()
+
+    async def submit(self, observation) -> ServedAction:
+        """Answer one observation with the current champion's action.
+
+        Raises :class:`~repro.serve.batcher.Overloaded` when the pending
+        queue is full (counted as shed) and
+        :class:`~repro.serve.batcher.ServiceClosed` after ``close``.
+        """
+        return await self._batcher.submit(observation)
+
+    async def close(self) -> None:
+        """Drain in-flight batches, then close the registry.
+
+        Ordering is the whole point (and is tested): every request
+        accepted before ``close`` is answered — through a registry that
+        is still open — and only then does the registry refuse further
+        reads. Mirrors the stale-message drain ``WorkerPool.shutdown``
+        does for free-running clans.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self._batcher.close()
+        if self._close_registry:
+            self.registry.close()
+
+    def stats(self) -> ServiceStats:
+        """Current service-quality snapshot (cheap; callable from any
+        thread — the batcher snapshot and the registry reads are each
+        taken under their own lock)."""
+        elapsed = (
+            time.perf_counter() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        accepted, served, shed, latencies, histogram = (
+            self._batcher.metrics_snapshot()
+        )
+        return ServiceStats(
+            requests=accepted,
+            served=served,
+            shed=shed,
+            qps=served / elapsed if elapsed > 0 else 0.0,
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            batch_size_histogram=histogram,
+            champion_version=self.registry.version,
+            swaps=self.registry.swaps,
+        )

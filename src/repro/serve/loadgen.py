@@ -1,0 +1,127 @@
+"""Synthetic open-loop load: Poisson arrivals against a gateway.
+
+Open-loop means arrivals are scheduled by the clock, not by completions —
+a slow service does not slow the offered load down, which is the regime
+where p95 latency and shedding actually mean something (a closed-loop
+driver self-throttles and hides overload). Inter-arrival gaps are drawn
+from a seeded exponential distribution, so a load run is reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from repro.envs.registry import workload_spec
+from repro.serve.batcher import Overloaded, ServedAction, ServiceClosed
+
+
+def observation_sampler(env_id: str, scale: float = 1.0):
+    """Uniform random observations shaped for ``env_id``.
+
+    Serving traffic does not follow environment dynamics — any client
+    may ask about any state — so uniform coverage of the observation box
+    is the honest synthetic stand-in.
+    """
+    obs_dim = workload_spec(env_id).obs_dim
+
+    def sample(rng: random.Random) -> list[float]:
+        return [rng.uniform(-scale, scale) for _ in range(obs_dim)]
+
+    return sample
+
+
+@dataclass
+class LoadReport:
+    """What one load run offered and what came back."""
+
+    #: requests the generator attempted to submit
+    offered: int = 0
+    #: requests answered with an action
+    served: int = 0
+    #: requests rejected by back-pressure (gateway queue full)
+    shed: int = 0
+    #: requests rejected because the gateway was closing
+    rejected_closed: int = 0
+    #: wall-clock from first arrival to last answer
+    duration_s: float = 0.0
+    #: every answer, in submission order (None where the request failed)
+    responses: list[ServedAction | None] = field(default_factory=list)
+    #: the observation each request carried, in submission order
+    observations: list[list[float]] = field(default_factory=list)
+
+    @property
+    def distinct_versions(self) -> list[int]:
+        """Champion versions observed in responses, in first-seen order."""
+        seen: list[int] = []
+        for response in self.responses:
+            if response and response.champion_version not in seen:
+                seen.append(response.champion_version)
+        return seen
+
+
+class LoadGenerator:
+    """Drive a gateway with Poisson arrivals at a target rate.
+
+    ``submit`` is any ``async (observation) -> ServedAction`` — an
+    :class:`~repro.serve.gateway.InferenceGateway` or a whole
+    :class:`~repro.serve.service.ContinuousService`.
+    """
+
+    def __init__(
+        self,
+        submit,
+        sampler,
+        rate_hz: float,
+        n_requests: int,
+        seed: int = 0,
+    ):
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        self._submit = submit
+        self._sampler = sampler
+        self.rate_hz = rate_hz
+        self.n_requests = n_requests
+        self.seed = seed
+
+    async def run(self) -> LoadReport:
+        """Fire all arrivals; wait for every outstanding answer."""
+        rng = random.Random(self.seed)
+        loop = asyncio.get_running_loop()
+        report = LoadReport()
+        started = loop.time()
+        next_arrival = started
+        tasks: list[asyncio.Task] = []
+        for _ in range(self.n_requests):
+            delay = next_arrival - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            observation = self._sampler(rng)
+            report.observations.append(observation)
+            report.offered += 1
+            tasks.append(loop.create_task(self._one(observation)))
+            next_arrival += rng.expovariate(self.rate_hz)
+        outcomes = await asyncio.gather(*tasks)
+        for kind, value in outcomes:
+            if kind == "ok":
+                report.served += 1
+                report.responses.append(value)
+            else:
+                report.responses.append(None)
+                if kind == "shed":
+                    report.shed += 1
+                else:
+                    report.rejected_closed += 1
+        report.duration_s = loop.time() - started
+        return report
+
+    async def _one(self, observation):
+        try:
+            return "ok", await self._submit(observation)
+        except Overloaded:
+            return "shed", None
+        except ServiceClosed:
+            return "closed", None

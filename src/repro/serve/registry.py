@@ -1,0 +1,210 @@
+"""Versioned champion store with atomic hot-swap and rollback.
+
+The registry is the deployment side of the evolve->deploy loop: evolution
+(any thread) publishes genomes, serving (the gateway's event loop) reads
+the current champion. Every publish pre-compiles the genome once through
+:func:`repro.neat.network.compile_batched` — the same lowering the
+evaluation stack uses — so the serving hot path never compiles, and a
+swap is a single reference assignment under a lock: readers either see
+the old champion or the new one, never a half-built record.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.network import (
+    BatchedFeedForwardNetwork,
+    BatchedPlan,
+    FeedForwardNetwork,
+    compile_batched,
+)
+
+
+class RegistryClosed(RuntimeError):
+    """Raised by registry operations after :meth:`ChampionRegistry.close`."""
+
+
+@dataclass(frozen=True)
+class ChampionRecord:
+    """One deployed (or previously deployed) champion.
+
+    The record is immutable and self-contained: ``network`` wraps the
+    pre-compiled plan and is safe to share across concurrent readers
+    (``activate_batch`` allocates per call; the plan arrays are never
+    written after compilation). ``scalar_network`` builds a *fresh*
+    interpreter — :class:`~repro.neat.network.FeedForwardNetwork` keeps
+    per-instance state, so parity checkers must not share one across
+    threads.
+    """
+
+    #: monotonically increasing deployment version (1 = first publish)
+    version: int
+    #: the champion genome (copied at publish; later mutation of the
+    #: source genome cannot corrupt a deployed record)
+    genome: Genome
+    #: fitness the genome was promoted with (-inf for bootstrap deploys)
+    fitness: float
+    #: evolution generation that produced it (-1 for bootstrap deploys)
+    generation: int
+    #: provenance label, e.g. ``"bootstrap"`` or ``"clan0"``
+    source: str
+    #: the lowered plan (compiled exactly once, at publish)
+    plan: BatchedPlan
+    #: batched engine over ``plan`` — the serving hot path
+    network: BatchedFeedForwardNetwork
+    #: config the plan was compiled against
+    config: NEATConfig
+
+    def scalar_network(self) -> FeedForwardNetwork:
+        """A fresh reference interpreter for this champion.
+
+        Built per call because the scalar interpreter mutates internal
+        state during ``activate`` — see the thread-safety notes in
+        :mod:`repro.neat.network`.
+        """
+        return FeedForwardNetwork.create(self.genome, self.config)
+
+
+class ChampionRegistry:
+    """Thread-safe, versioned store of deployed champions.
+
+    >>> from repro.neat.config import NEATConfig
+    >>> from repro.neat.population import Population
+    >>> config = NEATConfig.for_env("CartPole-v0", pop_size=4)
+    >>> registry = ChampionRegistry(config)
+    >>> pop = Population(config, seed=0)
+    >>> record = registry.publish(pop.genomes[0], source="bootstrap")
+    >>> registry.current().version
+    1
+
+    Publishes may come from any thread (the evolution callback of
+    :meth:`repro.cluster.runtime.DistributedClanRuntime.run_async` runs
+    on the service's evolution thread); reads come from the gateway's
+    event loop. Compilation happens outside the lock — only the swap
+    itself is serialised.
+    """
+
+    def __init__(self, config: NEATConfig, rollback_depth: int = 8):
+        self.config = config
+        self.rollback_depth = rollback_depth
+        self._lock = threading.Lock()
+        self._current: ChampionRecord | None = None
+        #: every record ever published, by version — parity checkers
+        #: resolve the champion a response was served by from this map
+        self._records: dict[int, ChampionRecord] = {}
+        #: previously deployed records, oldest first (bounded)
+        self._rollback: list[ChampionRecord] = []
+        self._next_version = 1
+        self._rollbacks = 0
+        self._closed = False
+
+    def publish(
+        self,
+        genome: Genome,
+        fitness: float | None = None,
+        generation: int = -1,
+        source: str = "manual",
+    ) -> ChampionRecord:
+        """Compile ``genome`` and atomically make it the current champion.
+
+        Returns the new record. The previous champion (if any) is pushed
+        onto the rollback stack.
+        """
+        plan = compile_batched(genome, self.config)
+        network = BatchedFeedForwardNetwork(plan)
+        if fitness is None:
+            fitness = (
+                genome.fitness
+                if genome.fitness is not None
+                else float("-inf")
+            )
+        with self._lock:
+            if self._closed:
+                raise RegistryClosed("registry is closed")
+            record = ChampionRecord(
+                version=self._next_version,
+                genome=genome.copy(),
+                fitness=fitness,
+                generation=generation,
+                source=source,
+                plan=plan,
+                network=network,
+                config=self.config,
+            )
+            self._next_version += 1
+            if self._current is not None:
+                self._rollback.append(self._current)
+                del self._rollback[: -self.rollback_depth]
+            self._records[record.version] = record
+            self._current = record
+        return record
+
+    def current(self) -> ChampionRecord:
+        """The currently deployed champion (raises before first publish)."""
+        with self._lock:
+            if self._closed:
+                raise RegistryClosed("registry is closed")
+            if self._current is None:
+                raise LookupError("no champion has been published")
+            return self._current
+
+    def record_for(self, version: int) -> ChampionRecord:
+        """Look up any ever-published record by version (for parity
+        checks against responses served by an older champion)."""
+        with self._lock:
+            try:
+                return self._records[version]
+            except KeyError:
+                raise LookupError(
+                    f"no champion record for version {version}"
+                ) from None
+
+    def rollback(self) -> ChampionRecord:
+        """Redeploy the previously deployed champion.
+
+        The bad record stays in :meth:`record_for` (responses it served
+        must stay attributable) but leaves the deployment path. Raises
+        ``LookupError`` with nothing to roll back to.
+        """
+        with self._lock:
+            if self._closed:
+                raise RegistryClosed("registry is closed")
+            if not self._rollback:
+                raise LookupError("no previous champion to roll back to")
+            self._current = self._rollback.pop()
+            self._rollbacks += 1
+            return self._current
+
+    @property
+    def version(self) -> int:
+        """Version of the current champion (0 before first publish)."""
+        with self._lock:
+            return self._current.version if self._current else 0
+
+    @property
+    def swaps(self) -> int:
+        """Deployment changes after the first publish (incl. rollbacks)."""
+        with self._lock:
+            published = self._next_version - 1
+            return max(0, published - 1) + self._rollbacks
+
+    def close(self) -> None:
+        """Refuse further publishes and deployment reads.
+
+        The gateway calls this *after* draining in-flight batches — see
+        :meth:`repro.serve.gateway.InferenceGateway.close` — so no
+        request that was accepted ever observes a closed registry.
+        :meth:`record_for` keeps working: already-served responses must
+        stay attributable (post-run parity audits rely on it).
+        """
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -1,0 +1,209 @@
+"""The closed loop: evolve in the background, serve in the foreground.
+
+:class:`ContinuousService` is the subsystem the paper's title promises —
+*continuous* learning. A barrier-free clan fleet
+(:class:`~repro.cluster.runtime.DistributedClanRuntime`) evolves on
+worker processes while the gateway answers traffic on the event loop;
+every time the fleet reports a new global-best genome, the service
+compiles and publishes it to the champion registry, and the very next
+micro-batch is served by the improved policy. Traffic never pauses: a
+swap is one reference assignment between batches.
+
+Deployment timeline::
+
+    t=0   bootstrap champion (seed genome, unevaluated) published
+    t=0   gateway starts answering; evolution thread launches clans
+    t>0   every global-best report -> publish -> hot-swap mid-traffic
+    close stop evolution, drain in-flight batches, close the registry
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.cluster.runtime import (
+    ChampionEvent,
+    DistributedClanRuntime,
+    RealRunStats,
+)
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+from repro.serve.batcher import ServedAction
+from repro.serve.gateway import InferenceGateway
+from repro.serve.registry import ChampionRegistry, ChampionRecord
+
+
+class ContinuousService:
+    """Serve a workload's champion while clans keep evolving it.
+
+    Usage (inside an event loop)::
+
+        service = ContinuousService("CartPole-v0", n_clans=2,
+                                    pop_size=24, max_generations=40)
+        await service.start()
+        served = await service.submit(observation)
+        ...
+        await service.close()
+
+    The evolution side runs :meth:`DistributedClanRuntime.run_async` on
+    a daemon thread with champion streaming on; promotions go through
+    the thread-safe registry, so the gateway's event loop never blocks
+    on evolution and vice versa.
+    """
+
+    def __init__(
+        self,
+        env_id: str,
+        n_clans: int = 2,
+        pop_size: int | None = None,
+        config: NEATConfig | None = None,
+        seed: int = 0,
+        max_generations: int = 50,
+        fitness_threshold: float | None = None,
+        max_steps: int | None = None,
+        backend: str = "batched",
+        eval_mode: str = "per_genome",
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_pending: int = 4096,
+    ):
+        if config is None:
+            overrides = {}
+            if pop_size is not None:
+                overrides["pop_size"] = pop_size
+            config = NEATConfig.for_env(env_id, **overrides)
+        elif pop_size is not None and config.pop_size != pop_size:
+            raise ValueError(
+                "pass either config or pop_size, not conflicting values"
+            )
+        self.env_id = env_id
+        self.config = config
+        self.n_clans = n_clans
+        self.seed = seed
+        self.max_generations = max_generations
+        self.fitness_threshold = fitness_threshold
+        self.max_steps = max_steps
+        self.backend = backend
+        self.eval_mode = eval_mode
+        self.registry = ChampionRegistry(config)
+        self.gateway = InferenceGateway(
+            self.registry,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_pending=max_pending,
+        )
+        #: ``(record, event)`` per promotion, in promotion order
+        self.promotions: list[tuple[ChampionRecord, ChampionEvent]] = []
+        self._runtime: DistributedClanRuntime | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._evolution_result: RealRunStats | None = None
+        self._evolution_error: BaseException | None = None
+        self._closed = False
+
+    async def start(self) -> ChampionRecord:
+        """Deploy a bootstrap champion, start serving, start evolving.
+
+        The bootstrap champion is genome 0 of the same seeded population
+        the clan fleet is partitioned from — deterministic, deployable
+        before any evaluation has happened, and guaranteed to be
+        replaced by the first evolution report (whose fitness beats the
+        bootstrap's -inf). Returns the bootstrap record.
+        """
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        seed_population = Population(self.config, seed=self.seed)
+        bootstrap = seed_population.genomes[min(seed_population.genomes)]
+        record = self.registry.publish(
+            bootstrap,
+            fitness=float("-inf"),
+            generation=-1,
+            source="bootstrap",
+        )
+        await self.gateway.start()
+        self._runtime = DistributedClanRuntime(
+            self.env_id,
+            self.n_clans,
+            config=self.config,
+            seed=self.seed,
+            max_steps=self.max_steps,
+            backend=self.backend,
+            eval_mode=self.eval_mode,
+        )
+        self._thread = threading.Thread(
+            target=self._evolve, name="clan-evolution", daemon=True
+        )
+        self._thread.start()
+        return record
+
+    def _evolve(self) -> None:
+        try:
+            self._evolution_result = self._runtime.run_async(
+                self.max_generations,
+                fitness_threshold=self.fitness_threshold,
+                on_champion=self._promote,
+                stop=self._stop,
+            )
+        except BaseException as exc:  # surfaced by close()
+            self._evolution_error = exc
+
+    def _promote(self, event: ChampionEvent) -> None:
+        """Champion-changed hook: compile + atomically hot-swap.
+
+        Runs on the evolution thread; the registry lock makes the swap
+        safe against concurrent gateway snapshots.
+        """
+        record = self.registry.publish(
+            event.genome,
+            fitness=event.fitness,
+            generation=event.generation,
+            source=f"clan{event.clan_id}",
+        )
+        self.promotions.append((record, event))
+
+    async def submit(self, observation) -> ServedAction:
+        """Answer one observation with the current champion's action."""
+        return await self.gateway.submit(observation)
+
+    def stats(self):
+        """The gateway's :class:`~repro.core.metrics.ServiceStats`."""
+        return self.gateway.stats()
+
+    async def evolution_done(self) -> RealRunStats:
+        """Wait for the evolution budget to finish; returns its stats."""
+        if self._thread is None:
+            raise RuntimeError("service not started")
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._thread.join
+        )
+        if self._evolution_error is not None:
+            raise self._evolution_error
+        return self._evolution_result
+
+    async def close(self) -> RealRunStats | None:
+        """Wind down: halt evolution, drain traffic, close the registry.
+
+        Order matters and mirrors the run_async stale-message drain:
+        (1) nudge clans to halt and join the evolution thread, so no
+        promotion lands mid-drain; (2) drain the gateway — every
+        accepted request is answered while the registry is still open;
+        (3) close the registry. Returns the evolution stats (None if the
+        service never started).
+        """
+        if self._closed:
+            return self._evolution_result
+        self._closed = True
+        result = None
+        if self._thread is not None:
+            self._stop.set()
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._thread.join
+            )
+            result = self._evolution_result
+        if self._runtime is not None:
+            self._runtime.shutdown()
+        await self.gateway.close()
+        if self._evolution_error is not None:
+            raise self._evolution_error
+        return result

@@ -363,3 +363,54 @@ class TestAnalyses:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_serves_load_with_hot_swaps(self, capsys):
+        code = main(
+            [
+                "serve", "CartPole-v0",
+                "--clans", "2",
+                "--pop", "24",
+                "--generations", "10",
+                "--requests", "200",
+                "--rate", "400",
+                "--threshold", "1e9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving CartPole-v0" in out
+        # the champion-changed events surface in the summary
+        assert "hot-swap -> v2" in out
+        assert "p95 latency" in out
+        assert "served           | 200" in out
+        assert "evolution: 10 generations/clan" in out
+
+    def test_rejects_bad_rate(self, capsys):
+        code = main(["serve", "CartPole-v0", "--rate", "0"])
+        assert code == 2
+        assert "rate" in capsys.readouterr().err
+
+    def test_rejects_bad_clans(self, capsys):
+        code = main(["serve", "CartPole-v0", "--clans", "0"])
+        assert code == 2
+        assert "clans" in capsys.readouterr().err
+
+    def test_rejects_bad_batching_knobs(self, capsys):
+        code = main(["serve", "CartPole-v0", "--max-batch", "0"])
+        assert code == 2
+        assert "max-batch" in capsys.readouterr().err
+        code = main(["serve", "CartPole-v0", "--max-wait-ms", "-1"])
+        assert code == 2
+        assert "max-wait-ms" in capsys.readouterr().err
+
+    def test_console_script_aliases_share_the_entry_point(self):
+        # tomllib is 3.11+; a text check keeps this running on 3.10
+        import pathlib
+
+        pyproject = (
+            pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        ).read_text()
+        assert 'clan-repro = "repro.cli:main"' in pyproject
+        assert 'repro = "repro.cli:main"' in pyproject

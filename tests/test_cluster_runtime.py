@@ -159,3 +159,79 @@ class TestBarrierFreeClans:
         assert stats.converged
         # nobody runs the full budget once a clan has converged
         assert all(g < 50 for g in stats.per_clan_generations)
+
+
+class TestChampionStreaming:
+    """run_async emits champion-changed events instead of only tracking
+    best-so-far internally (serving hook + CLI summary both consume it)."""
+
+    def test_events_fire_with_decoded_genomes(self, config):
+        events = []
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=2, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=4,
+                fitness_threshold=1e9,
+                on_champion=events.append,
+            )
+        assert len(events) >= 1
+        for event in events:
+            assert event.genome.key == event.genome_key
+            assert event.genome.fitness == event.fitness
+            assert 0 <= event.clan_id < 2
+            assert event.generation >= 0
+        # the callback saw exactly what the stats collected
+        assert stats.champions == events
+
+    def test_event_fitness_is_strictly_increasing_and_global(
+        self, config
+    ):
+        """Clans stream local improvements; the centre must dedupe to
+        global ones, ending at the run's best fitness."""
+        events = []
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=3, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=5,
+                fitness_threshold=1e9,
+                on_champion=events.append,
+            )
+        fitnesses = [event.fitness for event in events]
+        assert fitnesses == sorted(fitnesses)
+        assert len(set(fitnesses)) == len(fitnesses)
+        assert fitnesses[-1] == stats.best_fitness
+
+    def test_no_streaming_without_callback(self, config):
+        """Default runs ship no genome traffic and collect no events —
+        the wire behaviour older callers rely on."""
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=2, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=2, fitness_threshold=1e9
+            )
+        assert stats.champions == []
+
+    def test_external_stop_halts_clans_early(self, config):
+        import threading
+
+        stop = threading.Event()
+        events = []
+
+        def stop_after_first_champion(event):
+            events.append(event)
+            stop.set()
+
+        with DistributedClanRuntime(
+            "CartPole-v0", n_clans=2, config=config, seed=8
+        ) as runtime:
+            stats = runtime.run_async(
+                max_generations=10_000,
+                fitness_threshold=1e9,
+                on_champion=stop_after_first_champion,
+                stop=stop,
+            )
+        assert events
+        assert stats.generations < 10_000

@@ -65,6 +65,17 @@ class TestExamples:
         assert "identical trajectories: True" in result.stdout
         assert "x faster" in result.stdout
 
+    def test_continuous_serving(self):
+        result = run_example("continuous_serving.py")
+        assert result.returncode == 0, result.stderr
+        assert "deployed bootstrap champion v1" in result.stdout
+        assert "hot-swap -> v2" in result.stdout
+        assert "hot-swap mid-traffic: True" in result.stdout
+        assert (
+            "served actions match their champion's scalar inference: "
+            "True" in result.stdout
+        )
+
     def test_all_examples_have_docstrings_and_main(self):
         scripts = sorted(EXAMPLES_DIR.glob("*.py"))
         assert len(scripts) >= 5

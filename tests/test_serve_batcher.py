@@ -1,0 +1,235 @@
+"""Micro-batch parity and coalescing behaviour.
+
+The core invariant (an ISSUE acceptance criterion): for *any*
+interleaving of requests, the actions a :class:`MicroBatcher` returns are
+identical to running each request alone through the champion's scalar
+``FeedForwardNetwork.activate`` — micro-batching is invisible to callers.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neat.config import NEATConfig
+from repro.neat.network import (
+    BatchedFeedForwardNetwork,
+    FeedForwardNetwork,
+)
+from repro.serve import MicroBatcher, Overloaded, ServiceClosed
+
+from tests.conftest import make_evolved_genome
+
+CONFIG = NEATConfig.for_env("CartPole-v0")
+CHAMPION = make_evolved_genome(CONFIG, seed=5, mutations=40, key=1)
+BATCHED = BatchedFeedForwardNetwork.create(CHAMPION, CONFIG)
+
+#: the batcher's execution hook: one registry-snapshot-like closure
+_INFER = lambda observations: (1, BATCHED.policy_batch(observations))
+
+
+def _scalar_actions(observations):
+    """Per-request reference: a fresh interpreter per call site."""
+    scalar = FeedForwardNetwork.create(CHAMPION, CONFIG)
+    return [scalar.policy(obs) for obs in observations]
+
+
+observation = st.lists(
+    st.floats(
+        min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+    ),
+    min_size=4,
+    max_size=4,
+)
+#: an interleaving: bursts of concurrent submits separated by loop yields
+interleaving = st.lists(
+    st.lists(observation, min_size=1, max_size=5),
+    min_size=1,
+    max_size=6,
+)
+
+
+async def _drive(rounds, max_batch, max_wait_s):
+    batcher = MicroBatcher(
+        _INFER, max_batch=max_batch, max_wait_s=max_wait_s
+    )
+    await batcher.start()
+    tasks = []
+    for burst in rounds:
+        for obs in burst:
+            tasks.append(asyncio.ensure_future(batcher.submit(obs)))
+        # yield between bursts so flushes interleave with arrivals
+        await asyncio.sleep(0)
+    results = await asyncio.gather(*tasks)
+    await batcher.close()
+    return results, batcher
+
+
+class TestParityProperty:
+    @given(
+        rounds=interleaving,
+        max_batch=st.integers(min_value=1, max_value=8),
+        max_wait_s=st.sampled_from([0.0, 0.0005, 0.003]),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_any_interleaving_matches_scalar_inference(
+        self, rounds, max_batch, max_wait_s
+    ):
+        results, _ = asyncio.run(_drive(rounds, max_batch, max_wait_s))
+        flat = [obs for burst in rounds for obs in burst]
+        expected = _scalar_actions(flat)
+        assert [served.action for served in results] == expected
+
+    @given(rounds=interleaving)
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_every_request_is_answered_exactly_once(self, rounds):
+        results, batcher = asyncio.run(_drive(rounds, 4, 0.0005))
+        n = sum(len(burst) for burst in rounds)
+        assert len(results) == n
+        assert batcher.served == n
+        assert sum(
+            size * count
+            for size, count in batcher.batch_size_histogram.items()
+        ) == n
+
+
+class TestCoalescing:
+    def test_concurrent_burst_coalesces_into_one_batch(self):
+        async def run():
+            batcher = MicroBatcher(_INFER, max_batch=16, max_wait_s=0.05)
+            await batcher.start()
+            observations = [[0.1 * i, 0.0, 0.0, 0.0] for i in range(10)]
+            results = await asyncio.gather(
+                *(batcher.submit(obs) for obs in observations)
+            )
+            await batcher.close()
+            return results, batcher
+
+        results, batcher = asyncio.run(run())
+        assert batcher.batch_size_histogram == {10: 1}
+        assert all(served.batch_size == 10 for served in results)
+
+    def test_max_batch_caps_flush_size(self):
+        async def run():
+            batcher = MicroBatcher(_INFER, max_batch=4, max_wait_s=0.05)
+            await batcher.start()
+            observations = [[0.0, 0.0, 0.0, 0.0]] * 10
+            await asyncio.gather(
+                *(batcher.submit(obs) for obs in observations)
+            )
+            await batcher.close()
+            return batcher
+
+        batcher = asyncio.run(run())
+        assert max(batcher.batch_size_histogram) <= 4
+
+    def test_zero_wait_still_batches_queued_requests(self):
+        """max_wait_s=0 flushes whatever is already queued — latency
+        floor without losing burst coalescing."""
+
+        async def run():
+            batcher = MicroBatcher(_INFER, max_batch=32, max_wait_s=0.0)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit([0.0] * 4) for _ in range(8))
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 8
+
+    def test_latency_is_recorded_per_request(self):
+        async def run():
+            batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.001)
+            await batcher.start()
+            await asyncio.gather(
+                *(batcher.submit([0.0] * 4) for _ in range(6))
+            )
+            await batcher.close()
+            return batcher
+
+        batcher = asyncio.run(run())
+        assert len(batcher.latencies_s) == 6
+        assert all(latency >= 0 for latency in batcher.latencies_s)
+
+
+class TestBackpressure:
+    def test_overflow_is_shed_and_counted(self):
+        async def run():
+            batcher = MicroBatcher(
+                _INFER, max_batch=4, max_wait_s=0.01, max_pending=3
+            )
+            await batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit([0.0] * 4))
+                for _ in range(10)
+            ]
+            outcomes = await asyncio.gather(
+                *tasks, return_exceptions=True
+            )
+            await batcher.close()
+            return outcomes, batcher
+
+        outcomes, batcher = asyncio.run(run())
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        served = [o for o in outcomes if not isinstance(o, Exception)]
+        assert batcher.shed == len(shed) > 0
+        assert batcher.served == len(served) > 0
+        assert len(shed) + len(served) == 10
+
+    def test_submit_after_close_raises(self):
+        async def run():
+            batcher = MicroBatcher(_INFER)
+            await batcher.start()
+            await batcher.close()
+            with pytest.raises(ServiceClosed):
+                await batcher.submit([0.0] * 4)
+
+        asyncio.run(run())
+
+    def test_infer_failure_propagates_to_every_request(self):
+        def broken(observations):
+            raise RuntimeError("backend exploded")
+
+        async def run():
+            batcher = MicroBatcher(broken, max_batch=4, max_wait_s=0.01)
+            await batcher.start()
+            outcomes = await asyncio.gather(
+                *(batcher.submit([0.0] * 4) for _ in range(3)),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(_INFER, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(_INFER, max_wait_s=-1.0)
+
+    def test_malformed_observation_fails_only_its_batch(self):
+        """Regression: a ragged observation must not kill the collector
+        task (which would hang every other in-flight request forever)."""
+
+        async def run():
+            batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.01)
+            await batcher.start()
+            outcomes = await asyncio.gather(
+                batcher.submit([0.1, 0.2, 0.3, 0.4]),
+                batcher.submit([0.1, 0.2]),  # wrong arity
+                return_exceptions=True,
+            )
+            # the collector survived: later requests still get answers
+            later = await batcher.submit([0.5, 0.5, 0.5, 0.5])
+            await batcher.close()
+            return outcomes, later
+
+        outcomes, later = asyncio.run(run())
+        assert any(isinstance(o, Exception) for o in outcomes)
+        assert later.action in (0, 1)

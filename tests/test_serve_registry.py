@@ -1,0 +1,179 @@
+"""Tests for the versioned champion registry (hot-swap + rollback)."""
+
+import threading
+
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.population import Population
+from repro.serve import ChampionRegistry, RegistryClosed
+
+from tests.conftest import make_evolved_genome
+
+
+@pytest.fixture
+def config() -> NEATConfig:
+    return NEATConfig.for_env("CartPole-v0", pop_size=8)
+
+
+@pytest.fixture
+def genomes(config):
+    return [
+        make_evolved_genome(config, seed=seed, mutations=25, key=seed)
+        for seed in range(4)
+    ]
+
+
+class TestPublish:
+    def test_versions_increment_from_one(self, config, genomes):
+        registry = ChampionRegistry(config)
+        assert registry.version == 0
+        for i, genome in enumerate(genomes):
+            record = registry.publish(genome)
+            assert record.version == i + 1
+        assert registry.version == len(genomes)
+
+    def test_current_raises_before_first_publish(self, config):
+        with pytest.raises(LookupError):
+            ChampionRegistry(config).current()
+
+    def test_publish_swaps_current(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        first = registry.current()
+        registry.publish(genomes[1])
+        assert registry.current().version == first.version + 1
+
+    def test_record_is_precompiled_and_matches_scalar(
+        self, config, genomes
+    ):
+        registry = ChampionRegistry(config)
+        record = registry.publish(genomes[0])
+        scalar = record.scalar_network()
+        observations = [
+            [0.1, -0.2, 0.3, -0.4],
+            [1.0, 1.0, -1.0, 0.5],
+        ]
+        actions = record.network.policy_batch(observations)
+        for i, obs in enumerate(observations):
+            assert int(actions[i]) == scalar.policy(obs)
+
+    def test_published_genome_is_decoupled_from_source(
+        self, config, genomes
+    ):
+        registry = ChampionRegistry(config)
+        source = genomes[0]
+        record = registry.publish(source)
+        assert record.genome is not source
+        before = record.genome.gene_count()
+        source.fitness = 123.0
+        for gene in source.connections.values():
+            gene.weight = 0.0
+        assert record.genome.gene_count() == before
+        assert any(
+            gene.weight != 0.0
+            for gene in record.genome.connections.values()
+        )
+
+    def test_fitness_defaults_to_genome_fitness(self, config, genomes):
+        registry = ChampionRegistry(config)
+        genomes[0].fitness = 17.5
+        assert registry.publish(genomes[0]).fitness == 17.5
+
+    def test_publish_from_background_threads(self, config):
+        """Swaps are atomic: readers always see a complete record."""
+        population = Population(config, seed=0)
+        pool = list(population.genomes.values())
+        registry = ChampionRegistry(config)
+        registry.publish(pool[0])
+        errors = []
+
+        def writer(genome):
+            try:
+                registry.publish(genome)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(g,)) for g in pool[1:]
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(100):
+            record = registry.current()
+            assert record.network.plan is record.plan
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert registry.version == len(pool)
+
+
+class TestRollback:
+    def test_rollback_restores_previous(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        registry.publish(genomes[1])
+        restored = registry.rollback()
+        assert restored.version == 1
+        assert registry.current().version == 1
+
+    def test_rolled_back_version_stays_resolvable(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        bad = registry.publish(genomes[1])
+        registry.rollback()
+        assert registry.record_for(bad.version).version == bad.version
+
+    def test_rollback_without_history_raises(self, config, genomes):
+        registry = ChampionRegistry(config)
+        with pytest.raises(LookupError):
+            registry.rollback()
+        registry.publish(genomes[0])
+        with pytest.raises(LookupError):
+            registry.rollback()
+
+    def test_rollback_depth_bounds_the_stack(self, config):
+        population = Population(config, seed=0)
+        registry = ChampionRegistry(config, rollback_depth=2)
+        for genome in population.genomes.values():
+            registry.publish(genome)
+        registry.rollback()
+        registry.rollback()
+        with pytest.raises(LookupError):
+            registry.rollback()
+
+    def test_swaps_counts_promotions_and_rollbacks(self, config, genomes):
+        registry = ChampionRegistry(config)
+        assert registry.swaps == 0
+        registry.publish(genomes[0])
+        assert registry.swaps == 0  # first deploy is not a swap
+        registry.publish(genomes[1])
+        assert registry.swaps == 1
+        registry.rollback()
+        assert registry.swaps == 2
+
+
+class TestClose:
+    def test_publish_and_reads_refused_after_close(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        registry.close()
+        assert registry.closed
+        with pytest.raises(RegistryClosed):
+            registry.publish(genomes[1])
+        with pytest.raises(RegistryClosed):
+            registry.current()
+        with pytest.raises(RegistryClosed):
+            registry.rollback()
+
+    def test_record_for_survives_close_for_parity_checks(
+        self, config, genomes
+    ):
+        registry = ChampionRegistry(config)
+        record = registry.publish(genomes[0])
+        registry.close()
+        assert registry.record_for(record.version) is record
+
+    def test_record_for_unknown_version_raises(self, config):
+        with pytest.raises(LookupError):
+            ChampionRegistry(config).record_for(1)
