@@ -1,0 +1,293 @@
+"""Vectorized genetics engine vs scalar, + compiled-plan cache (extension).
+
+PRs 1–2 vectorized inference and environments; this benchmark measures
+the evolution phase those left behind — the paper's Speciation block
+(the one CLAN "cannot use PLP" on) and Reproduction (which GeneSys
+showed dominates once inference is fast):
+
+* **speciation + reproduction** — a 256-genome evolved population is
+  speciated and a full brood formed under ``genetics="scalar"`` and
+  ``genetics="vectorized"``. The partitions must be *identical* (same
+  species ids, same membership) before the timings mean anything; the
+  vectorized engine must clear ``MIN_SPEEDUP``.
+* **plan cache** — a weight-mutation-dominated seeded run (structural
+  rates zeroed, NEAT's common regime between topology innovations) is
+  evaluated with the batched backend; the topology-keyed
+  :class:`~repro.neat.network.PlanCache` must serve at least
+  ``MIN_HIT_RATE`` of compiles and return plans whose evaluation
+  results are *bitwise identical* to cache-less compilation.
+
+Results go to ``reports/bench_genetics.txt`` and, machine-readably,
+``reports/bench_genetics.json`` for the CI trend gate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.innovation import InnovationTracker
+from repro.neat.population import Population
+from repro.neat.reproduction import execute_plan, plan_generation
+from repro.neat.species import SpeciesSet
+from repro.utils.fmt import format_table
+from repro.utils.rng import RngFactory
+
+from benchmarks.conftest import run_once
+from tests.conftest import make_evolved_genome
+
+#: evolved genomes in the benchmark population (issue floor: >= 256)
+POPULATION = 512
+#: structural mutation bursts diversifying each genome's topology — with
+#: the growth-biased rates below this reaches ~50 genes per genome, the
+#: paper's long-run regime where speciation cost dominates (Fig 3c)
+MUTATIONS = 80
+#: timing repetitions; the minimum is reported
+REPEATS = 3
+#: acceptance floor: vectorized speciation+reproduction vs scalar
+MIN_SPEEDUP = 3.0
+#: acceptance floor: plan-cache hit rate on the weight-only run
+MIN_HIT_RATE = 0.8
+#: generations of the weight-mutation-dominated cache run
+CACHE_GENERATIONS = 4
+
+
+def _population(config: NEATConfig, generation: int = 0) -> dict:
+    population = {}
+    for i in range(POPULATION):
+        key = generation * 10_000 + i
+        genome = make_evolved_genome(
+            config, seed=i + generation * 300, mutations=MUTATIONS,
+            key=key,
+        )
+        genome.fitness = float((i * 13) % 29)
+        population[key] = genome
+    return population
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speciate(populations, config):
+    """Two speciation passes: generation 0 founds the species, the next
+    generation re-anchors them — the steady-state per-generation
+    pattern. Returns the final partition and the accumulated stats."""
+    species_set = SpeciesSet()
+    comparisons = 0
+    genes_compared = 0
+    for generation, population in enumerate(populations):
+        stats = species_set.speciate(
+            population, generation, config, random.Random(generation)
+        )
+        comparisons += stats.comparisons
+        genes_compared += stats.genes_compared
+    stats.comparisons = comparisons
+    stats.genes_compared = genes_compared
+    return species_set, stats
+
+
+def _make_plan(population, config, species_set):
+    """Generation Planning — a separate Table III block, not timed."""
+    counter = iter(range(100_000, 100_000 + 4 * POPULATION))
+    return plan_generation(
+        config, species_set, 1, random.Random(1), lambda: next(counter)
+    )
+
+
+def _reproduce(population, config, plan):
+    """The Reproduction block proper: execute a prepared plan."""
+    rngs = RngFactory(7)
+    innovation = InnovationTracker(
+        next_node_id=max(g.max_node_id() for g in population.values()) + 1
+    )
+    next_population, stats = execute_plan(
+        plan, population, config,
+        lambda spec: rngs.get(f"child:0:{spec.child_key}"),
+        innovation,
+        np_rng=(
+            rngs.np_generator("brood:0")
+            if config.genetics == "vectorized"
+            else None
+        ),
+    )
+    return next_population, stats
+
+
+def test_vectorized_genetics_speedup(benchmark, report_sink, json_sink):
+    # growth-biased structural rates evolve realistic long-run genome
+    # sizes; a tighter threshold then splits the diverse population into
+    # a healthy species count — the regime Fig 3c measures
+    scalar_config = NEATConfig.for_env(
+        "CartPole-v0",
+        pop_size=POPULATION,
+        compatibility_threshold=2.8,
+        conn_add_prob=0.45,
+        node_add_prob=0.2,
+        node_delete_prob=0.05,
+        conn_delete_prob=0.05,
+    )
+    vector_config = scalar_config.evolve_with(genetics="vectorized")
+    populations = [
+        _population(scalar_config, generation) for generation in range(2)
+    ]
+    population = populations[-1]
+    total_genes = sum(g.gene_count() for g in population.values())
+
+    # correctness first: identical speciation partition and cost counters
+    scalar_set, scalar_stats = _speciate(populations, scalar_config)
+    vector_set, vector_stats = _speciate(populations, vector_config)
+    assert scalar_set.genome_to_species == vector_set.genome_to_species, (
+        "vectorized speciation diverged from scalar partition"
+    )
+    assert scalar_stats.comparisons == vector_stats.comparisons
+    assert scalar_stats.genes_compared == vector_stats.genes_compared
+    # ... and the vectorized brood keeps the scalar structure (the
+    # structural draws are the prefix of each child's scalar stream).
+    # Identical partitions yield identical plans; reuse one.
+    plan = _make_plan(population, scalar_config, scalar_set)
+    scalar_next, _ = _reproduce(population, scalar_config, plan)
+    vector_next, _ = _reproduce(population, vector_config, plan)
+    assert set(scalar_next) == set(vector_next)
+    for key in scalar_next:
+        assert set(scalar_next[key].connections) == set(
+            vector_next[key].connections
+        ), "vectorized brood changed a child topology"
+
+    scalar_speciation_s = run_once(
+        benchmark,
+        lambda: _time(lambda: _speciate(populations, scalar_config)),
+    )
+    vector_speciation_s = _time(
+        lambda: _speciate(populations, vector_config)
+    )
+    scalar_repro_s = _time(
+        lambda: _reproduce(population, scalar_config, plan)
+    )
+    vector_repro_s = _time(
+        lambda: _reproduce(population, vector_config, plan)
+    )
+
+    scalar_total = scalar_speciation_s + scalar_repro_s
+    vector_total = vector_speciation_s + vector_repro_s
+    speedup = scalar_total / vector_total
+    speciation_speedup = scalar_speciation_s / vector_speciation_s
+    repro_speedup = scalar_repro_s / vector_repro_s
+
+    rows = [
+        ["speciation", f"{scalar_speciation_s * 1e3:.1f}",
+         f"{vector_speciation_s * 1e3:.1f}",
+         f"{speciation_speedup:.1f}x"],
+        ["reproduction", f"{scalar_repro_s * 1e3:.1f}",
+         f"{vector_repro_s * 1e3:.1f}", f"{repro_speedup:.1f}x"],
+        ["combined", f"{scalar_total * 1e3:.1f}",
+         f"{vector_total * 1e3:.1f}", f"{speedup:.1f}x"],
+    ]
+    report_sink(
+        "bench_genetics",
+        f"Vectorized genetics engine — {POPULATION} evolved genomes "
+        f"({total_genes} genes), {scalar_stats.n_species} species, "
+        f"{len(plan.children)} children, CartPole-v0\n"
+        + format_table(
+            ["evolution block", "scalar (ms)", "vectorized (ms)",
+             "speedup"],
+            rows,
+        )
+        + "\npartition parity: identical species assignment for all "
+        f"{POPULATION} genomes",
+    )
+    json_sink(
+        "bench_genetics",
+        {
+            "population": POPULATION,
+            "total_genes": total_genes,
+            "n_species": scalar_stats.n_species,
+            "comparisons": scalar_stats.comparisons,
+            "genes_compared": scalar_stats.genes_compared,
+            "children": len(plan.children),
+            "scalar_speciation_s": scalar_speciation_s,
+            "vector_speciation_s": vector_speciation_s,
+            "scalar_reproduction_s": scalar_repro_s,
+            "vector_reproduction_s": vector_repro_s,
+            "speciation_speedup": speciation_speedup,
+            "reproduction_speedup": repro_speedup,
+            "speedup": speedup,
+            "partition_identical": True,
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized genetics only {speedup:.1f}x faster; need "
+        f">= {MIN_SPEEDUP}x"
+    )
+
+
+def test_plan_cache_hit_rate_and_bitwise_parity(report_sink, json_sink):
+    # weight-mutation-dominated regime: every child differs from its
+    # parent in weights/biases only, so every compile after the first
+    # per-topology should be a refill
+    config = NEATConfig.for_env(
+        "CartPole-v0",
+        pop_size=64,
+        node_add_prob=0.0, node_delete_prob=0.0,
+        conn_add_prob=0.0, conn_delete_prob=0.0,
+        enabled_mutate_rate=0.0,
+    )
+    cached = GenomeEvaluator("CartPole-v0", seed=9, backend="batched")
+    population = Population(config, seed=9)
+
+    def evaluate(genomes, generation):
+        results = cached.evaluate_many(genomes, config, generation)
+        fresh = GenomeEvaluator("CartPole-v0", seed=9, backend="batched")
+        fresh.plan_cache = None
+        reference = fresh.evaluate_many(genomes, config, generation)
+        assert results == reference, (
+            "cached compilation changed evaluation results"
+        )
+        return results
+
+    population.run(evaluate, max_generations=CACHE_GENERATIONS)
+    cache = cached.plan_cache
+    hit_rate = cache.hit_rate
+    lookups = cache.hits + cache.misses
+
+    report_sink(
+        "bench_genetics_plan_cache",
+        "Compiled-plan cache — weight-mutation-dominated run "
+        f"({config.pop_size} genomes x {CACHE_GENERATIONS} "
+        "generations, CartPole-v0)\n"
+        + format_table(
+            ["metric", "value"],
+            [
+                ["compiles requested", str(lookups)],
+                ["cache hits", str(cache.hits)],
+                ["full lowerings", str(cache.misses)],
+                ["hit rate", f"{hit_rate:.0%}"],
+                ["evaluation parity", "bitwise identical"],
+            ],
+        ),
+    )
+    json_sink(
+        "bench_genetics_plan_cache",
+        {
+            "population": config.pop_size,
+            "generations": CACHE_GENERATIONS,
+            "lookups": lookups,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": hit_rate,
+            "bitwise_parity": True,
+        },
+    )
+
+    assert hit_rate >= MIN_HIT_RATE, (
+        f"plan cache hit rate {hit_rate:.0%}; need >= "
+        f"{MIN_HIT_RATE:.0%}"
+    )

@@ -34,6 +34,7 @@ from repro.cluster.simulator import MODES as SIM_MODES
 from repro.core.driver import ClanDriver
 from repro.core.protocols import available_protocols
 from repro.envs.registry import available_env_ids
+from repro.neat.config import GENETICS_ENGINES
 from repro.neat.evaluation import BACKENDS, EVAL_MODES
 from repro.utils.fmt import format_seconds, format_table
 
@@ -107,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "a time (the bit-exact reference) or one vectorized population "
         "sweep over the array-native environment (requires --backend "
         "batched; see docs/vectorization.md)",
+    )
+    learn.add_argument(
+        "--genetics",
+        default="scalar",
+        choices=GENETICS_ENGINES,
+        help="evolution-phase engine: gene-by-gene scalar genetics (the "
+        "bit-exact paper reference) or array-native batched speciation "
+        "distances + brood mutation (same speciation partition, "
+        "distribution-equivalent mutation; see docs/genetics.md)",
     )
     learn.add_argument(
         "--threshold",
@@ -312,15 +322,20 @@ def _cmd_learn(args) -> int:
         seed=args.seed,
         backend=args.backend,
         eval_mode=args.eval_mode,
+        genetics=args.genetics,
         **_protocol_kwargs(args),
     )
     eval_note = (
         ", population sweep" if args.eval_mode == "population" else ""
     )
+    genetics_note = (
+        ", vectorized genetics" if args.genetics == "vectorized" else ""
+    )
     print(
         f"learning {args.env} with {args.protocol} on "
         f"{_fleet_label(cluster)} "
-        f"(population {args.pop}, {args.backend} inference{eval_note})"
+        f"(population {args.pop}, {args.backend} inference"
+        f"{eval_note}{genetics_note})"
     )
     run = driver.learn(
         max_generations=args.generations, fitness_threshold=args.threshold
@@ -341,6 +356,23 @@ def _cmd_learn(args) -> int:
         f"{format_seconds(timing.evolution_s)}, communication "
         f"{format_seconds(timing.communication_s)})"
     )
+    # Fig 3c cost counters: speciation is the block CLAN cannot
+    # parallelise, so its comparison/gene totals headline the summary
+    result = run.result
+    summary = (
+        f"speciation: {result.total_speciation_comparisons():,} "
+        f"comparisons, {result.total_speciation_gene_ops():,} genes "
+        f"compared, {result.final_n_species()} final species "
+        f"({args.genetics} genetics)"
+    )
+    lookups = result.plan_cache_hits + result.plan_cache_misses
+    if lookups:
+        summary += (
+            f"; plan cache: {result.plan_cache_hits:,} hits / "
+            f"{result.plan_cache_misses:,} misses "
+            f"({result.plan_cache_hit_rate():.0%})"
+        )
+    print(summary)
     if args.sim_mode != "analytic":
         generations, total = driver.simulate(mode=args.sim_mode)
         line = (

@@ -28,7 +28,7 @@ from repro.core.partition import contiguous_blocks, round_robin
 from repro.envs.registry import workload_spec
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
-from repro.neat.network import compile_batched
+from repro.neat.network import PlanCache, compile_batched
 from repro.neat.population import Population
 from repro.utils.rng import RngFactory
 
@@ -110,6 +110,10 @@ class ParallelInferenceRuntime:
         self.config = config or NEATConfig.for_env(env_id)
         self.seed = seed
         self.backend = backend
+        #: centre-side compiled-plan cache: weight-only children reuse
+        #: their parent topology's lowered layout across generations, so
+        #: shard compilation pays only an array refill for most genomes
+        self.plan_cache = PlanCache() if backend == "batched" else None
         self.population = Population(self.config, seed=seed)
         rngs = RngFactory(seed)
         self.pool = WorkerPool(
@@ -143,7 +147,12 @@ class ParallelInferenceRuntime:
             plans = None
             if self.backend == "batched":
                 plans = [
-                    [compile_batched(g, self.config) for g in shard]
+                    [
+                        compile_batched(
+                            g, self.config, cache=self.plan_cache
+                        )
+                        for g in shard
+                    ]
                     for shard in shards
                 ]
             results = {}

@@ -16,7 +16,11 @@ from repro.cluster.serialization import decode_genomes, encode_genome
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import GenomeEvaluator
 from repro.neat.innovation import InnovationTracker
-from repro.neat.reproduction import execute_plan, plan_generation
+from repro.neat.reproduction import (
+    brood_rng,
+    execute_plan,
+    plan_generation,
+)
 from repro.neat.species import SpeciesSet
 from repro.utils.rng import RngFactory
 
@@ -121,6 +125,7 @@ class WorkerClan:
                 f"child:{generation}:{spec.child_key}"
             ),
             self.innovation,
+            np_rng=brood_rng(self.config, self.rngs, generation),
         )
         self.members = next_members
         self.innovation.advance_generation()

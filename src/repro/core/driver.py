@@ -69,17 +69,29 @@ class ClanDriver:
         pop_size: int | None = None,
         seed: int = 0,
         max_steps: int | None = None,
+        genetics: str | None = None,
         **protocol_kwargs,
     ):
+        """``genetics`` selects the evolution-phase engine
+        (``"scalar"`` or ``"vectorized"``, see ``docs/genetics.md``) and
+        folds into the derived config; like ``pop_size`` it conflicts
+        with an explicit ``config`` carrying a different value."""
         if config is None:
             overrides = {}
             if pop_size is not None:
                 overrides["pop_size"] = pop_size
+            if genetics is not None:
+                overrides["genetics"] = genetics
             config = NEATConfig.for_env(env_id, **overrides)
-        elif pop_size is not None and config.pop_size != pop_size:
-            raise ValueError(
-                "pass either config or pop_size, not conflicting values"
-            )
+        else:
+            if pop_size is not None and config.pop_size != pop_size:
+                raise ValueError(
+                    "pass either config or pop_size, not conflicting values"
+                )
+            if genetics is not None and config.genetics != genetics:
+                raise ValueError(
+                    "pass either config or genetics, not conflicting values"
+                )
         self.env_id = env_id
         self.cluster = cluster
         self.protocol_name = protocol

@@ -64,6 +64,9 @@ class GenerationRecord:
     n_species: int = 0
     population_size: int = 0
     solved: bool = False
+    #: distance comparisons computed this generation (Fig 3c cost unit
+    #: alongside the speciation gene-ops; summed over clans for DDA)
+    speciation_comparisons: int = 0
 
     def comm_floats(self) -> int:
         """Total 32-bit words transferred this generation."""
@@ -89,6 +92,12 @@ class GenerationRecord:
             distributed
             + self.center_speciation_gene_ops
             + self.center_reproduction_gene_ops
+        )
+
+    def total_speciation_gene_ops(self) -> int:
+        """Speciation gene-ops, wherever they ran (Fig 3c)."""
+        return self.center_speciation_gene_ops + sum(
+            load.speciation_gene_ops for load in self.agent_loads
         )
 
     def slowest_agent(self) -> int:
@@ -125,10 +134,32 @@ class RunResult:
     converged: bool = False
     generations_to_converge: int | None = None
     best_fitness: float = float("-inf")
+    #: compiled-plan cache counters over the whole run (batched backend
+    #: only; both stay 0 when no :class:`repro.neat.network.PlanCache`
+    #: is in play)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def generations(self) -> int:
         return len(self.records)
+
+    # -- Fig 3c cost counters, aggregated over the run --------------------
+
+    def total_speciation_comparisons(self) -> int:
+        return sum(r.speciation_comparisons for r in self.records)
+
+    def total_speciation_gene_ops(self) -> int:
+        return sum(r.total_speciation_gene_ops() for r in self.records)
+
+    def final_n_species(self) -> int:
+        """Species count in the last generation (0 for an empty run)."""
+        return self.records[-1].n_species if self.records else 0
+
+    def plan_cache_hit_rate(self) -> float:
+        """Hits / lookups over the run (0.0 when the cache never ran)."""
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / lookups if lookups else 0.0
 
     def total_comm_floats(self) -> int:
         return sum(r.comm_floats() for r in self.records)

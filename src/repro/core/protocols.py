@@ -35,10 +35,11 @@ from repro.neat.innovation import InnovationTracker
 from repro.neat.population import Population
 from repro.neat.reproduction import (
     GenerationPlan,
+    brood_rng,
     execute_plan,
     plan_generation,
 )
-from repro.neat.species import SpeciesSet
+from repro.neat.species import SpeciationStats, SpeciesSet
 from repro.utils.rng import RngFactory
 
 #: 32-bit words per reported fitness entry: (genome key, fitness)
@@ -137,6 +138,9 @@ class ProtocolBase:
         result = RunResult(
             protocol=self.name, env_id=self.env_id, n_agents=self.n_agents
         )
+        cache = getattr(self.evaluator, "plan_cache", None)
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
         for _ in range(max_generations):
             record = self.run_generation()
             result.records.append(record)
@@ -145,6 +149,9 @@ class ProtocolBase:
                 result.generations_to_converge = record.generation + 1
                 break
         result.best_fitness = self.best_fitness
+        if cache is not None:
+            result.plan_cache_hits = cache.hits - hits_before
+            result.plan_cache_misses = cache.misses - misses_before
         return result
 
     # -- shared helpers -------------------------------------------------------
@@ -222,6 +229,7 @@ class SerialNEAT(ProtocolBase):
         stats = self.population.run_generation(evaluate)
         load.speciation_gene_ops = stats.speciation_genes
         load.reproduction_gene_ops = stats.reproduction_genes
+        record.speciation_comparisons = stats.speciation_comparisons
         record.best_fitness = stats.best_fitness
         record.mean_fitness = stats.mean_fitness
         record.n_species = stats.n_species
@@ -292,6 +300,7 @@ class CLAN_DCS(ProtocolBase):
         record.center_speciation_gene_ops = stats.speciation_genes
         record.center_reproduction_gene_ops = stats.reproduction_genes
         record.center_planning_ops = stats.population_size
+        record.speciation_comparisons = stats.speciation_comparisons
         record.best_fitness = stats.best_fitness
         record.mean_fitness = stats.mean_fitness
         record.n_species = stats.n_species
@@ -374,6 +383,7 @@ class CLAN_DDS(ProtocolBase):
         plan = self.population.last_plan
         record.center_speciation_gene_ops = stats.speciation_genes
         record.center_planning_ops = stats.population_size
+        record.speciation_comparisons = stats.speciation_comparisons
 
         self._place_reproduction(record, plan, previous_genomes)
 
@@ -597,11 +607,12 @@ class CLAN_DDA(ProtocolBase):
         solved = False
         for clan in self._clans:
             load = record.agent_loads[clan.clan_id]
-            clan_best, clan_sum, clan_solved, clan_species = (
+            clan_best, clan_sum, clan_solved, clan_stats = (
                 clan.run_generation(
                     self.generation, self, load
                 )
             )
+            record.speciation_comparisons += clan_stats.comparisons
             record.messages.append(
                 Message(
                     MessageType.SENDING_FITNESS,
@@ -614,7 +625,7 @@ class CLAN_DDA(ProtocolBase):
             best_fitness = max(best_fitness, clan_best)
             fitness_sum += clan_sum
             total_members += len(clan.members)
-            n_species += clan_species
+            n_species += clan_stats.n_species
             solved = solved or clan_solved
             if clan.best_genome is not None:
                 self._note_best(clan.best_genome)
@@ -737,8 +748,8 @@ class _Clan:
         generation: int,
         protocol: "CLAN_DDA",
         load: AgentLoad,
-    ) -> tuple[float, float, bool, int]:
-        """One clan-local generation; returns (best, sum, solved, species)."""
+    ) -> tuple[float, float, bool, "SpeciationStats"]:
+        """One clan-local generation; returns (best, sum, solved, stats)."""
         solved = False
         results = protocol._evaluate_block_on_agent(
             list(self.members.values()), load, generation
@@ -777,12 +788,13 @@ class _Clan:
             f"child:{generation}:{spec.child_key}"
         )
         next_members, repro_stats = execute_plan(
-            plan, self.members, self.config, child_rng, self.innovation
+            plan, self.members, self.config, child_rng, self.innovation,
+            np_rng=brood_rng(self.config, self.rngs, generation),
         )
         load.reproduction_gene_ops += repro_stats.genes_processed
         self.members = next_members
         self.innovation.advance_generation()
-        return best.fitness, fitness_sum, solved, speciation_stats.n_species
+        return best.fitness, fitness_sum, solved, speciation_stats
 
 
 _PROTOCOLS = {

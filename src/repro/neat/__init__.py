@@ -15,7 +15,12 @@ structure as the `neat-python` library the paper builds on:
   decomposition so the CLAN protocols can distribute each block.
 * :mod:`repro.neat.population` — the serial generation loop (paper Fig 2a).
 * :mod:`repro.neat.network` — feed-forward network compilers: the scalar
-  interpreter and the batched NumPy engine (see ``docs/backends.md``).
+  interpreter and the batched NumPy engine (see ``docs/backends.md``),
+  plus the topology-keyed :class:`PlanCache` that lets weight-only
+  children skip re-lowering.
+* :mod:`repro.neat.vectorized` — the array-native genetics engine
+  (batched speciation distances + brood attribute mutation), selected by
+  ``NEATConfig.genetics = "vectorized"`` (see ``docs/genetics.md``).
 """
 
 from repro.neat.config import NEATConfig
@@ -25,7 +30,9 @@ from repro.neat.network import (
     BatchedFeedForwardNetwork,
     BatchedPlan,
     FeedForwardNetwork,
+    PlanCache,
     compile_batched,
+    structural_signature,
 )
 from repro.neat.recurrent import RecurrentNetwork
 from repro.neat.population import GenerationStats, Population
@@ -41,7 +48,9 @@ __all__ = [
     "FeedForwardNetwork",
     "BatchedFeedForwardNetwork",
     "BatchedPlan",
+    "PlanCache",
     "compile_batched",
+    "structural_signature",
     "RecurrentNetwork",
     "Population",
     "GenerationStats",

@@ -16,6 +16,9 @@ from dataclasses import dataclass, field, replace
 from repro.neat.activations import ACTIVATIONS
 from repro.neat.aggregations import AGGREGATIONS
 
+#: genetics engines accepted by :attr:`NEATConfig.genetics`
+GENETICS_ENGINES = ("scalar", "vectorized")
+
 
 @dataclass
 class NEATConfig:
@@ -82,6 +85,15 @@ class NEATConfig:
     max_stagnation: int = 15
     species_elitism: int = 2
 
+    # -- execution ------------------------------------------------------------
+    #: genetics engine: ``"scalar"`` runs speciation distances and
+    #: attribute mutation gene-by-gene through ``random.Random`` (the
+    #: bit-exact paper reference); ``"vectorized"`` lowers genomes to
+    #: arrays and batches both through NumPy (see ``docs/genetics.md``).
+    #: Orthogonal to the inference ``backend`` — this switch covers the
+    #: evolution phase (Speciation + Reproduction blocks), not Inference.
+    genetics: str = "scalar"
+
     # -- evaluation -----------------------------------------------------------
     fitness_criterion: str = "max"  # how population fitness is summarised
     allowed_activations: tuple[str, ...] = field(
@@ -98,6 +110,11 @@ class NEATConfig:
             raise ValueError("num_outputs must be >= 1")
         if self.pop_size < 2:
             raise ValueError("pop_size must be >= 2")
+        if self.genetics not in GENETICS_ENGINES:
+            known = ", ".join(GENETICS_ENGINES)
+            raise ValueError(
+                f"unknown genetics engine {self.genetics!r}; known: {known}"
+            )
         if self.initial_connection not in ("full", "none"):
             raise ValueError(
                 "initial_connection must be 'full' or 'none', got "

@@ -44,6 +44,7 @@ from repro.envs.registry import make, make_vector
 from repro.neat.network import (
     BatchedFeedForwardNetwork,
     FeedForwardNetwork,
+    PlanCache,
     StackedPopulationNetwork,
     compile_batched,
 )
@@ -129,6 +130,10 @@ class GenomeEvaluator:
         self.seed = seed
         self.backend = backend
         self.eval_mode = eval_mode
+        #: cross-generation compiled-plan cache (batched backend only):
+        #: weight-only children re-use their parent topology's lowered
+        #: layout, bit-identical to a fresh compile (docs/genetics.md)
+        self.plan_cache = PlanCache() if backend == "batched" else None
         self._env_factory = env_factory
         self._env = env_factory() if env_factory is not None else make(env_id)
         #: lockstep episode environments, built lazily by the batched backend
@@ -178,7 +183,9 @@ class GenomeEvaluator:
     ) -> FitnessResult:
         """Roll out ``genome`` and return its fitness and step count."""
         if self.backend == "batched":
-            network = BatchedFeedForwardNetwork.create(genome, config)
+            network = BatchedFeedForwardNetwork.create(
+                genome, config, cache=self.plan_cache
+            )
         else:
             network = FeedForwardNetwork.create(genome, config)
         return self.evaluate_compiled(network, genome.key, generation)
@@ -237,7 +244,10 @@ class GenomeEvaluator:
         """
         genomes = list(genomes)
         if self.eval_mode == "population" and genomes:
-            plans = [compile_batched(g, config) for g in genomes]
+            plans = [
+                compile_batched(g, config, cache=self.plan_cache)
+                for g in genomes
+            ]
             return self.evaluate_stacked(
                 plans, [g.key for g in genomes], generation
             )

@@ -25,6 +25,12 @@ class NodeGene:
     #: wire footprint in 32-bit words: key, bias, response, act id, agg id
     FLOAT_FIELDS = 5
 
+    #: mutable float attributes; each name doubles as the config-knob
+    #: prefix (``bias_mutate_rate``, ...) — the scalar mutation below and
+    #: the brood-batched path in :mod:`repro.neat.vectorized` both
+    #: resolve their parameters from this schema
+    FLOAT_ATTRS = ("bias", "response")
+
     __slots__ = ("key", "bias", "response", "activation", "aggregation")
 
     def __init__(
@@ -71,13 +77,23 @@ class NodeGene:
         )
 
     def copy(self) -> "NodeGene":
-        return NodeGene(
-            self.key, self.bias, self.response, self.activation,
-            self.aggregation,
-        )
+        # bypasses __init__: the source gene is already validated, and
+        # clone construction is the hottest allocation in reproduction
+        clone = NodeGene.__new__(NodeGene)
+        clone.key = self.key
+        clone.bias = self.bias
+        clone.response = self.response
+        clone.activation = self.activation
+        clone.aggregation = self.aggregation
+        return clone
 
     def mutate(self, config: "NEATConfig", rng: random.Random) -> None:
-        """Perturb the node's scalar attributes in place."""
+        """Perturb the node's scalar attributes in place.
+
+        Parameters are spelled out rather than routed through
+        :func:`float_mutation_params` — building a kwargs dict per gene
+        is measurable on this hot path (millions of calls per run).
+        """
         self.bias = mutate_float(
             self.bias,
             rng,
@@ -118,13 +134,13 @@ class NodeGene:
                 f"cannot cross node genes with keys {self.key} != {other.key}"
             )
         pick = lambda a, b: a if rng.random() < 0.5 else b  # noqa: E731
-        return NodeGene(
-            self.key,
-            pick(self.bias, other.bias),
-            pick(self.response, other.response),
-            pick(self.activation, other.activation),
-            pick(self.aggregation, other.aggregation),
-        )
+        child = NodeGene.__new__(NodeGene)
+        child.key = self.key
+        child.bias = pick(self.bias, other.bias)
+        child.response = pick(self.response, other.response)
+        child.activation = pick(self.activation, other.activation)
+        child.aggregation = pick(self.aggregation, other.aggregation)
+        return child
 
     def distance(self, other: "NodeGene", config: "NEATConfig") -> float:
         """Attribute distance used by genome compatibility."""
@@ -157,6 +173,9 @@ class ConnectionGene:
 
     #: wire footprint in 32-bit words: in key, out key, weight, enabled
     FLOAT_FIELDS = 4
+
+    #: mutable float attributes (see :attr:`NodeGene.FLOAT_ATTRS`)
+    FLOAT_ATTRS = ("weight",)
 
     __slots__ = ("key", "weight", "enabled")
 
@@ -193,10 +212,20 @@ class ConnectionGene:
         )
 
     def copy(self) -> "ConnectionGene":
-        return ConnectionGene(self.key, self.weight, self.enabled)
+        # bypasses __init__ (key already normalised/validated) — see
+        # NodeGene.copy
+        clone = ConnectionGene.__new__(ConnectionGene)
+        clone.key = self.key
+        clone.weight = self.weight
+        clone.enabled = self.enabled
+        return clone
 
     def mutate(self, config: "NEATConfig", rng: random.Random) -> None:
-        """Perturb weight / enabled flag (Table III: Perturb Weights)."""
+        """Perturb weight / enabled flag (Table III: Perturb Weights).
+
+        Parameters are spelled out for the same hot-path reason as
+        :meth:`NodeGene.mutate`.
+        """
         self.weight = mutate_float(
             self.weight,
             rng,
@@ -221,11 +250,11 @@ class ConnectionGene:
                 f"cannot cross connection genes {self.key} != {other.key}"
             )
         pick = lambda a, b: a if rng.random() < 0.5 else b  # noqa: E731
-        return ConnectionGene(
-            self.key,
-            pick(self.weight, other.weight),
-            pick(self.enabled, other.enabled),
-        )
+        child = ConnectionGene.__new__(ConnectionGene)
+        child.key = self.key
+        child.weight = pick(self.weight, other.weight)
+        child.enabled = pick(self.enabled, other.enabled)
+        return child
 
     def distance(
         self, other: "ConnectionGene", config: "NEATConfig"

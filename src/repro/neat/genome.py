@@ -133,7 +133,23 @@ class Genome:
         rng: random.Random,
         innovation: InnovationTracker,
     ) -> None:
-        """Apply the NEAT mutation suite in place."""
+        """Apply the NEAT mutation suite in place.
+
+        Structural mutations draw from ``rng`` first, attribute
+        mutations second — the split methods below expose the two phases
+        so the vectorized genetics engine can keep structure on this
+        exact stream while batching the attribute updates elsewhere.
+        """
+        self.mutate_structural(config, rng, innovation)
+        self.mutate_attributes(config, rng)
+
+    def mutate_structural(
+        self,
+        config: "NEATConfig",
+        rng: random.Random,
+        innovation: InnovationTracker,
+    ) -> None:
+        """Apply only the add/delete node/connection mutations."""
         if config.single_structural_mutation:
             div = max(
                 1.0,
@@ -178,6 +194,10 @@ class Genome:
             if rng.random() < config.conn_delete_prob:
                 self.mutate_delete_connection(config, rng)
 
+    def mutate_attributes(
+        self, config: "NEATConfig", rng: random.Random
+    ) -> None:
+        """Apply only the per-gene scalar attribute mutations."""
         # sorted order keeps the RNG-to-gene mapping canonical regardless of
         # how the dicts were populated (fresh, crossover, or deserialised)
         for conn_key in sorted(self.connections):

@@ -14,10 +14,17 @@ Two backends share the same pruning/ordering front-end:
   emits flat per-layer weight/bias/response arrays, so a whole batch of
   observations is evaluated in a few vectorized ops per layer. Outputs
   match the interpreter to float64 rounding (tested at 1e-9).
+
+A cross-generation :class:`PlanCache` keyed by
+:func:`structural_signature` lets weight-only children (the common case
+under NEAT's mutation rates) re-use their parent topology's lowered
+layout and pay only an array refill — bit-identical to a fresh compile.
 """
 
 from __future__ import annotations
 
+import threading as _threading
+from collections import OrderedDict as _OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -260,15 +267,231 @@ class BatchedPlan:
         return len(self.layers)
 
 
-def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
+def structural_signature(genome: "Genome", config: "NEATConfig") -> tuple:
+    """Exact topology key of a genome's lowered plan.
+
+    Two genomes with equal signatures compile to plans that differ only
+    in their weight/bias/response values: the layout is fixed by the
+    node set (with activations/aggregations), the *enabled* connection
+    key set, and the problem shape. Weight-only children — the common
+    case under NEAT's mutation rates — share their parent's signature.
+    The signature is a plain tuple (not a hash), so cache lookups can
+    never collide.
+    """
+    return (
+        config.input_keys,
+        config.output_keys,
+        tuple(
+            (key, gene.activation, gene.aggregation)
+            for key, gene in sorted(genome.nodes.items())
+        ),
+        tuple(
+            key
+            for key in sorted(genome.connections)
+            if genome.connections[key].enabled
+        ),
+    )
+
+
+@dataclass
+class _LayerRefill:
+    """Where one layer's data values come from in the source genome."""
+
+    #: node key per row (bias/response refill)
+    node_keys: list[int]
+    #: dense-weight scatter: ``weights[rows, cols] = weight(conn_keys)``
+    weight_rows: "np.ndarray"
+    weight_cols: "np.ndarray"
+    weight_conn_keys: list[tuple[int, int]]
+    #: per generic node, the link connection keys in plan order
+    generic_conn_keys: list[list[tuple[int, int]]]
+
+
+@dataclass
+class _PlanSkeleton:
+    """A compiled plan plus the indices to re-fill it from a new genome.
+
+    ``template`` is the plan compiled for the first genome of this
+    topology; instantiation shares its immutable layout arrays
+    (``node_slots``, ``act_groups``, ``output_slots``) and rebuilds only
+    the value arrays.
+    """
+
+    template: BatchedPlan
+    refills: list[_LayerRefill]
+
+    def instantiate(self, genome: "Genome") -> BatchedPlan:
+        """A fresh plan for ``genome``, bit-identical to a full compile."""
+        layers: list[LayerPlan] = []
+        for tmpl, refill in zip(self.template.layers, self.refills):
+            n = len(refill.node_keys)
+            bias = np.fromiter(
+                (genome.nodes[key].bias for key in refill.node_keys),
+                dtype=np.float64,
+                count=n,
+            )
+            response = np.fromiter(
+                (genome.nodes[key].response for key in refill.node_keys),
+                dtype=np.float64,
+                count=n,
+            )
+            weights = np.zeros_like(tmpl.weights)
+            if refill.weight_rows.size:
+                # each (row, col) pair is unique (one connection per
+                # source/target pair), so a scatter assignment matches
+                # the compiler's accumulating fill bit-for-bit
+                weights[refill.weight_rows, refill.weight_cols] = (
+                    np.fromiter(
+                        (
+                            genome.connections[key].weight
+                            for key in refill.weight_conn_keys
+                        ),
+                        dtype=np.float64,
+                        count=len(refill.weight_conn_keys),
+                    )
+                )
+            generic_nodes = [
+                (
+                    row,
+                    agg,
+                    src_slots,
+                    np.fromiter(
+                        (genome.connections[key].weight for key in keys),
+                        dtype=np.float64,
+                        count=len(keys),
+                    ),
+                )
+                for (row, agg, src_slots, _w), keys in zip(
+                    tmpl.generic_nodes, refill.generic_conn_keys
+                )
+            ]
+            layers.append(
+                LayerPlan(
+                    node_slots=tmpl.node_slots,
+                    weights=weights,
+                    bias=bias,
+                    response=response,
+                    act_groups=tmpl.act_groups,
+                    generic_nodes=generic_nodes,
+                )
+            )
+        return BatchedPlan(
+            input_keys=self.template.input_keys,
+            output_keys=self.template.output_keys,
+            total_slots=self.template.total_slots,
+            output_slots=self.template.output_slots,
+            layers=layers,
+        )
+
+
+class PlanCache:
+    """Topology-keyed LRU of compiled-plan skeletons.
+
+    Re-lowering a genome through :func:`compile_batched` repeats the
+    pruning, topological sort and layer layout even when only weights
+    changed — and weight-only children dominate NEAT broods (structural
+    mutation rates are a few percent per child). The cache keys each
+    skeleton by :func:`structural_signature`, so a weight-only child
+    re-uses its parent's layout and pays only the array refill.
+
+    Thread-safe: the serving registry publishes champions from the
+    evolution thread while benchmarks compile on the main thread.
+    Instantiated plans share the skeleton's immutable layout arrays but
+    own their value arrays, so cached re-compiles stay bit-identical to
+    fresh ones (asserted by ``benchmarks/bench_genetics.py``).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = _threading.Lock()
+        self._skeletons: "_OrderedDict[tuple, _PlanSkeleton]" = (
+            _OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, signature: tuple) -> _PlanSkeleton | None:
+        """The skeleton for ``signature``, marking it most-recently-used."""
+        with self._lock:
+            skeleton = self._skeletons.get(signature)
+            if skeleton is None:
+                self._misses += 1
+                return None
+            self._skeletons.move_to_end(signature)
+            self._hits += 1
+            return skeleton
+
+    def store(self, signature: tuple, skeleton: _PlanSkeleton) -> None:
+        with self._lock:
+            self._skeletons[signature] = skeleton
+            self._skeletons.move_to_end(signature)
+            while len(self._skeletons) > self.maxsize:
+                self._skeletons.popitem(last=False)
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups so far (0.0 before the first lookup)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._skeletons)
+
+    def clear(self) -> None:
+        """Drop every skeleton (counters are kept)."""
+        with self._lock:
+            self._skeletons.clear()
+
+
+def compile_batched(
+    genome: "Genome",
+    config: "NEATConfig",
+    cache: PlanCache | None = None,
+) -> BatchedPlan:
     """Lower a pruned, topologically-ordered genome into a batched plan.
 
     Value slots are laid out as ``[inputs..., computed nodes in topological
     order...]``. Nodes are grouped into layers by longest path from the
     inputs, so each layer reads only slots written by earlier layers and the
     whole layer evaluates as one matmul (plus per-activation ufuncs).
+
+    ``cache`` (a :class:`PlanCache`) short-circuits the graph work for
+    genomes whose topology was lowered before: the cached skeleton is
+    re-filled with this genome's weight/bias/response values, producing a
+    plan bit-identical to an uncached compile.
     """
     _require_numpy()
+    if cache is not None:
+        signature = structural_signature(genome, config)
+        skeleton = cache.lookup(signature)
+        if skeleton is not None:
+            return skeleton.instantiate(genome)
+        plan, skeleton = _compile_with_refill(genome, config)
+        cache.store(signature, skeleton)
+        return plan
+    return _compile_with_refill(genome, config, record_refill=False)[0]
+
+
+def _compile_with_refill(
+    genome: "Genome",
+    config: "NEATConfig",
+    record_refill: bool = True,
+) -> tuple[BatchedPlan, _PlanSkeleton | None]:
+    """The compiler body; optionally records the refill index maps."""
     order, incoming = _evaluation_order(genome, config)
 
     slot: dict[int, int] = {
@@ -291,6 +514,7 @@ def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
         layers_nodes.setdefault(depth, []).append(key)
 
     layers: list[LayerPlan] = []
+    refills: list[_LayerRefill] = []
     for depth in sorted(layers_nodes):
         nodes = layers_nodes[depth]
         n = len(nodes)
@@ -300,6 +524,10 @@ def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
         response = np.empty(n, dtype=np.float64)
         act_rows: dict[str, list[int]] = {}
         generic_nodes: list[tuple[int, str, "np.ndarray", "np.ndarray"]] = []
+        weight_rows: list[int] = []
+        weight_cols: list[int] = []
+        weight_conn_keys: list[tuple[int, int]] = []
+        generic_conn_keys: list[list[tuple[int, int]]] = []
         for row, key in enumerate(nodes):
             node = genome.nodes[key]
             node_slots[row] = slot[key]
@@ -310,6 +538,11 @@ def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
             if node.aggregation == "sum":
                 for src, weight in links:
                     weights[row, slot[src]] += weight
+                if record_refill:
+                    for src, _weight in links:
+                        weight_rows.append(row)
+                        weight_cols.append(slot[src])
+                        weight_conn_keys.append((src, key))
             else:
                 generic_nodes.append(
                     (
@@ -324,6 +557,10 @@ def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
                         ),
                     )
                 )
+                if record_refill:
+                    generic_conn_keys.append(
+                        [(src, key) for src, _w in links]
+                    )
         act_groups = [
             (name, np.asarray(rows, dtype=np.int32))
             for name, rows in sorted(act_rows.items())
@@ -338,17 +575,33 @@ def compile_batched(genome: "Genome", config: "NEATConfig") -> BatchedPlan:
                 generic_nodes=generic_nodes,
             )
         )
+        if record_refill:
+            refills.append(
+                _LayerRefill(
+                    node_keys=list(nodes),
+                    weight_rows=np.asarray(weight_rows, dtype=np.int64),
+                    weight_cols=np.asarray(weight_cols, dtype=np.int64),
+                    weight_conn_keys=weight_conn_keys,
+                    generic_conn_keys=generic_conn_keys,
+                )
+            )
 
     output_slots = np.asarray(
         [slot[key] for key in config.output_keys], dtype=np.int32
     )
-    return BatchedPlan(
+    plan = BatchedPlan(
         input_keys=tuple(config.input_keys),
         output_keys=tuple(config.output_keys),
         total_slots=total_slots,
         output_slots=output_slots,
         layers=layers,
     )
+    skeleton = (
+        _PlanSkeleton(template=plan, refills=refills)
+        if record_refill
+        else None
+    )
+    return plan, skeleton
 
 
 class BatchedFeedForwardNetwork:
@@ -397,10 +650,17 @@ class BatchedFeedForwardNetwork:
 
     @classmethod
     def create(
-        cls, genome: "Genome", config: "NEATConfig"
+        cls,
+        genome: "Genome",
+        config: "NEATConfig",
+        cache: "PlanCache | None" = None,
     ) -> "BatchedFeedForwardNetwork":
-        """Compile ``genome`` into a lowered plan and wrap it."""
-        return cls(compile_batched(genome, config))
+        """Compile ``genome`` into a lowered plan and wrap it.
+
+        ``cache`` forwards to :func:`compile_batched`: a weight-only
+        child of an already-compiled topology skips re-lowering.
+        """
+        return cls(compile_batched(genome, config, cache=cache))
 
     def activate_batch(self, observations) -> "np.ndarray":
         """Forward-pass a ``(batch, n_inputs)`` array.

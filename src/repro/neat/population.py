@@ -14,7 +14,12 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.neat.genome import Genome
 from repro.neat.innovation import InnovationTracker
-from repro.neat.reproduction import ChildSpec, execute_plan, plan_generation
+from repro.neat.reproduction import (
+    ChildSpec,
+    brood_rng,
+    execute_plan,
+    plan_generation,
+)
 from repro.neat.species import SpeciesSet
 from repro.utils.rng import RngFactory
 
@@ -124,6 +129,11 @@ class Population:
             f"child:{generation}:{spec.child_key}"
         )
 
+    def brood_rng_for_generation(self, generation: int):
+        """Seeded NumPy generator for a vectorized brood, or ``None``
+        (see :func:`repro.neat.reproduction.brood_rng`)."""
+        return brood_rng(self.config, self.rngs, generation)
+
     # -- generation loop ----------------------------------------------------
 
     def run_generation(self, evaluate: EvaluateFn) -> GenerationStats:
@@ -175,6 +185,7 @@ class Population:
             self.config,
             self.child_rng_for_generation(self.generation),
             self.innovation,
+            np_rng=self.brood_rng_for_generation(self.generation),
         )
         self.last_plan = plan
         self.last_children_profile = {

@@ -239,12 +239,28 @@ class ReproductionStats:
     genes_processed: int = 0
 
 
+def brood_rng(config: "NEATConfig", rngs, generation: int):
+    """The ``np_rng`` for :func:`execute_plan`, or ``None`` for scalar.
+
+    One seeded NumPy generator per (seed, generation) brood, derived
+    from ``rngs`` (an :class:`repro.utils.rng.RngFactory`). Single
+    source of truth for the stream name, shared by every driver that
+    executes plans (serial population, worker clans, protocol clans) —
+    so brood determinism cannot drift between runtimes. The scalar
+    engine returns ``None`` and never touches NumPy.
+    """
+    if config.genetics != "vectorized":
+        return None
+    return rngs.np_generator(f"brood:{generation}")
+
+
 def make_child(
     spec: ChildSpec,
     lookup: dict[int, Genome],
     config: "NEATConfig",
     rng: random.Random,
     innovation: InnovationTracker,
+    attributes: bool = True,
 ) -> Genome:
     """Form one child genome from its spec (crossover + mutation).
 
@@ -252,6 +268,12 @@ def make_child(
     :class:`repro.utils.rng.RngFactory`) so the child is identical no matter
     which cluster node forms it — the property that makes CLAN_DDS exactly
     equivalent to serial NEAT.
+
+    ``attributes=False`` stops after the structural mutations; the
+    vectorized genetics engine uses it to batch the attribute updates of
+    a whole brood afterwards (:func:`execute_plan`). The structural
+    draws are the *prefix* of the child's scalar mutation stream, so the
+    child's topology is identical under either engine.
     """
     parent1 = lookup[spec.parent1_key]
     if spec.parent2_key is None:
@@ -262,7 +284,10 @@ def make_child(
         if (parent2.fitness, -parent2.key) > (parent1.fitness, -parent1.key):
             parent1, parent2 = parent2, parent1
         child = Genome.crossover(spec.child_key, parent1, parent2, rng)
-    child.mutate(config, rng, innovation)
+    if attributes:
+        child.mutate(config, rng, innovation)
+    else:
+        child.mutate_structural(config, rng, innovation)
     child.fitness = None
     return child
 
@@ -273,23 +298,47 @@ def execute_plan(
     config: "NEATConfig",
     child_rng: Callable[[ChildSpec], random.Random],
     innovation: InnovationTracker,
+    np_rng=None,
 ) -> tuple[dict[int, Genome], ReproductionStats]:
     """Form the whole next population from a plan (serial Reproduction).
 
     ``child_rng`` maps a :class:`ChildSpec` to the RNG stream used to form
     that child; deriving the stream from the child key keeps the outcome
     independent of where (and in what order) children are formed.
+
+    With ``config.genetics == "vectorized"`` the per-child streams drive
+    crossover and structural mutation only, and the brood's scalar
+    attribute updates are batched through ``np_rng`` (a seeded
+    ``numpy.random.Generator``, one per brood — see
+    :meth:`repro.utils.rng.RngFactory.np_generator`). The brood is then
+    deterministic for a given (seed, generation) but *not* draw-for-draw
+    identical to the scalar engine (``docs/genetics.md``).
     """
+    vectorized = getattr(config, "genetics", "scalar") == "vectorized"
+    if vectorized and np_rng is None:
+        raise ValueError(
+            "config.genetics='vectorized' batches brood attribute "
+            "mutation; pass np_rng (a seeded numpy Generator)"
+        )
     stats = ReproductionStats()
     next_population: dict[int, Genome] = {}
     for elite_key in plan.elites:
         next_population[elite_key] = lookup[elite_key]
+    brood: list[Genome] = []
     for spec in plan.children:
-        child = make_child(spec, lookup, config, child_rng(spec), innovation)
+        child = make_child(
+            spec, lookup, config, child_rng(spec), innovation,
+            attributes=not vectorized,
+        )
         next_population[child.key] = child
+        brood.append(child)
         stats.children_formed += 1
         genes = lookup[spec.parent1_key].gene_count() + child.gene_count()
         if spec.parent2_key is not None:
             genes += lookup[spec.parent2_key].gene_count()
         stats.genes_processed += genes
+    if vectorized and brood:
+        from repro.neat.vectorized import mutate_brood_attributes
+
+        mutate_brood_attributes(brood, config, np_rng)
     return next_population, stats

@@ -23,11 +23,18 @@ if TYPE_CHECKING:
 
 @dataclass
 class SpeciationStats:
-    """Cost counters for one speciation pass (Fig 3c)."""
+    """Cost counters for one speciation pass (Fig 3c).
+
+    ``comparisons`` and ``genes_compared`` count *computed* distances —
+    pairs answered from the memo are tallied in ``cache_hits`` instead,
+    so the gene-cost accounting matches the paper's model regardless of
+    memoisation.
+    """
 
     comparisons: int = 0
     genes_compared: int = 0
     n_species: int = 0
+    cache_hits: int = 0
 
 
 class Species:
@@ -71,25 +78,51 @@ class Species:
 
 
 class DistanceCache:
-    """Memoises genome-pair distances within one speciation pass."""
+    """Memoises genome-pair distances within one speciation pass.
+
+    The distance is symmetric, so each pair is stored once under its
+    key-order-normalised ``(min, max)`` key — half the memo footprint of
+    storing both orientations. Hit/miss accounting lands in
+    :class:`SpeciationStats`.
+    """
 
     def __init__(self, config: "NEATConfig"):
         self.config = config
         self.distances: dict[tuple[int, int], float] = {}
         self.stats = SpeciationStats()
 
+    @staticmethod
+    def _pair_key(genome1: "Genome", genome2: "Genome") -> tuple[int, int]:
+        if genome1.key <= genome2.key:
+            return (genome1.key, genome2.key)
+        return (genome2.key, genome1.key)
+
     def __call__(self, genome1: "Genome", genome2: "Genome") -> float:
-        key = (genome1.key, genome2.key)
+        key = self._pair_key(genome1, genome2)
         if key in self.distances:
+            self.stats.cache_hits += 1
             return self.distances[key]
         distance = genome1.distance(genome2, self.config)
         self.distances[key] = distance
-        self.distances[(genome2.key, genome1.key)] = distance
         self.stats.comparisons += 1
         self.stats.genes_compared += (
             genome1.gene_count() + genome2.gene_count()
         )
         return distance
+
+    def batch(
+        self, anchor: "Genome", genomes: list["Genome"]
+    ) -> list[float]:
+        """Distances anchor-vs-each-genome, one scalar call per pair.
+
+        The anchor is always the first operand, matching the historical
+        per-pair call sites: :meth:`Genome.distance` sums matching genes
+        in the first operand's iteration order, so flipping the operands
+        of a *first* computation could change the memoised value by an
+        ulp — and with it the byte-exactness of the default paper
+        trajectories.
+        """
+        return [self(anchor, genome) for genome in genomes]
 
 
 class SpeciesSet:
@@ -123,37 +156,66 @@ class SpeciesSet:
         unspeciated genome closest to its previous representative as the
         new representative, then every remaining genome joins the first
         species within ``compatibility_threshold`` (or founds a new one).
+
+        The distance oracle follows ``config.genetics``: the scalar
+        per-pair :class:`DistanceCache` (bit-exact paper reference) or
+        the array-native
+        :class:`~repro.neat.vectorized.VectorizedDistanceCache` (same
+        partition, batched math — see ``docs/genetics.md``). Both feed
+        the identical partition logic below.
         """
         if not population:
             raise ValueError("cannot speciate an empty population")
-        distance = DistanceCache(config)
+        if getattr(config, "genetics", "scalar") == "vectorized":
+            from repro.neat.vectorized import VectorizedDistanceCache
+
+            distance = VectorizedDistanceCache(config, population)
+        else:
+            distance = DistanceCache(config)
         unspeciated = set(population)
         new_representatives: dict[int, int] = {}
         new_members: dict[int, list[int]] = {}
 
-        # re-anchor existing species on the new population
+        # re-anchor existing species on the new population: one
+        # representative-vs-unspeciated distance batch per species
         for species_id, species in self.species.items():
             if not unspeciated:
                 break
-            candidates = []
-            for genome_key in unspeciated:
-                genome = population[genome_key]
-                candidates.append(
-                    (distance(species.representative, genome), genome_key)
-                )
-            _d, best_key = min(candidates)
+            keys = sorted(unspeciated)
+            distances = distance.batch(
+                species.representative,
+                [population[key] for key in keys],
+            )
+            _d, best_key = min(zip(distances, keys))
             new_representatives[species_id] = best_key
             new_members[species_id] = [best_key]
             unspeciated.remove(best_key)
 
-        # assign every remaining genome
-        for genome_key in sorted(unspeciated):
-            genome = population[genome_key]
+        # assign every remaining genome. Every genome compares against
+        # every representative present at its turn, so the full pair set
+        # is known as representatives appear: each representative
+        # contributes one representative-vs-successors distance *row*
+        # (computed as a single batch — exactly the pairs, orientation
+        # and counters of the historical per-pair loop), and the
+        # per-genome decisions below are plain row reads. This is what
+        # turns the vectorized engine's distance math into one large
+        # batch per representative instead of one small batch per
+        # genome. A mid-phase representative's row starts at its
+        # founding position (earlier genomes never saw it; the padding
+        # can never win a comparison).
+        assign_keys = sorted(unspeciated)
+        assign_genomes = [population[key] for key in assign_keys]
+        never = float("inf")
+        rep_rows: list[tuple[int, list[float]]] = [
+            (species_id, distance.batch(population[rep_key],
+                                        assign_genomes))
+            for species_id, rep_key in new_representatives.items()
+        ]
+        for index, genome_key in enumerate(assign_keys):
             best_species = None
             best_distance = None
-            for species_id, rep_key in new_representatives.items():
-                representative = population[rep_key]
-                d = distance(representative, genome)
+            for species_id, row in rep_rows:
+                d = row[index]
                 if d < config.compatibility_threshold and (
                     best_distance is None or d < best_distance
                 ):
@@ -163,6 +225,15 @@ class SpeciesSet:
                 best_species = self._new_species_id()
                 new_representatives[best_species] = genome_key
                 new_members[best_species] = [genome_key]
+                rep_rows.append(
+                    (
+                        best_species,
+                        [never] * (index + 1) + distance.batch(
+                            population[genome_key],
+                            assign_genomes[index + 1:],
+                        ),
+                    )
+                )
             else:
                 new_members[best_species].append(genome_key)
 

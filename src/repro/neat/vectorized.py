@@ -1,0 +1,804 @@
+"""Array-native genetics: batched speciation distances + brood mutation.
+
+The paper singles out speciation as the block CLAN cannot parallelise
+("cannot use PLP being a synchronous operation in NEAT"): its cost is a
+quadratic sweep of gene-by-gene compatibility comparisons, and GeneSys
+(Samajdar et al., 2018) showed the genetic operators dominate once
+inference is accelerated. This module is the NumPy twin of that scalar
+evolution phase, selected by ``NEATConfig.genetics = "vectorized"``:
+
+* :func:`lower_genome` flattens one genome into sorted gene-key /
+  attribute arrays (:class:`GenomeArrays`) — done once per genome per
+  speciation pass. Node and connection genes share one packed uint64
+  key space (nodes low, packed connections high), so one matching sweep
+  covers both compatibility terms.
+* :class:`VectorizedDistanceCache` computes one anchor genome against a
+  whole batch of candidates as merged array ops over innovation keys,
+  memoising pairs exactly like the scalar
+  :class:`~repro.neat.species.DistanceCache` and feeding the
+  *unchanged* partition logic in
+  :meth:`~repro.neat.species.SpeciesSet.speciate`. Given the whole
+  population up front it lowers everything once into flat contiguous
+  buffers, interns the distinct innovation keys, and matches each
+  anchor by table scatter/gather — no per-pair Python, no per-row
+  binary search.
+* :func:`mutate_brood_attributes` batches the float/bool attribute
+  updates of a whole brood of children through one seeded
+  ``numpy.random.Generator`` (structural mutations stay on the scalar
+  per-child streams — see :func:`repro.neat.reproduction.execute_plan`).
+
+Parity contract (tested in ``tests/test_neat_vectorized.py``): batched
+distances match :meth:`Genome.distance` within 1e-9 and produce an
+identical speciation partition on seeded populations, with identical
+:class:`~repro.neat.species.SpeciationStats` cost counters; batched
+attribute mutation matches the scalar update *in distribution* (same
+marginal rates, noise scale and clamp bounds) but not draw-for-draw.
+The default ``genetics="scalar"`` path is untouched and stays bit-exact
+with the paper trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.neat.attributes import (
+    float_mutation_params,
+    mutate_bool_array,
+    mutate_float_array,
+)
+from repro.neat.genes import ConnectionGene, NodeGene
+from repro.neat.species import DistanceCache, SpeciationStats
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+if TYPE_CHECKING:
+    from repro.neat.config import NEATConfig
+    from repro.neat.genome import Genome
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "numpy is required for the vectorized genetics engine; "
+            "install numpy or use genetics='scalar'"
+        )
+
+
+#: offset lifting (possibly negative) node keys into unsigned 32-bit range
+_KEY_OFFSET = 1 << 31
+
+#: node keys must stay below every packed connection key so both gene
+#: families can share one sorted key space; the smallest packed key is
+#: ``(in + 2**31) << 32`` for the most negative input key, far above this
+_MAX_NODE_KEY = 1 << 33
+
+#: process-local interning of activation/aggregation names: distances only
+#: need *mismatch* tests, so any stable name -> int mapping works
+_NAME_IDS: dict[str, int] = {}
+
+
+def _intern(name: str) -> int:
+    try:
+        return _NAME_IDS[name]
+    except KeyError:
+        _NAME_IDS[name] = len(_NAME_IDS)
+        return _NAME_IDS[name]
+
+
+def _pack_conn_key(key: tuple[int, int]) -> int:
+    """Pack an (in, out) connection key into one sortable uint64.
+
+    Each component is lifted by ``_KEY_OFFSET`` into unsigned 32-bit
+    range, so unsigned ordering of the packed keys equals lexicographic
+    ordering of the tuples — sorted gene dicts lower to sorted arrays.
+    Every packed key exceeds ``_MAX_NODE_KEY``, keeping the two gene
+    families disjoint in the shared key space.
+    """
+    in_node, out_node = key
+    return ((in_node + _KEY_OFFSET) << 32) | (out_node + _KEY_OFFSET)
+
+
+def _check_node_keys(node_keys) -> None:
+    # NodeGene validates key >= 0, but deserialised or hand-built
+    # genomes bypass it; a negative key would wrap to the top of the
+    # uint64 space and silently break the sorted-key invariant
+    if node_keys.size and (
+        int(node_keys.max()) >= _MAX_NODE_KEY or int(node_keys.min()) < 0
+    ):
+        raise ValueError(
+            "vectorized genetics requires node keys in [0, 2**33) "
+            "(they share a packed key space with connection keys)"
+        )
+
+
+class GenomeArrays:
+    """One genome lowered to sorted gene-key + attribute arrays.
+
+    Both gene families live in one combined layout — node rows first
+    (plain key), then connection rows (packed key). Attributes are
+    columnar 1-D arrays (contiguous ops beat 2-D axis reductions by an
+    order of magnitude): floats ``f0``/``f1`` are (bias, response) for
+    node rows and (weight, 0) for connection rows; categoricals ``c0``/
+    ``c1`` are (activation id, aggregation id) and (enabled, 0). The
+    zero padding is inert in the distance math, and the float /
+    categorical split mirrors the scalar attribute distances — floats
+    contribute ``|a - b|``, categoricals 1.0 per mismatch (see
+    :meth:`NodeGene.distance` / :meth:`ConnectionGene.distance`).
+    """
+
+    __slots__ = ("key", "keys", "f0", "f1", "c0", "c1",
+                 "n_nodes", "n_conns", "key_ids")
+
+    def __init__(self, genome: "Genome"):
+        _require_numpy()
+        self.key = genome.key
+        #: interned key ids, only set for flat-population views
+        self.key_ids = None
+
+        node_genes = [genome.nodes[key] for key in sorted(genome.nodes)]
+        n = len(node_genes)
+        conn_genes = [
+            genome.connections[key] for key in sorted(genome.connections)
+        ]
+        m = len(conn_genes)
+        self.n_nodes = n
+        self.n_conns = m
+
+        keys = np.empty(n + m, dtype=np.uint64)
+        node_keys = np.fromiter(
+            (gene.key for gene in node_genes), dtype=np.int64, count=n
+        )
+        _check_node_keys(node_keys)
+        keys[:n] = node_keys.astype(np.uint64)
+        keys[n:] = np.fromiter(
+            (_pack_conn_key(gene.key) for gene in conn_genes),
+            dtype=np.uint64,
+            count=m,
+        )
+        self.keys = keys
+
+        f0 = np.zeros(n + m, dtype=np.float64)
+        f1 = np.zeros(n + m, dtype=np.float64)
+        f0[:n] = np.fromiter(
+            (gene.bias for gene in node_genes), dtype=np.float64, count=n
+        )
+        f1[:n] = np.fromiter(
+            (gene.response for gene in node_genes),
+            dtype=np.float64, count=n,
+        )
+        f0[n:] = np.fromiter(
+            (gene.weight for gene in conn_genes),
+            dtype=np.float64, count=m,
+        )
+        self.f0 = f0
+        self.f1 = f1
+
+        c0 = np.zeros(n + m, dtype=np.int64)
+        c1 = np.zeros(n + m, dtype=np.int64)
+        c0[:n] = np.fromiter(
+            (_intern(gene.activation) for gene in node_genes),
+            dtype=np.int64, count=n,
+        )
+        c1[:n] = np.fromiter(
+            (_intern(gene.aggregation) for gene in node_genes),
+            dtype=np.int64, count=n,
+        )
+        c0[n:] = np.fromiter(
+            (gene.enabled for gene in conn_genes),
+            dtype=np.int64, count=m,
+        )
+        self.c0 = c0
+        self.c1 = c1
+
+    @classmethod
+    def _view(cls, key, flat: "_FlatPopulation", index: int):
+        """A lowered genome backed by slices of flat population buffers
+        (see :class:`_FlatPopulation`) — no per-genome array building."""
+        self = object.__new__(cls)
+        self.key = key
+        start = int(flat.starts[index])
+        stop = start + int(flat.lens[index])
+        self.keys = flat.keys[start:stop]
+        self.f0 = flat.f0[start:stop]
+        self.f1 = flat.f1[start:stop]
+        self.c0 = flat.c0[start:stop]
+        self.c1 = flat.c1[start:stop]
+        self.key_ids = flat.key_ids[start:stop]
+        self.n_nodes = int(flat.node_lens[index])
+        self.n_conns = int(flat.conn_lens[index])
+        return self
+
+    def gene_count(self) -> int:
+        return self.n_nodes + self.n_conns
+
+
+def lower_genome(genome: "Genome") -> GenomeArrays:
+    """Flatten ``genome`` for batched distance computation."""
+    return GenomeArrays(genome)
+
+
+def _combine_terms(
+    match_sums,
+    match_counts,
+    node_sizes,
+    conn_sizes,
+    anchor_nodes: int,
+    anchor_conns: int,
+    weight_coeff: float,
+    disjoint_coeff: float,
+):
+    """Per-candidate distance from the per-family segmented sums.
+
+    Each family's term is ``(Cw * matching_attribute_distance +
+    Cd * disjoint) / max_gene_count``, exactly as
+    :meth:`Genome.distance` computes it; the two interleaved slices of
+    the ``2 * candidate + is_conn`` bincounts carry the families.
+    """
+    node_match_sum = match_sums[0::2]
+    conn_match_sum = match_sums[1::2]
+    node_match = match_counts[0::2]
+    conn_match = match_counts[1::2]
+    node_disjoint = (node_sizes - node_match) + (
+        anchor_nodes - node_match
+    )
+    node_denom = np.maximum(node_sizes, anchor_nodes)
+    node_term = np.where(
+        node_denom > 0,
+        (weight_coeff * node_match_sum + disjoint_coeff * node_disjoint)
+        / np.maximum(node_denom, 1),
+        0.0,
+    )
+    conn_disjoint = (conn_sizes - conn_match) + (
+        anchor_conns - conn_match
+    )
+    conn_denom = np.maximum(conn_sizes, anchor_conns)
+    conn_term = np.where(
+        conn_denom > 0,
+        (weight_coeff * conn_match_sum + disjoint_coeff * conn_disjoint)
+        / np.maximum(conn_denom, 1),
+        0.0,
+    )
+    return node_term + conn_term
+
+
+def batch_distance(
+    anchor: GenomeArrays,
+    candidates: Sequence[GenomeArrays],
+    config: "NEATConfig",
+):
+    """Compatibility distances anchor-vs-each-candidate, as one batch.
+
+    The generic path: candidate arrays are concatenated per call and
+    matched against the anchor's sorted keys with one ``searchsorted``.
+    (The speciation hot path goes through :class:`_FlatPopulation` and
+    its interning table instead.) Matches :meth:`Genome.distance` within
+    float64 summation-order rounding (the suite asserts 1e-9): the
+    scalar path multiplies each matching gene's attribute distance by
+    the weight coefficient before a sequential sum, this path sums
+    first via pairwise reductions.
+    """
+    _require_numpy()
+    if not candidates:
+        return np.zeros(0, dtype=np.float64)
+    n = len(candidates)
+    node_sizes = np.asarray(
+        [c.n_nodes for c in candidates], dtype=np.int64
+    )
+    conn_sizes = np.asarray(
+        [c.n_conns for c in candidates], dtype=np.int64
+    )
+    sizes = node_sizes + conn_sizes
+    if int(sizes.sum()) and anchor.keys.size:
+        keys = np.concatenate([c.keys for c in candidates])
+        f0 = np.concatenate([c.f0 for c in candidates])
+        f1 = np.concatenate([c.f1 for c in candidates])
+        c0 = np.concatenate([c.c0 for c in candidates])
+        c1 = np.concatenate([c.c1 for c in candidates])
+        is_conn = np.concatenate([
+            np.repeat(
+                np.asarray([0, 1], dtype=np.int64),
+                [c.n_nodes, c.n_conns],
+            )
+            for c in candidates
+        ])
+        seg2 = 2 * np.repeat(np.arange(n), sizes) + is_conn
+        idx = np.minimum(
+            np.searchsorted(anchor.keys, keys), anchor.keys.size - 1
+        )
+        matched = anchor.keys[idx] == keys
+        attr = np.abs(anchor.f0[idx] - f0)
+        attr += np.abs(anchor.f1[idx] - f1)
+        attr += anchor.c0[idx] != c0
+        attr += anchor.c1[idx] != c1
+        attr *= matched
+        match_sums = np.bincount(seg2, weights=attr, minlength=2 * n)
+        match_counts = np.bincount(
+            seg2, weights=matched, minlength=2 * n
+        )
+    else:
+        match_sums = np.zeros(2 * n, dtype=np.float64)
+        match_counts = np.zeros(2 * n, dtype=np.float64)
+    return _combine_terms(
+        match_sums, match_counts, node_sizes, conn_sizes,
+        anchor.n_nodes, anchor.n_conns,
+        config.compatibility_weight_coefficient,
+        config.compatibility_disjoint_coefficient,
+    )
+
+
+class _FlatPopulation:
+    """A whole population lowered into flat combined-key-space buffers.
+
+    The population is lowered with one ``fromiter`` pass per attribute
+    (rather than one per genome per attribute); node and connection rows
+    are interleaved genome-major (genome ``g``'s nodes, then its
+    connections) with vectorized destination indexing, and each member's
+    :class:`GenomeArrays` is a *view* into the flat buffers. The
+    distinct innovation keys are interned once (``key_ids``), which is
+    what lets :class:`_AnchorTable` match an anchor against candidates
+    by table lookups instead of per-row binary search.
+    """
+
+    def __init__(self, population: dict):
+        genomes = [population[key] for key in sorted(population)]
+        n_genomes = len(genomes)
+        node_lists = [
+            [g.nodes[key] for key in sorted(g.nodes)] for g in genomes
+        ]
+        conn_lists = [
+            [g.connections[key] for key in sorted(g.connections)]
+            for g in genomes
+        ]
+        flat_nodes = [gene for lst in node_lists for gene in lst]
+        flat_conns = [gene for lst in conn_lists for gene in lst]
+        n = len(flat_nodes)
+        m = len(flat_conns)
+
+        self.node_lens = np.fromiter(
+            (len(lst) for lst in node_lists),
+            dtype=np.int64, count=n_genomes,
+        )
+        self.conn_lens = np.fromiter(
+            (len(lst) for lst in conn_lists),
+            dtype=np.int64, count=n_genomes,
+        )
+        self.lens = self.node_lens + self.conn_lens
+        self.starts = np.concatenate(
+            [[0], np.cumsum(self.lens)[:-1]]
+        ).astype(np.int64)
+
+        # combined destinations: genome g's node rows land at its block
+        # start, its connection rows right after them
+        node_starts = np.concatenate(
+            [[0], np.cumsum(self.node_lens)[:-1]]
+        ).astype(np.int64)
+        conn_starts = np.concatenate(
+            [[0], np.cumsum(self.conn_lens)[:-1]]
+        ).astype(np.int64)
+        dest_node = np.arange(n, dtype=np.int64) + np.repeat(
+            conn_starts, self.node_lens
+        )
+        dest_conn = np.arange(m, dtype=np.int64) + np.repeat(
+            node_starts + self.node_lens, self.conn_lens
+        )
+
+        node_keys = np.fromiter(
+            (g.key for g in flat_nodes), dtype=np.int64, count=n
+        )
+        _check_node_keys(node_keys)
+        in_keys = np.fromiter(
+            (g.key[0] for g in flat_conns), dtype=np.int64, count=m
+        )
+        out_keys = np.fromiter(
+            (g.key[1] for g in flat_conns), dtype=np.int64, count=m
+        )
+        keys = np.empty(n + m, dtype=np.uint64)
+        keys[dest_node] = node_keys.astype(np.uint64)
+        keys[dest_conn] = (
+            (in_keys + _KEY_OFFSET).astype(np.uint64) << np.uint64(32)
+        ) | (out_keys + _KEY_OFFSET).astype(np.uint64)
+        self.keys = keys
+
+        f0 = np.zeros(n + m, dtype=np.float64)
+        f1 = np.zeros(n + m, dtype=np.float64)
+        f0[dest_node] = np.fromiter(
+            (g.bias for g in flat_nodes), dtype=np.float64, count=n
+        )
+        f1[dest_node] = np.fromiter(
+            (g.response for g in flat_nodes), dtype=np.float64, count=n
+        )
+        f0[dest_conn] = np.fromiter(
+            (g.weight for g in flat_conns), dtype=np.float64, count=m
+        )
+        self.f0 = f0
+        self.f1 = f1
+
+        c0 = np.zeros(n + m, dtype=np.int64)
+        c1 = np.zeros(n + m, dtype=np.int64)
+        c0[dest_node] = np.fromiter(
+            (_intern(g.activation) for g in flat_nodes),
+            dtype=np.int64, count=n,
+        )
+        c1[dest_node] = np.fromiter(
+            (_intern(g.aggregation) for g in flat_nodes),
+            dtype=np.int64, count=n,
+        )
+        c0[dest_conn] = np.fromiter(
+            (g.enabled for g in flat_conns), dtype=np.int64, count=m
+        )
+        self.c0 = c0
+        self.c1 = c1
+
+        #: dense id per flat row over the population's distinct keys
+        self.unique_keys, self.key_ids = np.unique(
+            keys, return_inverse=True
+        )
+        self.key_ids = self.key_ids.astype(np.int64, copy=False)
+
+        is_conn = np.zeros(n + m, dtype=np.int64)
+        is_conn[dest_conn] = 1
+        full_seg = np.repeat(
+            np.arange(n_genomes, dtype=np.int64), self.lens
+        )
+        #: ``2 * genome + is_conn`` per flat row, for full-population
+        #: batches (gather-free fast path)
+        self.full_seg2 = 2 * full_seg + is_conn
+
+        self.position_by_id = {
+            id(genome): index for index, genome in enumerate(genomes)
+        }
+        self.arrays_by_id = {
+            id(genome): GenomeArrays._view(genome.key, self, index)
+            for index, genome in enumerate(genomes)
+        }
+        #: keeps the genome objects alive so ids cannot be recycled
+        self._genomes = genomes
+
+    def positions_for(self, genomes) -> "np.ndarray | None":
+        """Flat positions of ``genomes``, or None if any is foreign."""
+        positions = np.empty(len(genomes), dtype=np.int64)
+        position_by_id = self.position_by_id
+        for i, genome in enumerate(genomes):
+            position = position_by_id.get(id(genome))
+            if position is None:
+                return None
+            positions[i] = position
+        return positions
+
+    def gather(self, positions):
+        """Subset rows: (key_ids, f0, f1, c0, c1, seg2, node/conn sizes)."""
+        sizes = self.lens[positions]
+        total = int(sizes.sum())
+        node_sizes = self.node_lens[positions]
+        conn_sizes = self.conn_lens[positions]
+        if not total:
+            empty = np.zeros(0, dtype=np.int64)
+            return (
+                empty, self.f0[:0], self.f1[:0], empty, empty, empty,
+                node_sizes, conn_sizes,
+            )
+        # flat gather indices: each block's start repeated over its
+        # length, plus the within-block offset
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(sizes)[:-1]]), sizes
+        )
+        flat_idx = np.repeat(self.starts[positions], sizes) + within
+        seg2 = 2 * np.repeat(np.arange(len(positions)), sizes) + (
+            self.full_seg2[flat_idx] & 1
+        )
+        return (
+            self.key_ids[flat_idx],
+            self.f0[flat_idx],
+            self.f1[flat_idx],
+            self.c0[flat_idx],
+            self.c1[flat_idx],
+            seg2,
+            node_sizes,
+            conn_sizes,
+        )
+
+
+class _AnchorTable:
+    """Scatter/gather matcher over a population's interned key space.
+
+    Loading an anchor scatters its attribute columns into dense tables
+    indexed by key id; a batch against candidates is then five O(rows)
+    gathers plus two segmented ``bincount`` reductions — no per-row
+    binary search. Stale table rows from the previous anchor are inert:
+    the ``valid`` mask zeroes their contribution.
+    """
+
+    def __init__(self, flat: _FlatPopulation):
+        size = int(flat.unique_keys.size)
+        self.valid = np.zeros(size, dtype=bool)
+        self.f0 = np.zeros(size, dtype=np.float64)
+        self.f1 = np.zeros(size, dtype=np.float64)
+        self.c0 = np.zeros(size, dtype=np.int64)
+        self.c1 = np.zeros(size, dtype=np.int64)
+        self._last_ids = None
+
+    def load(self, anchor: GenomeArrays, flat: _FlatPopulation) -> None:
+        if self._last_ids is not None:
+            self.valid[self._last_ids] = False
+        ids = anchor.key_ids
+        if ids is None:
+            # foreign anchor (e.g. a previous generation's
+            # representative): map its keys into the interned space;
+            # keys absent from the population can match nothing and are
+            # simply left out of the table
+            idx = np.minimum(
+                np.searchsorted(flat.unique_keys, anchor.keys),
+                flat.unique_keys.size - 1,
+            )
+            found = flat.unique_keys[idx] == anchor.keys
+            ids = idx[found]
+            self.f0[ids] = anchor.f0[found]
+            self.f1[ids] = anchor.f1[found]
+            self.c0[ids] = anchor.c0[found]
+            self.c1[ids] = anchor.c1[found]
+        else:
+            self.f0[ids] = anchor.f0
+            self.f1[ids] = anchor.f1
+            self.c0[ids] = anchor.c0
+            self.c1[ids] = anchor.c1
+        self.valid[ids] = True
+        self._last_ids = ids
+
+    def distances(
+        self,
+        anchor: GenomeArrays,
+        key_ids,
+        f0,
+        f1,
+        c0,
+        c1,
+        seg2,
+        node_sizes,
+        conn_sizes,
+        weight_coeff: float,
+        disjoint_coeff: float,
+    ):
+        n = len(node_sizes)
+        if key_ids.size:
+            matched = self.valid[key_ids]
+            attr = np.abs(self.f0[key_ids] - f0)
+            attr += np.abs(self.f1[key_ids] - f1)
+            attr += self.c0[key_ids] != c0
+            attr += self.c1[key_ids] != c1
+            attr *= matched
+            match_sums = np.bincount(
+                seg2, weights=attr, minlength=2 * n
+            )
+            match_counts = np.bincount(
+                seg2, weights=matched, minlength=2 * n
+            )
+        else:
+            match_sums = np.zeros(2 * n, dtype=np.float64)
+            match_counts = np.zeros(2 * n, dtype=np.float64)
+        return _combine_terms(
+            match_sums, match_counts, node_sizes, conn_sizes,
+            anchor.n_nodes, anchor.n_conns,
+            weight_coeff, disjoint_coeff,
+        )
+
+
+class VectorizedDistanceCache:
+    """Batched, memoising distance oracle for one speciation pass.
+
+    Drop-in twin of :class:`repro.neat.species.DistanceCache`: same
+    normalised pair-key memoisation, same :class:`SpeciationStats`
+    accounting (comparisons and genes_compared count computed pairs
+    only; ``cache_hits`` counts memo returns). Each genome is lowered to
+    :class:`GenomeArrays` at most once per pass, and every uncached
+    anchor-vs-candidates batch is computed as merged array ops.
+    """
+
+    def __init__(self, config: "NEATConfig", population: dict | None = None):
+        """``population`` (genome key -> genome), when given, is lowered
+        and flattened up front: batches over its members run on the
+        interned-key anchor table instead of concatenating per-genome
+        arrays. Anchors and candidates outside the population (e.g.
+        previous generations' representatives) fall back to per-genome
+        arrays."""
+        _require_numpy()
+        self.config = config
+        self.distances: dict[tuple[int, int], float] = {}
+        self.stats = SpeciationStats()
+        #: keyed by object identity, not genome key: an old species
+        #: representative is a distinct object that may share a key with
+        #: a current member only when it *is* that member (elites), and
+        #: identity keying stays correct even for hand-built populations
+        #: that reuse keys. Entries keep their genomes alive for the
+        #: pass, so ids cannot be recycled underneath the cache.
+        self._arrays: dict[int, tuple["Genome", GenomeArrays]] = {}
+        self._flat = _FlatPopulation(population) if population else None
+        self._table = (
+            _AnchorTable(self._flat) if self._flat is not None else None
+        )
+
+    def _lower(self, genome: "Genome") -> GenomeArrays:
+        if self._flat is not None:
+            arrays = self._flat.arrays_by_id.get(id(genome))
+            if arrays is not None:
+                return arrays
+        entry = self._arrays.get(id(genome))
+        if entry is None:
+            entry = (genome, lower_genome(genome))
+            self._arrays[id(genome)] = entry
+        return entry[1]
+
+    #: same memo key scheme as the scalar twin, by construction
+    _pair_key = staticmethod(DistanceCache._pair_key)
+
+    def _distances_flat(self, anchor_arrays, positions):
+        """Anchor-vs-subset distances on the flat population buffers.
+
+        Subsets spanning most of the population skip the gather: the
+        anchor is batched against *every* member and the requested
+        positions are sliced out afterwards. The surplus distances are
+        discarded (never memoised or counted) — per-candidate terms are
+        independent, so the kept values are bit-identical either way.
+        """
+        flat = self._flat
+        table = self._table
+        table.load(anchor_arrays, flat)
+        cw = self.config.compatibility_weight_coefficient
+        cd = self.config.compatibility_disjoint_coefficient
+        if 2 * len(positions) >= len(flat.lens):
+            full = table.distances(
+                anchor_arrays, flat.key_ids, flat.f0, flat.f1,
+                flat.c0, flat.c1, flat.full_seg2,
+                flat.node_lens, flat.conn_lens, cw, cd,
+            )
+            return full[positions]
+        return table.distances(
+            anchor_arrays, *flat.gather(positions), cw, cd
+        )
+
+    def batch(
+        self, anchor: "Genome", genomes: Sequence["Genome"]
+    ) -> list[float]:
+        """Distances anchor-vs-each-genome (memoised, batch-computed)."""
+        out = [0.0] * len(genomes)
+        pair_keys = [self._pair_key(anchor, g) for g in genomes]
+        missing: list[int] = []
+        duplicates: list[int] = []
+        first_index: dict[tuple[int, int], int] = {}
+        for i, key in enumerate(pair_keys):
+            cached = self.distances.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                out[i] = cached
+            elif key in first_index:
+                # same pair listed twice in one batch: compute once,
+                # tally a hit — matching the scalar cache's accounting
+                self.stats.cache_hits += 1
+                duplicates.append(i)
+            else:
+                first_index[key] = i
+                missing.append(i)
+        if missing:
+            anchor_arrays = self._lower(anchor)
+            missing_genomes = [genomes[i] for i in missing]
+            positions = (
+                self._flat.positions_for(missing_genomes)
+                if self._flat is not None
+                else None
+            )
+            if positions is not None:
+                dists = self._distances_flat(anchor_arrays, positions)
+                total_genes = int(self._flat.lens[positions].sum())
+            else:
+                cands = [self._lower(g) for g in missing_genomes]
+                dists = batch_distance(anchor_arrays, cands, self.config)
+                total_genes = sum(c.gene_count() for c in cands)
+            values = dists.tolist()
+            self.distances.update(
+                zip((pair_keys[i] for i in missing), values)
+            )
+            self.stats.comparisons += len(missing)
+            self.stats.genes_compared += (
+                anchor_arrays.gene_count() * len(missing) + total_genes
+            )
+            if len(missing) == len(genomes):
+                return values
+            for i, d in zip(missing, values):
+                out[i] = d
+            for i in duplicates:
+                out[i] = self.distances[pair_keys[i]]
+        return out
+
+    def __call__(self, genome1: "Genome", genome2: "Genome") -> float:
+        return self.batch(genome1, [genome2])[0]
+
+
+# -- brood mutation -----------------------------------------------------------
+
+
+def _mutated_floats(genes, name, config, rng):
+    values = np.fromiter(
+        (getattr(gene, name) for gene in genes),
+        dtype=np.float64,
+        count=len(genes),
+    )
+    return mutate_float_array(
+        values, rng, **float_mutation_params(config, name)
+    )
+
+
+def _mutate_categorical(genes, name, choices, rate, rng) -> None:
+    if rate <= 0 or not genes:
+        return
+    mask = rng.random(len(genes)) < rate
+    picks = rng.integers(0, len(choices), len(genes))
+    for i in np.nonzero(mask)[0]:
+        setattr(genes[i], name, choices[picks[i]])
+
+
+def mutate_brood_attributes(
+    genomes: Sequence["Genome"],
+    config: "NEATConfig",
+    rng: "np.random.Generator",
+) -> None:
+    """Batch the scalar-attribute mutation of a whole brood in place.
+
+    The batched twin of calling :meth:`Genome.mutate_attributes` per
+    child: every child's connection weights are updated in one
+    vectorized draw, then enabled flags, then node attributes — draw
+    order is fixed (genomes in given order, genes in sorted-key order)
+    so a brood formed from the same seeded generator is deterministic
+    regardless of where it is formed. Distributions match the scalar
+    rules exactly; the draw-for-draw streams do not (documented in
+    ``docs/genetics.md``).
+    """
+    _require_numpy()
+    conn_genes = [
+        genome.connections[key]
+        for genome in genomes
+        for key in sorted(genome.connections)
+    ]
+    node_genes = [
+        genome.nodes[key]
+        for genome in genomes
+        for key in sorted(genome.nodes)
+    ]
+    if conn_genes:
+        # fixed draw order: one batched draw per attribute, then a
+        # single fused write-back loop per gene family
+        (weight_attr,) = ConnectionGene.FLOAT_ATTRS
+        weights = _mutated_floats(conn_genes, weight_attr, config, rng)
+        enabled = np.fromiter(
+            (gene.enabled for gene in conn_genes),
+            dtype=bool,
+            count=len(conn_genes),
+        )
+        flags = mutate_bool_array(
+            enabled, rng, config.enabled_mutate_rate
+        )
+        for gene, weight, flag in zip(
+            conn_genes, weights.tolist(), flags.tolist()
+        ):
+            gene.weight = weight
+            gene.enabled = flag
+    if node_genes:
+        bias_attr, response_attr = NodeGene.FLOAT_ATTRS
+        biases = _mutated_floats(node_genes, bias_attr, config, rng)
+        responses = _mutated_floats(
+            node_genes, response_attr, config, rng
+        )
+        for gene, bias, response in zip(
+            node_genes, biases.tolist(), responses.tolist()
+        ):
+            gene.bias = bias
+            gene.response = response
+        _mutate_categorical(
+            node_genes, "activation", config.allowed_activations,
+            config.activation_mutate_rate, rng,
+        )
+        _mutate_categorical(
+            node_genes, "aggregation", config.allowed_aggregations,
+            config.aggregation_mutate_rate, rng,
+        )

@@ -20,6 +20,7 @@ from repro.neat.network import (
     BatchedFeedForwardNetwork,
     BatchedPlan,
     FeedForwardNetwork,
+    PlanCache,
     compile_batched,
 )
 
@@ -91,6 +92,11 @@ class ChampionRegistry:
     def __init__(self, config: NEATConfig, rollback_depth: int = 8):
         self.config = config
         self.rollback_depth = rollback_depth
+        #: compiled-plan cache across publishes: champion lineages are
+        #: usually weight-refinements of one topology, so successive
+        #: publishes re-fill the cached layout instead of re-lowering
+        #: (thread-safe; publishes may come from the evolution thread)
+        self.plan_cache = PlanCache(maxsize=64)
         self._lock = threading.Lock()
         self._current: ChampionRecord | None = None
         #: every record ever published, by version — parity checkers
@@ -114,7 +120,7 @@ class ChampionRegistry:
         Returns the new record. The previous champion (if any) is pushed
         onto the rollback stack.
         """
-        plan = compile_batched(genome, self.config)
+        plan = compile_batched(genome, self.config, cache=self.plan_cache)
         network = BatchedFeedForwardNetwork(plan)
         if fitness is None:
             fitness = (

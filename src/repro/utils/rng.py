@@ -80,11 +80,12 @@ def spawn_np_generator(root_seed: int, name: str):
     every ``random.Random`` stream. Raises ``RuntimeError`` without
     numpy (the scalar paths never need it).
 
-    No shipped kernel draws from it yet: every current vector kernel
-    replays its scalar twin's ``random.Random`` stream bit-for-bit via
-    :func:`spawn_lane_rngs`. This is the reserved derivation for future
-    vector-only stochastic components (e.g. batched environment drift)
-    that have no scalar stream to match.
+    No vector *environment* kernel draws from it: those replay their
+    scalar twin's ``random.Random`` stream bit-for-bit via
+    :func:`spawn_lane_rngs`. The consumer is the vectorized genetics
+    engine (:mod:`repro.neat.vectorized`), whose brood-batched attribute
+    mutation has no scalar stream to match — it draws one generator per
+    brood via :meth:`RngFactory.np_generator`.
     """
     try:
         import numpy as np
@@ -118,6 +119,16 @@ class RngFactory:
     def seed_for(self, name: str) -> int:
         """Return the derived integer seed for stream ``name``."""
         return _derive_seed(self.root_seed, name)
+
+    def np_generator(self, name: str):
+        """A ``numpy.random.Generator`` for stream ``name``.
+
+        Same derivation as :func:`spawn_np_generator`; the vectorized
+        genetics engine draws one such stream per brood
+        (``"brood:<generation>"``) so batched attribute mutation is
+        reproducible from the root seed.
+        """
+        return spawn_np_generator(self.root_seed, name)
 
     def child(self, name: str) -> "RngFactory":
         """Return a factory whose streams are namespaced under ``name``."""

@@ -51,6 +51,42 @@ class TestLearn:
         assert code in (0, 1)
         assert path.exists()
 
+    def test_learn_prints_speciation_counters(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "Serial",
+                "--pop", "20",
+                "--generations", "2",
+                "--threshold", "1e9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "speciation:" in out
+        assert "comparisons" in out
+        assert "(scalar genetics)" in out
+        # scalar backend compiles no plans -> no cache line
+        assert "plan cache" not in out
+
+    def test_learn_vectorized_genetics_with_plan_cache(self, capsys):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "CLAN_DDA",
+                "--agents", "2",
+                "--pop", "20",
+                "--generations", "2",
+                "--genetics", "vectorized",
+                "--backend", "batched",
+                "--threshold", "1e9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "vectorized genetics" in out
+        assert "plan cache" in out
+
     def test_serial_forces_one_agent(self, capsys):
         code = main(
             [

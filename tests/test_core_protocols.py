@@ -313,6 +313,73 @@ class TestRunControl:
         assert engine.best_genome.fitness == result.best_fitness
 
 
+class TestCostCounters:
+    """Fig 3c counters surfaced on records and the run summary."""
+
+    def test_records_carry_speciation_comparisons(self, runs):
+        for name, (_engine, result) in runs.items():
+            for record in result.records:
+                assert record.speciation_comparisons > 0, name
+
+    def test_run_result_aggregates(self, runs):
+        _, result = runs["Serial"]
+        assert result.total_speciation_comparisons() == sum(
+            r.speciation_comparisons for r in result.records
+        )
+        assert result.total_speciation_gene_ops() == sum(
+            r.total_speciation_gene_ops() for r in result.records
+        )
+        assert result.final_n_species() == result.records[-1].n_species
+
+    def test_scalar_run_reports_no_plan_cache_traffic(self, runs):
+        _, result = runs["Serial"]
+        assert result.plan_cache_hits == 0
+        assert result.plan_cache_misses == 0
+        assert result.plan_cache_hit_rate() == 0.0
+
+    def test_batched_run_reports_plan_cache_traffic(self, config):
+        engine = SerialNEAT(ENV, config=config, seed=21, backend="batched")
+        result = engine.run(max_generations=2, fitness_threshold=1e9)
+        assert result.plan_cache_misses > 0
+        assert (
+            result.plan_cache_hits + result.plan_cache_misses
+            >= 2 * config.pop_size
+        )
+        assert 0.0 <= result.plan_cache_hit_rate() <= 1.0
+
+    def test_dda_sums_comparisons_over_clans(self, config):
+        engine = CLAN_DDA(ENV, n_agents=4, config=config, seed=21)
+        record = engine.run_generation()
+        assert record.speciation_comparisons > 0
+
+
+class TestVectorizedGeneticsEquivalence:
+    """The engine switch changes execution, not the speciation result."""
+
+    def test_generation_zero_partition_matches_scalar(self, config):
+        scalar = SerialNEAT(ENV, config=config, seed=21)
+        vectorized = SerialNEAT(
+            ENV,
+            config=config.evolve_with(genetics="vectorized"),
+            seed=21,
+        )
+        record_s = scalar.run_generation()
+        record_v = vectorized.run_generation()
+        # identical initial population -> identical fitness, species
+        # partition and comparison counts; broods diverge only in
+        # attribute draws afterwards
+        assert record_v.best_fitness == record_s.best_fitness
+        assert record_v.n_species == record_s.n_species
+        assert (
+            record_v.speciation_comparisons
+            == record_s.speciation_comparisons
+        )
+        assert (
+            scalar.population.species_set.genome_to_species
+            == vectorized.population.species_set.genome_to_species
+        )
+
+
 class TestFactory:
     def test_available_protocols(self):
         assert set(available_protocols()) == {

@@ -37,6 +37,44 @@ class TestDistanceCache:
         expected = population[0].gene_count() + population[1].gene_count()
         assert cache.stats.genes_compared == expected
 
+    def test_pair_stored_once_under_normalised_key(self, small_config):
+        """Regression: each pair used to be stored under both (a, b)
+        and (b, a), doubling the memo footprint per speciation pass."""
+        population = make_population(small_config, 3)
+        cache = DistanceCache(small_config)
+        cache(population[0], population[1])
+        assert len(cache.distances) == 1
+        assert (0, 1) in cache.distances
+        cache(population[2], population[1])
+        assert len(cache.distances) == 2
+        assert (1, 2) in cache.distances
+
+    def test_hit_accounting(self, small_config):
+        population = make_population(small_config, 2)
+        cache = DistanceCache(small_config)
+        cache(population[0], population[1])
+        assert cache.stats.cache_hits == 0
+        cache(population[0], population[1])
+        cache(population[1], population[0])
+        assert cache.stats.cache_hits == 2
+        assert cache.stats.comparisons == 1
+
+    def test_batch_computes_anchor_first_and_memoises(self, small_config):
+        """batch() keeps the historical anchor-first operand order and
+        answers repeated pairs from the memo."""
+        population = make_population(small_config, 4)
+        cache = DistanceCache(small_config)
+        genomes = [population[1], population[2], population[3]]
+        forward = cache.batch(population[0], genomes)
+        assert forward == [
+            population[0].distance(g, small_config) for g in genomes
+        ]
+        assert cache.stats.comparisons == 3
+        again = cache.batch(population[0], genomes)
+        assert again == forward
+        assert cache.stats.comparisons == 3
+        assert cache.stats.cache_hits == 3
+
 
 class TestSpeciation:
     def test_partitions_whole_population(self, small_config):

@@ -1,0 +1,370 @@
+"""Tests for the array-native genetics engine (scalar parity).
+
+The contract (``docs/genetics.md``): batched distances match
+``Genome.distance`` within 1e-9 and yield the *identical* speciation
+partition; brood mutation keeps structure identical to the scalar
+engine (same per-child stream prefix) and matches the scalar attribute
+update in distribution.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neat.attributes import mutate_bool_array, mutate_float_array
+from repro.neat.config import NEATConfig
+from repro.neat.genome import Genome
+from repro.neat.innovation import InnovationTracker
+from repro.neat.population import Population
+from repro.neat.reproduction import execute_plan, plan_generation
+from repro.neat.species import SpeciesSet
+from repro.neat.vectorized import (
+    VectorizedDistanceCache,
+    batch_distance,
+    lower_genome,
+    mutate_brood_attributes,
+)
+from repro.utils.rng import RngFactory
+
+from tests.conftest import make_evolved_genome
+
+
+def make_diverse_population(
+    config, n, mutations=35, seed_offset=0, key_offset=0
+):
+    population = {}
+    for i in range(n):
+        key = i + key_offset
+        genome = make_evolved_genome(
+            config, seed=i + seed_offset, mutations=mutations, key=key
+        )
+        genome.fitness = float((i * 7) % 11)
+        population[key] = genome
+    return population
+
+
+class TestDistanceParity:
+    def test_matches_scalar_within_tolerance(self, small_config):
+        population = make_diverse_population(small_config, 24)
+        genomes = list(population.values())
+        cache = VectorizedDistanceCache(small_config)
+        for anchor in genomes[:8]:
+            batched = cache.batch(anchor, genomes)
+            for genome, got in zip(genomes, batched):
+                expected = anchor.distance(genome, small_config)
+                assert abs(got - expected) < 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed_a=st.integers(0, 1000),
+        seed_b=st.integers(0, 1000),
+        mutations=st.integers(0, 60),
+    )
+    def test_pairwise_parity_property(self, seed_a, seed_b, mutations):
+        config = NEATConfig(num_inputs=3, num_outputs=2, pop_size=4)
+        a = make_evolved_genome(config, seed=seed_a, mutations=mutations,
+                                key=0)
+        b = make_evolved_genome(config, seed=seed_b, mutations=mutations,
+                                key=1)
+        got = batch_distance(
+            lower_genome(a), [lower_genome(b), lower_genome(a)], config
+        )
+        assert abs(got[0] - a.distance(b, config)) < 1e-9
+        assert got[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_node_key_rejected(self, small_config):
+        """Hand-built genomes with out-of-range node keys would corrupt
+        the packed key space; lowering must refuse them loudly."""
+        from repro.neat.genes import NodeGene
+
+        genome = Genome(0)
+        genome.configure_new(small_config, random.Random(0))
+        bad = NodeGene.__new__(NodeGene)
+        bad.key = -5
+        bad.bias = 0.0
+        bad.response = 1.0
+        bad.activation = "tanh"
+        bad.aggregation = "sum"
+        genome.nodes[-5] = bad
+        with pytest.raises(ValueError, match="node keys"):
+            lower_genome(genome)
+
+    def test_empty_connection_genomes(self, small_config):
+        # initial_connection="none" genomes have nodes but no connections
+        a = Genome(0)
+        b = Genome(1)
+        config = small_config.evolve_with(initial_connection="none")
+        rng = random.Random(0)
+        a.configure_new(config, rng)
+        b.configure_new(config, rng)
+        got = batch_distance(lower_genome(a), [lower_genome(b)], config)
+        assert abs(got[0] - a.distance(b, config)) < 1e-9
+
+    def test_memoisation_and_stats_accounting(self, small_config):
+        population = make_diverse_population(small_config, 6)
+        genomes = list(population.values())
+        cache = VectorizedDistanceCache(small_config)
+        first = cache.batch(genomes[0], genomes[1:])
+        assert cache.stats.comparisons == 5
+        assert cache.stats.cache_hits == 0
+        expected_genes = sum(
+            genomes[0].gene_count() + g.gene_count() for g in genomes[1:]
+        )
+        assert cache.stats.genes_compared == expected_genes
+        # the symmetric lookup hits the memo, batched or scalar-shaped
+        again = cache.batch(genomes[1], [genomes[0]])
+        assert again[0] == first[0]
+        assert cache.stats.comparisons == 5
+        assert cache.stats.cache_hits == 1
+
+    def test_duplicate_candidates_count_as_hits(self, small_config):
+        """A genome listed twice in one batch computes once — same
+        accounting as the scalar cache."""
+        population = make_diverse_population(small_config, 3)
+        genomes = list(population.values())
+        cache = VectorizedDistanceCache(small_config)
+        result = cache.batch(
+            genomes[0], [genomes[1], genomes[2], genomes[1]]
+        )
+        assert result[0] == result[2]
+        assert cache.stats.comparisons == 2
+        assert cache.stats.cache_hits == 1
+
+
+class TestPartitionParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_partition_on_seeded_population(
+        self, small_config, seed
+    ):
+        population = make_diverse_population(
+            small_config, 20, seed_offset=seed * 100
+        )
+        config_v = small_config.evolve_with(genetics="vectorized")
+        scalar_set = SpeciesSet()
+        vector_set = SpeciesSet()
+        stats_s = scalar_set.speciate(
+            population, 0, small_config, random.Random(seed)
+        )
+        stats_v = vector_set.speciate(
+            population, 0, config_v, random.Random(seed)
+        )
+        assert scalar_set.genome_to_species == vector_set.genome_to_species
+        assert set(scalar_set.species) == set(vector_set.species)
+        assert stats_s.n_species == stats_v.n_species
+        assert stats_s.comparisons == stats_v.comparisons
+        assert stats_s.genes_compared == stats_v.genes_compared
+
+    def test_identical_partition_across_generations(self, small_config):
+        """Re-anchoring existing species takes the same decisions."""
+        config_v = small_config.evolve_with(genetics="vectorized")
+        scalar_set = SpeciesSet()
+        vector_set = SpeciesSet()
+        for generation in range(3):
+            # fresh key ranges per generation, as real evolution
+            # allocates them (genome keys are never reused)
+            population = make_diverse_population(
+                small_config, 16, seed_offset=generation * 50,
+                key_offset=generation * 100,
+            )
+            scalar_set.speciate(
+                population, generation, small_config,
+                random.Random(generation),
+            )
+            vector_set.speciate(
+                population, generation, config_v,
+                random.Random(generation),
+            )
+            assert (
+                scalar_set.genome_to_species
+                == vector_set.genome_to_species
+            )
+            representatives_s = {
+                sid: s.representative.key
+                for sid, s in scalar_set.species.items()
+            }
+            representatives_v = {
+                sid: s.representative.key
+                for sid, s in vector_set.species.items()
+            }
+            assert representatives_s == representatives_v
+
+
+class TestBatchedAttributeDistributions:
+    N = 200_000
+
+    def test_float_mutation_rates_and_moments(self):
+        rng = np.random.default_rng(7)
+        values = np.full(self.N, 2.0)
+        out = mutate_float_array(
+            values, rng,
+            mutate_rate=0.5, replace_rate=0.2, mutate_power=0.4,
+            init_mean=-3.0, init_stdev=0.1, low=-30.0, high=30.0,
+        )
+        perturbed = (out != 2.0) & (out > -1.0)
+        replaced = out < -1.0
+        unchanged = out == 2.0
+        assert perturbed.mean() == pytest.approx(0.5, abs=0.01)
+        assert replaced.mean() == pytest.approx(0.2, abs=0.01)
+        assert unchanged.mean() == pytest.approx(0.3, abs=0.01)
+        # perturbation noise: zero-mean Gaussian of scale mutate_power
+        noise = out[perturbed] - 2.0
+        assert noise.mean() == pytest.approx(0.0, abs=0.01)
+        assert noise.std() == pytest.approx(0.4, abs=0.01)
+        # replacement draw: the init distribution
+        assert out[replaced].mean() == pytest.approx(-3.0, abs=0.01)
+        assert out[replaced].std() == pytest.approx(0.1, abs=0.01)
+
+    def test_float_mutation_respects_clamp_bounds(self):
+        rng = np.random.default_rng(3)
+        values = np.full(50_000, 0.9)
+        out = mutate_float_array(
+            values, rng,
+            mutate_rate=0.9, replace_rate=0.1, mutate_power=5.0,
+            init_mean=0.0, init_stdev=5.0, low=-1.0, high=1.0,
+        )
+        assert out.min() >= -1.0
+        assert out.max() <= 1.0
+        assert (out == 1.0).any() and (out == -1.0).any()
+
+    def test_bool_mutation_flip_rate(self):
+        rng = np.random.default_rng(11)
+        values = np.ones(self.N, dtype=bool)
+        out = mutate_bool_array(values, rng, 0.3)
+        # a touched flag lands on True/False uniformly: observed False
+        # share ~= rate / 2
+        assert (~out).mean() == pytest.approx(0.15, abs=0.01)
+        # zero rate draws nothing and copies
+        same = mutate_bool_array(values, rng, 0.0)
+        assert same.all() and same is not values
+
+    def test_brood_mutation_matches_scalar_in_distribution(
+        self, small_config
+    ):
+        """Weight deltas from the brood path match the scalar rule."""
+        rng = np.random.default_rng(5)
+        genomes = []
+        for key in range(400):
+            genome = Genome(key)
+            genome.configure_new(small_config, random.Random(key))
+            genomes.append(genome)
+        before = np.asarray([
+            genome.connections[k].weight
+            for genome in genomes
+            for k in sorted(genome.connections)
+        ])
+        mutate_brood_attributes(genomes, small_config, rng)
+        after = np.asarray([
+            genome.connections[k].weight
+            for genome in genomes
+            for k in sorted(genome.connections)
+        ])
+        changed = before != after
+        # touched share = mutate + replace rate (0.8 + 0.1 by default;
+        # a perturbation of exactly 0 is measure-zero)
+        expected_rate = (
+            small_config.weight_mutate_rate
+            + small_config.weight_replace_rate
+        )
+        assert changed.mean() == pytest.approx(expected_rate, abs=0.03)
+        assert after.min() >= small_config.weight_min
+        assert after.max() <= small_config.weight_max
+
+
+class TestVectorizedReproduction:
+    def _plan_and_pool(self, config, n=24):
+        population = make_diverse_population(config, n, mutations=20)
+        species_set = SpeciesSet()
+        species_set.speciate(population, 0, config, random.Random(0))
+        counter = iter(range(1000, 5000))
+        plan = plan_generation(
+            config, species_set, 0, random.Random(1),
+            lambda: next(counter),
+        )
+        return plan, population
+
+    def test_brood_topology_identical_to_scalar(self, small_config):
+        """Structural draws are the prefix of the scalar child stream."""
+        plan, population = self._plan_and_pool(small_config)
+        config_v = small_config.evolve_with(genetics="vectorized")
+        rngs = RngFactory(9)
+
+        def form(config, np_rng):
+            innovation = InnovationTracker(
+                next_node_id=config.num_outputs
+            )
+            return execute_plan(
+                plan, population, config,
+                lambda spec: RngFactory(9).get(f"c:{spec.child_key}"),
+                innovation, np_rng=np_rng,
+            )
+
+        scalar_pop, scalar_stats = form(small_config, None)
+        vector_pop, vector_stats = form(
+            config_v, rngs.np_generator("brood:0")
+        )
+        assert set(scalar_pop) == set(vector_pop)
+        for key in scalar_pop:
+            assert set(scalar_pop[key].nodes) == set(vector_pop[key].nodes)
+            assert (
+                set(scalar_pop[key].connections)
+                == set(vector_pop[key].connections)
+            )
+        assert scalar_stats.children_formed == vector_stats.children_formed
+
+    def test_brood_deterministic_for_seed(self, small_config):
+        plan, population = self._plan_and_pool(small_config)
+        config_v = small_config.evolve_with(genetics="vectorized")
+
+        def form():
+            innovation = InnovationTracker(
+                next_node_id=config_v.num_outputs
+            )
+            return execute_plan(
+                plan, population, config_v,
+                lambda spec: RngFactory(9).get(f"c:{spec.child_key}"),
+                innovation,
+                np_rng=RngFactory(9).np_generator("brood:0"),
+            )[0]
+
+        first = form()
+        second = form()
+        for key in first:
+            assert first[key].nodes == second[key].nodes
+            assert first[key].connections == second[key].connections
+
+    def test_vectorized_requires_np_rng(self, small_config):
+        plan, population = self._plan_and_pool(small_config)
+        config_v = small_config.evolve_with(genetics="vectorized")
+        innovation = InnovationTracker(next_node_id=config_v.num_outputs)
+        with pytest.raises(ValueError, match="np_rng"):
+            execute_plan(
+                plan, population, config_v,
+                lambda spec: random.Random(spec.child_key),
+                innovation,
+            )
+
+
+class TestVectorizedGenerationLoop:
+    def test_population_runs_end_to_end(self):
+        config = NEATConfig.for_env(
+            "CartPole-v0", pop_size=20, genetics="vectorized"
+        )
+        population = Population(config, seed=4)
+
+        def evaluate(genomes, generation):
+            from repro.neat.evaluation import GenomeEvaluator
+
+            evaluator = GenomeEvaluator("CartPole-v0", seed=4)
+            return evaluator.evaluate_many(genomes, config, generation)
+
+        stats = population.run(evaluate, max_generations=2)
+        assert len(stats) == 2
+        assert stats[-1].population_size == 20
+        assert stats[-1].speciation_comparisons > 0
+
+    def test_invalid_genetics_rejected(self):
+        with pytest.raises(ValueError, match="genetics"):
+            NEATConfig(genetics="simd")

@@ -1,0 +1,224 @@
+"""Tests for the cross-generation compiled-plan cache.
+
+Contract: a cache hit instantiates a plan *bit-identical* to a fresh
+``compile_batched`` — same layer arrays, same outputs — while skipping
+the pruning/topological-sort/layout work. Signatures are exact
+structural keys, so any topology change (gene added/removed, enabled
+flag flipped, activation changed) is a miss.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
+from repro.neat.network import (
+    BatchedFeedForwardNetwork,
+    PlanCache,
+    compile_batched,
+    structural_signature,
+)
+from repro.neat.population import Population
+from repro.serve.registry import ChampionRegistry
+
+from tests.conftest import make_evolved_genome
+
+
+def assert_plans_identical(left, right):
+    assert left.input_keys == right.input_keys
+    assert left.output_keys == right.output_keys
+    assert left.total_slots == right.total_slots
+    assert np.array_equal(left.output_slots, right.output_slots)
+    assert left.n_layers == right.n_layers
+    for layer_l, layer_r in zip(left.layers, right.layers):
+        assert np.array_equal(layer_l.node_slots, layer_r.node_slots)
+        assert np.array_equal(layer_l.weights, layer_r.weights)
+        assert np.array_equal(layer_l.bias, layer_r.bias)
+        assert np.array_equal(layer_l.response, layer_r.response)
+        assert len(layer_l.act_groups) == len(layer_r.act_groups)
+        for (name_l, rows_l), (name_r, rows_r) in zip(
+            layer_l.act_groups, layer_r.act_groups
+        ):
+            assert name_l == name_r
+            assert np.array_equal(rows_l, rows_r)
+        assert len(layer_l.generic_nodes) == len(layer_r.generic_nodes)
+        for (row_l, agg_l, src_l, w_l), (row_r, agg_r, src_r, w_r) in zip(
+            layer_l.generic_nodes, layer_r.generic_nodes
+        ):
+            assert (row_l, agg_l) == (row_r, agg_r)
+            assert np.array_equal(src_l, src_r)
+            assert np.array_equal(w_l, w_r)
+
+
+def weight_only_child(genome, new_key, seed=0):
+    child = genome.copy(new_key=new_key)
+    rng = random.Random(seed)
+    for key in sorted(child.connections):
+        child.connections[key].weight += rng.uniform(-0.5, 0.5)
+    for key in sorted(child.nodes):
+        child.nodes[key].bias += rng.uniform(-0.5, 0.5)
+    return child
+
+
+class TestStructuralSignature:
+    def test_weight_only_child_shares_signature(self, small_config):
+        genome = make_evolved_genome(small_config, seed=2, mutations=30)
+        child = weight_only_child(genome, 99)
+        assert structural_signature(
+            genome, small_config
+        ) == structural_signature(child, small_config)
+
+    def test_enabled_flip_changes_signature(self, small_config):
+        genome = make_evolved_genome(small_config, seed=2, mutations=30)
+        child = genome.copy(new_key=99)
+        key = next(iter(sorted(child.connections)))
+        child.connections[key].enabled = (
+            not child.connections[key].enabled
+        )
+        assert structural_signature(
+            genome, small_config
+        ) != structural_signature(child, small_config)
+
+    def test_structural_mutation_changes_signature(self, small_config):
+        from repro.neat.innovation import InnovationTracker
+
+        genome = make_evolved_genome(small_config, seed=2, mutations=30)
+        child = genome.copy(new_key=99)
+        tracker = InnovationTracker(
+            next_node_id=genome.max_node_id() + 1
+        )
+        assert child.mutate_add_node(
+            small_config, random.Random(0), tracker
+        )
+        assert structural_signature(
+            genome, small_config
+        ) != structural_signature(child, small_config)
+
+
+class TestPlanCache:
+    def test_hit_is_bit_identical_to_fresh_compile(self, small_config):
+        cache = PlanCache()
+        parent = make_evolved_genome(small_config, seed=5, mutations=40)
+        compile_batched(parent, small_config, cache=cache)
+        child = weight_only_child(parent, 123, seed=3)
+        cached_plan = compile_batched(child, small_config, cache=cache)
+        fresh_plan = compile_batched(child, small_config)
+        assert cache.hits == 1 and cache.misses == 1
+        assert_plans_identical(cached_plan, fresh_plan)
+        observations = np.random.default_rng(0).normal(size=(32, 3))
+        cached_out = BatchedFeedForwardNetwork(cached_plan).activate_batch(
+            observations
+        )
+        fresh_out = BatchedFeedForwardNetwork(fresh_plan).activate_batch(
+            observations
+        )
+        assert np.array_equal(cached_out, fresh_out)
+
+    def test_instantiated_plan_owns_its_value_arrays(self, small_config):
+        cache = PlanCache()
+        parent = make_evolved_genome(small_config, seed=5, mutations=40)
+        parent_plan = compile_batched(parent, small_config, cache=cache)
+        child = weight_only_child(parent, 123, seed=3)
+        child_plan = compile_batched(child, small_config, cache=cache)
+        # refilling the child's plan must not corrupt the cached parent
+        before = [layer.weights.copy() for layer in parent_plan.layers]
+        for layer in child_plan.layers:
+            layer.weights += 1.0
+        for layer, expected in zip(parent_plan.layers, before):
+            assert np.array_equal(layer.weights, expected)
+
+    def test_structural_change_misses(self, small_config):
+        from repro.neat.innovation import InnovationTracker
+
+        cache = PlanCache()
+        parent = make_evolved_genome(small_config, seed=5, mutations=40)
+        compile_batched(parent, small_config, cache=cache)
+        child = parent.copy(new_key=7)
+        tracker = InnovationTracker(
+            next_node_id=parent.max_node_id() + 1
+        )
+        assert child.mutate_add_node(
+            small_config, random.Random(1), tracker
+        )
+        cached_plan = compile_batched(child, small_config, cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        assert_plans_identical(
+            cached_plan, compile_batched(child, small_config)
+        )
+
+    def test_lru_eviction(self, small_config):
+        cache = PlanCache(maxsize=2)
+        genomes = [
+            make_evolved_genome(small_config, seed=s, mutations=25, key=s)
+            for s in range(3)
+        ]
+        for genome in genomes:
+            compile_batched(genome, small_config, cache=cache)
+        assert len(cache) == 2
+        # genome 0 was evicted; recompiling it misses again
+        compile_batched(genomes[0], small_config, cache=cache)
+        assert cache.misses == 4
+        compile_batched(genomes[0], small_config, cache=cache)
+        assert cache.hits == 1
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_hit_rate(self, small_config):
+        cache = PlanCache()
+        assert cache.hit_rate == 0.0
+        genome = make_evolved_genome(small_config, seed=5, mutations=10)
+        compile_batched(genome, small_config, cache=cache)
+        compile_batched(genome, small_config, cache=cache)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestEvaluatorWiring:
+    def test_batched_evaluator_owns_a_cache(self):
+        assert GenomeEvaluator("CartPole-v0").plan_cache is None
+        evaluator = GenomeEvaluator("CartPole-v0", backend="batched")
+        assert isinstance(evaluator.plan_cache, PlanCache)
+
+    def test_cached_results_identical_across_generations(self):
+        """A weight-only evolution run hits the cache; results match a
+        cache-less evaluator exactly."""
+        config = NEATConfig.for_env(
+            "CartPole-v0",
+            pop_size=16,
+            # weight-mutation-dominated: no topology changes at all
+            node_add_prob=0.0, node_delete_prob=0.0,
+            conn_add_prob=0.0, conn_delete_prob=0.0,
+            enabled_mutate_rate=0.0,
+        )
+        cached = GenomeEvaluator("CartPole-v0", seed=2, backend="batched")
+        population = Population(config, seed=2)
+
+        def evaluate(genomes, generation):
+            results = cached.evaluate_many(genomes, config, generation)
+            reference = GenomeEvaluator(
+                "CartPole-v0", seed=2, backend="batched"
+            )
+            reference.plan_cache = None
+            assert results == reference.evaluate_many(
+                genomes, config, generation
+            )
+            return results
+
+        population.run(evaluate, max_generations=3)
+        assert cached.plan_cache.hits > 0
+        assert cached.plan_cache.hit_rate >= 0.8
+
+
+class TestRegistryWiring:
+    def test_publish_reuses_plan_for_weight_refinements(self):
+        config = NEATConfig.for_env("CartPole-v0", pop_size=4)
+        registry = ChampionRegistry(config)
+        champion = make_evolved_genome(config, seed=1, mutations=20)
+        registry.publish(champion, source="bootstrap")
+        assert registry.plan_cache.misses == 1
+        refined = weight_only_child(champion, 50)
+        record = registry.publish(refined, source="clan0")
+        assert registry.plan_cache.hits == 1
+        fresh = compile_batched(refined, config)
+        assert_plans_identical(record.plan, fresh)
