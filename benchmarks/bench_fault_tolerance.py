@@ -1,0 +1,143 @@
+"""Kill-a-clan gate: churn must not change where evolution ends up.
+
+The fault-tolerance claim (docs/fault_tolerance.md) is sharp: because
+every RNG stream is name-derived, a clan respawned from its checkpoint
+replays its lost generations *bit-identically*, so a run that loses a
+worker process mid-flight ends with exactly the trajectory of a run that
+never did. This benchmark runs a 4-clan barrier-free fleet twice — once
+undisturbed, once SIGKILLing a clan's worker process mid-run (triggered
+deterministically off the first champion report) — and gates on:
+
+* the disturbed run completing its full per-clan budget,
+* churn counters reporting exactly one death and one respawn,
+* the final best fitness matching the undisturbed run exactly,
+* recovery latency being bounded (no multi-second supervision stalls).
+"""
+
+import os
+import signal
+
+from repro.cluster.runtime import DistributedClanRuntime
+from repro.neat.config import NEATConfig
+from repro.utils.fmt import format_table
+
+from benchmarks.conftest import run_once
+
+ENV = "CartPole-v0"
+N_CLANS = 4
+BUDGET = 8
+
+
+def _make_runtime(config):
+    return DistributedClanRuntime(
+        ENV,
+        n_clans=N_CLANS,
+        config=config,
+        seed=7,
+        respawn_backoff_s=0.0,
+        heartbeat_timeout_s=30.0,
+    )
+
+
+def test_sigkill_midrun_recovers_to_identical_best(
+    benchmark, report_sink, json_sink
+):
+    def build():
+        config = NEATConfig.for_env(ENV, pop_size=40)
+        with _make_runtime(config) as runtime:
+            baseline = runtime.run_async(
+                max_generations=BUDGET, fitness_threshold=1e9
+            )
+            baseline_best = runtime.best_genome()
+
+        killed = []
+
+        def kill_once(event):
+            # fires on the caller thread at the first champion report —
+            # deterministically early, genuinely mid-run — and SIGKILLs
+            # a clan that is *not* the one that just reported
+            if not killed:
+                victim = (event.clan_id + 1) % N_CLANS
+                os.kill(
+                    disturbed_runtime.pool._procs[victim].pid,
+                    signal.SIGKILL,
+                )
+                killed.append(victim)
+
+        with _make_runtime(config) as disturbed_runtime:
+            disturbed = disturbed_runtime.run_async(
+                max_generations=BUDGET,
+                fitness_threshold=1e9,
+                on_champion=kill_once,
+            )
+            disturbed_best = disturbed_runtime.best_genome()
+
+        return {
+            "baseline_best": baseline.best_fitness,
+            "baseline_per_clan": baseline.per_clan_generations,
+            "baseline_wall_s": baseline.wall_time_s,
+            "disturbed_best": disturbed.best_fitness,
+            "disturbed_per_clan": disturbed.per_clan_generations,
+            "disturbed_wall_s": disturbed.wall_time_s,
+            "victim": killed[0] if killed else None,
+            "deaths": disturbed.churn.deaths,
+            "respawns": disturbed.churn.respawns,
+            "clans_lost": disturbed.churn.clans_lost,
+            "lost_generations": disturbed.churn.lost_generations,
+            "recovery_s": disturbed.churn.mean_recovery_latency_s(),
+            "best_gap": abs(
+                disturbed.best_fitness - baseline.best_fitness
+            ),
+            "champion_gap": abs(
+                disturbed_best.fitness - baseline_best.fitness
+            ),
+            "baseline_churned": bool(baseline.churn),
+        }
+
+    result = run_once(benchmark, build)
+    report_sink(
+        "bench_fault_tolerance",
+        format_table(
+            ["run", "best fitness", "per-clan generations", "note"],
+            [
+                [
+                    "undisturbed",
+                    f"{result['baseline_best']:.2f}",
+                    str(result["baseline_per_clan"]),
+                    f"{result['baseline_wall_s']:.2f}s wall",
+                ],
+                [
+                    "SIGKILL clan mid-run",
+                    f"{result['disturbed_best']:.2f}",
+                    str(result["disturbed_per_clan"]),
+                    f"killed clan {result['victim']}; "
+                    f"{result['deaths']} death, "
+                    f"{result['respawns']} respawn, "
+                    f"{result['lost_generations']} generation(s) "
+                    f"replayed, recovery "
+                    f"{result['recovery_s'] * 1e3:.0f}ms",
+                ],
+            ],
+            title=(
+                f"[FT] {N_CLANS}-clan fleet on {ENV}, budget {BUDGET} "
+                "generations/clan, one worker SIGKILLed mid-run"
+            ),
+        ),
+    )
+    json_sink("bench_fault_tolerance", result)
+
+    # CI gates
+    assert result["victim"] is not None, "kill hook never fired"
+    assert not result["baseline_churned"]
+    # churn reports exactly one death and one respawn, no abandonment
+    assert result["deaths"] == 1
+    assert result["respawns"] == 1
+    assert result["clans_lost"] == 0
+    # the disturbed run completes its entire budget on every clan
+    assert result["disturbed_per_clan"] == [BUDGET] * N_CLANS
+    assert result["baseline_per_clan"] == [BUDGET] * N_CLANS
+    # recovery is replay-exact: zero best-fitness gap, not just "bounded"
+    assert result["best_gap"] <= 1e-9
+    assert result["champion_gap"] <= 1e-9
+    # detection + respawn + restore stays sub-second on this workload
+    assert result["recovery_s"] < 2.0

@@ -167,6 +167,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="halt background evolution at this fitness (default: the "
         "gym convergence criterion; serving continues either way)",
     )
+    serve.add_argument(
+        "--max-respawns", type=int, default=2, metavar="N",
+        help="times a dead/hung clan worker is respawned from its "
+        "latest checkpoint before being abandoned (see "
+        "docs/fault_tolerance.md)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="longest a clan may go without reporting before it is "
+        "presumed hung and respawned; 0 disables stall detection",
+    )
+    serve.add_argument(
+        "--checkpoint-period", type=int, default=1, metavar="K",
+        help="clan generations between streamed recovery checkpoints "
+        "(1 = every generation)",
+    )
 
     inspect = sub.add_parser(
         "inspect", help="describe the champion of a checkpoint"
@@ -373,6 +389,13 @@ def _cmd_learn(args) -> int:
             f"({result.plan_cache_hit_rate():.0%})"
         )
     print(summary)
+    # logical engines never see churn; the line appears only when a
+    # fault-injected replay aggregated live-runtime counters here
+    if result.total_clan_deaths():
+        print(
+            f"churn: {result.total_clan_deaths()} clan death(s), "
+            f"{result.total_clan_respawns()} respawn(s)"
+        )
     if args.sim_mode != "analytic":
         generations, total = driver.simulate(mode=args.sim_mode)
         line = (
@@ -427,6 +450,12 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.max_respawns < 0 or args.checkpoint_period < 1:
+        print(
+            "--max-respawns must be >= 0 and --checkpoint-period >= 1",
+            file=sys.stderr,
+        )
+        return 2
 
     async def run():
         service = ContinuousService(
@@ -438,6 +467,12 @@ def _cmd_serve(args) -> int:
             fitness_threshold=args.threshold,
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1e3,
+            max_respawns=args.max_respawns,
+            heartbeat_timeout_s=(
+                args.heartbeat_timeout if args.heartbeat_timeout > 0
+                else None
+            ),
+            checkpoint_period=args.checkpoint_period,
         )
         await service.start()
         generator = LoadGenerator(
@@ -493,6 +528,20 @@ def _cmd_serve(args) -> int:
         f"{len(evolution.champions)} champion improvement(s)"
         + (" (converged)" if evolution.converged else "")
     )
+    churn = evolution.churn
+    if churn:
+        print(
+            f"churn: {churn.deaths} clan death(s), {churn.respawns} "
+            f"respawn(s), {churn.clans_lost} clan(s) lost, "
+            f"{churn.lost_generations} generation(s) re-run, "
+            f"{churn.reassigned_generations} re-assigned, mean recovery "
+            f"{format_seconds(churn.mean_recovery_latency_s())}"
+        )
+    if service.evolution_restarts:
+        print(
+            f"evolution thread relaunched {service.evolution_restarts} "
+            "time(s) after a crash"
+        )
     return 0
 
 

@@ -23,8 +23,15 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cluster.serialization import decode_genome, encode_genomes
-from repro.cluster.transport import WorkerPool
+from repro.cluster.transport import (
+    WorkerDied,
+    WorkerFailure,
+    WorkerPool,
+    WorkerTimeout,
+)
+from repro.core.metrics import ChurnStats
 from repro.core.partition import contiguous_blocks, round_robin
+from repro.neat.checkpoint import decode_genome_hex
 from repro.envs.registry import workload_spec
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
@@ -78,6 +85,10 @@ class RealRunStats:
     #: champion-changed events in arrival order (run_async with champion
     #: streaming only); fitness is strictly increasing along this list
     champions: list[ChampionEvent] = field(default_factory=list)
+    #: device-churn counters (deaths, respawns, lost/re-assigned
+    #: generations, recovery latencies) filled by the supervision loop;
+    #: all-zero on an undisturbed run
+    churn: ChurnStats = field(default_factory=ChurnStats)
 
 
 class ParallelInferenceRuntime:
@@ -203,11 +214,38 @@ class DistributedClanRuntime:
         max_steps: int | None = None,
         backend: str = "scalar",
         eval_mode: str = "per_genome",
+        max_respawns: int = 2,
+        heartbeat_timeout_s: float | None = 30.0,
+        checkpoint_period: int = 1,
+        respawn_backoff_s: float = 0.05,
+        command_timeout_s: float = 30.0,
     ):
         """``backend="batched"`` makes every clan evaluate its members with
         the NumPy engine (episodes step in lockstep on the worker);
         ``eval_mode="population"`` makes each clan evaluate its whole
-        membership as one vectorized sweep per generation."""
+        membership as one vectorized sweep per generation.
+
+        Fault tolerance (on by default — see ``docs/fault_tolerance.md``):
+        a clan whose process dies or stalls mid-run is respawned from its
+        latest checkpoint, up to ``max_respawns`` times per clan per run
+        (with exponential backoff starting at ``respawn_backoff_s``),
+        after which the clan is abandoned and its remaining generation
+        budget re-assigned to survivors. ``heartbeat_timeout_s`` bounds
+        how long a clan may go without reporting before it is presumed
+        hung and killed (None disables stall detection; raise it well
+        above your slowest generation). ``checkpoint_period`` sets how
+        many local generations elapse between streamed clan checkpoints
+        (1 = every generation; higher trades recovery re-work for less
+        checkpoint traffic). ``command_timeout_s`` bounds individual
+        request/reply commands (restore, best-genome collection).
+        Recovery is exact: re-running a generation from a checkpoint is
+        bit-identical to the original run, so an undisturbed run's
+        trajectory is unchanged by any of these settings.
+        """
+        if checkpoint_period < 1:
+            raise ValueError("checkpoint_period must be >= 1")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
         self.env_id = env_id
         self.config = config or NEATConfig.for_env(env_id)
         if self.config.pop_size < 2 * n_clans:
@@ -219,6 +257,15 @@ class DistributedClanRuntime:
         self.seed = seed
         self.rngs = RngFactory(seed)
         self.solved_threshold = workload_spec(env_id).solved_threshold
+        self.max_respawns = max_respawns
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.checkpoint_period = checkpoint_period
+        self.respawn_backoff_s = respawn_backoff_s
+        self.command_timeout_s = command_timeout_s
+        #: clans abandoned after exhausting their respawn budget; they
+        #: take no further part in runs, and best-genome collection falls
+        #: back to their last checkpoint
+        self._lost: set[int] = set()
 
         # identical initial population + partition to the logical engine
         seed_population = Population(self.config, seed=seed)
@@ -248,7 +295,11 @@ class DistributedClanRuntime:
                     "num_outputs": self.config.num_outputs,
                 }
             )
-        self.pool.broadcast("clan_init", payloads)
+        # clan_init replies with each clan's *initial* checkpoint, so a
+        # worker that dies before its first streamed checkpoint can still
+        # be respawned from generation zero
+        replies = self.pool.broadcast("clan_init", payloads)
+        self._checkpoints: dict[int, dict] = dict(enumerate(replies))
         self._generation = 0
 
     def run(
@@ -256,7 +307,16 @@ class DistributedClanRuntime:
         max_generations: int,
         fitness_threshold: float | None = None,
     ) -> RealRunStats:
-        """Run asynchronous clans in parallel until convergence."""
+        """Run asynchronous clans in parallel until convergence.
+
+        Supervised: a clan process that dies (pipe EOF) or stalls past
+        ``heartbeat_timeout_s`` during a step is respawned from its
+        latest checkpoint, replayed up to the in-flight generation
+        (bit-identical — every RNG stream is generation-named), and the
+        step retried; after ``max_respawns`` failures the clan is
+        abandoned and the run continues on the survivors. Churn is
+        tallied on ``stats.churn``.
+        """
         threshold = (
             self.solved_threshold
             if fitness_threshold is None
@@ -264,11 +324,10 @@ class DistributedClanRuntime:
         )
         stats = RealRunStats()
         start = time.perf_counter()
+        respawns_used = {w: 0 for w in range(self.n_clans)}
         for _ in range(max_generations):
             gen_start = time.perf_counter()
-            summaries = self.pool.broadcast(
-                "clan_step", [self._generation] * self.n_clans
-            )
+            summaries = self._supervised_step(stats.churn, respawns_used)
             self._generation += 1
             best = max(s.best_fitness for s in summaries)
             stats.per_generation_s.append(time.perf_counter() - gen_start)
@@ -280,6 +339,95 @@ class DistributedClanRuntime:
                 break
         stats.wall_time_s = time.perf_counter() - start
         return stats
+
+    def _supervised_step(
+        self, churn: "ChurnStats", respawns_used: dict[int, int]
+    ) -> list:
+        """One barrier generation across all live clans, with recovery."""
+        live = [w for w in range(self.n_clans) if w not in self._lost]
+        if not live:
+            raise RuntimeError("no live clans remain (all lost to churn)")
+        generation = self._generation
+        pending = []
+        for worker in live:
+            try:
+                self.pool._request(worker, "clan_step", generation)
+            except WorkerDied:
+                if not self._recover_barrier(
+                    worker, churn, respawns_used
+                ):
+                    continue
+            pending.append(worker)
+        summaries = []
+        for worker in pending:
+            while True:
+                try:
+                    summaries.append(
+                        self.pool._collect(
+                            worker, timeout=self.heartbeat_timeout_s
+                        )
+                    )
+                    break
+                except WorkerTimeout:
+                    # alive but silent past the heartbeat window:
+                    # presumed hung — kill, then recover like a death
+                    self.pool.kill(worker)
+                except WorkerDied:
+                    pass
+                if not self._recover_barrier(
+                    worker, churn, respawns_used
+                ):
+                    break
+        if not summaries:
+            raise RuntimeError("no live clans remain (all lost to churn)")
+        if (generation + 1) % self.checkpoint_period == 0:
+            for worker in live:
+                if worker in self._lost:
+                    continue
+                try:
+                    self.pool._request(worker, "clan_checkpoint", None)
+                    self._checkpoints[worker] = self.pool._collect(
+                        worker, timeout=self.command_timeout_s
+                    )
+                except WorkerFailure:
+                    # failed mid-refresh: the stale checkpoint stands and
+                    # the next step's supervision handles the worker
+                    pass
+        return summaries
+
+    def _recover_barrier(
+        self, worker: int, churn: "ChurnStats", respawns_used: dict[int, int]
+    ) -> bool:
+        """Respawn ``worker`` and replay it up to the in-flight barrier
+        generation; False when it is abandoned instead (budget spent)."""
+        churn.deaths += 1
+        checkpoint = self._checkpoints[worker]
+        completed = checkpoint.get("completed_generation")
+        resume = 0 if completed is None else completed + 1
+        churn.lost_generations += max(0, self._generation - resume)
+        if respawns_used[worker] >= self.max_respawns:
+            self._lost.add(worker)
+            churn.clans_lost += 1
+            return False
+        respawns_used[worker] += 1
+        started = time.perf_counter()
+        backoff = self.respawn_backoff_s * (
+            2 ** (respawns_used[worker] - 1)
+        )
+        if backoff:
+            time.sleep(backoff)
+        self.pool.respawn(worker)
+        self.pool._request(worker, "clan_restore", checkpoint)
+        self.pool._collect(worker, timeout=self.command_timeout_s)
+        # deterministic catch-up: re-run every generation since the
+        # checkpoint, then re-issue the in-flight one (caller collects)
+        for generation in range(resume, self._generation):
+            self.pool._request(worker, "clan_step", generation)
+            self.pool._collect(worker, timeout=self.heartbeat_timeout_s)
+        self.pool._request(worker, "clan_step", self._generation)
+        churn.respawns += 1
+        churn.recovery_latency_s.append(time.perf_counter() - started)
+        return True
 
     def run_async(
         self,
@@ -317,6 +465,16 @@ class DistributedClanRuntime:
         Unlike :meth:`run`, clans drift apart in generation count, so the
         best-so-far trajectory is indexed by report arrival, and
         ``stats.generations`` is the *maximum* clan generation count.
+
+        Supervision (see ``docs/fault_tolerance.md``): progress reports
+        double as heartbeats. A clan whose process dies mid-run — or goes
+        silent past ``heartbeat_timeout_s`` and is presumed hung — is
+        respawned from its latest streamed checkpoint and free-runs again
+        from there; replayed generations are bit-identical and are not
+        double-counted in the stats. After ``max_respawns`` failures the
+        clan is abandoned and its remaining generation budget handed to
+        the first surviving clan that drains its own. Churn is tallied on
+        ``stats.churn``; an undisturbed run's outputs are unchanged.
         """
         threshold = (
             self.solved_threshold
@@ -325,32 +483,130 @@ class DistributedClanRuntime:
         )
         stats = RealRunStats()
         stats.per_clan_generations = [0] * self.n_clans
+        churn = stats.churn
         start = time.perf_counter()
+        run_start = self._generation
+        stream = on_champion is not None
 
-        payload = {
-            "start_generation": self._generation,
-            "max_generations": max_generations,
-            "threshold": threshold,
-            "stream_champions": on_champion is not None,
-        }
-        for worker in range(self.n_clans):
-            self.pool.send(worker, "clan_run", payload)
+        def run_payload(start_generation: int, budget: int) -> dict:
+            return {
+                "start_generation": start_generation,
+                "max_generations": budget,
+                "threshold": threshold,
+                "stream_champions": stream,
+                "checkpoint_period": self.checkpoint_period,
+            }
 
-        active = set(range(self.n_clans))
+        active: set[int] = set()
+        #: highest generation number each clan has *completed and
+        #: reported* — replays after a respawn re-report the same
+        #: numbers and are filtered against this
+        max_done: dict[int, int] = {}
+        #: inclusive final generation each clan owes (grows when a lost
+        #: clan's budget is re-assigned)
+        clan_end: dict[int, int] = {}
+        respawns_used: dict[int, int] = {}
+        last_seen: dict[int, float] = {}
+        reassign_pool = 0
         halt_sent = False
         champion_best = float("-inf")
-        # a blocking wait is fine without a stop event; with one, wake up
-        # periodically so an external stop is honoured promptly
-        wait_timeout = None if stop is None else 0.05
+
+        def send_halt_all() -> None:
+            for other in list(active):
+                try:
+                    self.pool.send(other, "clan_halt")
+                except WorkerDied:
+                    fail(other)
+
+        def fail(worker: int) -> None:
+            """Death handler: respawn from checkpoint or abandon."""
+            nonlocal reassign_pool
+            churn.deaths += 1
+            active.discard(worker)
+            completed = self._checkpoints[worker].get(
+                "completed_generation"
+            )
+            resume = 0 if completed is None else completed + 1
+            # completed-but-uncheckpointed generations must be re-run
+            # (or die with the clan)
+            churn.lost_generations += max(
+                0, max_done[worker] - resume + 1
+            )
+            if halt_sent or stats.converged:
+                # winding down anyway; recovery would re-do work only to
+                # halt it again
+                return
+            if respawns_used[worker] >= self.max_respawns:
+                self._lost.add(worker)
+                churn.clans_lost += 1
+                reassign_pool += max(
+                    0, clan_end[worker] - max(max_done[worker], resume - 1)
+                )
+                return
+            respawns_used[worker] += 1
+            started = time.perf_counter()
+            backoff = self.respawn_backoff_s * (
+                2 ** (respawns_used[worker] - 1)
+            )
+            if backoff:
+                time.sleep(backoff)
+            self.pool.respawn(worker)
+            self.pool._request(
+                worker, "clan_restore", self._checkpoints[worker]
+            )
+            self.pool._collect(worker, timeout=self.command_timeout_s)
+            budget = clan_end[worker] - resume + 1
+            if budget > 0:
+                self.pool.send(
+                    worker, "clan_run", run_payload(resume, budget)
+                )
+                active.add(worker)
+            churn.respawns += 1
+            churn.recovery_latency_s.append(
+                time.perf_counter() - started
+            )
+            last_seen[worker] = time.perf_counter()
+
+        now = time.perf_counter()
+        for worker in range(self.n_clans):
+            if worker in self._lost:
+                continue
+            clan_end[worker] = run_start + max_generations - 1
+            max_done[worker] = run_start - 1
+            respawns_used[worker] = 0
+            last_seen[worker] = now
+            active.add(worker)
+            try:
+                self.pool.send(
+                    worker,
+                    "clan_run",
+                    run_payload(run_start, max_generations),
+                )
+            except WorkerDied:
+                fail(worker)
+        if not active and max_generations > 0 and not self._lost:
+            raise RuntimeError("no live clans remain (all lost to churn)")
+
+        # a blocking wait is fine without a stop event or heartbeat; with
+        # either, wake up periodically so stops and stall detection are
+        # honoured promptly
+        wait_timeout = (
+            None
+            if stop is None and self.heartbeat_timeout_s is None
+            else 0.05
+        )
         while active:
             if stop is not None and stop.is_set() and not halt_sent:
                 halt_sent = True
-                for other in active:
-                    self.pool.send(other, "clan_halt")
+                send_halt_all()
             for worker, status, value in self.pool.wait_any(wait_timeout):
-                if status == "champion":
+                last_seen[worker] = time.perf_counter()
+                if status == "checkpoint":
+                    self._checkpoints[worker] = value
+                elif status == "champion":
                     # clans stream their *local* improvements; only
-                    # global improvements become events
+                    # global improvements become events (this also
+                    # filters re-streamed champions from replays)
                     if value["fitness"] > champion_best:
                         champion_best = value["fitness"]
                         genome = decode_genome(value["genome_wire"])
@@ -365,7 +621,15 @@ class DistributedClanRuntime:
                         if on_champion is not None:
                             on_champion(event)
                 elif status == "progress":
-                    stats.per_clan_generations[worker] += 1
+                    generation = value.generation
+                    if generation <= max_done[worker]:
+                        # bit-identical replay of an already-counted
+                        # generation after a respawn
+                        continue
+                    max_done[worker] = generation
+                    stats.per_clan_generations[worker] = (
+                        generation - run_start + 1
+                    )
                     stats.best_fitness = max(
                         stats.best_fitness, value.best_fitness
                     )
@@ -376,11 +640,40 @@ class DistributedClanRuntime:
                         stats.converged = True
                         if not halt_sent:
                             halt_sent = True
-                            for other in active:
-                                if other != worker:
-                                    self.pool.send(other, "clan_halt")
+                            send_halt_all()
                 elif status == "done":
-                    active.discard(worker)
+                    if (
+                        reassign_pool > 0
+                        and not halt_sent
+                        and not stats.converged
+                    ):
+                        # inherit a lost clan's unspent budget: keep
+                        # free-running past our own end
+                        extra = reassign_pool
+                        reassign_pool = 0
+                        resume = max_done[worker] + 1
+                        clan_end[worker] = resume + extra - 1
+                        churn.reassigned_generations += extra
+                        try:
+                            self.pool.send(
+                                worker,
+                                "clan_run",
+                                run_payload(resume, extra),
+                            )
+                        except WorkerDied:
+                            fail(worker)
+                    else:
+                        active.discard(worker)
+                elif status == "died":
+                    fail(worker)
+            if self.heartbeat_timeout_s is not None:
+                now = time.perf_counter()
+                for worker in list(active):
+                    if now - last_seen[worker] > self.heartbeat_timeout_s:
+                        # silent past the heartbeat window: presumed
+                        # hung — kill, then recover like a death
+                        self.pool.kill(worker)
+                        fail(worker)
 
         self._generation += max(stats.per_clan_generations, default=0)
         stats.generations = max(stats.per_clan_generations, default=0)
@@ -388,13 +681,30 @@ class DistributedClanRuntime:
         return stats
 
     def best_genome(self) -> Genome:
-        """Gather per-clan champions and return the global best."""
-        champions = [
-            decode_genome(wire)
-            for wire in self.pool.broadcast(
-                "clan_best", [None] * self.n_clans
-            )
-        ]
+        """Gather per-clan champions and return the global best.
+
+        Dead or abandoned clans contribute their last checkpointed
+        champion, so a run that lost clans still yields its best genome.
+        """
+        champions = []
+        for worker in range(self.n_clans):
+            wire = None
+            if worker not in self._lost and self.pool.is_alive(worker):
+                try:
+                    self.pool._request(worker, "clan_best", None)
+                    wire = self.pool._collect(
+                        worker, timeout=self.command_timeout_s
+                    )
+                except WorkerFailure:
+                    wire = None
+            if wire is not None:
+                champions.append(decode_genome(wire))
+                continue
+            best_hex = self._checkpoints[worker].get("best_hex")
+            if best_hex is not None:
+                champions.append(decode_genome_hex(best_hex))
+        if not champions:
+            raise RuntimeError("no generation has run yet")
         return max(champions, key=lambda g: g.fitness)
 
     def shutdown(self) -> None:

@@ -14,11 +14,20 @@ supported:
   phase of CLAN_DCS / CLAN_DDS).
 * ``clan_init`` / ``clan_step``: host an entire clan and run full local
   generations (CLAN_DDA).
+
+Fault tolerance (``docs/fault_tolerance.md``): worker death surfaces as
+:class:`WorkerDied` (pipe EOF / liveness check) and hangs as
+:class:`WorkerTimeout` (per-command timeouts, ``ping`` probes); a failed
+worker slot can be relaunched in place with :meth:`WorkerPool.respawn` and
+re-seeded from a clan checkpoint via the ``clan_restore`` command. The
+supervision policy itself (when to respawn, from which checkpoint) lives
+one layer up in :class:`repro.cluster.runtime.DistributedClanRuntime`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
@@ -32,6 +41,29 @@ from repro.cluster.serialization import (
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import FitnessResult, GenomeEvaluator
 from repro.neat.network import BatchedFeedForwardNetwork
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process failed (died or stopped responding).
+
+    Carries the failed worker's index so supervisors can respawn the
+    right slot; the message stays human-readable for unsupervised
+    callers, where the exception propagates like any other error.
+    """
+
+    def __init__(self, worker: int, message: str):
+        super().__init__(message)
+        self.worker = worker
+
+
+class WorkerDied(WorkerFailure):
+    """The worker process is gone: pipe EOF, broken pipe, or a liveness
+    check found the process dead (e.g. SIGKILLed by the OS)."""
+
+
+class WorkerTimeout(WorkerFailure):
+    """The worker process is alive but did not answer within the
+    per-command timeout — the hang/stall failure mode."""
 
 
 @dataclass(frozen=True)
@@ -148,6 +180,16 @@ def _worker_main(
                          r.solved)
                     )
                 conn.send(("ok", EvalReply(tuple(results))))
+            elif command == "ping":
+                # liveness probe: a hung worker never answers, a healthy
+                # one answers immediately (heartbeat for the supervisor)
+                conn.send(("ok", "pong"))
+            elif command == "inject_stall":
+                # failure-injection hook (tests/benchmarks only): wedge
+                # this worker for `payload` seconds without replying, so
+                # stall detection and per-command timeouts can be
+                # exercised deterministically
+                time.sleep(payload)
             elif command == "clan_init":
                 from repro.cluster.worker_clan import WorkerClan
 
@@ -157,7 +199,24 @@ def _worker_main(
                     evaluator=evaluator,
                     **payload,
                 )
-                conn.send(("ok", None))
+                # the reply is the clan's initial checkpoint, so the
+                # centre can respawn a worker that dies before its first
+                # streamed checkpoint
+                conn.send(("ok", clan.checkpoint_payload()))
+            elif command == "clan_restore":
+                from repro.cluster.worker_clan import WorkerClan
+
+                clan = WorkerClan.restore(
+                    env_id=env_id,
+                    config=config,
+                    evaluator=evaluator,
+                    payload=payload,
+                )
+                conn.send(("ok", clan.last_generation))
+            elif command == "clan_checkpoint":
+                if clan is None:
+                    raise RuntimeError("clan_checkpoint before clan_init")
+                conn.send(("ok", clan.checkpoint_payload()))
             elif command == "clan_step":
                 if clan is None:
                     raise RuntimeError("clan_step before clan_init")
@@ -177,6 +236,10 @@ def _worker_main(
                 # champion genome whenever its best-ever fitness improves,
                 # so the centre can hot-swap a deployed policy mid-run
                 stream_champions = payload.get("stream_champions", False)
+                # stream a full clan checkpoint every K completed
+                # generations (0 = never) — the supervisor's respawn
+                # source when this process dies or stalls
+                checkpoint_period = payload.get("checkpoint_period", 0)
                 ran = 0
                 stopping = False
                 for generation in range(start, start + budget):
@@ -210,6 +273,13 @@ def _worker_main(
                             )
                         )
                     conn.send(("progress", summary))
+                    if checkpoint_period and ran % checkpoint_period == 0:
+                        # after the progress report, so the checkpoint
+                        # never describes a generation the centre has not
+                        # been told about
+                        conn.send(
+                            ("checkpoint", clan.checkpoint_payload())
+                        )
                     if summary.best_fitness >= threshold:
                         break
                 if stopping:
@@ -258,38 +328,76 @@ class WorkerPool:
         self.config = config
         self.backend = backend
         self.eval_mode = eval_mode
-        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+        self._ctx = mp.get_context(
+            "fork" if hasattr(mp, "get_context") else None
+        )
+        # spawn arguments are kept so a failed worker slot can be
+        # relaunched in place (respawn) with an identical process
+        self._spawn_args = (
+            env_id,
+            config,
+            evaluator_seed,
+            episodes,
+            max_steps,
+            backend,
+            eval_mode,
+        )
         self._conns = []
         self._procs = []
+        #: worker indices whose process is known dead (EOF seen or
+        #: killed); excluded from wait_any until respawned
+        self._dead: set[int] = set()
         for _ in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    env_id,
-                    config,
-                    evaluator_seed,
-                    episodes,
-                    max_steps,
-                    backend,
-                    eval_mode,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
+            conn, proc = self._spawn_worker()
+            self._conns.append(conn)
             self._procs.append(proc)
         self._stopped = False
 
+    def _spawn_worker(self):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, *self._spawn_args),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
     # -- commands ----------------------------------------------------------
 
-    def _request(self, worker: int, command: str, payload) -> None:
-        self._conns[worker].send((command, payload))
+    def _mark_dead(self, worker: int) -> WorkerDied:
+        self._dead.add(worker)
+        return WorkerDied(worker, f"worker {worker} died (pipe closed)")
 
-    def _collect(self, worker: int):
-        status, value = self._conns[worker].recv()
+    def _request(self, worker: int, command: str, payload) -> None:
+        if worker in self._dead:
+            raise WorkerDied(worker, f"worker {worker} is dead")
+        try:
+            self._conns[worker].send((command, payload))
+        except (BrokenPipeError, OSError):
+            raise self._mark_dead(worker) from None
+
+    def _collect(self, worker: int, timeout: float | None = None):
+        """Wait for one reply; ``timeout`` (seconds) bounds the wait.
+
+        Raises :class:`WorkerTimeout` when the worker is alive but
+        silent past the deadline (hang), :class:`WorkerDied` when its
+        pipe is closed or its process is gone, and ``RuntimeError`` for
+        an error the worker itself reported (with its traceback).
+        """
+        conn = self._conns[worker]
+        if timeout is not None and not conn.poll(timeout):
+            if not self._procs[worker].is_alive():
+                raise self._mark_dead(worker)
+            raise WorkerTimeout(
+                worker,
+                f"worker {worker} gave no reply within {timeout}s",
+            )
+        try:
+            status, value = conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            raise self._mark_dead(worker) from None
         if status == "error":
             raise RuntimeError(
                 f"worker {worker} failed:\n{value}"
@@ -301,6 +409,7 @@ class WorkerPool:
         shards: list[list],
         generation: int,
         plans: list[list] | None = None,
+        timeout: float | None = None,
     ) -> list[dict[int, FitnessResult]]:
         """Evaluate genome shards in parallel; shard i goes to worker i.
 
@@ -333,17 +442,22 @@ class WorkerPool:
             active.append(worker)
         replies = []
         for worker in active:
-            reply = self._collect(worker)
+            reply = self._collect(worker, timeout=timeout)
             replies.append(reply.to_fitness_results())
         return replies
 
-    def broadcast(self, command: str, payloads: list) -> list:
+    def broadcast(
+        self, command: str, payloads: list, timeout: float | None = None
+    ) -> list:
         """Send one command per worker, collect all replies in order."""
         if len(payloads) != self.n_workers:
             raise ValueError("need exactly one payload per worker")
         for worker, payload in enumerate(payloads):
             self._request(worker, command, payload)
-        return [self._collect(worker) for worker in range(self.n_workers)]
+        return [
+            self._collect(worker, timeout=timeout)
+            for worker in range(self.n_workers)
+        ]
 
     def send(self, worker: int, command: str, payload=None) -> None:
         """Fire one command at one worker without waiting for a reply.
@@ -356,25 +470,99 @@ class WorkerPool:
     def wait_any(
         self, timeout: float | None = None
     ) -> list[tuple[int, str, object]]:
-        """Collect every message currently readable from any worker.
+        """Collect every message currently readable from any live worker.
 
         Blocks up to ``timeout`` seconds (None = forever) for at least one
         message, then drains without blocking. Returns
         ``(worker, status, value)`` triples; a worker ``"error"`` status
-        raises immediately, like the synchronous paths.
+        raises immediately, like the synchronous paths. A worker whose
+        pipe hits EOF (process death) yields one ``"died"`` triple and is
+        excluded from future waits until :meth:`respawn` replaces it —
+        the signal the runtime's supervision loop acts on.
         """
-        ready = mp_connection.wait(self._conns, timeout)
+        by_conn = {
+            self._conns[worker]: worker
+            for worker in range(self.n_workers)
+            if worker not in self._dead
+        }
+        ready = mp_connection.wait(list(by_conn), timeout)
         out: list[tuple[int, str, object]] = []
         for conn in ready:
-            worker = self._conns.index(conn)
+            worker = by_conn[conn]
             while True:
-                status, value = conn.recv()
+                try:
+                    status, value = conn.recv()
+                except (EOFError, ConnectionResetError, OSError):
+                    self._dead.add(worker)
+                    out.append((worker, "died", None))
+                    break
                 if status == "error":
                     raise RuntimeError(f"worker {worker} failed:\n{value}")
                 out.append((worker, status, value))
                 if not conn.poll():
                     break
         return out
+
+    # -- liveness / recovery ------------------------------------------------
+
+    def is_alive(self, worker: int) -> bool:
+        """Whether the worker's process is currently running."""
+        return (
+            worker not in self._dead and self._procs[worker].is_alive()
+        )
+
+    def ping(self, worker: int, timeout: float = 5.0) -> bool:
+        """Heartbeat probe: True iff the worker answers within ``timeout``.
+
+        Only meaningful on an idle worker (commands are served in order,
+        so a busy worker answers late and a hung one never does).
+        """
+        try:
+            self._request(worker, "ping", None)
+            return self._collect(worker, timeout=timeout) == "pong"
+        except WorkerFailure:
+            return False
+
+    def kill(self, worker: int) -> None:
+        """Forcibly terminate a (presumed hung) worker process.
+
+        Marks the slot dead; messages still queued in its pipe are
+        dropped. Pair with :meth:`respawn` to bring the slot back.
+        """
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5)
+        self._dead.add(worker)
+        try:
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def respawn(self, worker: int) -> None:
+        """Replace a failed worker slot with a fresh process.
+
+        The new process starts with the same evaluator arguments as the
+        original but no clan state: the supervisor re-seeds it with
+        ``clan_restore`` (from a checkpoint) before resuming work.
+        """
+        old = self._procs[worker]
+        try:
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if old.is_alive():
+            old.terminate()
+            old.join(timeout=5)
+            if old.is_alive():  # pragma: no cover - defensive
+                old.kill()
+                old.join(timeout=5)
+        else:
+            old.join(timeout=5)
+        conn, proc = self._spawn_worker()
+        self._conns[worker] = conn
+        self._procs[worker] = proc
+        self._dead.discard(worker)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -384,17 +572,21 @@ class WorkerPool:
         self._stopped = True
         for worker, conn in enumerate(self._conns):
             try:
-                conn.send(("stop", None))
-                # drain until the stop ack: a free-running clan_run may
-                # have queued unsolicited progress/done messages nobody
-                # collected (e.g. run_async aborted early)
-                while True:
-                    status, _value = conn.recv()
-                    if status == "stopped":
-                        break
+                if worker not in self._dead:
+                    conn.send(("stop", None))
+                    # drain until the stop ack: a free-running clan_run
+                    # may have queued unsolicited progress/done messages
+                    # nobody collected (e.g. run_async aborted early)
+                    while True:
+                        status, _value = conn.recv()
+                        if status == "stopped":
+                            break
             except (BrokenPipeError, EOFError, OSError):
                 pass
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - defensive

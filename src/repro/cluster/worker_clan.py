@@ -12,7 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.serialization import decode_genomes, encode_genome
+from repro.cluster.serialization import (
+    decode_genomes,
+    encode_genome,
+    encode_genomes,
+)
+from repro.neat.checkpoint import (
+    decode_genome_hex,
+    encode_genome_hex,
+    species_from_blob,
+    species_to_blob,
+)
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import GenomeEvaluator
 from repro.neat.innovation import InnovationTracker
@@ -23,6 +33,11 @@ from repro.neat.reproduction import (
 )
 from repro.neat.species import SpeciesSet
 from repro.utils.rng import RngFactory
+
+#: format version of the per-clan checkpoint payload (independent of the
+#: population checkpoint version in :mod:`repro.neat.checkpoint`, but the
+#: species blobs reuse its v2 state format)
+CLAN_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -72,9 +87,13 @@ class WorkerClan:
             agent_offset=clan_id,
             agent_stride=n_clans,
         )
+        self.n_clans = n_clans
         self._next_key = next_genome_key
         self._key_stride = n_clans
         self._best = None
+        #: number of the last *completed* local generation (None before
+        #: any generation has run) — checkpoints resume at the next one
+        self.last_generation: int | None = None
 
     def _allocate_key(self) -> int:
         key = self._next_key
@@ -129,6 +148,7 @@ class WorkerClan:
         )
         self.members = next_members
         self.innovation.advance_generation()
+        self.last_generation = generation
 
         return ClanGenerationSummary(
             clan_id=self.clan_id,
@@ -156,3 +176,89 @@ class WorkerClan:
         if self._best is None:
             raise RuntimeError("no generation has run yet")
         return encode_genome(self._best)
+
+    # -- checkpoint / restore (fault tolerance) ---------------------------
+
+    def checkpoint_payload(self) -> dict:
+        """Everything a fresh worker process needs to resume this clan.
+
+        Taken *between* generations (the innovation tracker's split
+        window is empty then, so it needs only its counter). Every RNG
+        stream is derived by name from ``rng_seed``, so the restored clan
+        re-running generation ``last_generation + 1`` is bit-identical to
+        the original having run it — the property the supervision loop of
+        :class:`repro.cluster.runtime.DistributedClanRuntime` relies on.
+        Genome payloads are hex-encoded canonical wire bytes (the
+        checkpoint-v2 convention), so the payload is JSON-serialisable.
+        """
+        return {
+            "version": CLAN_CHECKPOINT_VERSION,
+            "clan_id": self.clan_id,
+            "n_clans": self.n_clans,
+            "completed_generation": self.last_generation,
+            "members_hex": encode_genomes(
+                [self.members[key] for key in sorted(self.members)]
+            ).hex(),
+            "rng_seed": self.rngs.root_seed,
+            "next_genome_key": self._next_key,
+            "next_node_id": self.innovation.next_node_id,
+            "next_species_id": self.species_set._next_species_id,
+            "species": [
+                species_to_blob(species, self.members)
+                for species in self.species_set.iter_species()
+            ],
+            "best_hex": (
+                encode_genome_hex(self._best)
+                if self._best is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        env_id: str,
+        config: NEATConfig,
+        evaluator: GenomeEvaluator,
+        payload: dict,
+    ) -> "WorkerClan":
+        """Rebuild a clan from :meth:`checkpoint_payload` state."""
+        version = payload.get("version")
+        if version != CLAN_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported clan checkpoint version {version!r}"
+            )
+        clan = cls(
+            env_id=env_id,
+            config=config,
+            evaluator=evaluator,
+            clan_id=payload["clan_id"],
+            n_clans=payload["n_clans"],
+            members_wire=bytes.fromhex(payload["members_hex"]),
+            rng_seed=payload["rng_seed"],
+            next_genome_key=payload["next_genome_key"],
+            num_outputs=config.num_outputs,
+        )
+        # __init__ derives counters from the membership; override them
+        # with the checkpointed state (ids observed from migrations or
+        # prior generations may run ahead of what the members imply)
+        clan.innovation = InnovationTracker(
+            next_node_id=payload["next_node_id"],
+            agent_offset=payload["clan_id"],
+            agent_stride=payload["n_clans"],
+        )
+        species_set = SpeciesSet(
+            species_id_offset=payload["clan_id"],
+            species_id_stride=payload["n_clans"],
+        )
+        species_set._next_species_id = payload["next_species_id"]
+        for blob in payload["species"]:
+            species_from_blob(blob, clan.members, species_set)
+        clan.species_set = species_set
+        clan._best = (
+            decode_genome_hex(payload["best_hex"])
+            if payload["best_hex"] is not None
+            else None
+        )
+        clan.last_generation = payload["completed_generation"]
+        return clan

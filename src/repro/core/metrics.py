@@ -22,6 +22,44 @@ from repro.core.messages import Message, MessageType, breakdown_by_type
 
 
 @dataclass
+class ChurnStats:
+    """Device-churn counters for a fault-tolerant run.
+
+    Filled by the supervision loop of
+    :class:`repro.cluster.runtime.DistributedClanRuntime` (see
+    ``docs/fault_tolerance.md``); logical protocol engines never
+    experience churn and leave every counter at zero.
+    """
+
+    #: worker processes observed dead (pipe EOF / SIGKILL) or killed
+    #: after a missed heartbeat window
+    deaths: int = 0
+    #: successful respawn-from-checkpoint recoveries
+    respawns: int = 0
+    #: clans abandoned after exhausting their respawn budget
+    clans_lost: int = 0
+    #: completed-but-uncheckpointed generations that had to be re-run
+    #: (or were abandoned with a lost clan)
+    lost_generations: int = 0
+    #: generation budget of lost clans re-assigned to surviving clans
+    reassigned_generations: int = 0
+    #: seconds from failure detection to the respawned clan resuming,
+    #: one entry per respawn
+    recovery_latency_s: list[float] = field(default_factory=list)
+
+    def mean_recovery_latency_s(self) -> float:
+        """Mean respawn recovery latency (0.0 when nothing respawned)."""
+        if not self.recovery_latency_s:
+            return 0.0
+        return sum(self.recovery_latency_s) / len(self.recovery_latency_s)
+
+    def __bool__(self) -> bool:
+        """True when any churn happened (deaths drive every other
+        counter, so they are the sentinel)."""
+        return self.deaths > 0
+
+
+@dataclass
 class AgentLoad:
     """Compute placed on one agent during one generation (cost units)."""
 
@@ -67,6 +105,12 @@ class GenerationRecord:
     #: distance comparisons computed this generation (Fig 3c cost unit
     #: alongside the speciation gene-ops; summed over clans for DDA)
     speciation_comparisons: int = 0
+    #: clan deaths observed while this generation was in flight (always
+    #: 0 for logical engines; filled by fault-injected replays of the
+    #: live runtime — see docs/fault_tolerance.md)
+    clan_deaths: int = 0
+    #: respawn-from-checkpoint recoveries during this generation
+    clan_respawns: int = 0
 
     def comm_floats(self) -> int:
         """Total 32-bit words transferred this generation."""
@@ -139,6 +183,11 @@ class RunResult:
     #: is in play)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: device-churn counters over the run (all-zero for logical engines;
+    #: the live runtime's supervision loop fills its own copy on
+    #: :class:`repro.cluster.runtime.RealRunStats` and fault-injected
+    #: replays can aggregate theirs here)
+    churn: ChurnStats = field(default_factory=ChurnStats)
 
     @property
     def generations(self) -> int:
@@ -151,6 +200,18 @@ class RunResult:
 
     def total_speciation_gene_ops(self) -> int:
         return sum(r.total_speciation_gene_ops() for r in self.records)
+
+    # -- churn counters, aggregated over the run --------------------------
+
+    def total_clan_deaths(self) -> int:
+        """Per-record deaths if any record carries them, else the run
+        total from :attr:`churn` (the two sources are alternatives)."""
+        per_record = sum(r.clan_deaths for r in self.records)
+        return per_record if per_record else self.churn.deaths
+
+    def total_clan_respawns(self) -> int:
+        per_record = sum(r.clan_respawns for r in self.records)
+        return per_record if per_record else self.churn.respawns
 
     def final_n_species(self) -> int:
         """Species count in the last generation (0 for an empty run)."""

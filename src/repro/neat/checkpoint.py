@@ -36,17 +36,83 @@ SUPPORTED_VERSIONS = (1, 2)
 _TUPLE_FIELDS = ("allowed_activations", "allowed_aggregations")
 
 
-def _encode_genome_hex(genome: Genome) -> str:
+def encode_genome_hex(genome: Genome) -> str:
+    """Genome -> hex-encoded canonical wire payload (JSON-embeddable)."""
     # imported lazily: repro.cluster.serialization itself imports repro.neat
     from repro.cluster.serialization import encode_genome
 
     return encode_genome(genome).hex()
 
 
-def _decode_genome_hex(payload: str) -> Genome:
+def decode_genome_hex(payload: str) -> Genome:
+    """Inverse of :func:`encode_genome_hex`."""
     from repro.cluster.serialization import decode_genome
 
     return decode_genome(bytes.fromhex(payload))
+
+
+# backwards-compatible private aliases (pre-docs-PR internal names)
+_encode_genome_hex = encode_genome_hex
+_decode_genome_hex = decode_genome_hex
+
+
+def species_to_blob(species: Species, live_genomes: dict) -> dict:
+    """Serialise one species to the checkpoint-v2 blob format.
+
+    ``live_genomes`` is the population (or clan membership) the species
+    draws from: members still present there are stored by key only, while
+    replaced members ("stale" — their children exist but the species has
+    not re-speciated yet) ship their full payload so a restored species is
+    state-identical, not just trajectory-identical. Shared by population
+    checkpoints (:func:`save_population`) and the per-clan checkpoints of
+    :class:`repro.cluster.worker_clan.WorkerClan`.
+    """
+    stale_members = {
+        key: encode_genome_hex(genome)
+        for key, genome in species.members.items()
+        if key not in live_genomes
+    }
+    return {
+        "key": species.key,
+        "created": species.created,
+        "last_improved": species.last_improved,
+        "fitness": species.fitness,
+        "adjusted_fitness": species.adjusted_fitness,
+        "fitness_history": species.fitness_history,
+        "representative": encode_genome_hex(species.representative),
+        "member_keys": sorted(species.members),
+        "stale_members": stale_members,
+    }
+
+
+def species_from_blob(
+    blob: dict, live_genomes: dict, species_set: SpeciesSet
+) -> Species:
+    """Rebuild one species from its blob and register it in ``species_set``.
+
+    Members still alive alias the ``live_genomes`` objects, exactly as in
+    a live population; replaced members are rebuilt from their stored
+    payloads. Version-1 blobs lack ``member_keys`` and restore with empty
+    membership (the next ``speciate()`` rebuilds it).
+    """
+    species = Species(blob["key"], blob["created"])
+    species.last_improved = blob["last_improved"]
+    species.fitness = blob.get("fitness")
+    species.adjusted_fitness = blob.get("adjusted_fitness")
+    species.fitness_history = list(blob["fitness_history"])
+    species.representative = decode_genome_hex(blob["representative"])
+    stale = {
+        int(key): payload
+        for key, payload in blob.get("stale_members", {}).items()
+    }
+    for key in blob.get("member_keys", ()):
+        if key in live_genomes:
+            species.members[key] = live_genomes[key]
+        else:
+            species.members[key] = decode_genome_hex(stale[key])
+        species_set.genome_to_species[key] = species.key
+    species_set.species[species.key] = species
+    return species
 
 
 def save_population(population: Population, path) -> None:
@@ -55,30 +121,10 @@ def save_population(population: Population, path) -> None:
     Must be called between generations (the natural state boundary);
     in-flight evaluation state is never part of a checkpoint.
     """
-    species_blobs = []
-    for species in population.species_set.iter_species():
-        # membership is stored as keys; members that are no longer part of
-        # the population (replaced by their children, with the species not
-        # yet re-speciated) ship their full payload so a restored species
-        # is state-identical, not just trajectory-identical
-        stale_members = {
-            key: _encode_genome_hex(genome)
-            for key, genome in species.members.items()
-            if key not in population.genomes
-        }
-        species_blobs.append(
-            {
-                "key": species.key,
-                "created": species.created,
-                "last_improved": species.last_improved,
-                "fitness": species.fitness,
-                "adjusted_fitness": species.adjusted_fitness,
-                "fitness_history": species.fitness_history,
-                "representative": _encode_genome_hex(species.representative),
-                "member_keys": sorted(species.members),
-                "stale_members": stale_members,
-            }
-        )
+    species_blobs = [
+        species_to_blob(species, population.genomes)
+        for species in population.species_set.iter_species()
+    ]
     document = {
         "version": CHECKPOINT_VERSION,
         "config": dataclasses.asdict(population.config),
@@ -140,26 +186,7 @@ def load_population(path) -> Population:
     species_set = SpeciesSet(species_id_stride=stride)
     species_set._next_species_id = document["next_species_id"]
     for blob in document["species"]:
-        species = Species(blob["key"], blob["created"])
-        species.last_improved = blob["last_improved"]
-        species.fitness = blob.get("fitness")
-        species.adjusted_fitness = blob.get("adjusted_fitness")
-        species.fitness_history = list(blob["fitness_history"])
-        species.representative = _decode_genome_hex(blob["representative"])
-        # restore membership (version >= 2): members still alive alias the
-        # population's genome objects, exactly as in a live Population;
-        # replaced members are rebuilt from their stored payloads
-        stale = {
-            int(key): payload
-            for key, payload in blob.get("stale_members", {}).items()
-        }
-        for key in blob.get("member_keys", ()):
-            if key in population.genomes:
-                species.members[key] = population.genomes[key]
-            else:
-                species.members[key] = _decode_genome_hex(stale[key])
-            species_set.genome_to_species[key] = species.key
-        species_set.species[species.key] = species
+        species_from_blob(blob, population.genomes, species_set)
     population.species_set = species_set
 
     best = document["best_genome"]

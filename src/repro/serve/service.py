@@ -67,6 +67,10 @@ class ContinuousService:
         max_batch: int = 32,
         max_wait_s: float = 0.002,
         max_pending: int = 4096,
+        max_respawns: int = 2,
+        heartbeat_timeout_s: float | None = 30.0,
+        checkpoint_period: int = 1,
+        max_evolution_restarts: int = 1,
     ):
         if config is None:
             overrides = {}
@@ -86,6 +90,17 @@ class ContinuousService:
         self.max_steps = max_steps
         self.backend = backend
         self.eval_mode = eval_mode
+        #: fault-tolerance knobs forwarded to the clan runtime (see
+        #: ``docs/fault_tolerance.md``)
+        self.max_respawns = max_respawns
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.checkpoint_period = checkpoint_period
+        #: how many times a *crashed* evolution thread may be relaunched
+        #: on a fresh runtime before the error is surfaced at close();
+        #: evolution death no longer silently stops hot-swaps
+        self.max_evolution_restarts = max_evolution_restarts
+        #: fresh-runtime relaunches actually performed
+        self.evolution_restarts = 0
         self.registry = ChampionRegistry(config)
         self.gateway = InferenceGateway(
             self.registry,
@@ -100,7 +115,23 @@ class ContinuousService:
         self._stop = threading.Event()
         self._evolution_result: RealRunStats | None = None
         self._evolution_error: BaseException | None = None
+        self._published_best = float("-inf")
         self._closed = False
+
+    def _make_runtime(self) -> DistributedClanRuntime:
+        """One place to build (and rebuild, after a crash) the fleet."""
+        return DistributedClanRuntime(
+            self.env_id,
+            self.n_clans,
+            config=self.config,
+            seed=self.seed,
+            max_steps=self.max_steps,
+            backend=self.backend,
+            eval_mode=self.eval_mode,
+            max_respawns=self.max_respawns,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            checkpoint_period=self.checkpoint_period,
+        )
 
     async def start(self) -> ChampionRecord:
         """Deploy a bootstrap champion, start serving, start evolving.
@@ -122,15 +153,7 @@ class ContinuousService:
             source="bootstrap",
         )
         await self.gateway.start()
-        self._runtime = DistributedClanRuntime(
-            self.env_id,
-            self.n_clans,
-            config=self.config,
-            seed=self.seed,
-            max_steps=self.max_steps,
-            backend=self.backend,
-            eval_mode=self.eval_mode,
-        )
+        self._runtime = self._make_runtime()
         self._thread = threading.Thread(
             target=self._evolve, name="clan-evolution", daemon=True
         )
@@ -138,22 +161,49 @@ class ContinuousService:
         return record
 
     def _evolve(self) -> None:
-        try:
-            self._evolution_result = self._runtime.run_async(
-                self.max_generations,
-                fitness_threshold=self.fitness_threshold,
-                on_champion=self._promote,
-                stop=self._stop,
-            )
-        except BaseException as exc:  # surfaced by close()
-            self._evolution_error = exc
+        while True:
+            try:
+                self._evolution_result = self._runtime.run_async(
+                    self.max_generations,
+                    fitness_threshold=self.fitness_threshold,
+                    on_champion=self._promote,
+                    stop=self._stop,
+                )
+                return
+            except BaseException as exc:
+                # the runtime's own supervision absorbs clan churn; only
+                # an unrecoverable crash (supervisor bug, total fleet
+                # loss) lands here. Relaunch on a fresh runtime — the
+                # seed makes it deterministic, and _promote's monotone
+                # guard keeps the replay from downgrading the deployed
+                # champion — up to the restart budget; then surface the
+                # error at close()/evolution_done().
+                if (
+                    self._stop.is_set()
+                    or self.evolution_restarts
+                    >= self.max_evolution_restarts
+                ):
+                    self._evolution_error = exc
+                    return
+                self.evolution_restarts += 1
+                try:
+                    self._runtime.shutdown()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+                self._runtime = self._make_runtime()
 
     def _promote(self, event: ChampionEvent) -> None:
         """Champion-changed hook: compile + atomically hot-swap.
 
         Runs on the evolution thread; the registry lock makes the swap
-        safe against concurrent gateway snapshots.
+        safe against concurrent gateway snapshots. Publishes only strict
+        fitness improvements over what is already deployed, so a
+        restarted evolution run replaying its deterministic prefix never
+        hot-swaps the gateway back to a worse champion.
         """
+        if event.fitness <= self._published_best:
+            return
+        self._published_best = event.fitness
         record = self.registry.publish(
             event.genome,
             fitness=event.fitness,

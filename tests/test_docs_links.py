@@ -1,0 +1,72 @@
+"""Docs hygiene: no dead links, no orphaned pages.
+
+The docs cross-link heavily (architecture -> subsystem pages -> back);
+stale references after a refactor are the most common form of doc rot.
+This suite walks every markdown link in ``docs/`` and the top-level
+``README.md`` and asserts the target exists, and that the docs index
+(``docs/README.md``) reaches every page in ``docs/``. CI runs it as its
+own job.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: non-image markdown links: [text](target); the (?<!!) lookbehind skips
+#: image embeds like the README's CI badge, whose target only exists on
+#: the GitHub rendering host
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+#: link targets that point off-repo and are not checked here
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files():
+    return sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+
+def _links(path: Path):
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(_EXTERNAL):
+            continue
+        yield target.split("#", 1)[0]  # drop any fragment
+
+
+@pytest.mark.parametrize(
+    "path", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(path):
+    dead = [
+        target
+        for target in _links(path)
+        if target and not (path.parent / target).exists()
+    ]
+    assert not dead, (
+        f"{path.relative_to(REPO_ROOT)} links to missing files: {dead}"
+    )
+
+
+def test_docs_index_reaches_every_page():
+    index = DOCS_DIR / "README.md"
+    linked = {
+        (index.parent / target).resolve()
+        for target in _links(index)
+        if target
+    }
+    orphans = [
+        page.name
+        for page in DOCS_DIR.glob("*.md")
+        if page != index and page.resolve() not in linked
+    ]
+    assert not orphans, (
+        f"docs/README.md does not link these pages: {orphans}"
+    )
+
+
+def test_readme_links_into_docs():
+    """The project README must hand readers off to the docs tree."""
+    targets = set(_links(REPO_ROOT / "README.md"))
+    assert any(t.startswith("docs/") for t in targets)

@@ -2,21 +2,37 @@
 
 Edge deployments see corrupted transfers, dying workers and broken
 evaluators; these tests verify each failure surfaces as a clear error at
-the right layer instead of silent corruption.
+the right layer instead of silent corruption — and, for the clan
+runtime's supervision loop, that a SIGKILLed or stalled clan is respawned
+from its checkpoint and the run ends exactly where an undisturbed run
+would (see docs/fault_tolerance.md).
 """
+
+import json
+import os
+import signal
 
 import pytest
 
+from repro.cluster.runtime import DistributedClanRuntime
 from repro.cluster.serialization import (
     decode_genome,
     decode_genomes,
     encode_genome,
     encode_genomes,
 )
-from repro.cluster.transport import EvalRequest, WorkerPool
+from repro.cluster.transport import (
+    EvalRequest,
+    WorkerDied,
+    WorkerPool,
+    WorkerTimeout,
+)
+from repro.cluster.worker_clan import WorkerClan
 from repro.core.protocols import SerialNEAT
 from repro.neat.config import NEATConfig
+from repro.neat.evaluation import GenomeEvaluator
 from repro.neat.population import Population
+from repro.utils.rng import RngFactory
 
 
 @pytest.fixture
@@ -90,6 +106,298 @@ class TestWorkerFailures:
             pool._request(0, "clan_step", 0)
             with pytest.raises(RuntimeError, match="clan_step"):
                 pool._collect(0)
+
+
+class TestTransportLiveness:
+    """Death/hang detection primitives the supervision loop builds on."""
+
+    def test_timeout_on_stalled_worker(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            pool.send(0, "inject_stall", 60.0)
+            pool.send(0, "ping")
+            with pytest.raises(WorkerTimeout):
+                pool._collect(0, timeout=0.2)
+            assert pool.is_alive(0)
+            pool.kill(0)  # don't wait a minute for shutdown
+
+    def test_sigkill_surfaces_as_worker_died(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=5)
+            with pytest.raises(WorkerDied):
+                # either the send EPIPEs or the collect hits EOF —
+                # both must surface as WorkerDied
+                pool.send(0, "ping")
+                pool._collect(0, timeout=5.0)
+            assert not pool.is_alive(0)
+            # once marked dead, sends fail fast instead of EPIPE-ing
+            with pytest.raises(WorkerDied):
+                pool.send(0, "ping")
+
+    def test_wait_any_reports_death_and_excludes_slot(self, config):
+        with WorkerPool(2, "CartPole-v0", config) as pool:
+            os.kill(pool._procs[1].pid, signal.SIGKILL)
+            pool._procs[1].join(timeout=5)
+            triples = pool.wait_any(timeout=5.0)
+            assert (1, "died", None) in triples
+            assert pool.ping(0)
+            # the dead slot is excluded from subsequent waits
+            assert pool.wait_any(timeout=0.05) == []
+
+    def test_respawn_brings_slot_back(self, config):
+        with WorkerPool(1, "CartPole-v0", config) as pool:
+            pool.kill(0)
+            assert not pool.is_alive(0)
+            pool.respawn(0)
+            assert pool.is_alive(0)
+            assert pool.ping(0)
+
+
+def _make_clan(config, seed=8):
+    """An in-process WorkerClan seeded exactly like a 1-clan runtime."""
+    population = Population(config, seed=seed)
+    rngs = RngFactory(seed)
+    evaluator = GenomeEvaluator(
+        "CartPole-v0", seed=rngs.seed_for("episodes") % (2**31)
+    )
+    members = [population.genomes[key] for key in sorted(population.genomes)]
+    return WorkerClan(
+        env_id="CartPole-v0",
+        config=config,
+        evaluator=evaluator,
+        clan_id=0,
+        n_clans=1,
+        members_wire=encode_genomes(members),
+        rng_seed=rngs.child("clan:0").root_seed,
+        next_genome_key=config.pop_size,
+        num_outputs=config.num_outputs,
+    )
+
+
+class TestClanCheckpointRoundTrip:
+    """A restored clan must be state-identical, not just similar."""
+
+    def test_restore_preserves_all_evolution_state(self, config):
+        original = _make_clan(config)
+        for generation in range(2):
+            original.run_generation(generation)
+        payload = original.checkpoint_payload()
+        # the payload must survive a JSON hop (it rides a pipe today but
+        # is designed to be dumpable, like population checkpoints)
+        payload = json.loads(json.dumps(payload))
+        restored = WorkerClan.restore(
+            env_id="CartPole-v0",
+            config=config,
+            evaluator=_make_clan(config).evaluator,
+            payload=payload,
+        )
+        # membership: same genomes, byte-identical
+        assert sorted(restored.members) == sorted(original.members)
+        assert encode_genomes(
+            [restored.members[k] for k in sorted(restored.members)]
+        ) == encode_genomes(
+            [original.members[k] for k in sorted(original.members)]
+        )
+        # species: same partition, same history
+        assert set(restored.species_set.species) == set(
+            original.species_set.species
+        )
+        for key, species in original.species_set.species.items():
+            twin = restored.species_set.species[key]
+            assert sorted(twin.members) == sorted(species.members)
+            assert twin.created == species.created
+            assert twin.last_improved == species.last_improved
+            assert twin.fitness_history == species.fitness_history
+        assert (
+            restored.species_set.genome_to_species
+            == original.species_set.genome_to_species
+        )
+        # allocators and RNG stream root (streams are name-derived, so
+        # the root seed IS the stream position)
+        assert restored._next_key == original._next_key
+        assert (
+            restored.innovation.next_node_id
+            == original.innovation.next_node_id
+        )
+        assert restored.rngs.root_seed == original.rngs.root_seed
+        assert restored.last_generation == original.last_generation
+        assert restored.best_fitness == original.best_fitness
+
+    def test_restored_clan_continues_bit_identically(self, config):
+        original = _make_clan(config)
+        for generation in range(2):
+            original.run_generation(generation)
+        restored = WorkerClan.restore(
+            env_id="CartPole-v0",
+            config=config,
+            evaluator=_make_clan(config).evaluator,
+            payload=original.checkpoint_payload(),
+        )
+        for generation in (2, 3):
+            a = original.run_generation(generation)
+            b = restored.run_generation(generation)
+            assert a == b
+        assert encode_genomes(
+            [original.members[k] for k in sorted(original.members)]
+        ) == encode_genomes(
+            [restored.members[k] for k in sorted(restored.members)]
+        )
+
+    def test_restore_rejects_unknown_version(self, config):
+        clan = _make_clan(config)
+        payload = clan.checkpoint_payload()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            WorkerClan.restore(
+                env_id="CartPole-v0",
+                config=config,
+                evaluator=clan.evaluator,
+                payload=payload,
+            )
+
+
+@pytest.fixture
+def ft_config():
+    return NEATConfig.for_env("CartPole-v0", pop_size=24)
+
+
+def _runtime(ft_config, **kwargs):
+    kwargs.setdefault("heartbeat_timeout_s", 30.0)
+    kwargs.setdefault("respawn_backoff_s", 0.0)
+    return DistributedClanRuntime(
+        "CartPole-v0", n_clans=3, config=ft_config, seed=8, **kwargs
+    )
+
+
+class TestRuntimeSupervision:
+    """Kill/stall a live clan fleet; the run must recover and match an
+    undisturbed run exactly (recovery replays are bit-identical)."""
+
+    BUDGET = 3
+
+    def _baseline_async(self, ft_config):
+        with _runtime(ft_config) as runtime:
+            stats = runtime.run_async(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+            best = runtime.best_genome()
+        assert not stats.churn  # undisturbed: all counters zero
+        return stats, best
+
+    def test_async_recovers_from_sigkill(self, ft_config):
+        baseline, baseline_best = self._baseline_async(ft_config)
+        with _runtime(ft_config) as runtime:
+            # SIGKILL before the run: the initial send fails, and the
+            # supervisor respawns from the clan_init checkpoint
+            os.kill(runtime.pool._procs[1].pid, signal.SIGKILL)
+            runtime.pool._procs[1].join(timeout=5)
+            stats = runtime.run_async(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+            best = runtime.best_genome()
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 1
+        assert stats.churn.clans_lost == 0
+        assert stats.per_clan_generations == baseline.per_clan_generations
+        assert stats.best_fitness == baseline.best_fitness
+        assert encode_genome(best) == encode_genome(baseline_best)
+
+    def test_async_recovers_from_midrun_sigkill(self, ft_config):
+        baseline, baseline_best = self._baseline_async(ft_config)
+        killed = []
+
+        def kill_once(event):
+            if not killed:
+                victim = (event.clan_id + 1) % 3
+                os.kill(
+                    _rt.pool._procs[victim].pid, signal.SIGKILL
+                )
+                killed.append(victim)
+
+        with _runtime(ft_config) as _rt:
+            stats = _rt.run_async(
+                max_generations=self.BUDGET,
+                fitness_threshold=1e9,
+                on_champion=kill_once,
+            )
+            best = _rt.best_genome()
+        assert killed
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 1
+        assert stats.per_clan_generations == baseline.per_clan_generations
+        assert stats.best_fitness == baseline.best_fitness
+        assert encode_genome(best) == encode_genome(baseline_best)
+
+    def test_async_detects_stall_and_recovers(self, ft_config):
+        baseline, baseline_best = self._baseline_async(ft_config)
+        with _runtime(ft_config, heartbeat_timeout_s=1.0) as runtime:
+            # wedge one worker before the run: it never answers clan_run,
+            # so only the heartbeat scan can save it
+            runtime.pool.send(2, "inject_stall", 120.0)
+            stats = runtime.run_async(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+            best = runtime.best_genome()
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 1
+        assert stats.per_clan_generations == baseline.per_clan_generations
+        assert stats.best_fitness == baseline.best_fitness
+        assert encode_genome(best) == encode_genome(baseline_best)
+
+    def test_async_degrades_and_reassigns_budget(self, ft_config):
+        with _runtime(ft_config, max_respawns=0) as runtime:
+            os.kill(runtime.pool._procs[1].pid, signal.SIGKILL)
+            runtime.pool._procs[1].join(timeout=5)
+            stats = runtime.run_async(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+            best = runtime.best_genome()  # survivors still answer
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 0
+        assert stats.churn.clans_lost == 1
+        assert stats.churn.reassigned_generations == self.BUDGET
+        assert stats.per_clan_generations[1] == 0
+        # the lost clan's budget was handed to a survivor: total local
+        # generations still equals clans x budget
+        assert sum(stats.per_clan_generations) == 3 * self.BUDGET
+        assert best.fitness > float("-inf")
+
+    def test_barrier_run_recovers_from_sigkill(self, ft_config):
+        with _runtime(ft_config) as runtime:
+            baseline = runtime.run(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+        assert not baseline.churn
+        with _runtime(ft_config) as runtime:
+            os.kill(runtime.pool._procs[0].pid, signal.SIGKILL)
+            runtime.pool._procs[0].join(timeout=5)
+            stats = runtime.run(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 1
+        # barrier trajectories are arrival-order-free: exact match
+        assert (
+            stats.best_fitness_per_generation
+            == baseline.best_fitness_per_generation
+        )
+
+    def test_barrier_run_recovers_from_stall(self, ft_config):
+        with _runtime(ft_config) as runtime:
+            baseline = runtime.run(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+        with _runtime(ft_config, heartbeat_timeout_s=1.0) as runtime:
+            runtime.pool.send(1, "inject_stall", 120.0)
+            stats = runtime.run(
+                max_generations=self.BUDGET, fitness_threshold=1e9
+            )
+        assert stats.churn.deaths == 1
+        assert stats.churn.respawns == 1
+        assert (
+            stats.best_fitness_per_generation
+            == baseline.best_fitness_per_generation
+        )
 
 
 class TestEvaluatorFailures:
