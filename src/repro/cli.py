@@ -163,6 +163,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="longest a request waits for batch-mates before flushing",
     )
     serve.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="gateway replica processes (1 = single in-process "
+        "gateway; >1 runs a ServingFleet behind a seeded balancer "
+        "with champion propagation over pipes)",
+    )
+    serve.add_argument(
+        "--slo-p95-ms", type=float, default=None, metavar="MS",
+        help="target p95 latency; enables the AIMD batch autotuner "
+        "(widens the batching window under SLO, shrinks on violation)",
+    )
+    serve.add_argument(
         "--threshold", type=float, default=None,
         help="halt background evolution at this fitness (default: the "
         "gym convergence criterion; serving continues either way)",
@@ -456,6 +467,12 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.slo_p95_ms is not None and args.slo_p95_ms <= 0:
+        print("--slo-p95-ms must be positive", file=sys.stderr)
+        return 2
 
     async def run():
         service = ContinuousService(
@@ -473,6 +490,12 @@ def _cmd_serve(args) -> int:
                 else None
             ),
             checkpoint_period=args.checkpoint_period,
+            replicas=args.replicas,
+            slo_p95_s=(
+                args.slo_p95_ms / 1e3
+                if args.slo_p95_ms is not None
+                else None
+            ),
         )
         await service.start()
         generator = LoadGenerator(
@@ -487,16 +510,24 @@ def _cmd_serve(args) -> int:
         # deterministic — most swaps land mid-traffic anyway, and a
         # long-lived deployment would simply keep serving here
         evolution = await service.evolution_done()
-        stats = service.stats()
+        # scrape *before* close so fleet replicas report fresh numbers
+        stats = await service.scrape()
+        per_replica = service.replica_stats()
         await service.close()
-        return service, report, stats, evolution
+        return service, report, stats, per_replica, evolution
 
-    print(
-        f"serving {args.env}: {args.clans} clans evolving in the "
-        f"background (population {args.pop}, budget {args.generations} "
-        f"generations/clan), {args.rate:.0f} qps Poisson load"
+    topology = (
+        f"{args.replicas} gateway replicas"
+        if args.replicas > 1
+        else "single gateway"
     )
-    service, report, stats, evolution = asyncio.run(run())
+    print(
+        f"serving {args.env} ({topology}): {args.clans} clans evolving "
+        f"in the background (population {args.pop}, budget "
+        f"{args.generations} generations/clan), {args.rate:.0f} qps "
+        "Poisson load"
+    )
+    service, report, stats, per_replica, evolution = asyncio.run(run())
 
     # the champion-changed events run_async streamed, one line per swap
     for record, event in service.promotions:
@@ -522,6 +553,38 @@ def _cmd_serve(args) -> int:
         ["champion version", f"v{stats.champion_version}"],
     ]
     print(format_table(["metric", "value"], rows, title="service stats"))
+    if args.replicas > 1:
+        # per-replica rollup next to the fleet numbers above, so a
+        # skewed balancer or a dead replica is visible at a glance
+        replica_rows = [
+            [
+                f"r{replica_id}",
+                str(rstats.served) if rstats else "-",
+                f"{rstats.qps:,.0f}" if rstats else "-",
+                str(rstats.shed) if rstats else "-",
+                (
+                    format_seconds(rstats.p95_latency_s)
+                    if rstats
+                    else "-"
+                ),
+            ]
+            for replica_id, rstats in sorted(per_replica.items())
+        ]
+        print(
+            format_table(
+                ["replica", "served", "qps", "shed", "p95"],
+                replica_rows,
+                title="per-replica stats",
+            )
+        )
+    if service.autotuner is not None:
+        tuner = service.autotuner
+        print(
+            f"autotuner: target p95 {args.slo_p95_ms:.1f}ms, "
+            f"{tuner.violations} violation(s), {tuner.widenings} "
+            f"widening(s), final max_batch {tuner.max_batch}, "
+            f"max_wait {tuner.max_wait_s * 1e3:.2f}ms"
+        )
     print(
         f"evolution: {evolution.generations} generations/clan, best "
         f"fitness {evolution.best_fitness:.2f}, "

@@ -265,7 +265,9 @@ class ServiceStats:
 
     Produced by :meth:`repro.serve.gateway.InferenceGateway.stats`;
     rendered by ``repro serve`` and dumped (as JSON) by
-    ``benchmarks/bench_serving_latency.py``.
+    ``benchmarks/bench_serving_latency.py``. Fleet-wide rollups come
+    from :meth:`merge`, which re-ranks the *raw* latency reservoirs of
+    the parts — percentiles of percentiles would be meaningless.
     """
 
     #: requests accepted into the batching queue
@@ -286,6 +288,52 @@ class ServiceStats:
     champion_version: int = 0
     #: champion deployment changes since the first publish
     swaps: int = 0
+    #: the raw (bounded) latency reservoir behind the percentiles, in
+    #: answer order — carried so rollups can merge reservoirs instead
+    #: of averaging per-part percentiles
+    latency_window: tuple[float, ...] = ()
+
+    @classmethod
+    def merge(cls, parts: Sequence["ServiceStats"]) -> "ServiceStats":
+        """Roll per-replica snapshots up into one fleet-wide snapshot.
+
+        Counters and qps sum (the replicas serve disjoint request
+        streams over the same wall-clock window); p50/p95 are recomputed
+        by nearest rank over the **concatenated raw reservoirs** — the
+        only correct way to combine quantiles from skewed replicas.
+        ``champion_version``/``swaps`` take the max (with monotone
+        propagation every replica converges to the same deployment; the
+        max is the most recent state any replica has acked). An empty
+        ``parts`` yields an all-zero snapshot.
+        """
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            return cls(
+                requests=0,
+                served=0,
+                shed=0,
+                qps=0.0,
+                p50_latency_s=0.0,
+                p95_latency_s=0.0,
+            )
+        window: list[float] = []
+        histogram: dict[int, int] = {}
+        for part in parts:
+            window.extend(part.latency_window)
+            for size, count in part.batch_size_histogram.items():
+                histogram[size] = histogram.get(size, 0) + count
+        return cls(
+            requests=sum(p.requests for p in parts),
+            served=sum(p.served for p in parts),
+            shed=sum(p.shed for p in parts),
+            qps=sum(p.qps for p in parts),
+            p50_latency_s=percentile(window, 50),
+            p95_latency_s=percentile(window, 95),
+            batch_size_histogram=histogram,
+            champion_version=max(p.champion_version for p in parts),
+            swaps=max(p.swaps for p in parts),
+            latency_window=tuple(window),
+        )
 
     @property
     def mean_batch_size(self) -> float:

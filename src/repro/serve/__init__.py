@@ -11,9 +11,14 @@ evolving while the deployed champion keeps answering requests.
   service-quality stats (p50/p95, qps, batch histogram, shed count).
 * :class:`ContinuousService` — background barrier-free evolution
   promoting new champions into the registry mid-traffic.
+* :class:`ServingFleet` — N gateway replicas in worker processes behind
+  a seeded balancer, with monotone champion propagation over pipes.
+* :class:`SLOBatchController` — AIMD autotuner mapping observed p95 to
+  the live micro-batching knobs.
 * :class:`LoadGenerator` — seeded open-loop Poisson arrivals to drive it.
 
-See ``docs/serving.md`` and ``examples/continuous_serving.py``.
+See ``docs/serving.md``, ``examples/continuous_serving.py`` and
+``examples/fleet_serving.py``.
 """
 
 from repro.serve.batcher import (
@@ -21,6 +26,11 @@ from repro.serve.batcher import (
     Overloaded,
     ServedAction,
     ServiceClosed,
+)
+from repro.serve.fleet import (
+    ReplicaDied,
+    ServingFleet,
+    SLOBatchController,
 )
 from repro.serve.gateway import InferenceGateway
 from repro.serve.loadgen import (
@@ -32,5 +42,6 @@ from repro.serve.registry import (
     ChampionRecord,
     ChampionRegistry,
     RegistryClosed,
+    Subscription,
 )
 from repro.serve.service import ContinuousService

@@ -49,6 +49,10 @@ class ServedAction:
     latency_s: float
     #: how many requests shared this forward pass
     batch_size: int
+    #: fleet replica that served it (None when served by a direct,
+    #: in-process gateway rather than a :class:`~repro.serve.fleet
+    #: .ServingFleet`)
+    replica: int | None = None
 
 
 @dataclass
@@ -118,6 +122,30 @@ class MicroBatcher:
             raise RuntimeError("batcher already started")
         self._queue = asyncio.Queue()
         self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def reconfigure(
+        self,
+        max_batch: int | None = None,
+        max_wait_s: float | None = None,
+    ) -> None:
+        """Live-update the coalescing knobs without recreating the batcher.
+
+        Safe to call mid-traffic from the loop or from another thread
+        (plain attribute stores; the collector re-reads both knobs on
+        every batch, so a change takes effect from the next batch — the
+        batch currently coalescing keeps the deadline it computed). Both
+        values are validated *before* either is applied, so an invalid
+        pair leaves the running configuration untouched. This is the
+        hook the SLO autotuner (:mod:`repro.serve.fleet`) drives.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s is not None and max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+        if max_wait_s is not None:
+            self.max_wait_s = float(max_wait_s)
 
     async def submit(self, observation) -> ServedAction:
         """Queue one observation; resolves with its batched answer."""

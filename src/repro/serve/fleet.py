@@ -1,0 +1,893 @@
+"""Horizontally scaled serving: N gateway replicas behind one registry.
+
+One asyncio gateway caps serving throughput at a single event loop and a
+single GIL — nowhere near the paper's "heavy traffic" framing. The
+:class:`ServingFleet` runs N full :class:`~repro.serve.gateway
+.InferenceGateway` replicas in worker *processes* (each with its own
+loop, micro-batcher and compiled champion) behind a seeded deterministic
+load balancer in the parent.
+
+Champion propagation is a versioned publish/subscribe channel: the fleet
+subscribes to the parent :class:`~repro.serve.registry.ChampionRegistry`
+deployment stream and forwards every change — compiled plan on the
+sparse wire codec of :mod:`repro.cluster.serialization` — down each
+replica's pipe. Replicas apply a change iff its deployment *sequence
+number* exceeds the last one applied, and the pipe is FIFO, so
+propagation is monotone: once a replica acks seq ``s`` it can never
+serve a deployment older than ``s`` — even across a rollback, which
+lowers the champion *version* but still raises the *seq*.
+
+Overload surfaces at two levels: each replica sheds via its own bounded
+micro-batcher queue, and the parent sheds (``fleet_shed``) when a
+replica's in-flight window is full — callers see the same
+:class:`~repro.serve.batcher.Overloaded` either way. The
+:class:`SLOBatchController` closes the loop on the latency side: an
+AIMD controller that widens the batching window (more throughput per
+forward pass) while p95 is under the SLO and shrinks it multiplicatively
+on violation, driving the live
+:meth:`~repro.serve.batcher.MicroBatcher.reconfigure` knobs.
+
+Liveness follows :mod:`repro.cluster.transport`: a reader thread
+multiplexes replica pipes via ``multiprocessing.connection.wait``, EOF
+marks a replica dead, and death fails only that replica's in-flight
+requests (:class:`ReplicaDied`) — the fleet keeps serving on the
+survivors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import os
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing import connection as mp_connection
+
+from repro.cluster.serialization import (
+    decode_batched_plan,
+    encode_batched_plan,
+)
+from repro.core.metrics import ServiceStats
+from repro.neat.network import BatchedFeedForwardNetwork
+from repro.serve.batcher import Overloaded, ServedAction, ServiceClosed
+from repro.serve.gateway import InferenceGateway
+from repro.serve.registry import ChampionRegistry, Subscription
+
+
+class ReplicaDied(RuntimeError):
+    """A replica process exited (or its pipe broke) with work in flight."""
+
+
+# ---------------------------------------------------------------------------
+# SLO-aware batch autotuning (AIMD)
+# ---------------------------------------------------------------------------
+
+
+class SLOBatchController:
+    """AIMD controller mapping observed p95 latency to batching knobs.
+
+    The micro-batcher trades latency for throughput: a longer
+    ``max_wait_s``/larger ``max_batch`` coalesces more requests per
+    forward pass (higher qps) at the cost of coalescing delay. The
+    controller searches that trade-off against a target p95, the way
+    TCP searches link capacity:
+
+    * **violation** (p95 > target): multiplicative decrease — halve the
+      wait and the batch cap, bounded below by ``min_wait_s`` /
+      ``min_batch``. Back off fast; the SLO is being missed *now*.
+    * **headroom** (p95 <= ``headroom`` x target): additive increase —
+      widen the wait by ``wait_step_s`` and the batch cap by
+      ``batch_step``, bounded above. Probe for throughput slowly.
+    * in between: hold (the dead band keeps the knobs from oscillating
+      around the target).
+
+    The controller is pure state-in/state-out — feed it p95 samples via
+    :meth:`update` and apply ``(max_batch, max_wait_s)`` however you
+    like — which is what makes it unit-testable against the seeded
+    Poisson :class:`~repro.serve.loadgen.LoadGenerator` without a real
+    fleet.
+    """
+
+    def __init__(
+        self,
+        target_p95_s: float,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        min_batch: int = 1,
+        batch_cap: int = 512,
+        min_wait_s: float = 0.0,
+        wait_cap_s: float | None = None,
+        batch_step: int = 4,
+        wait_step_s: float | None = None,
+        shrink_factor: float = 0.5,
+        headroom: float = 0.8,
+    ):
+        if target_p95_s <= 0:
+            raise ValueError("target_p95_s must be positive")
+        if not 0 < shrink_factor < 1:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        if not 0 < headroom <= 1:
+            raise ValueError("headroom must be in (0, 1]")
+        self.target_p95_s = target_p95_s
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.min_batch = min_batch
+        self.batch_cap = batch_cap
+        self.min_wait_s = min_wait_s
+        #: the wait never exceeds the SLO itself by default — waiting
+        #: longer than the target p95 guarantees a violation
+        self.wait_cap_s = wait_cap_s if wait_cap_s is not None else (
+            target_p95_s
+        )
+        self.batch_step = batch_step
+        self.wait_step_s = (
+            wait_step_s if wait_step_s is not None else target_p95_s / 20
+        )
+        self.shrink_factor = shrink_factor
+        self.headroom = headroom
+        #: p95 samples that exceeded the target
+        self.violations = 0
+        #: additive-increase steps taken
+        self.widenings = 0
+        #: ``(p95_s, max_batch, max_wait_s)`` after every update
+        self.history: list[tuple[float, int, float]] = []
+
+    def update(self, p95_s: float) -> bool:
+        """Feed one p95 observation; returns True if the knobs moved.
+
+        ``p95_s <= 0`` (no samples yet) is a hold — an idle window says
+        nothing about where the latency knee is.
+        """
+        if p95_s <= 0:
+            return False
+        before = (self.max_batch, self.max_wait_s)
+        if p95_s > self.target_p95_s:
+            self.violations += 1
+            self.max_wait_s = max(
+                self.min_wait_s, self.max_wait_s * self.shrink_factor
+            )
+            self.max_batch = max(self.min_batch, self.max_batch // 2)
+        elif p95_s <= self.headroom * self.target_p95_s:
+            self.widenings += 1
+            self.max_wait_s = min(
+                self.wait_cap_s, self.max_wait_s + self.wait_step_s
+            )
+            self.max_batch = min(
+                self.batch_cap, self.max_batch + self.batch_step
+            )
+        self.history.append((p95_s, self.max_batch, self.max_wait_s))
+        return (self.max_batch, self.max_wait_s) != before
+
+
+# ---------------------------------------------------------------------------
+# Replica process side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ReplicaRecord:
+    """The replica-side view of a deployment: version + compiled net."""
+
+    version: int
+    network: BatchedFeedForwardNetwork
+
+
+class _ReplicaChampionStore:
+    """Duck-typed champion registry living inside a replica process.
+
+    Provides the read surface :class:`InferenceGateway` needs
+    (``current()``, ``version``, ``swaps``, ``close()``) over records
+    installed from the parent's deployment stream. ``install`` enforces
+    the monotone-seq guard: a deployment is applied iff its seq exceeds
+    the last applied one, so re-ordered or replayed publishes can never
+    regress the replica to an older deployment.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._current: _ReplicaRecord | None = None
+        self._seq = -1
+        self._swaps = 0
+        self._closed = False
+
+    def install(self, seq: int, version: int, plan_wire: bytes) -> bool:
+        """Apply deployment ``seq`` (decoding the wire plan); returns
+        whether it was applied (False = stale, ignored)."""
+        network = BatchedFeedForwardNetwork(decode_batched_plan(plan_wire))
+        with self._lock:
+            if seq <= self._seq:
+                return False
+            if self._current is not None:
+                self._swaps += 1
+            self._seq = seq
+            self._current = _ReplicaRecord(version=version, network=network)
+            return True
+
+    def current(self) -> _ReplicaRecord:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("replica store is closed")
+            if self._current is None:
+                raise LookupError("no champion deployed to this replica")
+            return self._current
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._current.version if self._current else 0
+
+    @property
+    def swaps(self) -> int:
+        with self._lock:
+            return self._swaps
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+
+async def _answer_chunk(gateway: InferenceGateway, observations) -> list:
+    """Serve one forwarded chunk; per-request outcome tuples.
+
+    All requests of a chunk are submitted concurrently so the replica's
+    micro-batcher can coalesce them — forwarding in chunks only
+    amortises pipe/pickle cost, it must not serialise inference.
+    """
+
+    async def one(observation):
+        try:
+            served = await gateway.submit(observation)
+            return (
+                "ok",
+                served.action,
+                served.champion_version,
+                served.latency_s,
+                served.batch_size,
+            )
+        except Overloaded:
+            return ("shed",)
+        except ServiceClosed:
+            return ("closed",)
+        except Exception as exc:  # pragma: no cover - defensive
+            return ("error", repr(exc))
+
+    return list(
+        await asyncio.gather(*(one(obs) for obs in observations))
+    )
+
+
+async def _replica_serve(
+    conn,
+    replica_id: int,
+    max_batch: int,
+    max_wait_s: float,
+    max_pending: int,
+) -> None:
+    """Event loop body of one replica process."""
+    store = _ReplicaChampionStore()
+    gateway = InferenceGateway(
+        store,
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        max_pending=max_pending,
+    )
+    await gateway.start()
+    loop = asyncio.get_running_loop()
+    inbox: asyncio.Queue = asyncio.Queue()
+
+    def read_pipe() -> None:
+        # blocking recv on a dedicated thread; messages hop onto the
+        # loop via call_soon_threadsafe (same pattern as the cluster
+        # transport's result reader)
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                msg = ("_eof", None)
+            loop.call_soon_threadsafe(inbox.put_nowait, msg)
+            if msg[0] in ("_eof", "close"):
+                return
+
+    reader = threading.Thread(
+        target=read_pipe, name=f"replica{replica_id}-read", daemon=True
+    )
+    reader.start()
+    chunk_tasks: set[asyncio.Task] = set()
+
+    async def handle_chunk(chunk_id, observations):
+        outcomes = await _answer_chunk(gateway, observations)
+        conn.send(("answers", (chunk_id, outcomes)))
+
+    while True:
+        kind, payload = await inbox.get()
+        if kind == "publish":
+            seq, version, plan_wire = payload
+            store.install(seq, version, plan_wire)
+            conn.send(("published", (seq, version)))
+        elif kind == "infer":
+            chunk_id, observations = payload
+            task = loop.create_task(handle_chunk(chunk_id, observations))
+            chunk_tasks.add(task)
+            task.add_done_callback(chunk_tasks.discard)
+        elif kind == "reconfigure":
+            gateway.reconfigure(**payload)
+            conn.send(
+                ("reconfigured", (gateway.max_batch, gateway.max_wait_s))
+            )
+        elif kind == "stats":
+            conn.send(("stats", gateway.stats()))
+        elif kind == "ping":
+            conn.send(("pong", None))
+        elif kind == "close":
+            # FIFO pipe: every infer chunk sent before "close" has
+            # already been dispatched above — drain those answers, then
+            # the gateway, then report final stats.
+            if chunk_tasks:
+                await asyncio.gather(
+                    *list(chunk_tasks), return_exceptions=True
+                )
+            await gateway.close()
+            conn.send(("closed", gateway.stats()))
+            return
+        elif kind == "_eof":
+            # parent vanished: nothing to answer to, just stop
+            await gateway.close()
+            return
+
+
+def _replica_main(
+    conn,
+    replica_id: int,
+    max_batch: int,
+    max_wait_s: float,
+    max_pending: int,
+) -> None:  # pragma: no cover - runs in the child process
+    try:
+        asyncio.run(
+            _replica_serve(
+                conn, replica_id, max_batch, max_wait_s, max_pending
+            )
+        )
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _ReplicaHandle:
+    """Parent-side bookkeeping for one replica process."""
+
+    __slots__ = (
+        "id",
+        "conn",
+        "proc",
+        "send_lock",
+        "outbox",
+        "flush_scheduled",
+        "inflight",
+        "inflight_count",
+        "acked_seq",
+        "alive",
+        "last_stats",
+        "final_stats",
+        "stats_future",
+        "version_trace",
+    )
+
+    def __init__(self, replica_id: int, conn, proc):
+        self.id = replica_id
+        self.conn = conn
+        self.proc = proc
+        #: sends come from the event loop (infer/stats/close) *and* the
+        #: publisher thread (deployments) — serialise them
+        self.send_lock = threading.Lock()
+        #: accepted-but-unsent ``(observation, future, submitted_at)``
+        self.outbox: deque = deque()
+        self.flush_scheduled = False
+        #: chunk_id -> list of ``(future, submitted_at)``
+        self.inflight: dict[int, list] = {}
+        self.inflight_count = 0
+        #: highest deployment seq this replica has acked
+        self.acked_seq = 0
+        self.alive = True
+        self.last_stats: ServiceStats | None = None
+        self.final_stats: ServiceStats | None = None
+        self.stats_future: asyncio.Future | None = None
+        #: champion versions in served order (consecutive dedup) — the
+        #: stale-serve audit asserts this never regresses between acks
+        self.version_trace: list[int] = []
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            self.conn.send(message)
+
+
+class ServingFleet:
+    """N gateway replicas in worker processes behind one registry.
+
+    Usage (inside an event loop)::
+
+        registry = ChampionRegistry(config)
+        fleet = ServingFleet(registry, replicas=4)
+        await fleet.start()            # subscribes to the registry
+        registry.publish(genome)       # propagates to every replica
+        await fleet.wait_deployed()    # all replicas acked
+        served = await fleet.submit(observation)
+        ...
+        await fleet.close()            # drains replicas; registry stays
+                                       # open (the caller owns it)
+
+    ``submit`` must be awaited on the loop ``start`` ran on; deployment
+    propagation may come from any thread (the registry subscription
+    callback runs on whichever thread published). The balancer is a
+    seeded uniform pick over live replicas — deterministic for a given
+    submission sequence, which is what lets the scaling benchmark replay
+    identical load against 1 and 4 replicas.
+    """
+
+    def __init__(
+        self,
+        registry: ChampionRegistry,
+        replicas: int = 2,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        max_pending: int = 4096,
+        seed: int = 0,
+        max_inflight: int = 4096,
+        chunk_size: int = 256,
+        close_timeout_s: float = 30.0,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.registry = registry
+        self.replicas = replicas
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_pending = max_pending
+        self.seed = seed
+        #: per-replica cap on accepted-but-unanswered requests; beyond
+        #: it the *parent* sheds (fleet backpressure)
+        self.max_inflight = max_inflight
+        #: requests forwarded per pipe message (amortises pickling)
+        self.chunk_size = chunk_size
+        self.close_timeout_s = close_timeout_s
+        #: parent-side sheds (replica window full); replica-side sheds
+        #: live in each replica's own stats
+        self.fleet_shed = 0
+        self._rng = random.Random(seed)
+        self._handles: dict[int, _ReplicaHandle] = {}
+        #: cached sorted live-replica ids — the submit hot path picks
+        #: from this instead of rescanning handles per request; rebuilt
+        #: on replica death (see ``_rebuild_live``)
+        self._live: list[_ReplicaHandle] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._subscription: Subscription | None = None
+        self._reader: threading.Thread | None = None
+        self._reader_stop = threading.Event()
+        self._next_chunk_id = 0
+        self._deploy_waiters: list[tuple[int, asyncio.Future]] = []
+        self._scrape_lock: asyncio.Lock | None = None
+        self._started_at: float | None = None
+        self._closed = False
+        self._close_done = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn replicas, start the pipe reader, subscribe to the
+        registry (replaying the current deployment, if any)."""
+        if self._loop is not None:
+            raise RuntimeError("fleet already started")
+        self._loop = asyncio.get_running_loop()
+        self._scrape_lock = asyncio.Lock()
+        ctx = mp.get_context("fork")
+        for replica_id in range(self.replicas):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_replica_main,
+                args=(
+                    child_conn,
+                    replica_id,
+                    self.max_batch,
+                    self.max_wait_s,
+                    self.max_pending,
+                ),
+                name=f"serve-replica-{replica_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._handles[replica_id] = _ReplicaHandle(
+                replica_id, parent_conn, proc
+            )
+        self._rebuild_live()
+        self._reader = threading.Thread(
+            target=self._read_replies, name="fleet-read", daemon=True
+        )
+        self._reader.start()
+        self._started_at = time.perf_counter()
+        self._subscription = self.registry.subscribe(
+            self._on_deployment, replay_current=True
+        )
+
+    def _read_replies(self) -> None:
+        """Multiplex every replica pipe onto the event loop.
+
+        Single thread, ``mp_connection.wait`` over live pipes (the
+        cluster transport's liveness pattern): EOF or a broken pipe
+        marks that replica dead; all parent-side state mutation happens
+        on the loop via ``call_soon_threadsafe``.
+        """
+        while not self._reader_stop.is_set():
+            conns = {
+                handle.conn: handle
+                for handle in self._handles.values()
+                if handle.alive
+            }
+            if not conns:
+                return
+            for conn in mp_connection.wait(list(conns), timeout=0.05):
+                handle = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    handle.alive = False  # stop waiting on this pipe
+                    self._loop.call_soon_threadsafe(
+                        self._on_replica_death, handle
+                    )
+                    continue
+                self._loop.call_soon_threadsafe(
+                    self._on_message, handle, message
+                )
+
+    async def close(self) -> None:
+        """Drain every replica, collect final stats, reap processes.
+
+        The registry is **not** closed — the fleet borrows it (the
+        owning service or caller closes it after the fleet is down).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._subscription is not None:
+            self.registry.unsubscribe(self._subscription)
+        live = [h for h in self._handles.values() if h.alive]
+        for handle in live:
+            self._flush_outbox(handle)
+            try:
+                handle.send(("close", None))
+            except (OSError, ValueError):
+                pass
+        deadline = time.perf_counter() + self.close_timeout_s
+        for handle in live:
+            while (
+                handle.alive
+                and handle.final_stats is None
+                and time.perf_counter() < deadline
+            ):
+                await asyncio.sleep(0.005)
+        self._reader_stop.set()
+        if self._reader is not None:
+            await self._loop.run_in_executor(None, self._reader.join)
+        for handle in self._handles.values():
+            handle.conn.close()
+            handle.proc.join(timeout=5.0)
+            if handle.proc.is_alive():  # pragma: no cover - defensive
+                handle.proc.terminate()
+                handle.proc.join(timeout=5.0)
+        for handle in self._handles.values():
+            self._fail_pending(
+                handle, ServiceClosed("fleet closed with work in flight")
+            )
+        self._close_done = True
+
+    # -- deployment propagation ---------------------------------------------
+
+    def _on_deployment(self, seq: int, record) -> None:
+        """Registry subscription callback (any publisher thread).
+
+        Encodes the compiled plan once, then pipes it to every live
+        replica. Per-pipe FIFO plus the registry's per-subscriber
+        ordering guarantee means each replica receives deployments in
+        global seq order; the replica-side monotone guard makes
+        application idempotent on top.
+        """
+        if self._closed:
+            return
+        wire = encode_batched_plan(record.plan)
+        for handle in self._handles.values():
+            if not handle.alive:
+                continue
+            try:
+                handle.send(("publish", (seq, record.version, wire)))
+            except (OSError, ValueError):  # pragma: no cover - racy death
+                pass
+
+    async def wait_deployed(self, seq: int | None = None) -> None:
+        """Wait until every *live* replica has acked deployment ``seq``
+        (default: the registry's current seq). Raises
+        :class:`ReplicaDied` if no replica is left alive."""
+        if seq is None:
+            seq = self.registry.seq
+        if self._deploy_satisfied(seq):
+            return
+        future = self._loop.create_future()
+        self._deploy_waiters.append((seq, future))
+        await future
+
+    def _deploy_satisfied(self, seq: int) -> bool:
+        live = [h for h in self._handles.values() if h.alive]
+        if not live:
+            raise ReplicaDied("no live replicas")
+        return all(h.acked_seq >= seq for h in live)
+
+    def _check_deploy_waiters(self) -> None:
+        still_waiting = []
+        for seq, future in self._deploy_waiters:
+            if future.done():
+                continue
+            try:
+                satisfied = self._deploy_satisfied(seq)
+            except ReplicaDied as exc:
+                future.set_exception(exc)
+                continue
+            if satisfied:
+                future.set_result(None)
+            else:
+                still_waiting.append((seq, future))
+        self._deploy_waiters = still_waiting
+
+    # -- request path -------------------------------------------------------
+
+    async def submit(self, observation) -> ServedAction:
+        """Answer one observation on a balanced replica.
+
+        Raises :class:`~repro.serve.batcher.Overloaded` when the chosen
+        replica's in-flight window is full (fleet backpressure; also
+        raised when the replica itself sheds), :class:`ReplicaDied` if
+        the replica dies with this request in flight, and
+        :class:`~repro.serve.batcher.ServiceClosed` after ``close``.
+        """
+        if self._loop is None:
+            raise RuntimeError("fleet not started")
+        if self._closed:
+            raise ServiceClosed("fleet is closing; request rejected")
+        if not self._live:
+            raise ReplicaDied("no live replicas")
+        handle = self._rng.choice(self._live)
+        pending = handle.inflight_count + len(handle.outbox)
+        if pending >= self.max_inflight:
+            self.fleet_shed += 1
+            raise Overloaded(
+                f"replica {handle.id}: {pending} requests in flight"
+            )
+        future = self._loop.create_future()
+        # the observation is forwarded as-is (the replica's own
+        # micro-batcher normalises it); the parent hot path stays lean —
+        # it is shared by every replica and caps fleet scaling
+        if not isinstance(observation, (list, tuple)):
+            observation = list(observation)
+        handle.outbox.append((observation, future, self._loop.time()))
+        if not handle.flush_scheduled:
+            handle.flush_scheduled = True
+            self._loop.call_soon(self._flush_outbox, handle)
+        return await future
+
+    def _flush_outbox(self, handle: _ReplicaHandle) -> None:
+        """Forward the accepted backlog in chunks (loop thread only)."""
+        handle.flush_scheduled = False
+        if not handle.alive:
+            self._fail_pending(
+                handle, ReplicaDied(f"replica {handle.id} died")
+            )
+            return
+        while handle.outbox:
+            observations = []
+            waiters = []
+            for _ in range(min(self.chunk_size, len(handle.outbox))):
+                obs, future, submitted_at = handle.outbox.popleft()
+                observations.append(obs)
+                waiters.append((future, submitted_at))
+            chunk_id = self._next_chunk_id
+            self._next_chunk_id += 1
+            handle.inflight[chunk_id] = waiters
+            handle.inflight_count += len(waiters)
+            try:
+                handle.send(("infer", (chunk_id, observations)))
+            except (OSError, ValueError):
+                handle.alive = False
+                self._on_replica_death(handle)
+                return
+
+    def _on_message(self, handle: _ReplicaHandle, message) -> None:
+        """Dispatch one replica reply (loop thread only)."""
+        kind, payload = message
+        if kind == "answers":
+            chunk_id, outcomes = payload
+            waiters = handle.inflight.pop(chunk_id, [])
+            handle.inflight_count -= len(waiters)
+            now = self._loop.time()
+            for (future, submitted_at), outcome in zip(waiters, outcomes):
+                if future.done():  # pragma: no cover - cancelled caller
+                    continue
+                if outcome[0] == "ok":
+                    _, action, version, _, batch_size = outcome
+                    trace = handle.version_trace
+                    if not trace or trace[-1] != version:
+                        trace.append(version)
+                    future.set_result(
+                        ServedAction(
+                            action=action,
+                            champion_version=version,
+                            latency_s=now - submitted_at,
+                            batch_size=batch_size,
+                            replica=handle.id,
+                        )
+                    )
+                elif outcome[0] == "shed":
+                    future.set_exception(
+                        Overloaded(f"replica {handle.id} shed the request")
+                    )
+                elif outcome[0] == "closed":
+                    future.set_exception(
+                        ServiceClosed(f"replica {handle.id} was closing")
+                    )
+                else:
+                    future.set_exception(
+                        RuntimeError(
+                            f"replica {handle.id} failed: {outcome[1]}"
+                        )
+                    )
+        elif kind == "published":
+            seq, _version = payload
+            handle.acked_seq = max(handle.acked_seq, seq)
+            self._check_deploy_waiters()
+        elif kind == "stats":
+            handle.last_stats = payload
+            if handle.stats_future and not handle.stats_future.done():
+                handle.stats_future.set_result(payload)
+        elif kind == "closed":
+            handle.final_stats = payload
+            handle.last_stats = payload
+        elif kind in ("reconfigured", "pong"):
+            pass
+
+    def _rebuild_live(self) -> None:
+        self._live = sorted(
+            (h for h in self._handles.values() if h.alive),
+            key=lambda h: h.id,
+        )
+
+    def _on_replica_death(self, handle: _ReplicaHandle) -> None:
+        """Loop-thread handler for a broken pipe / dead process."""
+        handle.alive = False
+        self._rebuild_live()
+        self._fail_pending(
+            handle, ReplicaDied(f"replica {handle.id} died")
+        )
+        if handle.stats_future and not handle.stats_future.done():
+            handle.stats_future.set_result(handle.last_stats)
+        self._check_deploy_waiters()
+
+    def _fail_pending(
+        self, handle: _ReplicaHandle, error: Exception
+    ) -> None:
+        for waiters in handle.inflight.values():
+            for future, _ in waiters:
+                if not future.done():
+                    future.set_exception(error)
+        handle.inflight.clear()
+        handle.inflight_count = 0
+        while handle.outbox:
+            _, future, _ = handle.outbox.popleft()
+            if not future.done():
+                future.set_exception(error)
+
+    # -- knobs / introspection ----------------------------------------------
+
+    def reconfigure(
+        self,
+        max_batch: int | None = None,
+        max_wait_s: float | None = None,
+    ) -> None:
+        """Live-update every replica's batching knobs (autotuner hook).
+
+        Validated parent-side with the same rules as
+        :meth:`~repro.serve.batcher.MicroBatcher.reconfigure`; applied
+        on each replica from its next batch.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s is not None and max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+        if max_wait_s is not None:
+            self.max_wait_s = float(max_wait_s)
+        payload = {}
+        if max_batch is not None:
+            payload["max_batch"] = int(max_batch)
+        if max_wait_s is not None:
+            payload["max_wait_s"] = float(max_wait_s)
+        if not payload:
+            return
+        for handle in self._handles.values():
+            if handle.alive:
+                try:
+                    handle.send(("reconfigure", payload))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+
+    async def scrape(self) -> ServiceStats:
+        """Refresh per-replica stats over the pipes; return the rollup."""
+        async with self._scrape_lock:
+            live = [h for h in self._handles.values() if h.alive]
+            for handle in live:
+                handle.stats_future = self._loop.create_future()
+                try:
+                    handle.send(("stats", None))
+                except (OSError, ValueError):
+                    handle.stats_future.set_result(handle.last_stats)
+            if live:
+                await asyncio.wait(
+                    [h.stats_future for h in live], timeout=5.0
+                )
+            for handle in live:
+                handle.stats_future = None
+        return self.stats()
+
+    def stats(self) -> ServiceStats:
+        """Fleet-wide rollup of the latest known per-replica stats.
+
+        Percentiles come from merged raw reservoirs
+        (:meth:`~repro.core.metrics.ServiceStats.merge`); parent-side
+        sheds (``fleet_shed``) are folded into the shed/request counts.
+        Call :meth:`scrape` first for fresh numbers — this reads the
+        cached snapshots.
+        """
+        parts = [
+            handle.final_stats or handle.last_stats
+            for handle in self._handles.values()
+        ]
+        merged = ServiceStats.merge([p for p in parts if p is not None])
+        if self.fleet_shed:
+            merged = replace(
+                merged,
+                requests=merged.requests + self.fleet_shed,
+                shed=merged.shed + self.fleet_shed,
+            )
+        return merged
+
+    def replica_stats(self) -> dict[int, ServiceStats | None]:
+        """Latest known per-replica snapshots (None = never scraped)."""
+        return {
+            handle.id: handle.final_stats or handle.last_stats
+            for handle in self._handles.values()
+        }
+
+    def version_traces(self) -> dict[int, list[int]]:
+        """Per-replica champion versions in served order (consecutive
+        dedup) — the raw material of the stale-serve audit."""
+        return {
+            handle.id: list(handle.version_trace)
+            for handle in self._handles.values()
+        }
+
+    @property
+    def live_replicas(self) -> list[int]:
+        return [h.id for h in self._live]
+
+
+def default_replicas() -> int:
+    """A sensible replica count for this host: one per core, capped."""
+    return max(1, min(4, os.cpu_count() or 1))

@@ -74,6 +74,26 @@ class InferenceGateway:
         """
         return await self._batcher.submit(observation)
 
+    def reconfigure(
+        self,
+        max_batch: int | None = None,
+        max_wait_s: float | None = None,
+    ) -> None:
+        """Live-update the batching knobs (see
+        :meth:`~repro.serve.batcher.MicroBatcher.reconfigure`) — the
+        SLO autotuner's hook into a running gateway."""
+        self._batcher.reconfigure(max_batch=max_batch, max_wait_s=max_wait_s)
+
+    @property
+    def max_batch(self) -> int:
+        """Current coalescing cap (live; may be autotuned mid-run)."""
+        return self._batcher.max_batch
+
+    @property
+    def max_wait_s(self) -> float:
+        """Current coalescing wait (live; may be autotuned mid-run)."""
+        return self._batcher.max_wait_s
+
     async def close(self) -> None:
         """Drain in-flight batches, then close the registry.
 
@@ -112,4 +132,7 @@ class InferenceGateway:
             batch_size_histogram=histogram,
             champion_version=self.registry.version,
             swaps=self.registry.swaps,
+            # raw reservoir rides along so fleet rollups can re-rank
+            # merged samples instead of averaging percentiles
+            latency_window=tuple(latencies),
         )

@@ -12,7 +12,9 @@ the old champion or the new one, never a half-built record.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
@@ -70,6 +72,29 @@ class ChampionRecord:
         return FeedForwardNetwork.create(self.genome, self.config)
 
 
+class Subscription:
+    """One subscriber of a :class:`ChampionRegistry` deployment stream.
+
+    Deliveries are ``callback(seq, record)`` where ``seq`` is the
+    registry's global deployment sequence number — it increases on
+    *every* deployment change (publish and rollback alike), so a
+    subscriber that applies records iff ``seq`` exceeds the last one it
+    applied can never regress to an older deployment, even when a
+    rollback redeploys an older *version*. Per subscriber, deliveries
+    are strictly ``seq``-ordered regardless of which threads publish:
+    entries are enqueued under the registry lock (fixing the global
+    order) and drained FIFO under a per-subscriber delivery lock.
+    """
+
+    __slots__ = ("callback", "_pending", "_delivery_lock", "active")
+
+    def __init__(self, callback: Callable[[int, ChampionRecord], None]):
+        self.callback = callback
+        self._pending: deque[tuple[int, ChampionRecord]] = deque()
+        self._delivery_lock = threading.Lock()
+        self.active = True
+
+
 class ChampionRegistry:
     """Thread-safe, versioned store of deployed champions.
 
@@ -107,6 +132,9 @@ class ChampionRegistry:
         self._next_version = 1
         self._rollbacks = 0
         self._closed = False
+        #: global deployment sequence: +1 on every publish and rollback
+        self._seq = 0
+        self._subscribers: list[Subscription] = []
 
     def publish(
         self,
@@ -147,6 +175,8 @@ class ChampionRegistry:
                 del self._rollback[: -self.rollback_depth]
             self._records[record.version] = record
             self._current = record
+            subscribers = self._enqueue_deployment(record)
+        self._deliver(subscribers)
         return record
 
     def current(self) -> ChampionRecord:
@@ -183,7 +213,79 @@ class ChampionRegistry:
                 raise LookupError("no previous champion to roll back to")
             self._current = self._rollback.pop()
             self._rollbacks += 1
-            return self._current
+            restored = self._current
+            subscribers = self._enqueue_deployment(restored)
+        self._deliver(subscribers)
+        return restored
+
+    # -- deployment pub/sub -------------------------------------------------
+
+    def _enqueue_deployment(self, record: ChampionRecord):
+        """Bump the deployment seq and queue the change to every
+        subscriber. Must run under ``self._lock`` — that is what fixes
+        one global delivery order across concurrent publishers."""
+        self._seq += 1
+        for sub in self._subscribers:
+            sub._pending.append((self._seq, record))
+        return list(self._subscribers)
+
+    def _deliver(self, subscribers: list[Subscription]) -> None:
+        """Drain queued deployments to each subscriber, in seq order.
+
+        Runs *outside* the registry lock (callbacks may be slow — e.g.
+        the serving fleet pipes a compiled plan to every replica). The
+        per-subscriber delivery lock serialises concurrent drains: a
+        publisher that loses the race blocks briefly, then finds the
+        winner already delivered its entry — order is preserved either
+        way.
+        """
+        for sub in subscribers:
+            with sub._delivery_lock:
+                while True:
+                    with self._lock:
+                        if not sub._pending or not sub.active:
+                            break
+                        seq, record = sub._pending.popleft()
+                    sub.callback(seq, record)
+
+    def subscribe(
+        self,
+        callback: Callable[[int, ChampionRecord], None],
+        replay_current: bool = True,
+    ) -> Subscription:
+        """Stream every deployment change (publish *and* rollback) to
+        ``callback(seq, record)``, in deployment order.
+
+        ``replay_current=True`` (default) delivers the currently
+        deployed record immediately — a late subscriber starts from the
+        live state instead of waiting for the next swap. Callbacks run
+        on whichever thread caused the deployment; keep them quick and
+        never call back into the registry from one (the per-subscriber
+        delivery lock is held).
+        """
+        with self._lock:
+            if self._closed:
+                raise RegistryClosed("registry is closed")
+            subscription = Subscription(callback)
+            if replay_current and self._current is not None:
+                subscription._pending.append((self._seq, self._current))
+            self._subscribers.append(subscription)
+        self._deliver([subscription])
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Stop deliveries to ``subscription`` (idempotent)."""
+        with self._lock:
+            subscription.active = False
+            if subscription in self._subscribers:
+                self._subscribers.remove(subscription)
+
+    @property
+    def seq(self) -> int:
+        """Global deployment sequence (0 before the first publish;
+        +1 on every publish and rollback)."""
+        with self._lock:
+            return self._seq
 
     @property
     def version(self) -> int:

@@ -27,9 +27,11 @@ from repro.cluster.runtime import (
     DistributedClanRuntime,
     RealRunStats,
 )
+from repro.core.metrics import percentile
 from repro.neat.config import NEATConfig
 from repro.neat.population import Population
 from repro.serve.batcher import ServedAction
+from repro.serve.fleet import ServingFleet, SLOBatchController
 from repro.serve.gateway import InferenceGateway
 from repro.serve.registry import ChampionRegistry, ChampionRecord
 
@@ -71,6 +73,9 @@ class ContinuousService:
         heartbeat_timeout_s: float | None = 30.0,
         checkpoint_period: int = 1,
         max_evolution_restarts: int = 1,
+        replicas: int = 1,
+        slo_p95_s: float | None = None,
+        autotune_interval_s: float = 0.05,
     ):
         if config is None:
             overrides = {}
@@ -101,13 +106,47 @@ class ContinuousService:
         self.max_evolution_restarts = max_evolution_restarts
         #: fresh-runtime relaunches actually performed
         self.evolution_restarts = 0
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        #: SLO target driving the AIMD batch autotuner (None = static
+        #: knobs, no autotuning)
+        self.slo_p95_s = slo_p95_s
+        self.autotune_interval_s = autotune_interval_s
         self.registry = ChampionRegistry(config)
-        self.gateway = InferenceGateway(
-            self.registry,
-            max_batch=max_batch,
-            max_wait_s=max_wait_s,
-            max_pending=max_pending,
-        )
+        #: present only in single-replica mode; the fleet path serves
+        #: through worker-process gateways instead
+        self.gateway: InferenceGateway | None = None
+        #: present only with ``replicas > 1``
+        self.fleet: ServingFleet | None = None
+        if replicas > 1:
+            # the fleet borrows the registry (service closes it last)
+            self.fleet = ServingFleet(
+                self.registry,
+                replicas=replicas,
+                max_batch=max_batch,
+                max_wait_s=max_wait_s,
+                max_pending=max_pending,
+                seed=seed,
+            )
+        else:
+            self.gateway = InferenceGateway(
+                self.registry,
+                max_batch=max_batch,
+                max_wait_s=max_wait_s,
+                max_pending=max_pending,
+                # the service drains the gateway, then closes the
+                # registry itself — one close path for both topologies
+                close_registry=False,
+            )
+        self.autotuner: SLOBatchController | None = None
+        if slo_p95_s is not None:
+            self.autotuner = SLOBatchController(
+                slo_p95_s,
+                max_batch=max_batch,
+                max_wait_s=max_wait_s,
+            )
+        self._autotune_task: asyncio.Task | None = None
         #: ``(record, event)`` per promotion, in promotion order
         self.promotions: list[tuple[ChampionRecord, ChampionEvent]] = []
         self._runtime: DistributedClanRuntime | None = None
@@ -146,13 +185,26 @@ class ContinuousService:
             raise RuntimeError("service already started")
         seed_population = Population(self.config, seed=self.seed)
         bootstrap = seed_population.genomes[min(seed_population.genomes)]
+        if self.fleet is not None:
+            # start (and subscribe) the fleet first so the bootstrap
+            # publish streams straight down the replica pipes; block
+            # until every replica has acked it — traffic must never
+            # race an empty replica store
+            await self.fleet.start()
         record = self.registry.publish(
             bootstrap,
             fitness=float("-inf"),
             generation=-1,
             source="bootstrap",
         )
-        await self.gateway.start()
+        if self.fleet is not None:
+            await self.fleet.wait_deployed()
+        else:
+            await self.gateway.start()
+        if self.autotuner is not None:
+            self._autotune_task = asyncio.get_running_loop().create_task(
+                self._autotune()
+            )
         self._runtime = self._make_runtime()
         self._thread = threading.Thread(
             target=self._evolve, name="clan-evolution", daemon=True
@@ -214,11 +266,55 @@ class ContinuousService:
 
     async def submit(self, observation) -> ServedAction:
         """Answer one observation with the current champion's action."""
+        if self.fleet is not None:
+            return await self.fleet.submit(observation)
         return await self.gateway.submit(observation)
 
     def stats(self):
-        """The gateway's :class:`~repro.core.metrics.ServiceStats`."""
+        """The service's :class:`~repro.core.metrics.ServiceStats` —
+        the gateway's snapshot, or the fleet rollup (cached; use
+        :meth:`scrape` for fresh per-replica numbers)."""
+        if self.fleet is not None:
+            return self.fleet.stats()
         return self.gateway.stats()
+
+    async def scrape(self):
+        """Refresh and return stats (pipes a scrape through the fleet;
+        equivalent to :meth:`stats` in single-replica mode)."""
+        if self.fleet is not None:
+            return await self.fleet.scrape()
+        return self.gateway.stats()
+
+    def replica_stats(self):
+        """Per-replica snapshots (``{0: stats}`` in single-replica
+        mode, so summary printers need not special-case topology)."""
+        if self.fleet is not None:
+            return self.fleet.replica_stats()
+        return {0: self.gateway.stats()}
+
+    async def _autotune(self) -> None:
+        """Drive the AIMD controller from live p95 samples.
+
+        Samples the recent latency tail every ``autotune_interval_s``
+        and pushes changed knobs to the gateway/fleet via the loop-safe
+        ``reconfigure`` path. Cancelled at close.
+        """
+        target = self.fleet if self.fleet is not None else self.gateway
+        while True:
+            await asyncio.sleep(self.autotune_interval_s)
+            if self.fleet is not None:
+                try:
+                    stats = await self.fleet.scrape()
+                except Exception:  # pragma: no cover - closing race
+                    return
+            else:
+                stats = self.gateway.stats()
+            tail = stats.latency_window[-512:]
+            if self.autotuner.update(percentile(tail, 95)):
+                target.reconfigure(
+                    max_batch=self.autotuner.max_batch,
+                    max_wait_s=self.autotuner.max_wait_s,
+                )
 
     async def evolution_done(self) -> RealRunStats:
         """Wait for the evolution budget to finish; returns its stats."""
@@ -253,7 +349,17 @@ class ContinuousService:
             result = self._evolution_result
         if self._runtime is not None:
             self._runtime.shutdown()
-        await self.gateway.close()
+        if self._autotune_task is not None:
+            self._autotune_task.cancel()
+            try:
+                await self._autotune_task
+            except asyncio.CancelledError:
+                pass
+        if self.fleet is not None:
+            await self.fleet.close()
+        else:
+            await self.gateway.close()
+        self.registry.close()
         if self._evolution_error is not None:
             raise self._evolution_error
         return result

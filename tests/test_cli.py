@@ -441,6 +441,38 @@ class TestServe:
         assert code == 2
         assert "max-wait-ms" in capsys.readouterr().err
 
+    def test_replicated_serving_prints_per_replica_rollup(self, capsys):
+        code = main(
+            [
+                "serve", "CartPole-v0",
+                "--clans", "2",
+                "--pop", "24",
+                "--generations", "6",
+                "--requests", "150",
+                "--rate", "400",
+                "--threshold", "1e9",
+                "--replicas", "2",
+                "--slo-p95-ms", "50",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving CartPole-v0 (2 gateway replicas)" in out
+        # fleet rollup table plus the per-replica breakdown
+        assert "served           | 150" in out
+        assert "per-replica stats" in out
+        assert "autotuner: target p95 50.0ms" in out
+
+    def test_rejects_bad_replicas(self, capsys):
+        code = main(["serve", "CartPole-v0", "--replicas", "0"])
+        assert code == 2
+        assert "replicas" in capsys.readouterr().err
+
+    def test_rejects_bad_slo(self, capsys):
+        code = main(["serve", "CartPole-v0", "--slo-p95-ms", "0"])
+        assert code == 2
+        assert "slo-p95-ms" in capsys.readouterr().err
+
     def test_console_script_aliases_share_the_entry_point(self):
         # tomllib is 3.11+; a text check keeps this running on 3.10
         import pathlib

@@ -1,7 +1,13 @@
 """Tests for generation records and run summaries."""
 
 from repro.core.messages import CENTER, Message, MessageType
-from repro.core.metrics import AgentLoad, GenerationRecord, RunResult
+from repro.core.metrics import (
+    AgentLoad,
+    GenerationRecord,
+    RunResult,
+    ServiceStats,
+    percentile,
+)
 
 
 def record_with_messages():
@@ -95,3 +101,124 @@ class TestRunResult:
         result = RunResult(protocol="Serial", env_id="x", n_agents=1)
         assert result.generations == 0
         assert result.mean_comm_floats_per_generation() == 0.0
+
+
+def service_stats(
+    latencies,
+    requests=None,
+    shed=0,
+    qps=100.0,
+    histogram=None,
+    version=1,
+    swaps=0,
+):
+    served = len(latencies)
+    return ServiceStats(
+        requests=requests if requests is not None else served,
+        served=served,
+        shed=shed,
+        qps=qps,
+        p50_latency_s=percentile(latencies, 50),
+        p95_latency_s=percentile(latencies, 95),
+        batch_size_histogram=histogram or {},
+        champion_version=version,
+        swaps=swaps,
+        latency_window=tuple(latencies),
+    )
+
+
+class TestServiceStatsMerge:
+    def test_empty_parts_yield_zero_snapshot(self):
+        merged = ServiceStats.merge([])
+        assert merged.requests == merged.served == merged.shed == 0
+        assert merged.qps == 0.0
+        assert merged.p50_latency_s == merged.p95_latency_s == 0.0
+        assert merged.latency_window == ()
+
+    def test_none_parts_are_skipped(self):
+        merged = ServiceStats.merge(
+            [None, service_stats([0.1, 0.2]), None]
+        )
+        assert merged.served == 2
+        assert merged.latency_window == (0.1, 0.2)
+
+    def test_counters_and_qps_sum(self):
+        merged = ServiceStats.merge(
+            [
+                service_stats([0.1], requests=3, shed=2, qps=50.0),
+                service_stats([0.2, 0.3], shed=1, qps=75.0),
+            ]
+        )
+        assert merged.requests == 5
+        assert merged.served == 3
+        assert merged.shed == 3
+        assert merged.qps == 125.0
+
+    def test_percentiles_rerank_concatenated_reservoirs(self):
+        # a skewed mix: one fast replica, one slow replica. Averaging
+        # the per-part p95s would give (0.005 + 1.0) / 2 = 0.5 — the
+        # merged nearest-rank over the raw samples is the slow tail.
+        fast = service_stats([0.001, 0.002, 0.003, 0.004, 0.005])
+        slow = service_stats([0.2, 0.4, 0.6, 0.8, 1.0])
+        merged = ServiceStats.merge([fast, slow])
+        pooled = sorted(fast.latency_window + slow.latency_window)
+        assert merged.p50_latency_s == percentile(pooled, 50)
+        assert merged.p95_latency_s == percentile(pooled, 95)
+        assert merged.p95_latency_s == 1.0
+        # rank ceil(10 * 50 / 100) = 5 -> the 5th smallest sample
+        assert merged.p50_latency_s == 0.005
+
+    def test_skewed_sizes_weight_by_sample_count(self):
+        # nearest-rank over the pooled reservoir weights each part by
+        # how much it actually served — a busy slow replica dominates
+        busy_slow = service_stats([0.5] * 19)
+        idle_fast = service_stats([0.001])
+        merged = ServiceStats.merge([busy_slow, idle_fast])
+        assert merged.p50_latency_s == 0.5
+        assert merged.p95_latency_s == 0.5
+
+    def test_empty_replica_mix_keeps_other_reservoirs(self):
+        merged = ServiceStats.merge(
+            [service_stats([]), service_stats([0.3, 0.1])]
+        )
+        assert merged.served == 2
+        assert merged.p95_latency_s == 0.3
+        # windows concatenate in part order, not sorted
+        assert merged.latency_window == (0.3, 0.1)
+
+    def test_histograms_add_per_batch_size(self):
+        merged = ServiceStats.merge(
+            [
+                service_stats([0.1], histogram={1: 2, 4: 1}),
+                service_stats([0.1], histogram={4: 3, 8: 5}),
+            ]
+        )
+        assert merged.batch_size_histogram == {1: 2, 4: 4, 8: 5}
+
+    def test_version_and_swaps_take_max(self):
+        merged = ServiceStats.merge(
+            [
+                service_stats([0.1], version=3, swaps=2),
+                service_stats([0.1], version=5, swaps=4),
+                service_stats([0.1], version=4, swaps=1),
+            ]
+        )
+        assert merged.champion_version == 5
+        assert merged.swaps == 4
+
+    def test_merge_of_merges_equals_flat_merge(self):
+        parts = [
+            service_stats([0.1, 0.9]),
+            service_stats([0.2]),
+            service_stats([0.3, 0.5, 0.7]),
+        ]
+        flat = ServiceStats.merge(parts)
+        nested = ServiceStats.merge(
+            [ServiceStats.merge(parts[:2]), ServiceStats.merge(parts[2:])]
+        )
+        assert nested.p50_latency_s == flat.p50_latency_s
+        assert nested.p95_latency_s == flat.p95_latency_s
+        assert nested.served == flat.served
+        assert sorted(nested.latency_window) == sorted(
+            flat.latency_window
+        )

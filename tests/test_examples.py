@@ -76,6 +76,17 @@ class TestExamples:
             "True" in result.stdout
         )
 
+    def test_fleet_serving(self):
+        result = run_example("fleet_serving.py")
+        assert result.returncode == 0, result.stderr
+        assert "deployed to all 2 replicas" in result.stdout
+        assert "replica 0" in result.stdout
+        assert "replica 1" in result.stdout
+        assert (
+            "stale-version serves after hot-swap: 0" in result.stdout
+        )
+        assert "scalar parity mismatches: 0" in result.stdout
+
     def test_all_examples_have_docstrings_and_main(self):
         scripts = sorted(EXAMPLES_DIR.glob("*.py"))
         assert len(scripts) >= 5

@@ -233,3 +233,84 @@ class TestBackpressure:
         outcomes, later = asyncio.run(run())
         assert any(isinstance(o, Exception) for o in outcomes)
         assert later.action in (0, 1)
+
+
+class TestReconfigure:
+    def test_rejects_invalid_values(self):
+        batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.001)
+        with pytest.raises(ValueError):
+            batcher.reconfigure(max_batch=0)
+        with pytest.raises(ValueError):
+            batcher.reconfigure(max_wait_s=-0.001)
+
+    def test_invalid_pair_leaves_knobs_untouched(self):
+        # both values are validated before either is applied: a good
+        # max_wait_s riding along with a bad max_batch must not land
+        batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.001)
+        with pytest.raises(ValueError):
+            batcher.reconfigure(max_batch=0, max_wait_s=0.5)
+        assert batcher.max_batch == 8
+        assert batcher.max_wait_s == 0.001
+
+    def test_partial_update_keeps_other_knob(self):
+        batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.001)
+        batcher.reconfigure(max_batch=32)
+        assert batcher.max_batch == 32
+        assert batcher.max_wait_s == 0.001
+        batcher.reconfigure(max_wait_s=0.002)
+        assert batcher.max_batch == 32
+        assert batcher.max_wait_s == 0.002
+
+    def test_zero_wait_is_a_valid_live_value(self):
+        batcher = MicroBatcher(_INFER, max_batch=8, max_wait_s=0.001)
+        batcher.reconfigure(max_wait_s=0.0)
+        assert batcher.max_wait_s == 0.0
+
+    def test_live_shrink_caps_subsequent_batches(self):
+        async def run():
+            batcher = MicroBatcher(
+                _INFER, max_batch=64, max_wait_s=0.002
+            )
+            await batcher.start()
+            first = [
+                asyncio.ensure_future(batcher.submit([0.1] * 4))
+                for _ in range(32)
+            ]
+            await asyncio.gather(*first)
+            # shrink mid-traffic: takes effect from the next batch
+            batcher.reconfigure(max_batch=4, max_wait_s=0.001)
+            second = [
+                asyncio.ensure_future(batcher.submit([0.2] * 4))
+                for _ in range(32)
+            ]
+            results = await asyncio.gather(*second)
+            await batcher.close()
+            return results, batcher
+
+        results, batcher = asyncio.run(run())
+        assert all(r.batch_size <= 4 for r in results)
+        assert batcher.served == 64
+
+    def test_reconfigured_traffic_keeps_scalar_parity(self):
+        async def run():
+            batcher = MicroBatcher(
+                _INFER, max_batch=2, max_wait_s=0.0005
+            )
+            await batcher.start()
+            observations = [
+                [0.1 * i, -0.2, 0.3, 0.05 * i] for i in range(40)
+            ]
+            tasks = []
+            for i, obs in enumerate(observations):
+                if i == 20:  # widen mid-stream
+                    batcher.reconfigure(max_batch=16, max_wait_s=0.002)
+                tasks.append(
+                    asyncio.ensure_future(batcher.submit(obs))
+                )
+            results = await asyncio.gather(*tasks)
+            await batcher.close()
+            return observations, results
+
+        observations, results = asyncio.run(run())
+        expected = _scalar_actions(observations)
+        assert [r.action for r in results] == expected

@@ -1,0 +1,430 @@
+"""Fleet serving: balancing, monotone propagation, rollup, autotuning.
+
+The invariants under test are the ISSUE's acceptance criteria: a
+hot-swap propagates to every replica atomically and monotonically (no
+replica ever serves an older deployment after acking a newer one —
+including across rollbacks, where the *version* drops but the
+deployment *seq* rises), per-request actions are scalar-exact under any
+balancing, per-replica stats roll up through merged reservoirs, and
+overload surfaces as backpressure at both the replica and fleet level.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.metrics import percentile
+from repro.neat.config import NEATConfig
+from repro.serve import (
+    ChampionRegistry,
+    InferenceGateway,
+    LoadGenerator,
+    Overloaded,
+    ReplicaDied,
+    ServingFleet,
+    SLOBatchController,
+    observation_sampler,
+)
+
+from tests.conftest import make_evolved_genome
+
+CONFIG = NEATConfig.for_env("CartPole-v0", pop_size=8)
+CHAMPIONS = [
+    make_evolved_genome(CONFIG, seed=seed, mutations=25, key=seed)
+    for seed in range(3)
+]
+
+
+def _observations(n, seed=11):
+    rng = random.Random(seed)
+    return [[rng.uniform(-1, 1) for _ in range(4)] for _ in range(n)]
+
+
+async def _started_fleet(registry, **kwargs):
+    kwargs.setdefault("replicas", 2)
+    kwargs.setdefault("max_wait_s", 0.001)
+    fleet = ServingFleet(registry, **kwargs)
+    await fleet.start()
+    registry.publish(CHAMPIONS[0], source="test")
+    await fleet.wait_deployed()
+    return fleet
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        registry = ChampionRegistry(CONFIG)
+        with pytest.raises(ValueError):
+            ServingFleet(registry, replicas=0)
+        with pytest.raises(ValueError):
+            ServingFleet(registry, max_inflight=0)
+        with pytest.raises(ValueError):
+            ServingFleet(registry, chunk_size=0)
+
+    def test_reconfigure_validates_like_the_batcher(self):
+        registry = ChampionRegistry(CONFIG)
+        fleet = ServingFleet(registry)
+        with pytest.raises(ValueError):
+            fleet.reconfigure(max_batch=0)
+        with pytest.raises(ValueError):
+            fleet.reconfigure(max_wait_s=-1.0)
+
+    def test_submit_before_start_raises(self):
+        registry = ChampionRegistry(CONFIG)
+        fleet = ServingFleet(registry)
+
+        async def run():
+            await fleet.submit([0.0] * 4)
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(run())
+
+
+class TestServing:
+    def test_actions_match_scalar_reference(self):
+        observations = _observations(60)
+
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            served = await asyncio.gather(
+                *(fleet.submit(obs) for obs in observations)
+            )
+            await fleet.close()
+            record = registry.record_for(1)
+            registry.close()
+            return served, record
+
+        served, record = asyncio.run(run())
+        scalar = record.scalar_network()
+        for obs, response in zip(observations, served):
+            assert response.action == scalar.policy(obs)
+            assert response.champion_version == 1
+            assert response.replica in (0, 1)
+
+    def test_balancer_is_seeded_and_deterministic(self):
+        observations = _observations(30)
+
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry, seed=5)
+            replicas = []
+            for obs in observations:
+                served = await fleet.submit(obs)
+                replicas.append(served.replica)
+            await fleet.close()
+            registry.close()
+            return replicas
+
+        replicas = asyncio.run(run())
+        # same seed, same submission order -> same assignment sequence
+        # (uniform pick over live replica ids, sorted by id)
+        expected_rng = random.Random(5)
+        expected = [
+            expected_rng.choice([0, 1]) for _ in observations
+        ]
+        assert replicas == expected
+
+    def test_both_replicas_serve_under_concurrent_load(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            await asyncio.gather(
+                *(fleet.submit(obs) for obs in _observations(80))
+            )
+            stats = await fleet.scrape()
+            per_replica = fleet.replica_stats()
+            await fleet.close()
+            registry.close()
+            return stats, per_replica
+
+        stats, per_replica = asyncio.run(run())
+        assert stats.served == 80
+        assert sum(s.served for s in per_replica.values()) == 80
+        assert all(s.served > 0 for s in per_replica.values())
+
+
+class TestPropagation:
+    def test_hot_swap_reaches_every_replica(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            registry.publish(CHAMPIONS[1], source="swap")
+            await fleet.wait_deployed()
+            served = await asyncio.gather(
+                *(fleet.submit(obs) for obs in _observations(40))
+            )
+            traces = fleet.version_traces()
+            await fleet.close()
+            registry.close()
+            return served, traces
+
+        served, traces = asyncio.run(run())
+        # after every replica acked the swap, nothing serves v1
+        assert {r.champion_version for r in served} == {2}
+        for trace in traces.values():
+            assert trace == sorted(trace)
+
+    def test_rollback_propagates_via_seq_not_version(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            registry.publish(CHAMPIONS[1], source="bad")
+            await fleet.wait_deployed()
+            registry.rollback()  # version drops 2 -> 1, seq rises to 3
+            await fleet.wait_deployed()
+            served = await fleet.submit([0.1] * 4)
+            await fleet.close()
+            seq = registry.seq
+            registry.close()
+            return served, seq
+
+        served, seq = asyncio.run(run())
+        assert seq == 3
+        # the monotone guard is on seq, so the *older version* of a
+        # rollback still deploys everywhere
+        assert served.champion_version == 1
+
+    def test_late_subscriber_gets_current_deployment_replayed(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            # publish BEFORE the fleet exists: start() must replay the
+            # live deployment into every replica
+            registry.publish(CHAMPIONS[1], source="early")
+            fleet = ServingFleet(
+                registry, replicas=2, max_wait_s=0.001
+            )
+            await fleet.start()
+            await fleet.wait_deployed()
+            served = await fleet.submit([0.2] * 4)
+            await fleet.close()
+            registry.close()
+            return served
+
+        served = asyncio.run(run())
+        assert served.champion_version == 1
+
+
+class TestBackpressure:
+    def test_fleet_inflight_cap_sheds_and_counts(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry, max_inflight=4)
+            tasks = [
+                asyncio.ensure_future(fleet.submit(obs))
+                for obs in _observations(60)
+            ]
+            outcomes = await asyncio.gather(
+                *tasks, return_exceptions=True
+            )
+            stats = await fleet.scrape()
+            fleet_shed = fleet.fleet_shed
+            await fleet.close()
+            registry.close()
+            return outcomes, stats, fleet_shed
+
+        outcomes, stats, fleet_shed = asyncio.run(run())
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        ok = [o for o in outcomes if not isinstance(o, Exception)]
+        assert shed, "a 4-deep inflight window must shed a 60-burst"
+        assert ok, "backpressure must not reject everything"
+        assert fleet_shed == len(shed)
+        # parent-side sheds are folded into the fleet rollup
+        assert stats.shed == fleet_shed
+        assert stats.requests == stats.served + fleet_shed
+        assert stats.served == len(ok)
+
+
+class TestReplicaDeath:
+    def test_death_is_isolated_to_the_dead_replica(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            victim = fleet._handles[0].proc
+            victim.kill()
+            # wait for the reader thread to notice the EOF
+            for _ in range(100):
+                if fleet.live_replicas == [1]:
+                    break
+                await asyncio.sleep(0.01)
+            served = await asyncio.gather(
+                *(fleet.submit(obs) for obs in _observations(20))
+            )
+            # deployments keep working on the survivors
+            registry.publish(CHAMPIONS[1], source="after-death")
+            await fleet.wait_deployed()
+            live = fleet.live_replicas
+            await fleet.close()
+            registry.close()
+            return served, live
+
+        served, live = asyncio.run(run())
+        assert live == [1]
+        assert {r.replica for r in served} == {1}
+
+    def test_total_fleet_loss_raises_replica_died(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry, replicas=1)
+            fleet._handles[0].proc.kill()
+            for _ in range(100):
+                if not fleet.live_replicas:
+                    break
+                await asyncio.sleep(0.01)
+            with pytest.raises(ReplicaDied):
+                await fleet.submit([0.0] * 4)
+            with pytest.raises(ReplicaDied):
+                await fleet.wait_deployed(registry.seq + 1)
+            await fleet.close()
+            registry.close()
+
+        asyncio.run(run())
+
+
+class TestSLOBatchController:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SLOBatchController(0.0)
+        with pytest.raises(ValueError):
+            SLOBatchController(0.01, shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            SLOBatchController(0.01, headroom=0.0)
+
+    def test_violation_shrinks_multiplicatively(self):
+        controller = SLOBatchController(
+            0.010, max_batch=32, max_wait_s=0.004
+        )
+        changed = controller.update(0.020)
+        assert changed
+        assert controller.violations == 1
+        assert controller.max_wait_s == pytest.approx(0.002)
+        assert controller.max_batch == 16
+
+    def test_headroom_widens_additively(self):
+        controller = SLOBatchController(
+            0.010, max_batch=32, max_wait_s=0.004, batch_step=4
+        )
+        changed = controller.update(0.002)  # well under 0.8 * target
+        assert changed
+        assert controller.widenings == 1
+        assert controller.max_batch == 36
+        assert controller.max_wait_s == pytest.approx(
+            0.004 + 0.010 / 20
+        )
+
+    def test_dead_band_holds_the_knobs(self):
+        controller = SLOBatchController(
+            0.010, max_batch=32, max_wait_s=0.004
+        )
+        # between headroom (0.8x) and the target: no change
+        assert not controller.update(0.009)
+        assert controller.max_batch == 32
+        assert controller.max_wait_s == 0.004
+        assert controller.violations == 0
+        assert controller.widenings == 0
+
+    def test_idle_window_is_a_hold(self):
+        controller = SLOBatchController(0.010)
+        assert not controller.update(0.0)
+        assert controller.history == []
+
+    def test_shrink_respects_floors(self):
+        controller = SLOBatchController(
+            0.010,
+            max_batch=8,
+            max_wait_s=0.004,
+            min_batch=2,
+            min_wait_s=0.001,
+        )
+        for _ in range(10):
+            controller.update(1.0)
+        assert controller.max_batch == 2
+        assert controller.max_wait_s == 0.001
+
+    def test_widen_respects_caps(self):
+        controller = SLOBatchController(
+            0.010,
+            max_batch=500,
+            max_wait_s=0.009,
+            batch_cap=512,
+        )
+        for _ in range(10):
+            controller.update(0.001)
+        assert controller.max_batch == 512
+        # default wait cap is the SLO target itself
+        assert controller.max_wait_s == pytest.approx(0.010)
+
+    def test_history_records_every_observation(self):
+        controller = SLOBatchController(0.010)
+        controller.update(0.001)
+        controller.update(0.020)
+        assert len(controller.history) == 2
+        p95s = [p95 for p95, _, _ in controller.history]
+        assert p95s == [0.001, 0.020]
+
+
+class TestAutotuneAgainstLoadGenerator:
+    """The controller drives a *live* gateway under seeded Poisson
+    load — the loop-safety of mid-traffic reconfigure plus the AIMD
+    direction both checked against real latency samples."""
+
+    def _drive(self, slo_p95_s):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            registry.publish(CHAMPIONS[0], source="test")
+            gateway = InferenceGateway(
+                registry,
+                max_batch=8,
+                max_wait_s=0.002,
+                close_registry=True,
+            )
+            await gateway.start()
+            controller = SLOBatchController(
+                slo_p95_s, max_batch=8, max_wait_s=0.002
+            )
+
+            async def autotune():
+                while True:
+                    await asyncio.sleep(0.02)
+                    window = gateway.stats().latency_window[-256:]
+                    if controller.update(percentile(window, 95)):
+                        gateway.reconfigure(
+                            max_batch=controller.max_batch,
+                            max_wait_s=controller.max_wait_s,
+                        )
+
+            tuner = asyncio.get_running_loop().create_task(autotune())
+            generator = LoadGenerator(
+                gateway.submit,
+                observation_sampler("CartPole-v0"),
+                rate_hz=800.0,
+                n_requests=240,
+                seed=3,
+            )
+            report = await generator.run()
+            tuner.cancel()
+            await gateway.close()
+            return report, controller, gateway
+
+        return asyncio.run(run())
+
+    def test_impossible_slo_backs_off_to_the_floors(self):
+        # 50us p95 is unreachable: every window violates, so AIMD
+        # must shrink the batching knobs monotonically to their floors
+        report, controller, gateway = self._drive(50e-6)
+        assert report.served == 240
+        assert controller.violations > 0
+        assert controller.widenings == 0
+        # multiplicative decrease: the knobs only ever move down
+        assert gateway.max_batch < 8
+        assert gateway.max_wait_s < 0.002
+
+    def test_loose_slo_widens_the_batching_window(self):
+        # 500ms p95 leaves huge headroom: the controller probes wider
+        # batching for throughput, never violating
+        report, controller, gateway = self._drive(0.5)
+        assert report.served == 240
+        assert controller.violations == 0
+        assert controller.widenings > 0
+        assert gateway.max_batch > 8
+        assert gateway.max_wait_s > 0.002

@@ -3,6 +3,8 @@
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.neat.config import NEATConfig
 from repro.neat.population import Population
@@ -177,3 +179,158 @@ class TestClose:
     def test_record_for_unknown_version_raises(self, config):
         with pytest.raises(LookupError):
             ChampionRegistry(config).record_for(1)
+
+
+# -- deployment pub/sub -------------------------------------------------------
+
+_SUB_CONFIG = NEATConfig.for_env("CartPole-v0", pop_size=8)
+_SUB_GENOMES = [
+    make_evolved_genome(_SUB_CONFIG, seed=seed, mutations=10, key=seed)
+    for seed in range(3)
+]
+
+
+class TestSubscribe:
+    def test_replays_current_deployment_on_subscribe(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        seen = []
+        registry.subscribe(lambda seq, rec: seen.append((seq, rec.version)))
+        assert seen == [(1, 1)]
+
+    def test_no_replay_before_first_publish(self, config):
+        registry = ChampionRegistry(config)
+        seen = []
+        registry.subscribe(lambda seq, rec: seen.append(seq))
+        assert seen == []
+
+    def test_replay_can_be_disabled(self, config, genomes):
+        registry = ChampionRegistry(config)
+        registry.publish(genomes[0])
+        seen = []
+        registry.subscribe(
+            lambda seq, rec: seen.append(seq), replay_current=False
+        )
+        registry.publish(genomes[1])
+        assert seen == [2]
+
+    def test_rollback_raises_seq_but_lowers_version(self, config, genomes):
+        registry = ChampionRegistry(config)
+        seen = []
+        registry.subscribe(lambda seq, rec: seen.append((seq, rec.version)))
+        registry.publish(genomes[0])
+        registry.publish(genomes[1])
+        registry.rollback()
+        assert seen == [(1, 1), (2, 2), (3, 1)]
+        assert registry.seq == 3
+        assert registry.version == 1
+
+    def test_unsubscribe_stops_deliveries(self, config, genomes):
+        registry = ChampionRegistry(config)
+        seen = []
+        subscription = registry.subscribe(
+            lambda seq, rec: seen.append(seq), replay_current=False
+        )
+        registry.publish(genomes[0])
+        registry.unsubscribe(subscription)
+        registry.unsubscribe(subscription)  # idempotent
+        registry.publish(genomes[1])
+        assert seen == [1]
+
+    def test_subscribe_after_close_raises(self, config):
+        registry = ChampionRegistry(config)
+        registry.close()
+        with pytest.raises(RegistryClosed):
+            registry.subscribe(lambda seq, rec: None)
+
+
+class TestSubscriberOrderingProperty:
+    """ISSUE acceptance: interleaved publish/rollback/subscribe
+    sequences never deliver deployments out of order to any
+    subscriber."""
+
+    @given(
+        ops=st.lists(
+            st.sampled_from(["publish", "rollback", "subscribe"]),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_subscriber_sees_its_suffix_in_seq_order(self, ops):
+        registry = ChampionRegistry(_SUB_CONFIG)
+        log = []  # every deployment, as (seq, version)
+        subscribers = []  # (seq at subscribe, delivered list)
+        current_version = None
+        for index, op in enumerate(ops):
+            if op == "publish":
+                record = registry.publish(
+                    _SUB_GENOMES[index % len(_SUB_GENOMES)]
+                )
+                current_version = record.version
+                log.append((registry.seq, record.version))
+            elif op == "rollback":
+                try:
+                    record = registry.rollback()
+                except LookupError:
+                    continue  # nothing deployed before the current one
+                current_version = record.version
+                log.append((registry.seq, record.version))
+            else:
+                delivered = []
+                subscribers.append(
+                    (registry.seq, current_version, delivered)
+                )
+                registry.subscribe(
+                    lambda seq, rec, d=delivered: d.append(
+                        (seq, rec.version)
+                    )
+                )
+        for at_seq, version_at_subscribe, delivered in subscribers:
+            seqs = [seq for seq, _ in delivered]
+            # strictly increasing: never out of order, never duplicated
+            assert seqs == sorted(set(seqs))
+            replay = (
+                [(at_seq, version_at_subscribe)]
+                if version_at_subscribe is not None
+                else []
+            )
+            expected = replay + [
+                (seq, version) for seq, version in log if seq > at_seq
+            ]
+            assert delivered == expected
+
+
+class TestSubscriberOrderingThreaded:
+    def test_concurrent_publishers_deliver_in_one_global_order(
+        self, config
+    ):
+        registry = ChampionRegistry(config)
+        genomes = [
+            make_evolved_genome(config, seed=seed, mutations=5, key=seed)
+            for seed in range(8)
+        ]
+        delivered = []
+        registry.subscribe(
+            lambda seq, rec: delivered.append((seq, rec.version))
+        )
+
+        def publisher(worker_genomes):
+            for genome in worker_genomes:
+                registry.publish(genome)
+
+        threads = [
+            threading.Thread(target=publisher, args=(genomes[:4],)),
+            threading.Thread(target=publisher, args=(genomes[4:],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [seq for seq, _ in delivered]
+        # one global order: every deployment delivered exactly once,
+        # in strictly increasing seq order, regardless of which
+        # publisher thread drained the queue
+        assert seqs == list(range(1, 9))
+        versions = sorted(version for _, version in delivered)
+        assert versions == list(range(1, 9))
