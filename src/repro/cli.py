@@ -14,6 +14,8 @@ never needs to write Python:
 * ``scale``      — the Fig 9 scaling study (measure, fit, extrapolate).
 * ``ppp``        — the Fig 11 price-performance table.
 * ``platforms``  — the Table IV device registry.
+* ``lint``       — the determinism & concurrency invariant linter
+  (see ``docs/linting.md``).
 
 Installed entry points: both ``clan-repro`` and the shorter ``repro``
 dispatch here, matching the ``python -m repro`` invocations in the docs.
@@ -238,6 +240,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("platforms", help="Table IV device registry")
+
+    lint = sub.add_parser(
+        "lint",
+        help="check determinism & concurrency invariants "
+        "(RPR rules; see docs/linting.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the src/ tree "
+        "if present, else the installed repro package)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPR001,RPR004); "
+        "default: every rule",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_path",
+        help="also write the findings report as JSON (benchmark-report "
+        "provenance shape) to this file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list suppressed findings with their reasons",
+    )
     return parser
 
 
@@ -728,6 +759,52 @@ def _cmd_platforms(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import LintConfig, lint_paths
+    from repro.lint.report import render_rules, render_text, write_json
+    from repro.lint.rules import RULES
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    select = None
+    if args.select is not None:
+        select = tuple(
+            code.strip().upper()
+            for code in args.select.split(",")
+            if code.strip()
+        )
+        unknown = [code for code in select if code not in RULES]
+        if not select or unknown:
+            print(
+                "--select needs known rule codes"
+                + (f" (unknown: {', '.join(unknown)})" if unknown else ""),
+                file=sys.stderr,
+            )
+            return 2
+    paths = list(args.paths)
+    if not paths:
+        import pathlib
+
+        if pathlib.Path("src").is_dir():
+            paths = ["src"]
+        else:
+            import repro
+
+            paths = [str(pathlib.Path(repro.__file__).parent)]
+    config = LintConfig(select=select)
+    try:
+        result = lint_paths(paths, config)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_text(result, verbose=args.verbose))
+    if args.json_path:
+        target = write_json(result, args.json_path)
+        print(f"[json saved to {target}]")
+    return 1 if result.findings else 0
+
+
 _COMMANDS = {
     "learn": _cmd_learn,
     "serve": _cmd_serve,
@@ -736,6 +813,7 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "ppp": _cmd_ppp,
     "platforms": _cmd_platforms,
+    "lint": _cmd_lint,
 }
 
 

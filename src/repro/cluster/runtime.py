@@ -512,7 +512,7 @@ class DistributedClanRuntime:
         champion_best = float("-inf")
 
         def send_halt_all() -> None:
-            for other in list(active):
+            for other in sorted(active):
                 try:
                     self.pool.send(other, "clan_halt")
                 except WorkerDied:
@@ -668,7 +668,7 @@ class DistributedClanRuntime:
                     fail(worker)
             if self.heartbeat_timeout_s is not None:
                 now = time.perf_counter()
-                for worker in list(active):
+                for worker in sorted(active):
                     if now - last_seen[worker] > self.heartbeat_timeout_s:
                         # silent past the heartbeat window: presumed
                         # hung — kill, then recover like a death

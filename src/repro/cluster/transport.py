@@ -27,6 +27,7 @@ one layer up in :class:`repro.cluster.runtime.DistributedClanRuntime`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 import traceback
 from multiprocessing import connection as mp_connection
@@ -342,10 +343,14 @@ class WorkerPool:
             backend,
             eval_mode,
         )
-        self._conns = []
-        self._procs = []
-        #: worker indices whose process is known dead (EOF seen or
-        #: killed); excluded from wait_any until respawned
+        #: serialises liveness bookkeeping: the supervision loop and a
+        #: closing service may mark deaths / respawn slots from
+        #: different threads. Never held across a blocking join/recv.
+        self._state_lock = threading.Lock()
+        self._conns = []  # guarded-by: _state_lock
+        self._procs = []  # guarded-by: _state_lock
+        #: dead worker indices (EOF seen or killed); excluded from
+        #: wait_any until respawned — guarded-by: _state_lock
         self._dead: set[int] = set()
         for _ in range(n_workers):
             conn, proc = self._spawn_worker()
@@ -367,7 +372,8 @@ class WorkerPool:
     # -- commands ----------------------------------------------------------
 
     def _mark_dead(self, worker: int) -> WorkerDied:
-        self._dead.add(worker)
+        with self._state_lock:
+            self._dead.add(worker)
         return WorkerDied(worker, f"worker {worker} died (pipe closed)")
 
     def _request(self, worker: int, command: str, payload) -> None:
@@ -493,7 +499,8 @@ class WorkerPool:
                 try:
                     status, value = conn.recv()
                 except (EOFError, ConnectionResetError, OSError):
-                    self._dead.add(worker)
+                    with self._state_lock:
+                        self._dead.add(worker)
                     out.append((worker, "died", None))
                     break
                 if status == "error":
@@ -533,7 +540,8 @@ class WorkerPool:
         if proc.is_alive():
             proc.kill()
         proc.join(timeout=5)
-        self._dead.add(worker)
+        with self._state_lock:
+            self._dead.add(worker)
         try:
             self._conns[worker].close()
         except OSError:  # pragma: no cover - defensive
@@ -560,9 +568,10 @@ class WorkerPool:
         else:
             old.join(timeout=5)
         conn, proc = self._spawn_worker()
-        self._conns[worker] = conn
-        self._procs[worker] = proc
-        self._dead.discard(worker)
+        with self._state_lock:
+            self._conns[worker] = conn
+            self._procs[worker] = proc
+            self._dead.discard(worker)
 
     # -- lifecycle ------------------------------------------------------------
 

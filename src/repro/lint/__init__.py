@@ -1,0 +1,63 @@
+"""Determinism & concurrency invariant checking (``repro lint``).
+
+Two halves:
+
+- static: :func:`lint_paths` / :func:`lint_source` run the AST rules of
+  :mod:`repro.lint.rules` (RPR0xx determinism, RPR1xx concurrency) over
+  source files without importing them.
+- runtime: :func:`checked_locks` instruments ``threading`` locks during
+  a test run and :class:`LockMonitor` detects lock-order inversion
+  cycles and held-lock hazards.
+
+See ``docs/linting.md`` for the rule catalogue and suppression syntax.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintResult,
+    Suppression,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.locks import (
+    CheckedLock,
+    Hazard,
+    LockMonitor,
+    LockSite,
+    checked_locks,
+)
+from repro.lint.report import (
+    render_rules,
+    render_text,
+    to_json_document,
+    write_json,
+)
+from repro.lint.rules import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    RULES,
+    Rule,
+    UNSUPPRESSABLE,
+)
+
+__all__ = [
+    "CheckedLock",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "Hazard",
+    "LintConfig",
+    "LintResult",
+    "LockMonitor",
+    "LockSite",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "UNSUPPRESSABLE",
+    "checked_locks",
+    "lint_paths",
+    "lint_source",
+    "render_rules",
+    "render_text",
+    "to_json_document",
+    "write_json",
+]

@@ -1,0 +1,1049 @@
+"""AST-based static analysis behind ``repro lint``.
+
+One pass per file: comments are tokenised first (suppressions,
+``guarded-by`` / ``holds-lock`` annotations), then a single
+:class:`_FileLinter` walk produces findings for every rule in
+:mod:`repro.lint.rules`. The engine is import-free — it never executes
+the code under analysis — so it can lint broken or dependency-gated
+modules safely.
+
+Suppression syntax (checked, with a mandatory reason)::
+
+    risky_call()  # repro-lint: disable=RPR003 -- measuring real latency
+    x = f()       # repro-lint: disable=RPR001,RPR004 -- seeded upstream
+
+Lock-discipline annotations (consumed by rule RPR103)::
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            #: current champion — guarded-by: _lock
+            self._current = None
+
+        def _bump(self):  # holds-lock: _lock
+            self._current = ...   # caller asserts the lock is held
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.rules import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    RULES,
+    UNSUPPRESSABLE,
+    matches_module,
+)
+
+# ---------------------------------------------------------------------------
+# findings & results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        name = RULES[self.code].name
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{name}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    path: str
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run learned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: suppressions that silenced at least one finding, with the
+    #: findings they silenced
+    suppressed: list[tuple[Suppression, Finding]] = field(
+        default_factory=list
+    )
+    #: every well-formed suppression seen (audited in the JSON report)
+    suppressions: list[Suppression] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.suppressions.extend(other.suppressions)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.col, f.code)
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=lambda pair: key(pair[1]))
+        self.suppressions.sort(key=lambda s: (s.path, s.line))
+
+
+# ---------------------------------------------------------------------------
+# comment layer: suppressions + lock annotations
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*disable=([A-Za-z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+_GUARDED_RE = re.compile(r"guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"holds-lock:\s*(?:self\.)?([A-Za-z_]\w*)")
+
+
+def _comment_lines(text: str) -> dict[int, str]:
+    """line number -> comment string (tokenised, so strings that merely
+    contain ``#`` are never misread as comments)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the AST pass reports the file as unparsable
+    return comments
+
+
+def _parse_suppressions(
+    path: str, comments: dict[int, str]
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Parse every suppression comment; malformed ones become RPR900."""
+    by_line: dict[int, Suppression] = {}
+    malformed: list[Finding] = []
+    for line in sorted(comments):
+        match = _SUPPRESS_RE.search(comments[line])
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        )
+        reason = match.group("reason")
+        unknown = [c for c in codes if c not in RULES]
+        banned = [c for c in codes if c in UNSUPPRESSABLE]
+        if not codes or unknown or banned or not reason:
+            if banned:
+                detail = f"{', '.join(banned)} cannot be suppressed"
+            elif unknown:
+                detail = f"unknown rule code(s) {', '.join(unknown)}"
+            elif not codes:
+                detail = "no rule codes given"
+            else:
+                detail = "missing '-- <reason>' (a reason is mandatory)"
+            malformed.append(
+                Finding(path, line, 0, "RPR900", detail)
+            )
+            continue
+        by_line[line] = Suppression(path, line, codes, reason)
+    return by_line, malformed
+
+
+# ---------------------------------------------------------------------------
+# the AST walk
+# ---------------------------------------------------------------------------
+
+#: random-module functions that consume or reseed the *global* stream
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "triangular", "gauss",
+        "normalvariate", "lognormvariate", "expovariate",
+        "vonmisesvariate", "gammavariate", "betavariate",
+        "paretovariate", "weibullvariate", "binomialvariate",
+        "seed", "getrandbits", "randbytes", "setstate",
+    }
+)
+
+#: numpy.random Generator-ish constructors (not global-state draws)
+_NP_CONSTRUCTORS = frozenset(
+    {
+        "default_rng", "RandomState", "Generator", "SeedSequence",
+        "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+        "BitGenerator",
+    }
+)
+#: constructors that mint a *new stream* and must stay in utils/rng.py
+_NP_STREAM_MINTERS = frozenset({"default_rng", "RandomState"})
+
+_WALL_CLOCK_FNS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+_BLOCKING_SUBPROCESS = frozenset(
+    {"run", "call", "check_call", "check_output", "getoutput",
+     "getstatusoutput"}
+)
+_BLOCKING_RECV = frozenset({"recv", "recv_bytes", "recv_bytes_into"})
+
+#: method names that mutate their receiver in place (RPR103 treats a
+#: call to ``self.<guarded>.<mutator>(...)`` as a write)
+_MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "extend", "extendleft",
+        "insert", "remove", "discard", "pop", "popleft", "popitem",
+        "clear", "update", "setdefault", "move_to_end", "sort",
+        "reverse", "difference_update", "intersection_update",
+        "symmetric_difference_update",
+    }
+)
+
+_ALLOWED_SET_SINKS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "bool",
+     "set", "frozenset"}
+)
+_ORDER_LEAKING_SINKS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` -> ("a","b","c"); None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One walk of one module; accumulates raw (unsuppressed) findings."""
+
+    def __init__(
+        self,
+        path: str,
+        config: LintConfig,
+        comments: dict[int, str],
+    ):
+        self.path = path
+        self.config = config
+        self.comments = comments
+        self.findings: list[Finding] = []
+        # import alias tables (name as bound in this module -> meaning)
+        self.random_mods: set[str] = set()
+        self.random_fns: dict[str, str] = {}
+        self.np_mods: set[str] = set()
+        self.np_random_mods: set[str] = set()
+        self.np_fns: dict[str, str] = {}
+        self.time_mods: set[str] = set()
+        self.time_fns: dict[str, str] = {}
+        self.datetime_mods: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.subprocess_mods: set[str] = set()
+        self.subprocess_fns: set[str] = set()
+        self.os_mods: set[str] = set()
+        self.threading_mods: set[str] = set()
+        self.thread_classes: set[str] = set()
+        self.process_classes: set[str] = set()
+        #: module-level functions annotated ``-> set[...]`` — their
+        #: call results count as set-typed for RPR004
+        self.set_returning: set[str] = set()
+        # scope stacks
+        self._func_stack: list[ast.AST] = []
+        self._set_vars_stack: list[set[str]] = [set()]
+        # RPR103 context (active while walking a class with guards)
+        self._guard_ctx: list[dict] = []
+        # module classification
+        self.in_wall_clock_banned = matches_module(
+            path, config.wall_clock_banned
+        )
+        self.in_numeric = matches_module(path, config.numeric_modules)
+        self.in_rng_module = matches_module(path, config.rng_modules)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def flag(self, node: ast.AST, code: str, message: str) -> None:
+        if not self.config.enabled(code):
+            return
+        self.findings.append(
+            Finding(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                code,
+                message,
+            )
+        )
+
+    def _comment_near(self, lineno: int, pattern: re.Pattern):
+        """Match ``pattern`` against the comment on ``lineno`` or the
+        line directly above (the ``#:`` attribute-doc position)."""
+        for line in (lineno, lineno - 1):
+            comment = self.comments.get(line)
+            if comment:
+                match = pattern.search(comment)
+                if match:
+                    return match
+        return None
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = {
+                "random": self.random_mods,
+                "time": self.time_mods,
+                "datetime": self.datetime_mods,
+                "subprocess": self.subprocess_mods,
+                "os": self.os_mods,
+                "threading": self.threading_mods,
+            }.get(alias.name)
+            if target is not None:
+                target.add(bound)
+            elif alias.name in ("numpy", "multiprocessing"):
+                if alias.name == "numpy":
+                    self.np_mods.add(bound)
+            elif alias.name == "numpy.random" and alias.asname:
+                self.np_random_mods.add(alias.asname)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "random":
+                if alias.name in _GLOBAL_RANDOM_FNS:
+                    self.random_fns[bound] = alias.name
+            elif module == "numpy":
+                if alias.name == "random":
+                    self.np_random_mods.add(bound)
+            elif module == "numpy.random":
+                if alias.name in _NP_CONSTRUCTORS | {"seed"}:
+                    self.np_fns[bound] = alias.name
+            elif module == "time":
+                if alias.name in _WALL_CLOCK_FNS | {"sleep"}:
+                    self.time_fns[bound] = alias.name
+            elif module == "datetime":
+                if alias.name == "datetime":
+                    self.datetime_classes.add(bound)
+            elif module == "subprocess":
+                if alias.name in _BLOCKING_SUBPROCESS | {"Popen"}:
+                    self.subprocess_fns.add(bound)
+            elif module == "threading":
+                if alias.name == "Thread":
+                    self.thread_classes.add(bound)
+            elif module == "multiprocessing":
+                if alias.name == "Process":
+                    self.process_classes.add(bound)
+        self.generic_visit(node)
+
+    # -- module prelude: set-returning functions -----------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._is_set_annotation(stmt.returns):
+                self.set_returning.add(stmt.name)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return False
+        base = annotation
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Name):
+            return base.id in ("set", "frozenset", "Set", "FrozenSet")
+        if isinstance(base, ast.Constant) and isinstance(base.value, str):
+            stripped = base.value.split("[")[0].strip()
+            return stripped in ("set", "frozenset", "Set", "FrozenSet")
+        return False
+
+    # -- function / class scopes --------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        self._func_stack.append(node)
+        self._set_vars_stack.append(set())
+        self._prescan_scope(node)
+
+    def _exit_function(self) -> None:
+        self._func_stack.pop()
+        self._set_vars_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._exit_function()
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._exit_function()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        guards = self._collect_guards(node)
+        self._guard_ctx.append(guards)
+        if guards["attrs"]:
+            self._check_guarded_writes(node, guards)
+        self.generic_visit(node)
+        self._guard_ctx.pop()
+
+    # -- RPR004 scope pre-scan ----------------------------------------------
+
+    def _prescan_scope(self, func) -> None:
+        """Record local names assigned set-typed values (flow-insensitive,
+        in statement order, nested defs excluded), and run the RPR102
+        thread-before-fork ordering check for this scope."""
+        set_vars = self._set_vars_stack[-1]
+        thread_vars: set[str] = set()
+        thread_started: list[int] = []
+        flagged_forks: set[int] = set()
+
+        def scan(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                self._prescan_statement(
+                    stmt, set_vars, thread_vars, thread_started,
+                    flagged_forks,
+                )
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        pass
+                blocks = []
+                for name in ("body", "orelse", "finalbody"):
+                    blocks.extend(getattr(stmt, name, []) or [])
+                for handler in getattr(stmt, "handlers", []) or []:
+                    blocks.extend(handler.body)
+                if blocks:
+                    scan(blocks)
+
+        scan(func.body)
+
+    def _prescan_statement(
+        self, stmt, set_vars, thread_vars, thread_started, flagged_forks
+    ) -> None:
+        # set-typed locals
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if self._is_set_expr(stmt.value):
+                    set_vars.add(target.id)
+                else:
+                    set_vars.discard(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if self._is_set_annotation(stmt.annotation) or (
+                stmt.value is not None and self._is_set_expr(stmt.value)
+            ):
+                set_vars.add(stmt.target.id)
+        # thread/fork ordering (RPR102), statement-order sensitive
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.value, ast.Call
+        ):
+            if self._is_thread_ctor(stmt.value.func):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        thread_vars.add(target.id)
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        thread_vars.add(f"self.{target.attr}")
+        for call in self._calls_in(stmt):
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr == "start":
+                receiver = func.value
+                started = False
+                if self._is_thread_ctor(
+                    receiver.func
+                ) if isinstance(receiver, ast.Call) else False:
+                    started = True
+                elif isinstance(receiver, ast.Name):
+                    started = receiver.id in thread_vars
+                elif (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    started = f"self.{receiver.attr}" in thread_vars
+                if started:
+                    thread_started.append(call.lineno)
+            if thread_started and self._is_fork_point(func):
+                if call.lineno not in flagged_forks and any(
+                    line < call.lineno for line in thread_started
+                ):
+                    flagged_forks.add(call.lineno)
+                    self.flag(
+                        call,
+                        "RPR102",
+                        "worker process forked after a thread was "
+                        f"started on line {min(thread_started)}; the "
+                        "child inherits that thread's locks in an "
+                        "undefined state — fork first, start threads "
+                        "after",
+                    )
+
+    @staticmethod
+    def _calls_in(stmt):
+        """Calls in this statement's own expressions (not nested blocks
+        — those are scanned as statements in order)."""
+        own: list[ast.expr] = []
+        for fname, value in ast.iter_fields(stmt):
+            if fname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                own.append(value)
+            elif isinstance(value, list):
+                own.extend(v for v in value if isinstance(v, ast.expr))
+        for expr in own:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    def _is_thread_ctor(self, func) -> bool:
+        if func is None:
+            return False
+        parts = _dotted(func)
+        if parts is None:
+            return False
+        if len(parts) == 1:
+            return parts[0] in self.thread_classes
+        return (
+            parts[-1] == "Thread" and parts[0] in self.threading_mods
+        )
+
+    def _is_fork_point(self, func) -> bool:
+        parts = _dotted(func)
+        if parts is None:
+            return False
+        if parts[-1] == "Process":
+            return len(parts) > 1 or parts[0] in self.process_classes
+        if len(parts) == 2 and parts[1] == "fork":
+            return parts[0] in self.os_mods
+        return False
+
+    # -- RPR004 helpers ------------------------------------------------------
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return True
+                if func.id in self.set_returning:
+                    return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.Name):
+            return any(
+                node.id in scope for scope in self._set_vars_stack
+            )
+        return False
+
+    def _flag_unordered(self, iterable: ast.expr, context: str) -> None:
+        if self._is_set_expr(iterable):
+            self.flag(
+                iterable,
+                "RPR004",
+                f"{context} iterates a set in hash order; wrap it in "
+                "sorted(...) so the order is deterministic",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_unordered(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._flag_unordered(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- RPR005 --------------------------------------------------------------
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, float
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.in_numeric and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            comparands = [node.left, *node.comparators]
+            if any(self._is_float_literal(c) for c in comparands):
+                self.flag(
+                    node,
+                    "RPR005",
+                    "exact == against a float literal in a numeric "
+                    "module; compare with a tolerance (math.isclose) "
+                    "or document why the exact bits are intended",
+                )
+        self.generic_visit(node)
+
+    # -- call-site rules -----------------------------------------------------
+
+    def _nearest_function(self):
+        return self._func_stack[-1] if self._func_stack else None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = _dotted(node.func)
+        if parts is not None:
+            self._check_random(node, parts)
+            self._check_np_random(node, parts)
+            self._check_wall_clock(node, parts)
+            if isinstance(
+                self._nearest_function(), ast.AsyncFunctionDef
+            ):
+                self._check_blocking(node, parts)
+            if (
+                len(parts) == 1
+                and parts[0] in _ORDER_LEAKING_SINKS
+                and node.args
+            ):
+                self._flag_unordered(node.args[0], f"{parts[0]}()")
+        self.generic_visit(node)
+
+    def _check_random(self, node, parts) -> None:
+        if len(parts) == 1 and parts[0] in self.random_fns:
+            self.flag(
+                node,
+                "RPR001",
+                f"random.{self.random_fns[parts[0]]} draws from the "
+                "process-global stream; use a seeded random.Random "
+                "from utils/rng.py",
+            )
+        elif len(parts) == 2 and parts[0] in self.random_mods:
+            fn = parts[1]
+            if fn in _GLOBAL_RANDOM_FNS:
+                self.flag(
+                    node,
+                    "RPR001",
+                    f"{parts[0]}.{fn} draws from the process-global "
+                    "stream; use a seeded random.Random from "
+                    "utils/rng.py",
+                )
+            elif fn == "Random" and not node.args and not node.keywords:
+                self.flag(
+                    node,
+                    "RPR001",
+                    "random.Random() without a seed is entropy-seeded "
+                    "and unreproducible; pass a derived seed "
+                    "(utils/rng.py spawn_rng)",
+                )
+            elif fn == "SystemRandom":
+                self.flag(
+                    node,
+                    "RPR001",
+                    "SystemRandom is non-deterministic by design and "
+                    "can never replay",
+                )
+
+    def _check_np_random(self, node, parts) -> None:
+        fn = None
+        if len(parts) == 1 and parts[0] in self.np_fns:
+            fn = self.np_fns[parts[0]]
+        elif len(parts) == 2 and parts[0] in self.np_random_mods:
+            fn = parts[1]
+        elif (
+            len(parts) == 3
+            and parts[0] in self.np_mods
+            and parts[1] == "random"
+        ):
+            fn = parts[2]
+        if fn is None:
+            return
+        if fn in _NP_STREAM_MINTERS:
+            if not self.in_rng_module:
+                self.flag(
+                    node,
+                    "RPR002",
+                    f"np.random.{fn} mints an RNG stream outside "
+                    "utils/rng.py; derive it via spawn_np_generator / "
+                    "RngFactory.np_generator so it is named and "
+                    "root-seeded",
+                )
+        elif fn not in _NP_CONSTRUCTORS:
+            self.flag(
+                node,
+                "RPR002",
+                f"np.random.{fn} uses NumPy's hidden global RNG "
+                "state; draw from a Generator built in utils/rng.py",
+            )
+
+    def _check_wall_clock(self, node, parts) -> None:
+        if not self.in_wall_clock_banned:
+            return
+        hit = None
+        if len(parts) == 1 and parts[0] in self.time_fns:
+            if self.time_fns[parts[0]] in _WALL_CLOCK_FNS:
+                hit = f"time.{self.time_fns[parts[0]]}"
+        elif len(parts) == 2 and parts[0] in self.time_mods:
+            if parts[1] in _WALL_CLOCK_FNS:
+                hit = f"{parts[0]}.{parts[1]}"
+        elif parts[-1] in _DATETIME_NOW:
+            base = parts[:-1]
+            if (
+                len(base) == 1 and base[0] in self.datetime_classes
+            ) or (
+                len(base) == 2
+                and base[0] in self.datetime_mods
+                and base[1] == "datetime"
+            ):
+                hit = ".".join(parts)
+        if hit is not None:
+            self.flag(
+                node,
+                "RPR003",
+                f"{hit} reads the wall clock inside a simulated/"
+                "deterministic module; thread simulated time through "
+                "explicitly (or suppress with the measurement reason)",
+            )
+
+    def _check_blocking(self, node, parts) -> None:
+        if len(parts) == 1:
+            if (
+                parts[0] in self.time_fns
+                and self.time_fns[parts[0]] == "sleep"
+            ):
+                self.flag(
+                    node,
+                    "RPR101",
+                    "time.sleep blocks the event loop; await "
+                    "asyncio.sleep instead",
+                )
+            elif parts[0] in self.subprocess_fns:
+                self.flag(
+                    node,
+                    "RPR101",
+                    f"subprocess.{parts[0]} blocks the event loop; "
+                    "use asyncio.create_subprocess_* or an executor",
+                )
+            return
+        head, tail = parts[0], parts[-1]
+        if head in self.time_mods and tail == "sleep":
+            self.flag(
+                node,
+                "RPR101",
+                "time.sleep blocks the event loop; await "
+                "asyncio.sleep instead",
+            )
+        elif head in self.subprocess_mods and tail in (
+            _BLOCKING_SUBPROCESS | {"Popen"}
+        ):
+            self.flag(
+                node,
+                "RPR101",
+                f"subprocess.{tail} blocks the event loop; use "
+                "asyncio.create_subprocess_* or an executor",
+            )
+        elif head in self.os_mods and tail == "system":
+            self.flag(
+                node,
+                "RPR101",
+                "os.system blocks the event loop; use "
+                "asyncio.create_subprocess_shell",
+            )
+        elif tail in _BLOCKING_RECV:
+            self.flag(
+                node,
+                "RPR101",
+                f".{tail}() is a blocking pipe/socket read inside an "
+                "async function; move it to a reader thread "
+                "(call_soon_threadsafe) or an executor",
+            )
+
+    # -- RPR103: guarded-by discipline ---------------------------------------
+
+    def _collect_guards(self, cls: ast.ClassDef) -> dict:
+        """``{"attrs": {attr: lock}, "holds": {method: {locks}}}``."""
+        attrs: dict[str, str] = {}
+        holds: dict[str, set[str]] = {}
+        for stmt in cls.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            match = self._comment_near(stmt.lineno, _HOLDS_RE)
+            if match:
+                holds.setdefault(stmt.name, set()).add(match.group(1))
+            if stmt.name != "__init__":
+                continue
+            self_name = (
+                stmt.args.args[0].arg if stmt.args.args else "self"
+            )
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                    ):
+                        match = self._comment_near(
+                            sub.lineno, _GUARDED_RE
+                        )
+                        if match:
+                            attrs[target.attr] = match.group(1)
+        return {"attrs": attrs, "holds": holds}
+
+    def _check_guarded_writes(self, cls: ast.ClassDef, guards) -> None:
+        for stmt in cls.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if stmt.name == "__init__":
+                continue
+            self_name = (
+                stmt.args.args[0].arg if stmt.args.args else "self"
+            )
+            held = set(guards["holds"].get(stmt.name, ()))
+            self._walk_method(
+                stmt.body, self_name, guards["attrs"], held, stmt.name
+            )
+
+    def _walk_method(
+        self, stmts, self_name, attrs, held, method
+    ) -> None:
+        for stmt in stmts:
+            newly_held: set[str] = set()
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    lock = self._lock_name(
+                        item.context_expr, self_name
+                    )
+                    if lock is not None and lock not in held:
+                        newly_held.add(lock)
+            self._check_write_stmt(
+                stmt, self_name, attrs, held, method
+            )
+            blocks = []
+            for name in ("body", "orelse", "finalbody"):
+                blocks.extend(getattr(stmt, name, []) or [])
+            for handler in getattr(stmt, "handlers", []) or []:
+                blocks.extend(handler.body)
+            if blocks:
+                self._walk_method(
+                    blocks, self_name, attrs, held | newly_held, method
+                )
+
+    @staticmethod
+    def _lock_name(expr: ast.expr, self_name: str) -> str | None:
+        if isinstance(expr, ast.Attribute) and isinstance(
+            expr.value, ast.Name
+        ):
+            if expr.value.id == self_name:
+                return expr.attr
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    def _guarded_attr(self, expr, self_name, attrs) -> str | None:
+        """The guarded attribute a write target touches, if any."""
+        node = expr
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+            and node.attr in attrs
+        ):
+            return node.attr
+        return None
+
+    def _check_write_stmt(
+        self, stmt, self_name, attrs, held, method
+    ) -> None:
+        written: list[tuple[ast.AST, str]] = []
+        if isinstance(stmt, ast.Assign):
+            targets = []
+            for target in stmt.targets:
+                if isinstance(target, ast.Tuple):
+                    targets.extend(target.elts)
+                else:
+                    targets.append(target)
+            for target in targets:
+                attr = self._guarded_attr(target, self_name, attrs)
+                if attr:
+                    written.append((stmt, attr))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            attr = self._guarded_attr(stmt.target, self_name, attrs)
+            if attr:
+                written.append((stmt, attr))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attr = self._guarded_attr(target, self_name, attrs)
+                if attr:
+                    written.append((stmt, attr))
+        # mutating method calls anywhere in the statement's expressions
+        for call in self._calls_in(stmt):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+            ):
+                attr = self._guarded_attr(
+                    func.value, self_name, attrs
+                )
+                if attr:
+                    written.append((call, attr))
+        for node, attr in written:
+            lock = attrs[attr]
+            if lock not in held:
+                self.flag(
+                    node,
+                    "RPR103",
+                    f"{method} writes self.{attr} (guarded-by: {lock}) "
+                    f"outside a `with self.{lock}:` block; take the "
+                    "lock, or annotate the method `# holds-lock: "
+                    f"{lock}` if every caller already holds it",
+                )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    text: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintResult:
+    """Lint one module's source; ``path`` scopes the per-module rules."""
+    result = LintResult(files_scanned=1)
+    normalised = str(path).replace(os.sep, "/")
+    comments = _comment_lines(text)
+    suppressions, malformed = _parse_suppressions(normalised, comments)
+    result.suppressions.extend(suppressions.values())
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                normalised,
+                exc.lineno or 0,
+                exc.offset or 0,
+                "RPR901",
+                f"could not parse: {exc.msg}",
+            )
+        )
+        result.findings.extend(malformed)
+        result.sort()
+        return result
+    linter = _FileLinter(normalised, config, comments)
+    linter.visit(tree)
+    lines = text.splitlines()
+
+    def suppression_for(lineno: int) -> Suppression | None:
+        """Same-line suppression, or one on a comment-only line in the
+        comment block directly above (for findings on long lines)."""
+        if lineno in suppressions:
+            return suppressions[lineno]
+        above = lineno - 1
+        while 1 <= above <= len(lines) and lines[
+            above - 1
+        ].lstrip().startswith("#"):
+            if above in suppressions:
+                return suppressions[above]
+            above -= 1
+        return None
+
+    for finding in linter.findings:
+        suppression = suppression_for(finding.line)
+        if (
+            suppression is not None
+            and finding.code in suppression.codes
+            and finding.code not in UNSUPPRESSABLE
+        ):
+            result.suppressed.append((suppression, finding))
+        else:
+            result.findings.append(finding)
+    result.findings.extend(malformed)
+    result.sort()
+    return result
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in path.rglob("*.py") if p.is_file()
+            )
+        elif path.suffix == ".py" and path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"{path} is neither a .py file nor a directory"
+            )
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths, config: LintConfig = DEFAULT_CONFIG
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``; aggregated result."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        text = path.read_text(encoding="utf-8")
+        result.extend(lint_source(text, str(path), config))
+    result.sort()
+    return result

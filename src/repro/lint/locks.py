@@ -1,0 +1,356 @@
+"""Runtime lock-order and lock-hazard checker.
+
+:func:`checked_locks` monkey-patches ``threading.Lock``/``RLock`` so
+every lock *allocated from repro code* while the patch is active comes
+back wrapped in :class:`CheckedLock`. The wrapper records, per thread,
+which locks are held at each acquire, building a global lock-acquisition
+graph keyed by allocation site. After the run:
+
+- a cycle in that graph (A taken while holding B somewhere, B taken
+  while holding A elsewhere) is a potential deadlock — the classic
+  order inversion. :meth:`LockMonitor.cycles` finds them via SCCs.
+- hazards are recorded for locks held on an asyncio event-loop thread
+  (a sync lock can stall every coroutine) and for locks held by *other*
+  threads when the process forks (the child inherits them locked).
+
+The graph edge is recorded *before* blocking on the real acquire, so a
+genuine deadlock during tests still leaves the inversion visible.
+
+The pytest ``--lock-check`` option (see ``tests/conftest.py``) wraps
+the whole session in ``checked_locks()`` and fails it on any cycle;
+hazards are reported as warnings because the serving path deliberately
+takes short metrics locks on loop threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: real factories captured at import, before anything patches them
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: monitors currently activated by ``checked_locks`` (the at-fork hook
+#: must see them without threading the context through os internals)
+_active_monitors: list["LockMonitor"] = []
+_fork_hook_installed = False
+
+
+def _install_fork_hook() -> None:
+    global _fork_hook_installed
+    if _fork_hook_installed or not hasattr(os, "register_at_fork"):
+        return
+    _fork_hook_installed = True
+
+    def before_fork() -> None:
+        forker = threading.get_ident()
+        for monitor in list(_active_monitors):
+            monitor._record_fork_hazards(forker)
+
+    os.register_at_fork(before=before_fork)
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """Where a checked lock was allocated — the graph's node identity.
+
+    Keying the graph on allocation site (not lock object id) lets runs
+    that build many short-lived instances of the same class accumulate
+    evidence on one node, which is what makes inversions visible.
+    """
+
+    filename: str
+    lineno: int
+    kind: str  # "Lock" | "RLock"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.lineno} ({self.kind})"
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One held-lock hazard observation (deduplicated by kind+site)."""
+
+    kind: str  # "held-in-async" | "held-across-fork"
+    site: LockSite
+    detail: str
+
+
+# eq=False: monitors are registered in a module-level list and must
+# compare by identity — two empty monitors are not the same monitor
+@dataclass(eq=False)
+class LockMonitor:
+    """Accumulates the lock-acquisition graph and hazards for one run."""
+
+    #: (held_site, acquired_site) -> observation count
+    edges: dict[tuple[LockSite, LockSite], int] = field(
+        default_factory=dict
+    )
+    hazards: list[Hazard] = field(default_factory=list)
+    acquires: int = 0
+
+    def __post_init__(self) -> None:
+        # real lock on purpose: the monitor must never trip itself
+        self._mu = _REAL_LOCK()
+        #: thread id -> stack of (site, lock_id) currently held. A
+        #: plain dict (not threading.local): the fork hook runs on the
+        #: forking thread but must see every thread's holdings.
+        self._held: dict[int, list[tuple[LockSite, int]]] = {}
+        self._hazard_keys: set[tuple[str, LockSite]] = set()
+
+    # -- recording (called from CheckedLock) --------------------------------
+
+    def note_acquiring(self, site: LockSite, lock_id: int) -> None:
+        """Record graph edges for an acquire about to happen."""
+        tid = threading.get_ident()
+        with self._mu:
+            self.acquires += 1
+            held = self._held.get(tid, [])
+            for held_site, held_id in held:
+                if held_id == lock_id or held_site == site:
+                    continue  # reentrant / same-site: not an ordering
+                edge = (held_site, site)
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            self._add_hazard(
+                "held-in-async",
+                site,
+                "sync lock acquired on an asyncio event-loop thread; "
+                "a contended acquire blocks every coroutine on the "
+                "loop",
+            )
+
+    def note_acquired(self, site: LockSite, lock_id: int) -> None:
+        tid = threading.get_ident()
+        with self._mu:
+            self._held.setdefault(tid, []).append((site, lock_id))
+
+    def note_released(self, site: LockSite, lock_id: int) -> None:
+        tid = threading.get_ident()
+        with self._mu:
+            held = self._held.get(tid, [])
+            for index in range(len(held) - 1, -1, -1):
+                if held[index] == (site, lock_id):
+                    del held[index]
+                    break
+
+    def _add_hazard(self, kind: str, site: LockSite, detail: str):
+        with self._mu:
+            key = (kind, site)
+            if key in self._hazard_keys:
+                return
+            self._hazard_keys.add(key)
+            self.hazards.append(Hazard(kind, site, detail))
+
+    def _record_fork_hazards(self, forker_tid: int) -> None:
+        """Called by the at-fork hook on the forking thread."""
+        with self._mu:
+            snapshot = [
+                (tid, list(held))
+                for tid, held in self._held.items()
+            ]
+        for tid, held in snapshot:
+            if tid == forker_tid:
+                continue
+            for site, _lock_id in held:
+                self._add_hazard(
+                    "held-across-fork",
+                    site,
+                    f"lock held by thread {tid} while another thread "
+                    "forked; the child inherits it permanently locked",
+                )
+
+    # -- analysis ------------------------------------------------------------
+
+    def cycles(self) -> list[list[LockSite]]:
+        """Order-inversion cycles: non-trivial SCCs of the edge graph.
+
+        Returned as site lists, deterministically ordered. Any entry is
+        a potential deadlock — two code paths take the same pair of
+        locks in opposite orders.
+        """
+        graph: dict[LockSite, list[LockSite]] = {}
+        for a, b in self.edges:
+            graph.setdefault(a, []).append(b)
+            graph.setdefault(b, [])
+        order = sorted(graph, key=str)
+        for node in order:
+            graph[node].sort(key=str)
+
+        # iterative Tarjan (recursion depth is unbounded on long chains)
+        index: dict[LockSite, int] = {}
+        low: dict[LockSite, int] = {}
+        on_stack: set[LockSite] = set()
+        stack: list[LockSite] = []
+        sccs: list[list[LockSite]] = []
+        counter = 0
+        for root in order:
+            if root in index:
+                continue
+            work = [(root, iter(graph[root]))]
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = low[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(graph[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc: list[LockSite] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc, key=str))
+        # a single node with a self-edge would also be a cycle, but
+        # same-site edges are filtered at record time, so multi-node
+        # SCCs are the complete answer
+        return sorted(sccs, key=lambda scc: str(scc[0]))
+
+    def report(self) -> str:
+        lines = [
+            f"lock monitor: {self.acquires} acquires, "
+            f"{len(self.edges)} distinct edges"
+        ]
+        cycles = self.cycles()
+        if cycles:
+            lines.append(f"{len(cycles)} ORDER-INVERSION CYCLE(S):")
+            for scc in cycles:
+                lines.append(
+                    "  cycle: " + " <-> ".join(str(s) for s in scc)
+                )
+        else:
+            lines.append("no order-inversion cycles")
+        for hazard in self.hazards:
+            lines.append(
+                f"  hazard [{hazard.kind}] {hazard.site}: "
+                f"{hazard.detail}"
+            )
+        return "\n".join(lines)
+
+
+class CheckedLock:
+    """A ``threading.Lock``/``RLock`` that reports to a monitor.
+
+    Context-manager and ``acquire``/``release`` compatible; everything
+    else delegates to the wrapped lock.
+    """
+
+    def __init__(
+        self,
+        monitor: LockMonitor,
+        site: LockSite,
+        inner=None,
+    ):
+        self._monitor = monitor
+        self._site = site
+        factory = _REAL_RLOCK if site.kind == "RLock" else _REAL_LOCK
+        self._inner = inner if inner is not None else factory()
+
+    @property
+    def site(self) -> LockSite:
+        return self._site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        self._monitor.note_acquiring(self._site, id(self))
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.note_acquired(self._site, id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.note_released(self._site, id(self))
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"<CheckedLock {self._site}>"
+
+
+def _allocation_site(kind: str, skip: int = 3) -> LockSite:
+    """Allocation site of the factory call, skipping checker frames.
+
+    ``extract_stack()`` ends ``[..., caller, factory, here]`` — the
+    default ``skip=3`` lands on the caller of the patched factory.
+    """
+    stack = traceback.extract_stack()
+    frame = stack[-skip] if len(stack) >= skip else stack[0]
+    return LockSite(frame.filename, frame.lineno or 0, kind)
+
+
+@contextmanager
+def checked_locks(
+    monitor: LockMonitor | None = None,
+    track: str = os.sep + "repro" + os.sep,
+):
+    """Patch ``threading.Lock``/``RLock`` to return checked locks.
+
+    Only locks allocated from files whose path contains ``track`` are
+    wrapped (default: anything under a ``repro`` package directory);
+    stdlib and third-party locks stay untouched, so the overhead and
+    the graph stay scoped to our own code. Yields the active
+    :class:`LockMonitor`.
+    """
+    active = monitor if monitor is not None else LockMonitor()
+    _install_fork_hook()
+
+    def make_factory(kind: str):
+        def factory(*args, **kwargs):
+            site = _allocation_site(kind)
+            if track in site.filename or track == "*":
+                return CheckedLock(active, site)
+            real = _REAL_RLOCK if kind == "RLock" else _REAL_LOCK
+            return real(*args, **kwargs)
+
+        return factory
+
+    _active_monitors.append(active)
+    saved = (threading.Lock, threading.RLock)
+    threading.Lock = make_factory("Lock")
+    threading.RLock = make_factory("RLock")
+    try:
+        yield active
+    finally:
+        threading.Lock, threading.RLock = saved
+        _active_monitors.remove(active)

@@ -1,0 +1,96 @@
+"""Text and JSON rendering for lint results.
+
+Mirrors the benchmark report-sink pattern: the text report is what the
+terminal (and CI log) shows, the JSON document carries the same findings
+plus provenance so the ``lint-invariants`` CI job can upload it as an
+artifact next to the benchmark reports and future jobs can diff it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import RULES
+from repro.utils.fmt import format_table
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable findings report."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed findings (each carries a reason):")
+        for suppression, finding in result.suppressed:
+            lines.append(
+                f"  {finding.render()}  -- {suppression.reason}"
+            )
+    if lines:
+        lines.append("")
+    count = len(result.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"{count} {noun}, {len(result.suppressed)} suppressed, "
+        f"{result.files_scanned} files scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_rules() -> str:
+    """The rule catalogue as a table (``repro lint --list-rules``)."""
+    rows = [
+        [rule.code, rule.name, rule.summary]
+        for rule in RULES.values()
+    ]
+    return format_table(
+        ["code", "name", "flags"], rows, title="repro lint rules"
+    )
+
+
+def to_json_document(result: LintResult) -> dict:
+    """Machine-readable report in the benchmark-JSON provenance shape."""
+    return {
+        "report": "repro_lint",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": {
+            "files_scanned": result.files_scanned,
+            "finding_count": len(result.findings),
+            "suppressed_count": len(result.suppressed),
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "code": f.code,
+                    "rule": RULES[f.code].name,
+                    "message": f.message,
+                }
+                for f in result.findings
+            ],
+            "suppressions": [
+                {
+                    "path": s.path,
+                    "line": s.line,
+                    "codes": list(s.codes),
+                    "reason": s.reason,
+                }
+                for s in result.suppressions
+            ],
+        },
+    }
+
+
+def write_json(result: LintResult, path: str | Path) -> Path:
+    """Write the JSON report, creating parent directories as needed."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(to_json_document(result), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return target

@@ -1,0 +1,227 @@
+"""Rule catalogue for the determinism & concurrency linter.
+
+Every rule has a stable ``RPRnnn`` code (``repro lint`` findings, the
+suppression syntax and ``docs/linting.md`` all speak in these codes),
+a one-line summary and the invariant it protects. The 0xx block guards
+*determinism* — the property the whole reproduction rests on (bit-exact
+fig 3 trajectories, disturbed-run replay equality) — and the 1xx block
+guards *concurrency discipline* on the thread/asyncio/fork surface that
+grew with the serving and fault-tolerance subsystems.
+
+The catalogue is data, not behaviour: the matching logic lives in
+:mod:`repro.lint.engine`, and :class:`LintConfig` scopes the rules that
+only make sense for some modules (wall-clock reads are fine in the
+serving hot path, fatal inside the simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable invariant."""
+
+    #: stable identifier, e.g. ``"RPR001"``
+    code: str
+    #: short kebab-case name (shown next to the code in reports)
+    name: str
+    #: one-line description of what the rule flags
+    summary: str
+    #: why violating it endangers reproducibility / liveness
+    rationale: str
+
+
+_RULES = (
+    Rule(
+        code="RPR001",
+        name="unseeded-global-random",
+        summary=(
+            "module-level random.* call, unseeded random.Random() or "
+            "random.SystemRandom use"
+        ),
+        rationale=(
+            "all randomness must flow through the named, seeded streams "
+            "of utils/rng.py (RngFactory); the global random module has "
+            "process-wide hidden state, so one stray draw shifts every "
+            "stream consumed after it and breaks bit-exact replay"
+        ),
+    ),
+    Rule(
+        code="RPR002",
+        name="numpy-global-rng",
+        summary=(
+            "np.random global-state call, or default_rng()/RandomState() "
+            "constructed outside utils/rng.py"
+        ),
+        rationale=(
+            "NumPy's legacy global RNG is shared mutable state, and ad-hoc "
+            "Generator construction bypasses the BLAKE2b seed derivation "
+            "that keeps vector streams independent of (but reproducible "
+            "from) the root seed; spawn_np_generator is the only door"
+        ),
+    ),
+    Rule(
+        code="RPR003",
+        name="wall-clock-in-simulation",
+        summary=(
+            "wall-clock read (time.time/perf_counter/monotonic/"
+            "datetime.now) in a simulated/deterministic module"
+        ),
+        rationale=(
+            "simulated time is event-driven and must replay identically; "
+            "a wall-clock read in the simulator, the NEAT core or an "
+            "environment makes modelled timing (and anything keyed on "
+            "it) depend on host speed and load"
+        ),
+    ),
+    Rule(
+        code="RPR004",
+        name="unordered-iteration",
+        summary=(
+            "iteration over a set/frozenset whose order can leak into "
+            "results (loop, comprehension, list()/tuple() conversion)"
+        ),
+        rationale=(
+            "set iteration order depends on hash values and insertion "
+            "history; when it feeds RNG consumption, float accumulation "
+            "or serialized output the run is only reproducible by "
+            "accident — wrap the iterable in sorted()"
+        ),
+    ),
+    Rule(
+        code="RPR005",
+        name="float-equality",
+        summary=(
+            "== / != comparison against a float literal in a core "
+            "numeric module"
+        ),
+        rationale=(
+            "exact float comparison is representation-dependent; in the "
+            "numeric core it silently diverges across backends and "
+            "accumulation orders — compare against a tolerance, or "
+            "suppress with the reason the exact bits are intended"
+        ),
+    ),
+    Rule(
+        code="RPR101",
+        name="blocking-call-in-async",
+        summary=(
+            "blocking call (time.sleep, subprocess.run/call/check_*, "
+            "os.system, sync pipe .recv) inside an async def"
+        ),
+        rationale=(
+            "a blocking call on the event loop stalls every coroutine "
+            "sharing it — the micro-batcher misses its flush deadline "
+            "and served latency explodes; use the asyncio equivalent or "
+            "push the call onto an executor/reader thread"
+        ),
+    ),
+    Rule(
+        code="RPR102",
+        name="thread-before-fork",
+        summary=(
+            "threading.Thread started before a multiprocessing Process "
+            "is created (or os.fork called) in the same function"
+        ),
+        rationale=(
+            "fork clones only the calling thread: locks and queues held "
+            "by other threads are copied in a locked/inconsistent state "
+            "and the child can deadlock on first touch — spawn worker "
+            "processes first, start service threads after"
+        ),
+    ),
+    Rule(
+        code="RPR103",
+        name="guarded-write-outside-lock",
+        summary=(
+            "attribute documented `# guarded-by: <lock>` written outside "
+            "a `with <lock>:` block (and not in __init__ or a "
+            "`# holds-lock:` method)"
+        ),
+        rationale=(
+            "the guarded-by convention turns the lock discipline of "
+            "registry/fleet/transport state into a checkable contract; "
+            "an unguarded write is a data race that surfaces as a "
+            "torn stats snapshot or a stale champion serve"
+        ),
+    ),
+    Rule(
+        code="RPR900",
+        name="malformed-suppression",
+        summary=(
+            "`# repro-lint: disable=...` without a `-- reason`, or "
+            "naming an unknown rule code"
+        ),
+        rationale=(
+            "every suppression must say *why* the flagged pattern is "
+            "deliberate — an unexplained suppression is indistinguishable "
+            "from a silenced bug (this rule cannot be suppressed)"
+        ),
+    ),
+    Rule(
+        code="RPR901",
+        name="unparsable-file",
+        summary="file could not be parsed as Python",
+        rationale=(
+            "an unparsable file is invisible to every other rule; the "
+            "linter fails loudly instead of silently skipping it"
+        ),
+    ),
+)
+
+#: code -> :class:`Rule`, the public catalogue
+RULES: dict[str, Rule] = {rule.code: rule for rule in _RULES}
+
+#: codes that may never be suppressed (suppressing the suppression
+#: checker would defeat the mandatory-reason contract)
+UNSUPPRESSABLE: frozenset[str] = frozenset({"RPR900", "RPR901"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Module scoping for the rules that are not repo-wide.
+
+    Patterns are matched as ``/``-normalised substrings of the file
+    path, so ``"repro/neat/"`` matches ``src/repro/neat/genome.py`` as
+    well as an installed ``site-packages/repro/neat/genome.py``.
+    """
+
+    #: modules where any wall-clock read is a finding (RPR003): the
+    #: event simulator, the NEAT core, the environments and the RNG
+    #: plumbing itself are pure functions of the seed
+    wall_clock_banned: tuple[str, ...] = (
+        "repro/cluster/simulator.py",
+        "repro/neat/",
+        "repro/envs/",
+        "repro/utils/rng.py",
+    )
+    #: core numeric modules where float == is a finding (RPR005)
+    numeric_modules: tuple[str, ...] = (
+        "repro/neat/",
+        "repro/envs/",
+        "repro/core/",
+        "repro/cluster/analytic.py",
+        "repro/cluster/simulator.py",
+        "repro/hw/",
+    )
+    #: the one module allowed to construct numpy Generators (RPR002)
+    rng_modules: tuple[str, ...] = ("repro/utils/rng.py",)
+    #: rule codes to run (None = every rule)
+    select: tuple[str, ...] | None = None
+
+    def enabled(self, code: str) -> bool:
+        """Whether findings for ``code`` should be reported."""
+        if code in UNSUPPRESSABLE:
+            return True
+        return self.select is None or code in self.select
+
+
+def matches_module(path: str, patterns: tuple[str, ...]) -> bool:
+    """Whether ``path`` falls under any of the module ``patterns``."""
+    normalised = path.replace("\\", "/")
+    return any(pattern in normalised for pattern in patterns)
+
+
+DEFAULT_CONFIG = LintConfig()

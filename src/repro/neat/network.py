@@ -96,7 +96,7 @@ def _evaluation_order(
     # group incoming links per required node; sorted iteration keeps
     # float summation order canonical across dict insertion histories
     incoming: dict[int, list[tuple[int, float]]] = {
-        key: [] for key in required
+        key: [] for key in sorted(required)
     }
     for conn_key in sorted(genome.connections):
         gene = genome.connections[conn_key]
@@ -406,11 +406,12 @@ class PlanCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self._lock = _threading.Lock()
+        #: signature -> skeleton, LRU order — guarded-by: _lock
         self._skeletons: "_OrderedDict[tuple, _PlanSkeleton]" = (
             _OrderedDict()
         )
-        self._hits = 0
-        self._misses = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
 
     def lookup(self, signature: tuple) -> _PlanSkeleton | None:
         """The skeleton for ``signature``, marking it most-recently-used."""

@@ -108,13 +108,15 @@ class MicroBatcher:
         # scrapers may snapshot from any other thread; one lock per
         # batch keeps the snapshot coherent
         self._metrics_lock = threading.Lock()
-        #: batch-size -> how many batches flushed at that size
+        #: batch-size -> flush count — guarded-by: _metrics_lock
         self.batch_size_histogram: dict[int, int] = {}
         #: answered-request latencies (bounded window for quantiles)
-        self.latencies_s: deque[float] = deque(maxlen=65536)
-        self.accepted = 0
-        self.served = 0
-        self.shed = 0
+        self.latencies_s: deque[float] = deque(  # guarded-by: _metrics_lock
+            maxlen=65536
+        )
+        self.accepted = 0  # guarded-by: _metrics_lock
+        self.served = 0  # guarded-by: _metrics_lock
+        self.shed = 0  # guarded-by: _metrics_lock
 
     async def start(self) -> None:
         """Spawn the collector on the running event loop."""

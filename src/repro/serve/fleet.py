@@ -188,10 +188,10 @@ class _ReplicaChampionStore:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._current: _ReplicaRecord | None = None
-        self._seq = -1
-        self._swaps = 0
-        self._closed = False
+        self._current: _ReplicaRecord | None = None  # guarded-by: _lock
+        self._seq = -1  # guarded-by: _lock
+        self._swaps = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def install(self, seq: int, version: int, plan_wire: bytes) -> bool:
         """Apply deployment ``seq`` (decoding the wire plan); returns
@@ -327,6 +327,7 @@ async def _replica_serve(
             # the gateway, then report final stats.
             if chunk_tasks:
                 await asyncio.gather(
+                    # repro-lint: disable=RPR004 -- gather awaits every task
                     *list(chunk_tasks), return_exceptions=True
                 )
             await gateway.close()

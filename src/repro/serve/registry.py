@@ -123,18 +123,18 @@ class ChampionRegistry:
         #: (thread-safe; publishes may come from the evolution thread)
         self.plan_cache = PlanCache(maxsize=64)
         self._lock = threading.Lock()
-        self._current: ChampionRecord | None = None
+        self._current: ChampionRecord | None = None  # guarded-by: _lock
         #: every record ever published, by version — parity checkers
         #: resolve the champion a response was served by from this map
-        self._records: dict[int, ChampionRecord] = {}
+        self._records: dict[int, ChampionRecord] = {}  # guarded-by: _lock
         #: previously deployed records, oldest first (bounded)
-        self._rollback: list[ChampionRecord] = []
-        self._next_version = 1
-        self._rollbacks = 0
-        self._closed = False
+        self._rollback: list[ChampionRecord] = []  # guarded-by: _lock
+        self._next_version = 1  # guarded-by: _lock
+        self._rollbacks = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         #: global deployment sequence: +1 on every publish and rollback
-        self._seq = 0
-        self._subscribers: list[Subscription] = []
+        self._seq = 0  # guarded-by: _lock
+        self._subscribers: list[Subscription] = []  # guarded-by: _lock
 
     def publish(
         self,
@@ -220,6 +220,7 @@ class ChampionRegistry:
 
     # -- deployment pub/sub -------------------------------------------------
 
+    # holds-lock: _lock
     def _enqueue_deployment(self, record: ChampionRecord):
         """Bump the deployment seq and queue the change to every
         subscriber. Must run under ``self._lock`` — that is what fixes

@@ -1,14 +1,56 @@
-"""Shared fixtures: small, fast configurations used across the suite."""
+"""Shared fixtures: small, fast configurations used across the suite.
+
+``--lock-check`` additionally wraps the whole session in the runtime
+lock checker of :mod:`repro.lint.locks`: every ``threading`` lock
+allocated from repro code is instrumented, and the session fails if the
+accumulated acquisition graph contains an order-inversion cycle. Hazard
+observations (sync lock on a loop thread, lock held across fork) are
+printed as warnings — the serving path takes short metrics locks on the
+loop deliberately. CI runs the ``lock_check``-marked subset with this
+flag on.
+"""
 
 from __future__ import annotations
 
 import random
+import warnings
 
 import pytest
 
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
 from repro.neat.innovation import InnovationTracker
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lock-check",
+        action="store_true",
+        default=False,
+        help="instrument repro threading locks for the whole session "
+        "and fail on lock-order-inversion cycles (see docs/linting.md)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_check(request):
+    """Session-wide runtime lock checking, enabled by ``--lock-check``."""
+    if not request.config.getoption("--lock-check"):
+        yield None
+        return
+    from repro.lint.locks import checked_locks
+
+    with checked_locks() as monitor:
+        yield monitor
+    for hazard in monitor.hazards:
+        warnings.warn(
+            f"lock hazard [{hazard.kind}] {hazard.site}: {hazard.detail}",
+            stacklevel=1,
+        )
+    cycles = monitor.cycles()
+    assert not cycles, (
+        "lock-order inversion(s) detected:\n" + monitor.report()
+    )
 
 
 @pytest.fixture

@@ -8,6 +8,8 @@ from repro.core.protocols import ProtocolBase
 from repro.neat.config import NEATConfig
 from repro.neat.population import Population
 
+pytestmark = pytest.mark.lock_check
+
 
 @pytest.fixture(scope="module")
 def config():

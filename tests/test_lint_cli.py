@@ -1,0 +1,89 @@
+"""``repro lint`` CLI: the repo's own self-test plus flag plumbing."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+import repro
+from repro.cli import main
+
+pytestmark = pytest.mark.lock_check
+
+PACKAGE_DIR = str(pathlib.Path(repro.__file__).parent)
+
+
+def test_lint_self_clean(capsys):
+    """The shipped package lints clean — the acceptance gate CI enforces."""
+    assert main(["lint", PACKAGE_DIR]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_lint_reports_findings_and_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "1 finding" in out
+
+
+def test_lint_json_report(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import random\n"
+        "x = random.random()\n"
+        "y = random.random()  # repro-lint: disable=RPR001 -- fixture\n"
+    )
+    report = tmp_path / "report.json"
+    assert main(["lint", str(bad), "--json", str(report)]) == 1
+    document = json.loads(report.read_text())
+    assert document["report"] == "repro_lint"
+    assert document["results"]["finding_count"] == 1
+    assert document["results"]["findings"][0]["code"] == "RPR001"
+    suppressions = document["results"]["suppressions"]
+    assert suppressions == [
+        {
+            "path": str(bad).replace("\\", "/"),
+            "line": 3,
+            "codes": ["RPR001"],
+            "reason": "fixture",
+        }
+    ]
+
+
+def test_lint_select_scopes_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["lint", str(bad), "--select", "RPR004"]) == 0
+    assert main(["lint", str(bad), "--select", "RPR001"]) == 1
+
+
+def test_lint_select_rejects_unknown_codes(tmp_path, capsys):
+    assert main(["lint", str(tmp_path), "--select", "RPR999"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    assert main(["lint", "does/not/exist"]) == 2
+    assert "neither" in capsys.readouterr().err
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR005", "RPR101", "RPR103", "RPR900"):
+        assert code in out
+
+
+def test_lint_verbose_lists_suppressions(tmp_path, capsys):
+    bad = tmp_path / "ok.py"
+    bad.write_text(
+        "import random\n"
+        "x = random.random()  # repro-lint: disable=RPR001 -- fixture\n"
+    )
+    assert main(["lint", str(bad), "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed findings" in out and "fixture" in out

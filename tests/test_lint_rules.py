@@ -1,0 +1,591 @@
+"""Fixture-snippet suites for the static rules of ``repro lint``.
+
+Each rule gets true-positive snippets, the tricky near-miss patterns it
+must NOT flag (the false-positive cases that were tuned against the real
+tree), and the suppression grammar is exercised end to end. Snippets are
+linted under virtual paths so the per-module scoping (wall-clock bans,
+numeric modules) can be driven from the test.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    RULES,
+    UNSUPPRESSABLE,
+    lint_source,
+)
+
+pytestmark = pytest.mark.lock_check
+
+NEAT_PATH = "src/repro/neat/fake_module.py"
+SERVE_PATH = "src/repro/serve/fake_module.py"
+RNG_PATH = "src/repro/utils/rng.py"
+
+
+def codes(text: str, path: str = SERVE_PATH, **config_kwargs):
+    result = lint_source(
+        textwrap.dedent(text), path, LintConfig(**config_kwargs)
+    )
+    return [f.code for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# RPR001: unseeded global random
+# ---------------------------------------------------------------------------
+
+
+def test_rpr001_module_level_calls():
+    snippet = """
+    import random
+    x = random.random()
+    random.seed(7)
+    random.shuffle([1, 2])
+    """
+    assert codes(snippet) == ["RPR001", "RPR001", "RPR001"]
+
+
+def test_rpr001_from_import_and_aliases():
+    snippet = """
+    import random as rnd
+    from random import choice
+    a = rnd.randint(0, 3)
+    b = choice([1, 2])
+    """
+    assert codes(snippet) == ["RPR001", "RPR001"]
+
+
+def test_rpr001_unseeded_and_system_random():
+    snippet = """
+    import random
+    a = random.Random()
+    b = random.SystemRandom()
+    """
+    assert codes(snippet) == ["RPR001", "RPR001"]
+
+
+def test_rpr001_seeded_instances_are_clean():
+    snippet = """
+    import random
+    rng = random.Random(1234)
+    value = rng.random()
+    rng.shuffle([1, 2])
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr001_unrelated_module_named_random_is_clean():
+    # a local object bound to a different import must not match
+    snippet = """
+    import secrets as random_like
+    from mypkg import random  # not the stdlib module
+    value = random.random()
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR002: numpy global RNG / stray Generator construction
+# ---------------------------------------------------------------------------
+
+
+def test_rpr002_global_state_calls():
+    snippet = """
+    import numpy as np
+    np.random.seed(0)
+    x = np.random.rand(3)
+    y = np.random.normal(size=4)
+    """
+    assert codes(snippet) == ["RPR002", "RPR002", "RPR002"]
+
+
+def test_rpr002_default_rng_outside_rng_module():
+    snippet = """
+    import numpy as np
+    from numpy.random import default_rng
+    g1 = np.random.default_rng(5)
+    g2 = default_rng(5)
+    """
+    assert codes(snippet) == ["RPR002", "RPR002"]
+
+
+def test_rpr002_default_rng_allowed_in_rng_module():
+    snippet = """
+    import numpy as np
+    def spawn(seed):
+        return np.random.default_rng(seed)
+    """
+    assert codes(snippet, path=RNG_PATH) == []
+
+
+def test_rpr002_generator_method_draws_are_clean():
+    # draws from an instance are fine anywhere; only construction and
+    # global-state use are policed
+    snippet = """
+    def roll(gen):
+        return gen.normal(size=3)
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR003: wall clock in simulated modules
+# ---------------------------------------------------------------------------
+
+
+def test_rpr003_wall_clock_in_neat_module():
+    snippet = """
+    import time
+    from time import perf_counter
+    import datetime
+
+    def step():
+        a = time.time()
+        b = perf_counter()
+        c = time.monotonic()
+        d = datetime.datetime.now()
+        return a, b, c, d
+    """
+    assert codes(snippet, path=NEAT_PATH) == ["RPR003"] * 4
+
+
+def test_rpr003_wall_clock_fine_in_serving():
+    snippet = """
+    import time
+
+    def measure():
+        return time.perf_counter()
+    """
+    assert codes(snippet, path=SERVE_PATH) == []
+
+
+def test_rpr003_sleep_is_not_a_clock_read():
+    # time.sleep in sync code is a liveness question, not a determinism
+    # one — RPR003 must not fire on it even in banned modules
+    snippet = """
+    import time
+
+    def wait():
+        time.sleep(0.01)
+    """
+    assert codes(snippet, path=NEAT_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR004: unordered set iteration
+# ---------------------------------------------------------------------------
+
+
+def test_rpr004_direct_and_named_sets():
+    snippet = """
+    def run(items):
+        seen = set(items)
+        for value in seen:
+            print(value)
+        return [x for x in {1, 2, 3}]
+    """
+    assert codes(snippet) == ["RPR004", "RPR004"]
+
+
+def test_rpr004_conversion_sinks():
+    snippet = """
+    def run():
+        pending = {1, 2}
+        ordered = list(pending)
+        pairs = tuple({3, 4})
+        return ordered, pairs
+    """
+    assert codes(snippet) == ["RPR004", "RPR004"]
+
+
+def test_rpr004_annotated_and_operator_sets():
+    snippet = """
+    def run(a, b):
+        union: set[int] = a | b
+        combined = {1} | {2}
+        for x in combined:
+            pass
+        for y in union:
+            pass
+    """
+    assert codes(snippet) == ["RPR004", "RPR004"]
+
+
+def test_rpr004_same_module_set_returning_function():
+    snippet = """
+    def required_for_output(keys) -> set[int]:
+        return set(keys)
+
+    def build(keys):
+        required = required_for_output(keys)
+        return {key: [] for key in required}
+    """
+    assert codes(snippet) == ["RPR004"]
+
+
+def test_rpr004_sorted_and_membership_are_clean():
+    snippet = """
+    def run(items):
+        seen = set(items)
+        for value in sorted(seen):
+            print(value)
+        total = sum(1 for _ in sorted({1, 2}))
+        if 3 in seen:
+            total += len(seen)
+        return min(seen), max(seen), total
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr004_rebound_name_is_forgotten():
+    # a name reassigned to a list after holding a set must not flag
+    snippet = """
+    def run(items):
+        values = set(items)
+        values = sorted(values)
+        for v in values:
+            print(v)
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr004_dict_iteration_is_clean():
+    # dicts preserve insertion order; only set-typed iterables flag
+    snippet = """
+    def run(mapping):
+        for key in mapping:
+            print(key)
+        return list(mapping.values())
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR005: float equality in numeric modules
+# ---------------------------------------------------------------------------
+
+
+def test_rpr005_float_literal_comparison():
+    snippet = """
+    def check(x):
+        if x == 0.5:
+            return True
+        return x != -1.5
+    """
+    assert codes(snippet, path=NEAT_PATH) == ["RPR005", "RPR005"]
+
+
+def test_rpr005_scoped_to_numeric_modules():
+    snippet = """
+    def check(x):
+        return x == 0.5
+    """
+    assert codes(snippet, path=SERVE_PATH) == []
+
+
+def test_rpr005_int_and_ordering_comparisons_clean():
+    snippet = """
+    def check(x):
+        return x == 1 or x >= 0.5 or x is None
+    """
+    assert codes(snippet, path=NEAT_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR101: blocking calls in async functions
+# ---------------------------------------------------------------------------
+
+
+def test_rpr101_blocking_calls():
+    snippet = """
+    import time
+    import subprocess
+
+    async def handler(conn):
+        time.sleep(0.1)
+        subprocess.run(["ls"])
+        subprocess.Popen(["ls"])
+        msg = conn.recv()
+        return msg
+    """
+    assert codes(snippet) == ["RPR101"] * 4
+
+
+def test_rpr101_sync_def_nested_in_async_is_clean():
+    # the fleet's reader-thread pattern: a sync closure defined inside
+    # an async function runs on its own thread and may block
+    snippet = """
+    import threading
+
+    async def serve(conn):
+        def read_pipe():
+            while True:
+                msg = conn.recv()
+                if msg is None:
+                    return
+        reader = threading.Thread(target=read_pipe)
+        reader.start()
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr101_awaited_equivalents_clean():
+    snippet = """
+    import asyncio
+
+    async def handler():
+        await asyncio.sleep(0.1)
+        proc = await asyncio.create_subprocess_exec("ls")
+        return proc
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr101_str_join_is_not_blocking():
+    snippet = """
+    async def render(parts):
+        return ", ".join(parts)
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR102: thread started before fork
+# ---------------------------------------------------------------------------
+
+
+def test_rpr102_thread_then_process():
+    snippet = """
+    import threading
+    import multiprocessing as mp
+
+    def start():
+        t = threading.Thread(target=print)
+        t.start()
+        p = mp.Process(target=print)
+        p.start()
+    """
+    assert codes(snippet) == ["RPR102"]
+
+
+def test_rpr102_process_first_is_clean():
+    snippet = """
+    import threading
+    import multiprocessing as mp
+
+    def start():
+        p = mp.Process(target=print)
+        p.start()
+        t = threading.Thread(target=print)
+        t.start()
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr102_thread_start_alone_is_clean():
+    snippet = """
+    import threading
+
+    def start():
+        t = threading.Thread(target=print)
+        t.start()
+    """
+    assert codes(snippet) == []
+
+
+def test_rpr102_scoped_per_function():
+    # a thread started in one function does not taint another
+    snippet = """
+    import threading
+    import multiprocessing as mp
+
+    def start_reader():
+        threading.Thread(target=print).start()
+
+    def start_workers():
+        mp.Process(target=print).start()
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR103: guarded-by discipline
+# ---------------------------------------------------------------------------
+
+GUARDED_CLASS = """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        #: count of installs — guarded-by: _lock
+        self._count = 0
+
+    def locked_write(self):
+        with self._lock:
+            self._items.append(1)
+            self._count += 1
+
+    def unlocked_write(self):
+        self._items.append(1)
+
+    def unlocked_assign(self):
+        self._count = 5
+
+    # holds-lock: _lock
+    def caller_holds(self):
+        self._count += 1
+
+    def read_only(self):
+        return len(self._items)
+"""
+
+
+def test_rpr103_flags_only_unguarded_writes():
+    result = lint_source(GUARDED_CLASS, SERVE_PATH)
+    flagged = [(f.code, f.line) for f in result.findings]
+    assert [code for code, _ in flagged] == ["RPR103", "RPR103"]
+    text = GUARDED_CLASS.splitlines()
+    assert "unlocked_write" in text[flagged[0][1] - 2]
+    assert "unlocked_assign" in text[flagged[1][1] - 2]
+
+
+def test_rpr103_subscript_and_del_writes():
+    snippet = """
+    import threading
+
+    class Table:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._slots = {}  # guarded-by: _lock
+
+        def bad_set(self, k, v):
+            self._slots[k] = v
+
+        def bad_del(self, k):
+            del self._slots[k]
+
+        def good(self, k, v):
+            with self._lock:
+                self._slots[k] = v
+    """
+    assert codes(snippet) == ["RPR103", "RPR103"]
+
+
+def test_rpr103_unannotated_class_is_clean():
+    snippet = """
+    import threading
+
+    class Plain:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+
+        def write(self):
+            self._items.append(1)
+    """
+    assert codes(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_with_reason_silences():
+    snippet = """
+    import random
+    x = random.random()  # repro-lint: disable=RPR001 -- demo fixture
+    """
+    result = lint_source(textwrap.dedent(snippet), SERVE_PATH)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+    suppression, finding = result.suppressed[0]
+    assert finding.code == "RPR001"
+    assert suppression.reason == "demo fixture"
+
+
+def test_suppression_multiple_codes():
+    snippet = """
+    import random
+    import time
+
+    async def demo():
+        time.sleep(random.random())  \
+# repro-lint: disable=RPR001,RPR101 -- jittered stall injection
+    """
+    result = lint_source(textwrap.dedent(snippet), SERVE_PATH)
+    assert result.findings == []
+    assert {f.code for _, f in result.suppressed} == {
+        "RPR001",
+        "RPR101",
+    }
+
+
+def test_suppression_on_comment_line_above():
+    snippet = """
+    import random
+    # repro-lint: disable=RPR001 -- seeded by the harness
+    x = random.random()
+    """
+    result = lint_source(textwrap.dedent(snippet), SERVE_PATH)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_wrong_code_does_not_silence():
+    snippet = """
+    import random
+    x = random.random()  # repro-lint: disable=RPR004 -- wrong code
+    """
+    assert codes(snippet) == ["RPR001"]
+
+
+def test_suppression_without_reason_is_rpr900():
+    snippet = """
+    import random
+    x = random.random()  # repro-lint: disable=RPR001
+    """
+    found = codes(snippet)
+    assert "RPR900" in found and "RPR001" in found
+
+
+def test_suppression_unknown_code_is_rpr900():
+    snippet = """
+    x = 1  # repro-lint: disable=RPR999 -- nonsense
+    """
+    assert codes(snippet) == ["RPR900"]
+
+
+def test_rpr900_cannot_be_suppressed():
+    snippet = """
+    x = 1  # repro-lint: disable=RPR900 -- silencing the checker
+    """
+    assert codes(snippet) == ["RPR900"]
+
+
+def test_unparsable_file_is_rpr901():
+    result = lint_source("def broken(:\n", SERVE_PATH)
+    assert [f.code for f in result.findings] == ["RPR901"]
+
+
+def test_select_scopes_rules_but_not_rpr900():
+    snippet = """
+    import random
+    x = random.random()
+    y = 2  # repro-lint: disable=RPR001
+    """
+    found = codes(snippet, select=("RPR004",))
+    assert found == ["RPR900"]
+
+
+def test_catalogue_is_complete():
+    assert set(UNSUPPRESSABLE) <= set(RULES)
+    for rule in RULES.values():
+        assert rule.code.startswith("RPR")
+        assert rule.summary and rule.rationale

@@ -21,6 +21,8 @@ from repro.serve import MicroBatcher, Overloaded, ServiceClosed
 
 from tests.conftest import make_evolved_genome
 
+pytestmark = pytest.mark.lock_check
+
 CONFIG = NEATConfig.for_env("CartPole-v0")
 CHAMPION = make_evolved_genome(CONFIG, seed=5, mutations=40, key=1)
 BATCHED = BatchedFeedForwardNetwork.create(CHAMPION, CONFIG)

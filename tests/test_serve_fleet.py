@@ -29,6 +29,8 @@ from repro.serve import (
 
 from tests.conftest import make_evolved_genome
 
+pytestmark = pytest.mark.lock_check
+
 CONFIG = NEATConfig.for_env("CartPole-v0", pop_size=8)
 CHAMPIONS = [
     make_evolved_genome(CONFIG, seed=seed, mutations=25, key=seed)

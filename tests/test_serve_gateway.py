@@ -15,6 +15,8 @@ from repro.serve import (
 
 from tests.conftest import make_evolved_genome
 
+pytestmark = pytest.mark.lock_check
+
 CONFIG = NEATConfig.for_env("CartPole-v0")
 
 

@@ -12,6 +12,8 @@ from repro.serve import ChampionRegistry, RegistryClosed
 
 from tests.conftest import make_evolved_genome
 
+pytestmark = pytest.mark.lock_check
+
 
 @pytest.fixture
 def config() -> NEATConfig:
