@@ -68,6 +68,68 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Trace/metrics export options shared by ``learn`` and ``serve``."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record evolve/serve tracing spans and write them as a "
+        "JSONL event log (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="FILE",
+        help="write the recorded spans as Chrome trace-event JSON — "
+        "open the file at https://ui.perfetto.dev (one track per "
+        "clan/replica)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the end-of-run metrics registry in Prometheus "
+        "text exposition format",
+    )
+
+
+def _activate_tracer(args):
+    """Install a driver tracer when any span export was requested."""
+    if not (args.trace_out or args.chrome_trace):
+        return None
+    from repro.obs import tracer as obs
+
+    tracer = obs.Tracer(track="driver")
+    obs.activate(tracer)
+    return tracer
+
+
+def _export_telemetry(args, tracer, registry) -> None:
+    """Write whichever of the three telemetry sinks were requested."""
+    from repro.obs import export
+
+    if tracer is not None:
+        from repro.obs import tracer as obs
+
+        obs.deactivate()
+        events = tracer.events()
+        if args.trace_out:
+            target = export.write_jsonl(events, args.trace_out)
+            print(f"[trace event log saved to {target}]")
+        if args.chrome_trace:
+            target = export.write_chrome_trace(
+                events, args.chrome_trace, dropped=tracer.dropped
+            )
+            print(
+                f"[chrome trace saved to {target}; open it at "
+                "https://ui.perfetto.dev]"
+            )
+    if args.metrics_out and registry is not None:
+        target = export.write_prometheus(registry, args.metrics_out)
+        print(f"[prometheus metrics saved to {target}]")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final population to this JSON file",
     )
+    _add_telemetry_arguments(learn)
 
     serve = sub.add_parser(
         "serve",
@@ -196,6 +259,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="clan generations between streamed recovery checkpoints "
         "(1 = every generation)",
     )
+    _add_telemetry_arguments(serve)
 
     inspect = sub.add_parser(
         "inspect", help="describe the champion of a checkpoint"
@@ -371,6 +435,7 @@ def _cmd_learn(args) -> int:
     code = _validate_fleet(args)
     if code is not None:
         return code
+    tracer = _activate_tracer(args)
     cluster = _build_cluster(args)
     driver = ClanDriver(
         args.env,
@@ -417,26 +482,41 @@ def _cmd_learn(args) -> int:
     # Fig 3c cost counters: speciation is the block CLAN cannot
     # parallelise, so its comparison/gene totals headline the summary
     result = run.result
+    # the summary's cache/churn figures come off the unified metrics
+    # registry (one ingest of the run result), not the raw dataclass —
+    # the same surface --metrics-out exports
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.ingest_run_result(result)
     summary = (
         f"speciation: {result.total_speciation_comparisons():,} "
         f"comparisons, {result.total_speciation_gene_ops():,} genes "
         f"compared, {result.final_n_species()} final species "
         f"({args.genetics} genetics)"
     )
-    lookups = result.plan_cache_hits + result.plan_cache_misses
-    if lookups:
+    hits = int(registry.value("repro_plan_cache_hits_total"))
+    misses = int(registry.value("repro_plan_cache_misses_total"))
+    if hits + misses:
         summary += (
-            f"; plan cache: {result.plan_cache_hits:,} hits / "
-            f"{result.plan_cache_misses:,} misses "
-            f"({result.plan_cache_hit_rate():.0%})"
+            f"; plan cache: {hits:,} hits / {misses:,} misses "
+            f"({registry.value('repro_plan_cache_hit_rate'):.0%})"
         )
     print(summary)
     # logical engines never see churn; the line appears only when a
     # fault-injected replay aggregated live-runtime counters here
-    if result.total_clan_deaths():
+    if registry.value("repro_churn_deaths_total"):
         print(
-            f"churn: {result.total_clan_deaths()} clan death(s), "
-            f"{result.total_clan_respawns()} respawn(s)"
+            f"churn: "
+            f"{int(registry.value('repro_churn_deaths_total'))} clan "
+            f"death(s), "
+            f"{int(registry.value('repro_churn_respawns_total'))} "
+            f"respawn(s), mean recovery "
+            + format_seconds(
+                registry.value(
+                    "repro_churn_mean_recovery_latency_seconds"
+                )
+            )
         )
     if args.sim_mode != "analytic":
         generations, total = driver.simulate(mode=args.sim_mode)
@@ -465,6 +545,7 @@ def _cmd_learn(args) -> int:
             return 2
         save_population(population, args.checkpoint)
         print(f"population checkpointed to {args.checkpoint}")
+    _export_telemetry(args, tracer, registry)
     return 0 if run.converged or args.threshold is None else 1
 
 
@@ -504,6 +585,10 @@ def _cmd_serve(args) -> int:
     if args.slo_p95_ms is not None and args.slo_p95_ms <= 0:
         print("--slo-p95-ms must be positive", file=sys.stderr)
         return 2
+    # must be active before the service starts: the fleet checks for a
+    # driver tracer when spawning replicas, and run_async tells clan
+    # workers to trace over the same check
+    tracer = _activate_tracer(args)
 
     async def run():
         service = ContinuousService(
@@ -636,6 +721,18 @@ def _cmd_serve(args) -> int:
             f"evolution thread relaunched {service.evolution_restarts} "
             "time(s) after a crash"
         )
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.ingest_service_stats(stats)
+    if args.replicas > 1:
+        for replica_id, rstats in sorted(per_replica.items()):
+            if rstats is not None:
+                registry.ingest_service_stats(
+                    rstats, replica=str(replica_id)
+                )
+    registry.ingest_churn(evolution.churn)
+    _export_telemetry(args, tracer, registry)
     return 0
 
 

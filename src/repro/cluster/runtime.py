@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import clock
+from repro.obs import tracer as obs
 from repro.cluster.serialization import decode_genome, encode_genomes
 from repro.cluster.transport import (
     WorkerDied,
@@ -150,7 +152,7 @@ class ParallelInferenceRuntime:
             else fitness_threshold
         )
         stats = RealRunStats()
-        start = time.perf_counter()
+        start = clock.perf()
 
         def evaluate(genomes, generation):
             ordered = sorted(genomes, key=lambda g: g.key)
@@ -174,9 +176,10 @@ class ParallelInferenceRuntime:
             return results
 
         for _ in range(max_generations):
-            gen_start = time.perf_counter()
-            gen_stats = self.population.run_generation(evaluate)
-            stats.per_generation_s.append(time.perf_counter() - gen_start)
+            gen_start = clock.perf()
+            with obs.span("generation", gen=stats.generations):
+                gen_stats = self.population.run_generation(evaluate)
+            stats.per_generation_s.append(clock.perf() - gen_start)
             stats.best_fitness_per_generation.append(gen_stats.best_fitness)
             stats.generations += 1
             stats.best_fitness = max(
@@ -185,7 +188,7 @@ class ParallelInferenceRuntime:
             if gen_stats.best_fitness >= threshold:
                 stats.converged = True
                 break
-        stats.wall_time_s = time.perf_counter() - start
+        stats.wall_time_s = clock.perf() - start
         return stats
 
     @property
@@ -323,21 +326,24 @@ class DistributedClanRuntime:
             else fitness_threshold
         )
         stats = RealRunStats()
-        start = time.perf_counter()
+        start = clock.perf()
         respawns_used = {w: 0 for w in range(self.n_clans)}
         for _ in range(max_generations):
-            gen_start = time.perf_counter()
-            summaries = self._supervised_step(stats.churn, respawns_used)
+            gen_start = clock.perf()
+            with obs.span("generation", gen=self._generation):
+                summaries = self._supervised_step(
+                    stats.churn, respawns_used
+                )
             self._generation += 1
             best = max(s.best_fitness for s in summaries)
-            stats.per_generation_s.append(time.perf_counter() - gen_start)
+            stats.per_generation_s.append(clock.perf() - gen_start)
             stats.best_fitness_per_generation.append(best)
             stats.generations += 1
             stats.best_fitness = max(stats.best_fitness, best)
             if best >= threshold:
                 stats.converged = True
                 break
-        stats.wall_time_s = time.perf_counter() - start
+        stats.wall_time_s = clock.perf() - start
         return stats
 
     def _supervised_step(
@@ -401,6 +407,7 @@ class DistributedClanRuntime:
         """Respawn ``worker`` and replay it up to the in-flight barrier
         generation; False when it is abandoned instead (budget spent)."""
         churn.deaths += 1
+        obs.instant("clan_death", clan=worker, gen=self._generation)
         checkpoint = self._checkpoints[worker]
         completed = checkpoint.get("completed_generation")
         resume = 0 if completed is None else completed + 1
@@ -408,9 +415,10 @@ class DistributedClanRuntime:
         if respawns_used[worker] >= self.max_respawns:
             self._lost.add(worker)
             churn.clans_lost += 1
+            obs.instant("clan_lost", clan=worker, gen=self._generation)
             return False
         respawns_used[worker] += 1
-        started = time.perf_counter()
+        started = clock.perf()
         backoff = self.respawn_backoff_s * (
             2 ** (respawns_used[worker] - 1)
         )
@@ -426,7 +434,8 @@ class DistributedClanRuntime:
             self.pool._collect(worker, timeout=self.heartbeat_timeout_s)
         self.pool._request(worker, "clan_step", self._generation)
         churn.respawns += 1
-        churn.recovery_latency_s.append(time.perf_counter() - started)
+        churn.recovery_latency_s.append(clock.perf() - started)
+        obs.instant("respawn", clan=worker, resume=resume)
         return True
 
     def run_async(
@@ -484,7 +493,7 @@ class DistributedClanRuntime:
         stats = RealRunStats()
         stats.per_clan_generations = [0] * self.n_clans
         churn = stats.churn
-        start = time.perf_counter()
+        start = clock.perf()
         run_start = self._generation
         stream = on_champion is not None
 
@@ -495,6 +504,9 @@ class DistributedClanRuntime:
                 "threshold": threshold,
                 "stream_champions": stream,
                 "checkpoint_period": self.checkpoint_period,
+                # workers trace (and ship span batches back) iff the
+                # driver process has an active tracer to merge them into
+                "trace": obs.current() is not None,
             }
 
         active: set[int] = set()
@@ -522,6 +534,7 @@ class DistributedClanRuntime:
             """Death handler: respawn from checkpoint or abandon."""
             nonlocal reassign_pool
             churn.deaths += 1
+            obs.instant("clan_death", clan=worker)
             active.discard(worker)
             completed = self._checkpoints[worker].get(
                 "completed_generation"
@@ -539,12 +552,13 @@ class DistributedClanRuntime:
             if respawns_used[worker] >= self.max_respawns:
                 self._lost.add(worker)
                 churn.clans_lost += 1
+                obs.instant("clan_lost", clan=worker)
                 reassign_pool += max(
                     0, clan_end[worker] - max(max_done[worker], resume - 1)
                 )
                 return
             respawns_used[worker] += 1
-            started = time.perf_counter()
+            started = clock.perf()
             backoff = self.respawn_backoff_s * (
                 2 ** (respawns_used[worker] - 1)
             )
@@ -563,11 +577,12 @@ class DistributedClanRuntime:
                 active.add(worker)
             churn.respawns += 1
             churn.recovery_latency_s.append(
-                time.perf_counter() - started
+                clock.perf() - started
             )
-            last_seen[worker] = time.perf_counter()
+            obs.instant("respawn", clan=worker, resume=resume)
+            last_seen[worker] = clock.perf()
 
-        now = time.perf_counter()
+        now = clock.perf()
         for worker in range(self.n_clans):
             if worker in self._lost:
                 continue
@@ -600,8 +615,15 @@ class DistributedClanRuntime:
                 halt_sent = True
                 send_halt_all()
             for worker, status, value in self.pool.wait_any(wait_timeout):
-                last_seen[worker] = time.perf_counter()
-                if status == "checkpoint":
+                last_seen[worker] = clock.perf()
+                if status == "spans":
+                    # span batch shipped by a traced worker clan: merge
+                    # into the driver's trace (pipe order preserves the
+                    # clan's own event ordering)
+                    tracer = obs.current()
+                    if tracer is not None:
+                        tracer.absorb(value)
+                elif status == "checkpoint":
                     self._checkpoints[worker] = value
                 elif status == "champion":
                     # clans stream their *local* improvements; only
@@ -667,7 +689,7 @@ class DistributedClanRuntime:
                 elif status == "died":
                     fail(worker)
             if self.heartbeat_timeout_s is not None:
-                now = time.perf_counter()
+                now = clock.perf()
                 for worker in sorted(active):
                     if now - last_seen[worker] > self.heartbeat_timeout_s:
                         # silent past the heartbeat window: presumed
@@ -677,7 +699,7 @@ class DistributedClanRuntime:
 
         self._generation += max(stats.per_clan_generations, default=0)
         stats.generations = max(stats.per_clan_generations, default=0)
-        stats.wall_time_s = time.perf_counter() - start
+        stats.wall_time_s = clock.perf() - start
         return stats
 
     def best_genome(self) -> Genome:

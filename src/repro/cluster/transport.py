@@ -233,6 +233,19 @@ def _worker_main(
                 start = payload["start_generation"]
                 budget = payload["max_generations"]
                 threshold = payload["threshold"]
+                # opt-in tracing: record this clan's phase spans and ship
+                # each generation's batch back over the pipe as an
+                # unsolicited ("spans", batch) message; the driver merges
+                # batches into the global trace tagged with this track
+                clan_tracer = None
+                previous_tracer = None
+                if payload.get("trace", False):
+                    from repro.obs import tracer as obs
+
+                    clan_tracer = obs.Tracer(
+                        track=f"clan:{clan.clan_id}"
+                    )
+                    previous_tracer = obs.activate(clan_tracer)
                 # opt-in (older payloads lack the key): stream the clan's
                 # champion genome whenever its best-ever fitness improves,
                 # so the centre can hot-swap a deployed policy mid-run
@@ -274,6 +287,10 @@ def _worker_main(
                             )
                         )
                     conn.send(("progress", summary))
+                    if clan_tracer is not None:
+                        spans = clan_tracer.drain()
+                        if spans:
+                            conn.send(("spans", spans))
                     if checkpoint_period and ran % checkpoint_period == 0:
                         # after the progress report, so the checkpoint
                         # never describes a generation the centre has not
@@ -283,6 +300,16 @@ def _worker_main(
                         )
                     if summary.best_fitness >= threshold:
                         break
+                if clan_tracer is not None:
+                    from repro.obs import tracer as obs
+
+                    spans = clan_tracer.drain()
+                    if spans and not stopping:
+                        conn.send(("spans", spans))
+                    if previous_tracer is not None:
+                        obs.activate(previous_tracer)
+                    else:
+                        obs.deactivate()
                 if stopping:
                     conn.send(("stopped", None))
                     break

@@ -32,6 +32,7 @@ from repro.neat.reproduction import (
     plan_generation,
 )
 from repro.neat.species import SpeciesSet
+from repro.obs import tracer as obs
 from repro.utils.rng import RngFactory
 
 #: format version of the per-clan checkpoint payload (independent of the
@@ -106,9 +107,12 @@ class WorkerClan:
         # the evaluator's configured backend applies here: with
         # backend="batched" each member's episodes run in lockstep through
         # the NumPy engine instead of the scalar interpreter
-        results = self.evaluator.evaluate_many(
-            self.members.values(), self.config, generation
-        )
+        with obs.span(
+            "evaluate", gen=generation, genomes=len(self.members)
+        ):
+            results = self.evaluator.evaluate_many(
+                self.members.values(), self.config, generation
+            )
         for genome in self.members.values():
             result = results[genome.key]
             genome.fitness = result.fitness
@@ -123,29 +127,31 @@ class WorkerClan:
             self.members
         )
 
-        stats = self.species_set.speciate(
-            self.members,
-            generation,
-            self.config,
-            self.rngs.get(f"speciate:{generation}"),
-        )
-        plan = plan_generation(
-            self.config,
-            self.species_set,
-            generation,
-            self.rngs.get(f"plan:{generation}"),
-            self._allocate_key,
-        )
-        next_members, _repro = execute_plan(
-            plan,
-            self.members,
-            self.config,
-            lambda spec: self.rngs.get(
-                f"child:{generation}:{spec.child_key}"
-            ),
-            self.innovation,
-            np_rng=brood_rng(self.config, self.rngs, generation),
-        )
+        with obs.span("speciate", gen=generation):
+            stats = self.species_set.speciate(
+                self.members,
+                generation,
+                self.config,
+                self.rngs.get(f"speciate:{generation}"),
+            )
+        with obs.span("reproduce", gen=generation):
+            plan = plan_generation(
+                self.config,
+                self.species_set,
+                generation,
+                self.rngs.get(f"plan:{generation}"),
+                self._allocate_key,
+            )
+            next_members, _repro = execute_plan(
+                plan,
+                self.members,
+                self.config,
+                lambda spec: self.rngs.get(
+                    f"child:{generation}:{spec.child_key}"
+                ),
+                self.innovation,
+                np_rng=brood_rng(self.config, self.rngs, generation),
+            )
         self.members = next_members
         self.innovation.advance_generation()
         self.last_generation = generation

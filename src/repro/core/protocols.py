@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs import tracer as obs
 from repro.core.messages import CENTER, Message, MessageType
 from repro.core.metrics import AgentLoad, GenerationRecord, RunResult
 from repro.core.partition import assign_genomes, contiguous_blocks
@@ -142,7 +143,8 @@ class ProtocolBase:
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
         for _ in range(max_generations):
-            record = self.run_generation()
+            with obs.span("generation", gen=self.generation):
+                record = self.run_generation()
             result.records.append(record)
             if record.best_fitness >= threshold:
                 result.converged = True
@@ -222,9 +224,13 @@ class SerialNEAT(ProtocolBase):
         load = record.agent_loads[0]
 
         def evaluate(genomes, generation):
-            return self._evaluate_block_on_agent(
-                list(genomes), load, generation
-            )
+            genomes = list(genomes)
+            with obs.span(
+                "evaluate", track="clan:0", genomes=len(genomes)
+            ):
+                return self._evaluate_block_on_agent(
+                    genomes, load, generation
+                )
 
         stats = self.population.run_generation(evaluate)
         load.speciation_gene_ops = stats.speciation_genes
@@ -282,9 +288,14 @@ class CLAN_DCS(ProtocolBase):
                     )
                 )
                 load = record.agent_loads[agent]
-                results.update(
-                    self._evaluate_block_on_agent(shard, load, generation)
-                )
+                with obs.span(
+                    "evaluate", track=f"clan:{agent}", genomes=len(shard)
+                ):
+                    results.update(
+                        self._evaluate_block_on_agent(
+                            shard, load, generation
+                        )
+                    )
                 record.messages.append(
                     Message(
                         MessageType.SENDING_FITNESS,
@@ -357,11 +368,18 @@ class CLAN_DDS(ProtocolBase):
                 per_agent_counts[agent] += 1
             for agent, block in enumerate(blocks):
                 if block:
-                    results.update(
-                        self._evaluate_block_on_agent(
-                            block, record.agent_loads[agent], generation
+                    with obs.span(
+                        "evaluate",
+                        track=f"clan:{agent}",
+                        genomes=len(block),
+                    ):
+                        results.update(
+                            self._evaluate_block_on_agent(
+                                block,
+                                record.agent_loads[agent],
+                                generation,
+                            )
                         )
-                    )
             for agent, count in enumerate(per_agent_counts):
                 if count:
                     record.messages.append(
@@ -635,7 +653,8 @@ class CLAN_DDA(ProtocolBase):
             and self.generation > 0
             and self.generation % self.resync_period == 0
         ):
-            self._global_resync(record)
+            with obs.span("resync", gen=self.generation):
+                self._global_resync(record)
 
         record.best_fitness = best_fitness
         record.mean_fitness = fitness_sum / max(total_members, 1)
@@ -676,21 +695,26 @@ class CLAN_DDA(ProtocolBase):
 
         blocks = contiguous_blocks(sorted(merged), self.n_agents)
         for clan, block in zip(self._clans, blocks):
-            members = {key: merged[key] for key in block}
-            floats = sum(genome_wire_floats(g) for g in members.values())
-            genes = sum(g.gene_count() for g in members.values())
-            record.messages.append(
-                Message(
-                    MessageType.SENDING_GENOMES,
-                    CENTER,
-                    clan.clan_id,
-                    n_floats=floats,
-                    n_genes=genes,
-                    n_units=len(members),
-                    phase="resync",
+            with obs.span(
+                "resync", track=f"clan:{clan.clan_id}", members=len(block)
+            ):
+                members = {key: merged[key] for key in block}
+                floats = sum(
+                    genome_wire_floats(g) for g in members.values()
                 )
-            )
-            clan.adopt_members(members)
+                genes = sum(g.gene_count() for g in members.values())
+                record.messages.append(
+                    Message(
+                        MessageType.SENDING_GENOMES,
+                        CENTER,
+                        clan.clan_id,
+                        n_floats=floats,
+                        n_genes=genes,
+                        n_units=len(members),
+                        phase="resync",
+                    )
+                )
+                clan.adopt_members(members)
 
 
 class _Clan:
@@ -750,10 +774,15 @@ class _Clan:
         load: AgentLoad,
     ) -> tuple[float, float, bool, "SpeciationStats"]:
         """One clan-local generation; returns (best, sum, solved, stats)."""
+        track = f"clan:{self.clan_id}"
         solved = False
-        results = protocol._evaluate_block_on_agent(
-            list(self.members.values()), load, generation
-        )
+        with obs.span(
+            "evaluate", track=track, gen=generation,
+            genomes=len(self.members),
+        ):
+            results = protocol._evaluate_block_on_agent(
+                list(self.members.values()), load, generation
+            )
         for genome in self.members.values():
             result = results[genome.key]
             genome.fitness = result.fitness
@@ -769,28 +798,30 @@ class _Clan:
             self.best_genome = best.copy()
         fitness_sum = sum(g.fitness for g in self.members.values())
 
-        speciation_stats = self.species_set.speciate(
-            self.members,
-            generation,
-            self.config,
-            self.rngs.get(f"speciate:{generation}"),
-        )
+        with obs.span("speciate", track=track, gen=generation):
+            speciation_stats = self.species_set.speciate(
+                self.members,
+                generation,
+                self.config,
+                self.rngs.get(f"speciate:{generation}"),
+            )
         load.speciation_gene_ops += speciation_stats.genes_compared
 
-        plan = plan_generation(
-            self.config,
-            self.species_set,
-            generation,
-            self.rngs.get(f"plan:{generation}"),
-            self._allocate_key,
-        )
-        child_rng: Callable = lambda spec: self.rngs.get(  # noqa: E731
-            f"child:{generation}:{spec.child_key}"
-        )
-        next_members, repro_stats = execute_plan(
-            plan, self.members, self.config, child_rng, self.innovation,
-            np_rng=brood_rng(self.config, self.rngs, generation),
-        )
+        with obs.span("reproduce", track=track, gen=generation):
+            plan = plan_generation(
+                self.config,
+                self.species_set,
+                generation,
+                self.rngs.get(f"plan:{generation}"),
+                self._allocate_key,
+            )
+            child_rng: Callable = lambda spec: self.rngs.get(  # noqa: E731
+                f"child:{generation}:{spec.child_key}"
+            )
+            next_members, repro_stats = execute_plan(
+                plan, self.members, self.config, child_rng, self.innovation,
+                np_rng=brood_rng(self.config, self.rngs, generation),
+            )
         load.reproduction_gene_ops += repro_stats.genes_processed
         self.members = next_members
         self.innovation.advance_generation()

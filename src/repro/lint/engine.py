@@ -276,7 +276,7 @@ class _FileLinter(ast.NodeVisitor):
         # module classification
         self.in_wall_clock_banned = matches_module(
             path, config.wall_clock_banned
-        )
+        ) and not matches_module(path, config.clock_modules)
         self.in_numeric = matches_module(path, config.numeric_modules)
         self.in_rng_module = matches_module(path, config.rng_modules)
 

@@ -190,12 +190,17 @@ class LintConfig:
 
     #: modules where any wall-clock read is a finding (RPR003): the
     #: event simulator, the NEAT core, the environments and the RNG
-    #: plumbing itself are pure functions of the seed
+    #: plumbing are pure functions of the seed, and the serving/runtime
+    #: measurement surface must flow through the injectable
+    #: ``repro.obs.clock`` shim so tests can substitute a manual clock
     wall_clock_banned: tuple[str, ...] = (
         "repro/cluster/simulator.py",
+        "repro/cluster/runtime.py",
         "repro/neat/",
         "repro/envs/",
         "repro/utils/rng.py",
+        "repro/serve/",
+        "repro/obs/",
     )
     #: core numeric modules where float == is a finding (RPR005)
     numeric_modules: tuple[str, ...] = (
@@ -208,6 +213,11 @@ class LintConfig:
     )
     #: the one module allowed to construct numpy Generators (RPR002)
     rng_modules: tuple[str, ...] = ("repro/utils/rng.py",)
+    #: the one module allowed to read the wall clock despite a
+    #: ``wall_clock_banned`` match (RPR003): ``repro/obs/clock.py`` is
+    #: the injectable shim every measurement flows through — banning it
+    #: too would leave the package no door to real time at all
+    clock_modules: tuple[str, ...] = ("repro/obs/clock.py",)
     #: rule codes to run (None = every rule)
     select: tuple[str, ...] | None = None
 

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.envs.base import rollout
 from repro.envs.registry import make, make_vector
+from repro.obs import tracer as obs
 from repro.neat.network import (
     BatchedFeedForwardNetwork,
     FeedForwardNetwork,
@@ -244,10 +245,11 @@ class GenomeEvaluator:
         """
         genomes = list(genomes)
         if self.eval_mode == "population" and genomes:
-            plans = [
-                compile_batched(g, config, cache=self.plan_cache)
-                for g in genomes
-            ]
+            with obs.span("compile", genomes=len(genomes)):
+                plans = [
+                    compile_batched(g, config, cache=self.plan_cache)
+                    for g in genomes
+                ]
             return self.evaluate_stacked(
                 plans, [g.key for g in genomes], generation
             )
@@ -272,6 +274,19 @@ class GenomeEvaluator:
         same seeding policy as the scalar path, which is what makes the
         two modes' results comparable genome-for-genome.
         """
+        with obs.span(
+            "population_sweep",
+            genomes=len(genome_keys),
+            episodes=self.episodes,
+        ):
+            return self._evaluate_stacked(plans, genome_keys, generation)
+
+    def _evaluate_stacked(
+        self,
+        plans: Sequence,
+        genome_keys: Sequence[int],
+        generation: int = 0,
+    ) -> dict[int, FitnessResult]:
         import numpy as np
 
         if len(plans) != len(genome_keys):

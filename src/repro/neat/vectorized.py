@@ -48,6 +48,7 @@ from repro.neat.attributes import (
 )
 from repro.neat.genes import ConnectionGene, NodeGene
 from repro.neat.species import DistanceCache, SpeciationStats
+from repro.obs import tracer as obs
 
 try:
     import numpy as np
@@ -607,6 +608,10 @@ class VectorizedDistanceCache:
         self.config = config
         self.distances: dict[tuple[int, int], float] = {}
         self.stats = SpeciationStats()
+        lower_span = obs.span(
+            "lower_population",
+            members=len(population) if population else 0,
+        )
         #: keyed by object identity, not genome key: an old species
         #: representative is a distinct object that may share a key with
         #: a current member only when it *is* that member (elites), and
@@ -614,10 +619,15 @@ class VectorizedDistanceCache:
         #: that reuse keys. Entries keep their genomes alive for the
         #: pass, so ids cannot be recycled underneath the cache.
         self._arrays: dict[int, tuple["Genome", GenomeArrays]] = {}
-        self._flat = _FlatPopulation(population) if population else None
-        self._table = (
-            _AnchorTable(self._flat) if self._flat is not None else None
-        )
+        with lower_span:
+            self._flat = (
+                _FlatPopulation(population) if population else None
+            )
+            self._table = (
+                _AnchorTable(self._flat)
+                if self._flat is not None
+                else None
+            )
 
     def _lower(self, genome: "Genome") -> GenomeArrays:
         if self._flat is not None:
@@ -755,6 +765,15 @@ def mutate_brood_attributes(
     ``docs/genetics.md``).
     """
     _require_numpy()
+    with obs.span("brood_mutate", children=len(genomes)):
+        _mutate_brood_attributes(genomes, config, rng)
+
+
+def _mutate_brood_attributes(
+    genomes: Sequence["Genome"],
+    config: "NEATConfig",
+    rng: "np.random.Generator",
+) -> None:
     conn_genes = [
         genome.connections[key]
         for genome in genomes

@@ -1,0 +1,109 @@
+"""The one sanctioned door to the wall clock.
+
+Every runtime module that needs real elapsed time (`serve/`,
+`cluster/runtime.py`, the tracer itself) calls :func:`perf` /
+:func:`monotonic` from here instead of reading :mod:`time` directly.
+That buys two things:
+
+* **Injectability** — tests and benchmarks swap in a fake clock
+  (:class:`ManualClock`) via :func:`set_clock` to make
+  latency-dependent paths deterministic without monkeypatching ``time``
+  globally.
+* **Lintability** — rule RPR003 (wall-clock-in-simulation) bans raw
+  ``time.*`` reads across whole subsystems; this file is the single
+  reasoned exemption (see ``LintConfig.clock_modules``), so a raw read
+  anywhere else is a lint error rather than a judgement call.
+
+The default :class:`SystemClock` is a thin veneer over :mod:`time`; the
+indirection costs one global lookup and two calls, which is noise next
+to the pipe I/O and numpy work it times.
+
+Usage::
+
+    from repro.obs import clock
+    t0 = clock.perf()
+    ...
+    elapsed = clock.perf() - t0
+"""
+
+from __future__ import annotations
+
+# This module is the clock shim itself: raw time reads are sanctioned
+# here and banned (RPR003) everywhere else in serve/ and cluster/.
+import time
+
+
+class SystemClock:
+    """Real wall clocks, straight from :mod:`time`."""
+
+    __slots__ = ()
+
+    def perf(self) -> float:
+        """High-resolution monotonic timer for measuring intervals."""
+        return time.perf_counter()
+
+    def monotonic(self) -> float:
+        """Monotonic timer for deadlines and heartbeats."""
+        return time.monotonic()
+
+    def wall(self) -> float:
+        """Epoch seconds, for timestamping exported artifacts only."""
+        return time.time()
+
+
+class ManualClock:
+    """A hand-cranked clock for deterministic tests.
+
+    All three readings come from one counter advanced explicitly via
+    :meth:`advance`; nothing moves unless the test says so.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("ManualClock cannot run backwards")
+        self._now += seconds
+
+    def perf(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
+        return self._now
+
+
+_active = SystemClock()
+
+
+def set_clock(impl) -> object:
+    """Install ``impl`` as the process-wide clock; returns the previous
+    one so callers can restore it in a ``finally`` block."""
+    global _active
+    previous = _active
+    _active = impl
+    return previous
+
+
+def get_clock():
+    return _active
+
+
+def perf() -> float:
+    """Interval timer (``time.perf_counter`` on the system clock)."""
+    return _active.perf()
+
+
+def monotonic() -> float:
+    """Deadline/heartbeat timer (``time.monotonic`` on the system clock)."""
+    return _active.monotonic()
+
+
+def wall() -> float:
+    """Epoch seconds; export-artifact timestamps only."""
+    return _active.wall()

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
+
+from repro.obs import clock
+from repro.obs import tracer as obs
 
 try:
     import numpy as np
@@ -164,7 +166,7 @@ class MicroBatcher:
         item = _Pending(
             observation=tuple(float(v) for v in observation),
             future=asyncio.get_running_loop().create_future(),
-            submitted_at=time.perf_counter(),
+            submitted_at=clock.perf(),
         )
         self._queue.put_nowait(item)
         with self._metrics_lock:
@@ -222,17 +224,23 @@ class MicroBatcher:
         much as a backend error — fails only this batch's futures; the
         collector itself must survive to serve the next batch.
         """
-        try:
-            observations = np.asarray(
-                [item.observation for item in batch], dtype=np.float64
-            )
-            version, actions = self._infer(observations)
-        except Exception as exc:
-            for item in batch:
-                if not item.future.done():
-                    item.future.set_exception(exc)
-            return
-        now = time.perf_counter()
+        flush_span = obs.span("batch_flush", size=len(batch))
+        with flush_span:
+            try:
+                observations = np.asarray(
+                    [item.observation for item in batch], dtype=np.float64
+                )
+                version, actions = self._infer(observations)
+            except Exception as exc:
+                flush_span.add(error=type(exc).__name__)
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            # the champion version is the deployment sequence number the
+            # whole batch was served under
+            flush_span.add(version=version)
+        now = clock.perf()
         size = len(batch)
         with self._metrics_lock:
             self.batch_size_histogram[size] = (

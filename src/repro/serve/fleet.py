@@ -41,7 +41,6 @@ import multiprocessing as mp
 import os
 import random
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, replace
 from multiprocessing import connection as mp_connection
@@ -52,6 +51,8 @@ from repro.cluster.serialization import (
 )
 from repro.core.metrics import ServiceStats
 from repro.neat.network import BatchedFeedForwardNetwork
+from repro.obs import clock
+from repro.obs import tracer as obs_tracer
 from repro.serve.batcher import Overloaded, ServedAction, ServiceClosed
 from repro.serve.gateway import InferenceGateway
 from repro.serve.registry import ChampionRegistry, Subscription
@@ -265,8 +266,20 @@ async def _replica_serve(
     max_batch: int,
     max_wait_s: float,
     max_pending: int,
+    trace: bool = False,
 ) -> None:
     """Event loop body of one replica process."""
+    tracer = None
+    if trace:
+        # the parent had a tracer active when the fleet started, so this
+        # replica records its own track and ships drained batches back
+        # over the reply pipe (merged in ``ServingFleet._on_message``)
+        tracer = obs_tracer.Tracer(track=f"replica:{replica_id}")
+        obs_tracer.activate(tracer)
+    else:
+        # forked children inherit the parent's activated tracer object;
+        # recording into that copy would never be shipped, so drop it
+        obs_tracer.deactivate()
     store = _ReplicaChampionStore()
     gateway = InferenceGateway(
         store,
@@ -297,9 +310,17 @@ async def _replica_serve(
     reader.start()
     chunk_tasks: set[asyncio.Task] = set()
 
+    def ship_spans() -> None:
+        if tracer is None:
+            return
+        spans = tracer.drain()
+        if spans:
+            conn.send(("spans", spans))
+
     async def handle_chunk(chunk_id, observations):
         outcomes = await _answer_chunk(gateway, observations)
         conn.send(("answers", (chunk_id, outcomes)))
+        ship_spans()
 
     while True:
         kind, payload = await inbox.get()
@@ -331,6 +352,7 @@ async def _replica_serve(
                     *list(chunk_tasks), return_exceptions=True
                 )
             await gateway.close()
+            ship_spans()
             conn.send(("closed", gateway.stats()))
             return
         elif kind == "_eof":
@@ -345,11 +367,12 @@ def _replica_main(
     max_batch: int,
     max_wait_s: float,
     max_pending: int,
+    trace: bool = False,
 ) -> None:  # pragma: no cover - runs in the child process
     try:
         asyncio.run(
             _replica_serve(
-                conn, replica_id, max_batch, max_wait_s, max_pending
+                conn, replica_id, max_batch, max_wait_s, max_pending, trace
             )
         )
     finally:
@@ -492,6 +515,7 @@ class ServingFleet:
         self._loop = asyncio.get_running_loop()
         self._scrape_lock = asyncio.Lock()
         ctx = mp.get_context("fork")
+        trace = obs_tracer.current() is not None
         for replica_id in range(self.replicas):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -502,6 +526,7 @@ class ServingFleet:
                     self.max_batch,
                     self.max_wait_s,
                     self.max_pending,
+                    trace,
                 ),
                 name=f"serve-replica-{replica_id}",
                 daemon=True,
@@ -516,7 +541,7 @@ class ServingFleet:
             target=self._read_replies, name="fleet-read", daemon=True
         )
         self._reader.start()
-        self._started_at = time.perf_counter()
+        self._started_at = clock.perf()
         self._subscription = self.registry.subscribe(
             self._on_deployment, replay_current=True
         )
@@ -569,12 +594,12 @@ class ServingFleet:
                 handle.send(("close", None))
             except (OSError, ValueError):
                 pass
-        deadline = time.perf_counter() + self.close_timeout_s
+        deadline = clock.perf() + self.close_timeout_s
         for handle in live:
             while (
                 handle.alive
                 and handle.final_stats is None
-                and time.perf_counter() < deadline
+                and clock.perf() < deadline
             ):
                 await asyncio.sleep(0.005)
         self._reader_stop.set()
@@ -749,6 +774,10 @@ class ServingFleet:
                             f"replica {handle.id} failed: {outcome[1]}"
                         )
                     )
+        elif kind == "spans":
+            tracer = obs_tracer.current()
+            if tracer is not None:
+                tracer.absorb(payload)
         elif kind == "published":
             seq, _version = payload
             handle.acked_seq = max(handle.acked_seq, seq)

@@ -11,9 +11,8 @@ policy.
 
 from __future__ import annotations
 
-import time
-
 from repro.core.metrics import ServiceStats, percentile
+from repro.obs import clock
 from repro.serve.batcher import MicroBatcher, ServedAction
 from repro.serve.registry import ChampionRegistry
 
@@ -63,7 +62,7 @@ class InferenceGateway:
     async def start(self) -> None:
         """Start the batching collector on the running event loop."""
         await self._batcher.start()
-        self._started_at = time.perf_counter()
+        self._started_at = clock.perf()
 
     async def submit(self, observation) -> ServedAction:
         """Answer one observation with the current champion's action.
@@ -115,7 +114,7 @@ class InferenceGateway:
         thread — the batcher snapshot and the registry reads are each
         taken under their own lock)."""
         elapsed = (
-            time.perf_counter() - self._started_at
+            clock.perf() - self._started_at
             if self._started_at is not None
             else 0.0
         )

@@ -29,6 +29,7 @@ from repro.cluster.runtime import (
 )
 from repro.core.metrics import percentile
 from repro.neat.config import NEATConfig
+from repro.obs import tracer as obs
 from repro.neat.population import Population
 from repro.serve.batcher import ServedAction
 from repro.serve.fleet import ServingFleet, SLOBatchController
@@ -261,6 +262,13 @@ class ContinuousService:
             fitness=event.fitness,
             generation=event.generation,
             source=f"clan{event.clan_id}",
+        )
+        obs.instant(
+            "deploy",
+            seq=self.registry.seq,
+            version=record.version,
+            clan=event.clan_id,
+            gen=event.generation,
         )
         self.promotions.append((record, event))
 

@@ -153,14 +153,26 @@ def test_rpr003_wall_clock_in_neat_module():
     assert codes(snippet, path=NEAT_PATH) == ["RPR003"] * 4
 
 
-def test_rpr003_wall_clock_fine_in_serving():
+def test_rpr003_wall_clock_banned_in_serving():
+    # serving reads real time only through the injectable obs.clock
+    # shim, so a direct time.* read there is a finding
     snippet = """
     import time
 
     def measure():
         return time.perf_counter()
     """
-    assert codes(snippet, path=SERVE_PATH) == []
+    assert codes(snippet, path=SERVE_PATH) == ["RPR003"]
+
+
+def test_rpr003_clock_shim_is_the_exempt_constructor_site():
+    snippet = """
+    import time
+
+    def perf():
+        return time.perf_counter()
+    """
+    assert codes(snippet, path="src/repro/obs/clock.py") == []
 
 
 def test_rpr003_sleep_is_not_a_clock_read():
