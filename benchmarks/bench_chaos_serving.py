@@ -1,0 +1,274 @@
+"""Chaos serving: replica SIGKILL + dropped deployment under burst load.
+
+PR 10's self-healing fleet claims that serving-tier failures are
+*absorbed*, not surfaced: a replica process killed mid-burst costs at
+most the in-flight requests it was holding (which are transparently
+re-dispatched), and a lost deployment message is re-delivered by the
+anti-entropy repair loop. This benchmark injects exactly that scenario
+through the deterministic chaos plane (``docs/chaos.md``) — a seeded
+Poisson burst against a 2-replica fleet, with replica 0 SIGKILLed on
+its third inference dispatch and replica 1's second deployment message
+dropped — and gates four claims:
+
+* **availability** — >= 99% of offered requests are served, and zero
+  requests *fail* (shedding under respawn pressure is allowed; errors
+  are not);
+* **parity** — every response's action equals what a fresh scalar
+  interpreter of the champion version it was attributed to (via
+  ``ChampionRegistry.record_for``) produces for that observation, so
+  healing never serves a wrong or half-deployed policy;
+* **monotone deployment** — no replica's served-version trace ever
+  regresses, even though one replica was respawned mid-run and another
+  had a deployment message dropped;
+* **recovery latency** — the fleet is back to full strength (both
+  replicas live and caught up) within ``RECOVERY_BOUND_S`` of the kill.
+
+Results go to ``reports/bench_chaos_serving.txt`` and (for the CI
+artifact) ``reports/bench_chaos_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro.chaos import ChaosInjector, Fault, FaultPlan
+from repro.neat.config import NEATConfig
+from repro.serve import ChampionRegistry, LoadGenerator, ServingFleet
+from repro.utils.fmt import format_seconds, format_table
+
+from benchmarks.conftest import run_once
+from tests.conftest import make_evolved_genome
+
+#: requests in the seeded Poisson burst
+N_REQUESTS = 800
+#: offered arrival rate — brisk enough that the kill lands mid-traffic
+#: with plenty of in-flight work, slow enough for a bounded runtime
+RATE_HZ = 2_000.0
+#: observation dimensionality of the CartPole workload
+OBS_DIM = 4
+#: mutation budget for the two champions (small: correctness, not
+#: throughput, is under test here)
+MUTATIONS = 60
+#: gateway replicas behind the balancer
+REPLICAS = 2
+#: availability floor over offered requests
+MIN_SUCCESS = 0.99
+#: the fleet must be back at full strength this soon after the kill
+RECOVERY_BOUND_S = 5.0
+#: how often the recovery monitor samples fleet liveness
+MONITOR_PERIOD_S = 0.002
+
+#: the scenario: kill replica 0 on its 3rd inference dispatch, and
+#: lose replica 1's 2nd deployment message (the repair loop must
+#: re-deliver it before the post-swap parity audit can pass)
+PLAN = FaultPlan(
+    seed=13,
+    faults=(
+        Fault(action="kill", scope="replica", target=0,
+              kind="infer", at=3),
+        Fault(action="drop", scope="replica", target=1,
+              kind="publish", at=2),
+    ),
+)
+
+
+def _observations(seed: int) -> list[list[float]]:
+    rng = random.Random(seed)
+    return [
+        [rng.uniform(-1.0, 1.0) for _ in range(OBS_DIM)]
+        for _ in range(N_REQUESTS)
+    ]
+
+
+def _replay_sampler(observations):
+    iterator = iter(observations)
+    return lambda rng: next(iterator)
+
+
+def _drive(config, champions):
+    """One chaotic burst; returns everything the gates need."""
+    injector = ChaosInjector(PLAN)
+    observations = _observations(31)
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        registry = ChampionRegistry(config)
+        fleet = ServingFleet(
+            registry,
+            replicas=REPLICAS,
+            seed=7,
+            chaos=injector,
+        )
+        await fleet.start()
+
+        # liveness monitor: timestamps of degraded/recovered transitions
+        transitions: list[tuple[float, int]] = []
+        stop = asyncio.Event()
+
+        async def monitor():
+            last = None
+            while not stop.is_set():
+                live = len(fleet.health()["live_replicas"])
+                if live != last:
+                    transitions.append((time.monotonic(), live))
+                    last = live
+                await asyncio.sleep(MONITOR_PERIOD_S)
+
+        # first deployment lands before any traffic; the second lands
+        # mid-burst (publishes run on an executor thread, like the
+        # evolution thread would, so registry delivery cannot stall
+        # the loop the fleet heals on)
+        await loop.run_in_executor(
+            None, lambda: registry.publish(champions[0], source="bench")
+        )
+        await asyncio.wait_for(fleet.wait_deployed(), timeout=10.0)
+        monitor_task = loop.create_task(monitor())
+        generator = LoadGenerator(
+            fleet.submit,
+            _replay_sampler(observations),
+            rate_hz=RATE_HZ,
+            n_requests=N_REQUESTS,
+            seed=101,
+        )
+        load_task = loop.create_task(generator.run())
+        await asyncio.sleep(N_REQUESTS / RATE_HZ / 2)
+        await loop.run_in_executor(
+            None, lambda: registry.publish(champions[1], source="bench")
+        )
+        report = await load_task
+        stop.set()
+        await monitor_task
+        stats = await fleet.scrape()
+        traces = fleet.version_traces()
+        health = fleet.health()
+        await fleet.close()
+        records = {
+            version: registry.record_for(version) for version in (1, 2)
+        }
+        registry.close()
+        return report, traces, stats, health, records, transitions
+
+    outcome = asyncio.run(run())
+    return (*outcome, injector)
+
+
+def _recovery_latency_s(transitions) -> float | None:
+    """Seconds from first degradation to full strength, or None."""
+    degraded_at = None
+    for stamp, live in transitions:
+        if degraded_at is None and live < REPLICAS:
+            degraded_at = stamp
+        elif degraded_at is not None and live >= REPLICAS:
+            return stamp - degraded_at
+    return None
+
+
+def test_chaos_serving(benchmark, report_sink, json_sink):
+    config = NEATConfig.for_env("CartPole-v0")
+    champions = [
+        make_evolved_genome(config, seed=5, mutations=MUTATIONS, key=1),
+        make_evolved_genome(config, seed=9, mutations=MUTATIONS, key=2),
+    ]
+    report, traces, stats, health, records, transitions, injector = (
+        run_once(benchmark, lambda: _drive(config, champions))
+    )
+
+    # -- the plan executed: both faults fired, nothing left pending
+    assert injector.faults_fired == 2, injector.injected_counts()
+    assert injector.faults_pending == 0
+    assert health["replica_respawns"] >= 1
+
+    # -- availability: >= 99% served, zero hard failures
+    assert report.failed == 0, (
+        f"{report.failed} request(s) failed outright — in-flight "
+        "re-dispatch should have absorbed the kill"
+    )
+    success = report.served / report.offered
+    assert success >= MIN_SUCCESS, (
+        f"served {report.served}/{report.offered} "
+        f"({success:.1%}) < {MIN_SUCCESS:.0%} floor"
+    )
+
+    # -- monotone deployment: no replica's version trace regresses
+    for replica_id, trace in traces.items():
+        assert trace == sorted(trace), (
+            f"replica {replica_id} served versions out of order: "
+            f"{trace}"
+        )
+
+    # -- parity: every served action matches the scalar reference of
+    #    the exact record it was attributed to
+    scalars = {
+        version: record.scalar_network()
+        for version, record in records.items()
+    }
+    checked = 0
+    for observation, response in zip(
+        report.observations, report.responses
+    ):
+        if response is None:
+            continue
+        expected = scalars[response.champion_version].policy(observation)
+        assert response.action == expected, (
+            f"action diverged from the v{response.champion_version} "
+            "scalar reference"
+        )
+        checked += 1
+    assert checked == report.served
+
+    # -- recovery: full strength again within the bound
+    recovery_s = _recovery_latency_s(transitions)
+    assert recovery_s is not None, (
+        "the liveness monitor never saw the fleet degrade+recover "
+        f"(transitions: {transitions})"
+    )
+    assert recovery_s <= RECOVERY_BOUND_S, (
+        f"fleet took {recovery_s:.2f}s to recover "
+        f"(bound {RECOVERY_BOUND_S}s)"
+    )
+
+    rows = [
+        ["offered", str(report.offered)],
+        ["served", f"{report.served} ({success:.1%})"],
+        ["shed", str(report.shed)],
+        ["failed", str(report.failed)],
+        ["respawns", str(health["replica_respawns"])],
+        ["in-flight retries", str(health["requests_retried"])],
+        ["recovery", format_seconds(recovery_s)],
+        ["p95 latency", format_seconds(stats.p95_latency_s)],
+        ["parity checks", f"{checked} exact"],
+        ["faults fired", str(injector.faults_fired)],
+    ]
+    report_sink(
+        "bench_chaos_serving",
+        f"Chaos serving — {N_REQUESTS} Poisson requests at "
+        f"{RATE_HZ:,.0f} Hz against {REPLICAS} replicas; replica 0 "
+        "killed on infer #3, replica 1's deployment #2 dropped\n"
+        + format_table(["metric", "value"], rows)
+        + f"\ngates: >= {MIN_SUCCESS:.0%} served, 0 failed, 0 stale "
+        f"serves, exact parity, recovery <= {RECOVERY_BOUND_S}s",
+    )
+    json_sink(
+        "bench_chaos_serving",
+        {
+            "n_requests": N_REQUESTS,
+            "rate_hz": RATE_HZ,
+            "replicas": REPLICAS,
+            "plan": PLAN.to_dict(),
+            "offered": report.offered,
+            "served": report.served,
+            "shed": report.shed,
+            "failed": report.failed,
+            "success_rate": success,
+            "min_success": MIN_SUCCESS,
+            "replica_respawns": health["replica_respawns"],
+            "requests_retried": health["requests_retried"],
+            "recovery_latency_s": recovery_s,
+            "recovery_bound_s": RECOVERY_BOUND_S,
+            "p95_latency_s": stats.p95_latency_s,
+            "parity_checked": checked,
+            "faults_injected": injector.injected_counts(),
+        },
+    )

@@ -1,0 +1,30 @@
+"""Deterministic chaos plane: seeded, schedulable, replayable faults.
+
+Kill a worker at generation N. Drop the second deployment message bound
+for replica 1. Corrupt a published plan's wire bytes. Every failure mode
+the cluster runtime (PR 6) and the serving fleet handle implicitly
+becomes an explicit, replayable scenario — runnable in CI via the
+``repro chaos`` CLI subcommand (see ``docs/chaos.md``).
+
+Composition: a :class:`FaultPlan` (what fires, where, at which protocol
+event) feeds a :class:`ChaosInjector`, which the hosts —
+``WorkerPool(chaos=...)``, ``ServingFleet(chaos=...)``, and
+``DistributedClanRuntime(chaos=...)`` — consult at their message choke
+points. The no-plan / no-fault path draws zero random numbers and sends
+zero extra messages, so enabling the chaos plane without faults is
+byte-identical to not having it at all.
+"""
+
+from repro.chaos.injector import ChaosInjector, Decision
+from repro.chaos.plan import Fault, FaultPlan, parse_fault_spec
+from repro.chaos.runner import run_learn_plan, run_serve_plan
+
+__all__ = [
+    "ChaosInjector",
+    "Decision",
+    "Fault",
+    "FaultPlan",
+    "parse_fault_spec",
+    "run_learn_plan",
+    "run_serve_plan",
+]

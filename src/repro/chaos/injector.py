@@ -1,0 +1,147 @@
+"""The chaos injector: turns a :class:`FaultPlan` into per-event decisions.
+
+Hosts call :meth:`ChaosInjector.on_event` at their protocol choke points
+(`WorkerPool._request`, the serving fleet's publish/infer send paths) and
+apply the returned :class:`Decision`. The injector itself never touches a
+process or a pipe — it only counts events and answers "what should happen
+to this one?", which keeps the shims in the transport and fleet tiny and
+the injector trivially unit-testable.
+
+Determinism: scheduling is pure event counting. The plan seed feeds a
+private RNG consumed **only** when a fault that needs payload randomness
+(``corrupt``) actually fires, so a no-fault plan draws zero random
+numbers and a partially-consumed plan never shifts unrelated streams.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.chaos.plan import Fault, FaultPlan
+
+__all__ = ["ChaosInjector", "Decision", "PASS"]
+
+
+class Decision:
+    """What the host should do with one intercepted event.
+
+    ``deliveries`` is how many times to deliver the message (0 = drop,
+    1 = pass, 2 = duplicate); ``kill`` / ``stall_s`` / ``delay_s`` /
+    ``corrupt`` layer process- and payload-level faults on top. The
+    shared :data:`PASS` instance is returned for unmatched events so the
+    hot path allocates nothing.
+    """
+
+    __slots__ = ("deliveries", "kill", "stall_s", "delay_s", "corrupt")
+
+    def __init__(self) -> None:
+        self.deliveries = 1
+        self.kill = False
+        self.stall_s = 0.0
+        self.delay_s = 0.0
+        self.corrupt = False
+
+    @property
+    def intercepts(self) -> bool:
+        """Whether this decision changes anything at all."""
+        return (
+            self.deliveries != 1
+            or self.kill
+            or self.stall_s > 0.0
+            or self.delay_s > 0.0
+            or self.corrupt
+        )
+
+
+#: the shared no-op decision (never mutated)
+PASS = Decision()
+
+
+class ChaosInjector:
+    """Counts protocol events against a plan and issues decisions.
+
+    Thread-safe: the serving fleet consults it from both its event loop
+    (infer sends) and the registry's publisher thread (deployment
+    sends), so counting happens under a lock. ``injected_counts`` is
+    read after the run for reporting.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._counts = [0] * len(plan.faults)  # guarded-by: _lock
+        self._fired = [False] * len(plan.faults)  # guarded-by: _lock
+        #: action -> number of times a fault of that action fired
+        self.injected: dict[str, int] = {}  # guarded-by: _lock
+
+    # -- event interception ------------------------------------------------
+
+    def on_event(
+        self, scope: str, target: int | None, kind: str
+    ) -> Decision:
+        """Count one protocol event; say what should happen to it."""
+        decision: Decision | None = None
+        with self._lock:
+            for index, fault in enumerate(self.plan.faults):
+                if self._fired[index]:
+                    continue
+                if not fault.matches(scope, target, kind):
+                    continue
+                self._counts[index] += 1
+                if self._counts[index] != fault.at:
+                    continue
+                self._fired[index] = True
+                self.injected[fault.action] = (
+                    self.injected.get(fault.action, 0) + 1
+                )
+                if decision is None:
+                    decision = Decision()
+                self._apply(fault, decision)
+        return decision if decision is not None else PASS
+
+    @staticmethod
+    def _apply(fault: Fault, decision: Decision) -> None:
+        if fault.action == "kill":
+            decision.kill = True
+        elif fault.action == "stall":
+            decision.stall_s = max(decision.stall_s, fault.value)
+        elif fault.action == "drop":
+            decision.deliveries = 0
+        elif fault.action == "duplicate":
+            if decision.deliveries != 0:
+                decision.deliveries = 2
+        elif fault.action == "delay":
+            decision.delay_s = max(decision.delay_s, fault.value)
+        elif fault.action == "corrupt":
+            decision.corrupt = True
+
+    # -- payload mutation --------------------------------------------------
+
+    def corrupt_bytes(self, data: bytes) -> bytes:
+        """Flip one seeded bit somewhere in ``data`` (non-empty)."""
+        if not data:
+            return data
+        with self._lock:
+            index = self._rng.randrange(len(data))
+            bit = 1 << self._rng.randrange(8)
+        mutated = bytearray(data)
+        mutated[index] ^= bit
+        return bytes(mutated)
+
+    # -- reporting ---------------------------------------------------------
+
+    def injected_counts(self) -> dict[str, int]:
+        """Copy of the action -> fired-count tally."""
+        return dict(self.injected)
+
+    @property
+    def faults_fired(self) -> int:
+        """Total faults that have fired so far."""
+        return sum(self.injected.values())
+
+    @property
+    def faults_pending(self) -> int:
+        """Faults scheduled but not yet fired."""
+        return len(self.plan.faults) - sum(self._fired)

@@ -1,0 +1,210 @@
+"""Run a fault plan against a real workload and report what happened.
+
+The runners here back the ``repro chaos`` CLI subcommand (and the chaos
+benchmark): build the workload exactly the way ``repro learn`` /
+``repro serve`` would, thread a :class:`~repro.chaos.injector
+.ChaosInjector` through it, and return a plain-dict outcome — what the
+workload produced, what the healing machinery did about the injected
+faults, and which faults actually fired. Everything in the outcome is
+JSON-serialisable so chaos runs drop straight into the benchmark-report
+pipeline.
+
+Determinism contract (see ``docs/chaos.md``): a learn outcome's
+``champion_hex`` is byte-comparable across runs — the same plan against
+the same workload seed yields the same champion, and an *empty* plan
+yields the champion of a chaos-free run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultPlan
+
+__all__ = ["run_learn_plan", "run_serve_plan"]
+
+
+def _chaos_summary(injector: ChaosInjector) -> dict:
+    return {
+        "faults_planned": len(injector.plan.faults),
+        "faults_fired": injector.faults_fired,
+        "faults_pending": injector.faults_pending,
+        "faults_injected": injector.injected_counts(),
+    }
+
+
+def run_learn_plan(
+    plan: FaultPlan,
+    env_id: str,
+    n_clans: int = 2,
+    pop_size: int = 24,
+    generations: int = 4,
+    seed: int = 0,
+    max_steps: int | None = None,
+    heartbeat_timeout_s: float | None = 10.0,
+    max_respawns: int = 2,
+) -> dict:
+    """Inject ``plan`` into a distributed clan run; return the outcome.
+
+    The workload is a :class:`~repro.cluster.runtime
+    .DistributedClanRuntime` barrier run — the same engine ``repro
+    learn`` exercises physically — with the injector threaded through
+    its worker pool, so ``worker``-scoped faults (kill / stall / drop)
+    land on real clan processes and the supervision machinery has to
+    recover from them.
+    """
+    from repro.cluster.runtime import DistributedClanRuntime
+    from repro.neat.checkpoint import encode_genome_hex
+    from repro.neat.config import NEATConfig
+
+    injector = ChaosInjector(plan)
+    config = NEATConfig.for_env(env_id, pop_size=pop_size)
+    with DistributedClanRuntime(
+        env_id,
+        n_clans=n_clans,
+        config=config,
+        seed=seed,
+        max_steps=max_steps,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        max_respawns=max_respawns,
+        chaos=injector,
+    ) as runtime:
+        stats = runtime.run(max_generations=generations)
+        champion = runtime.best_genome()
+    churn = stats.churn
+    outcome = {
+        "workload": "learn",
+        "env": env_id,
+        "seed": seed,
+        "n_clans": n_clans,
+        "generations": stats.generations,
+        "best_fitness": stats.best_fitness,
+        "converged": stats.converged,
+        "wall_time_s": stats.wall_time_s,
+        "champion_fitness": champion.fitness,
+        "champion_hex": encode_genome_hex(champion),
+        "churn": {
+            "deaths": churn.deaths,
+            "respawns": churn.respawns,
+            "clans_lost": churn.clans_lost,
+            "lost_generations": churn.lost_generations,
+        },
+    }
+    outcome.update(_chaos_summary(injector))
+    return outcome
+
+
+def run_serve_plan(
+    plan: FaultPlan,
+    env_id: str,
+    replicas: int = 2,
+    rate_hz: float = 400.0,
+    n_requests: int = 200,
+    seed: int = 0,
+    publishes: int = 2,
+    max_retries: int = 2,
+    max_replica_respawns: int = 2,
+) -> dict:
+    """Inject ``plan`` into a serving-fleet run; return the outcome.
+
+    The workload is a :class:`~repro.serve.fleet.ServingFleet` behind a
+    :class:`~repro.serve.registry.ChampionRegistry`, fed seeded Poisson
+    traffic by the :class:`~repro.serve.loadgen.LoadGenerator`.
+    ``publishes`` deployments are spread across the traffic window (the
+    first lands before any request), so ``replica``/``registry`` faults
+    scoped to ``publish`` events have live deployments to hit and the
+    catch-up / deployment-repair paths are exercised for real.
+    """
+    from repro.neat.config import NEATConfig
+    from repro.neat.population import Population
+    from repro.serve.fleet import ServingFleet
+    from repro.serve.loadgen import LoadGenerator, observation_sampler
+    from repro.serve.registry import ChampionRegistry
+
+    if publishes < 1:
+        raise ValueError("publishes must be >= 1")
+    injector = ChaosInjector(plan)
+    config = NEATConfig.for_env(env_id, pop_size=8)
+    population = Population(config, seed=seed)
+    candidates = [
+        population.genomes[key] for key in sorted(population.genomes)
+    ]
+
+    async def run() -> dict:
+        loop = asyncio.get_running_loop()
+        registry = ChampionRegistry(config)
+        fleet = ServingFleet(
+            registry,
+            replicas=replicas,
+            seed=seed,
+            max_replica_respawns=max_replica_respawns,
+            chaos=injector,
+        )
+        await fleet.start()
+        # publishes go through an executor thread: delay faults block
+        # the publisher, and the registry delivery path must not stall
+        # the event loop the fleet heals on
+        await loop.run_in_executor(
+            None, lambda: registry.publish(candidates[0], source="chaos")
+        )
+        await asyncio.wait_for(fleet.wait_deployed(), timeout=10.0)
+        generator = LoadGenerator(
+            fleet.submit,
+            observation_sampler(env_id),
+            rate_hz=rate_hz,
+            n_requests=n_requests,
+            seed=seed,
+            max_retries=max_retries,
+        )
+        load_task = loop.create_task(generator.run())
+        # remaining deployments land mid-traffic, spread evenly across
+        # the expected load window
+        window_s = n_requests / rate_hz
+        for index in range(1, publishes):
+            await asyncio.sleep(window_s / publishes)
+            genome = candidates[index % len(candidates)]
+            await loop.run_in_executor(
+                None,
+                lambda g=genome: registry.publish(g, source="chaos"),
+            )
+        report = await load_task
+        stats = await fleet.scrape()
+        traces = fleet.version_traces()
+        health = fleet.health()
+        await fleet.close()
+        registry.close()
+
+        # stale-serve audit: within each replica's served order the
+        # deployed champion version must never regress (the monotone
+        # seq guard's user-visible face)
+        regressions = sum(
+            1
+            for trace in traces.values()
+            for earlier, later in zip(trace, trace[1:])
+            if later < earlier
+        )
+        outcome = {
+            "workload": "serve",
+            "env": env_id,
+            "seed": seed,
+            "replicas": replicas,
+            "publishes": publishes,
+            "offered": report.offered,
+            "served": report.served,
+            "shed": report.shed,
+            "rejected_closed": report.rejected_closed,
+            "retried": report.retried,
+            "failed": report.failed,
+            "success_rate": (
+                report.served / report.offered if report.offered else 0.0
+            ),
+            "distinct_versions": report.distinct_versions,
+            "version_regressions": regressions,
+            "p95_latency_s": stats.p95_latency_s,
+            "health": health,
+        }
+        outcome.update(_chaos_summary(injector))
+        return outcome
+
+    return asyncio.run(run())

@@ -8,6 +8,9 @@ never needs to write Python:
 * ``serve``      — run the continuous-learning inference service: clans
   evolve in the background while a micro-batching gateway answers
   synthetic Poisson traffic, hot-swapping champions mid-run.
+* ``chaos``      — execute a deterministic fault plan against a learn or
+  serve workload and report whether the healing machinery fully
+  recovered (see ``docs/chaos.md``).
 * ``model``      — replay one run through the execution-mode simulator
   (barrier / pipelined / async) and compare modelled wall-clock.
 * ``inspect``    — summarise the champion genome of a checkpoint.
@@ -193,6 +196,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final population to this JSON file",
     )
+    learn.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="stream a crash-resumable checkpoint (population + run "
+        "manifest, atomically written and checksummed) to this directory "
+        "after every generation (Serial/CLAN_DCS/CLAN_DDS engines; see "
+        "docs/fault_tolerance.md)",
+    )
+    learn.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous --checkpoint-dir run from its latest "
+        "checkpoint; the continuation is bit-identical to a run that "
+        "never stopped",
+    )
     _add_telemetry_arguments(learn)
 
     serve = sub.add_parser(
@@ -234,6 +253,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "with champion propagation over pipes)",
     )
     serve.add_argument(
+        "--max-replica-respawns", type=int, default=2, metavar="N",
+        help="times a dead gateway replica is respawned (with backoff "
+        "and deployment catch-up) before being abandoned; 0 restores "
+        "the pre-healing fail-fast behaviour (see docs/chaos.md)",
+    )
+    serve.add_argument(
+        "--client-retries", type=int, default=0, metavar="N",
+        help="times the load generator retries a shed or replica-death "
+        "failure before counting the request as shed/failed",
+    )
+    serve.add_argument(
         "--slo-p95-ms", type=float, default=None, metavar="MS",
         help="target p95 latency; enables the AIMD batch autotuner "
         "(widens the batching window under SLO, shrinks on violation)",
@@ -260,6 +290,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "(1 = every generation)",
     )
     _add_telemetry_arguments(serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault plan against a learn or serve "
+        "workload and report whether the healing machinery fully "
+        "recovered (see docs/chaos.md)",
+    )
+    chaos.add_argument("env", choices=available_env_ids())
+    chaos.add_argument(
+        "--workload", default="learn", choices=("learn", "serve"),
+        help="what to inject into: a distributed clan run (real worker "
+        "processes) or a serving fleet under Poisson load",
+    )
+    chaos.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="JSON fault plan to execute (schema in docs/chaos.md)",
+    )
+    chaos.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="inline fault spec "
+        "'action,scope=S[,target=N][,kind=K][,at=N][,value=X]', e.g. "
+        "'kill,scope=worker,target=1,kind=clan_step,at=2'; repeatable, "
+        "appended to any --plan faults",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for fault payload randomness such as corrupt bit "
+        "flips (a --plan file's own seed wins)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--clans", type=int, default=2,
+        help="learn workload: clan worker processes",
+    )
+    chaos.add_argument(
+        "--pop", type=int, default=24,
+        help="learn workload: population size",
+    )
+    chaos.add_argument(
+        "--generations", type=int, default=4,
+        help="learn workload: generation budget",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="serve workload: gateway replica processes",
+    )
+    chaos.add_argument(
+        "--rate", type=float, default=400.0, metavar="QPS",
+        help="serve workload: Poisson arrival rate",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=200,
+        help="serve workload: total requests to offer",
+    )
+    chaos.add_argument(
+        "--publishes", type=int, default=2,
+        help="serve workload: deployments spread across the traffic "
+        "window (the first lands before any request)",
+    )
+    chaos.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_path",
+        help="also write the full outcome as JSON",
+    )
 
     inspect = sub.add_parser(
         "inspect", help="describe the champion of a checkpoint"
@@ -424,6 +517,18 @@ def _simulated_summary(generations) -> tuple[float, float]:
     return idle, gap
 
 
+#: args fields a ``--resume`` continuation must agree with the manifest
+#: on — any of these changing would change trajectories, so a mismatch
+#: is an error rather than a silent divergence
+_RESUME_PARAMS = (
+    "env", "protocol", "agents", "pop", "seed",
+    "backend", "eval_mode", "genetics",
+)
+
+#: store document name holding the resumable population checkpoint
+_POPULATION_DOC = "population"
+
+
 def _cmd_learn(args) -> int:
     if args.eval_mode == "population" and args.backend != "batched":
         print(
@@ -432,9 +537,49 @@ def _cmd_learn(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print(
+            "--resume continues a checkpointed run; point --checkpoint-dir "
+            "at the directory a previous run wrote",
+            file=sys.stderr,
+        )
+        return 2
     code = _validate_fleet(args)
     if code is not None:
         return code
+    store = manifest = None
+    if args.checkpoint_dir:
+        from repro.cluster.store import CheckpointStore
+        from repro.neat.checkpoint import CheckpointCorrupt
+
+        store = CheckpointStore(args.checkpoint_dir)
+        if args.resume:
+            try:
+                manifest = store.read_manifest(kind="learn")
+            except (CheckpointCorrupt, ValueError) as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            mismatched = [
+                f"--{param.replace('_', '-')} "
+                f"{getattr(args, param)!r} != {manifest.get(param)!r}"
+                for param in _RESUME_PARAMS
+                if manifest.get(param) != getattr(args, param)
+            ]
+            if mismatched:
+                print(
+                    "cannot resume: these arguments disagree with the "
+                    "checkpointed run (" + "; ".join(mismatched) + ")",
+                    file=sys.stderr,
+                )
+                return 2
+            if not store.exists(_POPULATION_DOC):
+                print(
+                    f"no population checkpoint in {args.checkpoint_dir} — "
+                    "the run died before its first generation completed; "
+                    "rerun without --resume",
+                    file=sys.stderr,
+                )
+                return 2
     tracer = _activate_tracer(args)
     cluster = _build_cluster(args)
     driver = ClanDriver(
@@ -448,20 +593,80 @@ def _cmd_learn(args) -> int:
         genetics=args.genetics,
         **_protocol_kwargs(args),
     )
+    engine = driver.engine
+    on_generation = None
+    if store is not None:
+        if getattr(engine, "population", None) is None:
+            print(
+                "--checkpoint-dir is supported for Serial/CLAN_DCS/"
+                "CLAN_DDS engines only (CLAN_DDA holds per-clan "
+                "populations; use repro serve --checkpoint-period for "
+                "its recovery path)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.neat.checkpoint import save_population
+
+        static_manifest = {
+            param: getattr(args, param) for param in _RESUME_PARAMS
+        }
+
+        def on_generation(engine, record):
+            # the hook runs between generations — the one boundary where
+            # the population is a complete, replayable state
+            save_population(engine.population, store.path(_POPULATION_DOC))
+            store.write_manifest("learn", {
+                **static_manifest,
+                "completed_generations": engine.generation,
+                "best_fitness": engine.best_fitness,
+            })
+
+    budget = args.generations
+    if args.resume:
+        from repro.neat.checkpoint import CheckpointCorrupt, load_population
+
+        try:
+            restored = load_population(store.path(_POPULATION_DOC))
+        except (CheckpointCorrupt, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        engine.population = restored
+        engine.generation = restored.generation
+        if restored.best_genome is not None:
+            engine.best_genome = restored.best_genome.copy()
+            engine.best_fitness = (
+                restored.best_genome.fitness
+                if restored.best_genome.fitness is not None
+                else manifest.get("best_fitness", float("-inf"))
+            )
+        budget = args.generations - restored.generation
+        if budget <= 0:
+            print(
+                f"checkpoint already holds {restored.generation} "
+                f"generation(s) — nothing left of a --generations "
+                f"{args.generations} budget"
+            )
+            return 0
     eval_note = (
         ", population sweep" if args.eval_mode == "population" else ""
     )
     genetics_note = (
         ", vectorized genetics" if args.genetics == "vectorized" else ""
     )
+    resume_note = (
+        f", resumed at generation {engine.generation}" if args.resume
+        else ""
+    )
     print(
         f"learning {args.env} with {args.protocol} on "
         f"{_fleet_label(cluster)} "
         f"(population {args.pop}, {args.backend} inference"
-        f"{eval_note}{genetics_note})"
+        f"{eval_note}{genetics_note}{resume_note})"
     )
     run = driver.learn(
-        max_generations=args.generations, fitness_threshold=args.threshold
+        max_generations=budget,
+        fitness_threshold=args.threshold,
+        on_generation=on_generation,
     )
     for record in run.result.records:
         print(
@@ -545,6 +750,12 @@ def _cmd_learn(args) -> int:
             return 2
         save_population(population, args.checkpoint)
         print(f"population checkpointed to {args.checkpoint}")
+    if store is not None:
+        print(
+            f"resumable checkpoint in {args.checkpoint_dir} "
+            f"({engine.generation} generation(s) completed; continue "
+            "with --resume)"
+        )
     _export_telemetry(args, tracer, registry)
     return 0 if run.converged or args.threshold is None else 1
 
@@ -582,6 +793,12 @@ def _cmd_serve(args) -> int:
     if args.replicas < 1:
         print("--replicas must be >= 1", file=sys.stderr)
         return 2
+    if args.max_replica_respawns < 0 or args.client_retries < 0:
+        print(
+            "--max-replica-respawns and --client-retries must be >= 0",
+            file=sys.stderr,
+        )
+        return 2
     if args.slo_p95_ms is not None and args.slo_p95_ms <= 0:
         print("--slo-p95-ms must be positive", file=sys.stderr)
         return 2
@@ -607,6 +824,7 @@ def _cmd_serve(args) -> int:
             ),
             checkpoint_period=args.checkpoint_period,
             replicas=args.replicas,
+            max_replica_respawns=args.max_replica_respawns,
             slo_p95_s=(
                 args.slo_p95_ms / 1e3
                 if args.slo_p95_ms is not None
@@ -620,6 +838,7 @@ def _cmd_serve(args) -> int:
             rate_hz=args.rate,
             n_requests=args.requests,
             seed=args.seed,
+            max_retries=args.client_retries,
         )
         report = await generator.run()
         # let the (bounded) background budget finish so the summary is
@@ -629,8 +848,9 @@ def _cmd_serve(args) -> int:
         # scrape *before* close so fleet replicas report fresh numbers
         stats = await service.scrape()
         per_replica = service.replica_stats()
+        health = service.health()
         await service.close()
-        return service, report, stats, per_replica, evolution
+        return service, report, stats, per_replica, health, evolution
 
     topology = (
         f"{args.replicas} gateway replicas"
@@ -643,7 +863,9 @@ def _cmd_serve(args) -> int:
         f"{args.generations} generations/clan), {args.rate:.0f} qps "
         "Poisson load"
     )
-    service, report, stats, per_replica, evolution = asyncio.run(run())
+    service, report, stats, per_replica, health, evolution = asyncio.run(
+        run()
+    )
 
     # the champion-changed events run_async streamed, one line per swap
     for record, event in service.promotions:
@@ -660,6 +882,8 @@ def _cmd_serve(args) -> int:
         ["offered", str(report.offered)],
         ["served", str(report.served)],
         ["shed", str(stats.shed)],
+        ["retried", str(report.retried)],
+        ["failed", str(report.failed)],
         ["qps", f"{stats.qps:,.0f}"],
         ["p50 latency", format_seconds(stats.p50_latency_s)],
         ["p95 latency", format_seconds(stats.p95_latency_s)],
@@ -692,6 +916,16 @@ def _cmd_serve(args) -> int:
                 replica_rows,
                 title="per-replica stats",
             )
+        )
+    respawns = health.get("replica_respawns", 0)
+    fleet_retries = health.get("requests_retried", 0)
+    hedged = health.get("requests_hedged", 0)
+    if respawns or fleet_retries or hedged:
+        # the self-healing rollup appears only when the fleet actually
+        # healed something — a clean run keeps its summary clean
+        print(
+            f"healing: {respawns} replica respawn(s), {fleet_retries} "
+            f"in-flight request(s) retried, {hedged} hedged"
         )
     if service.autotuner is not None:
         tuner = service.autotuner
@@ -732,8 +966,122 @@ def _cmd_serve(args) -> int:
                     rstats, replica=str(replica_id)
                 )
     registry.ingest_churn(evolution.churn)
+    registry.ingest_fleet_health(health)
     _export_telemetry(args, tracer, registry)
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.chaos import FaultPlan, parse_fault_spec
+    from repro.chaos.runner import run_learn_plan, run_serve_plan
+
+    faults = []
+    seed = args.chaos_seed
+    if args.plan:
+        try:
+            plan = FaultPlan.from_file(args.plan)
+        except (OSError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        faults.extend(plan.faults)
+        seed = plan.seed
+    try:
+        faults.extend(parse_fault_spec(spec) for spec in args.fault)
+        plan = FaultPlan(seed=seed, faults=tuple(faults))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.rate <= 0 or args.requests < 1 or args.publishes < 1:
+        print(
+            "--rate must be positive, --requests and --publishes >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"injecting {len(plan.faults)} fault(s) into a {args.workload} "
+        f"workload on {args.env} (workload seed {args.seed}, chaos "
+        f"seed {plan.seed})"
+    )
+    for fault in plan.faults:
+        print(f"  {fault.describe()}")
+    if args.workload == "learn":
+        outcome = run_learn_plan(
+            plan,
+            args.env,
+            n_clans=args.clans,
+            pop_size=args.pop,
+            generations=args.generations,
+            seed=args.seed,
+        )
+        churn = outcome["churn"]
+        healed = churn["clans_lost"] == 0
+        rows = [
+            ["generations", str(outcome["generations"])],
+            ["best fitness", f"{outcome['best_fitness']:.2f}"],
+            ["clan deaths", str(churn["deaths"])],
+            ["respawns", str(churn["respawns"])],
+            ["clans lost", str(churn["clans_lost"])],
+            ["generations re-run", str(churn["lost_generations"])],
+            ["champion", outcome["champion_hex"][:16] + "…"],
+        ]
+    else:
+        outcome = run_serve_plan(
+            plan,
+            args.env,
+            replicas=args.replicas,
+            rate_hz=args.rate,
+            n_requests=args.requests,
+            seed=args.seed,
+            publishes=args.publishes,
+        )
+        healed = (
+            outcome["failed"] == 0
+            and outcome["version_regressions"] == 0
+        )
+        rows = [
+            ["offered", str(outcome["offered"])],
+            ["served", str(outcome["served"])],
+            ["shed", str(outcome["shed"])],
+            ["retried", str(outcome["retried"])],
+            ["failed", str(outcome["failed"])],
+            ["success rate", f"{outcome['success_rate']:.1%}"],
+            ["version regressions", str(outcome["version_regressions"])],
+            ["replica respawns",
+             str(outcome["health"]["replica_respawns"])],
+            ["p95 latency", format_seconds(outcome["p95_latency_s"])],
+        ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"{args.workload} outcome",
+        )
+    )
+    injected = ", ".join(
+        f"{action} x{count}"
+        for action, count in sorted(outcome["faults_injected"].items())
+    )
+    print(
+        f"faults: {outcome['faults_fired']}/{outcome['faults_planned']} "
+        f"fired ({injected or 'none'})"
+        + (
+            f"; {outcome['faults_pending']} never matched an event"
+            if outcome["faults_pending"]
+            else ""
+        )
+    )
+    if args.json_path:
+        import json
+        import pathlib
+
+        target = pathlib.Path(args.json_path)
+        target.write_text(json.dumps(outcome, indent=2, sort_keys=True))
+        print(f"[outcome saved to {target}]")
+    recovered = healed and outcome["faults_pending"] == 0
+    print(
+        "fully recovered" if recovered
+        else "NOT fully recovered (see table above)"
+    )
+    return 0 if recovered else 1
 
 
 def _cmd_inspect(args) -> int:
@@ -905,6 +1253,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "learn": _cmd_learn,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "model": _cmd_model,
     "inspect": _cmd_inspect,
     "scale": _cmd_scale,

@@ -222,6 +222,8 @@ class DistributedClanRuntime:
         checkpoint_period: int = 1,
         respawn_backoff_s: float = 0.05,
         command_timeout_s: float = 30.0,
+        checkpoint_store=None,
+        chaos=None,
     ):
         """``backend="batched"`` makes every clan evaluate its members with
         the NumPy engine (episodes step in lockstep on the worker);
@@ -244,6 +246,14 @@ class DistributedClanRuntime:
         Recovery is exact: re-running a generation from a checkpoint is
         bit-identical to the original run, so an undisturbed run's
         trajectory is unchanged by any of these settings.
+
+        ``checkpoint_store`` (a :class:`repro.cluster.store.CheckpointStore`)
+        makes the run durable against *driver* death: every clan
+        checkpoint the runtime receives is also streamed to disk as it
+        lands, so a SIGKILLed driver no longer takes the run's recovery
+        state with it. ``chaos`` (a :class:`repro.chaos.ChaosInjector`)
+        is forwarded to the worker pool for replayable fault injection —
+        see ``docs/chaos.md``.
         """
         if checkpoint_period < 1:
             raise ValueError("checkpoint_period must be >= 1")
@@ -282,7 +292,9 @@ class DistributedClanRuntime:
             max_steps=max_steps,
             backend=backend,
             eval_mode=eval_mode,
+            chaos=chaos,
         )
+        self._store = checkpoint_store
         payloads = []
         for clan_id, block in enumerate(blocks):
             members = [seed_population.genomes[key] for key in block]
@@ -302,8 +314,38 @@ class DistributedClanRuntime:
         # worker that dies before its first streamed checkpoint can still
         # be respawned from generation zero
         replies = self.pool.broadcast("clan_init", payloads)
-        self._checkpoints: dict[int, dict] = dict(enumerate(replies))
+        self._checkpoints: dict[int, dict] = {}
+        for clan_id, reply in enumerate(replies):
+            self._record_checkpoint(clan_id, reply)
+        self._write_store_manifest()
         self._generation = 0
+
+    def _record_checkpoint(self, worker: int, payload: dict) -> None:
+        """Retain a clan checkpoint — and stream it to durable storage.
+
+        The in-memory dict serves respawns within this driver process;
+        the optional :class:`~repro.cluster.store.CheckpointStore` makes
+        the same state survive the driver itself (atomic, checksummed
+        writes — a crash mid-stream leaves the previous checkpoint
+        intact).
+        """
+        self._checkpoints[worker] = payload
+        if self._store is not None:
+            self._store.put_clan(worker, payload)
+
+    def _write_store_manifest(self) -> None:
+        if self._store is None:
+            return
+        self._store.write_manifest(
+            "clan-run",
+            {
+                "env_id": self.env_id,
+                "n_clans": self.n_clans,
+                "seed": self.seed,
+                "pop_size": self.config.pop_size,
+                "checkpoint_period": self.checkpoint_period,
+            },
+        )
 
     def run(
         self,
@@ -392,8 +434,11 @@ class DistributedClanRuntime:
                     continue
                 try:
                     self.pool._request(worker, "clan_checkpoint", None)
-                    self._checkpoints[worker] = self.pool._collect(
-                        worker, timeout=self.command_timeout_s
+                    self._record_checkpoint(
+                        worker,
+                        self.pool._collect(
+                            worker, timeout=self.command_timeout_s
+                        ),
                     )
                 except WorkerFailure:
                     # failed mid-refresh: the stale checkpoint stands and
@@ -624,7 +669,7 @@ class DistributedClanRuntime:
                     if tracer is not None:
                         tracer.absorb(value)
                 elif status == "checkpoint":
-                    self._checkpoints[worker] = value
+                    self._record_checkpoint(worker, value)
                 elif status == "champion":
                     # clans stream their *local* improvements; only
                     # global improvements become events (this also

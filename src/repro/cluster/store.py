@@ -1,0 +1,137 @@
+"""Durable checkpoint storage: the run outlives the driver process.
+
+PR 6 made clan workers recoverable — but their checkpoints lived in a
+dict inside the driver (`DistributedClanRuntime._checkpoints`), so a
+SIGKILLed *driver* still lost the whole run. :class:`CheckpointStore`
+is the missing durability layer: a directory of atomically-written,
+CRC32-checksummed JSON documents plus a versioned manifest describing
+the run they belong to. The write primitive is shared with
+:func:`repro.neat.checkpoint.save_population` (tmp file +
+``os.replace``), so a crash at any instant leaves either the previous
+complete document or the new complete document on disk — never a torn
+one.
+
+Two clients:
+
+- ``DistributedClanRuntime(checkpoint_store=...)`` streams every clan
+  checkpoint it receives into the store as it lands.
+- ``repro learn --checkpoint-dir`` persists the logical engine's
+  population once per generation, and ``--resume`` reconstructs the
+  driver from the manifest and continues bit-identically (every RNG
+  stream is name-derived, so there is no hidden generator state to
+  lose).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.neat.checkpoint import (
+    CheckpointCorrupt,
+    atomic_write_json,
+    checked_read_json,
+)
+
+__all__ = ["CheckpointStore", "CheckpointCorrupt", "MANIFEST_VERSION"]
+
+#: format version of the manifest document
+MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "manifest"
+_CLAN_PREFIX = "clan_"
+
+
+class CheckpointStore:
+    """A directory of checksummed checkpoint documents + a manifest.
+
+    Every document is written atomically and carries a CRC32 checksum;
+    reads raise :class:`repro.neat.checkpoint.CheckpointCorrupt` on any
+    damage. Names are flat identifiers (no path separators) mapped to
+    ``<name>.json`` files, so the directory stays human-inspectable.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- generic documents -------------------------------------------------
+
+    def path(self, name: str) -> pathlib.Path:
+        """Filesystem path backing document ``name``."""
+        if "/" in name or "\\" in name:
+            raise ValueError(f"checkpoint names are flat, got {name!r}")
+        return self.root / f"{name}.json"
+
+    def write(self, name: str, payload: dict) -> None:
+        """Atomically persist ``payload`` as document ``name``."""
+        atomic_write_json(self.path(name), payload)
+
+    def read(self, name: str) -> dict:
+        """Load document ``name``, verifying its checksum."""
+        return checked_read_json(self.path(name))
+
+    def exists(self, name: str) -> bool:
+        """Whether document ``name`` has been written."""
+        return self.path(name).exists()
+
+    # -- the manifest ------------------------------------------------------
+
+    def write_manifest(self, kind: str, payload: dict) -> None:
+        """Persist the run manifest.
+
+        ``kind`` identifies the writer (``"learn"`` for resumable CLI
+        runs, ``"clan-run"`` for the distributed runtime) so a resume
+        attempt against the wrong kind of store fails loudly instead of
+        misinterpreting fields.
+        """
+        document = dict(payload)
+        document["manifest_version"] = MANIFEST_VERSION
+        document["kind"] = kind
+        self.write(_MANIFEST_NAME, document)
+
+    def read_manifest(self, kind: str | None = None) -> dict:
+        """Load the manifest, optionally checking its ``kind``.
+
+        Raises :class:`CheckpointCorrupt` when the manifest is missing or
+        damaged, and :class:`ValueError` on a version or kind mismatch.
+        """
+        if not self.exists(_MANIFEST_NAME):
+            raise CheckpointCorrupt(
+                f"no manifest in checkpoint store {self.root} — nothing "
+                "to resume from"
+            )
+        manifest = self.read(_MANIFEST_NAME)
+        version = manifest.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {version!r} in {self.root}"
+            )
+        if kind is not None and manifest.get("kind") != kind:
+            raise ValueError(
+                f"checkpoint store {self.root} holds a "
+                f"{manifest.get('kind')!r} run, expected {kind!r}"
+            )
+        return manifest
+
+    def has_manifest(self) -> bool:
+        """Whether a manifest has been written."""
+        return self.exists(_MANIFEST_NAME)
+
+    # -- per-clan checkpoints (DistributedClanRuntime) ---------------------
+
+    def put_clan(self, clan_id: int, payload: dict) -> None:
+        """Persist the latest checkpoint of clan ``clan_id``."""
+        self.write(f"{_CLAN_PREFIX}{clan_id:04d}", payload)
+
+    def get_clan(self, clan_id: int) -> dict:
+        """Load the latest checkpoint of clan ``clan_id``."""
+        return self.read(f"{_CLAN_PREFIX}{clan_id:04d}")
+
+    def clan_ids(self) -> list[int]:
+        """Sorted ids of every clan with a stored checkpoint."""
+        ids = []
+        for path in self.root.glob(f"{_CLAN_PREFIX}*.json"):
+            stem = path.stem[len(_CLAN_PREFIX):]
+            if stem.isdigit():
+                ids.append(int(stem))
+        return sorted(ids)

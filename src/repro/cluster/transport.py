@@ -348,10 +348,18 @@ class WorkerPool:
         max_steps: int | None = None,
         backend: str = "scalar",
         eval_mode: str = "per_genome",
+        chaos=None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.n_workers = n_workers
+        #: optional :class:`repro.chaos.ChaosInjector`. Consulted once
+        #: per outbound command in :meth:`_request` — the single choke
+        #: point every parent->worker message flows through — so a fault
+        #: plan can kill/stall a worker or drop a command at an exact,
+        #: replayable protocol event. ``None`` (the default) adds no
+        #: branches beyond one ``is None`` check.
+        self._chaos = chaos
         self.env_id = env_id
         self.config = config
         self.backend = backend
@@ -406,10 +414,38 @@ class WorkerPool:
     def _request(self, worker: int, command: str, payload) -> None:
         if worker in self._dead:
             raise WorkerDied(worker, f"worker {worker} is dead")
+        if self._chaos is not None and not self._apply_chaos(
+            worker, command
+        ):
+            return  # command dropped by the fault plan
         try:
             self._conns[worker].send((command, payload))
         except (BrokenPipeError, OSError):
             raise self._mark_dead(worker) from None
+
+    def _apply_chaos(self, worker: int, command: str) -> bool:
+        """Consult the fault plan for one outbound command.
+
+        Returns False when the command must be dropped (the caller's
+        reply timeout then surfaces it as a hang, exactly like a lost
+        message would). A ``kill`` fault terminates the worker process
+        *before* the send, so the death is observed through the normal
+        channels — failed send or pipe EOF — not through a side door.
+        """
+        decision = self._chaos.on_event("worker", worker, command)
+        if not decision.intercepts:
+            return True
+        if decision.stall_s > 0.0:
+            try:
+                self._conns[worker].send(("inject_stall", decision.stall_s))
+            except (BrokenPipeError, OSError):
+                raise self._mark_dead(worker) from None
+        if decision.kill:
+            proc = self._procs[worker]
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+        return decision.deliveries > 0
 
     def _collect(self, worker: int, timeout: float | None = None):
         """Wait for one reply; ``timeout`` (seconds) bounds the wait.

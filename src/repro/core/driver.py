@@ -129,11 +129,18 @@ class ClanDriver:
         self,
         max_generations: int = 100,
         fitness_threshold: float | None = None,
+        on_generation=None,
     ) -> TimedRun:
-        """Evolve until convergence (or budget), then time the run."""
+        """Evolve until convergence (or budget), then time the run.
+
+        ``on_generation(engine, record)`` fires after every completed
+        generation (see :meth:`ProtocolBase.run`) — the CLI's
+        ``--checkpoint-dir`` streams crash-resume checkpoints through it.
+        """
         result = self.engine.run(
             max_generations=max_generations,
             fitness_threshold=fitness_threshold,
+            on_generation=on_generation,
         )
         total = time_run(result.records, self.cluster, self._pi_env_step_s)
         per_generation = mean_generation_time(

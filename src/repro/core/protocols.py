@@ -125,11 +125,16 @@ class ProtocolBase:
         self,
         max_generations: int,
         fitness_threshold: float | None = None,
+        on_generation=None,
     ) -> RunResult:
         """Run generations until convergence or the budget expires.
 
         ``fitness_threshold`` defaults to the workload's gym convergence
-        criterion.
+        criterion. ``on_generation(engine, record)``, if given, fires
+        after every completed generation — the hook crash-resumable
+        runs stream per-generation checkpoints through (it must not
+        mutate engine state; it runs between generations, where the
+        engine is at a clean replayable boundary).
         """
         threshold = (
             self.solved_threshold
@@ -146,6 +151,8 @@ class ProtocolBase:
             with obs.span("generation", gen=self.generation):
                 record = self.run_generation()
             result.records.append(record)
+            if on_generation is not None:
+                on_generation(self, record)
             if record.best_fitness >= threshold:
                 result.converged = True
                 result.generations_to_converge = record.generation + 1

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
+import zlib
 
 from repro.neat.config import NEATConfig
 from repro.neat.genome import Genome
@@ -34,6 +36,88 @@ SUPPORTED_VERSIONS = (1, 2)
 
 #: config fields stored as tuples but serialised as JSON lists
 _TUPLE_FIELDS = ("allowed_activations", "allowed_aggregations")
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file is unreadable: truncated, bit-flipped, or
+    otherwise failing its integrity checks.
+
+    Raised instead of a raw :class:`json.JSONDecodeError` (or a
+    ``KeyError`` deep inside genome decoding) so callers can distinguish
+    "this file is damaged — fall back or refuse to resume" from a
+    programming error.
+    """
+
+
+def document_checksum(document: dict) -> int:
+    """CRC32 over the canonical JSON serialisation of ``document``.
+
+    The ``crc32`` field itself is excluded, so the checksum can be
+    embedded in the document it protects. Canonical means what a reader
+    parses back: the document is normalised through a JSON round-trip
+    first (int dict keys become strings, tuples become lists) and then
+    dumped with sorted keys and compact separators, so the writer and a
+    later reader of the same bytes always agree.
+    """
+    body = {key: value for key, value in document.items() if key != "crc32"}
+    normalised = json.loads(json.dumps(body))
+    canonical = json.dumps(normalised, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def atomic_write_json(path, document: dict) -> None:
+    """Write ``document`` as JSON atomically, with an embedded checksum.
+
+    The document gains a ``crc32`` field (see :func:`document_checksum`),
+    is written to a temporary file in the same directory, flushed to
+    disk, and renamed over ``path`` with :func:`os.replace` — so readers
+    only ever observe either the old complete file or the new complete
+    file, never a torn write. This is the shared durability primitive for
+    population checkpoints and :class:`repro.cluster.store.CheckpointStore`.
+    """
+    target = pathlib.Path(path)
+    document = dict(document)
+    document["crc32"] = document_checksum(document)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def checked_read_json(path) -> dict:
+    """Read a JSON document written by :func:`atomic_write_json`.
+
+    Raises :class:`CheckpointCorrupt` on truncation, non-JSON bytes, a
+    non-object top level, or a checksum mismatch. Documents without a
+    ``crc32`` field (pre-checksum checkpoints) load without verification.
+    """
+    target = pathlib.Path(path)
+    try:
+        raw = target.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointCorrupt(f"cannot read checkpoint {target}: {error}")
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise CheckpointCorrupt(
+            f"checkpoint {target} is not valid JSON "
+            f"(truncated or corrupted): {error}"
+        )
+    if not isinstance(document, dict):
+        raise CheckpointCorrupt(
+            f"checkpoint {target} is not a JSON object "
+            f"(got {type(document).__name__})"
+        )
+    stored = document.get("crc32")
+    if stored is not None and stored != document_checksum(document):
+        raise CheckpointCorrupt(
+            f"checkpoint {target} failed its CRC32 integrity check "
+            f"(stored {stored}, computed {document_checksum(document)}) — "
+            "the file was corrupted after it was written"
+        )
+    return document
 
 
 def encode_genome_hex(genome: Genome) -> str:
@@ -119,7 +203,10 @@ def save_population(population: Population, path) -> None:
     """Write a checkpoint of ``population`` to ``path``.
 
     Must be called between generations (the natural state boundary);
-    in-flight evaluation state is never part of a checkpoint.
+    in-flight evaluation state is never part of a checkpoint. The write
+    is atomic (tmp file + ``os.replace``) and carries a CRC32 checksum,
+    so a crash mid-write leaves the previous checkpoint intact and a
+    damaged file is detected on load rather than silently resumed from.
     """
     species_blobs = [
         species_to_blob(species, population.genomes)
@@ -145,17 +232,32 @@ def save_population(population: Population, path) -> None:
             else None
         ),
     }
-    pathlib.Path(path).write_text(json.dumps(document))
+    atomic_write_json(path, document)
 
 
 def load_population(path) -> Population:
-    """Reconstruct a :class:`Population` from a checkpoint file."""
-    document = json.loads(pathlib.Path(path).read_text())
+    """Reconstruct a :class:`Population` from a checkpoint file.
+
+    Raises :class:`CheckpointCorrupt` for damaged files and
+    :class:`ValueError` for well-formed files of an unsupported version.
+    """
+    document = checked_read_json(path)
     if document.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint version {document.get('version')!r}"
         )
 
+    try:
+        return _population_from_document(document)
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointCorrupt(
+            f"checkpoint {path} passed its checksum but failed to "
+            f"decode ({type(error).__name__}: {error}) — the file was "
+            "damaged before its checksum was computed or hand-edited"
+        )
+
+
+def _population_from_document(document: dict) -> Population:
     config_data = dict(document["config"])
     for field in _TUPLE_FIELDS:
         config_data[field] = tuple(config_data[field])

@@ -299,6 +299,48 @@ class MetricsRegistry:
             **labels,
         ).set(churn.mean_recovery_latency_s())
 
+    def ingest_fleet_health(self, health: Mapping[str, Any],
+                            **labels: Any) -> None:
+        """Fold a serving fleet's self-healing counters in.
+
+        ``health`` is the dict :meth:`repro.serve.fleet.ServingFleet
+        .health` returns — respawn/retry/hedge totals, per-replica
+        circuit-breaker states, and the chaos injector's fired-fault
+        tally (empty without a fault plan). Ingest one final snapshot
+        per run, like the other ``ingest_*`` surfaces.
+        """
+        for name, key, help_ in (
+            ("repro_replica_respawns_total", "replica_respawns",
+             "serving replicas respawned after a death"),
+            ("repro_requests_retried_total", "requests_retried",
+             "in-flight requests transparently re-dispatched after a "
+             "replica death"),
+            ("repro_requests_hedged_total", "requests_hedged",
+             "duplicate hedged dispatches racing a slow replica"),
+        ):
+            self.counter(name, help_, **labels).inc(
+                health.get(key, 0)
+            )
+        for action, count in sorted(
+            health.get("faults_injected", {}).items()
+        ):
+            self.counter(
+                "repro_faults_injected_total",
+                "chaos-plane faults fired, by action",
+                action=action,
+                **labels,
+            ).inc(count)
+        for replica_id, state in sorted(
+            health.get("breaker_states", {}).items()
+        ):
+            self.gauge(
+                "repro_replica_breaker_state",
+                "per-replica circuit breaker: 0 closed, 0.5 half-open, "
+                "1 open",
+                replica=str(replica_id),
+                **labels,
+            ).set(state)
+
     def ingest_run_result(self, result: "RunResult", **labels: Any) -> None:
         """Fold a protocol run's evolution-side outcome in."""
         self.counter(

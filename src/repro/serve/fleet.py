@@ -28,10 +28,32 @@ on violation, driving the live
 :meth:`~repro.serve.batcher.MicroBatcher.reconfigure` knobs.
 
 Liveness follows :mod:`repro.cluster.transport`: a reader thread
-multiplexes replica pipes via ``multiprocessing.connection.wait``, EOF
-marks a replica dead, and death fails only that replica's in-flight
-requests (:class:`ReplicaDied`) — the fleet keeps serving on the
-survivors.
+multiplexes replica pipes via ``multiprocessing.connection.wait`` and
+EOF marks a replica dead. From there the fleet *heals* rather than
+merely isolates (mirroring the cluster runtime's supervision policy):
+
+- requests pending on the dead replica are transparently re-dispatched
+  to a surviving replica with seeded jitter, up to ``submit_retries``
+  per request (``requests_retried`` counts them) — callers only see
+  :class:`ReplicaDied` once the retry budget or the whole fleet is
+  exhausted;
+- the replica is respawned with exponential backoff up to
+  ``max_replica_respawns`` times, caught up to the current deployment
+  seq (the cached latest deployment is replayed down its fresh pipe,
+  exactly like the registry's late-subscribe replay), and only admitted
+  back into the balancer once it acks that seq — a respawned replica can
+  never serve a stale champion;
+- a per-replica circuit breaker (``breaker_threshold`` consecutive
+  deaths opens it for ``breaker_reset_s``) keeps a flapping replica out
+  of the rotation until it cools down, then half-opens it for a trial;
+- a deployment-repair loop re-sends the cached deployment to any live
+  replica whose acked seq lags (healing a dropped/corrupted publish
+  message — re-delivery is idempotent thanks to the monotone guard).
+
+All of it is driven by protocol events, not wall-clock sampling, so an
+undisturbed fleet behaves bit-identically with healing on or off. The
+optional ``chaos`` injector (:mod:`repro.chaos`) intercepts the publish
+and infer send paths for replayable fault scenarios.
 """
 
 from __future__ import annotations
@@ -41,6 +63,7 @@ import multiprocessing as mp
 import os
 import random
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 from multiprocessing import connection as mp_connection
@@ -402,6 +425,11 @@ class _ReplicaHandle:
         "final_stats",
         "stats_future",
         "version_trace",
+        "dead_handled",
+        "catching_up",
+        "respawns",
+        "breaker_failures",
+        "breaker_open_until",
     )
 
     def __init__(self, replica_id: int, conn, proc):
@@ -411,10 +439,13 @@ class _ReplicaHandle:
         #: sends come from the event loop (infer/stats/close) *and* the
         #: publisher thread (deployments) — serialise them
         self.send_lock = threading.Lock()
-        #: accepted-but-unsent ``(observation, future, submitted_at)``
+        #: accepted-but-unsent ``(observation, future, submitted_at,
+        #: retries)`` — the observation rides along so a request caught
+        #: on a dying replica can be re-dispatched elsewhere
         self.outbox: deque = deque()
         self.flush_scheduled = False
-        #: chunk_id -> list of ``(future, submitted_at)``
+        #: chunk_id -> list of ``(observation, future, submitted_at,
+        #: retries)``
         self.inflight: dict[int, list] = {}
         self.inflight_count = 0
         #: highest deployment seq this replica has acked
@@ -426,6 +457,19 @@ class _ReplicaHandle:
         #: champion versions in served order (consecutive dedup) — the
         #: stale-serve audit asserts this never regresses between acks
         self.version_trace: list[int] = []
+        #: guards against the death handler running twice for one death
+        #: (reader EOF and a failed send can both report it)
+        self.dead_handled = False
+        #: a respawned replica is alive but held out of the balancer
+        #: until it acks the current deployment seq
+        self.catching_up = False
+        #: respawns consumed (bounded by ``max_replica_respawns``)
+        self.respawns = 0
+        #: consecutive deaths without an answered request in between —
+        #: reaching ``breaker_threshold`` opens the circuit breaker
+        self.breaker_failures = 0
+        #: monotonic deadline until which the breaker stays open
+        self.breaker_open_until = 0.0
 
     def send(self, message) -> None:
         with self.send_lock:
@@ -466,6 +510,15 @@ class ServingFleet:
         max_inflight: int = 4096,
         chunk_size: int = 256,
         close_timeout_s: float = 30.0,
+        max_replica_respawns: int = 2,
+        respawn_backoff_s: float = 0.05,
+        submit_retries: int = 2,
+        retry_jitter_s: float = 0.002,
+        hedge_after_s: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 1.0,
+        deploy_repair_s: float = 0.25,
+        chaos=None,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -473,6 +526,12 @@ class ServingFleet:
             raise ValueError("max_inflight must be >= 1")
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if max_replica_respawns < 0:
+            raise ValueError("max_replica_respawns must be >= 0")
+        if submit_retries < 0:
+            raise ValueError("submit_retries must be >= 0")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.registry = registry
         self.replicas = replicas
         self.max_batch = max_batch
@@ -485,10 +544,31 @@ class ServingFleet:
         #: requests forwarded per pipe message (amortises pickling)
         self.chunk_size = chunk_size
         self.close_timeout_s = close_timeout_s
+        #: self-healing policy (see the module docstring)
+        self.max_replica_respawns = max_replica_respawns
+        self.respawn_backoff_s = respawn_backoff_s
+        self.submit_retries = submit_retries
+        self.retry_jitter_s = retry_jitter_s
+        self.hedge_after_s = hedge_after_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.deploy_repair_s = deploy_repair_s
         #: parent-side sheds (replica window full); replica-side sheds
         #: live in each replica's own stats
         self.fleet_shed = 0
+        #: healing counters (ingested as repro_replica_respawns_total /
+        #: repro_requests_retried_total — see obs/metrics.py)
+        self.replica_respawns = 0
+        self.requests_retried = 0
+        self.requests_hedged = 0
         self._rng = random.Random(seed)
+        #: retry/hedge placement draws come from a *separate* seeded
+        #: stream so healing never shifts the balancer's deterministic
+        #: pick sequence for healthy traffic
+        self._retry_rng = random.Random(seed ^ 0x9E3779B1)
+        #: optional :class:`repro.chaos.ChaosInjector` consulted on the
+        #: publish and infer send paths (None = zero interference)
+        self._chaos = chaos
         self._handles: dict[int, _ReplicaHandle] = {}
         #: cached sorted live-replica ids — the submit hot path picks
         #: from this instead of rescanning handles per request; rebuilt
@@ -504,6 +584,23 @@ class ServingFleet:
         self._started_at: float | None = None
         self._closed = False
         self._close_done = False
+        #: latest deployment ``(seq, version, wire)`` — replayed to
+        #: respawned replicas and by the deployment-repair loop
+        self._last_deployment: tuple[int, int, bytes] | None = None
+        #: replica ids with a respawn in flight (death observed, new
+        #: process not yet admitted)
+        self._respawning: set[int] = set()
+        self._respawn_tasks: set[asyncio.Task] = set()
+        self._repair_task: asyncio.Task | None = None
+        #: ``(conn, proc)`` of replaced replica processes. The reader
+        #: thread may still be selecting on an old pipe when its
+        #: replacement arrives, so retirees are only closed/reaped at
+        #: fleet close (bounded by replicas x max_replica_respawns)
+        self._retired: list[tuple] = []
+        #: requests parked while *no* replica is routable but a respawn
+        #: is in flight — drained on re-admission, failed on give-up
+        self._parked: deque = deque()
+        self._trace = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -514,27 +611,11 @@ class ServingFleet:
             raise RuntimeError("fleet already started")
         self._loop = asyncio.get_running_loop()
         self._scrape_lock = asyncio.Lock()
-        ctx = mp.get_context("fork")
-        trace = obs_tracer.current() is not None
+        self._trace = obs_tracer.current() is not None
         for replica_id in range(self.replicas):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_replica_main,
-                args=(
-                    child_conn,
-                    replica_id,
-                    self.max_batch,
-                    self.max_wait_s,
-                    self.max_pending,
-                    trace,
-                ),
-                name=f"serve-replica-{replica_id}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+            conn, proc = self._spawn_replica(replica_id)
             self._handles[replica_id] = _ReplicaHandle(
-                replica_id, parent_conn, proc
+                replica_id, conn, proc
             )
         self._rebuild_live()
         self._reader = threading.Thread(
@@ -542,9 +623,38 @@ class ServingFleet:
         )
         self._reader.start()
         self._started_at = clock.perf()
+        self._repair_task = self._loop.create_task(
+            self._deploy_repair_loop()
+        )
         self._subscription = self.registry.subscribe(
             self._on_deployment, replay_current=True
         )
+
+    def _spawn_replica(self, replica_id: int):
+        """Fork one replica process; returns its ``(conn, proc)``.
+
+        Shared by initial startup and respawn — a respawned replica runs
+        with identical arguments, the serving analogue of
+        ``WorkerPool._spawn_args``.
+        """
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_replica_main,
+            args=(
+                child_conn,
+                replica_id,
+                self.max_batch,
+                self.max_wait_s,
+                self.max_pending,
+                self._trace,
+            ),
+            name=f"serve-replica-{replica_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
 
     def _read_replies(self) -> None:
         """Multiplex every replica pipe onto the event loop.
@@ -561,7 +671,10 @@ class ServingFleet:
                 if handle.alive
             }
             if not conns:
-                return
+                # total loss is no longer terminal: a respawn may be in
+                # flight, and its fresh pipe appears in the next rebuild
+                self._reader_stop.wait(0.01)
+                continue
             for conn in mp_connection.wait(list(conns), timeout=0.05):
                 handle = conns[conn]
                 try:
@@ -587,6 +700,10 @@ class ServingFleet:
         self._closed = True
         if self._subscription is not None:
             self.registry.unsubscribe(self._subscription)
+        if self._repair_task is not None:
+            self._repair_task.cancel()
+        for task in list(self._respawn_tasks):
+            task.cancel()
         live = [h for h in self._handles.values() if h.alive]
         for handle in live:
             self._flush_outbox(handle)
@@ -611,10 +728,22 @@ class ServingFleet:
             if handle.proc.is_alive():  # pragma: no cover - defensive
                 handle.proc.terminate()
                 handle.proc.join(timeout=5.0)
+        for conn, proc in self._retired:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        closed = ServiceClosed("fleet closed with work in flight")
         for handle in self._handles.values():
-            self._fail_pending(
-                handle, ServiceClosed("fleet closed with work in flight")
-            )
+            self._fail_pending(handle, closed)
+        while self._parked:
+            _, future, _, _ = self._parked.popleft()
+            if not future.done():
+                future.set_exception(closed)
         self._close_done = True
 
     # -- deployment propagation ---------------------------------------------
@@ -631,11 +760,38 @@ class ServingFleet:
         if self._closed:
             return
         wire = encode_batched_plan(record.plan)
+        self._last_deployment = (seq, record.version, wire)
+        if self._chaos is not None:
+            registry_decision = self._chaos.on_event(
+                "registry", None, "publish"
+            )
+            if registry_decision.delay_s > 0.0:
+                # registry-publish delay: holds delivery to the whole
+                # fleet (the publisher thread is the delivery thread)
+                time.sleep(registry_decision.delay_s)
         for handle in self._handles.values():
             if not handle.alive:
                 continue
+            payload = wire
+            deliveries = 1
+            if self._chaos is not None:
+                decision = self._chaos.on_event(
+                    "replica", handle.id, "publish"
+                )
+                if decision.intercepts:
+                    if decision.kill and handle.proc.is_alive():
+                        handle.proc.kill()
+                    if decision.delay_s > 0.0:
+                        time.sleep(decision.delay_s)
+                    if decision.corrupt:
+                        # a corrupted plan fails decode in the replica,
+                        # killing it — the heal path (respawn + replay)
+                        # must recover, which is the point of the fault
+                        payload = self._chaos.corrupt_bytes(wire)
+                    deliveries = decision.deliveries
             try:
-                handle.send(("publish", (seq, record.version, wire)))
+                for _ in range(deliveries):
+                    handle.send(("publish", (seq, record.version, payload)))
             except (OSError, ValueError):  # pragma: no cover - racy death
                 pass
 
@@ -654,6 +810,8 @@ class ServingFleet:
     def _deploy_satisfied(self, seq: int) -> bool:
         live = [h for h in self._handles.values() if h.alive]
         if not live:
+            if self._respawning:
+                return False  # heal in progress — keep waiting
             raise ReplicaDied("no live replicas")
         return all(h.acked_seq >= seq for h in live)
 
@@ -680,16 +838,34 @@ class ServingFleet:
 
         Raises :class:`~repro.serve.batcher.Overloaded` when the chosen
         replica's in-flight window is full (fleet backpressure; also
-        raised when the replica itself sheds), :class:`ReplicaDied` if
-        the replica dies with this request in flight, and
+        raised when the replica itself sheds), :class:`ReplicaDied` only
+        when a request exhausts its transparent retry budget (or the
+        whole fleet is dead with no respawn in flight), and
         :class:`~repro.serve.batcher.ServiceClosed` after ``close``.
         """
         if self._loop is None:
             raise RuntimeError("fleet not started")
         if self._closed:
             raise ServiceClosed("fleet is closing; request rejected")
+        future = self._loop.create_future()
+        # the observation is forwarded as-is (the replica's own
+        # micro-batcher normalises it); the parent hot path stays lean —
+        # it is shared by every replica and caps fleet scaling
+        if not isinstance(observation, (list, tuple)):
+            observation = list(observation)
         if not self._live:
-            raise ReplicaDied("no live replicas")
+            if not self._respawning:
+                raise ReplicaDied("no live replicas")
+            # the whole fleet is down but a respawn is in flight: park
+            # the request; it is drained on re-admission (bounded by the
+            # same in-flight window as a live replica)
+            if len(self._parked) >= self.max_inflight:
+                self.fleet_shed += 1
+                raise Overloaded(f"{len(self._parked)} requests parked")
+            self._parked.append(
+                (observation, future, self._loop.time(), 0)
+            )
+            return await future
         handle = self._rng.choice(self._live)
         pending = handle.inflight_count + len(handle.outbox)
         if pending >= self.max_inflight:
@@ -697,41 +873,88 @@ class ServingFleet:
             raise Overloaded(
                 f"replica {handle.id}: {pending} requests in flight"
             )
-        future = self._loop.create_future()
-        # the observation is forwarded as-is (the replica's own
-        # micro-batcher normalises it); the parent hot path stays lean —
-        # it is shared by every replica and caps fleet scaling
-        if not isinstance(observation, (list, tuple)):
-            observation = list(observation)
-        handle.outbox.append((observation, future, self._loop.time()))
+        handle.outbox.append(
+            (observation, future, self._loop.time(), 0)
+        )
         if not handle.flush_scheduled:
             handle.flush_scheduled = True
             self._loop.call_soon(self._flush_outbox, handle)
+        if self.hedge_after_s is not None and len(self._live) > 1:
+            self._loop.call_later(
+                self.hedge_after_s,
+                self._maybe_hedge,
+                observation,
+                future,
+                handle,
+            )
         return await future
+
+    def _maybe_hedge(self, observation, future, first: _ReplicaHandle):
+        """Optional hedged re-dispatch: if the request is still
+        unanswered after ``hedge_after_s``, race a duplicate on another
+        replica — first answer wins (the loser's outcome finds the
+        future already resolved and is dropped)."""
+        if future.done() or self._closed:
+            return
+        others = [h for h in self._live if h is not first]
+        if not others:
+            return
+        target = self._retry_rng.choice(others)
+        self.requests_hedged += 1
+        target.outbox.append(
+            (observation, future, self._loop.time(), self.submit_retries)
+        )
+        if not target.flush_scheduled:
+            target.flush_scheduled = True
+            self._loop.call_soon(self._flush_outbox, target)
 
     def _flush_outbox(self, handle: _ReplicaHandle) -> None:
         """Forward the accepted backlog in chunks (loop thread only)."""
         handle.flush_scheduled = False
         if not handle.alive:
-            self._fail_pending(
-                handle, ReplicaDied(f"replica {handle.id} died")
-            )
+            self._on_replica_death(handle)
             return
         while handle.outbox:
             observations = []
             waiters = []
             for _ in range(min(self.chunk_size, len(handle.outbox))):
-                obs, future, submitted_at = handle.outbox.popleft()
-                observations.append(obs)
-                waiters.append((future, submitted_at))
+                entry = handle.outbox.popleft()
+                observations.append(entry[0])
+                waiters.append(entry)
             chunk_id = self._next_chunk_id
             self._next_chunk_id += 1
+            if self._chaos is not None:
+                decision = self._chaos.on_event(
+                    "replica", handle.id, "infer"
+                )
+                if decision.intercepts:
+                    if decision.kill and handle.proc.is_alive():
+                        handle.proc.kill()
+                    if decision.deliveries == 0:
+                        # a lost infer chunk: heal by re-dispatching its
+                        # requests, exactly like an in-flight death
+                        self._redispatch(
+                            waiters,
+                            handle,
+                            ReplicaDied(
+                                f"replica {handle.id} lost a chunk"
+                            ),
+                        )
+                        continue
+                    if decision.deliveries > 1:
+                        # duplicate chunk: the second answer finds no
+                        # waiters and is dropped (idempotent)
+                        try:
+                            handle.send(
+                                ("infer", (chunk_id, observations))
+                            )
+                        except (OSError, ValueError):
+                            pass
             handle.inflight[chunk_id] = waiters
             handle.inflight_count += len(waiters)
             try:
                 handle.send(("infer", (chunk_id, observations)))
             except (OSError, ValueError):
-                handle.alive = False
                 self._on_replica_death(handle)
                 return
 
@@ -743,11 +966,15 @@ class ServingFleet:
             waiters = handle.inflight.pop(chunk_id, [])
             handle.inflight_count -= len(waiters)
             now = self._loop.time()
-            for (future, submitted_at), outcome in zip(waiters, outcomes):
-                if future.done():  # pragma: no cover - cancelled caller
+            for entry, outcome in zip(waiters, outcomes):
+                _, future, submitted_at, _ = entry
+                if future.done():  # hedged twin won, or caller cancelled
                     continue
                 if outcome[0] == "ok":
                     _, action, version, _, batch_size = outcome
+                    # an answered request closes the circuit breaker:
+                    # the replica is demonstrably serving again
+                    handle.breaker_failures = 0
                     trace = handle.version_trace
                     if not trace or trace[-1] != version:
                         trace.append(version)
@@ -781,6 +1008,14 @@ class ServingFleet:
         elif kind == "published":
             seq, _version = payload
             handle.acked_seq = max(handle.acked_seq, seq)
+            if handle.catching_up:
+                last = self._last_deployment
+                if last is None or handle.acked_seq >= last[0]:
+                    # caught up to the current deployment: the respawned
+                    # replica can never serve a stale champion, so it is
+                    # safe to route traffic to it again
+                    handle.catching_up = False
+                    self._admit(handle)
             self._check_deploy_waiters()
         elif kind == "stats":
             handle.last_stats = payload
@@ -793,33 +1028,233 @@ class ServingFleet:
             pass
 
     def _rebuild_live(self) -> None:
+        """Recompute the routable set: alive, caught up, breaker closed."""
+        now = clock.monotonic()
         self._live = sorted(
-            (h for h in self._handles.values() if h.alive),
+            (
+                h
+                for h in self._handles.values()
+                if h.alive
+                and not h.catching_up
+                and not (
+                    h.breaker_failures >= self.breaker_threshold
+                    and now < h.breaker_open_until
+                )
+            ),
             key=lambda h: h.id,
         )
 
     def _on_replica_death(self, handle: _ReplicaHandle) -> None:
-        """Loop-thread handler for a broken pipe / dead process."""
+        """Loop-thread handler for a broken pipe / dead process.
+
+        Mirrors the cluster runtime's supervision policy: re-dispatch
+        the casualty's pending requests to survivors (transparent
+        retry), then respawn the replica with backoff — unless its
+        respawn budget is spent, in which case the slot is abandoned and
+        only then do stranded requests see :class:`ReplicaDied`.
+        """
+        if handle.dead_handled:
+            return
+        handle.dead_handled = True
         handle.alive = False
+        handle.catching_up = False
         self._rebuild_live()
-        self._fail_pending(
-            handle, ReplicaDied(f"replica {handle.id} died")
+        error = ReplicaDied(f"replica {handle.id} died")
+        # circuit breaker: another death without an answered request in
+        # between; reaching the threshold keeps the slot out of the
+        # rotation for breaker_reset_s after it next comes back
+        handle.breaker_failures += 1
+        if handle.breaker_failures >= self.breaker_threshold:
+            handle.breaker_open_until = (
+                clock.monotonic() + self.breaker_reset_s
+            )
+        respawnable = (
+            not self._closed
+            and handle.respawns < self.max_replica_respawns
         )
+        pending = list(handle.inflight.values())
+        handle.inflight.clear()
+        handle.inflight_count = 0
+        if handle.outbox:
+            pending.append(list(handle.outbox))
+            handle.outbox.clear()
+        for waiters in pending:
+            self._redispatch(waiters, handle, error, parkable=respawnable)
         if handle.stats_future and not handle.stats_future.done():
             handle.stats_future.set_result(handle.last_stats)
+        if respawnable:
+            handle.respawns += 1
+            self._respawning.add(handle.id)
+            task = self._loop.create_task(self._respawn_replica(handle))
+            self._respawn_tasks.add(task)
+            task.add_done_callback(self._respawn_tasks.discard)
+        else:
+            self._give_up_parked()
         self._check_deploy_waiters()
+
+    def _redispatch(
+        self,
+        waiters: list,
+        source: _ReplicaHandle | None,
+        error: Exception,
+        parkable: bool = True,
+    ) -> None:
+        """Retry requests stranded on ``source`` elsewhere, with jitter.
+
+        Each request carries its retry count; one that exhausts
+        ``submit_retries`` fails with ``error`` instead of bouncing
+        forever. With no routable survivor the requests park if a
+        respawn is (or will be) in flight, else fail. Stats cannot
+        double-count a retried request: the dead replica never reported
+        an outcome for it, so only the replica that finally answers
+        counts it.
+        """
+        targets = [h for h in self._live if h is not source]
+        touched = set()
+        for entry in waiters:
+            observation, future, submitted_at, retries = entry
+            if future.done():
+                continue
+            if retries >= self.submit_retries:
+                future.set_exception(error)
+                continue
+            if not targets:
+                if parkable or self._respawning:
+                    self._parked.append(
+                        (observation, future, submitted_at, retries + 1)
+                    )
+                else:
+                    future.set_exception(error)
+                continue
+            self.requests_retried += 1
+            target = self._retry_rng.choice(targets)
+            target.outbox.append(
+                (observation, future, submitted_at, retries + 1)
+            )
+            touched.add(target.id)
+        for replica_id in sorted(touched):
+            target = self._handles[replica_id]
+            if not target.flush_scheduled:
+                target.flush_scheduled = True
+                # bounded jitter decorrelates the retry burst from the
+                # survivors' in-progress batches (thundering-herd guard)
+                delay = (
+                    self._retry_rng.uniform(0.0, self.retry_jitter_s)
+                    if self.retry_jitter_s > 0.0
+                    else 0.0
+                )
+                self._loop.call_later(
+                    delay, self._flush_outbox, target
+                )
+
+    async def _respawn_replica(self, handle: _ReplicaHandle) -> None:
+        """Supervisor task: back off, fork a replacement, catch it up."""
+        backoff = self.respawn_backoff_s * (2 ** (handle.respawns - 1))
+        if backoff:
+            await asyncio.sleep(backoff)
+        if self._closed:
+            self._respawning.discard(handle.id)
+            return
+        # the reader thread may still be selecting on the dead pipe;
+        # retire it (closed at fleet close) rather than closing now
+        self._retired.append((handle.conn, handle.proc))
+        conn, proc = await self._loop.run_in_executor(
+            None, self._spawn_replica, handle.id
+        )
+        handle.conn = conn
+        handle.proc = proc
+        handle.acked_seq = 0
+        handle.final_stats = None
+        handle.dead_handled = False
+        last = self._last_deployment
+        handle.catching_up = last is not None
+        handle.alive = True  # the reader picks the new pipe up now
+        self.replica_respawns += 1
+        self._respawning.discard(handle.id)
+        if last is not None:
+            # catch-up: replay the cached current deployment (the
+            # fleet-side analogue of the registry's late-subscribe
+            # replay); admission waits for its ack
+            seq, version, wire = last
+            try:
+                handle.send(("publish", (seq, version, wire)))
+            except (OSError, ValueError):
+                self._on_replica_death(handle)
+                return
+        else:
+            self._admit(handle)
+
+    def _admit(self, handle: _ReplicaHandle) -> None:
+        """(Re-)enter a caught-up replica into the rotation and drain
+        any parked requests onto it."""
+        self._rebuild_live()
+        if handle not in self._live:
+            return  # breaker still open — the repair loop re-admits
+        if self._parked:
+            parked, self._parked = self._parked, deque()
+            # neutral source: parked work may (and with one replica,
+            # must) land on the newly admitted replica itself
+            self._redispatch(
+                list(parked), None, ReplicaDied("no live replicas")
+            )
+        self._check_deploy_waiters()
+
+    def _give_up_parked(self) -> None:
+        """Fail parked requests when no respawn can save them."""
+        if self._respawning or self._live:
+            return
+        error = ReplicaDied("no live replicas")
+        while self._parked:
+            _, future, _, _ = self._parked.popleft()
+            if not future.done():
+                future.set_exception(error)
+
+    async def _deploy_repair_loop(self) -> None:
+        """Periodic anti-entropy: re-send the cached deployment to any
+        live replica whose acked seq lags, and re-admit replicas whose
+        breaker cooldown has elapsed.
+
+        Re-delivery is idempotent (replica-side monotone seq guard), so
+        this heals a dropped or corrupted publish message without any
+        bookkeeping of *which* message was lost. When every replica is
+        caught up the loop sends nothing and perturbs nothing.
+        """
+        while not self._closed:
+            await asyncio.sleep(self.deploy_repair_s)
+            # half-open: a breaker whose cooldown elapsed re-enters the
+            # rotation; its next answered request closes it fully
+            before = {h.id for h in self._live}
+            self._rebuild_live()
+            for handle in self._live:
+                if handle.id not in before:
+                    self._admit(handle)
+            last = self._last_deployment
+            if last is None:
+                continue
+            seq, version, wire = last
+            for handle in self._handles.values():
+                if (
+                    handle.alive
+                    and not handle.catching_up
+                    and handle.acked_seq < seq
+                ):
+                    try:
+                        handle.send(("publish", (seq, version, wire)))
+                    except (OSError, ValueError):
+                        pass
 
     def _fail_pending(
         self, handle: _ReplicaHandle, error: Exception
     ) -> None:
+        """Terminally fail everything pending on ``handle`` (close path)."""
         for waiters in handle.inflight.values():
-            for future, _ in waiters:
+            for _, future, _, _ in waiters:
                 if not future.done():
                     future.set_exception(error)
         handle.inflight.clear()
         handle.inflight_count = 0
         while handle.outbox:
-            _, future, _ = handle.outbox.popleft()
+            _, future, _, _ = handle.outbox.popleft()
             if not future.done():
                 future.set_exception(error)
 
@@ -911,6 +1346,38 @@ class ServingFleet:
         return {
             handle.id: list(handle.version_trace)
             for handle in self._handles.values()
+        }
+
+    def breaker_states(self) -> dict[int, float]:
+        """Per-replica circuit-breaker state as a gauge value:
+        ``0.0`` closed (healthy), ``1.0`` open (not routable),
+        ``0.5`` half-open (cooldown elapsed, awaiting a successful
+        answer to close)."""
+        now = clock.monotonic()
+        states = {}
+        for handle in self._handles.values():
+            if handle.breaker_failures >= self.breaker_threshold:
+                states[handle.id] = (
+                    1.0 if now < handle.breaker_open_until else 0.5
+                )
+            else:
+                states[handle.id] = 0.0
+        return states
+
+    def health(self) -> dict:
+        """Self-healing counters for reporting/metrics ingest."""
+        return {
+            "replica_respawns": self.replica_respawns,
+            "requests_retried": self.requests_retried,
+            "requests_hedged": self.requests_hedged,
+            "fleet_shed": self.fleet_shed,
+            "breaker_states": self.breaker_states(),
+            "live_replicas": self.live_replicas,
+            "faults_injected": (
+                self._chaos.injected_counts()
+                if self._chaos is not None
+                else {}
+            ),
         }
 
     @property

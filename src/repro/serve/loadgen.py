@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.envs.registry import workload_spec
 from repro.serve.batcher import Overloaded, ServedAction, ServiceClosed
+from repro.serve.fleet import ReplicaDied
 
 
 def observation_sampler(env_id: str, scale: float = 1.0):
@@ -44,6 +45,14 @@ class LoadReport:
     shed: int = 0
     #: requests rejected because the gateway was closing
     rejected_closed: int = 0
+    #: requests that were re-submitted by the generator after a
+    #: retryable rejection (``max_retries > 0``); counts attempts, so
+    #: one request retried twice contributes two
+    retried: int = 0
+    #: requests that failed terminally for any other reason (replica
+    #: death past the fleet's transparent-retry budget, an unexpected
+    #: error) — previously these crashed the whole load run
+    failed: int = 0
     #: wall-clock from first arrival to last answer
     duration_s: float = 0.0
     #: every answer, in submission order (None where the request failed)
@@ -76,16 +85,25 @@ class LoadGenerator:
         rate_hz: float,
         n_requests: int,
         seed: int = 0,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.002,
     ):
         if rate_hz <= 0:
             raise ValueError("rate_hz must be positive")
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self._submit = submit
         self._sampler = sampler
         self.rate_hz = rate_hz
         self.n_requests = n_requests
         self.seed = seed
+        #: client-side retries per request on Overloaded (0 keeps the
+        #: historical fire-once behaviour); retried attempts are counted
+        #: on the report so availability under chaos is measurable
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
 
     async def run(self) -> LoadReport:
         """Fire all arrivals; wait for every outstanding answer."""
@@ -105,7 +123,8 @@ class LoadGenerator:
             tasks.append(loop.create_task(self._one(observation)))
             next_arrival += rng.expovariate(self.rate_hz)
         outcomes = await asyncio.gather(*tasks)
-        for kind, value in outcomes:
+        for kind, value, retries in outcomes:
+            report.retried += retries
             if kind == "ok":
                 report.served += 1
                 report.responses.append(value)
@@ -113,15 +132,36 @@ class LoadGenerator:
                 report.responses.append(None)
                 if kind == "shed":
                     report.shed += 1
-                else:
+                elif kind == "closed":
                     report.rejected_closed += 1
+                else:
+                    report.failed += 1
         report.duration_s = loop.time() - started
         return report
 
     async def _one(self, observation):
-        try:
-            return "ok", await self._submit(observation)
-        except Overloaded:
-            return "shed", None
-        except ServiceClosed:
-            return "closed", None
+        """One request's full client-side lifecycle.
+
+        Returns ``(outcome, response, retries)``. ``Overloaded`` and
+        ``ReplicaDied`` are retryable up to ``max_retries`` times (with
+        linear backoff) — shedding is transient by construction, and a
+        fleet that gave up on a request may heal before the retry lands.
+        Anything else unexpected is a terminal ``"failed"`` outcome
+        rather than an exception that would abort the whole load run.
+        """
+        retries = 0
+        while True:
+            try:
+                return "ok", await self._submit(observation), retries
+            except Overloaded:
+                if retries >= self.max_retries:
+                    return "shed", None, retries
+            except ServiceClosed:
+                return "closed", None, retries
+            except ReplicaDied:
+                if retries >= self.max_retries:
+                    return "failed", None, retries
+            except Exception:  # noqa: BLE001 - availability accounting
+                return "failed", None, retries
+            retries += 1
+            await asyncio.sleep(self.retry_backoff_s * retries)

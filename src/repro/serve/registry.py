@@ -288,6 +288,22 @@ class ChampionRegistry:
         with self._lock:
             return self._seq
 
+    def deployment(self) -> tuple[int, ChampionRecord]:
+        """The current ``(seq, record)`` pair, read atomically.
+
+        Reading ``seq`` and ``current()`` separately can tear across a
+        concurrent publish; catch-up logic (a respawned fleet replica
+        deciding which seq it must ack before taking traffic) needs the
+        pair from one lock acquisition. Raises ``LookupError`` before
+        the first publish.
+        """
+        with self._lock:
+            if self._closed:
+                raise RegistryClosed("registry is closed")
+            if self._current is None:
+                raise LookupError("no champion has been published")
+            return self._seq, self._current
+
     @property
     def version(self) -> int:
         """Version of the current champion (0 before first publish)."""

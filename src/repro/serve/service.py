@@ -75,6 +75,7 @@ class ContinuousService:
         checkpoint_period: int = 1,
         max_evolution_restarts: int = 1,
         replicas: int = 1,
+        max_replica_respawns: int = 2,
         slo_p95_s: float | None = None,
         autotune_interval_s: float = 0.05,
     ):
@@ -110,6 +111,11 @@ class ContinuousService:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.replicas = replicas
+        #: serving-tier self-healing budget, forwarded to the fleet
+        #: (replica deaths become transparent retries + respawns; see
+        #: the "Serving-tier self-healing" section of
+        #: ``docs/fault_tolerance.md``); 0 restores isolate-only
+        self.max_replica_respawns = max_replica_respawns
         #: SLO target driving the AIMD batch autotuner (None = static
         #: knobs, no autotuning)
         self.slo_p95_s = slo_p95_s
@@ -129,6 +135,7 @@ class ContinuousService:
                 max_wait_s=max_wait_s,
                 max_pending=max_pending,
                 seed=seed,
+                max_replica_respawns=max_replica_respawns,
             )
         else:
             self.gateway = InferenceGateway(
@@ -299,6 +306,22 @@ class ContinuousService:
         if self.fleet is not None:
             return self.fleet.replica_stats()
         return {0: self.gateway.stats()}
+
+    def health(self) -> dict:
+        """Serving-tier self-healing counters (respawns, retries,
+        breaker states — see :meth:`ServingFleet.health`). Empty-ish in
+        single-replica mode, where there is no fleet to heal."""
+        if self.fleet is not None:
+            return self.fleet.health()
+        return {
+            "replica_respawns": 0,
+            "requests_retried": 0,
+            "requests_hedged": 0,
+            "fleet_shed": 0,
+            "breaker_states": {},
+            "live_replicas": [0],
+            "faults_injected": {},
+        }
 
     async def _autotune(self) -> None:
         """Drive the AIMD controller from live p95 samples.

@@ -482,3 +482,354 @@ class TestServe:
         ).read_text()
         assert 'clan-repro = "repro.cli:main"' in pyproject
         assert 'repro = "repro.cli:main"' in pyproject
+
+
+class TestServeHealing:
+    def test_summary_surfaces_client_retry_counters(self, capsys):
+        code = main(
+            [
+                "serve", "CartPole-v0",
+                "--clans", "2",
+                "--pop", "24",
+                "--generations", "4",
+                "--requests", "80",
+                "--rate", "400",
+                "--threshold", "1e9",
+                "--client-retries", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retried" in out
+        assert "failed" in out
+
+    def test_metrics_out_includes_fleet_health(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "serve", "CartPole-v0",
+                "--clans", "2",
+                "--pop", "24",
+                "--generations", "4",
+                "--requests", "80",
+                "--rate", "400",
+                "--threshold", "1e9",
+                "--replicas", "2",
+                "--metrics-out", str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "repro_replica_respawns_total" in text
+        assert "repro_requests_retried_total" in text
+        capsys.readouterr()
+
+    def test_rejects_negative_healing_knobs(self, capsys):
+        code = main(
+            ["serve", "CartPole-v0", "--max-replica-respawns", "-1"]
+        )
+        assert code == 2
+        assert "max-replica-respawns" in capsys.readouterr().err
+        code = main(["serve", "CartPole-v0", "--client-retries", "-1"])
+        assert code == 2
+        assert "client-retries" in capsys.readouterr().err
+
+
+_RESUME_ARGS = [
+    "learn", "CartPole-v0",
+    "--protocol", "Serial",
+    "--pop", "20",
+    "--seed", "5",
+    "--threshold", "1e9",
+]
+
+
+def _champion_payloads(path):
+    """Checkpoint file -> (best-genome payload, all genome payloads)."""
+    from repro.cluster.serialization import encode_genome
+    from repro.neat.checkpoint import load_population
+
+    population = load_population(path)
+    return (
+        encode_genome(population.best_genome),
+        {
+            key: encode_genome(genome)
+            for key, genome in population.genomes.items()
+        },
+    )
+
+
+class TestLearnResume:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(_RESUME_ARGS + ["--generations", "1", "--resume"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_dir_rejects_engines_without_population(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "learn", "CartPole-v0",
+                "--protocol", "CLAN_DDA",
+                "--agents", "2",
+                "--pop", "20",
+                "--generations", "1",
+                "--threshold", "1e9",
+                "--checkpoint-dir", str(tmp_path / "store"),
+            ]
+        )
+        assert code == 2
+        assert "Serial/CLAN_DCS/CLAN_DDS" in capsys.readouterr().err
+
+    def test_resume_from_empty_store_errors(self, tmp_path, capsys):
+        code = main(
+            _RESUME_ARGS
+            + [
+                "--generations", "2",
+                "--checkpoint-dir", str(tmp_path / "empty"),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_resume_rejects_mismatched_arguments(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            _RESUME_ARGS
+            + ["--generations", "1", "--checkpoint-dir", store]
+        ) in (0, 1)
+        capsys.readouterr()
+        mismatched = list(_RESUME_ARGS)
+        mismatched[mismatched.index("--seed") + 1] = "6"
+        code = main(
+            mismatched
+            + ["--generations", "2", "--checkpoint-dir", store, "--resume"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "disagree" in err
+        assert "--seed" in err
+
+    def test_exhausted_budget_resumes_to_a_no_op(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            _RESUME_ARGS
+            + ["--generations", "2", "--checkpoint-dir", store]
+        ) in (0, 1)
+        capsys.readouterr()
+        code = main(
+            _RESUME_ARGS
+            + ["--generations", "2", "--checkpoint-dir", store, "--resume"]
+        )
+        assert code == 0
+        assert "nothing left" in capsys.readouterr().out
+
+    def test_resumed_run_is_bit_identical(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        store = str(tmp_path / "store")
+        assert main(
+            _RESUME_ARGS
+            + ["--generations", "4", "--checkpoint", str(full)]
+        ) in (0, 1)
+        assert main(
+            _RESUME_ARGS
+            + ["--generations", "2", "--checkpoint-dir", store]
+        ) in (0, 1)
+        code = main(
+            _RESUME_ARGS
+            + [
+                "--generations", "4",
+                "--checkpoint-dir", store,
+                "--resume",
+                "--checkpoint", str(resumed),
+            ]
+        )
+        assert code in (0, 1)
+        assert "resumed at generation 2" in capsys.readouterr().out
+        full_best, full_genomes = _champion_payloads(full)
+        resumed_best, resumed_genomes = _champion_payloads(resumed)
+        # the continuation is exact: not just the champion but the whole
+        # final population matches the uninterrupted run byte for byte
+        assert resumed_best == full_best
+        assert resumed_genomes == full_genomes
+
+    def test_sigkilled_run_resumes_bit_identically(self, tmp_path, capsys):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        store = tmp_path / "store"
+        assert main(
+            _RESUME_ARGS
+            + ["--generations", "4", "--checkpoint", str(full)]
+        ) in (0, 1)
+        capsys.readouterr()
+        # launch the same run as a real process and SIGKILL it as soon
+        # as its first per-generation checkpoint lands
+        import pathlib
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro"]
+            + _RESUME_ARGS
+            + ["--generations", "4", "--checkpoint-dir", str(store)],
+            env=dict(os.environ, PYTHONPATH=src),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            manifest = store / "manifest.json"
+            population = store / "population.json"
+            while time.monotonic() < deadline:
+                if manifest.exists() and population.exists():
+                    try:
+                        done = json.loads(manifest.read_text()).get(
+                            "completed_generations", 0
+                        )
+                    except json.JSONDecodeError:
+                        done = 0  # racing the atomic rename; retry
+                    if 1 <= done < 4:
+                        break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.01)
+            else:
+                raise AssertionError("no checkpoint within 120s")
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=30)
+        done = json.loads((store / "manifest.json").read_text())[
+            "completed_generations"
+        ]
+        assert done >= 1
+        code = main(
+            _RESUME_ARGS
+            + [
+                "--generations", "4",
+                "--checkpoint-dir", str(store),
+                "--resume",
+                "--checkpoint", str(resumed),
+            ]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        full_best, full_genomes = _champion_payloads(full)
+        resumed_best, resumed_genomes = _champion_payloads(resumed)
+        assert resumed_best == full_best
+        assert resumed_genomes == full_genomes
+
+
+class TestChaosCommand:
+    def test_rejects_bad_fault_spec(self, capsys):
+        code = main(["chaos", "CartPole-v0", "--fault", "kill,target=1"])
+        assert code == 2
+        assert "scope" in capsys.readouterr().err
+
+    def test_rejects_bad_plan_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{nope")
+        code = main(["chaos", "CartPole-v0", "--plan", str(plan)])
+        assert code == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_learn_chaos_recovers_and_reports(self, tmp_path, capsys):
+        report = tmp_path / "outcome.json"
+        code = main(
+            [
+                "chaos", "CartPole-v0",
+                "--workload", "learn",
+                "--clans", "2",
+                "--pop", "16",
+                "--generations", "2",
+                "--seed", "4",
+                "--fault",
+                "kill,scope=worker,target=0,kind=clan_step,at=1",
+                "--json", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kill worker 0" in out
+        assert "fully recovered" in out
+        assert "faults: 1/1 fired" in out
+        import json
+
+        outcome = json.loads(report.read_text())
+        assert outcome["churn"]["respawns"] == 1
+        assert outcome["faults_fired"] == 1
+
+    def test_plan_file_drives_the_run(self, tmp_path, capsys):
+        from repro.chaos import Fault, FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            seed=3,
+            faults=(
+                Fault(
+                    action="kill", scope="worker", target=0,
+                    kind="clan_step", at=1,
+                ),
+            ),
+        ).save(plan_path)
+        code = main(
+            [
+                "chaos", "CartPole-v0",
+                "--workload", "learn",
+                "--clans", "2",
+                "--pop", "16",
+                "--generations", "2",
+                "--seed", "4",
+                "--plan", str(plan_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos seed 3" in out
+        assert "fully recovered" in out
+
+    def test_unfired_fault_fails_the_run(self, capsys):
+        code = main(
+            [
+                "chaos", "CartPole-v0",
+                "--workload", "learn",
+                "--clans", "2",
+                "--pop", "16",
+                "--generations", "1",
+                "--seed", "4",
+                "--fault",
+                "kill,scope=worker,target=0,kind=clan_step,at=99",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "never matched an event" in out
+        assert "NOT fully recovered" in out
+
+    def test_serve_chaos_recovers(self, capsys):
+        code = main(
+            [
+                "chaos", "CartPole-v0",
+                "--workload", "serve",
+                "--replicas", "2",
+                "--rate", "500",
+                "--requests", "100",
+                "--seed", "2",
+                "--fault", "kill,scope=replica,target=0,kind=infer,at=2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fully recovered" in out
+        assert "replica respawns" in out

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.cluster.serialization import encode_genome
-from repro.neat.checkpoint import load_population, save_population
+from repro.neat.checkpoint import (
+    CheckpointCorrupt,
+    document_checksum,
+    load_population,
+    save_population,
+)
 from repro.neat.config import NEATConfig
 from repro.neat.evaluation import FitnessResult
 from repro.neat.population import Population
@@ -210,6 +215,7 @@ class TestValidation:
         save_population(population, path)
         doc = json.loads(path.read_text())
         doc["version"] = 99
+        doc["crc32"] = document_checksum(doc)
         path.write_text(json.dumps(doc))
         with pytest.raises(ValueError, match="version"):
             load_population(path)
@@ -224,6 +230,8 @@ class TestValidation:
         save_population(population, path)
         doc = json.loads(path.read_text())
         doc["version"] = 1
+        # v1 files predate the checksum field too — drop it entirely
+        doc.pop("crc32", None)
         for blob in doc["species"]:
             for field in (
                 "member_keys", "stale_members", "fitness",
@@ -235,3 +243,57 @@ class TestValidation:
         assert population_bytes(restored) == population_bytes(population)
         for species in restored.species_set.iter_species():
             assert species.members == {}
+
+
+class TestCorruptionDetection:
+    """Damaged checkpoint files must raise CheckpointCorrupt, not leak
+    json/decoding internals — and writes must be atomic."""
+
+    def _checkpoint(self, config, tmp_path):
+        population = Population(config, seed=3)
+        population.run_generation(fake_evaluate)
+        path = tmp_path / "ckpt.json"
+        save_population(population, path)
+        return path
+
+    def test_bit_flip_detected(self, config, tmp_path):
+        path = self._checkpoint(config, tmp_path)
+        raw = bytearray(path.read_bytes())
+        # flip one bit in the middle of the document (genome payload
+        # territory — past the header fields, before the final brace)
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorrupt):
+            load_population(path)
+
+    def test_truncated_file_detected(self, config, tmp_path):
+        path = self._checkpoint(config, tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointCorrupt, match="JSON"):
+            load_population(path)
+
+    def test_empty_file_detected(self, config, tmp_path):
+        path = self._checkpoint(config, tmp_path)
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorrupt):
+            load_population(path)
+
+    def test_missing_file_is_corrupt_error(self, config, tmp_path):
+        with pytest.raises(CheckpointCorrupt):
+            load_population(tmp_path / "never-written.json")
+
+    def test_save_leaves_no_tmp_file_behind(self, config, tmp_path):
+        path = self._checkpoint(config, tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_checksum_survives_reload_cycle(self, config, tmp_path):
+        import json
+
+        path = self._checkpoint(config, tmp_path)
+        doc = json.loads(path.read_text())
+        assert doc["crc32"] == document_checksum(doc)
+        # loading and re-saving an untouched checkpoint stays valid
+        save_population(load_population(path), path)
+        load_population(path)

@@ -360,6 +360,43 @@ class TestMetricsRegistry:
             "repro_churn_mean_recovery_latency_seconds"
         ) == pytest.approx(0.3)
 
+    def test_ingest_fleet_health(self):
+        health = {
+            "replica_respawns": 2,
+            "requests_retried": 5,
+            "requests_hedged": 1,
+            "fleet_shed": 0,
+            "breaker_states": {0: 1.0, 1: 0.0},
+            "live_replicas": [1],
+            "faults_injected": {"kill": 1, "drop": 2},
+        }
+        registry = MetricsRegistry()
+        registry.ingest_fleet_health(health)
+        assert registry.value("repro_replica_respawns_total") == 2
+        assert registry.value("repro_requests_retried_total") == 5
+        assert registry.value("repro_requests_hedged_total") == 1
+        assert (
+            registry.value("repro_faults_injected_total", action="kill")
+            == 1
+        )
+        assert (
+            registry.value("repro_faults_injected_total", action="drop")
+            == 2
+        )
+        assert (
+            registry.value("repro_replica_breaker_state", replica="0")
+            == 1.0
+        )
+        assert (
+            registry.value("repro_replica_breaker_state", replica="1")
+            == 0.0
+        )
+
+    def test_ingest_fleet_health_tolerates_empty_dict(self):
+        registry = MetricsRegistry()
+        registry.ingest_fleet_health({})
+        assert registry.value("repro_replica_respawns_total") == 0
+
     def test_prometheus_exposition_shape(self):
         registry = MetricsRegistry()
         registry.counter(

@@ -239,9 +239,12 @@ class TestBackpressure:
 
 class TestReplicaDeath:
     def test_death_is_isolated_to_the_dead_replica(self):
+        # healing off: the pre-healing containment contract must hold
         async def run():
             registry = ChampionRegistry(CONFIG)
-            fleet = await _started_fleet(registry)
+            fleet = await _started_fleet(
+                registry, max_replica_respawns=0
+            )
             victim = fleet._handles[0].proc
             victim.kill()
             # wait for the reader thread to notice the EOF
@@ -267,7 +270,9 @@ class TestReplicaDeath:
     def test_total_fleet_loss_raises_replica_died(self):
         async def run():
             registry = ChampionRegistry(CONFIG)
-            fleet = await _started_fleet(registry, replicas=1)
+            fleet = await _started_fleet(
+                registry, replicas=1, max_replica_respawns=0
+            )
             fleet._handles[0].proc.kill()
             for _ in range(100):
                 if not fleet.live_replicas:
@@ -281,6 +286,156 @@ class TestReplicaDeath:
             registry.close()
 
         asyncio.run(run())
+
+
+class TestSelfHealing:
+    """PR 10's serving-tier healing: in-flight deaths become transparent
+    retries, dead replicas respawn and catch up to the current
+    deployment seq before taking traffic again, and a flapping replica
+    is held out by its circuit breaker."""
+
+    def test_inflight_death_is_retried_not_errored(self):
+        observations = _observations(40)
+
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            tasks = [
+                asyncio.ensure_future(fleet.submit(obs))
+                for obs in observations
+            ]
+            # kill replica 0 with those requests in flight: its share
+            # must be re-dispatched to replica 1, not errored
+            fleet._handles[0].proc.kill()
+            outcomes = await asyncio.gather(
+                *tasks, return_exceptions=True
+            )
+            stats = await fleet.scrape()
+            retried = fleet.requests_retried
+            await fleet.close()
+            registry.close()
+            return outcomes, stats, retried
+
+        outcomes, stats, retried = asyncio.run(run())
+        errors = [o for o in outcomes if isinstance(o, Exception)]
+        assert not errors, f"healing must absorb the death: {errors!r}"
+        assert retried > 0
+        # no double-counting: the dead replica never answered the
+        # retried requests, so the rollup counts each exactly once
+        assert stats.served == len(observations)
+
+    def test_respawned_replica_catches_up_to_current_seq(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(
+                registry, respawn_backoff_s=0.01
+            )
+            registry.publish(CHAMPIONS[1], source="pre-death")
+            await fleet.wait_deployed()
+            fleet._handles[0].proc.kill()
+            # the respawned replica is only admitted once it acks the
+            # current deployment seq
+            for _ in range(500):
+                if (
+                    fleet.live_replicas == [0, 1]
+                    and fleet.replica_respawns == 1
+                ):
+                    break
+                await asyncio.sleep(0.01)
+            live = fleet.live_replicas
+            acked = fleet._handles[0].acked_seq
+            seq = registry.seq
+            # force traffic onto the respawned replica: it must serve
+            # the *current* champion, never a stale one
+            served = []
+            while len(served) < 5:
+                response = await fleet.submit([0.1] * 4)
+                if response.replica == 0:
+                    served.append(response)
+            respawns = fleet.replica_respawns
+            await fleet.close()
+            registry.close()
+            return live, acked, seq, served, respawns
+
+        live, acked, seq, served, respawns = asyncio.run(run())
+        assert live == [0, 1]
+        assert respawns == 1
+        assert acked >= seq
+        assert {r.champion_version for r in served} == {2}
+
+    def test_single_replica_fleet_heals_parked_requests(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(
+                registry, replicas=1, respawn_backoff_s=0.01
+            )
+            fleet._handles[0].proc.kill()
+            for _ in range(200):
+                if not fleet.live_replicas:
+                    break
+                await asyncio.sleep(0.01)
+            # whole fleet down but a respawn is in flight: the request
+            # parks and is answered by the respawned replica
+            served = await asyncio.wait_for(
+                fleet.submit([0.2] * 4), timeout=10.0
+            )
+            respawns = fleet.replica_respawns
+            await fleet.close()
+            registry.close()
+            return served, respawns
+
+        served, respawns = asyncio.run(run())
+        assert served.replica == 0
+        assert served.champion_version == 1
+        assert respawns == 1
+
+    def test_breaker_opens_after_repeated_deaths(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(
+                registry,
+                breaker_threshold=1,
+                breaker_reset_s=30.0,
+                respawn_backoff_s=0.01,
+            )
+            fleet._handles[0].proc.kill()
+            for _ in range(500):
+                if fleet.replica_respawns == 1 and fleet._handles[
+                    0
+                ].alive:
+                    break
+                await asyncio.sleep(0.01)
+            # respawned but breaker open: held out of the rotation
+            states = fleet.breaker_states()
+            live = fleet.live_replicas
+            served = await asyncio.gather(
+                *(fleet.submit(obs) for obs in _observations(10))
+            )
+            await fleet.close()
+            registry.close()
+            return states, live, served
+
+        states, live, served = asyncio.run(run())
+        assert states[0] == 1.0
+        assert states[1] == 0.0
+        assert live == [1]
+        assert {r.replica for r in served} == {1}
+
+    def test_health_surface_reports_counters(self):
+        async def run():
+            registry = ChampionRegistry(CONFIG)
+            fleet = await _started_fleet(registry)
+            health = fleet.health()
+            await fleet.close()
+            registry.close()
+            return health
+
+        health = asyncio.run(run())
+        assert health["replica_respawns"] == 0
+        assert health["requests_retried"] == 0
+        assert health["breaker_states"] == {0: 0.0, 1: 0.0}
+        assert health["live_replicas"] == [0, 1]
+        assert health["faults_injected"] == {}
 
 
 class TestSLOBatchController:
